@@ -1,0 +1,125 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * Totem flow control (`max_messages_per_token`) — trades latency for
+//!   token fairness;
+//! * retention slack — the window that lets briefly-excluded processors
+//!   rejoin without an application-level gap (state-transfer avoidance);
+//! * delivery mode — agreed vs safe delivery cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftd_bench::*;
+use ftd_core::{build_domain, DomainSpec, PlainClient};
+use ftd_eternal::{FtProperties, ReplicationStyle};
+use ftd_sim::{SimDuration, World};
+use ftd_totem::{DeliveryMode, TotemConfig};
+use std::hint::black_box;
+
+fn domain_with_totem(seed: u64, totem: TotemConfig) -> (World, ftd_core::DomainHandle) {
+    let mut world = World::new(seed);
+    let mut spec = DomainSpec::new(1, 5, 1);
+    spec.totem = totem;
+    let handle = build_domain(&mut world, &spec, registry);
+    world.run_for(SimDuration::from_millis(25));
+    handle.create_group(
+        &mut world,
+        1,
+        SERVER,
+        "Counter",
+        FtProperties::new(ReplicationStyle::Active).with_initial(3),
+    );
+    world.run_for(SimDuration::from_millis(10));
+    (world, handle)
+}
+
+fn burst_drain(world: &mut World, handle: &ftd_core::DomainHandle, n: u64) {
+    let client = add_plain_client(world, handle, false);
+    for i in 0..n {
+        plain_send(world, client, "add", &i.to_be_bytes());
+    }
+    loop {
+        let done = world
+            .actor::<PlainClient>(client)
+            .map(|c| c.replies.len() as u64 == n)
+            .unwrap_or(false);
+        if done {
+            break;
+        }
+        world.run_for(SimDuration::from_micros(100));
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+
+    // Flow control: messages broadcast per token visit.
+    for per_token in [1usize, 4, 16, 64] {
+        g.bench_with_input(
+            BenchmarkId::new("max_messages_per_token", per_token),
+            &per_token,
+            |b, &per_token| {
+                b.iter(|| {
+                    let totem = TotemConfig {
+                        max_messages_per_token: per_token,
+                        ..TotemConfig::default()
+                    };
+                    let (mut world, handle) = domain_with_totem(7, totem);
+                    burst_drain(&mut world, &handle, 32);
+                    black_box(world.now())
+                })
+            },
+        );
+    }
+
+    // Delivery mode: agreed vs safe.
+    for (name, mode) in [("agreed", DeliveryMode::Agreed), ("safe", DeliveryMode::Safe)] {
+        g.bench_with_input(
+            BenchmarkId::new("delivery_mode", name),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let totem = TotemConfig {
+                        delivery: mode,
+                        ..TotemConfig::default()
+                    };
+                    let (mut world, handle) = domain_with_totem(8, totem);
+                    burst_drain(&mut world, &handle, 16);
+                    black_box(world.now())
+                })
+            },
+        );
+    }
+
+    // Retention slack: does a rejoining processor need state transfer?
+    for slack in [0u64, 64, 4096] {
+        g.bench_with_input(
+            BenchmarkId::new("retention_slack", slack),
+            &slack,
+            |b, &slack| {
+                b.iter(|| {
+                    let totem = TotemConfig {
+                        retention_slack: slack,
+                        ..TotemConfig::default()
+                    };
+                    let (mut world, handle) = domain_with_totem(9, totem);
+                    // Briefly isolate a non-gateway daemon, then heal.
+                    // Only the victim is labelled: everything else —
+                    // including the client added below — stays in the
+                    // default component.
+                    let victim = handle.processors[4];
+                    world.partition(&[&[victim]]);
+                    burst_drain(&mut world, &handle, 8);
+                    world.heal();
+                    world.run_for(SimDuration::from_millis(80));
+                    black_box(world.stats().counter("eternal.gaps"))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

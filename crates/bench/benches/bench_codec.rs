@@ -1,0 +1,75 @@
+//! E4 (Fig. 4): wire-format codec costs — the per-message work the gateway
+//! performs when translating between IIOP and the multicast encapsulation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftd_eternal::{DomainMsg, FtHeader, OperationKind, UNUSED_CLIENT_ID};
+use ftd_giop::{ByteOrder, GiopMessage, Ior, IiopProfile, ObjectKey, Reply, Request};
+use ftd_totem::GroupId;
+use std::hint::black_box;
+
+fn sample_request(body: usize) -> Request {
+    Request {
+        request_id: 7,
+        response_expected: true,
+        object_key: ObjectKey::new(1, 10).to_bytes(),
+        operation: "buy_shares".into(),
+        body: vec![0xAB; body],
+        ..Request::default()
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for &body in &[16usize, 256, 4096] {
+        let req = GiopMessage::Request(sample_request(body));
+        g.bench_function(format!("giop_request_encode_{body}B"), |b| {
+            b.iter(|| black_box(req.encode(ByteOrder::Big)))
+        });
+        let wire = req.encode(ByteOrder::Big);
+        g.bench_function(format!("giop_request_decode_{body}B"), |b| {
+            b.iter(|| black_box(GiopMessage::decode(black_box(&wire)).unwrap()))
+        });
+
+        let domain_msg = DomainMsg::Iiop {
+            header: FtHeader {
+                client: UNUSED_CLIENT_ID,
+                source: GroupId(1),
+                target: GroupId(2),
+                kind: OperationKind::Invocation,
+                parent_ts: 100,
+                child_seq: 3,
+            },
+            iiop: wire.clone(),
+        };
+        g.bench_function(format!("ft_encapsulation_encode_{body}B"), |b| {
+            b.iter(|| black_box(domain_msg.encode()))
+        });
+        let domain_wire = domain_msg.encode();
+        g.bench_function(format!("ft_encapsulation_decode_{body}B"), |b| {
+            b.iter(|| black_box(DomainMsg::decode(black_box(&domain_wire)).unwrap()))
+        });
+    }
+
+    let reply = GiopMessage::Reply(Reply::success(7, vec![0u8; 64]));
+    g.bench_function("giop_reply_roundtrip", |b| {
+        b.iter_batched(
+            || reply.encode(ByteOrder::Big),
+            |w| black_box(GiopMessage::decode(&w).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let ior = Ior::with_iiop_profiles(
+        "IDL:Stock/Desk:1.0",
+        (0..3).map(|i| IiopProfile::new(format!("P{i}"), 9000, ObjectKey::new(1, 10).to_bytes())),
+    );
+    g.bench_function("ior_stringify", |b| b.iter(|| black_box(ior.to_stringified())));
+    let s = ior.to_stringified();
+    g.bench_function("ior_destringify", |b| {
+        b.iter(|| black_box(Ior::from_stringified(&s).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E8 (§3.5): the redundant-gateway failover path — crash the connected
+//! gateway with a request in flight, measure the full recovery scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftd_bench::*;
+use ftd_eternal::ReplicationStyle;
+use ftd_sim::SimDuration;
+
+fn bench_failover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failover");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for gateways in [2u32, 3] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(gateways),
+            &gateways,
+            |b, &gateways| {
+                b.iter(|| {
+                    let (mut world, handle) =
+                        single_domain(60, 7, gateways, 3, ReplicationStyle::Active);
+                    let client = add_enhanced_client(&mut world, &handle, 0x4000_0009);
+                    enhanced_send(&mut world, client, "add", &5u64.to_be_bytes());
+                    run_until_enhanced_replies(&mut world, client, 1).expect("reply");
+                    enhanced_send(&mut world, client, "add", &10u64.to_be_bytes());
+                    world.run_for(SimDuration::from_micros(300));
+                    world.crash(handle.gateway_processors[0]);
+                    run_until_enhanced_replies(&mut world, client, 2).expect("failover reply");
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_failover);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E5 (Fig. 5): the gateway's inbound/outbound action loops under
+//! concurrent client load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftd_bench::*;
+use ftd_core::PlainClient;
+use ftd_eternal::ReplicationStyle;
+use ftd_sim::SimDuration;
+
+fn bench_gateway_loops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gateway_loops");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for clients in [1usize, 8, 24] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    let (mut world, handle) =
+                        single_domain(50, 6, 1, 3, ReplicationStyle::Active);
+                    let ids: Vec<_> = (0..clients)
+                        .map(|_| add_plain_client(&mut world, &handle, false))
+                        .collect();
+                    for (i, &cl) in ids.iter().enumerate() {
+                        plain_send(&mut world, cl, "add", &(i as u64).to_be_bytes());
+                    }
+                    loop {
+                        let done = ids.iter().all(|&cl| {
+                            world
+                                .actor::<PlainClient>(cl)
+                                .map(|c| !c.replies.is_empty())
+                                .unwrap_or(false)
+                        });
+                        if done {
+                            break;
+                        }
+                        world.run_for(SimDuration::from_micros(100));
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gateway_loops);
+criterion_main!(benches);

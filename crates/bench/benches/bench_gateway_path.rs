@@ -1,0 +1,34 @@
+//! E3 (Fig. 3): the gateway invocation path as a function of the server
+//! replica count (the duplicate-suppression workload grows with it).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftd_bench::*;
+use ftd_eternal::ReplicationStyle;
+use std::hint::black_box;
+
+fn bench_gateway_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gateway_path");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for replicas in [1u32, 2, 3, 5] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(replicas),
+            &replicas,
+            |b, &replicas| {
+                let (mut world, handle) =
+                    single_domain(replicas as u64, 8, 1, replicas, ReplicationStyle::Active);
+                let client = add_plain_client(&mut world, &handle, false);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    black_box(one_round_trip(&mut world, client, i))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gateway_path);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E2 (Fig. 2): whole-scenario cost of the fault tolerance infrastructure.
+//! Criterion measures the wall-clock cost of simulating each configuration;
+//! the virtual-time ratios are reported by the `experiments` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ftd_bench::*;
+use ftd_eternal::ReplicationStyle;
+use std::hint::black_box;
+
+fn bench_infrastructure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("infrastructure");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.bench_function("domain_formation_5procs", |b| {
+        b.iter(|| black_box(single_domain(1, 5, 1, 3, ReplicationStyle::Active)))
+    });
+    g.bench_function("gateway_roundtrip_active3", |b| {
+        let (mut world, handle) = single_domain(2, 5, 1, 3, ReplicationStyle::Active);
+        let client = add_plain_client(&mut world, &handle, false);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(one_round_trip(&mut world, client, i))
+        })
+    });
+    g.bench_function("intra_domain_roundtrip_active3", |b| {
+        let (mut world, handle) = single_domain(3, 5, 1, 3, ReplicationStyle::Active);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            handle.invoke_root(&mut world, 1, SERVER, "add", &i.to_be_bytes());
+            loop {
+                if !handle.take_root_replies(&mut world, 1).is_empty() {
+                    break;
+                }
+                world.run_for(ftd_sim::SimDuration::from_micros(50));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_infrastructure);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E6 (Fig. 6): duplicate detection structures — the per-message cost of
+//! the operation-identifier tables at gateways and replication mechanisms.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftd_eternal::{InvocationTable, OperationId, ResponseFilter, Voter};
+use ftd_totem::GroupId;
+use std::hint::black_box;
+
+fn op(n: u32) -> OperationId {
+    OperationId {
+        source: GroupId(1),
+        target: GroupId(2),
+        client: n % 64,
+        parent_ts: (n / 64) as u64,
+        child_seq: n,
+    }
+}
+
+fn bench_opid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opid");
+    g.bench_function("invocation_table_fresh", |b| {
+        b.iter_batched(
+            || InvocationTable::new(4096),
+            |mut t| {
+                for i in 0..1024u32 {
+                    black_box(t.check(op(i)));
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("invocation_table_duplicate_hit", |b| {
+        let mut t = InvocationTable::new(4096);
+        for i in 0..1024u32 {
+            t.check(op(i));
+            t.complete(op(i), vec![1, 2, 3]);
+        }
+        b.iter(|| black_box(t.check(op(512))))
+    });
+    g.bench_function("response_filter_mixed", |b| {
+        b.iter_batched(
+            || ResponseFilter::new(4096),
+            |mut f| {
+                for i in 0..512u32 {
+                    // one fresh + two duplicates, the 3-replica pattern
+                    black_box(f.accept(op(i)));
+                    black_box(f.accept(op(i)));
+                    black_box(f.accept(op(i)));
+                }
+                f
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("voter_majority_of_three", |b| {
+        b.iter_batched(
+            Voter::new,
+            |mut v| {
+                for i in 0..256u32 {
+                    black_box(v.vote(op(i), vec![9], 3));
+                    black_box(v.vote(op(i), vec![9], 3));
+                }
+                v
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_opid);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E10 (§2): one gateway round trip under each replication style.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftd_bench::*;
+use ftd_eternal::ReplicationStyle;
+use std::hint::black_box;
+
+fn bench_styles(c: &mut Criterion) {
+    let mut g = c.benchmark_group("styles");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    let styles = [
+        ("stateless", ReplicationStyle::Stateless),
+        ("cold_passive", ReplicationStyle::ColdPassive),
+        ("warm_passive", ReplicationStyle::WarmPassive),
+        ("active", ReplicationStyle::Active),
+        ("voting", ReplicationStyle::ActiveWithVoting),
+    ];
+    for (name, style) in styles {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &style, |b, &style| {
+            let (mut world, handle) = single_domain(70, 6, 1, 3, style);
+            let client = add_plain_client(&mut world, &handle, false);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                black_box(one_round_trip(&mut world, client, i))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_styles);
+criterion_main!(benches);

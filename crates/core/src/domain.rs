@@ -1,0 +1,328 @@
+//! Assembling fault tolerance domains (and multi-domain topologies like
+//! the paper's Fig. 1) inside a simulation world.
+
+use crate::{Gateway, GatewayConfig, StableCounters};
+use ftd_eternal::{
+    EternalDaemon, FtProperties, GatewayEndpoint, IorPublisher, MechConfig, ObjectRegistry,
+    RootReply,
+};
+use ftd_giop::Ior;
+use ftd_sim::{LanId, NetAddr, ProcessorId, World};
+use ftd_totem::{GroupId, TotemConfig};
+use std::collections::BTreeMap;
+
+/// The daemon actor type used on every processor of a built domain:
+/// gateways are mounted as an optional extension so all daemons share one
+/// concrete type (convenient for `World::actor` downcasts).
+pub type DomainDaemon = EternalDaemon<Option<Gateway>>;
+
+/// Specification of one fault tolerance domain.
+#[derive(Clone)]
+pub struct DomainSpec {
+    /// Domain id (goes into object keys).
+    pub domain: u32,
+    /// Total processors (each runs a daemon; the first `gateways` of them
+    /// also run a gateway).
+    pub processors: u32,
+    /// How many redundant gateways to mount.
+    pub gateways: u32,
+    /// TCP port all this domain's gateways listen on.
+    pub gateway_port: u16,
+    /// Totem tuning.
+    pub totem: TotemConfig,
+    /// Mechanisms tuning.
+    pub mech: MechConfig,
+    /// Routes to other domains' gateways (filled by
+    /// [`connect_domains`]).
+    pub routes: BTreeMap<u32, NetAddr>,
+    /// Stable storage for gateway 0's client-id counters (the §3.4
+    /// cold-passive gateway configuration); survives crash/recovery.
+    pub cold_gateway_store: Option<StableCounters>,
+}
+
+impl DomainSpec {
+    /// A spec with `processors` daemons and `gateways` gateways.
+    pub fn new(domain: u32, processors: u32, gateways: u32) -> Self {
+        assert!(gateways >= 1, "a domain needs at least one gateway");
+        assert!(
+            processors >= gateways,
+            "gateways are mounted on domain processors"
+        );
+        DomainSpec {
+            domain,
+            processors,
+            gateways,
+            gateway_port: 9000,
+            totem: TotemConfig::default(),
+            mech: MechConfig {
+                domain,
+                ..MechConfig::default()
+            },
+            routes: BTreeMap::new(),
+            cold_gateway_store: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for DomainSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainSpec")
+            .field("domain", &self.domain)
+            .field("processors", &self.processors)
+            .field("gateways", &self.gateways)
+            .finish()
+    }
+}
+
+/// A built domain: processor ids and addressing helpers.
+#[derive(Debug, Clone)]
+pub struct DomainHandle {
+    /// Domain id.
+    pub domain: u32,
+    /// All domain processors (daemons).
+    pub processors: Vec<ProcessorId>,
+    /// The subset running gateways, in IOR preference order.
+    pub gateway_processors: Vec<ProcessorId>,
+    /// The shared gateway group.
+    pub gateway_group: GroupId,
+    /// The LAN segment the domain lives on.
+    pub lan: LanId,
+    publisher: IorPublisher,
+}
+
+impl DomainHandle {
+    /// The gateway group id used for a domain id.
+    pub fn gateway_group_for(domain: u32) -> GroupId {
+        GroupId(0x4000_0000 | domain)
+    }
+
+    /// The address of the `idx`-th gateway.
+    pub fn gateway_addr(&self, idx: usize) -> NetAddr {
+        NetAddr::new(self.gateway_processors[idx], 9000)
+    }
+
+    /// Publishes the IOR for an object group — every profile points at a
+    /// gateway (§3.1 interception), all gateways stitched in (§3.5).
+    pub fn ior(&self, type_id: &str, group: GroupId) -> Ior {
+        self.publisher.publish(type_id, group)
+    }
+
+    /// Publishes an IOR whose profiles point at *this* domain's gateways
+    /// but whose object key names a group in a *different* domain: a
+    /// client using it enters here and is bridged across the wide-area
+    /// link to the target domain (Fig. 1).
+    pub fn ior_via(&self, type_id: &str, foreign_domain: u32, group: GroupId) -> Ior {
+        use ftd_giop::{IiopProfile, ObjectKey};
+        let key = ObjectKey::new(foreign_domain, group.0).to_bytes();
+        Ior::with_iiop_profiles(
+            type_id,
+            self.gateway_processors
+                .iter()
+                .map(|p| IiopProfile::new(format!("P{}", p.0), 9000, key.clone())),
+        )
+    }
+
+    /// Borrow the daemon on processor index `idx`.
+    pub fn daemon<'w>(&self, world: &'w World, idx: usize) -> &'w DomainDaemon {
+        world
+            .actor::<DomainDaemon>(self.processors[idx])
+            .expect("daemon alive")
+    }
+
+    /// Mutably borrow the daemon on processor index `idx`.
+    pub fn daemon_mut<'w>(&self, world: &'w mut World, idx: usize) -> &'w mut DomainDaemon {
+        world
+            .actor_mut::<DomainDaemon>(self.processors[idx])
+            .expect("daemon alive")
+    }
+
+    /// Driver shorthand: create an object group from daemon `idx`.
+    pub fn create_group(
+        &self,
+        world: &mut World,
+        idx: usize,
+        group: GroupId,
+        type_name: &str,
+        properties: FtProperties,
+    ) {
+        self.daemon_mut(world, idx)
+            .create_group(group, type_name, properties);
+    }
+
+    /// Driver shorthand: root invocation from daemon `idx`.
+    pub fn invoke_root(
+        &self,
+        world: &mut World,
+        idx: usize,
+        group: GroupId,
+        operation: &str,
+        args: &[u8],
+    ) -> u32 {
+        self.daemon_mut(world, idx).invoke_root(group, operation, args)
+    }
+
+    /// Driver shorthand: drain root replies at daemon `idx`.
+    pub fn take_root_replies(&self, world: &mut World, idx: usize) -> Vec<RootReply> {
+        self.daemon_mut(world, idx).mech_mut().take_root_replies()
+    }
+
+    /// `true` once every live daemon's ring is operational.
+    pub fn is_operational(&self, world: &World) -> bool {
+        self.processors.iter().all(|&p| {
+            world.is_crashed(p)
+                || world
+                    .actor::<DomainDaemon>(p)
+                    .is_some_and(|d| d.totem().is_operational())
+        })
+    }
+}
+
+/// Builds a fault tolerance domain on a fresh LAN segment of `world`,
+/// with identical object registries (produced by `registry`) on every
+/// daemon.
+pub fn build_domain(
+    world: &mut World,
+    spec: &DomainSpec,
+    registry: impl Fn() -> ObjectRegistry + Clone + 'static,
+) -> DomainHandle {
+    let lan = world.add_lan(Default::default());
+    build_domain_on(world, lan, spec, registry)
+}
+
+/// Builds a fault tolerance domain on an existing LAN segment.
+pub fn build_domain_on(
+    world: &mut World,
+    lan: LanId,
+    spec: &DomainSpec,
+    registry: impl Fn() -> ObjectRegistry + Clone + 'static,
+) -> DomainHandle {
+    let gateway_group = DomainHandle::gateway_group_for(spec.domain);
+    let mut processors = Vec::new();
+    let mut gateway_processors = Vec::new();
+
+    for i in 0..spec.processors {
+        let is_gateway = i < spec.gateways;
+        let spec_cl = spec.clone();
+        let registry_cl = registry.clone();
+        let name = if is_gateway {
+            format!("d{}gw{}", spec.domain, i)
+        } else {
+            format!("d{}p{}", spec.domain, i)
+        };
+        let p = world.add_processor(&name, lan, move |me| {
+            let ext = if is_gateway {
+                let mut gw_config = GatewayConfig::new(
+                    spec_cl.domain,
+                    DomainHandle::gateway_group_for(spec_cl.domain),
+                    spec_cl.gateway_port,
+                    i,
+                );
+                gw_config.routes = spec_cl.routes.clone();
+                if i == 0 {
+                    gw_config.stable_counters = spec_cl.cold_gateway_store.clone();
+                }
+                Some(Gateway::new(gw_config))
+            } else {
+                None
+            };
+            Box::new(EternalDaemon::with_extension(
+                me,
+                spec_cl.totem,
+                spec_cl.mech,
+                registry_cl(),
+                ext,
+            ))
+        });
+        processors.push(p);
+        if is_gateway {
+            gateway_processors.push(p);
+        }
+    }
+
+    let publisher = IorPublisher::new(
+        spec.domain,
+        gateway_processors
+            .iter()
+            .map(|p| GatewayEndpoint {
+                host: format!("P{}", p.0),
+                port: spec.gateway_port,
+            })
+            .collect(),
+    );
+
+    DomainHandle {
+        domain: spec.domain,
+        processors,
+        gateway_processors,
+        gateway_group,
+        lan,
+        publisher,
+    }
+}
+
+/// Computes the route tables that let each listed domain's gateways reach
+/// the others (Fig. 1 bridging). Call before building: it fills each
+/// spec's `routes` from the processor ids the domains *will* receive when
+/// built in order, which requires knowing the starting processor id —
+/// pass the number of processors already added to the world.
+pub fn connect_domains(specs: &mut [DomainSpec], already_added: u32) {
+    // Predict gateway processor ids from build order.
+    let mut next = already_added;
+    let mut gw_addr: BTreeMap<u32, NetAddr> = BTreeMap::new();
+    for spec in specs.iter() {
+        gw_addr.insert(
+            spec.domain,
+            NetAddr::new(ProcessorId(next), spec.gateway_port),
+        );
+        next += spec.processors;
+    }
+    for spec in specs.iter_mut() {
+        for (&d, &addr) in &gw_addr {
+            if d != spec.domain {
+                spec.routes.insert(d, addr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_validation() {
+        let spec = DomainSpec::new(1, 4, 2);
+        assert_eq!(spec.processors, 4);
+        assert_eq!(spec.mech.domain, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gateway")]
+    fn zero_gateways_rejected() {
+        let _ = DomainSpec::new(1, 4, 0);
+    }
+
+    #[test]
+    fn connect_domains_builds_cross_routes() {
+        let mut specs = vec![DomainSpec::new(1, 3, 1), DomainSpec::new(2, 4, 2)];
+        connect_domains(&mut specs, 0);
+        // Domain 1's gateways route to domain 2's first gateway (P3) and
+        // vice versa (P0).
+        assert_eq!(
+            specs[0].routes.get(&2),
+            Some(&NetAddr::new(ProcessorId(3), 9000))
+        );
+        assert_eq!(
+            specs[1].routes.get(&1),
+            Some(&NetAddr::new(ProcessorId(0), 9000))
+        );
+    }
+
+    #[test]
+    fn gateway_groups_are_per_domain() {
+        assert_ne!(
+            DomainHandle::gateway_group_for(1),
+            DomainHandle::gateway_group_for(2)
+        );
+    }
+}

@@ -1,0 +1,802 @@
+//! The gateway: the "entry point" into a fault tolerance domain (§3).
+//!
+//! One side speaks IIOP over TCP to unreplicated clients (and to peer
+//! gateways of other domains); the other side speaks the domain's reliable
+//! totally ordered multicast. Per Figs. 3–5 the gateway:
+//!
+//! * listens on a dedicated {gateway host, gateway port}; "for each new
+//!   client that contacts the gateway, the gateway spawns a new TCP/IP
+//!   socket to communicate solely with that client";
+//! * parses each IIOP request, extracts the server's object key to
+//!   identify the target server group, assigns the *TCP client id* (a
+//!   per-server-group counter, §3.2 — or the client-supplied id from the
+//!   service context for §3.5 enhanced clients), wraps the IIOP bytes in
+//!   the Fig. 4 header and multicasts them into the domain;
+//! * detects and suppresses duplicate responses from the server replicas,
+//!   forwarding exactly one IIOP reply to the right client socket
+//!   (Fig. 5b), with majority voting for active-with-voting groups;
+//! * coordinates with redundant peer gateways through the shared *gateway
+//!   group* (§3.5): every gateway records forwarded requests, receives
+//!   every response (the invocation names the gateway group as its
+//!   source), caches replies for failover reissues, and garbage-collects
+//!   per-client state on client-gone notifications;
+//! * forwards requests whose object key names a *different* fault
+//!   tolerance domain to that domain's gateway over TCP (the Fig. 1
+//!   wide-area bridging), acting toward the peer exactly like an enhanced
+//!   client.
+//!
+//! The gateway "is not a CORBA object, but constitutes part of the
+//! mechanisms provided by the fault tolerance infrastructure": here it is
+//! a [`DaemonExtension`] mounted on selected domain processors.
+
+use crate::gwmsg::GwMsg;
+use ftd_eternal::{
+    DaemonExtension, DomainMsg, FtHeader, Mechanisms, OperationId, OperationKind, ResponseFilter,
+    Voter,
+};
+use ftd_giop::{
+    ByteOrder, GiopMessage, MessageReader, ObjectKey, Reply, ServiceContext,
+    FT_CLIENT_ID_SERVICE_CONTEXT,
+};
+use ftd_sim::{ConnId, Context, NetAddr, TcpEvent};
+use ftd_totem::{GroupId, GroupMessage, MembershipView, TotemNode};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::rc::Rc;
+
+/// Persistent per-server-group client-id counters — the piece of gateway
+/// state a *cold passive* gateway checkpoints to stable storage so that a
+/// recovered incarnation never reuses client identifiers (§3.4). Share one
+/// instance between the factory closures of successive incarnations.
+pub type StableCounters = Rc<RefCell<BTreeMap<u32, u32>>>;
+
+/// Gateway configuration.
+#[derive(Clone)]
+pub struct GatewayConfig {
+    /// This fault tolerance domain's id (object keys are checked against it).
+    pub domain: u32,
+    /// The gateway group shared by all redundant gateways of this domain.
+    pub group: GroupId,
+    /// TCP port the gateway listens on.
+    pub port: u16,
+    /// Index of this gateway among its domain's gateways; namespaces the
+    /// counter-assigned client ids so redundant gateways never collide by
+    /// accident (they still cannot *recognize* each other's clients —
+    /// exactly the §3.4 limitation).
+    pub index: u32,
+    /// Routes to peer domains: domain id → that domain's gateway address.
+    pub routes: BTreeMap<u32, NetAddr>,
+    /// Client id presented to peer domains when bridging.
+    pub bridge_client_id: u32,
+    /// Response-cache capacity (ops retained for failover reissues).
+    pub cache_capacity: usize,
+    /// Cold-passive gateway state: counters persisted across crashes.
+    pub stable_counters: Option<StableCounters>,
+}
+
+impl GatewayConfig {
+    /// A single-domain configuration with sensible defaults.
+    pub fn new(domain: u32, group: GroupId, port: u16, index: u32) -> Self {
+        GatewayConfig {
+            domain,
+            group,
+            port,
+            index,
+            routes: BTreeMap::new(),
+            bridge_client_id: 0x6000_0000 | (domain << 8) | index,
+            cache_capacity: 4096,
+            stable_counters: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for GatewayConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayConfig")
+            .field("domain", &self.domain)
+            .field("group", &self.group)
+            .field("port", &self.port)
+            .field("index", &self.index)
+            .finish()
+    }
+}
+
+#[derive(Debug)]
+struct ClientConn {
+    reader: MessageReader,
+    /// Assigned on the first request (§3.2) or taken from the service
+    /// context (§3.5).
+    client_key: Option<u32>,
+    /// Whether the peer announced itself graceful (CloseConnection seen).
+    graceful_close: bool,
+}
+
+#[derive(Debug)]
+struct BridgeLink {
+    conn: Option<ConnId>,
+    addr: NetAddr,
+    reader: MessageReader,
+    /// Requests sent and not yet answered: forward id → origin.
+    pending: BTreeMap<u32, BridgeOrigin>,
+    /// Requests queued while (re)connecting.
+    queue: VecDeque<Vec<u8>>,
+}
+
+#[derive(Debug, Clone)]
+struct BridgeOrigin {
+    client_key: u32,
+    request_id: u32,
+    server: GroupId,
+}
+
+/// The gateway extension. See the module docs.
+#[derive(Debug)]
+pub struct Gateway {
+    config: GatewayConfig,
+    conns: BTreeMap<ConnId, ClientConn>,
+    /// (server group, client id) → the socket currently serving that
+    /// client (§3.2: destination group + client id collectively).
+    client_conns: BTreeMap<(GroupId, u32), ConnId>,
+    /// §3.2 per-server-group counters (volatile unless `stable_counters`).
+    counters: BTreeMap<u32, u32>,
+    filter: ResponseFilter,
+    voter: Voter,
+    /// Response cache for failover reissues: operation → reply IIOP bytes.
+    cache: BTreeMap<OperationId, Vec<u8>>,
+    cache_order: VecDeque<OperationId>,
+    /// Live bridge links to peer domains.
+    bridges: BTreeMap<u32, BridgeLink>,
+    next_forward_id: u32,
+    membership: Vec<ftd_sim::ProcessorId>,
+}
+
+impl Gateway {
+    /// Creates a gateway with the given configuration.
+    pub fn new(config: GatewayConfig) -> Self {
+        let counters = config
+            .stable_counters
+            .as_ref()
+            .map(|s| s.borrow().clone())
+            .unwrap_or_default();
+        Gateway {
+            config,
+            conns: BTreeMap::new(),
+            client_conns: BTreeMap::new(),
+            counters,
+            filter: ResponseFilter::new(4096),
+            voter: Voter::new(),
+            cache: BTreeMap::new(),
+            cache_order: VecDeque::new(),
+            bridges: BTreeMap::new(),
+            next_forward_id: 0,
+            membership: Vec::new(),
+        }
+    }
+
+    /// The gateway group id.
+    pub fn group(&self) -> GroupId {
+        self.config.group
+    }
+
+    /// Number of currently connected clients.
+    pub fn connected_clients(&self) -> usize {
+        self.client_conns.len()
+    }
+
+    /// Duplicate responses suppressed so far (Fig. 3's headline number).
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.filter.suppressed()
+    }
+
+    /// Responses currently cached for failover reissues.
+    pub fn cached_responses(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The §3.2 counter value for a server group (0 if untouched) —
+    /// observable so experiments can verify cold-gateway persistence.
+    pub fn counter_for(&self, server: GroupId) -> u32 {
+        self.counters.get(&server.0).copied().unwrap_or(0)
+    }
+
+    // ------------------------------------------------------------------
+    // Client id assignment (§3.2 / §3.5)
+    // ------------------------------------------------------------------
+
+    /// Assigns the next §3.2 client identifier for `server` (exposed for
+    /// tests and the experiment harness; the gateway calls it internally
+    /// on a connection's first request).
+    pub fn assign_client_key(&mut self, server: GroupId) -> u32 {
+        let counter = self.counters.entry(server.0).or_insert(0);
+        *counter += 1;
+        let key = (self.config.index << 24) | (*counter & 0x00FF_FFFF);
+        if let Some(stable) = &self.config.stable_counters {
+            stable.borrow_mut().insert(server.0, *counter);
+        }
+        key
+    }
+
+    fn cache_put(&mut self, op: OperationId, reply: Vec<u8>) {
+        if self.cache.insert(op, reply).is_none() {
+            self.cache_order.push_back(op);
+            if self.cache_order.len() > self.config.cache_capacity {
+                if let Some(old) = self.cache_order.pop_front() {
+                    self.cache.remove(&old);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inbound: IIOP from clients (Fig. 5a)
+    // ------------------------------------------------------------------
+
+    fn on_client_data(
+        &mut self,
+        ctx: &mut Context<'_>,
+        totem: &mut TotemNode,
+        conn: ConnId,
+        bytes: &[u8],
+    ) {
+        let Some(state) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        state.reader.push(bytes);
+        loop {
+            let msg = match self.conns.get_mut(&conn).expect("checked").reader.next() {
+                Ok(Some(m)) => m,
+                Ok(None) => break,
+                Err(_) => {
+                    ctx.stats().inc("gateway.protocol_errors");
+                    let _ = ctx.tcp_send(
+                        conn,
+                        GiopMessage::MessageError.encode(ByteOrder::Big),
+                    );
+                    let _ = ctx.tcp_close(conn);
+                    self.conns.remove(&conn);
+                    return;
+                }
+            };
+            match msg {
+                GiopMessage::Request(req) => {
+                    self.on_client_request(ctx, totem, conn, req);
+                }
+                GiopMessage::LocateRequest { request_id, .. } => {
+                    // The gateway *is* the object as far as clients know.
+                    let _ = ctx.tcp_send(
+                        conn,
+                        GiopMessage::LocateReply {
+                            request_id,
+                            locate_status: 1, // OBJECT_HERE
+                        }
+                        .encode(ByteOrder::Big),
+                    );
+                }
+                GiopMessage::CloseConnection => {
+                    if let Some(state) = self.conns.get_mut(&conn) {
+                        state.graceful_close = true;
+                    }
+                }
+                GiopMessage::CancelRequest { .. } => {
+                    ctx.stats().inc("gateway.cancels_ignored");
+                }
+                GiopMessage::Reply(_) | GiopMessage::LocateReply { .. } => {
+                    ctx.stats().inc("gateway.unexpected_messages");
+                }
+                GiopMessage::MessageError => {
+                    let _ = ctx.tcp_close(conn);
+                    self.conns.remove(&conn);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn on_client_request(
+        &mut self,
+        ctx: &mut Context<'_>,
+        totem: &mut TotemNode,
+        conn: ConnId,
+        req: ftd_giop::Request,
+    ) {
+        // §3.1: "by extracting the server's object key ... the gateway
+        // identifies the target server".
+        let Ok(key) = ObjectKey::parse(&req.object_key) else {
+            ctx.stats().inc("gateway.bad_object_keys");
+            let _ = ctx.tcp_send(
+                conn,
+                GiopMessage::Reply(ftd_giop::Reply::system_exception(
+                    req.request_id,
+                    "OBJECT_NOT_EXIST",
+                ))
+                .encode(ByteOrder::Big),
+            );
+            return;
+        };
+
+        if key.domain != self.config.domain {
+            self.bridge_forward(ctx, conn, key, req);
+            return;
+        }
+        let server = GroupId(key.group);
+
+        // Client identification: the enhanced client's service context if
+        // present (§3.5), else the per-server-group counter (§3.2).
+        let supplied = req
+            .service_context(FT_CLIENT_ID_SERVICE_CONTEXT)
+            .and_then(|sc| sc.context_data.get(0..4))
+            .map(|b| u32::from_be_bytes(b.try_into().expect("len 4")));
+        let client_key = match supplied {
+            Some(id) => {
+                ctx.stats().inc("gateway.enhanced_clients_seen");
+                id
+            }
+            None => {
+                let state = self.conns.get_mut(&conn).expect("known conn");
+                match state.client_key {
+                    Some(k) => k,
+                    None => {
+                        let k = self.assign_client_key(server);
+                        self.conns.get_mut(&conn).expect("known conn").client_key = Some(k);
+                        k
+                    }
+                }
+            }
+        };
+        if supplied.is_some() {
+            self.conns.get_mut(&conn).expect("known conn").client_key = Some(client_key);
+        }
+        self.client_conns.insert((server, client_key), conn);
+
+        let op = OperationId {
+            source: self.config.group,
+            target: server,
+            client: client_key,
+            parent_ts: 0,
+            child_seq: req.request_id,
+        };
+
+        // A reissue we already hold the answer to (failover to this
+        // gateway after a peer died): serve from cache, no re-execution.
+        if let Some(reply) = self.cache.get(&op) {
+            ctx.stats().inc("gateway.reissues_served_from_cache");
+            let _ = ctx.tcp_send(conn, reply.clone());
+            return;
+        }
+
+        // §3.5: record the invocation at every peer gateway first.
+        if self.live_gateway_peers(totem) > 1 {
+            totem.multicast(
+                self.config.group,
+                GwMsg::Record {
+                    client: client_key,
+                    request_id: req.request_id,
+                    server,
+                }
+                .encode(),
+            );
+        }
+
+        // Fig. 4b: FT header + the client's IIOP bytes, multicast to the
+        // server group. The timestamp field is filled at delivery.
+        let header = FtHeader {
+            client: client_key,
+            source: self.config.group,
+            target: server,
+            kind: OperationKind::Invocation,
+            parent_ts: 0,
+            child_seq: req.request_id,
+        };
+        let iiop = GiopMessage::Request(req).encode(ByteOrder::Big);
+        ctx.stats().inc("gateway.requests_forwarded");
+        totem.multicast(server, DomainMsg::Iiop { header, iiop }.encode());
+    }
+
+    fn live_gateway_peers(&self, totem: &TotemNode) -> usize {
+        let ring = totem.ring();
+        totem
+            .group_members(self.config.group)
+            .into_iter()
+            .filter(|p| ring.contains(p))
+            .count()
+    }
+
+    // ------------------------------------------------------------------
+    // Outbound: responses from the domain (Fig. 5b)
+    // ------------------------------------------------------------------
+
+    fn on_domain_response(
+        &mut self,
+        ctx: &mut Context<'_>,
+        mech: &Mechanisms,
+        header: &FtHeader,
+        iiop: Vec<u8>,
+    ) {
+        let op = header.operation_id();
+
+        // Voting for active-with-voting server groups, then first-wins.
+        let votes = mech
+            .directory()
+            .meta(header.source)
+            .map(|m| m.properties.style.votes())
+            .unwrap_or(false);
+        let accepted = if votes {
+            let size = mech
+                .directory()
+                .live_hosts(header.source, &self.membership)
+                .len()
+                .max(1);
+            match self.voter.vote(op, iiop, size) {
+                Some(winner) if self.filter.accept(op) => winner,
+                _ => return,
+            }
+        } else {
+            if !self.filter.accept(op) {
+                ctx.stats().inc("gateway.duplicate_responses_suppressed");
+                return;
+            }
+            iiop
+        };
+
+        self.cache_put(op, accepted.clone());
+
+        // Route to the client socket by (destination group, client id)
+        // (Fig. 5b; §3.2 "collectively").
+        if let Some(&conn) = self.client_conns.get(&(op.target, op.client)) {
+            if self.conns.contains_key(&conn) {
+                ctx.stats().inc("gateway.replies_delivered");
+                let _ = ctx.tcp_send(conn, accepted);
+                return;
+            }
+        }
+        // Not our client (a peer gateway is serving it) — cached only.
+        ctx.stats().inc("gateway.replies_cached_for_peer_clients");
+    }
+
+    // ------------------------------------------------------------------
+    // Bridging to peer domains (Fig. 1)
+    // ------------------------------------------------------------------
+
+    fn bridge_forward(
+        &mut self,
+        ctx: &mut Context<'_>,
+        conn: ConnId,
+        key: ObjectKey,
+        mut req: ftd_giop::Request,
+    ) {
+        let Some(&addr) = self.config.routes.get(&key.domain) else {
+            ctx.stats().inc("gateway.unroutable_domains");
+            let _ = ctx.tcp_send(
+                conn,
+                GiopMessage::Reply(ftd_giop::Reply::system_exception(
+                    req.request_id,
+                    "TRANSIENT: unknown fault tolerance domain",
+                ))
+                .encode(ByteOrder::Big),
+            );
+            return;
+        };
+
+        // Identify the originating client as usual so the reply can be
+        // routed back out.
+        let client_key = {
+            let state = self.conns.get_mut(&conn).expect("known conn");
+            match state.client_key {
+                Some(k) => k,
+                None => {
+                    let k = self.assign_client_key(GroupId(key.group));
+                    self.conns.get_mut(&conn).expect("known conn").client_key = Some(k);
+                    k
+                }
+            }
+        };
+        self.client_conns
+            .insert((GroupId(key.group), client_key), conn);
+
+        self.next_forward_id += 1;
+        let fwd_id = self.next_forward_id;
+        let origin = BridgeOrigin {
+            client_key,
+            request_id: req.request_id,
+            server: GroupId(key.group),
+        };
+
+        // Toward the peer we are an enhanced client: stable client id in
+        // the service context, our own request id.
+        req.request_id = fwd_id;
+        req.service_contexts.retain(|sc| sc.context_id != FT_CLIENT_ID_SERVICE_CONTEXT);
+        req.service_contexts.push(ServiceContext::new(
+            FT_CLIENT_ID_SERVICE_CONTEXT,
+            self.config.bridge_client_id.to_be_bytes().to_vec(),
+        ));
+        let wire = GiopMessage::Request(req).encode(ByteOrder::Big);
+
+        ctx.stats().inc("gateway.bridge_requests");
+        let link = self.bridges.entry(key.domain).or_insert_with(|| BridgeLink {
+            conn: None,
+            addr,
+            reader: MessageReader::new(),
+            pending: BTreeMap::new(),
+            queue: VecDeque::new(),
+        });
+        link.pending.insert(fwd_id, origin);
+        match link.conn {
+            Some(c) => {
+                let _ = ctx.tcp_send(c, wire);
+            }
+            None => {
+                link.queue.push_back(wire);
+                if let Ok(c) = ctx.tcp_connect(addr) {
+                    link.conn = Some(c);
+                }
+            }
+        }
+    }
+
+    fn bridge_domain_of_conn(&self, conn: ConnId) -> Option<u32> {
+        self.bridges
+            .iter()
+            .find(|(_, l)| l.conn == Some(conn))
+            .map(|(&d, _)| d)
+    }
+
+    fn on_bridge_data(&mut self, ctx: &mut Context<'_>, domain: u32, bytes: &[u8]) {
+        // Drain complete replies first (ends the borrow of the link), then
+        // route them.
+        let routed: Vec<(BridgeOrigin, Reply)> = {
+            let link = self.bridges.get_mut(&domain).expect("bridge exists");
+            link.reader.push(bytes);
+            let mut out = Vec::new();
+            while let Ok(Some(msg)) = link.reader.next() {
+                if let GiopMessage::Reply(reply) = msg {
+                    if let Some(origin) = link.pending.remove(&reply.request_id) {
+                        out.push((origin, reply));
+                    }
+                }
+            }
+            out
+        };
+        for (origin, mut reply) in routed {
+            reply.request_id = origin.request_id;
+            let wire = GiopMessage::Reply(reply).encode(ByteOrder::Big);
+            // Cache under the origin op so client reissues hit the cache.
+            let op = OperationId {
+                source: self.config.group,
+                target: origin.server,
+                client: origin.client_key,
+                parent_ts: 0,
+                child_seq: origin.request_id,
+            };
+            self.cache_put(op, wire.clone());
+            ctx.stats().inc("gateway.bridge_replies");
+            if let Some(&conn) = self.client_conns.get(&(origin.server, origin.client_key)) {
+                let _ = ctx.tcp_send(conn, wire);
+            }
+        }
+    }
+
+    fn on_bridge_broken(&mut self, ctx: &mut Context<'_>, domain: u32) {
+        // Reconnect and reissue everything pending; the peer domain's
+        // duplicate suppression (our client id is stable) makes this safe.
+        let link = self.bridges.get_mut(&domain).expect("bridge exists");
+        link.conn = None;
+        link.reader = MessageReader::new();
+        let pendings: Vec<u32> = link.pending.keys().copied().collect();
+        if pendings.is_empty() {
+            return;
+        }
+        ctx.stats().inc("gateway.bridge_reconnects");
+        if let Ok(c) = ctx.tcp_connect(link.addr) {
+            link.conn = Some(c);
+        }
+    }
+
+    // Note: reissue of pending bridge requests happens on Connected.
+    fn on_bridge_connected(&mut self, ctx: &mut Context<'_>, domain: u32) {
+        let link = self.bridges.get_mut(&domain).expect("bridge exists");
+        let Some(conn) = link.conn else { return };
+        for wire in link.queue.drain(..) {
+            let _ = ctx.tcp_send(conn, wire);
+        }
+        // Any pending without a queued copy was sent on the old conn; we
+        // cannot rebuild those bytes here, so enhanced-client semantics
+        // for bridge failover rely on the originating client reissuing.
+    }
+
+    // ------------------------------------------------------------------
+    // Client departure (§3.5 cleanup)
+    // ------------------------------------------------------------------
+
+    fn on_client_closed(&mut self, ctx: &mut Context<'_>, totem: &mut TotemNode, conn: ConnId) {
+        let Some(state) = self.conns.remove(&conn) else {
+            return;
+        };
+        if let Some(key) = state.client_key {
+            self.client_conns
+                .retain(|&(_, c), &mut k| !(c == key && k == conn));
+            if state.graceful_close {
+                // The client said goodbye: tell the peers to GC.
+                totem.multicast(self.config.group, GwMsg::ClientGone { client: key }.encode());
+                self.gc_client(key);
+            }
+        }
+        ctx.stats().inc("gateway.client_disconnects");
+    }
+
+    fn gc_client(&mut self, client: u32) {
+        self.client_conns.retain(|&(_, c), _| c != client);
+        let dead: Vec<OperationId> = self
+            .cache
+            .keys()
+            .filter(|op| op.client == client)
+            .copied()
+            .collect();
+        for op in dead {
+            self.cache.remove(&op);
+        }
+        self.cache_order.retain(|op| op.client != client);
+    }
+}
+
+impl DaemonExtension for Gateway {
+    fn on_start(&mut self, ctx: &mut Context<'_>, totem: &mut TotemNode, _mech: &mut Mechanisms) {
+        ctx.tcp_listen(self.config.port)
+            .expect("gateway port is dedicated (§3.1)");
+        totem.join_group(self.config.group);
+    }
+
+    fn on_deliver(
+        &mut self,
+        ctx: &mut Context<'_>,
+        totem: &mut TotemNode,
+        mech: &mut Mechanisms,
+        msg: &GroupMessage,
+    ) {
+        if msg.group != self.config.group {
+            return;
+        }
+        if let Ok(gw) = GwMsg::decode(&msg.payload) {
+            match gw {
+                GwMsg::Record { .. } => {
+                    ctx.stats().inc("gateway.records_seen");
+                }
+                GwMsg::ClientGone { client } => {
+                    ctx.stats().inc("gateway.clients_gced");
+                    self.gc_client(client);
+                }
+            }
+            return;
+        }
+        if let Ok(DomainMsg::Iiop { header, iiop }) = DomainMsg::decode(&msg.payload) {
+            if header.kind == OperationKind::Response {
+                self.on_domain_response(ctx, mech, &header, iiop);
+            }
+        }
+        let _ = totem;
+    }
+
+    fn on_membership(
+        &mut self,
+        _ctx: &mut Context<'_>,
+        _totem: &mut TotemNode,
+        _mech: &mut Mechanisms,
+        view: &MembershipView,
+    ) {
+        self.membership = view.members.clone();
+    }
+
+    fn on_tcp(
+        &mut self,
+        ctx: &mut Context<'_>,
+        totem: &mut TotemNode,
+        _mech: &mut Mechanisms,
+        ev: TcpEvent,
+    ) {
+        match ev {
+            TcpEvent::Accepted { conn, .. } => {
+                ctx.stats().inc("gateway.clients_accepted");
+                self.conns.insert(
+                    conn,
+                    ClientConn {
+                        reader: MessageReader::new(),
+                        client_key: None,
+                        graceful_close: false,
+                    },
+                );
+            }
+            TcpEvent::Data { conn, bytes } => {
+                if self.conns.contains_key(&conn) {
+                    self.on_client_data(ctx, totem, conn, &bytes);
+                } else if let Some(domain) = self.bridge_domain_of_conn(conn) {
+                    self.on_bridge_data(ctx, domain, &bytes);
+                }
+            }
+            TcpEvent::Closed { conn } => {
+                if self.conns.contains_key(&conn) {
+                    self.on_client_closed(ctx, totem, conn);
+                } else if let Some(domain) = self.bridge_domain_of_conn(conn) {
+                    self.on_bridge_broken(ctx, domain);
+                }
+            }
+            TcpEvent::Connected { conn } => {
+                if let Some(domain) = self.bridge_domain_of_conn(conn) {
+                    self.on_bridge_connected(ctx, domain);
+                }
+            }
+            TcpEvent::ConnectFailed { conn, .. } => {
+                if let Some(domain) = self.bridge_domain_of_conn(conn) {
+                    self.on_bridge_broken(ctx, domain);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_keys_are_namespaced_per_gateway_and_counted_per_group() {
+        let mut gw = Gateway::new(GatewayConfig::new(0, GroupId(100), 9000, 2));
+        let a1 = gw.assign_client_key(GroupId(1));
+        let a2 = gw.assign_client_key(GroupId(1));
+        let b1 = gw.assign_client_key(GroupId(2));
+        assert_eq!(a1, (2 << 24) | 1);
+        assert_eq!(a2, (2 << 24) | 2);
+        assert_eq!(b1, (2 << 24) | 1); // separate counter per server group
+    }
+
+    #[test]
+    fn stable_counters_survive_reincarnation() {
+        let store: StableCounters = Rc::new(RefCell::new(BTreeMap::new()));
+        let mut config = GatewayConfig::new(0, GroupId(100), 9000, 0);
+        config.stable_counters = Some(store.clone());
+        let mut gw1 = Gateway::new(config.clone());
+        gw1.assign_client_key(GroupId(1));
+        gw1.assign_client_key(GroupId(1));
+        drop(gw1); // crash
+        let mut gw2 = Gateway::new(config);
+        // The recovered incarnation continues counting, never reuses ids.
+        assert_eq!(gw2.assign_client_key(GroupId(1)), 3);
+    }
+
+    #[test]
+    fn cache_is_bounded() {
+        let mut config = GatewayConfig::new(0, GroupId(100), 9000, 0);
+        config.cache_capacity = 2;
+        let mut gw = Gateway::new(config);
+        for i in 0..5u32 {
+            gw.cache_put(
+                OperationId {
+                    source: GroupId(100),
+                    target: GroupId(1),
+                    client: 1,
+                    parent_ts: 0,
+                    child_seq: i,
+                },
+                vec![i as u8],
+            );
+        }
+        assert_eq!(gw.cached_responses(), 2);
+    }
+
+    #[test]
+    fn gc_client_removes_cached_state() {
+        let mut gw = Gateway::new(GatewayConfig::new(0, GroupId(100), 9000, 0));
+        for client in [1u32, 2] {
+            gw.cache_put(
+                OperationId {
+                    source: GroupId(100),
+                    target: GroupId(1),
+                    client,
+                    parent_ts: 0,
+                    child_seq: 1,
+                },
+                vec![client as u8],
+            );
+        }
+        gw.gc_client(1);
+        assert_eq!(gw.cached_responses(), 1);
+    }
+}

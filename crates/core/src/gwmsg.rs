@@ -1,0 +1,147 @@
+//! Gateway-group coordination messages (§3.5).
+//!
+//! These ride the same totally ordered multicast as everything else, on
+//! the gateway group, using payload kinds disjoint from
+//! [`ftd_eternal::DomainMsg`] (which starts at 1; gateways use 64+), so
+//! daemons ignore them and gateways ignore domain control traffic.
+
+use ftd_totem::GroupId;
+use std::error::Error;
+use std::fmt;
+
+/// Payload kind for [`GwMsg::Record`].
+pub const KIND_RECORD: u8 = 64;
+/// Payload kind for [`GwMsg::ClientGone`].
+pub const KIND_CLIENT_GONE: u8 = 65;
+
+/// Errors decoding gateway coordination messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GwMsgError {
+    /// Not a gateway coordination payload (likely a domain message).
+    NotGateway,
+    /// The payload ended early.
+    Truncated,
+}
+
+impl fmt::Display for GwMsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GwMsgError::NotGateway => write!(f, "not a gateway coordination message"),
+            GwMsgError::Truncated => write!(f, "truncated gateway coordination message"),
+        }
+    }
+}
+
+impl Error for GwMsgError {}
+
+/// Coordination messages multicast within the gateway group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GwMsg {
+    /// "For each IIOP request message that a gateway receives from a
+    /// client, the gateway first multicasts the message to the group of
+    /// gateways ... so that every gateway in the group has a record of the
+    /// invocation in case the first connected gateway fails."
+    Record {
+        /// The client's identifier (gateway-assigned or client-supplied).
+        client: u32,
+        /// The client's IIOP request id.
+        request_id: u32,
+        /// The server group the request targets.
+        server: GroupId,
+    },
+    /// "Each gateway also contains the intelligence to inform all of the
+    /// other gateways in the event that the client fails. In this case,
+    /// the gateways can delete any state that they may have stored on
+    /// behalf of the client."
+    ClientGone {
+        /// The departed client's identifier.
+        client: u32,
+    },
+}
+
+impl GwMsg {
+    /// Encodes for multicast on the gateway group.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            GwMsg::Record {
+                client,
+                request_id,
+                server,
+            } => {
+                let mut v = vec![KIND_RECORD];
+                v.extend(client.to_be_bytes());
+                v.extend(request_id.to_be_bytes());
+                v.extend(server.0.to_be_bytes());
+                v
+            }
+            GwMsg::ClientGone { client } => {
+                let mut v = vec![KIND_CLIENT_GONE];
+                v.extend(client.to_be_bytes());
+                v
+            }
+        }
+    }
+
+    /// Decodes a gateway-group payload.
+    ///
+    /// # Errors
+    ///
+    /// [`GwMsgError::NotGateway`] for other payload kinds (so callers can
+    /// fall through to [`ftd_eternal::DomainMsg`]); [`GwMsgError::Truncated`]
+    /// for short payloads.
+    pub fn decode(bytes: &[u8]) -> Result<GwMsg, GwMsgError> {
+        let u32_at = |i: usize| -> Result<u32, GwMsgError> {
+            bytes
+                .get(i..i + 4)
+                .map(|b| u32::from_be_bytes(b.try_into().expect("len 4")))
+                .ok_or(GwMsgError::Truncated)
+        };
+        match bytes.first() {
+            Some(&KIND_RECORD) => Ok(GwMsg::Record {
+                client: u32_at(1)?,
+                request_id: u32_at(5)?,
+                server: GroupId(u32_at(9)?),
+            }),
+            Some(&KIND_CLIENT_GONE) => Ok(GwMsg::ClientGone { client: u32_at(1)? }),
+            _ => Err(GwMsgError::NotGateway),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trip() {
+        let m = GwMsg::Record {
+            client: 7,
+            request_id: 9,
+            server: GroupId(3),
+        };
+        assert_eq!(GwMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn client_gone_round_trip() {
+        let m = GwMsg::ClientGone { client: 12 };
+        assert_eq!(GwMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn domain_payloads_fall_through() {
+        assert_eq!(GwMsg::decode(&[1, 2, 3]), Err(GwMsgError::NotGateway));
+        assert_eq!(GwMsg::decode(&[]), Err(GwMsgError::NotGateway));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let m = GwMsg::Record {
+            client: 7,
+            request_id: 9,
+            server: GroupId(3),
+        }
+        .encode();
+        assert_eq!(GwMsg::decode(&m[..6]), Err(GwMsgError::Truncated));
+    }
+}

@@ -1,0 +1,201 @@
+//! Fig. 1: gateways bridging fault tolerance domains across wide-area
+//! links. A customer's unreplicated client enters one domain's gateway and
+//! transparently reaches replicated objects in another domain.
+
+use ftd_core::*;
+use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
+use ftd_sim::*;
+use ftd_totem::GroupId;
+
+const NY_SERVER: GroupId = GroupId(20);
+const LA_SERVER: GroupId = GroupId(30);
+
+fn registry() -> ObjectRegistry {
+    let mut reg = ObjectRegistry::new();
+    reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+    reg
+}
+
+/// Builds the Fig. 1 topology: a New York domain and a Los Angeles domain
+/// (each its own LAN + Totem ring + gateway), plus a wide-area domain that
+/// routes to both. Returns (world, wide, ny, la).
+fn fig1(seed: u64) -> (World, DomainHandle, DomainHandle, DomainHandle) {
+    let mut world = World::new(seed);
+    let mut specs = vec![
+        DomainSpec::new(1, 3, 1), // wide-area domain
+        DomainSpec::new(2, 4, 1), // New York
+        DomainSpec::new(3, 4, 1), // Los Angeles
+    ];
+    connect_domains(&mut specs, 0);
+    let wide = build_domain(&mut world, &specs[0], registry);
+    let ny = build_domain(&mut world, &specs[1], registry);
+    let la = build_domain(&mut world, &specs[2], registry);
+    world.run_for(SimDuration::from_millis(30));
+    for (name, d) in [("wide", &wide), ("ny", &ny), ("la", &la)] {
+        assert!(d.is_operational(&world), "{name} ring must form");
+    }
+    ny.create_group(
+        &mut world,
+        1,
+        NY_SERVER,
+        "Counter",
+        FtProperties::new(ReplicationStyle::Active).with_initial(3),
+    );
+    la.create_group(
+        &mut world,
+        1,
+        LA_SERVER,
+        "Counter",
+        FtProperties::new(ReplicationStyle::Active).with_initial(3),
+    );
+    world.run_for(SimDuration::from_millis(15));
+    (world, wide, ny, la)
+}
+
+fn counter_values(world: &World, handle: &DomainHandle, group: GroupId) -> Vec<u64> {
+    handle
+        .processors
+        .iter()
+        .filter(|&&p| !world.is_crashed(p))
+        .filter_map(|&p| {
+            world
+                .actor::<DomainDaemon>(p)
+                .and_then(|d| d.mech().replica_state(group))
+        })
+        .map(|s| u64::from_be_bytes(s.try_into().expect("counter")))
+        .collect()
+}
+
+#[test]
+fn customer_reaches_remote_domain_through_chained_gateways() {
+    let (mut world, wide, ny, _la) = fig1(1);
+    // The customer in Santa Barbara holds an IOR naming the WIDE-AREA
+    // gateway, but the object key says "New York, group 20".
+    let ior = wide.ior_via("IDL:Stock/Desk:1.0", 2, NY_SERVER);
+    let customer = world.add_processor("customer", wide.lan, move |_| {
+        Box::new(PlainClient::new(&ior, false))
+    });
+    world
+        .actor_mut::<PlainClient>(customer)
+        .unwrap()
+        .enqueue("add", &11u64.to_be_bytes());
+    world.post(customer, TAG_FLUSH);
+    world.run_for(SimDuration::from_millis(120)); // WAN latency applies
+
+    let c = world.actor::<PlainClient>(customer).unwrap();
+    assert_eq!(c.replies.len(), 1, "cross-domain reply must arrive");
+    assert_eq!(c.replies[0].body, 11u64.to_be_bytes());
+    // The NY replicas all executed exactly once.
+    let values = counter_values(&world, &ny, NY_SERVER);
+    assert_eq!(values, vec![11, 11, 11]);
+    assert!(world.stats().counter("gateway.bridge_requests") >= 1);
+    assert!(world.stats().counter("gateway.bridge_replies") >= 1);
+}
+
+#[test]
+fn customer_can_reach_both_remote_domains() {
+    let (mut world, wide, ny, la) = fig1(2);
+    let ior_ny = wide.ior_via("IDL:Stock/NY:1.0", 2, NY_SERVER);
+    let ior_la = wide.ior_via("IDL:Stock/LA:1.0", 3, LA_SERVER);
+    let c_ny = world.add_processor("c_ny", wide.lan, move |_| {
+        Box::new(PlainClient::new(&ior_ny, false))
+    });
+    let c_la = world.add_processor("c_la", wide.lan, move |_| {
+        Box::new(PlainClient::new(&ior_la, false))
+    });
+    for (c, v) in [(c_ny, 5u64), (c_la, 9u64)] {
+        world
+            .actor_mut::<PlainClient>(c)
+            .unwrap()
+            .enqueue("add", &v.to_be_bytes());
+        world.post(c, TAG_FLUSH);
+    }
+    world.run_for(SimDuration::from_millis(150));
+    assert_eq!(world.actor::<PlainClient>(c_ny).unwrap().replies.len(), 1);
+    assert_eq!(world.actor::<PlainClient>(c_la).unwrap().replies.len(), 1);
+    assert_eq!(counter_values(&world, &ny, NY_SERVER), vec![5, 5, 5]);
+    assert_eq!(counter_values(&world, &la, LA_SERVER), vec![9, 9, 9]);
+}
+
+#[test]
+fn remote_server_replica_crash_is_invisible_to_the_customer() {
+    let (mut world, wide, ny, _la) = fig1(3);
+    let ior = wide.ior_via("IDL:Stock/Desk:1.0", 2, NY_SERVER);
+    let customer = world.add_processor("customer", wide.lan, move |_| {
+        Box::new(PlainClient::new(&ior, false))
+    });
+    world
+        .actor_mut::<PlainClient>(customer)
+        .unwrap()
+        .enqueue("add", &1u64.to_be_bytes());
+    world.post(customer, TAG_FLUSH);
+    world.run_for(SimDuration::from_millis(120));
+
+    // Crash one NY replica host (not the gateway).
+    let victim = ny
+        .processors
+        .iter()
+        .copied()
+        .find(|&p| {
+            p != ny.gateway_processors[0]
+                && world
+                    .actor::<DomainDaemon>(p)
+                    .is_some_and(|d| d.mech().is_host(NY_SERVER))
+        })
+        .expect("a replica host off the gateway");
+    world.crash(victim);
+    world.run_for(SimDuration::from_millis(60));
+
+    world
+        .actor_mut::<PlainClient>(customer)
+        .unwrap()
+        .enqueue("add", &2u64.to_be_bytes());
+    world.post(customer, TAG_FLUSH);
+    world.run_for(SimDuration::from_millis(120));
+
+    let c = world.actor::<PlainClient>(customer).unwrap();
+    assert_eq!(c.replies.len(), 2, "replica failure must stay invisible");
+    assert_eq!(c.replies[1].body, 3u64.to_be_bytes());
+}
+
+#[test]
+fn unroutable_domain_yields_system_exception_not_hang() {
+    let (mut world, wide, _ny, _la) = fig1(4);
+    let ior = wide.ior_via("IDL:Nowhere:1.0", 99, GroupId(1));
+    let customer = world.add_processor("lost", wide.lan, move |_| {
+        Box::new(PlainClient::new(&ior, false))
+    });
+    world
+        .actor_mut::<PlainClient>(customer)
+        .unwrap()
+        .enqueue("get", &[]);
+    world.post(customer, TAG_FLUSH);
+    world.run_for(SimDuration::from_millis(60));
+    assert_eq!(world.stats().counter("gateway.unroutable_domains"), 1);
+    // The reply is a SYSTEM_EXCEPTION; our client records nothing in
+    // `replies` only if we filtered — PlainClient records all replies.
+    let c = world.actor::<PlainClient>(customer).unwrap();
+    assert_eq!(c.replies.len(), 1);
+}
+
+#[test]
+fn multi_domain_runs_are_reproducible() {
+    let run = |seed: u64| -> (Vec<u64>, u64) {
+        let (mut world, wide, ny, _la) = fig1(seed);
+        let ior = wide.ior_via("IDL:X:1.0", 2, NY_SERVER);
+        let customer = world.add_processor("customer", wide.lan, move |_| {
+            Box::new(PlainClient::new(&ior, false))
+        });
+        world
+            .actor_mut::<PlainClient>(customer)
+            .unwrap()
+            .enqueue("add", &3u64.to_be_bytes());
+        world.post(customer, TAG_FLUSH);
+        world.run_for(SimDuration::from_millis(120));
+        (
+            counter_values(&world, &ny, NY_SERVER),
+            world.events_dispatched(),
+        )
+    };
+    assert_eq!(run(7), run(7));
+}

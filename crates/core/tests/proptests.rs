@@ -1,0 +1,83 @@
+//! Property-based tests on the gateway-layer data structures: the
+//! coordination wire format, client-identifier assignment, and the IOR
+//! publication path.
+
+use ftd_core::{Gateway, GatewayConfig, GwMsg};
+use ftd_eternal::{GatewayEndpoint, IorPublisher};
+use ftd_giop::ObjectKey;
+use ftd_totem::GroupId;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn gwmsg_round_trips(
+        client in any::<u32>(),
+        request_id in any::<u32>(),
+        server in any::<u32>(),
+    ) {
+        let record = GwMsg::Record {
+            client,
+            request_id,
+            server: GroupId(server),
+        };
+        prop_assert_eq!(GwMsg::decode(&record.encode()).unwrap(), record);
+        let gone = GwMsg::ClientGone { client };
+        prop_assert_eq!(GwMsg::decode(&gone.encode()).unwrap(), gone);
+    }
+
+    #[test]
+    fn gwmsg_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = GwMsg::decode(&bytes);
+    }
+
+    #[test]
+    fn client_keys_unique_within_and_across_gateways(
+        groups in proptest::collection::vec(1u32..50, 1..20),
+        gw_a in 0u32..16,
+        gw_b in 0u32..16,
+    ) {
+        prop_assume!(gw_a != gw_b);
+        // §3.2 counters are PER DESTINATION GROUP: within one gateway and
+        // one group, keys never repeat. (Across groups the counter values
+        // coincide by design — the full routing key includes the group.)
+        let mut a = Gateway::new(GatewayConfig::new(1, GroupId(100), 9000, gw_a));
+        let mut b = Gateway::new(GatewayConfig::new(1, GroupId(100), 9000, gw_b));
+        let mut seen = std::collections::BTreeSet::new();
+        for &g in &groups {
+            let key = a.assign_client_key(GroupId(g));
+            prop_assert!(seen.insert((g, key)), "repeat within (gateway, group)");
+        }
+        let key_a = a.assign_client_key(GroupId(1));
+        let key_b = b.assign_client_key(GroupId(1));
+        prop_assert_ne!(key_a >> 24, key_b >> 24, "index namespacing");
+    }
+
+    #[test]
+    fn published_iors_always_point_at_gateways(
+        domain in any::<u32>(),
+        group in any::<u32>(),
+        n_gateways in 1usize..6,
+    ) {
+        let publisher = IorPublisher::new(
+            domain,
+            (0..n_gateways)
+                .map(|i| GatewayEndpoint {
+                    host: format!("P{i}"),
+                    port: 9000,
+                })
+                .collect(),
+        );
+        let ior = publisher.publish("IDL:X:1.0", GroupId(group));
+        let profiles = ior.iiop_profiles().unwrap();
+        prop_assert_eq!(profiles.len(), n_gateways);
+        for (i, p) in profiles.iter().enumerate() {
+            prop_assert_eq!(&p.host, &format!("P{i}"));
+            let key = ObjectKey::parse(&p.object_key).unwrap();
+            prop_assert_eq!(key.domain, domain);
+            prop_assert_eq!(key.group, group);
+        }
+        // And it survives stringification.
+        let back = ftd_giop::Ior::from_stringified(&ior.to_stringified()).unwrap();
+        prop_assert_eq!(back, ior);
+    }
+}

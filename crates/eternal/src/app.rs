@@ -1,0 +1,207 @@
+//! The application object model: what a replicated CORBA servant looks
+//! like to the infrastructure.
+//!
+//! Objects are written in a continuation style so that *nested
+//! invocations* (an object invoking another object group while processing
+//! an invocation — the scenario of the paper's §3 primary-failure argument
+//! and Fig. 6) can suspend and resume deterministically inside the
+//! message-driven replication mechanisms.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The result of (a step of) processing an invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The operation is complete; reply with these bytes.
+    Reply(Vec<u8>),
+    /// The object needs to invoke another object group before it can
+    /// reply. The infrastructure performs the nested invocation and calls
+    /// [`AppObject::resume`] with `cont` when the nested response arrives.
+    Call {
+        /// Target object group (by group id).
+        target: u32,
+        /// Operation name for the nested invocation.
+        operation: String,
+        /// Marshalled arguments.
+        args: Vec<u8>,
+        /// Continuation token handed back to [`AppObject::resume`].
+        cont: u32,
+    },
+}
+
+/// A replicated application object (servant).
+///
+/// Implementations MUST be deterministic functions of their invocation
+/// history: replicas execute the same totally ordered invocations and must
+/// reach byte-identical [`AppObject::state`]. The `entropy` argument is the
+/// only sanctioned source of nondeterminism: under enforced determinism the
+/// infrastructure passes a value derived from the operation identifier
+/// (identical at every replica); with enforcement disabled it passes
+/// genuinely random values, modelling an unsynchronized multithreaded ORB
+/// (§2.2) — which is exactly how replicas diverge.
+pub trait AppObject {
+    /// Processes an invocation.
+    fn invoke(&mut self, operation: &str, args: &[u8], entropy: u64) -> Outcome;
+
+    /// Continues after a nested invocation completed. Only called with
+    /// `cont` values this object previously returned in [`Outcome::Call`].
+    fn resume(&mut self, cont: u32, reply: &[u8], entropy: u64) -> Outcome {
+        let _ = (cont, reply, entropy);
+        Outcome::Reply(Vec::new())
+    }
+
+    /// Serializes the full object state (for state transfer, checkpoints
+    /// and warm-passive updates).
+    fn state(&self) -> Vec<u8>;
+
+    /// Replaces the object state with a previously serialized one.
+    fn set_state(&mut self, state: &[u8]);
+}
+
+/// Builds fresh instances of one object type.
+pub type ObjectFactory = Box<dyn Fn() -> Box<dyn AppObject>>;
+
+/// Registry of object factories, keyed by type name. Every processor in a
+/// domain registers the same factories, so the Replication Manager can
+/// instantiate a replica of any type anywhere.
+#[derive(Default)]
+pub struct ObjectRegistry {
+    factories: BTreeMap<String, ObjectFactory>,
+}
+
+impl ObjectRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ObjectRegistry::default()
+    }
+
+    /// Registers a factory under `type_name`, replacing any previous one.
+    pub fn register(&mut self, type_name: &str, factory: ObjectFactory) {
+        self.factories.insert(type_name.to_owned(), factory);
+    }
+
+    /// Instantiates an object of the named type.
+    pub fn instantiate(&self, type_name: &str) -> Option<Box<dyn AppObject>> {
+        self.factories.get(type_name).map(|f| f())
+    }
+
+    /// `true` if the type is registered.
+    pub fn knows(&self, type_name: &str) -> bool {
+        self.factories.contains_key(type_name)
+    }
+}
+
+impl fmt::Debug for ObjectRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObjectRegistry")
+            .field("types", &self.factories.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// A ready-made counter servant used by tests, examples and benches: it
+/// supports `add` (args = big-endian u64 delta), `get`, and `crash_value`
+/// (returns a value corrupted by `entropy` — a value-fault injector for the
+/// voting experiments).
+#[derive(Debug, Default, Clone)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Current value (test convenience).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+impl AppObject for Counter {
+    fn invoke(&mut self, operation: &str, args: &[u8], entropy: u64) -> Outcome {
+        match operation {
+            "add" => {
+                let delta = u64::from_be_bytes(args.try_into().unwrap_or([0; 8]));
+                self.value = self.value.wrapping_add(delta);
+                Outcome::Reply(self.value.to_be_bytes().to_vec())
+            }
+            "get" => Outcome::Reply(self.value.to_be_bytes().to_vec()),
+            "crash_value" => {
+                // A value fault: the reply depends on entropy, so replicas
+                // diverge unless the infrastructure supplies identical
+                // entropy (or voting masks the lie).
+                Outcome::Reply((self.value ^ entropy).to_be_bytes().to_vec())
+            }
+            _ => Outcome::Reply(b"BAD_OPERATION".to_vec()),
+        }
+    }
+
+    fn state(&self) -> Vec<u8> {
+        self.value.to_be_bytes().to_vec()
+    }
+
+    fn set_state(&mut self, state: &[u8]) {
+        self.value = u64::from_be_bytes(state.try_into().unwrap_or([0; 8]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_adds_and_reports() {
+        let mut c = Counter::new();
+        match c.invoke("add", &5u64.to_be_bytes(), 0) {
+            Outcome::Reply(r) => assert_eq!(r, 5u64.to_be_bytes()),
+            other => panic!("unexpected {other:?}"),
+        }
+        match c.invoke("get", &[], 0) {
+            Outcome::Reply(r) => assert_eq!(r, 5u64.to_be_bytes()),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn counter_state_round_trip() {
+        let mut c = Counter::new();
+        c.invoke("add", &7u64.to_be_bytes(), 0);
+        let snapshot = c.state();
+        let mut d = Counter::new();
+        d.set_state(&snapshot);
+        assert_eq!(d.value(), 7);
+    }
+
+    #[test]
+    fn entropy_injects_value_fault() {
+        let mut c = Counter::new();
+        let honest = c.invoke("crash_value", &[], 0);
+        let lying = c.invoke("crash_value", &[], 0xFF);
+        assert_ne!(honest, lying);
+    }
+
+    #[test]
+    fn registry_instantiates() {
+        let mut reg = ObjectRegistry::new();
+        reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+        assert!(reg.knows("Counter"));
+        assert!(!reg.knows("Nope"));
+        let mut obj = reg.instantiate("Counter").unwrap();
+        assert!(matches!(obj.invoke("get", &[], 0), Outcome::Reply(_)));
+        assert!(reg.instantiate("Nope").is_none());
+    }
+
+    #[test]
+    fn unknown_operation_is_reported() {
+        let mut c = Counter::new();
+        match c.invoke("subtract", &[], 0) {
+            Outcome::Reply(r) => assert_eq!(r, b"BAD_OPERATION"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

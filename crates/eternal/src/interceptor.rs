@@ -1,0 +1,135 @@
+//! The Eternal Interceptor (§2.1, §3.1): transparency by interposition.
+//!
+//! In the real system the Interceptor attaches to every CORBA object via
+//! library interpositioning and (a) diverts the socket calls of replicated
+//! objects into the local Replication Mechanisms, (b) rewrites the
+//! `getsockname()`/`sysinfo()` results the server-side ORB uses when
+//! publishing IORs, so every published IOR carries the {gateway host,
+//! gateway port} instead of the real server address, and (c) enforces
+//! deterministic execution for multithreaded objects.
+//!
+//! In this reproduction, (a) is realized structurally — replicated objects
+//! only ever talk through [`Mechanisms`](crate::Mechanisms), so there is
+//! no TCP path to divert (the simulator's application objects see no
+//! socket API at all); (c) is the
+//! [`MechConfig::enforce_determinism`](crate::MechConfig) entropy policy.
+//! This module implements (b): the IOR publication rewrite, including the
+//! §3.5 "stitching" of multiple gateway addresses into one multi-profile
+//! IOR.
+
+use ftd_giop::{IiopProfile, Ior, ObjectKey};
+use ftd_totem::GroupId;
+
+/// A gateway TCP endpoint as advertised to the outside world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GatewayEndpoint {
+    /// Host name ("P3" in the simulation).
+    pub host: String,
+    /// TCP port the gateway listens on.
+    pub port: u16,
+}
+
+/// The IOR-publication side of the Interceptor: produces the IORs that
+/// server-side ORBs inside the fault tolerance domain hand to external
+/// clients.
+#[derive(Debug, Clone)]
+pub struct IorPublisher {
+    domain: u32,
+    gateways: Vec<GatewayEndpoint>,
+}
+
+impl IorPublisher {
+    /// Creates a publisher for fault tolerance domain `domain` whose
+    /// gateways are `gateways`, in failover preference order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gateways` is empty — a domain without a gateway cannot
+    /// publish externally usable IORs.
+    pub fn new(domain: u32, gateways: Vec<GatewayEndpoint>) -> Self {
+        assert!(
+            !gateways.is_empty(),
+            "a fault tolerance domain needs at least one gateway"
+        );
+        IorPublisher { domain, gateways }
+    }
+
+    /// The domain id.
+    pub fn domain(&self) -> u32 {
+        self.domain
+    }
+
+    /// The advertised gateways, in preference order.
+    pub fn gateways(&self) -> &[GatewayEndpoint] {
+        &self.gateways
+    }
+
+    /// Publishes the IOR for object group `group`: every profile points at
+    /// a gateway (never at a server replica), and the object key encodes
+    /// the {domain, group} so the gateway can route the invocation (§3.1).
+    ///
+    /// A plain ORB uses only the first profile (§3.4); the enhanced thin
+    /// client layer walks all of them (§3.5).
+    pub fn publish(&self, type_id: &str, group: GroupId) -> Ior {
+        let key = ObjectKey::new(self.domain, group.0).to_bytes();
+        Ior::with_iiop_profiles(
+            type_id,
+            self.gateways
+                .iter()
+                .map(|g| IiopProfile::new(g.host.clone(), g.port, key.clone())),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn publisher(n: usize) -> IorPublisher {
+        IorPublisher::new(
+            7,
+            (0..n)
+                .map(|i| GatewayEndpoint {
+                    host: format!("P{i}"),
+                    port: 9000,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn published_ior_points_at_gateway_not_server() {
+        let ior = publisher(1).publish("IDL:Stock/Desk:1.0", GroupId(42));
+        let profile = ior.primary_iiop().unwrap();
+        assert_eq!(profile.host, "P0");
+        assert_eq!(profile.port, 9000);
+        // The object key still identifies the real target group.
+        let key = ObjectKey::parse(&profile.object_key).unwrap();
+        assert_eq!(key.domain, 7);
+        assert_eq!(key.group, 42);
+    }
+
+    #[test]
+    fn multi_gateway_ior_is_stitched_in_order() {
+        let ior = publisher(3).publish("IDL:Stock/Desk:1.0", GroupId(1));
+        let profiles = ior.iiop_profiles().unwrap();
+        assert_eq!(profiles.len(), 3);
+        assert_eq!(profiles[0].host, "P0");
+        assert_eq!(profiles[2].host, "P2");
+        // All profiles carry the same object key.
+        assert_eq!(profiles[0].object_key, profiles[2].object_key);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gateway")]
+    fn zero_gateways_is_rejected() {
+        let _ = IorPublisher::new(0, Vec::new());
+    }
+
+    #[test]
+    fn stringified_round_trip_preserves_profiles() {
+        let ior = publisher(2).publish("IDL:X:1.0", GroupId(3));
+        let back = Ior::from_stringified(&ior.to_stringified()).unwrap();
+        assert_eq!(back.iiop_profiles().unwrap().len(), 2);
+    }
+}

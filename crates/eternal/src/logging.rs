@@ -1,0 +1,159 @@
+//! The Logging-Recovery Mechanisms (§2, Fig. 2): per-group message logs,
+//! checkpoints, and the records that make passive failover and state
+//! transfer possible.
+
+use crate::OperationId;
+use std::collections::BTreeMap;
+
+/// One replayable operation record (cold-passive log entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord {
+    /// The operation's identifier.
+    pub operation: OperationId,
+    /// The invocation's IIOP bytes (enough to re-execute).
+    pub invocation: Vec<u8>,
+    /// The response the primary produced.
+    pub response: Vec<u8>,
+}
+
+/// Per-group log: a state checkpoint plus the operations executed since.
+///
+/// * Warm passive backups keep only the latest state (they apply updates
+///   eagerly) but still log responses for duplicate answering.
+/// * Cold passive backups keep checkpoint + op log and replay on failover.
+#[derive(Debug, Default)]
+pub struct GroupLog {
+    checkpoint: Option<Vec<u8>>,
+    ops: Vec<OpRecord>,
+    /// Responses by operation, retained for duplicate answering.
+    responses: BTreeMap<OperationId, Vec<u8>>,
+}
+
+impl GroupLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        GroupLog::default()
+    }
+
+    /// Installs a checkpoint, truncating the operation log.
+    pub fn checkpoint(&mut self, state: Vec<u8>) {
+        self.checkpoint = Some(state);
+        self.ops.clear();
+    }
+
+    /// Appends an executed-operation record.
+    pub fn append(&mut self, record: OpRecord) {
+        self.responses
+            .insert(record.operation, record.response.clone());
+        self.ops.push(record);
+    }
+
+    /// Records just a response (warm passive: state travels separately).
+    pub fn record_response(&mut self, operation: OperationId, response: Vec<u8>) {
+        self.responses.insert(operation, response);
+    }
+
+    /// The last checkpointed state, if any.
+    pub fn last_checkpoint(&self) -> Option<&[u8]> {
+        self.checkpoint.as_deref()
+    }
+
+    /// Operations logged since the checkpoint, oldest first.
+    pub fn ops_since_checkpoint(&self) -> &[OpRecord] {
+        &self.ops
+    }
+
+    /// The logged response for an operation, if retained.
+    pub fn response_for(&self, operation: &OperationId) -> Option<&[u8]> {
+        self.responses.get(operation).map(Vec::as_slice)
+    }
+
+    /// All retained responses (for failover re-sending and state transfer).
+    pub fn all_responses(&self) -> impl Iterator<Item = (&OperationId, &[u8])> {
+        self.responses.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Number of retained responses.
+    pub fn response_count(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// Number of ops since the last checkpoint.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Clears everything (when a replica is retired).
+    pub fn clear(&mut self) {
+        self.checkpoint = None;
+        self.ops.clear();
+        self.responses.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftd_totem::GroupId;
+
+    fn op(n: u32) -> OperationId {
+        OperationId {
+            source: GroupId(1),
+            target: GroupId(2),
+            client: 0,
+            parent_ts: 0,
+            child_seq: n,
+        }
+    }
+
+    fn rec(n: u32) -> OpRecord {
+        OpRecord {
+            operation: op(n),
+            invocation: vec![n as u8],
+            response: vec![n as u8, 0xFF],
+        }
+    }
+
+    #[test]
+    fn append_and_replay_order() {
+        let mut log = GroupLog::new();
+        log.append(rec(1));
+        log.append(rec(2));
+        let ops: Vec<u32> = log
+            .ops_since_checkpoint()
+            .iter()
+            .map(|r| r.operation.child_seq)
+            .collect();
+        assert_eq!(ops, vec![1, 2]);
+        assert_eq!(log.response_for(&op(1)), Some(&[1u8, 0xFF][..]));
+    }
+
+    #[test]
+    fn checkpoint_truncates_ops_but_keeps_responses() {
+        let mut log = GroupLog::new();
+        log.append(rec(1));
+        log.checkpoint(vec![9, 9]);
+        assert_eq!(log.op_count(), 0);
+        assert_eq!(log.last_checkpoint(), Some(&[9u8, 9][..]));
+        // Responses survive the checkpoint for duplicate answering.
+        assert_eq!(log.response_count(), 1);
+    }
+
+    #[test]
+    fn record_response_without_op() {
+        let mut log = GroupLog::new();
+        log.record_response(op(4), vec![4]);
+        assert_eq!(log.response_for(&op(4)), Some(&[4u8][..]));
+        assert_eq!(log.op_count(), 0);
+    }
+
+    #[test]
+    fn clear_empties_everything() {
+        let mut log = GroupLog::new();
+        log.append(rec(1));
+        log.checkpoint(vec![1]);
+        log.clear();
+        assert!(log.last_checkpoint().is_none());
+        assert_eq!(log.response_count(), 0);
+    }
+}

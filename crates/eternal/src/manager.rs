@@ -1,0 +1,301 @@
+//! The Replication Manager / Resource Manager decision logic.
+//!
+//! In the paper these are "themselves implemented as collections of CORBA
+//! objects and, thus, can themselves be replicated". Here the same effect
+//! is obtained more directly: every daemon runs an identical, deterministic
+//! copy of the manager state machine, driven purely by the totally ordered
+//! control messages ([`DomainMsg::CreateGroup`](crate::DomainMsg),
+//! [`DomainMsg::StateRequest`](crate::DomainMsg), ...) and the Totem
+//! membership views — an actively replicated manager in exactly the
+//! paper's sense, without a separate set of servant objects.
+
+use crate::{FtProperties, GroupMeta};
+use ftd_sim::ProcessorId;
+use ftd_totem::GroupId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The replicated management state every daemon maintains: which groups
+/// exist, their properties, and which processors currently host replicas.
+#[derive(Debug, Default)]
+pub struct DomainDirectory {
+    groups: BTreeMap<GroupId, GroupMeta>,
+    hosts: BTreeMap<GroupId, BTreeSet<ProcessorId>>,
+}
+
+impl DomainDirectory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        DomainDirectory::default()
+    }
+
+    /// Applies a `CreateGroup` control message.
+    pub fn apply_create(&mut self, meta: GroupMeta) {
+        self.hosts
+            .insert(meta.group, meta.placement.iter().copied().collect());
+        self.groups.insert(meta.group, meta);
+    }
+
+    /// Applies a `StateRequest` claim, arbitrated by total order: the
+    /// applicant becomes a host if the group exists and either still needs
+    /// replicas (below minimum among `alive` processors) or the applicant
+    /// is already a host refreshing its state after a delivery gap.
+    /// Returns `true` if accepted.
+    pub fn apply_state_request(
+        &mut self,
+        group: GroupId,
+        applicant: ProcessorId,
+        alive: &[ProcessorId],
+        refresh: bool,
+    ) -> bool {
+        let Some(meta) = self.groups.get(&group) else {
+            return false;
+        };
+        let min = meta.properties.min_replicas as usize;
+        let hosts = self.hosts.entry(group).or_default();
+        if refresh || hosts.contains(&applicant) {
+            // A host refreshing after a gap: always accepted, and re-added
+            // in case this daemon pruned it during the separation.
+            hosts.insert(applicant);
+            return true;
+        }
+        let live = hosts.iter().filter(|p| alive.contains(p)).count();
+        if live < min {
+            hosts.insert(applicant);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Applies an `Upgrade` control message.
+    pub fn apply_upgrade(&mut self, group: GroupId, new_type: &str) {
+        if let Some(meta) = self.groups.get_mut(&group) {
+            meta.type_name = new_type.to_owned();
+        }
+    }
+
+    /// Removes dead processors from all host sets (on a membership view).
+    /// Returns the groups whose host sets changed.
+    pub fn prune_dead(&mut self, alive: &[ProcessorId]) -> Vec<GroupId> {
+        let mut affected = Vec::new();
+        for (&group, hosts) in &mut self.hosts {
+            let before = hosts.len();
+            hosts.retain(|p| alive.contains(p));
+            if hosts.len() != before {
+                affected.push(group);
+            }
+        }
+        affected
+    }
+
+    /// Group metadata.
+    pub fn meta(&self, group: GroupId) -> Option<&GroupMeta> {
+        self.groups.get(&group)
+    }
+
+    /// All known groups.
+    pub fn groups(&self) -> impl Iterator<Item = &GroupMeta> {
+        self.groups.values()
+    }
+
+    /// Current hosts of a group (alive or not).
+    pub fn hosts(&self, group: GroupId) -> Vec<ProcessorId> {
+        self.hosts
+            .get(&group)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Hosts of a group restricted to the live set.
+    pub fn live_hosts(&self, group: GroupId, alive: &[ProcessorId]) -> Vec<ProcessorId> {
+        self.hosts
+            .get(&group)
+            .map(|s| s.iter().copied().filter(|p| alive.contains(p)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The primary of a passively replicated group: the lowest-id live
+    /// host. Deterministic at every daemon for a given view.
+    pub fn primary(&self, group: GroupId, alive: &[ProcessorId]) -> Option<ProcessorId> {
+        self.live_hosts(group, alive).into_iter().min()
+    }
+
+    /// Number of replicas a processor currently hosts (the Resource
+    /// Manager's load metric).
+    pub fn load(&self, p: ProcessorId) -> usize {
+        self.hosts.values().filter(|s| s.contains(&p)).count()
+    }
+
+    /// Resource Manager placement: choose `n` processors for a new group,
+    /// preferring non-penalized processors (those hosting infrastructure
+    /// such as gateways), then least-loaded, ties by id.
+    pub fn place(
+        &self,
+        n: usize,
+        alive: &[ProcessorId],
+        penalized: &[ProcessorId],
+    ) -> Vec<ProcessorId> {
+        let mut candidates: Vec<ProcessorId> = alive.to_vec();
+        candidates.sort_by_key(|&p| (penalized.contains(&p), self.load(p), p));
+        candidates.truncate(n);
+        candidates.sort();
+        candidates
+    }
+
+    /// Resource Manager replacement: the processor that should volunteer a
+    /// new replica for `group` — least-loaded live non-host, ties by id.
+    pub fn choose_replacement(
+        &self,
+        group: GroupId,
+        alive: &[ProcessorId],
+        penalized: &[ProcessorId],
+    ) -> Option<ProcessorId> {
+        let hosts = self.hosts.get(&group)?;
+        alive
+            .iter()
+            .copied()
+            .filter(|p| !hosts.contains(p))
+            .min_by_key(|&p| (penalized.contains(&p), self.load(p), p))
+    }
+
+    /// Snapshot of the full management state, for a directory sync.
+    pub fn snapshot(&self) -> Vec<(GroupMeta, Vec<ProcessorId>)> {
+        self.groups
+            .values()
+            .map(|meta| (meta.clone(), self.hosts(meta.group)))
+            .collect()
+    }
+
+    /// Replaces the entire management state with a peer's snapshot (a
+    /// rejoining daemon adopting the surviving side's view).
+    pub fn replace_with(&mut self, entries: Vec<(GroupMeta, Vec<ProcessorId>)>) {
+        self.groups.clear();
+        self.hosts.clear();
+        for (meta, hosts) in entries {
+            self.hosts.insert(meta.group, hosts.into_iter().collect());
+            self.groups.insert(meta.group, meta);
+        }
+    }
+
+    /// `true` if no groups are known (a freshly booted daemon).
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Whether the group has fallen below its minimum among live hosts.
+    pub fn needs_replacement(&self, group: GroupId, alive: &[ProcessorId]) -> bool {
+        let Some(meta) = self.groups.get(&group) else {
+            return false;
+        };
+        let live = self.live_hosts(group, alive).len();
+        live > 0 && live < meta.properties.min_replicas as usize
+    }
+}
+
+/// Builds the metadata for a new group (helper for the create path).
+pub fn make_meta(
+    group: GroupId,
+    type_name: &str,
+    properties: FtProperties,
+    placement: Vec<ProcessorId>,
+) -> GroupMeta {
+    GroupMeta {
+        group,
+        type_name: type_name.to_owned(),
+        properties,
+        placement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ReplicationStyle;
+
+    fn p(n: u32) -> ProcessorId {
+        ProcessorId(n)
+    }
+
+    fn dir_with_group(group: GroupId, placement: &[u32], min: u32) -> DomainDirectory {
+        let mut dir = DomainDirectory::new();
+        dir.apply_create(make_meta(
+            group,
+            "Counter",
+            FtProperties::new(ReplicationStyle::Active).with_min(min),
+            placement.iter().map(|&n| p(n)).collect(),
+        ));
+        dir
+    }
+
+    #[test]
+    fn create_sets_hosts_and_meta() {
+        let dir = dir_with_group(GroupId(1), &[0, 1, 2], 2);
+        assert_eq!(dir.hosts(GroupId(1)), vec![p(0), p(1), p(2)]);
+        assert_eq!(dir.meta(GroupId(1)).unwrap().type_name, "Counter");
+        assert_eq!(dir.load(p(0)), 1);
+    }
+
+    #[test]
+    fn state_request_arbitration() {
+        let mut dir = dir_with_group(GroupId(1), &[0, 1], 3);
+        let alive = [p(0), p(1), p(2), p(3)];
+        // Below min: accepted.
+        assert!(dir.apply_state_request(GroupId(1), p(2), &alive, false));
+        // Now at min: further claims rejected.
+        assert!(!dir.apply_state_request(GroupId(1), p(3), &alive, false));
+        // Refresh by an existing host is always accepted.
+        assert!(dir.apply_state_request(GroupId(1), p(0), &alive, false));
+        // A refresh re-adds an applicant even if it had been pruned.
+        assert!(dir.apply_state_request(GroupId(1), p(3), &alive, true));
+        assert!(dir.hosts(GroupId(1)).contains(&p(3)));
+        // Unknown group rejected even as refresh.
+        assert!(!dir.apply_state_request(GroupId(9), p(3), &alive, true));
+    }
+
+    #[test]
+    fn prune_and_primary() {
+        let mut dir = dir_with_group(GroupId(1), &[0, 1, 2], 2);
+        let alive = [p(1), p(2)];
+        assert_eq!(dir.primary(GroupId(1), &alive), Some(p(1)));
+        let affected = dir.prune_dead(&alive);
+        assert_eq!(affected, vec![GroupId(1)]);
+        assert_eq!(dir.hosts(GroupId(1)), vec![p(1), p(2)]);
+    }
+
+    #[test]
+    fn placement_prefers_least_loaded() {
+        let mut dir = dir_with_group(GroupId(1), &[0, 1], 2);
+        dir.apply_create(make_meta(
+            GroupId(2),
+            "Counter",
+            FtProperties::new(ReplicationStyle::Active),
+            vec![p(0)],
+        ));
+        let alive = [p(0), p(1), p(2)];
+        // Loads: p0=2, p1=1, p2=0 → pick p2 then p1.
+        assert_eq!(dir.place(2, &alive, &[]), vec![p(1), p(2)]);
+        // A penalized processor is picked only when unavoidable.
+        assert_eq!(dir.place(2, &alive, &[p(2)]), vec![p(0), p(1)]);
+        assert_eq!(dir.place(3, &alive, &[p(2)]), vec![p(0), p(1), p(2)]);
+    }
+
+    #[test]
+    fn replacement_choice_and_need() {
+        let mut dir = dir_with_group(GroupId(1), &[0, 1, 2], 2);
+        let alive = [p(1), p(3)]; // p0 and p2 died
+        dir.prune_dead(&alive);
+        assert!(dir.needs_replacement(GroupId(1), &alive));
+        assert_eq!(dir.choose_replacement(GroupId(1), &alive, &[]), Some(p(3)));
+        // A group with zero live hosts cannot be replaced (no donor).
+        let alive2 = [p(3)];
+        dir.prune_dead(&alive2);
+        assert!(!dir.needs_replacement(GroupId(1), &alive2));
+    }
+
+    #[test]
+    fn upgrade_changes_type() {
+        let mut dir = dir_with_group(GroupId(1), &[0], 1);
+        dir.apply_upgrade(GroupId(1), "CounterV2");
+        assert_eq!(dir.meta(GroupId(1)).unwrap().type_name, "CounterV2");
+    }
+}

@@ -1,0 +1,172 @@
+//! Replication styles and fault tolerance properties.
+//!
+//! The Eternal Replication Manager "replicates each application object,
+//! according to user-specified fault tolerance properties (including the
+//! choice of replication style — stateless, cold passive, warm passive,
+//! active, active with voting)" (§2).
+
+use std::fmt;
+
+/// How an object group is replicated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ReplicationStyle {
+    /// No state: every replica executes every invocation, no state
+    /// transfer, no dedup-relevant state to corrupt.
+    Stateless,
+    /// Only the primary executes; state is captured in the log (periodic
+    /// checkpoints plus an operation log replicated to the backups) and a
+    /// backup is *loaded* only on failover.
+    ColdPassive,
+    /// Only the primary executes; after each operation the primary pushes
+    /// the new state to the backups, which apply it immediately.
+    WarmPassive,
+    /// Every replica executes every invocation in total order; duplicate
+    /// responses are suppressed at the receiver.
+    Active,
+    /// Active, and the receiver additionally votes on responses: a
+    /// response is accepted only when a majority of replicas returned a
+    /// byte-identical copy, masking value faults.
+    ActiveWithVoting,
+}
+
+impl ReplicationStyle {
+    /// `true` if every replica executes (active family + stateless).
+    pub fn all_execute(self) -> bool {
+        matches!(
+            self,
+            ReplicationStyle::Stateless
+                | ReplicationStyle::Active
+                | ReplicationStyle::ActiveWithVoting
+        )
+    }
+
+    /// `true` if only the primary executes.
+    pub fn primary_only(self) -> bool {
+        !self.all_execute()
+    }
+
+    /// `true` if responses from this group are majority-voted at the
+    /// receiver.
+    pub fn votes(self) -> bool {
+        self == ReplicationStyle::ActiveWithVoting
+    }
+
+    /// `true` if the group has transferable state.
+    pub fn stateful(self) -> bool {
+        self != ReplicationStyle::Stateless
+    }
+
+    /// Wire encoding.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ReplicationStyle::Stateless => 0,
+            ReplicationStyle::ColdPassive => 1,
+            ReplicationStyle::WarmPassive => 2,
+            ReplicationStyle::Active => 3,
+            ReplicationStyle::ActiveWithVoting => 4,
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_u8(v: u8) -> Option<ReplicationStyle> {
+        Some(match v {
+            0 => ReplicationStyle::Stateless,
+            1 => ReplicationStyle::ColdPassive,
+            2 => ReplicationStyle::WarmPassive,
+            3 => ReplicationStyle::Active,
+            4 => ReplicationStyle::ActiveWithVoting,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ReplicationStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReplicationStyle::Stateless => "stateless",
+            ReplicationStyle::ColdPassive => "cold-passive",
+            ReplicationStyle::WarmPassive => "warm-passive",
+            ReplicationStyle::Active => "active",
+            ReplicationStyle::ActiveWithVoting => "active-with-voting",
+        };
+        f.write_str(s)
+    }
+}
+
+/// User-specified fault tolerance properties for one object group
+/// (the paper's "user-specified fault tolerance properties").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FtProperties {
+    /// Replication style.
+    pub style: ReplicationStyle,
+    /// Replicas created at group creation.
+    pub initial_replicas: u32,
+    /// The Resource Manager re-instantiates replicas to keep at least this
+    /// many alive.
+    pub min_replicas: u32,
+}
+
+impl FtProperties {
+    /// Properties with the given style, 3 initial and 2 minimum replicas.
+    pub fn new(style: ReplicationStyle) -> Self {
+        FtProperties {
+            style,
+            initial_replicas: 3,
+            min_replicas: 2,
+        }
+    }
+
+    /// Sets the initial replica count.
+    pub fn with_initial(mut self, n: u32) -> Self {
+        self.initial_replicas = n;
+        self
+    }
+
+    /// Sets the minimum replica count.
+    pub fn with_min(mut self, n: u32) -> Self {
+        self.min_replicas = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn style_predicates() {
+        assert!(ReplicationStyle::Active.all_execute());
+        assert!(ReplicationStyle::Stateless.all_execute());
+        assert!(ReplicationStyle::ColdPassive.primary_only());
+        assert!(ReplicationStyle::WarmPassive.primary_only());
+        assert!(ReplicationStyle::ActiveWithVoting.votes());
+        assert!(!ReplicationStyle::Active.votes());
+        assert!(!ReplicationStyle::Stateless.stateful());
+        assert!(ReplicationStyle::ColdPassive.stateful());
+    }
+
+    #[test]
+    fn style_wire_round_trip() {
+        for v in 0..=4 {
+            let s = ReplicationStyle::from_u8(v).unwrap();
+            assert_eq!(s.to_u8(), v);
+        }
+        assert_eq!(ReplicationStyle::from_u8(9), None);
+    }
+
+    #[test]
+    fn properties_builder() {
+        let p = FtProperties::new(ReplicationStyle::Active)
+            .with_initial(5)
+            .with_min(4);
+        assert_eq!(p.initial_replicas, 5);
+        assert_eq!(p.min_replicas, 4);
+        assert_eq!(p.style, ReplicationStyle::Active);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ReplicationStyle::ActiveWithVoting.to_string(), "active-with-voting");
+        assert_eq!(ReplicationStyle::ColdPassive.to_string(), "cold-passive");
+    }
+}

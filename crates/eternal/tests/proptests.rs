@@ -1,0 +1,253 @@
+//! Property-based tests on the Eternal data structures: wire round-trips
+//! for every domain message, Fig. 6 operation-identifier invariants, and
+//! duplicate-suppression idempotence.
+
+use ftd_eternal::*;
+use ftd_sim::ProcessorId;
+use ftd_totem::GroupId;
+use proptest::prelude::*;
+
+fn arb_opid() -> impl Strategy<Value = OperationId> {
+    (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>(), any::<u32>()).prop_map(
+        |(s, t, c, p, n)| OperationId {
+            source: GroupId(s),
+            target: GroupId(t),
+            client: c,
+            parent_ts: p,
+            child_seq: n,
+        },
+    )
+}
+
+fn arb_header() -> impl Strategy<Value = FtHeader> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<bool>(),
+        any::<u64>(),
+        any::<u32>(),
+    )
+        .prop_map(|(c, s, t, inv, p, n)| FtHeader {
+            client: c,
+            source: GroupId(s),
+            target: GroupId(t),
+            kind: if inv {
+                OperationKind::Invocation
+            } else {
+                OperationKind::Response
+            },
+            parent_ts: p,
+            child_seq: n,
+        })
+}
+
+fn arb_bytes(n: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..n)
+}
+
+fn arb_domain_msg() -> impl Strategy<Value = DomainMsg> {
+    prop_oneof![
+        (arb_header(), arb_bytes(64)).prop_map(|(header, iiop)| DomainMsg::Iiop { header, iiop }),
+        (
+            any::<u32>(),
+            "[A-Za-z][A-Za-z0-9_]{0,12}",
+            0u8..=4,
+            1u32..8,
+            1u32..8,
+            proptest::collection::vec(any::<u32>(), 0..5),
+        )
+            .prop_map(|(g, ty, style, init, min, placement)| {
+                DomainMsg::CreateGroup(make_meta(
+                    GroupId(g),
+                    &ty,
+                    FtProperties {
+                        style: ReplicationStyle::from_u8(style).expect("0..=4"),
+                        initial_replicas: init,
+                        min_replicas: min,
+                    },
+                    placement.into_iter().map(ProcessorId).collect(),
+                ))
+            }),
+        (any::<u32>(), any::<u32>(), any::<bool>()).prop_map(|(g, a, refresh)| {
+            DomainMsg::StateRequest {
+                group: GroupId(g),
+                applicant: ProcessorId(a),
+                refresh,
+            }
+        }),
+        (any::<u32>()).prop_map(|r| DomainMsg::DirectoryRequest {
+            requester: ProcessorId(r),
+        }),
+        (
+            any::<u32>(),
+            any::<u32>(),
+            arb_bytes(32),
+            proptest::collection::vec((arb_opid(), arb_bytes(16)), 0..4)
+        )
+            .prop_map(|(g, d, state, responses)| DomainMsg::StateTransfer {
+                group: GroupId(g),
+                donor: ProcessorId(d),
+                state,
+                responses,
+            }),
+        (any::<u32>(), arb_opid(), arb_bytes(32), arb_bytes(32)).prop_map(
+            |(g, operation, state, response)| DomainMsg::StateUpdate {
+                group: GroupId(g),
+                operation,
+                state,
+                response,
+            }
+        ),
+        (any::<u32>(), arb_opid(), arb_bytes(32), arb_bytes(32)).prop_map(
+            |(g, operation, response, invocation)| DomainMsg::LogOp {
+                group: GroupId(g),
+                operation,
+                response,
+                invocation,
+            }
+        ),
+        (any::<u32>(), arb_bytes(32)).prop_map(|(g, state)| DomainMsg::Checkpoint {
+            group: GroupId(g),
+            state,
+        }),
+        (any::<u32>(), "[A-Za-z][A-Za-z0-9_]{0,12}").prop_map(|(g, new_type)| {
+            DomainMsg::Upgrade {
+                group: GroupId(g),
+                new_type,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn domain_messages_round_trip(msg in arb_domain_msg()) {
+        let wire = msg.encode();
+        prop_assert_eq!(DomainMsg::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn domain_decoder_never_panics(bytes in arb_bytes(256)) {
+        let _ = DomainMsg::decode(&bytes);
+    }
+
+    #[test]
+    fn invocation_and_response_share_the_operation_id(h in arb_header()) {
+        // Fig. 6: an invocation A->B and its response B->A have the same
+        // operation identifier.
+        let mirrored = FtHeader {
+            client: h.client,
+            source: h.target,
+            target: h.source,
+            kind: match h.kind {
+                OperationKind::Invocation => OperationKind::Response,
+                OperationKind::Response => OperationKind::Invocation,
+            },
+            parent_ts: h.parent_ts,
+            child_seq: h.child_seq,
+        };
+        prop_assert_eq!(h.operation_id(), mirrored.operation_id());
+    }
+
+    #[test]
+    fn derived_entropy_is_pure(op in arb_opid()) {
+        prop_assert_eq!(derive_entropy(&op), derive_entropy(&op));
+    }
+
+    #[test]
+    fn distinct_child_seqs_make_distinct_ids(op in arb_opid(), other_seq in any::<u32>()) {
+        prop_assume!(op.child_seq != other_seq);
+        let other = OperationId { child_seq: other_seq, ..op };
+        prop_assert_ne!(op, other);
+    }
+
+    #[test]
+    fn invocation_table_is_idempotent_after_completion(
+        ops in proptest::collection::vec((arb_opid(), arb_bytes(8)), 1..32),
+    ) {
+        let mut table = InvocationTable::new(1024);
+        for (op, resp) in &ops {
+            if table.check(*op) == InvocationCheck::Fresh {
+                table.complete(*op, resp.clone());
+            }
+        }
+        // Every re-presentation now yields a Duplicate with SOME logged
+        // response (the first completion for that id wins).
+        for (op, _) in &ops {
+            match table.check(*op) {
+                InvocationCheck::Duplicate(_) => {}
+                other => prop_assert!(false, "expected duplicate, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn response_filter_accepts_each_operation_exactly_once(
+        ops in proptest::collection::vec(arb_opid(), 1..64),
+        copies in 1usize..4,
+    ) {
+        let mut filter = ResponseFilter::new(4096);
+        let mut accepted = 0usize;
+        for _ in 0..copies {
+            for op in &ops {
+                if filter.accept(*op) {
+                    accepted += 1;
+                }
+            }
+        }
+        let distinct: std::collections::BTreeSet<_> = ops.iter().collect();
+        prop_assert_eq!(accepted, distinct.len());
+    }
+
+    #[test]
+    fn voter_agrees_iff_majority_matches(
+        op in arb_opid(),
+        honest in 0usize..6,
+        liars in 0usize..6,
+    ) {
+        prop_assume!(honest + liars > 0);
+        let size = honest + liars;
+        let mut voter = Voter::new();
+        let mut winner = None;
+        // Interleave honest and lying ballots deterministically.
+        let mut ballots: Vec<Vec<u8>> = Vec::new();
+        ballots.extend(std::iter::repeat(vec![1u8]).take(honest));
+        ballots.extend((0..liars).map(|i| vec![2u8, i as u8])); // all distinct lies
+        for b in ballots {
+            if let Some(w) = voter.vote(op, b, size) {
+                winner = Some(w);
+                break;
+            }
+        }
+        if honest > size / 2 {
+            prop_assert_eq!(winner, Some(vec![1u8]));
+        } else if size == 1 {
+            // A single-replica group: its lone ballot IS the majority.
+            prop_assert!(winner.is_some());
+        } else {
+            // No value reaches a majority (each lie is distinct).
+            prop_assert_eq!(winner, None);
+        }
+    }
+
+    #[test]
+    fn group_log_replay_matches_append_order(
+        records in proptest::collection::vec((arb_opid(), arb_bytes(8), arb_bytes(8)), 0..16),
+    ) {
+        let mut log = GroupLog::new();
+        for (op, inv, resp) in &records {
+            log.append(OpRecord {
+                operation: *op,
+                invocation: inv.clone(),
+                response: resp.clone(),
+            });
+        }
+        let replayed: Vec<_> = log
+            .ops_since_checkpoint()
+            .iter()
+            .map(|r| (r.operation, r.invocation.clone(), r.response.clone()))
+            .collect();
+        prop_assert_eq!(replayed, records);
+    }
+}

@@ -1,0 +1,322 @@
+//! Recovery-path tests: cascading failures, delivery-gap state refresh,
+//! replacement churn, and the interplay of the Resource Manager with the
+//! replication styles.
+
+use ftd_eternal::*;
+use ftd_sim::*;
+use ftd_totem::{GroupId, TotemConfig};
+
+const SERVER: GroupId = GroupId(10);
+
+fn registry() -> ObjectRegistry {
+    let mut reg = ObjectRegistry::new();
+    reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+    reg
+}
+
+type Daemon = EternalDaemon<()>;
+
+fn build(n: u32, seed: u64) -> (World, Vec<ProcessorId>) {
+    build_with_totem(n, seed, TotemConfig::default())
+}
+
+fn build_with_totem(n: u32, seed: u64, totem: TotemConfig) -> (World, Vec<ProcessorId>) {
+    let mut world = World::new(seed);
+    let lan = world.add_lan(LanConfig::default());
+    let procs: Vec<ProcessorId> = (0..n)
+        .map(|i| {
+            world.add_processor(&format!("p{i}"), lan, move |me| {
+                Box::new(Daemon::new(
+                    me,
+                    totem,
+                    MechConfig::default(),
+                    registry(),
+                ))
+            })
+        })
+        .collect();
+    world.run_for(SimDuration::from_millis(20));
+    (world, procs)
+}
+
+fn create(world: &mut World, driver: ProcessorId, style: ReplicationStyle, init: u32, min: u32) {
+    world
+        .actor_mut::<Daemon>(driver)
+        .unwrap()
+        .create_group(
+            SERVER,
+            "Counter",
+            FtProperties::new(style).with_initial(init).with_min(min),
+        );
+    world.run_for(SimDuration::from_millis(10));
+}
+
+fn call(world: &mut World, driver: ProcessorId, op: &str, args: &[u8]) -> Vec<RootReply> {
+    world
+        .actor_mut::<Daemon>(driver)
+        .unwrap()
+        .invoke_root(SERVER, op, args);
+    world.run_for(SimDuration::from_millis(12));
+    world
+        .actor_mut::<Daemon>(driver)
+        .unwrap()
+        .mech_mut()
+        .take_root_replies()
+}
+
+fn value_at(world: &World, p: ProcessorId) -> Option<u64> {
+    world
+        .actor::<Daemon>(p)
+        .and_then(|d| d.mech().replica_state(SERVER))
+        .map(|s| u64::from_be_bytes(s.try_into().unwrap()))
+}
+
+#[test]
+fn cascading_failures_never_lose_state_while_one_host_lives() {
+    let (mut world, procs) = build(6, 1);
+    create(&mut world, procs[5], ReplicationStyle::Active, 3, 2);
+    let mut expected = 0u64;
+    // Kill a host, invoke, kill another host (that received state via
+    // transfer), invoke again — three rounds.
+    for round in 1..=3u64 {
+        expected += round;
+        let replies = call(&mut world, procs[5], "add", &round.to_be_bytes());
+        assert_eq!(replies.len(), 1, "round {round}");
+        assert_eq!(replies[0].body, expected.to_be_bytes());
+        // Crash the lowest live host.
+        let victim = procs
+            .iter()
+            .copied()
+            .filter(|&p| !world.is_crashed(p))
+            .find(|&p| {
+                world
+                    .actor::<Daemon>(p)
+                    .is_some_and(|d| d.mech().is_host(SERVER))
+            });
+        if let Some(v) = victim {
+            // Keep the driver alive.
+            if v != procs[5] {
+                world.crash(v);
+                world.run_for(SimDuration::from_millis(80));
+            }
+        }
+    }
+    // Whoever hosts it now agrees on the state.
+    let values: Vec<u64> = procs
+        .iter()
+        .filter(|&&p| !world.is_crashed(p))
+        .filter_map(|&p| value_at(&world, p))
+        .collect();
+    assert!(!values.is_empty());
+    assert!(values.iter().all(|&v| v == expected), "{values:?}");
+}
+
+#[test]
+fn excluded_daemon_refreshes_state_after_gap() {
+    // Tiny retention slack: an isolated daemon misses GC'd messages, gets
+    // a Totem Gap on rejoin, and must re-request state (the mechanisms'
+    // on_gap path). Its replica must converge to the live value.
+    let totem = TotemConfig {
+        retention_slack: 2,
+        ..TotemConfig::default()
+    };
+    let (mut world, procs) = build_with_totem(4, 2, totem);
+    create(&mut world, procs[3], ReplicationStyle::Active, 3, 2);
+    call(&mut world, procs[3], "add", &1u64.to_be_bytes());
+
+    // Find a host to isolate (not the driver).
+    let isolated = procs
+        .iter()
+        .copied()
+        .find(|&p| {
+            p != procs[3]
+                && world
+                    .actor::<Daemon>(p)
+                    .is_some_and(|d| d.mech().is_host(SERVER))
+        })
+        .expect("a host");
+    let others: Vec<ProcessorId> = procs.iter().copied().filter(|&p| p != isolated).collect();
+    world.partition(&[&others, &[isolated]]);
+    world.run_for(SimDuration::from_millis(40));
+
+    // Traffic the isolated replica will miss — far beyond the slack.
+    let mut expected = 1u64;
+    for i in 2..=40u64 {
+        expected += i;
+        world
+            .actor_mut::<Daemon>(procs[3])
+            .unwrap()
+            .invoke_root(SERVER, "add", &i.to_be_bytes());
+        world.run_for(SimDuration::from_millis(3));
+    }
+    world.heal();
+    world.run_for(SimDuration::from_millis(300));
+
+    assert!(
+        world.stats().counter("eternal.gaps") >= 1,
+        "the rejoining daemon must observe a gap"
+    );
+    assert_eq!(
+        value_at(&world, isolated),
+        Some(expected),
+        "state must be refreshed by transfer after the gap"
+    );
+}
+
+#[test]
+fn stateless_replacement_needs_no_state_transfer() {
+    let (mut world, procs) = build(5, 3);
+    create(&mut world, procs[4], ReplicationStyle::Stateless, 2, 2);
+    let before = world.stats().counter("eternal.state_transfers");
+    let victim = procs
+        .iter()
+        .copied()
+        .find(|&p| {
+            world
+                .actor::<Daemon>(p)
+                .is_some_and(|d| d.mech().is_host(SERVER))
+        })
+        .unwrap();
+    world.crash(victim);
+    world.run_for(SimDuration::from_millis(80));
+    // A replacement was instantiated...
+    let hosts = procs
+        .iter()
+        .filter(|&&p| {
+            !world.is_crashed(p)
+                && world
+                    .actor::<Daemon>(p)
+                    .is_some_and(|d| d.mech().is_host(SERVER))
+        })
+        .count();
+    assert_eq!(hosts, 2, "minimum restored");
+    // ...and it serves immediately.
+    let replies = call(&mut world, procs[4], "get", &[]);
+    assert_eq!(replies.len(), 1);
+    let _ = before; // stateless transfer sends empty state; count not asserted
+}
+
+#[test]
+fn warm_passive_double_failover() {
+    let (mut world, procs) = build(6, 4);
+    create(&mut world, procs[5], ReplicationStyle::WarmPassive, 3, 2);
+    let mut expected = 0u64;
+    for i in 1..=4u64 {
+        expected += i;
+        call(&mut world, procs[5], "add", &i.to_be_bytes());
+    }
+    // Kill the primary twice in a row.
+    for _ in 0..2 {
+        let primary = procs
+            .iter()
+            .copied()
+            .filter(|&p| !world.is_crashed(p))
+            .filter(|&p| {
+                world
+                    .actor::<Daemon>(p)
+                    .is_some_and(|d| d.mech().is_host(SERVER))
+            })
+            .min()
+            .expect("a primary");
+        world.crash(primary);
+        world.run_for(SimDuration::from_millis(100));
+        expected += 1;
+        let replies = call(&mut world, procs[5], "add", &1u64.to_be_bytes());
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].body, expected.to_be_bytes());
+    }
+}
+
+#[test]
+fn group_creation_before_other_groups_is_isolated() {
+    // Two groups; crashing hosts of one never disturbs the other.
+    let (mut world, procs) = build(6, 5);
+    create(&mut world, procs[5], ReplicationStyle::Active, 2, 2);
+    let other = GroupId(99);
+    world
+        .actor_mut::<Daemon>(procs[5])
+        .unwrap()
+        .create_group(other, "Counter", FtProperties::new(ReplicationStyle::Active).with_initial(2));
+    world.run_for(SimDuration::from_millis(10));
+
+    world
+        .actor_mut::<Daemon>(procs[5])
+        .unwrap()
+        .invoke_root(other, "add", &7u64.to_be_bytes());
+    world.run_for(SimDuration::from_millis(12));
+    let replies = world
+        .actor_mut::<Daemon>(procs[5])
+        .unwrap()
+        .mech_mut()
+        .take_root_replies();
+    assert_eq!(replies.len(), 1);
+
+    // Crash a SERVER host; group `other` keeps working.
+    let victim = procs
+        .iter()
+        .copied()
+        .find(|&p| {
+            p != procs[5]
+                && world
+                    .actor::<Daemon>(p)
+                    .is_some_and(|d| d.mech().is_host(SERVER))
+        })
+        .unwrap();
+    world.crash(victim);
+    world.run_for(SimDuration::from_millis(80));
+    world
+        .actor_mut::<Daemon>(procs[5])
+        .unwrap()
+        .invoke_root(other, "get", &[]);
+    world.run_for(SimDuration::from_millis(12));
+    let replies = world
+        .actor_mut::<Daemon>(procs[5])
+        .unwrap()
+        .mech_mut()
+        .take_root_replies();
+    assert_eq!(replies.len(), 1);
+    assert_eq!(replies[0].body, 7u64.to_be_bytes());
+}
+
+#[test]
+fn recovered_processor_learns_the_directory_and_rehosts() {
+    // 4 processors, min = 3, 3 initial hosts. Crash TWO hosts: the single
+    // spare volunteers, but only 2 live hosts remain — the minimum is
+    // unsatisfiable. When one crashed processor recovers, its fresh daemon
+    // has an EMPTY directory: it must pull the management state from the
+    // survivors (DirectoryRequest/DirectorySync) and then volunteer,
+    // receiving application state by transfer.
+    let (mut world, procs) = build(4, 6);
+    create(&mut world, procs[3], ReplicationStyle::Active, 3, 3);
+    call(&mut world, procs[3], "add", &9u64.to_be_bytes());
+    let hosts: Vec<ProcessorId> = procs
+        .iter()
+        .copied()
+        .filter(|&p| {
+            world
+                .actor::<Daemon>(p)
+                .is_some_and(|d| d.mech().is_host(SERVER))
+        })
+        .filter(|&p| p != procs[3]) // keep the driver alive
+        .collect();
+    assert!(hosts.len() >= 2);
+    world.crash(hosts[0]);
+    world.crash(hosts[1]);
+    world.run_for(SimDuration::from_millis(120));
+
+    world.recover(hosts[0]);
+    world.run_for(SimDuration::from_millis(200));
+    assert!(
+        world.stats().counter("eternal.directory_requests") >= 1,
+        "the recovered daemon must pull the directory"
+    );
+    assert!(world.stats().counter("eternal.directory_syncs_applied") >= 1);
+    assert_eq!(
+        value_at(&world, hosts[0]),
+        Some(9),
+        "state transferred to the rejoining host"
+    );
+    let replies = call(&mut world, procs[3], "add", &1u64.to_be_bytes());
+    assert_eq!(replies.len(), 1);
+    assert_eq!(replies[0].body, 10u64.to_be_bytes());
+}

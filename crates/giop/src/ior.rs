@@ -1,0 +1,422 @@
+//! Interoperable Object References (IORs) with multi-profile support, and
+//! this deployment's object-key convention.
+//!
+//! An IOR carries one or more *profiles*, each an alternative address for
+//! reaching the object. The paper's §3.5 redundant-gateway scheme depends on
+//! exactly this: the Eternal interceptor "stitches together the addressing
+//! information for each gateway into a single multi-profile IOR", and the
+//! enhanced client walks the profiles on failure.
+
+use crate::{ByteOrder, CdrDecoder, CdrEncoder, GiopError};
+use std::fmt;
+
+/// The standard tag for an IIOP (TCP) profile.
+pub const TAG_INTERNET_IOP: u32 = 0;
+
+/// An IIOP profile body: where to open the TCP connection and which object
+/// key to send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IiopProfile {
+    /// IIOP version of the profile (we emit 1.0).
+    pub version: (u8, u8),
+    /// Hostname. In the simulation, hosts are `"P<n>"` processor names.
+    pub host: String,
+    /// TCP port.
+    pub port: u16,
+    /// The object key to place in requests sent via this profile.
+    pub object_key: Vec<u8>,
+}
+
+impl IiopProfile {
+    /// Creates a 1.0 profile.
+    pub fn new(host: impl Into<String>, port: u16, object_key: Vec<u8>) -> Self {
+        IiopProfile {
+            version: (1, 0),
+            host: host.into(),
+            port,
+            object_key,
+        }
+    }
+
+    fn encode_body(&self, order: ByteOrder) -> Vec<u8> {
+        let mut enc = CdrEncoder::new(order);
+        enc.write_encapsulation(|inner| {
+            inner.write_octet(self.version.0);
+            inner.write_octet(self.version.1);
+            inner.write_string(&self.host);
+            inner.write_ushort(self.port);
+            inner.write_octets(&self.object_key);
+        });
+        // write_encapsulation produced a sequence<octet>; strip the outer
+        // length prefix because TaggedProfile stores the raw encapsulation.
+        let mut dec = CdrDecoder::new(enc.as_bytes(), order);
+        dec.read_octets().expect("self-produced")
+    }
+
+    fn decode_body(data: &[u8]) -> Result<IiopProfile, GiopError> {
+        if data.is_empty() {
+            return Err(GiopError::Truncated {
+                what: "IIOP profile encapsulation",
+                needed: 1,
+                remaining: 0,
+            });
+        }
+        let order = ByteOrder::from_flag(data[0]);
+        let mut dec = CdrDecoder::with_offset(&data[1..], order, 1);
+        let major = dec.read_octet()?;
+        let minor = dec.read_octet()?;
+        let host = dec.read_string()?;
+        let port = dec.read_ushort()?;
+        let object_key = dec.read_octets()?;
+        Ok(IiopProfile {
+            version: (major, minor),
+            host,
+            port,
+            object_key,
+        })
+    }
+}
+
+impl fmt::Display for IiopProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "iiop:{}.{}@{}:{}", self.version.0, self.version.1, self.host, self.port)
+    }
+}
+
+/// A tagged profile: a tag plus opaque profile data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaggedProfile {
+    /// Profile tag ([`TAG_INTERNET_IOP`] for IIOP).
+    pub tag: u32,
+    /// Raw profile data (an encapsulation for IIOP).
+    pub data: Vec<u8>,
+}
+
+/// An Interoperable Object Reference: a repository type id plus alternative
+/// addressing profiles.
+///
+/// # Examples
+///
+/// ```
+/// use ftd_giop::{Ior, IiopProfile};
+///
+/// let ior = Ior::with_iiop("IDL:Trading/Desk:1.0", IiopProfile::new("P3", 9000, vec![1]));
+/// let s = ior.to_stringified();
+/// assert!(s.starts_with("IOR:"));
+/// let back = Ior::from_stringified(&s).unwrap();
+/// assert_eq!(back, ior);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ior {
+    /// Repository id of the most derived interface.
+    pub type_id: String,
+    /// Alternative addresses, in preference order.
+    pub profiles: Vec<TaggedProfile>,
+}
+
+impl Ior {
+    /// Creates an IOR with a single IIOP profile.
+    pub fn with_iiop(type_id: impl Into<String>, profile: IiopProfile) -> Self {
+        Ior {
+            type_id: type_id.into(),
+            profiles: vec![TaggedProfile {
+                tag: TAG_INTERNET_IOP,
+                data: profile.encode_body(ByteOrder::Big),
+            }],
+        }
+    }
+
+    /// Creates a multi-profile IOR from several IIOP profiles in preference
+    /// order — the §3.5 "stitched" gateway IOR.
+    pub fn with_iiop_profiles(
+        type_id: impl Into<String>,
+        profiles: impl IntoIterator<Item = IiopProfile>,
+    ) -> Self {
+        Ior {
+            type_id: type_id.into(),
+            profiles: profiles
+                .into_iter()
+                .map(|p| TaggedProfile {
+                    tag: TAG_INTERNET_IOP,
+                    data: p.encode_body(ByteOrder::Big),
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends an IIOP profile (used by the interceptor when stitching in
+    /// an additional gateway address).
+    pub fn push_iiop(&mut self, profile: IiopProfile) {
+        self.profiles.push(TaggedProfile {
+            tag: TAG_INTERNET_IOP,
+            data: profile.encode_body(ByteOrder::Big),
+        });
+    }
+
+    /// Decodes all IIOP profiles, in order. Profiles with other tags are
+    /// skipped (a client "with the capability to understand only the first
+    /// IIOP profile" sees exactly the first element).
+    pub fn iiop_profiles(&self) -> Result<Vec<IiopProfile>, GiopError> {
+        self.profiles
+            .iter()
+            .filter(|p| p.tag == TAG_INTERNET_IOP)
+            .map(|p| IiopProfile::decode_body(&p.data))
+            .collect()
+    }
+
+    /// The first IIOP profile — all a plain (non-enhanced) ORB ever uses
+    /// (§3.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the IOR carries no parseable IIOP profile.
+    pub fn primary_iiop(&self) -> Result<IiopProfile, GiopError> {
+        self.iiop_profiles()?
+            .into_iter()
+            .next()
+            .ok_or(GiopError::BadStringifiedIor("no IIOP profile"))
+    }
+
+    /// Encodes the IOR as CDR bytes (an encapsulation).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = CdrEncoder::new(ByteOrder::Big);
+        enc.write_encapsulation(|inner| {
+            inner.write_string(&self.type_id);
+            inner.write_ulong(self.profiles.len() as u32);
+            for p in &self.profiles {
+                inner.write_ulong(p.tag);
+                inner.write_octets(&p.data);
+            }
+        });
+        enc.into_bytes()
+    }
+
+    /// Decodes an IOR from the bytes produced by [`Ior::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GiopError`] for any framing or CDR problem.
+    pub fn decode(bytes: &[u8]) -> Result<Ior, GiopError> {
+        let mut dec = CdrDecoder::new(bytes, ByteOrder::Big);
+        dec.read_encapsulation(|inner| {
+            let type_id = inner.read_string()?;
+            let n = inner.read_ulong()? as usize;
+            if n > inner.remaining() / 8 + 1 {
+                return Err(GiopError::LengthOverrun {
+                    what: "profile list",
+                    declared: n,
+                    available: inner.remaining(),
+                });
+            }
+            let mut profiles = Vec::with_capacity(n);
+            for _ in 0..n {
+                let tag = inner.read_ulong()?;
+                let data = inner.read_octets()?;
+                profiles.push(TaggedProfile { tag, data });
+            }
+            Ok(Ior { type_id, profiles })
+        })
+    }
+
+    /// Produces the `IOR:<hex>` stringified form clients exchange
+    /// out-of-band.
+    pub fn to_stringified(&self) -> String {
+        let bytes = self.encode();
+        let mut s = String::with_capacity(4 + bytes.len() * 2);
+        s.push_str("IOR:");
+        for b in bytes {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// Parses the `IOR:<hex>` stringified form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GiopError::BadStringifiedIor`] on a malformed string, or
+    /// any decoding error from the embedded CDR.
+    pub fn from_stringified(s: &str) -> Result<Ior, GiopError> {
+        let hex = s
+            .strip_prefix("IOR:")
+            .ok_or(GiopError::BadStringifiedIor("missing IOR: prefix"))?;
+        if hex.len() % 2 != 0 {
+            return Err(GiopError::BadStringifiedIor("odd hex length"));
+        }
+        let mut bytes = Vec::with_capacity(hex.len() / 2);
+        let hv = |c: u8| -> Result<u8, GiopError> {
+            match c {
+                b'0'..=b'9' => Ok(c - b'0'),
+                b'a'..=b'f' => Ok(c - b'a' + 10),
+                b'A'..=b'F' => Ok(c - b'A' + 10),
+                _ => Err(GiopError::BadStringifiedIor("non-hex digit")),
+            }
+        };
+        let raw = hex.as_bytes();
+        for pair in raw.chunks(2) {
+            bytes.push((hv(pair[0])? << 4) | hv(pair[1])?);
+        }
+        Ior::decode(&bytes)
+    }
+}
+
+impl fmt::Display for Ior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} profiles)", self.type_id, self.profiles.len())
+    }
+}
+
+/// This deployment's object-key convention: a magic tag, the fault
+/// tolerance domain id, and the object group id.
+///
+/// The gateway "determines the server group id from the server's object key
+/// embedded in the client's IIOP invocation" (§3.2); this type is the shared
+/// convention that makes that determination possible. Real Eternal embedded
+/// equivalent routing information in the keys its interceptor published.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectKey {
+    /// Fault tolerance domain the object group lives in.
+    pub domain: u32,
+    /// Object group id within the domain.
+    pub group: u32,
+}
+
+impl ObjectKey {
+    const MAGIC: &'static [u8; 4] = b"FTDK";
+
+    /// Creates a key.
+    pub fn new(domain: u32, group: u32) -> Self {
+        ObjectKey { domain, group }
+    }
+
+    /// Serializes to the 12-byte wire form.
+    pub fn to_bytes(self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(12);
+        v.extend(Self::MAGIC);
+        v.extend(self.domain.to_be_bytes());
+        v.extend(self.group.to_be_bytes());
+        v
+    }
+
+    /// Parses the 12-byte wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GiopError::BadObjectKey`] if the key does not follow the
+    /// convention (e.g. a foreign ORB's key).
+    pub fn parse(bytes: &[u8]) -> Result<ObjectKey, GiopError> {
+        if bytes.len() != 12 || &bytes[0..4] != Self::MAGIC {
+            return Err(GiopError::BadObjectKey);
+        }
+        let domain = u32::from_be_bytes(bytes[4..8].try_into().expect("len 4"));
+        let group = u32::from_be_bytes(bytes[8..12].try_into().expect("len 4"));
+        Ok(ObjectKey { domain, group })
+    }
+}
+
+impl fmt::Display for ObjectKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ftdk:{}/{}", self.domain, self.group)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iiop_profile_round_trip() {
+        let p = IiopProfile::new("P7", 9000, ObjectKey::new(1, 42).to_bytes());
+        let data = p.encode_body(ByteOrder::Big);
+        let back = IiopProfile::decode_body(&data).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn iiop_profile_little_endian_body() {
+        let p = IiopProfile::new("host", 1, vec![5]);
+        let data = p.encode_body(ByteOrder::Little);
+        assert_eq!(IiopProfile::decode_body(&data).unwrap(), p);
+    }
+
+    #[test]
+    fn single_profile_ior_round_trip() {
+        let ior = Ior::with_iiop("IDL:X:1.0", IiopProfile::new("P1", 80, vec![1, 2]));
+        let back = Ior::decode(&ior.encode()).unwrap();
+        assert_eq!(back, ior);
+        assert_eq!(back.primary_iiop().unwrap().host, "P1");
+    }
+
+    #[test]
+    fn multi_profile_preserves_order() {
+        let ior = Ior::with_iiop_profiles(
+            "IDL:GW:1.0",
+            (0..4).map(|i| IiopProfile::new(format!("P{i}"), 9000, vec![i as u8])),
+        );
+        let profs = ior.iiop_profiles().unwrap();
+        assert_eq!(profs.len(), 4);
+        assert_eq!(profs[0].host, "P0");
+        assert_eq!(profs[3].host, "P3");
+        assert_eq!(ior.primary_iiop().unwrap().host, "P0");
+    }
+
+    #[test]
+    fn push_iiop_appends() {
+        let mut ior = Ior::with_iiop("IDL:GW:1.0", IiopProfile::new("P0", 1, vec![]));
+        ior.push_iiop(IiopProfile::new("P1", 2, vec![]));
+        assert_eq!(ior.iiop_profiles().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn stringified_round_trip() {
+        let ior = Ior::with_iiop("IDL:Stock/Desk:1.0", IiopProfile::new("P2", 5555, vec![9]));
+        let s = ior.to_stringified();
+        assert!(s.starts_with("IOR:"));
+        assert!(s[4..].bytes().all(|b| b.is_ascii_hexdigit()));
+        assert_eq!(Ior::from_stringified(&s).unwrap(), ior);
+    }
+
+    #[test]
+    fn stringified_rejects_malformed() {
+        assert!(Ior::from_stringified("NOPE:00").is_err());
+        assert!(Ior::from_stringified("IOR:0").is_err());
+        assert!(Ior::from_stringified("IOR:zz").is_err());
+    }
+
+    #[test]
+    fn unknown_profile_tags_are_skipped() {
+        let mut ior = Ior::with_iiop("IDL:X:1.0", IiopProfile::new("P1", 80, vec![]));
+        ior.profiles.insert(
+            0,
+            TaggedProfile {
+                tag: 99,
+                data: vec![1, 2, 3],
+            },
+        );
+        // primary_iiop skips the unknown tag.
+        assert_eq!(ior.primary_iiop().unwrap().host, "P1");
+    }
+
+    #[test]
+    fn ior_without_iiop_profile_errors() {
+        let ior = Ior {
+            type_id: "IDL:X:1.0".into(),
+            profiles: vec![],
+        };
+        assert!(ior.primary_iiop().is_err());
+    }
+
+    #[test]
+    fn object_key_round_trip_and_rejection() {
+        let key = ObjectKey::new(3, 0xDEAD);
+        let bytes = key.to_bytes();
+        assert_eq!(bytes.len(), 12);
+        assert_eq!(ObjectKey::parse(&bytes).unwrap(), key);
+        assert_eq!(ObjectKey::parse(b"garbage"), Err(GiopError::BadObjectKey));
+        assert_eq!(
+            ObjectKey::parse(b"XXXX00000000"),
+            Err(GiopError::BadObjectKey)
+        );
+        assert_eq!(key.to_string(), "ftdk:3/57005");
+    }
+}

@@ -1,0 +1,56 @@
+//! # ftd-giop — GIOP/IIOP wire protocol
+//!
+//! A from-scratch implementation of the CORBA wire formats the paper's
+//! gateway must speak on its TCP side: CDR marshalling ([`CdrEncoder`],
+//! [`CdrDecoder`]), GIOP 1.0 messages ([`GiopMessage`], [`Request`],
+//! [`Reply`]), byte-stream framing ([`MessageReader`]), and Interoperable
+//! Object References with multi-profile support ([`Ior`], [`IiopProfile`]).
+//!
+//! The paper's mechanisms that live at this layer:
+//!
+//! * the **object key** embedded in each request, from which the gateway
+//!   determines the target server group (§3.1–3.2) — [`ObjectKey`];
+//! * the **service context** field in which the §3.5 enhanced client layer
+//!   carries its unique client identifier — [`ServiceContext`],
+//!   [`FT_CLIENT_ID_SERVICE_CONTEXT`];
+//! * the **multi-profile IOR** listing redundant gateways (§3.5) —
+//!   [`Ior::with_iiop_profiles`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ftd_giop::*;
+//!
+//! // The client ORB marshals a request...
+//! let req = Request {
+//!     request_id: 1,
+//!     response_expected: true,
+//!     object_key: ObjectKey::new(0, 7).to_bytes(),
+//!     operation: "get_quote".into(),
+//!     ..Request::default()
+//! };
+//! let wire = GiopMessage::Request(req).encode(ByteOrder::Big);
+//!
+//! // ...and the gateway, receiving those bytes, recovers the target group.
+//! let msg = GiopMessage::decode(&wire)?;
+//! if let GiopMessage::Request(r) = msg {
+//!     assert_eq!(ObjectKey::parse(&r.object_key)?.group, 7);
+//! }
+//! # Ok::<(), GiopError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cdr;
+mod error;
+mod ior;
+mod msg;
+
+pub use cdr::{ByteOrder, CdrDecoder, CdrEncoder};
+pub use error::GiopError;
+pub use ior::{IiopProfile, Ior, ObjectKey, TaggedProfile, TAG_INTERNET_IOP};
+pub use msg::{
+    GiopMessage, MessageReader, MsgType, Reply, ReplyStatus, Request, ServiceContext,
+    FT_CLIENT_ID_SERVICE_CONTEXT, GIOP_HEADER_LEN, GIOP_VERSION,
+};

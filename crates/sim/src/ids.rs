@@ -1,0 +1,92 @@
+//! Identifier newtypes for simulated entities.
+
+use std::fmt;
+
+/// Identifies a simulated processor (a host machine in the paper's sense:
+/// "Pi represents a processor hosting some application objects").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessorId(pub u32);
+
+impl fmt::Display for ProcessorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies a LAN segment. Multicast datagrams are delivered only within
+/// one segment; TCP connections may cross segments (the WAN links of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LanId(pub u32);
+
+impl fmt::Display for LanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lan{}", self.0)
+    }
+}
+
+/// A simulated TCP endpoint address: a processor plus a port number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetAddr {
+    /// Destination processor ("host").
+    pub processor: ProcessorId,
+    /// Destination port.
+    pub port: u16,
+}
+
+impl NetAddr {
+    /// Creates an address from a processor and port.
+    pub fn new(processor: ProcessorId, port: u16) -> Self {
+        NetAddr { processor, port }
+    }
+}
+
+impl fmt::Display for NetAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.processor, self.port)
+    }
+}
+
+/// Identifies one simulated TCP connection. Each established connection has
+/// a single `ConnId` shared by both endpoints (the simulator routes events
+/// to the correct side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn{}", self.0)
+    }
+}
+
+/// Identifies a pending timer set by an actor. Returned by
+/// [`Context::set_timer`](crate::Context::set_timer) and usable with
+/// [`Context::cancel_timer`](crate::Context::cancel_timer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+impl fmt::Display for TimerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timer{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ProcessorId(3).to_string(), "P3");
+        assert_eq!(LanId(1).to_string(), "lan1");
+        assert_eq!(NetAddr::new(ProcessorId(2), 9000).to_string(), "P2:9000");
+        assert_eq!(ConnId(7).to_string(), "conn7");
+        assert_eq!(TimerId(9).to_string(), "timer9");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<ProcessorId> = [ProcessorId(2), ProcessorId(1)].into_iter().collect();
+        assert_eq!(set.iter().next(), Some(&ProcessorId(1)));
+    }
+}

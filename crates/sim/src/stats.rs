@@ -1,0 +1,206 @@
+//! Counters and sample histograms shared by the whole simulation.
+//!
+//! Every component (Totem, the replication mechanisms, the gateways) bumps
+//! named counters and records latency samples here; the experiment harness
+//! reads them back to print the per-figure reports.
+
+use crate::SimDuration;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of named counters and sample series.
+///
+/// Names are free-form strings; components use a `component.metric`
+/// convention, e.g. `"gateway.duplicates_suppressed"`.
+///
+/// # Examples
+///
+/// ```
+/// use ftd_sim::Stats;
+///
+/// let mut stats = Stats::new();
+/// stats.inc("gateway.requests");
+/// stats.add("gateway.requests", 2);
+/// assert_eq!(stats.counter("gateway.requests"), 3);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    counters: BTreeMap<String, u64>,
+    samples: BTreeMap<String, Vec<u64>>,
+}
+
+impl Stats {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Increments the named counter by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of the named counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Records one raw sample (e.g. a nanosecond latency) in the named series.
+    pub fn sample(&mut self, name: &str, value: u64) {
+        self.samples.entry(name.to_owned()).or_default().push(value);
+    }
+
+    /// Records a duration sample in nanoseconds.
+    pub fn sample_duration(&mut self, name: &str, value: SimDuration) {
+        self.sample(name, value.as_nanos());
+    }
+
+    /// The raw samples of a series (empty if the series does not exist).
+    pub fn samples(&self, name: &str) -> &[u64] {
+        self.samples.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Summary statistics for a series, or `None` if it has no samples.
+    pub fn summary(&self, name: &str) -> Option<Summary> {
+        Summary::of(self.samples(name))
+    }
+
+    /// Names of all sample series, sorted.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.samples.keys().map(String::as_str)
+    }
+
+    /// Clears all counters and series.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.samples.clear();
+    }
+
+    /// Merges another `Stats` into this one (counters add, samples append).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.samples {
+            self.samples.entry(k.clone()).or_default().extend(v);
+        }
+    }
+}
+
+/// Summary statistics over one sample series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// 50th percentile (nearest-rank).
+    pub p50: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+}
+
+impl Summary {
+    /// Computes a summary, or `None` for an empty slice.
+    pub fn of(samples: &[u64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let sum: u128 = sorted.iter().map(|&v| v as u128).sum();
+        let pct = |p: f64| -> u64 {
+            let rank = ((p * count as f64).ceil() as usize).clamp(1, count);
+            sorted[rank - 1]
+        };
+        Some(Summary {
+            count,
+            min: sorted[0],
+            max: sorted[count - 1],
+            mean: sum as f64 / count as f64,
+            p50: pct(0.50),
+            p99: pct(0.99),
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} min={} p50={} p99={} max={} mean={:.1}",
+            self.count, self.min, self.p50, self.p99, self.max, self.mean
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        assert_eq!(s.counter("a"), 0);
+        s.inc("a");
+        s.add("a", 4);
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counters().collect::<Vec<_>>(), vec![("a", 5)]);
+    }
+
+    #[test]
+    fn summary_of_known_series() {
+        let mut s = Stats::new();
+        for v in [10u64, 20, 30, 40] {
+            s.sample("lat", v);
+        }
+        let sum = s.summary("lat").unwrap();
+        assert_eq!(sum.count, 4);
+        assert_eq!(sum.min, 10);
+        assert_eq!(sum.max, 40);
+        assert_eq!(sum.p50, 20);
+        assert!((sum.mean - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        let s = Stats::new();
+        assert!(s.summary("nothing").is_none());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_appends_samples() {
+        let mut a = Stats::new();
+        a.inc("x");
+        a.sample("s", 1);
+        let mut b = Stats::new();
+        b.add("x", 2);
+        b.sample("s", 2);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 3);
+        assert_eq!(a.samples("s"), &[1, 2]);
+    }
+
+    #[test]
+    fn duration_samples_record_nanos() {
+        let mut s = Stats::new();
+        s.sample_duration("d", SimDuration::from_micros(3));
+        assert_eq!(s.samples("d"), &[3_000]);
+    }
+}

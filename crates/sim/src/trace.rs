@@ -1,0 +1,159 @@
+//! Event tracing for debugging and for the latency breakdowns reported by
+//! the experiment harness (experiment E1).
+
+use crate::{ProcessorId, SimTime};
+use std::fmt;
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time at which the event was recorded.
+    pub time: SimTime,
+    /// Processor on which the event occurred, if any.
+    pub processor: Option<ProcessorId>,
+    /// A short category tag, e.g. `"tcp"`, `"totem"`, `"gateway"`.
+    pub category: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.processor {
+            Some(p) => write!(f, "[{} {} {}] {}", self.time, p, self.category, self.detail),
+            None => write!(f, "[{} - {}] {}", self.time, self.category, self.detail),
+        }
+    }
+}
+
+/// An in-memory trace log with a size cap.
+///
+/// Tracing is disabled by default; enable it with [`TraceLog::set_enabled`]
+/// (or [`World::enable_tracing`](crate::World::enable_tracing)). When the cap
+/// is reached the oldest events are retained and later events dropped, with
+/// the drop count recorded.
+#[derive(Debug)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceLog {
+    /// Default cap on retained events.
+    pub const DEFAULT_CAP: usize = 200_000;
+
+    /// Creates an empty, disabled trace log.
+    pub fn new() -> Self {
+        TraceLog {
+            events: Vec::new(),
+            enabled: false,
+            cap: Self::DEFAULT_CAP,
+            dropped: 0,
+        }
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// `true` if recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Sets the retention cap.
+    pub fn set_cap(&mut self, cap: usize) {
+        self.cap = cap;
+    }
+
+    /// Records one event if enabled and under the cap.
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        processor: Option<ProcessorId>,
+        category: &'static str,
+        detail: String,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            time,
+            processor,
+            category,
+            detail,
+        });
+    }
+
+    /// All recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events matching a category.
+    pub fn by_category<'a>(&'a self, category: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.category == category)
+    }
+
+    /// How many events were dropped after the cap was reached.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::new();
+        log.record(SimTime::ZERO, None, "x", "hello".into());
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_and_filters() {
+        let mut log = TraceLog::new();
+        log.set_enabled(true);
+        log.record(SimTime::ZERO, Some(ProcessorId(1)), "tcp", "a".into());
+        log.record(SimTime::ZERO, None, "totem", "b".into());
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.by_category("tcp").count(), 1);
+        assert!(log.events()[0].to_string().contains("P1"));
+    }
+
+    #[test]
+    fn cap_drops_and_counts() {
+        let mut log = TraceLog::new();
+        log.set_enabled(true);
+        log.set_cap(2);
+        for i in 0..5 {
+            log.record(SimTime::ZERO, None, "x", format!("{i}"));
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 3);
+        log.clear();
+        assert_eq!(log.dropped(), 0);
+        assert!(log.events().is_empty());
+    }
+}

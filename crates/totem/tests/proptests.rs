@@ -1,0 +1,230 @@
+//! Property-based tests on the Totem wire formats and on the total-order
+//! invariant across randomized workloads and loss rates.
+
+use ftd_sim::ProcessorId;
+use ftd_totem::*;
+use proptest::prelude::*;
+
+fn arb_procs() -> impl Strategy<Value = Vec<ProcessorId>> {
+    proptest::collection::vec(any::<u32>().prop_map(ProcessorId), 1..8)
+}
+
+fn arb_msg() -> impl Strategy<Value = TotemMsg> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<bool>(),
+            proptest::collection::vec(any::<u8>(), 0..64),
+        )
+            .prop_map(|(e, seq, sender, group, control, payload)| {
+                TotemMsg::Regular(Regular {
+                    epoch: RingEpoch(e),
+                    seq,
+                    sender: ProcessorId(sender),
+                    group: GroupId(group),
+                    control,
+                    payload,
+                })
+            }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of(any::<u32>().prop_map(ProcessorId)),
+            arb_procs(),
+            proptest::collection::vec(any::<u64>(), 0..8),
+        )
+            .prop_map(|(e, id, seq, aru, aru_id, members, rtr)| {
+                TotemMsg::Token(Token {
+                    epoch: RingEpoch(e),
+                    token_id: id,
+                    seq,
+                    aru,
+                    aru_id,
+                    members,
+                    rtr,
+                })
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>(),
+        )
+            .prop_map(|(s, e, aru, high, retained, fresh)| {
+                TotemMsg::Join(Join {
+                    sender: ProcessorId(s),
+                    epoch: RingEpoch(e),
+                    aru,
+                    high_seq: high,
+                    retained_from: retained,
+                    fresh,
+                })
+            }),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            arb_procs(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec((any::<u32>().prop_map(GroupId), arb_procs()), 0..4),
+        )
+            .prop_map(|(e, rep, members, start, floor, directory)| {
+                TotemMsg::Commit(Commit {
+                    epoch: RingEpoch(e),
+                    representative: ProcessorId(rep),
+                    members,
+                    start_seq: start,
+                    recovery_floor: floor,
+                    directory,
+                })
+            }),
+        (any::<u64>(), any::<u32>()).prop_map(|(e, s)| TotemMsg::Beacon(Beacon {
+            epoch: RingEpoch(e),
+            sender: ProcessorId(s),
+        })),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn totem_messages_round_trip(msg in arb_msg()) {
+        let wire = msg.encode();
+        prop_assert_eq!(TotemMsg::decode(&wire).unwrap(), msg);
+    }
+
+    #[test]
+    fn totem_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TotemMsg::decode(&bytes);
+    }
+
+    #[test]
+    fn aru_id_none_survives_round_trip(e in any::<u64>()) {
+        let t = TotemMsg::Token(Token {
+            epoch: RingEpoch(e),
+            token_id: 1,
+            seq: 2,
+            aru: 1,
+            aru_id: None,
+            members: vec![ProcessorId(0)],
+            rtr: vec![],
+        });
+        prop_assert_eq!(TotemMsg::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn epoch_next_round_is_strictly_increasing(seen in any::<u32>(), rep in any::<u32>()) {
+        let seen = RingEpoch(seen as u64);
+        let next = RingEpoch::next_round(seen, rep);
+        prop_assert!(next > seen);
+        prop_assert_eq!(next.round(), seen.round() + 1);
+    }
+
+    #[test]
+    fn epoch_ties_are_broken_by_representative(seen in any::<u32>(), a in any::<u8>(), b in any::<u8>()) {
+        prop_assume!(a != b);
+        let seen = RingEpoch(seen as u64);
+        let ea = RingEpoch::next_round(seen, a as u32);
+        let eb = RingEpoch::next_round(seen, b as u32);
+        prop_assert_ne!(ea, eb, "same round, different reps must differ");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized end-to-end total-order property
+// ---------------------------------------------------------------------
+
+mod end_to_end {
+    use ftd_sim::*;
+    use ftd_totem::*;
+    use proptest::prelude::*;
+
+    const GROUP: GroupId = GroupId(5);
+
+    struct Host {
+        totem: TotemNode,
+        delivered: Vec<(u64, ProcessorId, Vec<u8>)>,
+    }
+
+    impl Actor for Host {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            self.totem.start(ctx);
+            self.totem.join_group(GROUP);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+            if !self.totem.on_timer(ctx, tag) && tag < 1000 {
+                self.totem
+                    .multicast(GROUP, vec![ctx.me().0 as u8, tag as u8]);
+            }
+            self.drain();
+        }
+        fn on_datagram(&mut self, ctx: &mut Context<'_>, dgram: Datagram) {
+            self.totem.on_datagram(ctx, &dgram);
+            self.drain();
+        }
+    }
+
+    impl Host {
+        fn drain(&mut self) {
+            for ev in self.totem.take_events() {
+                if let TotemEvent::Deliver(m) = ev {
+                    self.delivered.push((m.seq, m.sender, m.payload));
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn all_members_agree_on_the_total_order(
+            seed in any::<u64>(),
+            n in 2u32..5,
+            loss in 0u32..12, // percent
+            sends in 1u64..10,
+        ) {
+            let mut world = World::new(seed);
+            let lan = world.add_lan(LanConfig {
+                loss_probability: loss as f64 / 100.0,
+                ..LanConfig::default()
+            });
+            let procs: Vec<ProcessorId> = (0..n)
+                .map(|i| {
+                    world.add_processor(&format!("p{i}"), lan, |me| {
+                        Box::new(super::end_to_end::Host {
+                            totem: TotemNode::new(me, TotemConfig::default(), 1 << 48),
+                            delivered: Vec::new(),
+                        })
+                    })
+                })
+                .collect();
+            world.run_for(SimDuration::from_millis(20));
+            for k in 0..sends {
+                for &p in &procs {
+                    world.post(p, k); // tag < 1000 triggers a multicast
+                }
+                world.run_for(SimDuration::from_millis(3));
+            }
+            world.run_for(SimDuration::from_secs(2));
+
+            let sequences: Vec<_> = procs
+                .iter()
+                .map(|&p| world.actor::<Host>(p).unwrap().delivered.clone())
+                .collect();
+            for other in &sequences[1..] {
+                prop_assert_eq!(&sequences[0], other, "delivery sequences diverged");
+            }
+            prop_assert_eq!(
+                sequences[0].len() as u64,
+                sends * n as u64,
+                "messages lost"
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # ftdomains — Gateways for Accessing Fault Tolerance Domains
+//!
+//! A comprehensive reproduction of P. Narasimhan, L. E. Moser and
+//! P. M. Melliar-Smith, *"Gateways for Accessing Fault Tolerance
+//! Domains"*, Middleware 2000 — the gateway mechanism of the Eternal
+//! FT-CORBA system — together with every substrate it depends on, built
+//! from scratch over a deterministic discrete-event simulation:
+//!
+//! | layer | crate | contents |
+//! |---|---|---|
+//! | simulation | [`sim`] | virtual time, processors, TCP streams, lossy LAN multicast, fault injection |
+//! | wire protocol | [`giop`] | CDR, GIOP/IIOP messages, multi-profile IORs, object keys |
+//! | group communication | [`totem`] | Totem-style single-ring totally ordered multicast with membership |
+//! | FT infrastructure | [`eternal`] | replication styles/mechanisms/managers, logging-recovery, interceptor |
+//! | **the paper** | [`core`] | gateways, client identification, duplicate suppression, redundant gateway groups, enhanced clients, domain bridging |
+//!
+//! Start with [`prelude`] and the `examples/` directory:
+//! `cargo run --example quickstart`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ftd_core as core;
+pub use ftd_eternal as eternal;
+pub use ftd_giop as giop;
+pub use ftd_sim as sim;
+pub use ftd_totem as totem;
+
+/// The most common imports for building and driving a fault tolerance
+/// domain.
+pub mod prelude {
+    pub use ftd_core::{
+        build_domain, build_domain_on, connect_domains, DomainDaemon, DomainHandle, DomainSpec,
+        EnhancedClient, Gateway, GatewayConfig, PlainClient, TAG_FLUSH,
+    };
+    pub use ftd_eternal::{
+        AppObject, Counter, EternalDaemon, FtProperties, MechConfig, ObjectRegistry, Outcome,
+        ReplicationStyle,
+    };
+    pub use ftd_giop::{GiopMessage, IiopProfile, Ior, ObjectKey, Reply, Request};
+    pub use ftd_sim::{
+        Actor, Context, LanConfig, NetAddr, ProcessorId, SimDuration, SimTime, World,
+    };
+    pub use ftd_totem::{DeliveryMode, GroupId, TotemConfig};
+}
