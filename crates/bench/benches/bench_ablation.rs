@@ -6,8 +6,9 @@
 //!   rejoin without an application-level gap (state-transfer avoidance);
 //! * delivery mode — agreed vs safe delivery cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftd_bench::micro::{BenchmarkId, Criterion};
 use ftd_bench::*;
+use ftd_bench::{bench_group, bench_main};
 use ftd_core::{build_domain, DomainSpec, PlainClient};
 use ftd_eternal::{FtProperties, ReplicationStyle};
 use ftd_sim::{SimDuration, World};
@@ -74,7 +75,10 @@ fn bench_ablation(c: &mut Criterion) {
     }
 
     // Delivery mode: agreed vs safe.
-    for (name, mode) in [("agreed", DeliveryMode::Agreed), ("safe", DeliveryMode::Safe)] {
+    for (name, mode) in [
+        ("agreed", DeliveryMode::Agreed),
+        ("safe", DeliveryMode::Safe),
+    ] {
         g.bench_with_input(
             BenchmarkId::new("delivery_mode", name),
             &mode,
@@ -121,5 +125,5 @@ fn bench_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);
+bench_group!(benches, bench_ablation);
+bench_main!(benches);

@@ -1,9 +1,10 @@
 //! E4 (Fig. 4): wire-format codec costs — the per-message work the gateway
 //! performs when translating between IIOP and the multicast encapsulation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftd_bench::micro::{BatchSize, Criterion};
+use ftd_bench::{bench_group, bench_main};
 use ftd_eternal::{DomainMsg, FtHeader, OperationKind, UNUSED_CLIENT_ID};
-use ftd_giop::{ByteOrder, GiopMessage, Ior, IiopProfile, ObjectKey, Reply, Request};
+use ftd_giop::{ByteOrder, GiopMessage, IiopProfile, Ior, ObjectKey, Reply, Request};
 use ftd_totem::GroupId;
 use std::hint::black_box;
 
@@ -63,7 +64,9 @@ fn bench_codec(c: &mut Criterion) {
         "IDL:Stock/Desk:1.0",
         (0..3).map(|i| IiopProfile::new(format!("P{i}"), 9000, ObjectKey::new(1, 10).to_bytes())),
     );
-    g.bench_function("ior_stringify", |b| b.iter(|| black_box(ior.to_stringified())));
+    g.bench_function("ior_stringify", |b| {
+        b.iter(|| black_box(ior.to_stringified()))
+    });
     let s = ior.to_stringified();
     g.bench_function("ior_destringify", |b| {
         b.iter(|| black_box(Ior::from_stringified(&s).unwrap()))
@@ -71,5 +74,5 @@ fn bench_codec(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codec);
-criterion_main!(benches);
+bench_group!(benches, bench_codec);
+bench_main!(benches);

@@ -1,8 +1,9 @@
 //! E8 (§3.5): the redundant-gateway failover path — crash the connected
 //! gateway with a request in flight, measure the full recovery scenario.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftd_bench::micro::{BenchmarkId, Criterion};
 use ftd_bench::*;
+use ftd_bench::{bench_group, bench_main};
 use ftd_eternal::ReplicationStyle;
 use ftd_sim::SimDuration;
 
@@ -33,5 +34,5 @@ fn bench_failover(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_failover);
-criterion_main!(benches);
+bench_group!(benches, bench_failover);
+bench_main!(benches);

@@ -1,8 +1,9 @@
 //! E5 (Fig. 5): the gateway's inbound/outbound action loops under
 //! concurrent client load.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftd_bench::micro::{BenchmarkId, Criterion};
 use ftd_bench::*;
+use ftd_bench::{bench_group, bench_main};
 use ftd_core::PlainClient;
 use ftd_eternal::ReplicationStyle;
 use ftd_sim::SimDuration;
@@ -18,8 +19,7 @@ fn bench_gateway_loops(c: &mut Criterion) {
             &clients,
             |b, &clients| {
                 b.iter(|| {
-                    let (mut world, handle) =
-                        single_domain(50, 6, 1, 3, ReplicationStyle::Active);
+                    let (mut world, handle) = single_domain(50, 6, 1, 3, ReplicationStyle::Active);
                     let ids: Vec<_> = (0..clients)
                         .map(|_| add_plain_client(&mut world, &handle, false))
                         .collect();
@@ -45,5 +45,5 @@ fn bench_gateway_loops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gateway_loops);
-criterion_main!(benches);
+bench_group!(benches, bench_gateway_loops);
+bench_main!(benches);

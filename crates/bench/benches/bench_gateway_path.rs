@@ -1,8 +1,9 @@
 //! E3 (Fig. 3): the gateway invocation path as a function of the server
 //! replica count (the duplicate-suppression workload grows with it).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftd_bench::micro::{BenchmarkId, Criterion};
 use ftd_bench::*;
+use ftd_bench::{bench_group, bench_main};
 use ftd_eternal::ReplicationStyle;
 use std::hint::black_box;
 
@@ -30,5 +31,5 @@ fn bench_gateway_path(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gateway_path);
-criterion_main!(benches);
+bench_group!(benches, bench_gateway_path);
+bench_main!(benches);

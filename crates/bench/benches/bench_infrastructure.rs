@@ -2,8 +2,9 @@
 //! Criterion measures the wall-clock cost of simulating each configuration;
 //! the virtual-time ratios are reported by the `experiments` binary.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ftd_bench::micro::Criterion;
 use ftd_bench::*;
+use ftd_bench::{bench_group, bench_main};
 use ftd_eternal::ReplicationStyle;
 use std::hint::black_box;
 
@@ -41,5 +42,5 @@ fn bench_infrastructure(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_infrastructure);
-criterion_main!(benches);
+bench_group!(benches, bench_infrastructure);
+bench_main!(benches);

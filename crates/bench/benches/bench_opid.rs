@@ -1,7 +1,8 @@
 //! E6 (Fig. 6): duplicate detection structures — the per-message cost of
 //! the operation-identifier tables at gateways and replication mechanisms.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ftd_bench::micro::{BatchSize, Criterion};
+use ftd_bench::{bench_group, bench_main};
 use ftd_eternal::{InvocationTable, OperationId, ResponseFilter, Voter};
 use ftd_totem::GroupId;
 use std::hint::black_box;
@@ -69,5 +70,5 @@ fn bench_opid(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_opid);
-criterion_main!(benches);
+bench_group!(benches, bench_opid);
+bench_main!(benches);

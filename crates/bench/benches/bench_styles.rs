@@ -1,7 +1,8 @@
 //! E10 (§2): one gateway round trip under each replication style.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ftd_bench::micro::{BenchmarkId, Criterion};
 use ftd_bench::*;
+use ftd_bench::{bench_group, bench_main};
 use ftd_eternal::ReplicationStyle;
 use std::hint::black_box;
 
@@ -31,5 +32,5 @@ fn bench_styles(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_styles);
-criterion_main!(benches);
+bench_group!(benches, bench_styles);
+bench_main!(benches);

@@ -148,7 +148,11 @@ fn e2_infrastructure_overhead() {
     });
     let ior = ftd_giop::Ior::with_iiop(
         "IDL:Raw:1.0",
-        ftd_giop::IiopProfile::new(format!("P{}", server.0), 9000, ObjectKey::new(0, 1).to_bytes()),
+        ftd_giop::IiopProfile::new(
+            format!("P{}", server.0),
+            9000,
+            ObjectKey::new(0, 1).to_bytes(),
+        ),
     );
     let client = world.add_processor("raw_client", lan, move |_| {
         Box::new(PlainClient::new(&ior, false))
@@ -190,15 +194,27 @@ fn e2_infrastructure_overhead() {
     }
     let intra = mean(&intra_rtts);
 
-    println!("  plain TCP, unreplicated server:      mean rtt = {}", ns(raw));
-    println!("  replicated client, intra-domain:     mean rtt = {}", ns(intra));
-    println!("  external client via gateway:         mean rtt = {}", ns(ft));
+    println!(
+        "  plain TCP, unreplicated server:      mean rtt = {}",
+        ns(raw)
+    );
+    println!(
+        "  replicated client, intra-domain:     mean rtt = {}",
+        ns(intra)
+    );
+    println!(
+        "  external client via gateway:         mean rtt = {}",
+        ns(ft)
+    );
     println!(
         "  infrastructure overhead: intra/raw = {:.1}x, gateway/raw = {:.1}x",
         intra / raw,
         ft / raw
     );
-    println!("  multicast broadcasts per gateway invocation: {:.1}\n", msgs as f64 / 20.0);
+    println!(
+        "  multicast broadcasts per gateway invocation: {:.1}\n",
+        msgs as f64 / 20.0
+    );
 }
 
 // =====================================================================
@@ -222,16 +238,22 @@ fn e3_gateway_duplicate_suppression() {
         let client = add_plain_client(&mut world, &handle, false);
         let rtt = one_round_trip(&mut world, client, 7);
         world.run_for(SimDuration::from_millis(10)); // drain stragglers
-        let dups = world.stats().counter("gateway.duplicate_responses_suppressed");
-        let replies = world.actor::<PlainClient>(client).expect("alive").replies.len();
+        let dups = world
+            .stats()
+            .counter("gateway.duplicate_responses_suppressed");
+        let replies = world
+            .actor::<PlainClient>(client)
+            .expect("alive")
+            .replies
+            .len();
         let values = counter_values(&world, &handle, SERVER);
-        println!(
-            "  {replicas:8} | {rtt:>13} | {dups:24} | {replies:7} | {values:?}"
-        );
+        println!("  {replicas:8} | {rtt:>13} | {dups:24} | {replies:7} | {values:?}");
         assert_eq!(dups, (replicas - 1) as u64, "suppression = replicas - 1");
         assert_eq!(replies, 1);
     }
-    println!("  shape: duplicates grow linearly with replicas; exactly one reply reaches the client\n");
+    println!(
+        "  shape: duplicates grow linearly with replicas; exactly one reply reaches the client\n"
+    );
 }
 
 // =====================================================================
@@ -253,7 +275,10 @@ fn e4_message_formats() {
     let iiop = GiopMessage::Request(request).encode(ByteOrder::Big);
 
     // (a) client ↔ gateway: bare IIOP over TCP.
-    println!("  (a) client->gateway IIOP request:       {:4} bytes", iiop.len());
+    println!(
+        "  (a) client->gateway IIOP request:       {:4} bytes",
+        iiop.len()
+    );
 
     // (b) gateway → domain: FT header + IIOP, client id set.
     let hdr_b = FtHeader {
@@ -360,9 +385,7 @@ fn e5_gateway_loops() {
             .as_ref()
             .expect("gateway")
             .connected_clients();
-        println!(
-            "  {clients:7} | {total:8} | {elapsed:>21} | {rate:15.0} | {table:13}"
-        );
+        println!("  {clients:7} | {total:8} | {elapsed:>21} | {rate:15.0} | {table:13}");
     }
     println!("  shape: throughput bounded by token rotations; table grows with clients\n");
 }
@@ -406,7 +429,10 @@ fn e6_operation_identifiers() {
     println!("  {rounds} parent ops through a 2-replica active orchestrator:");
     println!("    nested invocations issued (2 per parent): {nested}");
     println!("    duplicate invocations suppressed by id:   {dup_inv}");
-    println!("    counter = {values:?} (each child applied once: {})", rounds * 5);
+    println!(
+        "    counter = {values:?} (each child applied once: {})",
+        rounds * 5
+    );
     assert!(values.iter().all(|&v| v == rounds * 5));
     assert_eq!(nested, rounds * 2, "both replicas issue the child");
     assert!(dup_inv >= rounds, "one copy per parent suppressed");
@@ -418,7 +444,10 @@ fn e6_operation_identifiers() {
 // =====================================================================
 
 fn e7_plain_orb_limitations() {
-    banner("E7 (§3.4)", "plain ORBs: gateway is a single point of failure");
+    banner(
+        "E7 (§3.4)",
+        "plain ORBs: gateway is a single point of failure",
+    );
 
     // (a) Gateway crash → client disconnected, pending lost.
     let (mut world, handle) = single_domain(140, 6, 1, 3, ReplicationStyle::Active);
@@ -501,10 +530,14 @@ fn e7_plain_orb_limitations() {
 // =====================================================================
 
 fn e8_redundant_gateways() {
-    banner("E8 (§3.5)", "enhanced clients fail over with exactly-once semantics");
+    banner(
+        "E8 (§3.5)",
+        "enhanced clients fail over with exactly-once semantics",
+    );
     println!("  gateways | failover latency (virtual) | replies | dup execution | lost replies");
     for &gws in &[2u32, 3, 4] {
-        let (mut world, handle) = single_domain(150 + gws as u64, 7, gws, 3, ReplicationStyle::Active);
+        let (mut world, handle) =
+            single_domain(150 + gws as u64, 7, gws, 3, ReplicationStyle::Active);
         let client = add_enhanced_client(&mut world, &handle, 0x4000_0000 | gws);
         enhanced_send(&mut world, client, "add", &5u64.to_be_bytes());
         run_until_enhanced_replies(&mut world, client, 1).expect("first reply");
@@ -557,7 +590,10 @@ impl AppObject for Threaded {
 }
 
 fn e9_determinism_enforcement() {
-    banner("E9 (§2.2)", "multithreading nondeterminism vs enforced determinism");
+    banner(
+        "E9 (§2.2)",
+        "multithreading nondeterminism vs enforced determinism",
+    );
     let run = |enforce: bool| -> (bool, Vec<u64>) {
         let mut world = World::new(160);
         let mut spec = ftd_core::DomainSpec::new(1, 5, 1);
@@ -599,7 +635,9 @@ fn e9_determinism_enforcement() {
 
 fn e10_replication_styles() {
     banner("E10 (§2)", "replication style matrix under fault injection");
-    println!("  style              | rtt (virtual) | survives host crash | state after crash+op | notes");
+    println!(
+        "  style              | rtt (virtual) | survives host crash | state after crash+op | notes"
+    );
     let styles = [
         ReplicationStyle::Stateless,
         ReplicationStyle::ColdPassive,
@@ -682,7 +720,9 @@ fn e10_replication_styles() {
         .body
         .clone();
     let voted = u64::from_be_bytes(body.try_into().expect("u64"));
-    println!("  voting with one corrupted replica: client sees {voted} (truth: 8) — fault masked\n");
+    println!(
+        "  voting with one corrupted replica: client sees {voted} (truth: 8) — fault masked\n"
+    );
     assert_eq!(voted, 8);
 }
 

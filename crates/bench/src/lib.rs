@@ -1,9 +1,11 @@
-//! Shared scenario builders for the Criterion benches and the
+//! Shared scenario builders for the micro-benchmarks and the
 //! `experiments` binary that regenerates every figure/claim of the paper
 //! (see DESIGN.md §5 for the experiment index E1–E10).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod micro;
 
 use ftd_core::{
     build_domain, connect_domains, DomainDaemon, DomainHandle, DomainSpec, EnhancedClient,

@@ -1,0 +1,300 @@
+//! A minimal micro-benchmark harness with a Criterion-shaped API.
+//!
+//! The workspace builds offline with zero third-party crates, so the
+//! benches use this internal harness instead of an external one. The API
+//! mirrors the subset of Criterion the benches need — `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `Bencher::iter_batched` — so bench code reads the same as it would
+//! against the real crate. Measurement is deliberately simple: a warm-up
+//! period, then a fixed number of timed samples of adaptively sized
+//! iteration batches, reporting the median ns/iter. That is plenty for
+//! regression-spotting; it makes no statistical claims beyond min/median/max.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility.
+/// All variants time each routine call individually, excluding setup.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per timed call.
+    PerIteration,
+}
+
+/// A benchmark identifier of the form `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchId {
+    /// The rendered benchmark id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The harness entry point (one per bench binary).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into_id(), self.settings, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing settings and a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id()), self.settings, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(full_name: &str, settings: Settings, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        settings,
+        samples_ns: Vec::new(),
+        iters_per_sample: 0,
+    };
+    f(&mut b);
+    b.report(full_name);
+}
+
+/// Passed to each benchmark closure; times the hot loop.
+pub struct Bencher {
+    settings: Settings,
+    /// Per-iteration nanoseconds, one entry per sample.
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f` over warm-up plus `sample_size` adaptively sized batches.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: also yields a per-call estimate for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.settings.warm_up {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let per_call = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let budget_ns =
+            self.settings.measurement.as_nanos() as f64 / self.settings.sample_size as f64;
+        let iters = ((budget_ns / per_call.max(1.0)) as u64).max(1);
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.settings.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            self.samples_ns
+                .push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Like [`Bencher::iter`] but with untimed per-call setup.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut warm_ns = 0u128;
+        while warm_start.elapsed() < self.settings.warm_up {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            warm_ns += t.elapsed().as_nanos();
+            warm_iters += 1;
+        }
+        let per_call = warm_ns as f64 / warm_iters.max(1) as f64;
+        let budget_ns =
+            self.settings.measurement.as_nanos() as f64 / self.settings.sample_size as f64;
+        let iters = ((budget_ns / per_call.max(1.0)) as u64).max(1);
+        self.iters_per_sample = iters;
+        self.samples_ns.clear();
+        for _ in 0..self.settings.sample_size {
+            let mut sample_ns = 0u128;
+            for _ in 0..iters {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                sample_ns += t.elapsed().as_nanos();
+            }
+            self.samples_ns.push(sample_ns as f64 / iters as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<56} (no measurement)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{name:<56} median {:>12} [{} .. {}]  ({} samples x {} iters)",
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(max),
+            sorted.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a bench entry function running each listed benchmark with a
+/// fresh default [`Criterion`].
+#[macro_export]
+macro_rules! bench_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::micro::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, invoking one or more groups.
+#[macro_export]
+macro_rules! bench_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

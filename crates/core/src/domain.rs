@@ -158,7 +158,8 @@ impl DomainHandle {
         operation: &str,
         args: &[u8],
     ) -> u32 {
-        self.daemon_mut(world, idx).invoke_root(group, operation, args)
+        self.daemon_mut(world, idx)
+            .invoke_root(group, operation, args)
     }
 
     /// Driver shorthand: drain root replies at daemon `idx`.

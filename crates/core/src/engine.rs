@@ -1,0 +1,986 @@
+//! The transport-agnostic gateway engine: the paper's §3 state machine
+//! with every transport concern factored out.
+//!
+//! The engine is a pure function of the byte streams fed into it. It
+//! parses IIOP from client connections, maps object keys to server
+//! groups, assigns §3.2 per-server-group client identifiers, wraps
+//! requests in the Fig. 4 header, suppresses duplicate responses (with
+//! majority voting for active-with-voting groups), caches replies for
+//! §3.5 failover reissues, coordinates with redundant peer gateways over
+//! the gateway group, and bridges foreign-domain requests toward peer
+//! domains (Fig. 1) — all by *returning* [`Action`]s rather than touching
+//! any socket or multicast primitive itself.
+//!
+//! Two hosts drive the same engine:
+//!
+//! * the simulated [`Gateway`](crate::Gateway) daemon extension, which
+//!   maps actions onto the deterministic world's TCP streams and the
+//!   in-process Totem node, and
+//! * `ftd-net`'s `GatewayServer`, which maps them onto real
+//!   `std::net::TcpStream` sockets.
+//!
+//! Connections are named by the opaque [`GwConn`] handle; what a handle
+//! *is* (a simulated stream id, an OS socket) is the host's business.
+//! Domain-side facts the engine cannot know on its own — how many peer
+//! gateways are live, whether a server group votes, how many replicas are
+//! reachable — are supplied per call through the [`DomainView`] trait.
+
+use crate::gwmsg::GwMsg;
+use ftd_eternal::DomainMsg;
+use ftd_eternal::{FtHeader, OperationId, OperationKind, ResponseFilter, Voter};
+use ftd_giop::{
+    ByteOrder, GiopMessage, MessageReader, ObjectKey, Reply, Request, ServiceContext,
+    FT_CLIENT_ID_SERVICE_CONTEXT,
+};
+use ftd_totem::GroupId;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// An opaque transport-neutral connection handle. The hosting transport
+/// chooses the numbering; the engine only compares handles for equality
+/// and ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GwConn(pub u64);
+
+/// What the engine asks its hosting transport to do. Actions are returned
+/// in order and must be applied in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Write `bytes` to a client connection.
+    ToClient {
+        /// The client connection.
+        conn: GwConn,
+        /// The IIOP bytes to write.
+        bytes: Vec<u8>,
+    },
+    /// Close a client connection.
+    CloseClient {
+        /// The client connection.
+        conn: GwConn,
+    },
+    /// Multicast `payload` to `group` on the domain's ordered transport.
+    Multicast {
+        /// The destination process group.
+        group: GroupId,
+        /// The encoded payload.
+        payload: Vec<u8>,
+    },
+    /// Establish (or re-establish) the TCP link to a peer domain's
+    /// gateway. The host owns the route table; once the link is up it
+    /// must call [`GatewayEngine::on_bridge_connected`].
+    BridgeConnect {
+        /// The peer fault tolerance domain.
+        domain: u32,
+    },
+    /// Write `bytes` on the (established) link to a peer domain.
+    ToBridge {
+        /// The peer fault tolerance domain.
+        domain: u32,
+        /// The IIOP bytes to write.
+        bytes: Vec<u8>,
+    },
+    /// Persist a §3.4 client-id counter to stable storage (cold-passive
+    /// gateways; hosts without stable storage may ignore this).
+    PersistCounter {
+        /// The server group the counter belongs to.
+        server: u32,
+        /// The new counter value.
+        value: u32,
+    },
+    /// Increment a named statistics counter.
+    Count {
+        /// The counter name.
+        counter: &'static str,
+    },
+}
+
+/// Domain-side facts the engine needs but cannot derive from its inputs.
+/// Hosts implement this over whatever their domain substrate is (the
+/// simulated Totem node and mechanisms, an in-process domain, ...).
+pub trait DomainView {
+    /// Gateways of this domain's gateway group currently live (including
+    /// this one). Controls whether §3.5 Record coordination is worth
+    /// multicasting.
+    fn live_gateway_peers(&self) -> usize;
+    /// Whether `group` replicates with active-with-voting (the gateway
+    /// then votes on responses instead of taking the first).
+    fn votes(&self, group: GroupId) -> bool;
+    /// Live replicas of `group` — the electorate size for voting.
+    fn live_replicas(&self, group: GroupId) -> usize;
+}
+
+/// A [`DomainView`] for hosts without peers or voting groups (and for
+/// tests): one gateway, no voting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoloView;
+
+impl DomainView for SoloView {
+    fn live_gateway_peers(&self) -> usize {
+        1
+    }
+    fn votes(&self, _group: GroupId) -> bool {
+        false
+    }
+    fn live_replicas(&self, _group: GroupId) -> usize {
+        1
+    }
+}
+
+/// Engine configuration: the transport-free subset of
+/// [`GatewayConfig`](crate::GatewayConfig).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// This fault tolerance domain's id (object keys are checked against it).
+    pub domain: u32,
+    /// The gateway group shared by all redundant gateways of this domain.
+    pub group: GroupId,
+    /// Index of this gateway among its domain's gateways; namespaces the
+    /// counter-assigned client ids.
+    pub index: u32,
+    /// Peer domains this gateway can bridge to. The host owns the actual
+    /// addresses; the engine only decides *that* a request must bridge.
+    pub peer_domains: BTreeSet<u32>,
+    /// Client id presented to peer domains when bridging.
+    pub bridge_client_id: u32,
+    /// Response-cache capacity (ops retained for failover reissues).
+    pub cache_capacity: usize,
+}
+
+impl EngineConfig {
+    /// A single-domain configuration with sensible defaults.
+    pub fn new(domain: u32, group: GroupId, index: u32) -> Self {
+        EngineConfig {
+            domain,
+            group,
+            index,
+            peer_domains: BTreeSet::new(),
+            bridge_client_id: 0x6000_0000 | (domain << 8) | index,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ClientConn {
+    reader: MessageReader,
+    /// Assigned on the first request (§3.2) or taken from the service
+    /// context (§3.5).
+    client_key: Option<u32>,
+    /// Whether the peer announced itself graceful (CloseConnection seen).
+    graceful_close: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LinkState {
+    Down,
+    Connecting,
+    Up,
+}
+
+#[derive(Debug)]
+struct BridgeLink {
+    state: LinkState,
+    reader: MessageReader,
+    /// Requests sent and not yet answered: forward id → origin.
+    pending: BTreeMap<u32, BridgeOrigin>,
+    /// Requests queued while (re)connecting.
+    queue: VecDeque<Vec<u8>>,
+}
+
+impl BridgeLink {
+    fn new() -> Self {
+        BridgeLink {
+            state: LinkState::Down,
+            reader: MessageReader::new(),
+            pending: BTreeMap::new(),
+            queue: VecDeque::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BridgeOrigin {
+    client_key: u32,
+    request_id: u32,
+    server: GroupId,
+}
+
+/// The §3 gateway state machine. See the module docs.
+#[derive(Debug)]
+pub struct GatewayEngine {
+    config: EngineConfig,
+    conns: BTreeMap<GwConn, ClientConn>,
+    /// (server group, client id) → the connection currently serving that
+    /// client (§3.2: destination group + client id collectively).
+    client_conns: BTreeMap<(GroupId, u32), GwConn>,
+    /// §3.2 per-server-group counters.
+    counters: BTreeMap<u32, u32>,
+    filter: ResponseFilter,
+    voter: Voter,
+    /// Response cache for failover reissues: operation → reply IIOP bytes.
+    cache: BTreeMap<OperationId, Vec<u8>>,
+    cache_order: VecDeque<OperationId>,
+    /// Bridge links to peer domains.
+    bridges: BTreeMap<u32, BridgeLink>,
+    next_forward_id: u32,
+}
+
+impl GatewayEngine {
+    /// Creates an engine. `counters` seeds the §3.2 client-id counters —
+    /// pass the persisted values when reincarnating a cold-passive
+    /// gateway, empty otherwise.
+    pub fn new(config: EngineConfig, counters: BTreeMap<u32, u32>) -> Self {
+        GatewayEngine {
+            config,
+            conns: BTreeMap::new(),
+            client_conns: BTreeMap::new(),
+            counters,
+            filter: ResponseFilter::new(4096),
+            voter: Voter::new(),
+            cache: BTreeMap::new(),
+            cache_order: VecDeque::new(),
+            bridges: BTreeMap::new(),
+            next_forward_id: 0,
+        }
+    }
+
+    /// The gateway group id.
+    pub fn group(&self) -> GroupId {
+        self.config.group
+    }
+
+    /// Number of currently connected clients.
+    pub fn connected_clients(&self) -> usize {
+        self.client_conns.len()
+    }
+
+    /// Duplicate responses suppressed so far (Fig. 3's headline number).
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.filter.suppressed()
+    }
+
+    /// Responses currently cached for failover reissues.
+    pub fn cached_responses(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The §3.2 counter value for a server group (0 if untouched).
+    pub fn counter_for(&self, server: GroupId) -> u32 {
+        self.counters.get(&server.0).copied().unwrap_or(0)
+    }
+
+    /// Assigns the next §3.2 client identifier for `server`. Exposed for
+    /// tests and hosts; internal assignments additionally emit
+    /// [`Action::PersistCounter`].
+    pub fn assign_client_key(&mut self, server: GroupId) -> u32 {
+        let counter = self.counters.entry(server.0).or_insert(0);
+        *counter += 1;
+        (self.config.index << 24) | (*counter & 0x00FF_FFFF)
+    }
+
+    fn assign_and_persist(&mut self, server: GroupId, out: &mut Vec<Action>) -> u32 {
+        let key = self.assign_client_key(server);
+        out.push(Action::PersistCounter {
+            server: server.0,
+            value: self.counters[&server.0],
+        });
+        key
+    }
+
+    fn cache_put(&mut self, op: OperationId, reply: Vec<u8>) {
+        if self.cache.insert(op, reply).is_none() {
+            self.cache_order.push_back(op);
+            if self.cache_order.len() > self.config.cache_capacity {
+                if let Some(old) = self.cache_order.pop_front() {
+                    self.cache.remove(&old);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inbound: a client connection's lifecycle (Fig. 5a)
+    // ------------------------------------------------------------------
+
+    /// A new client connection was accepted by the transport.
+    pub fn on_client_accepted(&mut self, conn: GwConn) -> Vec<Action> {
+        self.conns.insert(
+            conn,
+            ClientConn {
+                reader: MessageReader::new(),
+                client_key: None,
+                graceful_close: false,
+            },
+        );
+        vec![Action::Count {
+            counter: "gateway.clients_accepted",
+        }]
+    }
+
+    /// Bytes arrived from a client connection. Unknown connections are
+    /// ignored (the transport may race a close against late data).
+    pub fn on_bytes_from_client(
+        &mut self,
+        conn: GwConn,
+        bytes: &[u8],
+        view: &dyn DomainView,
+    ) -> Vec<Action> {
+        let mut out = Vec::new();
+        if let Some(state) = self.conns.get_mut(&conn) {
+            state.reader.push(bytes);
+        } else {
+            return out;
+        }
+        loop {
+            let msg = match self.conns.get_mut(&conn).expect("checked").reader.next() {
+                Ok(Some(m)) => m,
+                Ok(None) => break,
+                Err(_) => {
+                    out.push(Action::Count {
+                        counter: "gateway.protocol_errors",
+                    });
+                    out.push(Action::ToClient {
+                        conn,
+                        bytes: GiopMessage::MessageError.encode(ByteOrder::Big),
+                    });
+                    out.push(Action::CloseClient { conn });
+                    self.conns.remove(&conn);
+                    return out;
+                }
+            };
+            match msg {
+                GiopMessage::Request(req) => {
+                    self.on_client_request(conn, req, view, &mut out);
+                }
+                GiopMessage::LocateRequest { request_id, .. } => {
+                    // The gateway *is* the object as far as clients know.
+                    out.push(Action::ToClient {
+                        conn,
+                        bytes: GiopMessage::LocateReply {
+                            request_id,
+                            locate_status: 1, // OBJECT_HERE
+                        }
+                        .encode(ByteOrder::Big),
+                    });
+                }
+                GiopMessage::CloseConnection => {
+                    if let Some(state) = self.conns.get_mut(&conn) {
+                        state.graceful_close = true;
+                    }
+                }
+                GiopMessage::CancelRequest { .. } => {
+                    out.push(Action::Count {
+                        counter: "gateway.cancels_ignored",
+                    });
+                }
+                GiopMessage::Reply(_) | GiopMessage::LocateReply { .. } => {
+                    out.push(Action::Count {
+                        counter: "gateway.unexpected_messages",
+                    });
+                }
+                GiopMessage::MessageError => {
+                    out.push(Action::CloseClient { conn });
+                    self.conns.remove(&conn);
+                    return out;
+                }
+            }
+        }
+        out
+    }
+
+    fn on_client_request(
+        &mut self,
+        conn: GwConn,
+        req: Request,
+        view: &dyn DomainView,
+        out: &mut Vec<Action>,
+    ) {
+        // §3.1: "by extracting the server's object key ... the gateway
+        // identifies the target server".
+        let Ok(key) = ObjectKey::parse(&req.object_key) else {
+            out.push(Action::Count {
+                counter: "gateway.bad_object_keys",
+            });
+            out.push(Action::ToClient {
+                conn,
+                bytes: GiopMessage::Reply(Reply::system_exception(
+                    req.request_id,
+                    "OBJECT_NOT_EXIST",
+                ))
+                .encode(ByteOrder::Big),
+            });
+            return;
+        };
+
+        if key.domain != self.config.domain {
+            self.bridge_forward(conn, key, req, out);
+            return;
+        }
+        let server = GroupId(key.group);
+
+        // Client identification: the enhanced client's service context if
+        // present (§3.5), else the per-server-group counter (§3.2).
+        let supplied = req
+            .service_context(FT_CLIENT_ID_SERVICE_CONTEXT)
+            .and_then(|sc| sc.context_data.get(0..4))
+            .map(|b| u32::from_be_bytes(b.try_into().expect("len 4")));
+        let client_key = match supplied {
+            Some(id) => {
+                out.push(Action::Count {
+                    counter: "gateway.enhanced_clients_seen",
+                });
+                id
+            }
+            None => {
+                let existing = self.conns.get(&conn).expect("known conn").client_key;
+                match existing {
+                    Some(k) => k,
+                    None => self.assign_and_persist(server, out),
+                }
+            }
+        };
+        self.conns.get_mut(&conn).expect("known conn").client_key = Some(client_key);
+        self.client_conns.insert((server, client_key), conn);
+
+        let op = OperationId {
+            source: self.config.group,
+            target: server,
+            client: client_key,
+            parent_ts: 0,
+            child_seq: req.request_id,
+        };
+
+        // A reissue we already hold the answer to (failover to this
+        // gateway after a peer died): serve from cache, no re-execution.
+        if let Some(reply) = self.cache.get(&op) {
+            out.push(Action::Count {
+                counter: "gateway.reissues_served_from_cache",
+            });
+            out.push(Action::ToClient {
+                conn,
+                bytes: reply.clone(),
+            });
+            return;
+        }
+
+        // §3.5: record the invocation at every peer gateway first.
+        if view.live_gateway_peers() > 1 {
+            out.push(Action::Multicast {
+                group: self.config.group,
+                payload: GwMsg::Record {
+                    client: client_key,
+                    request_id: req.request_id,
+                    server,
+                }
+                .encode(),
+            });
+        }
+
+        // Fig. 4b: FT header + the client's IIOP bytes, multicast to the
+        // server group. The timestamp field is filled at delivery.
+        let header = FtHeader {
+            client: client_key,
+            source: self.config.group,
+            target: server,
+            kind: OperationKind::Invocation,
+            parent_ts: 0,
+            child_seq: req.request_id,
+        };
+        let iiop = GiopMessage::Request(req).encode(ByteOrder::Big);
+        out.push(Action::Count {
+            counter: "gateway.requests_forwarded",
+        });
+        out.push(Action::Multicast {
+            group: server,
+            payload: DomainMsg::Iiop { header, iiop }.encode(),
+        });
+    }
+
+    /// A client connection closed (gracefully or not).
+    pub fn on_client_closed(&mut self, conn: GwConn) -> Vec<Action> {
+        let mut out = Vec::new();
+        let Some(state) = self.conns.remove(&conn) else {
+            return out;
+        };
+        if let Some(key) = state.client_key {
+            self.client_conns
+                .retain(|&(_, c), &mut k| !(c == key && k == conn));
+            if state.graceful_close {
+                // The client said goodbye: tell the peers to GC.
+                out.push(Action::Multicast {
+                    group: self.config.group,
+                    payload: GwMsg::ClientGone { client: key }.encode(),
+                });
+                self.gc_client(key);
+            }
+        }
+        out.push(Action::Count {
+            counter: "gateway.client_disconnects",
+        });
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Outbound: deliveries from the domain (Fig. 5b, §3.5)
+    // ------------------------------------------------------------------
+
+    /// A totally-ordered delivery addressed to the gateway group arrived:
+    /// either peer-gateway coordination ([`GwMsg`]) or a server response
+    /// (the invocation named the gateway group as its source).
+    pub fn on_delivery_from_domain(
+        &mut self,
+        group: GroupId,
+        payload: &[u8],
+        view: &dyn DomainView,
+    ) -> Vec<Action> {
+        let mut out = Vec::new();
+        if group != self.config.group {
+            return out;
+        }
+        if let Ok(gw) = GwMsg::decode(payload) {
+            match gw {
+                GwMsg::Record { .. } => {
+                    out.push(Action::Count {
+                        counter: "gateway.records_seen",
+                    });
+                }
+                GwMsg::ClientGone { client } => {
+                    out.push(Action::Count {
+                        counter: "gateway.clients_gced",
+                    });
+                    self.gc_client(client);
+                }
+            }
+            return out;
+        }
+        if let Ok(DomainMsg::Iiop { header, iiop }) = DomainMsg::decode(payload) {
+            if header.kind == OperationKind::Response {
+                self.on_domain_response(&header, iiop, view, &mut out);
+            }
+        }
+        out
+    }
+
+    fn on_domain_response(
+        &mut self,
+        header: &FtHeader,
+        iiop: Vec<u8>,
+        view: &dyn DomainView,
+        out: &mut Vec<Action>,
+    ) {
+        let op = header.operation_id();
+
+        // Voting for active-with-voting server groups, then first-wins.
+        let accepted = if view.votes(header.source) {
+            let size = view.live_replicas(header.source).max(1);
+            match self.voter.vote(op, iiop, size) {
+                Some(winner) if self.filter.accept(op) => winner,
+                _ => return,
+            }
+        } else {
+            if !self.filter.accept(op) {
+                out.push(Action::Count {
+                    counter: "gateway.duplicate_responses_suppressed",
+                });
+                return;
+            }
+            iiop
+        };
+
+        self.cache_put(op, accepted.clone());
+
+        // Route to the client socket by (destination group, client id)
+        // (Fig. 5b; §3.2 "collectively").
+        if let Some(&conn) = self.client_conns.get(&(op.target, op.client)) {
+            if self.conns.contains_key(&conn) {
+                out.push(Action::Count {
+                    counter: "gateway.replies_delivered",
+                });
+                out.push(Action::ToClient {
+                    conn,
+                    bytes: accepted,
+                });
+                return;
+            }
+        }
+        // Not our client (a peer gateway is serving it) — cached only.
+        out.push(Action::Count {
+            counter: "gateway.replies_cached_for_peer_clients",
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Bridging to peer domains (Fig. 1)
+    // ------------------------------------------------------------------
+
+    fn bridge_forward(
+        &mut self,
+        conn: GwConn,
+        key: ObjectKey,
+        mut req: Request,
+        out: &mut Vec<Action>,
+    ) {
+        if !self.config.peer_domains.contains(&key.domain) {
+            out.push(Action::Count {
+                counter: "gateway.unroutable_domains",
+            });
+            out.push(Action::ToClient {
+                conn,
+                bytes: GiopMessage::Reply(Reply::system_exception(
+                    req.request_id,
+                    "TRANSIENT: unknown fault tolerance domain",
+                ))
+                .encode(ByteOrder::Big),
+            });
+            return;
+        }
+
+        // Identify the originating client as usual so the reply can be
+        // routed back out.
+        let existing = self.conns.get(&conn).expect("known conn").client_key;
+        let client_key = match existing {
+            Some(k) => k,
+            None => self.assign_and_persist(GroupId(key.group), out),
+        };
+        self.conns.get_mut(&conn).expect("known conn").client_key = Some(client_key);
+        self.client_conns
+            .insert((GroupId(key.group), client_key), conn);
+
+        self.next_forward_id += 1;
+        let fwd_id = self.next_forward_id;
+        let origin = BridgeOrigin {
+            client_key,
+            request_id: req.request_id,
+            server: GroupId(key.group),
+        };
+
+        // Toward the peer we are an enhanced client: stable client id in
+        // the service context, our own request id.
+        req.request_id = fwd_id;
+        req.service_contexts
+            .retain(|sc| sc.context_id != FT_CLIENT_ID_SERVICE_CONTEXT);
+        req.service_contexts.push(ServiceContext::new(
+            FT_CLIENT_ID_SERVICE_CONTEXT,
+            self.config.bridge_client_id.to_be_bytes().to_vec(),
+        ));
+        let wire = GiopMessage::Request(req).encode(ByteOrder::Big);
+
+        out.push(Action::Count {
+            counter: "gateway.bridge_requests",
+        });
+        let link = self
+            .bridges
+            .entry(key.domain)
+            .or_insert_with(BridgeLink::new);
+        link.pending.insert(fwd_id, origin);
+        match link.state {
+            LinkState::Up => out.push(Action::ToBridge {
+                domain: key.domain,
+                bytes: wire,
+            }),
+            LinkState::Connecting => link.queue.push_back(wire),
+            LinkState::Down => {
+                link.queue.push_back(wire);
+                link.state = LinkState::Connecting;
+                out.push(Action::BridgeConnect { domain: key.domain });
+            }
+        }
+    }
+
+    /// The transport established the link to a peer domain: flush the
+    /// queued requests.
+    pub fn on_bridge_connected(&mut self, domain: u32) -> Vec<Action> {
+        let mut out = Vec::new();
+        let Some(link) = self.bridges.get_mut(&domain) else {
+            return out;
+        };
+        link.state = LinkState::Up;
+        for bytes in link.queue.drain(..) {
+            out.push(Action::ToBridge { domain, bytes });
+        }
+        // Any pending without a queued copy was sent on the old link; we
+        // cannot rebuild those bytes here, so enhanced-client semantics
+        // for bridge failover rely on the originating client reissuing.
+        out
+    }
+
+    /// The link to a peer domain broke (closed or failed to connect).
+    /// Requests a reconnect if answers are still outstanding; the peer
+    /// domain's duplicate suppression (our client id is stable) makes the
+    /// subsequent reissue safe.
+    pub fn on_bridge_broken(&mut self, domain: u32) -> Vec<Action> {
+        let mut out = Vec::new();
+        let Some(link) = self.bridges.get_mut(&domain) else {
+            return out;
+        };
+        link.state = LinkState::Down;
+        link.reader = MessageReader::new();
+        if link.pending.is_empty() {
+            return out;
+        }
+        out.push(Action::Count {
+            counter: "gateway.bridge_reconnects",
+        });
+        link.state = LinkState::Connecting;
+        out.push(Action::BridgeConnect { domain });
+        out
+    }
+
+    /// Bytes arrived on the link from a peer domain: complete replies are
+    /// routed back out to the originating clients.
+    pub fn on_bridge_data(&mut self, domain: u32, bytes: &[u8]) -> Vec<Action> {
+        let mut out = Vec::new();
+        // Drain complete replies first (ends the borrow of the link), then
+        // route them.
+        let routed: Vec<(BridgeOrigin, Reply)> = {
+            let Some(link) = self.bridges.get_mut(&domain) else {
+                return out;
+            };
+            link.reader.push(bytes);
+            let mut replies = Vec::new();
+            while let Ok(Some(msg)) = link.reader.next() {
+                if let GiopMessage::Reply(reply) = msg {
+                    if let Some(origin) = link.pending.remove(&reply.request_id) {
+                        replies.push((origin, reply));
+                    }
+                }
+            }
+            replies
+        };
+        for (origin, mut reply) in routed {
+            reply.request_id = origin.request_id;
+            let wire = GiopMessage::Reply(reply).encode(ByteOrder::Big);
+            // Cache under the origin op so client reissues hit the cache.
+            let op = OperationId {
+                source: self.config.group,
+                target: origin.server,
+                client: origin.client_key,
+                parent_ts: 0,
+                child_seq: origin.request_id,
+            };
+            self.cache_put(op, wire.clone());
+            out.push(Action::Count {
+                counter: "gateway.bridge_replies",
+            });
+            if let Some(&conn) = self.client_conns.get(&(origin.server, origin.client_key)) {
+                out.push(Action::ToClient { conn, bytes: wire });
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // §3.5 cleanup
+    // ------------------------------------------------------------------
+
+    fn gc_client(&mut self, client: u32) {
+        self.client_conns.retain(|&(_, c), _| c != client);
+        let dead: Vec<OperationId> = self
+            .cache
+            .keys()
+            .filter(|op| op.client == client)
+            .copied()
+            .collect();
+        for op in dead {
+            self.cache.remove(&op);
+        }
+        self.cache_order.retain(|op| op.client != client);
+    }
+
+    /// A snapshot of the §3.2 counters (for hosts that persist them).
+    pub fn counters(&self) -> &BTreeMap<u32, u32> {
+        &self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(index: u32) -> GatewayEngine {
+        GatewayEngine::new(EngineConfig::new(0, GroupId(100), index), BTreeMap::new())
+    }
+
+    #[test]
+    fn client_keys_are_namespaced_per_gateway_and_counted_per_group() {
+        let mut gw = engine(2);
+        let a1 = gw.assign_client_key(GroupId(1));
+        let a2 = gw.assign_client_key(GroupId(1));
+        let b1 = gw.assign_client_key(GroupId(2));
+        assert_eq!(a1, (2 << 24) | 1);
+        assert_eq!(a2, (2 << 24) | 2);
+        assert_eq!(b1, (2 << 24) | 1); // separate counter per server group
+    }
+
+    #[test]
+    fn cache_is_bounded() {
+        let mut config = EngineConfig::new(0, GroupId(100), 0);
+        config.cache_capacity = 2;
+        let mut gw = GatewayEngine::new(config, BTreeMap::new());
+        for i in 0..5u32 {
+            gw.cache_put(
+                OperationId {
+                    source: GroupId(100),
+                    target: GroupId(1),
+                    client: 1,
+                    parent_ts: 0,
+                    child_seq: i,
+                },
+                vec![i as u8],
+            );
+        }
+        assert_eq!(gw.cached_responses(), 2);
+    }
+
+    #[test]
+    fn gc_client_removes_cached_state() {
+        let mut gw = engine(0);
+        for client in [1u32, 2] {
+            gw.cache_put(
+                OperationId {
+                    source: GroupId(100),
+                    target: GroupId(1),
+                    client,
+                    parent_ts: 0,
+                    child_seq: 1,
+                },
+                vec![client as u8],
+            );
+        }
+        gw.gc_client(1);
+        assert_eq!(gw.cached_responses(), 1);
+    }
+
+    #[test]
+    fn request_over_engine_yields_record_free_multicast_when_solo() {
+        let mut gw = engine(0);
+        let accept = gw.on_client_accepted(GwConn(1));
+        assert!(matches!(accept[0], Action::Count { .. }));
+        let req = Request {
+            request_id: 7,
+            response_expected: true,
+            object_key: ObjectKey::new(0, 10).to_bytes(),
+            operation: "get".into(),
+            ..Request::default()
+        };
+        let wire = GiopMessage::Request(req).encode(ByteOrder::Big);
+        let actions = gw.on_bytes_from_client(GwConn(1), &wire, &SoloView);
+        // Persist + count + exactly one multicast to the server group; no
+        // Record because a solo gateway has no peers.
+        let multicasts: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Multicast { group, payload } => Some((*group, payload.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(multicasts.len(), 1);
+        assert_eq!(multicasts[0].0, GroupId(10));
+        let decoded = DomainMsg::decode(&multicasts[0].1).unwrap();
+        match decoded {
+            DomainMsg::Iiop { header, .. } => {
+                assert_eq!(header.target, GroupId(10));
+                assert_eq!(header.kind, OperationKind::Invocation);
+            }
+            other => panic!("expected Iiop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_responses_are_suppressed_and_cached_reply_serves_reissue() {
+        let mut gw = engine(0);
+        gw.on_client_accepted(GwConn(1));
+        let req = Request {
+            request_id: 3,
+            response_expected: true,
+            object_key: ObjectKey::new(0, 10).to_bytes(),
+            operation: "get".into(),
+            ..Request::default()
+        };
+        let wire = GiopMessage::Request(req.clone()).encode(ByteOrder::Big);
+        gw.on_bytes_from_client(GwConn(1), &wire, &SoloView);
+
+        // Fabricate the response the replicas would multicast back.
+        let reply = GiopMessage::Reply(Reply::success(3, vec![9])).encode(ByteOrder::Big);
+        let header = FtHeader {
+            client: 1, // index 0 << 24 | counter 1
+            source: GroupId(10),
+            target: GroupId(100),
+            kind: OperationKind::Response,
+            parent_ts: 0,
+            child_seq: 3,
+        };
+        let payload = DomainMsg::Iiop {
+            header,
+            iiop: reply.clone(),
+        }
+        .encode();
+        let first = gw.on_delivery_from_domain(GroupId(100), &payload, &SoloView);
+        assert!(first
+            .iter()
+            .any(|a| matches!(a, Action::ToClient { conn, bytes } if *conn == GwConn(1) && *bytes == reply)));
+        // The duplicate from the second replica is suppressed.
+        let second = gw.on_delivery_from_domain(GroupId(100), &payload, &SoloView);
+        assert!(!second.iter().any(|a| matches!(a, Action::ToClient { .. })));
+        assert_eq!(gw.duplicates_suppressed(), 1);
+        // A reissue of the same request is served from the cache.
+        let reissue = gw.on_bytes_from_client(GwConn(1), &wire, &SoloView);
+        assert!(reissue
+            .iter()
+            .any(|a| matches!(a, Action::Count { counter } if *counter == "gateway.reissues_served_from_cache")));
+        assert!(reissue
+            .iter()
+            .any(|a| matches!(a, Action::ToClient { bytes, .. } if *bytes == reply)));
+    }
+
+    #[test]
+    fn unroutable_domain_yields_exception_reply() {
+        let mut gw = engine(0);
+        gw.on_client_accepted(GwConn(4));
+        let req = Request {
+            request_id: 1,
+            response_expected: true,
+            object_key: ObjectKey::new(9, 10).to_bytes(), // foreign domain, no route
+            operation: "get".into(),
+            ..Request::default()
+        };
+        let wire = GiopMessage::Request(req).encode(ByteOrder::Big);
+        let actions = gw.on_bytes_from_client(GwConn(4), &wire, &SoloView);
+        assert!(actions.iter().any(
+            |a| matches!(a, Action::Count { counter } if *counter == "gateway.unroutable_domains")
+        ));
+        assert!(actions.iter().any(|a| matches!(a, Action::ToClient { .. })));
+    }
+
+    #[test]
+    fn bridge_queues_until_connected_then_flushes_in_order() {
+        let mut config = EngineConfig::new(0, GroupId(100), 0);
+        config.peer_domains.insert(2);
+        let mut gw = GatewayEngine::new(config, BTreeMap::new());
+        gw.on_client_accepted(GwConn(1));
+        let mk = |id: u32| {
+            GiopMessage::Request(Request {
+                request_id: id,
+                response_expected: true,
+                object_key: ObjectKey::new(2, 10).to_bytes(),
+                operation: "get".into(),
+                ..Request::default()
+            })
+            .encode(ByteOrder::Big)
+        };
+        let first = gw.on_bytes_from_client(GwConn(1), &mk(1), &SoloView);
+        assert!(first
+            .iter()
+            .any(|a| matches!(a, Action::BridgeConnect { domain: 2 })));
+        // Second request while connecting: queued, no second connect.
+        let second = gw.on_bytes_from_client(GwConn(1), &mk(2), &SoloView);
+        assert!(!second
+            .iter()
+            .any(|a| matches!(a, Action::BridgeConnect { .. })));
+        let flushed = gw.on_bridge_connected(2);
+        let sends: Vec<_> = flushed
+            .iter()
+            .filter(|a| matches!(a, Action::ToBridge { domain: 2, .. }))
+            .collect();
+        assert_eq!(sends.len(), 2, "both queued requests flush in order");
+    }
+}

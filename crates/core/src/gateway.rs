@@ -1,47 +1,22 @@
-//! The gateway: the "entry point" into a fault tolerance domain (§3).
+//! The simulated-world gateway host: a thin [`DaemonExtension`] adapter
+//! over the transport-agnostic [`GatewayEngine`].
 //!
-//! One side speaks IIOP over TCP to unreplicated clients (and to peer
-//! gateways of other domains); the other side speaks the domain's reliable
-//! totally ordered multicast. Per Figs. 3–5 the gateway:
-//!
-//! * listens on a dedicated {gateway host, gateway port}; "for each new
-//!   client that contacts the gateway, the gateway spawns a new TCP/IP
-//!   socket to communicate solely with that client";
-//! * parses each IIOP request, extracts the server's object key to
-//!   identify the target server group, assigns the *TCP client id* (a
-//!   per-server-group counter, §3.2 — or the client-supplied id from the
-//!   service context for §3.5 enhanced clients), wraps the IIOP bytes in
-//!   the Fig. 4 header and multicasts them into the domain;
-//! * detects and suppresses duplicate responses from the server replicas,
-//!   forwarding exactly one IIOP reply to the right client socket
-//!   (Fig. 5b), with majority voting for active-with-voting groups;
-//! * coordinates with redundant peer gateways through the shared *gateway
-//!   group* (§3.5): every gateway records forwarded requests, receives
-//!   every response (the invocation names the gateway group as its
-//!   source), caches replies for failover reissues, and garbage-collects
-//!   per-client state on client-gone notifications;
-//! * forwards requests whose object key names a *different* fault
-//!   tolerance domain to that domain's gateway over TCP (the Fig. 1
-//!   wide-area bridging), acting toward the peer exactly like an enhanced
-//!   client.
-//!
-//! The gateway "is not a CORBA object, but constitutes part of the
-//! mechanisms provided by the fault tolerance infrastructure": here it is
-//! a [`DaemonExtension`] mounted on selected domain processors.
+//! All of the paper's §3 logic — IIOP parsing, object-key → server-group
+//! mapping, §3.2 client identification, Fig. 4 wrapping, duplicate
+//! response suppression and voting, §3.5 gateway-group coordination and
+//! response caching, Fig. 1 wide-area bridging — lives in the engine
+//! (`crate::engine`). This adapter only translates between the engine's
+//! [`Action`]s and the deterministic world's primitives: simulated TCP
+//! streams, the in-process Totem node, the stats sink, and the
+//! cold-passive stable-counter store. `ftd-net` hosts the very same
+//! engine over real sockets.
 
-use crate::gwmsg::GwMsg;
-use ftd_eternal::{
-    DaemonExtension, DomainMsg, FtHeader, Mechanisms, OperationId, OperationKind, ResponseFilter,
-    Voter,
-};
-use ftd_giop::{
-    ByteOrder, GiopMessage, MessageReader, ObjectKey, Reply, ServiceContext,
-    FT_CLIENT_ID_SERVICE_CONTEXT,
-};
-use ftd_sim::{ConnId, Context, NetAddr, TcpEvent};
+use crate::engine::{Action, DomainView, EngineConfig, GatewayEngine, GwConn};
+use ftd_eternal::{DaemonExtension, Mechanisms};
+use ftd_sim::{ConnId, Context, NetAddr, ProcessorId, TcpEvent};
 use ftd_totem::{GroupId, GroupMessage, MembershipView, TotemNode};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// Persistent per-server-group client-id counters — the piece of gateway
@@ -88,6 +63,17 @@ impl GatewayConfig {
             stable_counters: None,
         }
     }
+
+    fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            domain: self.domain,
+            group: self.group,
+            index: self.index,
+            peer_domains: self.routes.keys().copied().collect(),
+            bridge_client_id: self.bridge_client_id,
+            cache_capacity: self.cache_capacity,
+        }
+    }
 }
 
 impl std::fmt::Debug for GatewayConfig {
@@ -101,53 +87,47 @@ impl std::fmt::Debug for GatewayConfig {
     }
 }
 
-#[derive(Debug)]
-struct ClientConn {
-    reader: MessageReader,
-    /// Assigned on the first request (§3.2) or taken from the service
-    /// context (§3.5).
-    client_key: Option<u32>,
-    /// Whether the peer announced itself graceful (CloseConnection seen).
-    graceful_close: bool,
+/// [`DomainView`] over the simulated domain: peer liveness from the Totem
+/// ring, replication styles from the mechanisms' directory.
+struct SimView<'a> {
+    totem: &'a TotemNode,
+    mech: Option<&'a Mechanisms>,
+    membership: &'a [ProcessorId],
+    group: GroupId,
 }
 
-#[derive(Debug)]
-struct BridgeLink {
-    conn: Option<ConnId>,
-    addr: NetAddr,
-    reader: MessageReader,
-    /// Requests sent and not yet answered: forward id → origin.
-    pending: BTreeMap<u32, BridgeOrigin>,
-    /// Requests queued while (re)connecting.
-    queue: VecDeque<Vec<u8>>,
-}
+impl DomainView for SimView<'_> {
+    fn live_gateway_peers(&self) -> usize {
+        let ring = self.totem.ring();
+        self.totem
+            .group_members(self.group)
+            .into_iter()
+            .filter(|p| ring.contains(p))
+            .count()
+    }
 
-#[derive(Debug, Clone)]
-struct BridgeOrigin {
-    client_key: u32,
-    request_id: u32,
-    server: GroupId,
+    fn votes(&self, group: GroupId) -> bool {
+        self.mech
+            .and_then(|m| m.directory().meta(group))
+            .map(|m| m.properties.style.votes())
+            .unwrap_or(false)
+    }
+
+    fn live_replicas(&self, group: GroupId) -> usize {
+        self.mech
+            .map(|m| m.directory().live_hosts(group, self.membership).len())
+            .unwrap_or(0)
+    }
 }
 
 /// The gateway extension. See the module docs.
 #[derive(Debug)]
 pub struct Gateway {
     config: GatewayConfig,
-    conns: BTreeMap<ConnId, ClientConn>,
-    /// (server group, client id) → the socket currently serving that
-    /// client (§3.2: destination group + client id collectively).
-    client_conns: BTreeMap<(GroupId, u32), ConnId>,
-    /// §3.2 per-server-group counters (volatile unless `stable_counters`).
-    counters: BTreeMap<u32, u32>,
-    filter: ResponseFilter,
-    voter: Voter,
-    /// Response cache for failover reissues: operation → reply IIOP bytes.
-    cache: BTreeMap<OperationId, Vec<u8>>,
-    cache_order: VecDeque<OperationId>,
-    /// Live bridge links to peer domains.
-    bridges: BTreeMap<u32, BridgeLink>,
-    next_forward_id: u32,
-    membership: Vec<ftd_sim::ProcessorId>,
+    engine: GatewayEngine,
+    /// Bridge links: simulated connection → peer domain.
+    bridge_conns: BTreeMap<ConnId, u32>,
+    membership: Vec<ProcessorId>,
 }
 
 impl Gateway {
@@ -158,483 +138,94 @@ impl Gateway {
             .as_ref()
             .map(|s| s.borrow().clone())
             .unwrap_or_default();
+        let engine = GatewayEngine::new(config.engine_config(), counters);
         Gateway {
             config,
-            conns: BTreeMap::new(),
-            client_conns: BTreeMap::new(),
-            counters,
-            filter: ResponseFilter::new(4096),
-            voter: Voter::new(),
-            cache: BTreeMap::new(),
-            cache_order: VecDeque::new(),
-            bridges: BTreeMap::new(),
-            next_forward_id: 0,
+            engine,
+            bridge_conns: BTreeMap::new(),
             membership: Vec::new(),
         }
     }
 
     /// The gateway group id.
     pub fn group(&self) -> GroupId {
-        self.config.group
+        self.engine.group()
     }
 
     /// Number of currently connected clients.
     pub fn connected_clients(&self) -> usize {
-        self.client_conns.len()
+        self.engine.connected_clients()
     }
 
     /// Duplicate responses suppressed so far (Fig. 3's headline number).
     pub fn duplicates_suppressed(&self) -> u64 {
-        self.filter.suppressed()
+        self.engine.duplicates_suppressed()
     }
 
     /// Responses currently cached for failover reissues.
     pub fn cached_responses(&self) -> usize {
-        self.cache.len()
+        self.engine.cached_responses()
     }
 
     /// The §3.2 counter value for a server group (0 if untouched) —
     /// observable so experiments can verify cold-gateway persistence.
     pub fn counter_for(&self, server: GroupId) -> u32 {
-        self.counters.get(&server.0).copied().unwrap_or(0)
+        self.engine.counter_for(server)
     }
-
-    // ------------------------------------------------------------------
-    // Client id assignment (§3.2 / §3.5)
-    // ------------------------------------------------------------------
 
     /// Assigns the next §3.2 client identifier for `server` (exposed for
     /// tests and the experiment harness; the gateway calls it internally
     /// on a connection's first request).
     pub fn assign_client_key(&mut self, server: GroupId) -> u32 {
-        let counter = self.counters.entry(server.0).or_insert(0);
-        *counter += 1;
-        let key = (self.config.index << 24) | (*counter & 0x00FF_FFFF);
-        if let Some(stable) = &self.config.stable_counters {
-            stable.borrow_mut().insert(server.0, *counter);
-        }
+        let key = self.engine.assign_client_key(server);
+        self.persist_counter(server.0, self.engine.counter_for(server));
         key
     }
 
-    fn cache_put(&mut self, op: OperationId, reply: Vec<u8>) {
-        if self.cache.insert(op, reply).is_none() {
-            self.cache_order.push_back(op);
-            if self.cache_order.len() > self.config.cache_capacity {
-                if let Some(old) = self.cache_order.pop_front() {
-                    self.cache.remove(&old);
-                }
-            }
+    fn persist_counter(&self, server: u32, value: u32) {
+        if let Some(stable) = &self.config.stable_counters {
+            stable.borrow_mut().insert(server, value);
         }
     }
 
-    // ------------------------------------------------------------------
-    // Inbound: IIOP from clients (Fig. 5a)
-    // ------------------------------------------------------------------
-
-    fn on_client_data(
-        &mut self,
-        ctx: &mut Context<'_>,
-        totem: &mut TotemNode,
-        conn: ConnId,
-        bytes: &[u8],
-    ) {
-        let Some(state) = self.conns.get_mut(&conn) else {
-            return;
-        };
-        state.reader.push(bytes);
-        loop {
-            let msg = match self.conns.get_mut(&conn).expect("checked").reader.next() {
-                Ok(Some(m)) => m,
-                Ok(None) => break,
-                Err(_) => {
-                    ctx.stats().inc("gateway.protocol_errors");
-                    let _ = ctx.tcp_send(
-                        conn,
-                        GiopMessage::MessageError.encode(ByteOrder::Big),
-                    );
-                    let _ = ctx.tcp_close(conn);
-                    self.conns.remove(&conn);
-                    return;
+    /// Applies engine actions to the simulated transports.
+    fn apply(&mut self, ctx: &mut Context<'_>, totem: &mut TotemNode, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::ToClient { conn, bytes } => {
+                    let _ = ctx.tcp_send(ConnId(conn.0), bytes);
                 }
-            };
-            match msg {
-                GiopMessage::Request(req) => {
-                    self.on_client_request(ctx, totem, conn, req);
+                Action::CloseClient { conn } => {
+                    let _ = ctx.tcp_close(ConnId(conn.0));
                 }
-                GiopMessage::LocateRequest { request_id, .. } => {
-                    // The gateway *is* the object as far as clients know.
-                    let _ = ctx.tcp_send(
-                        conn,
-                        GiopMessage::LocateReply {
-                            request_id,
-                            locate_status: 1, // OBJECT_HERE
+                Action::Multicast { group, payload } => {
+                    totem.multicast(group, payload);
+                }
+                Action::BridgeConnect { domain } => {
+                    if let Some(&addr) = self.config.routes.get(&domain) {
+                        if let Ok(conn) = ctx.tcp_connect(addr) {
+                            self.bridge_conns.insert(conn, domain);
                         }
-                        .encode(ByteOrder::Big),
-                    );
-                }
-                GiopMessage::CloseConnection => {
-                    if let Some(state) = self.conns.get_mut(&conn) {
-                        state.graceful_close = true;
                     }
                 }
-                GiopMessage::CancelRequest { .. } => {
-                    ctx.stats().inc("gateway.cancels_ignored");
-                }
-                GiopMessage::Reply(_) | GiopMessage::LocateReply { .. } => {
-                    ctx.stats().inc("gateway.unexpected_messages");
-                }
-                GiopMessage::MessageError => {
-                    let _ = ctx.tcp_close(conn);
-                    self.conns.remove(&conn);
-                    return;
-                }
-            }
-        }
-    }
-
-    fn on_client_request(
-        &mut self,
-        ctx: &mut Context<'_>,
-        totem: &mut TotemNode,
-        conn: ConnId,
-        req: ftd_giop::Request,
-    ) {
-        // §3.1: "by extracting the server's object key ... the gateway
-        // identifies the target server".
-        let Ok(key) = ObjectKey::parse(&req.object_key) else {
-            ctx.stats().inc("gateway.bad_object_keys");
-            let _ = ctx.tcp_send(
-                conn,
-                GiopMessage::Reply(ftd_giop::Reply::system_exception(
-                    req.request_id,
-                    "OBJECT_NOT_EXIST",
-                ))
-                .encode(ByteOrder::Big),
-            );
-            return;
-        };
-
-        if key.domain != self.config.domain {
-            self.bridge_forward(ctx, conn, key, req);
-            return;
-        }
-        let server = GroupId(key.group);
-
-        // Client identification: the enhanced client's service context if
-        // present (§3.5), else the per-server-group counter (§3.2).
-        let supplied = req
-            .service_context(FT_CLIENT_ID_SERVICE_CONTEXT)
-            .and_then(|sc| sc.context_data.get(0..4))
-            .map(|b| u32::from_be_bytes(b.try_into().expect("len 4")));
-        let client_key = match supplied {
-            Some(id) => {
-                ctx.stats().inc("gateway.enhanced_clients_seen");
-                id
-            }
-            None => {
-                let state = self.conns.get_mut(&conn).expect("known conn");
-                match state.client_key {
-                    Some(k) => k,
-                    None => {
-                        let k = self.assign_client_key(server);
-                        self.conns.get_mut(&conn).expect("known conn").client_key = Some(k);
-                        k
+                Action::ToBridge { domain, bytes } => {
+                    let conn = self
+                        .bridge_conns
+                        .iter()
+                        .find(|(_, &d)| d == domain)
+                        .map(|(&c, _)| c);
+                    if let Some(conn) = conn {
+                        let _ = ctx.tcp_send(conn, bytes);
                     }
                 }
-            }
-        };
-        if supplied.is_some() {
-            self.conns.get_mut(&conn).expect("known conn").client_key = Some(client_key);
-        }
-        self.client_conns.insert((server, client_key), conn);
-
-        let op = OperationId {
-            source: self.config.group,
-            target: server,
-            client: client_key,
-            parent_ts: 0,
-            child_seq: req.request_id,
-        };
-
-        // A reissue we already hold the answer to (failover to this
-        // gateway after a peer died): serve from cache, no re-execution.
-        if let Some(reply) = self.cache.get(&op) {
-            ctx.stats().inc("gateway.reissues_served_from_cache");
-            let _ = ctx.tcp_send(conn, reply.clone());
-            return;
-        }
-
-        // §3.5: record the invocation at every peer gateway first.
-        if self.live_gateway_peers(totem) > 1 {
-            totem.multicast(
-                self.config.group,
-                GwMsg::Record {
-                    client: client_key,
-                    request_id: req.request_id,
-                    server,
+                Action::PersistCounter { server, value } => {
+                    self.persist_counter(server, value);
                 }
-                .encode(),
-            );
-        }
-
-        // Fig. 4b: FT header + the client's IIOP bytes, multicast to the
-        // server group. The timestamp field is filled at delivery.
-        let header = FtHeader {
-            client: client_key,
-            source: self.config.group,
-            target: server,
-            kind: OperationKind::Invocation,
-            parent_ts: 0,
-            child_seq: req.request_id,
-        };
-        let iiop = GiopMessage::Request(req).encode(ByteOrder::Big);
-        ctx.stats().inc("gateway.requests_forwarded");
-        totem.multicast(server, DomainMsg::Iiop { header, iiop }.encode());
-    }
-
-    fn live_gateway_peers(&self, totem: &TotemNode) -> usize {
-        let ring = totem.ring();
-        totem
-            .group_members(self.config.group)
-            .into_iter()
-            .filter(|p| ring.contains(p))
-            .count()
-    }
-
-    // ------------------------------------------------------------------
-    // Outbound: responses from the domain (Fig. 5b)
-    // ------------------------------------------------------------------
-
-    fn on_domain_response(
-        &mut self,
-        ctx: &mut Context<'_>,
-        mech: &Mechanisms,
-        header: &FtHeader,
-        iiop: Vec<u8>,
-    ) {
-        let op = header.operation_id();
-
-        // Voting for active-with-voting server groups, then first-wins.
-        let votes = mech
-            .directory()
-            .meta(header.source)
-            .map(|m| m.properties.style.votes())
-            .unwrap_or(false);
-        let accepted = if votes {
-            let size = mech
-                .directory()
-                .live_hosts(header.source, &self.membership)
-                .len()
-                .max(1);
-            match self.voter.vote(op, iiop, size) {
-                Some(winner) if self.filter.accept(op) => winner,
-                _ => return,
-            }
-        } else {
-            if !self.filter.accept(op) {
-                ctx.stats().inc("gateway.duplicate_responses_suppressed");
-                return;
-            }
-            iiop
-        };
-
-        self.cache_put(op, accepted.clone());
-
-        // Route to the client socket by (destination group, client id)
-        // (Fig. 5b; §3.2 "collectively").
-        if let Some(&conn) = self.client_conns.get(&(op.target, op.client)) {
-            if self.conns.contains_key(&conn) {
-                ctx.stats().inc("gateway.replies_delivered");
-                let _ = ctx.tcp_send(conn, accepted);
-                return;
-            }
-        }
-        // Not our client (a peer gateway is serving it) — cached only.
-        ctx.stats().inc("gateway.replies_cached_for_peer_clients");
-    }
-
-    // ------------------------------------------------------------------
-    // Bridging to peer domains (Fig. 1)
-    // ------------------------------------------------------------------
-
-    fn bridge_forward(
-        &mut self,
-        ctx: &mut Context<'_>,
-        conn: ConnId,
-        key: ObjectKey,
-        mut req: ftd_giop::Request,
-    ) {
-        let Some(&addr) = self.config.routes.get(&key.domain) else {
-            ctx.stats().inc("gateway.unroutable_domains");
-            let _ = ctx.tcp_send(
-                conn,
-                GiopMessage::Reply(ftd_giop::Reply::system_exception(
-                    req.request_id,
-                    "TRANSIENT: unknown fault tolerance domain",
-                ))
-                .encode(ByteOrder::Big),
-            );
-            return;
-        };
-
-        // Identify the originating client as usual so the reply can be
-        // routed back out.
-        let client_key = {
-            let state = self.conns.get_mut(&conn).expect("known conn");
-            match state.client_key {
-                Some(k) => k,
-                None => {
-                    let k = self.assign_client_key(GroupId(key.group));
-                    self.conns.get_mut(&conn).expect("known conn").client_key = Some(k);
-                    k
-                }
-            }
-        };
-        self.client_conns
-            .insert((GroupId(key.group), client_key), conn);
-
-        self.next_forward_id += 1;
-        let fwd_id = self.next_forward_id;
-        let origin = BridgeOrigin {
-            client_key,
-            request_id: req.request_id,
-            server: GroupId(key.group),
-        };
-
-        // Toward the peer we are an enhanced client: stable client id in
-        // the service context, our own request id.
-        req.request_id = fwd_id;
-        req.service_contexts.retain(|sc| sc.context_id != FT_CLIENT_ID_SERVICE_CONTEXT);
-        req.service_contexts.push(ServiceContext::new(
-            FT_CLIENT_ID_SERVICE_CONTEXT,
-            self.config.bridge_client_id.to_be_bytes().to_vec(),
-        ));
-        let wire = GiopMessage::Request(req).encode(ByteOrder::Big);
-
-        ctx.stats().inc("gateway.bridge_requests");
-        let link = self.bridges.entry(key.domain).or_insert_with(|| BridgeLink {
-            conn: None,
-            addr,
-            reader: MessageReader::new(),
-            pending: BTreeMap::new(),
-            queue: VecDeque::new(),
-        });
-        link.pending.insert(fwd_id, origin);
-        match link.conn {
-            Some(c) => {
-                let _ = ctx.tcp_send(c, wire);
-            }
-            None => {
-                link.queue.push_back(wire);
-                if let Ok(c) = ctx.tcp_connect(addr) {
-                    link.conn = Some(c);
+                Action::Count { counter } => {
+                    ctx.stats().inc(counter);
                 }
             }
         }
-    }
-
-    fn bridge_domain_of_conn(&self, conn: ConnId) -> Option<u32> {
-        self.bridges
-            .iter()
-            .find(|(_, l)| l.conn == Some(conn))
-            .map(|(&d, _)| d)
-    }
-
-    fn on_bridge_data(&mut self, ctx: &mut Context<'_>, domain: u32, bytes: &[u8]) {
-        // Drain complete replies first (ends the borrow of the link), then
-        // route them.
-        let routed: Vec<(BridgeOrigin, Reply)> = {
-            let link = self.bridges.get_mut(&domain).expect("bridge exists");
-            link.reader.push(bytes);
-            let mut out = Vec::new();
-            while let Ok(Some(msg)) = link.reader.next() {
-                if let GiopMessage::Reply(reply) = msg {
-                    if let Some(origin) = link.pending.remove(&reply.request_id) {
-                        out.push((origin, reply));
-                    }
-                }
-            }
-            out
-        };
-        for (origin, mut reply) in routed {
-            reply.request_id = origin.request_id;
-            let wire = GiopMessage::Reply(reply).encode(ByteOrder::Big);
-            // Cache under the origin op so client reissues hit the cache.
-            let op = OperationId {
-                source: self.config.group,
-                target: origin.server,
-                client: origin.client_key,
-                parent_ts: 0,
-                child_seq: origin.request_id,
-            };
-            self.cache_put(op, wire.clone());
-            ctx.stats().inc("gateway.bridge_replies");
-            if let Some(&conn) = self.client_conns.get(&(origin.server, origin.client_key)) {
-                let _ = ctx.tcp_send(conn, wire);
-            }
-        }
-    }
-
-    fn on_bridge_broken(&mut self, ctx: &mut Context<'_>, domain: u32) {
-        // Reconnect and reissue everything pending; the peer domain's
-        // duplicate suppression (our client id is stable) makes this safe.
-        let link = self.bridges.get_mut(&domain).expect("bridge exists");
-        link.conn = None;
-        link.reader = MessageReader::new();
-        let pendings: Vec<u32> = link.pending.keys().copied().collect();
-        if pendings.is_empty() {
-            return;
-        }
-        ctx.stats().inc("gateway.bridge_reconnects");
-        if let Ok(c) = ctx.tcp_connect(link.addr) {
-            link.conn = Some(c);
-        }
-    }
-
-    // Note: reissue of pending bridge requests happens on Connected.
-    fn on_bridge_connected(&mut self, ctx: &mut Context<'_>, domain: u32) {
-        let link = self.bridges.get_mut(&domain).expect("bridge exists");
-        let Some(conn) = link.conn else { return };
-        for wire in link.queue.drain(..) {
-            let _ = ctx.tcp_send(conn, wire);
-        }
-        // Any pending without a queued copy was sent on the old conn; we
-        // cannot rebuild those bytes here, so enhanced-client semantics
-        // for bridge failover rely on the originating client reissuing.
-    }
-
-    // ------------------------------------------------------------------
-    // Client departure (§3.5 cleanup)
-    // ------------------------------------------------------------------
-
-    fn on_client_closed(&mut self, ctx: &mut Context<'_>, totem: &mut TotemNode, conn: ConnId) {
-        let Some(state) = self.conns.remove(&conn) else {
-            return;
-        };
-        if let Some(key) = state.client_key {
-            self.client_conns
-                .retain(|&(_, c), &mut k| !(c == key && k == conn));
-            if state.graceful_close {
-                // The client said goodbye: tell the peers to GC.
-                totem.multicast(self.config.group, GwMsg::ClientGone { client: key }.encode());
-                self.gc_client(key);
-            }
-        }
-        ctx.stats().inc("gateway.client_disconnects");
-    }
-
-    fn gc_client(&mut self, client: u32) {
-        self.client_conns.retain(|&(_, c), _| c != client);
-        let dead: Vec<OperationId> = self
-            .cache
-            .keys()
-            .filter(|op| op.client == client)
-            .copied()
-            .collect();
-        for op in dead {
-            self.cache.remove(&op);
-        }
-        self.cache_order.retain(|op| op.client != client);
     }
 }
 
@@ -652,27 +243,17 @@ impl DaemonExtension for Gateway {
         mech: &mut Mechanisms,
         msg: &GroupMessage,
     ) {
-        if msg.group != self.config.group {
-            return;
-        }
-        if let Ok(gw) = GwMsg::decode(&msg.payload) {
-            match gw {
-                GwMsg::Record { .. } => {
-                    ctx.stats().inc("gateway.records_seen");
-                }
-                GwMsg::ClientGone { client } => {
-                    ctx.stats().inc("gateway.clients_gced");
-                    self.gc_client(client);
-                }
-            }
-            return;
-        }
-        if let Ok(DomainMsg::Iiop { header, iiop }) = DomainMsg::decode(&msg.payload) {
-            if header.kind == OperationKind::Response {
-                self.on_domain_response(ctx, mech, &header, iiop);
-            }
-        }
-        let _ = totem;
+        let actions = {
+            let view = SimView {
+                totem,
+                mech: Some(mech),
+                membership: &self.membership,
+                group: self.config.group,
+            };
+            self.engine
+                .on_delivery_from_domain(msg.group, &msg.payload, &view)
+        };
+        self.apply(ctx, totem, actions);
     }
 
     fn on_membership(
@@ -692,60 +273,51 @@ impl DaemonExtension for Gateway {
         _mech: &mut Mechanisms,
         ev: TcpEvent,
     ) {
-        match ev {
-            TcpEvent::Accepted { conn, .. } => {
-                ctx.stats().inc("gateway.clients_accepted");
-                self.conns.insert(
-                    conn,
-                    ClientConn {
-                        reader: MessageReader::new(),
-                        client_key: None,
-                        graceful_close: false,
-                    },
-                );
-            }
+        let actions = match ev {
+            TcpEvent::Accepted { conn, .. } => self.engine.on_client_accepted(GwConn(conn.0)),
             TcpEvent::Data { conn, bytes } => {
-                if self.conns.contains_key(&conn) {
-                    self.on_client_data(ctx, totem, conn, &bytes);
-                } else if let Some(domain) = self.bridge_domain_of_conn(conn) {
-                    self.on_bridge_data(ctx, domain, &bytes);
+                if let Some(&domain) = self.bridge_conns.get(&conn) {
+                    self.engine.on_bridge_data(domain, &bytes)
+                } else {
+                    let view = SimView {
+                        totem,
+                        mech: None,
+                        membership: &self.membership,
+                        group: self.config.group,
+                    };
+                    self.engine
+                        .on_bytes_from_client(GwConn(conn.0), &bytes, &view)
                 }
             }
             TcpEvent::Closed { conn } => {
-                if self.conns.contains_key(&conn) {
-                    self.on_client_closed(ctx, totem, conn);
-                } else if let Some(domain) = self.bridge_domain_of_conn(conn) {
-                    self.on_bridge_broken(ctx, domain);
+                if let Some(domain) = self.bridge_conns.remove(&conn) {
+                    self.engine.on_bridge_broken(domain)
+                } else {
+                    self.engine.on_client_closed(GwConn(conn.0))
                 }
             }
             TcpEvent::Connected { conn } => {
-                if let Some(domain) = self.bridge_domain_of_conn(conn) {
-                    self.on_bridge_connected(ctx, domain);
+                if let Some(&domain) = self.bridge_conns.get(&conn) {
+                    self.engine.on_bridge_connected(domain)
+                } else {
+                    Vec::new()
                 }
             }
             TcpEvent::ConnectFailed { conn, .. } => {
-                if let Some(domain) = self.bridge_domain_of_conn(conn) {
-                    self.on_bridge_broken(ctx, domain);
+                if let Some(domain) = self.bridge_conns.remove(&conn) {
+                    self.engine.on_bridge_broken(domain)
+                } else {
+                    Vec::new()
                 }
             }
-        }
+        };
+        self.apply(ctx, totem, actions);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn client_keys_are_namespaced_per_gateway_and_counted_per_group() {
-        let mut gw = Gateway::new(GatewayConfig::new(0, GroupId(100), 9000, 2));
-        let a1 = gw.assign_client_key(GroupId(1));
-        let a2 = gw.assign_client_key(GroupId(1));
-        let b1 = gw.assign_client_key(GroupId(2));
-        assert_eq!(a1, (2 << 24) | 1);
-        assert_eq!(a2, (2 << 24) | 2);
-        assert_eq!(b1, (2 << 24) | 1); // separate counter per server group
-    }
 
     #[test]
     fn stable_counters_survive_reincarnation() {
@@ -762,41 +334,13 @@ mod tests {
     }
 
     #[test]
-    fn cache_is_bounded() {
-        let mut config = GatewayConfig::new(0, GroupId(100), 9000, 0);
-        config.cache_capacity = 2;
-        let mut gw = Gateway::new(config);
-        for i in 0..5u32 {
-            gw.cache_put(
-                OperationId {
-                    source: GroupId(100),
-                    target: GroupId(1),
-                    client: 1,
-                    parent_ts: 0,
-                    child_seq: i,
-                },
-                vec![i as u8],
-            );
-        }
-        assert_eq!(gw.cached_responses(), 2);
-    }
-
-    #[test]
-    fn gc_client_removes_cached_state() {
-        let mut gw = Gateway::new(GatewayConfig::new(0, GroupId(100), 9000, 0));
-        for client in [1u32, 2] {
-            gw.cache_put(
-                OperationId {
-                    source: GroupId(100),
-                    target: GroupId(1),
-                    client,
-                    parent_ts: 0,
-                    child_seq: 1,
-                },
-                vec![client as u8],
-            );
-        }
-        gw.gc_client(1);
-        assert_eq!(gw.cached_responses(), 1);
+    fn client_keys_are_namespaced_per_gateway_and_counted_per_group() {
+        let mut gw = Gateway::new(GatewayConfig::new(0, GroupId(100), 9000, 2));
+        let a1 = gw.assign_client_key(GroupId(1));
+        let a2 = gw.assign_client_key(GroupId(1));
+        let b1 = gw.assign_client_key(GroupId(2));
+        assert_eq!(a1, (2 << 24) | 1);
+        assert_eq!(a2, (2 << 24) | 2);
+        assert_eq!(b1, (2 << 24) | 1); // separate counter per server group
     }
 }

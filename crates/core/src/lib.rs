@@ -59,6 +59,7 @@
 
 mod client;
 mod domain;
+pub mod engine;
 mod gateway;
 mod gwmsg;
 
@@ -66,5 +67,6 @@ pub use client::{ClientReply, EnhancedClient, PlainClient, TAG_FLUSH};
 pub use domain::{
     build_domain, build_domain_on, connect_domains, DomainDaemon, DomainHandle, DomainSpec,
 };
+pub use engine::{Action, DomainView, EngineConfig, GatewayEngine, GwConn, SoloView};
 pub use gateway::{Gateway, GatewayConfig, StableCounters};
 pub use gwmsg::{GwMsg, GwMsgError};

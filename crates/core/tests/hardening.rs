@@ -75,7 +75,11 @@ fn probe(world: &mut World, handle: &DomainHandle, chunks: Vec<Vec<u8>>) -> Proc
 #[test]
 fn garbage_bytes_get_message_error_and_close() {
     let (mut world, handle) = domain(1, 1);
-    let prober = probe(&mut world, &handle, vec![b"GET / HTTP/1.1\r\n\r\n".to_vec()]);
+    let prober = probe(
+        &mut world,
+        &handle,
+        vec![b"GET / HTTP/1.1\r\n\r\n".to_vec()],
+    );
     world.run_for(SimDuration::from_millis(20));
     let p = world.actor::<RawProber>(prober).unwrap();
     assert!(p.closed, "gateway must drop a non-GIOP peer");
@@ -194,7 +198,11 @@ fn mixed_plain_and_enhanced_clients_coexist() {
     world.run_for(SimDuration::from_millis(30));
     assert_eq!(world.actor::<PlainClient>(plain).unwrap().replies.len(), 1);
     assert_eq!(
-        world.actor::<EnhancedClient>(enhanced).unwrap().replies.len(),
+        world
+            .actor::<EnhancedClient>(enhanced)
+            .unwrap()
+            .replies
+            .len(),
         1
     );
     assert_eq!(world.stats().counter("gateway.enhanced_clients_seen"), 1);

@@ -193,12 +193,7 @@ impl<E: DaemonExtension> EternalDaemon<E> {
     }
 
     /// Driver shorthand: issue a root invocation.
-    pub fn invoke_root(
-        &mut self,
-        target: ftd_totem::GroupId,
-        operation: &str,
-        args: &[u8],
-    ) -> u32 {
+    pub fn invoke_root(&mut self, target: ftd_totem::GroupId, operation: &str, args: &[u8]) -> u32 {
         self.mech
             .invoke_root(&mut self.totem, target, operation, args)
     }
@@ -257,8 +252,7 @@ impl<E: DaemonExtension> Actor for EternalDaemon<E> {
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
         if !self.totem.on_timer(ctx, tag) {
-            self.ext
-                .on_timer(ctx, &mut self.totem, &mut self.mech, tag);
+            self.ext.on_timer(ctx, &mut self.totem, &mut self.mech, tag);
         }
         self.drain(ctx);
     }

@@ -305,12 +305,7 @@ impl Mechanisms {
     // ------------------------------------------------------------------
 
     /// Handles one totally ordered delivery.
-    pub fn on_deliver(
-        &mut self,
-        ctx: &mut Context<'_>,
-        totem: &mut TotemNode,
-        msg: &GroupMessage,
-    ) {
+    pub fn on_deliver(&mut self, ctx: &mut Context<'_>, totem: &mut TotemNode, msg: &GroupMessage) {
         // Buffer group traffic for replicas awaiting state (except the
         // transfer itself, which releases the buffer).
         if let Some(group) = message_group(msg) {
@@ -707,8 +702,8 @@ impl Mechanisms {
         };
         let style = meta.properties.style;
         let op = header.operation_id();
-        let i_execute = style.all_execute()
-            || self.dir.primary(group, &self.membership) == Some(self.me);
+        let i_execute =
+            style.all_execute() || self.dir.primary(group, &self.membership) == Some(self.me);
         let Some(rt) = self.replicas.get_mut(&group) else {
             return;
         };
@@ -815,8 +810,13 @@ impl Mechanisms {
                     parent_ts,
                     child_seq,
                 };
-                self.pending_children
-                    .insert(child_op, PendingChild { parent_group: group, cont });
+                self.pending_children.insert(
+                    child_op,
+                    PendingChild {
+                        parent_group: group,
+                        cont,
+                    },
+                );
                 let request = Request {
                     request_id: child_seq,
                     response_expected: true,
@@ -1153,10 +1153,7 @@ mod tests {
             child_seq: 4,
         };
         assert_eq!(derive_entropy(&op), derive_entropy(&op));
-        let other = OperationId {
-            child_seq: 5,
-            ..op
-        };
+        let other = OperationId { child_seq: 5, ..op };
         assert_ne!(derive_entropy(&op), derive_entropy(&other));
     }
 

@@ -166,7 +166,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(ReplicationStyle::ActiveWithVoting.to_string(), "active-with-voting");
+        assert_eq!(
+            ReplicationStyle::ActiveWithVoting.to_string(),
+            "active-with-voting"
+        );
         assert_eq!(ReplicationStyle::ColdPassive.to_string(), "cold-passive");
     }
 }

@@ -2,140 +2,120 @@
 //! for every domain message, Fig. 6 operation-identifier invariants, and
 //! duplicate-suppression idempotence.
 
+use ftd_check::{check, Gen};
 use ftd_eternal::*;
 use ftd_sim::ProcessorId;
 use ftd_totem::GroupId;
-use proptest::prelude::*;
 
-fn arb_opid() -> impl Strategy<Value = OperationId> {
-    (any::<u32>(), any::<u32>(), any::<u32>(), any::<u64>(), any::<u32>()).prop_map(
-        |(s, t, c, p, n)| OperationId {
-            source: GroupId(s),
-            target: GroupId(t),
-            client: c,
-            parent_ts: p,
-            child_seq: n,
+fn arb_opid(g: &mut Gen) -> OperationId {
+    OperationId {
+        source: GroupId(g.u32()),
+        target: GroupId(g.u32()),
+        client: g.u32(),
+        parent_ts: g.u64(),
+        child_seq: g.u32(),
+    }
+}
+
+fn arb_header(g: &mut Gen) -> FtHeader {
+    FtHeader {
+        client: g.u32(),
+        source: GroupId(g.u32()),
+        target: GroupId(g.u32()),
+        kind: if g.bool() {
+            OperationKind::Invocation
+        } else {
+            OperationKind::Response
         },
-    )
+        parent_ts: g.u64(),
+        child_seq: g.u32(),
+    }
 }
 
-fn arb_header() -> impl Strategy<Value = FtHeader> {
-    (
-        any::<u32>(),
-        any::<u32>(),
-        any::<u32>(),
-        any::<bool>(),
-        any::<u64>(),
-        any::<u32>(),
-    )
-        .prop_map(|(c, s, t, inv, p, n)| FtHeader {
-            client: c,
-            source: GroupId(s),
-            target: GroupId(t),
-            kind: if inv {
-                OperationKind::Invocation
-            } else {
-                OperationKind::Response
-            },
-            parent_ts: p,
-            child_seq: n,
-        })
+fn arb_type_name(g: &mut Gen) -> String {
+    g.ident(13)
 }
 
-fn arb_bytes(n: usize) -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(any::<u8>(), 0..n)
+fn arb_domain_msg(g: &mut Gen) -> DomainMsg {
+    match g.below(9) {
+        0 => DomainMsg::Iiop {
+            header: arb_header(g),
+            iiop: g.bytes(63),
+        },
+        1 => {
+            let style = ReplicationStyle::from_u8(g.below(5) as u8).expect("0..=4");
+            let ty = arb_type_name(g);
+            let placement = g.vec(4, |g| ProcessorId(g.u32()));
+            DomainMsg::CreateGroup(make_meta(
+                GroupId(g.u32()),
+                &ty,
+                FtProperties {
+                    style,
+                    initial_replicas: g.range(1, 7) as u32,
+                    min_replicas: g.range(1, 7) as u32,
+                },
+                placement,
+            ))
+        }
+        2 => DomainMsg::StateRequest {
+            group: GroupId(g.u32()),
+            applicant: ProcessorId(g.u32()),
+            refresh: g.bool(),
+        },
+        3 => DomainMsg::DirectoryRequest {
+            requester: ProcessorId(g.u32()),
+        },
+        4 => DomainMsg::StateTransfer {
+            group: GroupId(g.u32()),
+            donor: ProcessorId(g.u32()),
+            state: g.bytes(31),
+            responses: g.vec(3, |g| (arb_opid(g), g.bytes(15))),
+        },
+        5 => DomainMsg::StateUpdate {
+            group: GroupId(g.u32()),
+            operation: arb_opid(g),
+            state: g.bytes(31),
+            response: g.bytes(31),
+        },
+        6 => DomainMsg::LogOp {
+            group: GroupId(g.u32()),
+            operation: arb_opid(g),
+            response: g.bytes(31),
+            invocation: g.bytes(31),
+        },
+        7 => DomainMsg::Checkpoint {
+            group: GroupId(g.u32()),
+            state: g.bytes(31),
+        },
+        _ => DomainMsg::Upgrade {
+            group: GroupId(g.u32()),
+            new_type: arb_type_name(g),
+        },
+    }
 }
 
-fn arb_domain_msg() -> impl Strategy<Value = DomainMsg> {
-    prop_oneof![
-        (arb_header(), arb_bytes(64)).prop_map(|(header, iiop)| DomainMsg::Iiop { header, iiop }),
-        (
-            any::<u32>(),
-            "[A-Za-z][A-Za-z0-9_]{0,12}",
-            0u8..=4,
-            1u32..8,
-            1u32..8,
-            proptest::collection::vec(any::<u32>(), 0..5),
-        )
-            .prop_map(|(g, ty, style, init, min, placement)| {
-                DomainMsg::CreateGroup(make_meta(
-                    GroupId(g),
-                    &ty,
-                    FtProperties {
-                        style: ReplicationStyle::from_u8(style).expect("0..=4"),
-                        initial_replicas: init,
-                        min_replicas: min,
-                    },
-                    placement.into_iter().map(ProcessorId).collect(),
-                ))
-            }),
-        (any::<u32>(), any::<u32>(), any::<bool>()).prop_map(|(g, a, refresh)| {
-            DomainMsg::StateRequest {
-                group: GroupId(g),
-                applicant: ProcessorId(a),
-                refresh,
-            }
-        }),
-        (any::<u32>()).prop_map(|r| DomainMsg::DirectoryRequest {
-            requester: ProcessorId(r),
-        }),
-        (
-            any::<u32>(),
-            any::<u32>(),
-            arb_bytes(32),
-            proptest::collection::vec((arb_opid(), arb_bytes(16)), 0..4)
-        )
-            .prop_map(|(g, d, state, responses)| DomainMsg::StateTransfer {
-                group: GroupId(g),
-                donor: ProcessorId(d),
-                state,
-                responses,
-            }),
-        (any::<u32>(), arb_opid(), arb_bytes(32), arb_bytes(32)).prop_map(
-            |(g, operation, state, response)| DomainMsg::StateUpdate {
-                group: GroupId(g),
-                operation,
-                state,
-                response,
-            }
-        ),
-        (any::<u32>(), arb_opid(), arb_bytes(32), arb_bytes(32)).prop_map(
-            |(g, operation, response, invocation)| DomainMsg::LogOp {
-                group: GroupId(g),
-                operation,
-                response,
-                invocation,
-            }
-        ),
-        (any::<u32>(), arb_bytes(32)).prop_map(|(g, state)| DomainMsg::Checkpoint {
-            group: GroupId(g),
-            state,
-        }),
-        (any::<u32>(), "[A-Za-z][A-Za-z0-9_]{0,12}").prop_map(|(g, new_type)| {
-            DomainMsg::Upgrade {
-                group: GroupId(g),
-                new_type,
-            }
-        }),
-    ]
-}
-
-proptest! {
-    #[test]
-    fn domain_messages_round_trip(msg in arb_domain_msg()) {
+#[test]
+fn domain_messages_round_trip() {
+    check("domain messages round-trip", 512, |g| {
+        let msg = arb_domain_msg(g);
         let wire = msg.encode();
-        prop_assert_eq!(DomainMsg::decode(&wire).unwrap(), msg);
-    }
+        assert_eq!(DomainMsg::decode(&wire).unwrap(), msg);
+    });
+}
 
-    #[test]
-    fn domain_decoder_never_panics(bytes in arb_bytes(256)) {
-        let _ = DomainMsg::decode(&bytes);
-    }
+#[test]
+fn domain_decoder_never_panics() {
+    check("domain decoder never panics", 512, |g| {
+        let _ = DomainMsg::decode(&g.bytes(255));
+    });
+}
 
-    #[test]
-    fn invocation_and_response_share_the_operation_id(h in arb_header()) {
+#[test]
+fn invocation_and_response_share_the_operation_id() {
+    check("invocation and response share the operation id", 256, |g| {
         // Fig. 6: an invocation A->B and its response B->A have the same
         // operation identifier.
+        let h = arb_header(g);
         let mirrored = FtHeader {
             client: h.client,
             source: h.target,
@@ -147,72 +127,99 @@ proptest! {
             parent_ts: h.parent_ts,
             child_seq: h.child_seq,
         };
-        prop_assert_eq!(h.operation_id(), mirrored.operation_id());
-    }
+        assert_eq!(h.operation_id(), mirrored.operation_id());
+    });
+}
 
-    #[test]
-    fn derived_entropy_is_pure(op in arb_opid()) {
-        prop_assert_eq!(derive_entropy(&op), derive_entropy(&op));
-    }
+#[test]
+fn derived_entropy_is_pure() {
+    check("derived entropy is pure", 256, |g| {
+        let op = arb_opid(g);
+        assert_eq!(derive_entropy(&op), derive_entropy(&op));
+    });
+}
 
-    #[test]
-    fn distinct_child_seqs_make_distinct_ids(op in arb_opid(), other_seq in any::<u32>()) {
-        prop_assume!(op.child_seq != other_seq);
-        let other = OperationId { child_seq: other_seq, ..op };
-        prop_assert_ne!(op, other);
-    }
-
-    #[test]
-    fn invocation_table_is_idempotent_after_completion(
-        ops in proptest::collection::vec((arb_opid(), arb_bytes(8)), 1..32),
-    ) {
-        let mut table = InvocationTable::new(1024);
-        for (op, resp) in &ops {
-            if table.check(*op) == InvocationCheck::Fresh {
-                table.complete(*op, resp.clone());
-            }
+#[test]
+fn distinct_child_seqs_make_distinct_ids() {
+    check("distinct child_seqs make distinct ids", 256, |g| {
+        let op = arb_opid(g);
+        let other_seq = g.u32();
+        if op.child_seq == other_seq {
+            return;
         }
-        // Every re-presentation now yields a Duplicate with SOME logged
-        // response (the first completion for that id wins).
-        for (op, _) in &ops {
-            match table.check(*op) {
-                InvocationCheck::Duplicate(_) => {}
-                other => prop_assert!(false, "expected duplicate, got {other:?}"),
-            }
-        }
-    }
+        let other = OperationId {
+            child_seq: other_seq,
+            ..op
+        };
+        assert_ne!(op, other);
+    });
+}
 
-    #[test]
-    fn response_filter_accepts_each_operation_exactly_once(
-        ops in proptest::collection::vec(arb_opid(), 1..64),
-        copies in 1usize..4,
-    ) {
-        let mut filter = ResponseFilter::new(4096);
-        let mut accepted = 0usize;
-        for _ in 0..copies {
-            for op in &ops {
-                if filter.accept(*op) {
-                    accepted += 1;
+#[test]
+fn invocation_table_is_idempotent_after_completion() {
+    check(
+        "invocation table is idempotent after completion",
+        128,
+        |g| {
+            let ops: Vec<(OperationId, Vec<u8>)> = (0..g.range(1, 31))
+                .map(|_| (arb_opid(g), g.bytes(7)))
+                .collect();
+            let mut table = InvocationTable::new(1024);
+            for (op, resp) in &ops {
+                if table.check(*op) == InvocationCheck::Fresh {
+                    table.complete(*op, resp.clone());
                 }
             }
-        }
-        let distinct: std::collections::BTreeSet<_> = ops.iter().collect();
-        prop_assert_eq!(accepted, distinct.len());
-    }
+            // Every re-presentation now yields a Duplicate with SOME logged
+            // response (the first completion for that id wins).
+            for (op, _) in &ops {
+                match table.check(*op) {
+                    InvocationCheck::Duplicate(_) => {}
+                    other => panic!("expected duplicate, got {other:?}"),
+                }
+            }
+        },
+    );
+}
 
-    #[test]
-    fn voter_agrees_iff_majority_matches(
-        op in arb_opid(),
-        honest in 0usize..6,
-        liars in 0usize..6,
-    ) {
-        prop_assume!(honest + liars > 0);
+#[test]
+fn response_filter_accepts_each_operation_exactly_once() {
+    check(
+        "response filter accepts each operation exactly once",
+        128,
+        |g| {
+            let ops: Vec<OperationId> = (0..g.range(1, 63)).map(|_| arb_opid(g)).collect();
+            let copies = g.range(1, 3);
+            let mut filter = ResponseFilter::new(4096);
+            let mut accepted = 0usize;
+            for _ in 0..copies {
+                for op in &ops {
+                    if filter.accept(*op) {
+                        accepted += 1;
+                    }
+                }
+            }
+            let distinct: std::collections::BTreeSet<_> = ops.iter().collect();
+            assert_eq!(accepted, distinct.len());
+        },
+    );
+}
+
+#[test]
+fn voter_agrees_iff_majority_matches() {
+    check("voter agrees iff majority matches", 256, |g| {
+        let op = arb_opid(g);
+        let honest = g.below(6) as usize;
+        let liars = g.below(6) as usize;
+        if honest + liars == 0 {
+            return;
+        }
         let size = honest + liars;
         let mut voter = Voter::new();
         let mut winner = None;
         // Interleave honest and lying ballots deterministically.
         let mut ballots: Vec<Vec<u8>> = Vec::new();
-        ballots.extend(std::iter::repeat(vec![1u8]).take(honest));
+        ballots.extend(std::iter::repeat_n(vec![1u8], honest));
         ballots.extend((0..liars).map(|i| vec![2u8, i as u8])); // all distinct lies
         for b in ballots {
             if let Some(w) = voter.vote(op, b, size) {
@@ -221,20 +228,23 @@ proptest! {
             }
         }
         if honest > size / 2 {
-            prop_assert_eq!(winner, Some(vec![1u8]));
+            assert_eq!(winner, Some(vec![1u8]));
         } else if size == 1 {
             // A single-replica group: its lone ballot IS the majority.
-            prop_assert!(winner.is_some());
+            assert!(winner.is_some());
         } else {
             // No value reaches a majority (each lie is distinct).
-            prop_assert_eq!(winner, None);
+            assert_eq!(winner, None);
         }
-    }
+    });
+}
 
-    #[test]
-    fn group_log_replay_matches_append_order(
-        records in proptest::collection::vec((arb_opid(), arb_bytes(8), arb_bytes(8)), 0..16),
-    ) {
+#[test]
+fn group_log_replay_matches_append_order() {
+    check("group log replay matches append order", 128, |g| {
+        let records: Vec<(OperationId, Vec<u8>, Vec<u8>)> = (0..g.below(16))
+            .map(|_| (arb_opid(g), g.bytes(7), g.bytes(7)))
+            .collect();
         let mut log = GroupLog::new();
         for (op, inv, resp) in &records {
             log.append(OpRecord {
@@ -248,6 +258,6 @@ proptest! {
             .iter()
             .map(|r| (r.operation, r.invocation.clone(), r.response.clone()))
             .collect();
-        prop_assert_eq!(replayed, records);
-    }
+        assert_eq!(replayed, records);
+    });
 }

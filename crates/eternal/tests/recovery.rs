@@ -26,12 +26,7 @@ fn build_with_totem(n: u32, seed: u64, totem: TotemConfig) -> (World, Vec<Proces
     let procs: Vec<ProcessorId> = (0..n)
         .map(|i| {
             world.add_processor(&format!("p{i}"), lan, move |me| {
-                Box::new(Daemon::new(
-                    me,
-                    totem,
-                    MechConfig::default(),
-                    registry(),
-                ))
+                Box::new(Daemon::new(me, totem, MechConfig::default(), registry()))
             })
         })
         .collect();
@@ -40,14 +35,11 @@ fn build_with_totem(n: u32, seed: u64, totem: TotemConfig) -> (World, Vec<Proces
 }
 
 fn create(world: &mut World, driver: ProcessorId, style: ReplicationStyle, init: u32, min: u32) {
-    world
-        .actor_mut::<Daemon>(driver)
-        .unwrap()
-        .create_group(
-            SERVER,
-            "Counter",
-            FtProperties::new(style).with_initial(init).with_min(min),
-        );
+    world.actor_mut::<Daemon>(driver).unwrap().create_group(
+        SERVER,
+        "Counter",
+        FtProperties::new(style).with_initial(init).with_min(min),
+    );
     world.run_for(SimDuration::from_millis(10));
 }
 
@@ -233,10 +225,11 @@ fn group_creation_before_other_groups_is_isolated() {
     let (mut world, procs) = build(6, 5);
     create(&mut world, procs[5], ReplicationStyle::Active, 2, 2);
     let other = GroupId(99);
-    world
-        .actor_mut::<Daemon>(procs[5])
-        .unwrap()
-        .create_group(other, "Counter", FtProperties::new(ReplicationStyle::Active).with_initial(2));
+    world.actor_mut::<Daemon>(procs[5]).unwrap().create_group(
+        other,
+        "Counter",
+        FtProperties::new(ReplicationStyle::Active).with_initial(2),
+    );
     world.run_for(SimDuration::from_millis(10));
 
     world

@@ -133,11 +133,11 @@ fn build(n: u32, seed: u64, enforce: bool) -> (World, Vec<ProcessorId>) {
     (world, procs)
 }
 
-fn daemon<'w>(world: &'w World, p: ProcessorId) -> &'w Daemon {
+fn daemon(world: &World, p: ProcessorId) -> &Daemon {
     world.actor::<Daemon>(p).expect("daemon alive")
 }
 
-fn daemon_mut<'w>(world: &'w mut World, p: ProcessorId) -> &'w mut Daemon {
+fn daemon_mut(world: &mut World, p: ProcessorId) -> &mut Daemon {
     world.actor_mut::<Daemon>(p).expect("daemon alive")
 }
 
@@ -221,7 +221,10 @@ fn replicas_stay_byte_identical_under_load() {
         .iter()
         .map(|&h| daemon(&world, h).mech().replica_state(SERVER).unwrap())
         .collect();
-    assert!(states.windows(2).all(|w| w[0] == w[1]), "replica divergence");
+    assert!(
+        states.windows(2).all(|w| w[0] == w[1]),
+        "replica divergence"
+    );
     assert_eq!(counter_value(&world, hosts[0], SERVER), Some((0..20).sum()));
 }
 
@@ -393,7 +396,9 @@ fn primary_failure_during_nested_invocation_is_masked() {
     world.run_for(SimDuration::from_millis(120));
 
     // The client still gets exactly one answer...
-    let replies = daemon_mut(&mut world, driver).mech_mut().take_root_replies();
+    let replies = daemon_mut(&mut world, driver)
+        .mech_mut()
+        .take_root_replies();
     assert_eq!(replies.len(), 1, "client left hanging after failover");
     assert_eq!(&replies[0].body[0..8], &1u64.to_be_bytes());
     // ...and the nested operation executed exactly once on the counter.
@@ -460,7 +465,10 @@ fn multithreaded_objects_diverge_without_enforcement() {
             .collect();
         states.windows(2).all(|w| w[0] == w[1])
     };
-    assert!(run(true, 10), "enforced determinism must keep replicas identical");
+    assert!(
+        run(true, 10),
+        "enforced determinism must keep replicas identical"
+    );
     assert!(
         !run(false, 10),
         "free-running entropy must make replicas diverge"

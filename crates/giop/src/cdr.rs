@@ -107,7 +107,7 @@ impl CdrEncoder {
     fn align(&mut self, n: usize) {
         let pos = self.origin + self.buf.len();
         let pad = (n - pos % n) % n;
-        self.buf.extend(std::iter::repeat(0u8).take(pad));
+        self.buf.extend(std::iter::repeat_n(0u8, pad));
     }
 
     /// Writes a single octet (no alignment).

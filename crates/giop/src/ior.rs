@@ -79,7 +79,11 @@ impl IiopProfile {
 
 impl fmt::Display for IiopProfile {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "iiop:{}.{}@{}:{}", self.version.0, self.version.1, self.host, self.port)
+        write!(
+            f,
+            "iiop:{}.{}@{}:{}",
+            self.version.0, self.version.1, self.host, self.port
+        )
     }
 }
 

@@ -52,5 +52,5 @@ pub use error::GiopError;
 pub use ior::{IiopProfile, Ior, ObjectKey, TaggedProfile, TAG_INTERNET_IOP};
 pub use msg::{
     GiopMessage, MessageReader, MsgType, Reply, ReplyStatus, Request, ServiceContext,
-    FT_CLIENT_ID_SERVICE_CONTEXT, GIOP_HEADER_LEN, GIOP_VERSION,
+    DEFAULT_MAX_BODY_LEN, FT_CLIENT_ID_SERVICE_CONTEXT, GIOP_HEADER_LEN, GIOP_VERSION,
 };

@@ -437,15 +437,39 @@ fn split_header(bytes: &[u8]) -> Result<(Header, &[u8]), GiopError> {
 /// let msg = reader.next().unwrap().unwrap();
 /// assert_eq!(msg, GiopMessage::CloseConnection);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MessageReader {
     buf: Vec<u8>,
+    max_body: usize,
+}
+
+/// Default cap on a single GIOP message's declared body length. A peer
+/// declaring more than this is corrupt or hostile (e.g. a 4 GiB length
+/// field that would make a naive reader buffer forever) and is rejected
+/// before any body bytes are awaited.
+pub const DEFAULT_MAX_BODY_LEN: usize = 16 * 1024 * 1024;
+
+impl Default for MessageReader {
+    fn default() -> Self {
+        MessageReader {
+            buf: Vec::new(),
+            max_body: DEFAULT_MAX_BODY_LEN,
+        }
+    }
 }
 
 impl MessageReader {
-    /// Creates an empty reader.
+    /// Creates an empty reader with the [`DEFAULT_MAX_BODY_LEN`] cap.
     pub fn new() -> Self {
         MessageReader::default()
+    }
+
+    /// Creates an empty reader with a custom body-length cap.
+    pub fn with_max_body(max_body: usize) -> Self {
+        MessageReader {
+            buf: Vec::new(),
+            max_body,
+        }
     }
 
     /// Appends freshly received bytes.
@@ -471,6 +495,13 @@ impl MessageReader {
             return Ok(None);
         }
         let (header, _) = split_header(&self.buf)?;
+        if header.body_len > self.max_body {
+            return Err(GiopError::LengthOverrun {
+                what: "GIOP message body",
+                declared: header.body_len,
+                available: self.max_body,
+            });
+        }
         let total = GIOP_HEADER_LEN + header.body_len;
         if self.buf.len() < total {
             return Ok(None);

@@ -2,99 +2,112 @@
 //! arbitrary well-formed inputs, and the decoder must never panic on
 //! arbitrary bytes.
 
+use ftd_check::{check, Gen};
 use ftd_giop::*;
-use proptest::prelude::*;
 
-fn arb_order() -> impl Strategy<Value = ByteOrder> {
-    prop_oneof![Just(ByteOrder::Big), Just(ByteOrder::Little)]
-}
-
-fn arb_service_contexts() -> impl Strategy<Value = Vec<ServiceContext>> {
-    proptest::collection::vec(
-        (any::<u32>(), proptest::collection::vec(any::<u8>(), 0..32))
-            .prop_map(|(id, data)| ServiceContext::new(id, data)),
-        0..4,
-    )
-}
-
-prop_compose! {
-    fn arb_request()(
-        service_contexts in arb_service_contexts(),
-        request_id in any::<u32>(),
-        response_expected in any::<bool>(),
-        object_key in proptest::collection::vec(any::<u8>(), 0..24),
-        operation in "[a-zA-Z_][a-zA-Z0-9_]{0,24}",
-        body in proptest::collection::vec(any::<u8>(), 0..64),
-    ) -> Request {
-        Request {
-            service_contexts,
-            request_id,
-            response_expected,
-            object_key,
-            operation,
-            requesting_principal: Vec::new(),
-            body,
-        }
+fn arb_order(g: &mut Gen) -> ByteOrder {
+    if g.bool() {
+        ByteOrder::Big
+    } else {
+        ByteOrder::Little
     }
 }
 
-proptest! {
-    #[test]
-    fn cdr_primitive_sequences_round_trip(
-        order in arb_order(),
-        octets in proptest::collection::vec(any::<u8>(), 0..16),
-        ushorts in proptest::collection::vec(any::<u16>(), 0..8),
-        ulongs in proptest::collection::vec(any::<u32>(), 0..8),
-        ulonglongs in proptest::collection::vec(any::<u64>(), 0..8),
-        s in "\\PC{0,40}",
-    ) {
+fn arb_service_contexts(g: &mut Gen) -> Vec<ServiceContext> {
+    g.vec(3, |g| ServiceContext::new(g.u32(), g.bytes(31)))
+}
+
+fn arb_request(g: &mut Gen) -> Request {
+    Request {
+        service_contexts: arb_service_contexts(g),
+        request_id: g.u32(),
+        response_expected: g.bool(),
+        object_key: g.bytes(23),
+        operation: g.ident(25),
+        requesting_principal: Vec::new(),
+        body: g.bytes(63),
+    }
+}
+
+#[test]
+fn cdr_primitive_sequences_round_trip() {
+    check("cdr primitive sequences round-trip", 256, |g| {
+        let order = arb_order(g);
+        let octets = g.bytes(15);
+        let ushorts = g.vec(7, Gen::u16);
+        let ulongs = g.vec(7, Gen::u32);
+        let ulonglongs = g.vec(7, Gen::u64);
+        let s = g.string(40);
+
         let mut enc = CdrEncoder::new(order);
-        for &v in &octets { enc.write_octet(v); }
-        for &v in &ushorts { enc.write_ushort(v); }
+        for &v in &octets {
+            enc.write_octet(v);
+        }
+        for &v in &ushorts {
+            enc.write_ushort(v);
+        }
         enc.write_string(&s);
-        for &v in &ulongs { enc.write_ulong(v); }
-        for &v in &ulonglongs { enc.write_ulonglong(v); }
+        for &v in &ulongs {
+            enc.write_ulong(v);
+        }
+        for &v in &ulonglongs {
+            enc.write_ulonglong(v);
+        }
         let bytes = enc.into_bytes();
 
         let mut dec = CdrDecoder::new(&bytes, order);
-        for &v in &octets { prop_assert_eq!(dec.read_octet().unwrap(), v); }
-        for &v in &ushorts { prop_assert_eq!(dec.read_ushort().unwrap(), v); }
-        prop_assert_eq!(dec.read_string().unwrap(), s);
-        for &v in &ulongs { prop_assert_eq!(dec.read_ulong().unwrap(), v); }
-        for &v in &ulonglongs { prop_assert_eq!(dec.read_ulonglong().unwrap(), v); }
-        prop_assert_eq!(dec.remaining(), 0);
-    }
+        for &v in &octets {
+            assert_eq!(dec.read_octet().unwrap(), v);
+        }
+        for &v in &ushorts {
+            assert_eq!(dec.read_ushort().unwrap(), v);
+        }
+        assert_eq!(dec.read_string().unwrap(), s);
+        for &v in &ulongs {
+            assert_eq!(dec.read_ulong().unwrap(), v);
+        }
+        for &v in &ulonglongs {
+            assert_eq!(dec.read_ulonglong().unwrap(), v);
+        }
+        assert_eq!(dec.remaining(), 0);
+    });
+}
 
-    #[test]
-    fn request_messages_round_trip(req in arb_request(), order in arb_order()) {
-        let msg = GiopMessage::Request(req);
+#[test]
+fn request_messages_round_trip() {
+    check("request messages round-trip", 256, |g| {
+        let msg = GiopMessage::Request(arb_request(g));
+        let order = arb_order(g);
         let wire = msg.encode(order);
-        prop_assert_eq!(GiopMessage::decode(&wire).unwrap(), msg);
-    }
+        assert_eq!(GiopMessage::decode(&wire).unwrap(), msg);
+    });
+}
 
-    #[test]
-    fn reply_messages_round_trip(
-        request_id in any::<u32>(),
-        body in proptest::collection::vec(any::<u8>(), 0..64),
-        order in arb_order(),
-    ) {
-        let msg = GiopMessage::Reply(Reply::success(request_id, body));
+#[test]
+fn reply_messages_round_trip() {
+    check("reply messages round-trip", 256, |g| {
+        let msg = GiopMessage::Reply(Reply::success(g.u32(), g.bytes(63)));
+        let order = arb_order(g);
         let wire = msg.encode(order);
-        prop_assert_eq!(GiopMessage::decode(&wire).unwrap(), msg);
-    }
+        assert_eq!(GiopMessage::decode(&wire).unwrap(), msg);
+    });
+}
 
-    #[test]
-    fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn decoder_never_panics_on_garbage() {
+    check("decoder never panics on garbage", 512, |g| {
+        let bytes = g.bytes(127);
         let _ = GiopMessage::decode(&bytes); // must not panic
         let _ = Ior::decode(&bytes);
         let _ = ObjectKey::parse(&bytes);
-    }
+    });
+}
 
-    #[test]
-    fn reader_reassembles_any_chunking(
-        reqs in proptest::collection::vec(arb_request(), 1..4),
-        chunk in 1usize..40,
-    ) {
+#[test]
+fn reader_reassembles_any_chunking() {
+    check("reader reassembles any chunking", 128, |g| {
+        let reqs: Vec<Request> = (0..g.range(1, 3)).map(|_| arb_request(g)).collect();
+        let chunk = g.range(1, 39) as usize;
         let mut stream = Vec::new();
         for r in &reqs {
             stream.extend(GiopMessage::Request(r.clone()).encode(ByteOrder::Big));
@@ -107,30 +120,35 @@ proptest! {
                 seen.push(m);
             }
         }
-        prop_assert_eq!(seen.len(), reqs.len());
+        assert_eq!(seen.len(), reqs.len());
         for (m, r) in seen.into_iter().zip(reqs) {
-            prop_assert_eq!(m, GiopMessage::Request(r));
+            assert_eq!(m, GiopMessage::Request(r));
         }
-    }
+    });
+}
 
-    #[test]
-    fn iors_round_trip_through_stringification(
-        type_id in "IDL:[A-Za-z/]{1,16}:1.0",
-        hosts in proptest::collection::vec(("[A-Za-z0-9]{1,8}", any::<u16>()), 1..5),
-        key in proptest::collection::vec(any::<u8>(), 0..16),
-    ) {
+#[test]
+fn iors_round_trip_through_stringification() {
+    check("iors round-trip through stringification", 128, |g| {
+        let type_id = format!("IDL:{}:1.0", g.ident(16));
+        let hosts: Vec<(String, u16)> = (0..g.range(1, 4)).map(|_| (g.ident(8), g.u16())).collect();
+        let key = g.bytes(15);
         let ior = Ior::with_iiop_profiles(
             type_id,
-            hosts.iter().map(|(h, p)| IiopProfile::new(h.clone(), *p, key.clone())),
+            hosts
+                .iter()
+                .map(|(h, p)| IiopProfile::new(h.clone(), *p, key.clone())),
         );
         let back = Ior::from_stringified(&ior.to_stringified()).unwrap();
-        prop_assert_eq!(&back, &ior);
-        prop_assert_eq!(back.iiop_profiles().unwrap().len(), hosts.len());
-    }
+        assert_eq!(&back, &ior);
+        assert_eq!(back.iiop_profiles().unwrap().len(), hosts.len());
+    });
+}
 
-    #[test]
-    fn object_keys_round_trip(domain in any::<u32>(), group in any::<u32>()) {
-        let key = ObjectKey::new(domain, group);
-        prop_assert_eq!(ObjectKey::parse(&key.to_bytes()).unwrap(), key);
-    }
+#[test]
+fn object_keys_round_trip() {
+    check("object keys round-trip", 256, |g| {
+        let key = ObjectKey::new(g.u32(), g.u32());
+        assert_eq!(ObjectKey::parse(&key.to_bytes()).unwrap(), key);
+    });
 }

@@ -1,0 +1,69 @@
+//! `ftd-client` — invoke a replicated object through a gateway's IOR.
+//!
+//! Takes the stringified IOR printed by `ftd-gatewayd` plus a list of
+//! operations, connects over real TCP, and prints each reply.
+//!
+//! ```text
+//! ftd-client [--client-id N] <IOR:...> <op>[:u64-arg]...
+//! ftd-client IOR:000... add:5 add:2 get
+//! ```
+
+use ftd_giop::{Ior, ReplyStatus};
+use ftd_net::NetClient;
+
+fn die(msg: &str) -> ! {
+    eprintln!("ftd-client: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut client_id = None;
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--client-id" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--client-id needs a value"));
+                client_id = Some(v.parse().unwrap_or_else(|_| die("bad --client-id")));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: ftd-client [--client-id N] <IOR:...> <op>[:u64-arg]...");
+                std::process::exit(0);
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() < 2 {
+        die("usage: ftd-client [--client-id N] <IOR:...> <op>[:u64-arg]...");
+    }
+
+    let ior =
+        Ior::from_stringified(&positional[0]).unwrap_or_else(|e| die(&format!("bad IOR: {e:?}")));
+    let mut client = NetClient::connect(&ior, client_id)
+        .unwrap_or_else(|e| die(&format!("connect failed: {e}")));
+
+    for spec in &positional[1..] {
+        let (operation, args_bytes) = match spec.split_once(':') {
+            Some((op, arg)) => {
+                let n: u64 = arg.parse().unwrap_or_else(|_| die("bad u64 argument"));
+                (op, n.to_be_bytes().to_vec())
+            }
+            None => (spec.as_str(), Vec::new()),
+        };
+        let reply = client
+            .invoke(operation, &args_bytes)
+            .unwrap_or_else(|e| die(&format!("{operation} failed: {e}")));
+        match reply.reply_status {
+            ReplyStatus::NoException if reply.body.len() == 8 => {
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&reply.body);
+                println!("{operation} -> {}", u64::from_be_bytes(buf));
+            }
+            ReplyStatus::NoException => println!("{operation} -> {:?}", reply.body),
+            status => println!("{operation} -> {status:?}: {:?}", reply.body),
+        }
+    }
+    let _ = client.close();
+}

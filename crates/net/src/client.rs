@@ -1,0 +1,176 @@
+//! A blocking GIOP/IIOP client over a real TCP socket.
+//!
+//! [`NetClient`] is the wire-level counterpart of the simulation's
+//! `EnhancedClient`/`PlainClient`: it connects to the gateway host and
+//! port named by an IOR's IIOP profile, frames requests with `ftd-giop`,
+//! and (when given a client id) carries the §3.5
+//! `FT_CLIENT_ID_SERVICE_CONTEXT` on every request so the gateway
+//! recognizes it across reconnects. Without a client id it behaves as a
+//! plain ORB (§3.4) and relies on the gateway's counter-assigned
+//! identity.
+
+use ftd_giop::{
+    ByteOrder, GiopMessage, Ior, MessageReader, Reply, Request, ServiceContext,
+    FT_CLIENT_ID_SERVICE_CONTEXT,
+};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+fn bad_data(e: impl std::fmt::Debug) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}"))
+}
+
+/// A blocking IIOP client connection to a gateway. See the module docs.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    reader: MessageReader,
+    object_key: Vec<u8>,
+    client_id: Option<u32>,
+    next_request: u32,
+}
+
+impl NetClient {
+    /// Connects to the primary IIOP profile of `ior`. A `client_id` makes
+    /// this an enhanced client (§3.5); `None` makes it a plain one (§3.4).
+    pub fn connect(ior: &Ior, client_id: Option<u32>) -> io::Result<NetClient> {
+        let profile = ior.primary_iiop().map_err(bad_data)?;
+        Self::connect_addr(
+            (profile.host.as_str(), profile.port),
+            profile.object_key,
+            client_id,
+        )
+    }
+
+    /// Connects to an explicit address with an explicit object key.
+    pub fn connect_addr(
+        addr: impl ToSocketAddrs,
+        object_key: Vec<u8>,
+        client_id: Option<u32>,
+    ) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(NetClient {
+            stream,
+            reader: MessageReader::new(),
+            object_key,
+            client_id,
+            next_request: 0,
+        })
+    }
+
+    /// The request id of the most recently sent request.
+    pub fn last_request_id(&self) -> u32 {
+        self.next_request
+    }
+
+    /// Invokes `operation` and blocks for its reply.
+    pub fn invoke(&mut self, operation: &str, args: &[u8]) -> io::Result<Reply> {
+        self.next_request += 1;
+        let id = self.next_request;
+        self.send_request(id, operation, args)?;
+        self.recv_reply_for(id)
+    }
+
+    /// Re-sends a request under an *existing* request id and blocks for
+    /// the reply — the reissue a client performs after a failover (§3.5).
+    /// The gateway answers retransmissions from its response cache rather
+    /// than re-executing.
+    pub fn resend(&mut self, request_id: u32, operation: &str, args: &[u8]) -> io::Result<Reply> {
+        self.send_request(request_id, operation, args)?;
+        self.recv_reply_for(request_id)
+    }
+
+    /// Sends a request without waiting for the reply.
+    pub fn send_request(
+        &mut self,
+        request_id: u32,
+        operation: &str,
+        args: &[u8],
+    ) -> io::Result<()> {
+        let service_contexts = match self.client_id {
+            Some(id) => vec![ServiceContext::new(
+                FT_CLIENT_ID_SERVICE_CONTEXT,
+                id.to_be_bytes().to_vec(),
+            )],
+            None => Vec::new(),
+        };
+        let request = Request {
+            service_contexts,
+            request_id,
+            response_expected: true,
+            object_key: self.object_key.clone(),
+            operation: operation.to_owned(),
+            body: args.to_vec(),
+            ..Request::default()
+        };
+        self.stream
+            .write_all(&GiopMessage::Request(request).encode(ByteOrder::Big))
+    }
+
+    /// Blocks until the reply for `request_id` arrives; other messages
+    /// (stray replies, locate traffic) are discarded.
+    pub fn recv_reply_for(&mut self, request_id: u32) -> io::Result<Reply> {
+        loop {
+            while let Some(msg) = self.reader.next().map_err(bad_data)? {
+                match msg {
+                    GiopMessage::Reply(reply) if reply.request_id == request_id => {
+                        return Ok(reply)
+                    }
+                    GiopMessage::CloseConnection => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::ConnectionAborted,
+                            "gateway closed the connection",
+                        ))
+                    }
+                    _ => {}
+                }
+            }
+            let mut buf = [0u8; 8 * 1024];
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "gateway hung up mid-reply",
+                ));
+            }
+            self.reader.push(&buf[..n]);
+        }
+    }
+
+    /// Reads for up to `wait` and returns how many *extra* GIOP messages
+    /// arrived unsolicited — 0 when the gateway honors exactly-one-reply.
+    pub fn drain_extra(&mut self, wait: Duration) -> io::Result<usize> {
+        self.stream.set_read_timeout(Some(wait))?;
+        let mut extra = 0;
+        loop {
+            while let Some(_msg) = self.reader.next().map_err(bad_data)? {
+                extra += 1;
+            }
+            let mut buf = [0u8; 8 * 1024];
+            match self.stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => self.reader.push(&buf[..n]),
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    break
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.stream
+            .set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(extra)
+    }
+
+    /// Sends an orderly CloseConnection and shuts the socket down.
+    pub fn close(mut self) -> io::Result<()> {
+        self.stream
+            .write_all(&GiopMessage::CloseConnection.encode(ByteOrder::Big))?;
+        self.stream.shutdown(Shutdown::Both)
+    }
+}

@@ -1,0 +1,273 @@
+//! The in-process fault tolerance domain behind a real-socket gateway.
+//!
+//! `ftd-net` runs the gateway *front end* over the operating system's TCP
+//! stack, but the domain behind it — Totem ring, replication mechanisms,
+//! replicated application objects — is the deterministic simulated
+//! substrate, hosted in-process and advanced in virtual time by the
+//! gateway's engine thread. [`DomainHost`] wraps that world: it owns the
+//! processors, relays multicasts from the engine into the ring, drains
+//! ordered deliveries back out, and answers the engine's [`DomainView`]
+//! questions from the live group directory.
+//!
+//! The relay processor (`h0`) stands in for the gateway *inside* the
+//! domain: it joins the gateway group (so directory queries and §3.5
+//! peer-counting see the gateway as a member) and its daemon's Totem node
+//! is the injection point for [`DomainHost::multicast`].
+
+use ftd_core::DomainView;
+use ftd_eternal::{
+    DaemonExtension, EternalDaemon, FtProperties, MechConfig, Mechanisms, ObjectRegistry,
+};
+use ftd_sim::{Context, ProcessorId, SimDuration, World};
+use ftd_totem::{GroupId, GroupMessage, TotemConfig, TotemNode};
+use std::collections::BTreeMap;
+
+/// The daemon extension run on every host processor: buffers every ordered
+/// delivery (the engine sorts out which it cares about) and, on the relay
+/// processor, represents the gateway in the gateway group.
+#[derive(Debug, Default)]
+struct Relay {
+    /// The gateway group to join (relay processor only).
+    join: Option<GroupId>,
+    /// Ordered deliveries not yet drained by the engine thread.
+    deliveries: Vec<(GroupId, Vec<u8>)>,
+}
+
+impl DaemonExtension for Relay {
+    fn on_start(&mut self, _ctx: &mut Context<'_>, totem: &mut TotemNode, _mech: &mut Mechanisms) {
+        if let Some(group) = self.join {
+            totem.join_group(group);
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        _ctx: &mut Context<'_>,
+        _totem: &mut TotemNode,
+        _mech: &mut Mechanisms,
+        msg: &GroupMessage,
+    ) {
+        if self.join.is_some() {
+            self.deliveries.push((msg.group, msg.payload.clone()));
+        }
+    }
+}
+
+type HostDaemon = EternalDaemon<Relay>;
+
+/// A [`DomainView`] snapshot taken from the relay daemon's directory;
+/// handed to the engine for one batch of events.
+#[derive(Debug, Clone, Default)]
+pub struct HostView {
+    peers: usize,
+    votes: BTreeMap<u32, bool>,
+    replicas: BTreeMap<u32, usize>,
+}
+
+impl DomainView for HostView {
+    fn live_gateway_peers(&self) -> usize {
+        self.peers
+    }
+
+    fn votes(&self, group: GroupId) -> bool {
+        self.votes.get(&group.0).copied().unwrap_or(false)
+    }
+
+    fn live_replicas(&self, group: GroupId) -> usize {
+        self.replicas.get(&group.0).copied().unwrap_or(0)
+    }
+}
+
+/// An in-process fault tolerance domain: a deterministic world whose
+/// virtual clock the caller advances explicitly. See the module docs.
+pub struct DomainHost {
+    world: World,
+    domain: u32,
+    processors: Vec<ProcessorId>,
+    relay: ProcessorId,
+    gateway_group: GroupId,
+}
+
+impl std::fmt::Debug for DomainHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainHost")
+            .field("domain", &self.domain)
+            .field("processors", &self.processors.len())
+            .finish()
+    }
+}
+
+impl DomainHost {
+    /// Builds a domain of `processors` daemons (each with an identical
+    /// object registry from `registry`) and runs it until the Totem ring
+    /// is operational.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `processors == 0` or the ring fails to form.
+    pub fn new(
+        domain: u32,
+        processors: u32,
+        seed: u64,
+        registry: impl Fn() -> ObjectRegistry + Clone + 'static,
+    ) -> Self {
+        assert!(processors >= 1, "a domain needs at least one processor");
+        let mut world = World::new(seed);
+        let lan = world.add_lan(Default::default());
+        let gateway_group = GroupId(0x4000_0000 | domain);
+        let mut procs = Vec::new();
+        for i in 0..processors {
+            let registry_cl = registry.clone();
+            let join = (i == 0).then_some(gateway_group);
+            let p = world.add_processor(&format!("d{domain}h{i}"), lan, move |me| {
+                Box::new(EternalDaemon::with_extension(
+                    me,
+                    TotemConfig::default(),
+                    MechConfig {
+                        domain,
+                        ..MechConfig::default()
+                    },
+                    registry_cl(),
+                    Relay {
+                        join,
+                        deliveries: Vec::new(),
+                    },
+                ))
+            });
+            procs.push(p);
+        }
+        let relay = procs[0];
+        let mut host = DomainHost {
+            world,
+            domain,
+            processors: procs,
+            relay,
+            gateway_group,
+        };
+        for _ in 0..400 {
+            if host.is_operational() {
+                break;
+            }
+            host.world.run_for(SimDuration::from_millis(5));
+        }
+        assert!(host.is_operational(), "domain ring failed to form");
+        host
+    }
+
+    /// The domain id.
+    pub fn domain(&self) -> u32 {
+        self.domain
+    }
+
+    /// The gateway group the relay represents the gateway in.
+    pub fn gateway_group(&self) -> GroupId {
+        self.gateway_group
+    }
+
+    /// `true` once every daemon's ring is operational.
+    pub fn is_operational(&self) -> bool {
+        self.processors.iter().all(|&p| {
+            self.world
+                .actor::<HostDaemon>(p)
+                .is_some_and(|d| d.totem().is_operational())
+        })
+    }
+
+    fn relay_daemon(&self) -> &HostDaemon {
+        self.world
+            .actor::<HostDaemon>(self.relay)
+            .expect("relay daemon alive")
+    }
+
+    fn relay_daemon_mut(&mut self) -> &mut HostDaemon {
+        self.world
+            .actor_mut::<HostDaemon>(self.relay)
+            .expect("relay daemon alive")
+    }
+
+    /// Creates a replicated object group and runs the domain until the
+    /// placement settles.
+    pub fn create_group(&mut self, group: GroupId, type_name: &str, properties: FtProperties) {
+        self.relay_daemon_mut()
+            .create_group(group, type_name, properties);
+        self.world.run_for(SimDuration::from_millis(30));
+    }
+
+    /// Queues a totally ordered multicast from the gateway into the
+    /// domain; it is sent as virtual time advances in [`DomainHost::pump`].
+    pub fn multicast(&mut self, group: GroupId, payload: Vec<u8>) {
+        self.relay_daemon_mut()
+            .parts_mut()
+            .0
+            .multicast(group, payload);
+    }
+
+    /// Advances the domain by `d` of virtual time and drains the ordered
+    /// deliveries the gateway should see.
+    pub fn pump(&mut self, d: SimDuration) -> Vec<(GroupId, Vec<u8>)> {
+        self.world.run_for(d);
+        std::mem::take(&mut self.relay_daemon_mut().ext_mut().deliveries)
+    }
+
+    /// Snapshots the [`DomainView`] facts for the engine.
+    pub fn view(&self) -> HostView {
+        let daemon = self.relay_daemon();
+        let totem = daemon.totem();
+        let ring = totem.ring().to_vec();
+        let peers = totem
+            .group_members(self.gateway_group)
+            .into_iter()
+            .filter(|p| ring.contains(p))
+            .count();
+        let directory = daemon.mech().directory();
+        let mut votes = BTreeMap::new();
+        let mut replicas = BTreeMap::new();
+        for meta in directory.groups() {
+            votes.insert(meta.group.0, meta.properties.style.votes());
+            replicas.insert(meta.group.0, directory.live_hosts(meta.group, &ring).len());
+        }
+        HostView {
+            peers,
+            votes,
+            replicas,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftd_eternal::{Counter, ReplicationStyle};
+
+    fn registry() -> ObjectRegistry {
+        let mut reg = ObjectRegistry::new();
+        reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+        reg
+    }
+
+    #[test]
+    fn host_forms_a_ring_and_places_groups() {
+        let mut host = DomainHost::new(3, 4, 11, registry);
+        assert!(host.is_operational());
+        host.create_group(
+            GroupId(10),
+            "Counter",
+            FtProperties::new(ReplicationStyle::Active).with_initial(3),
+        );
+        let view = host.view();
+        assert_eq!(view.live_gateway_peers(), 1);
+        assert_eq!(view.live_replicas(GroupId(10)), 3);
+        assert!(!view.votes(GroupId(10)));
+    }
+
+    #[test]
+    fn voting_groups_are_visible_in_the_view() {
+        let mut host = DomainHost::new(3, 4, 12, registry);
+        host.create_group(
+            GroupId(11),
+            "Counter",
+            FtProperties::new(ReplicationStyle::ActiveWithVoting).with_initial(3),
+        );
+        assert!(host.view().votes(GroupId(11)));
+    }
+}

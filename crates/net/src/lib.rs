@@ -1,0 +1,34 @@
+//! # ftd-net — the gateway over real sockets
+//!
+//! The paper's gateway (§3) mediates between unreplicated IIOP clients on
+//! ordinary TCP connections and a fault tolerance domain's totally
+//! ordered multicast. `ftd-core` factors that state machine into the
+//! transport-agnostic `GatewayEngine`; this crate is its second host —
+//! the first being the deterministic simulation — and runs the *same*
+//! engine over `std::net` sockets:
+//!
+//! * [`GatewayServer`] — a listening gateway: accept/reader threads feed
+//!   an engine thread that owns the engine and the in-process domain and
+//!   multiplexes all writes (see `server` module docs for the thread
+//!   layout).
+//! * [`DomainHost`] — the fault tolerance domain behind the gateway: the
+//!   simulated substrate (Totem ring, replication mechanisms, replicated
+//!   objects) hosted in-process and advanced in virtual time.
+//! * [`NetClient`] — a blocking GIOP/IIOP client for real sockets, plain
+//!   (§3.4) or enhanced with the client-id service context (§3.5).
+//!
+//! The `ftd-gatewayd` binary serves a domain and prints a stringified
+//! IOR whose profile carries the gateway's real host and port; the
+//! `ftd-client` binary invokes through such an IOR from another process.
+//! No external crates are used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod host;
+mod server;
+
+pub use client::NetClient;
+pub use host::{DomainHost, HostView};
+pub use server::{EngineSnapshot, GatewayServer};

@@ -1,0 +1,362 @@
+//! The real-socket gateway front end: [`GatewayServer`] listens on an
+//! operating-system TCP port and runs the transport-agnostic
+//! [`GatewayEngine`] against it.
+//!
+//! Threading (§3.1's "gateway process", mapped onto threads):
+//!
+//! * an **accept thread** blocks on the listener and spawns one **reader
+//!   thread** per accepted connection; readers forward raw bytes as
+//!   events,
+//! * a single **engine thread** owns the [`GatewayEngine`] *and* the
+//!   in-process [`DomainHost`], drains the event channel, and applies the
+//!   engine's [`Action`]s: client-bound bytes are written here (it doubles
+//!   as the writer/mux thread), multicasts go into the domain, and the
+//!   domain's virtual clock is advanced a slice per tick so ordered
+//!   deliveries flow back out to clients.
+//!
+//! Nothing but `std::net` and `std::sync` is used — the crate adds zero
+//! external dependencies.
+
+use crate::host::DomainHost;
+use ftd_core::{Action, EngineConfig, GatewayEngine, GwConn};
+use ftd_eternal::{GatewayEndpoint, IorPublisher};
+use ftd_giop::Ior;
+use ftd_sim::{SimDuration, Stats};
+use ftd_totem::GroupId;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Transport events flowing from the socket threads to the engine thread.
+enum Ev {
+    /// A connection was accepted; the stream is the write half.
+    Accepted(u64, TcpStream),
+    /// Bytes arrived on a connection.
+    Data(u64, Vec<u8>),
+    /// A connection reached EOF or errored.
+    Closed(u64),
+    /// Stop serving.
+    Shutdown,
+}
+
+/// Engine-side gauges mirrored out of the engine thread after every batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineSnapshot {
+    /// Clients currently known to the engine (§3.2 identity table size).
+    pub connected_clients: usize,
+    /// Duplicate responses suppressed so far (Fig. 3's headline number).
+    pub duplicates_suppressed: u64,
+    /// Replies currently cached for §3.5 failover reissues.
+    pub cached_responses: usize,
+}
+
+#[derive(Default)]
+struct Shared {
+    stats: Mutex<Stats>,
+    snapshot: Mutex<EngineSnapshot>,
+    shutdown: AtomicBool,
+}
+
+/// A gateway serving a fault tolerance domain on a real TCP socket. See
+/// the module docs.
+pub struct GatewayServer {
+    local_addr: SocketAddr,
+    publisher: IorPublisher,
+    tx: Sender<Ev>,
+    shared: Arc<Shared>,
+    engine_thread: Option<JoinHandle<()>>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for GatewayServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayServer")
+            .field("local_addr", &self.local_addr)
+            .finish()
+    }
+}
+
+impl GatewayServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// the domain produced by `host` through an engine configured by
+    /// `config`. The host factory runs on the engine thread — the
+    /// simulated world never crosses threads.
+    pub fn start(
+        addr: &str,
+        config: EngineConfig,
+        host: impl FnOnce() -> DomainHost + Send + 'static,
+    ) -> io::Result<GatewayServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let publisher = IorPublisher::new(
+            config.domain,
+            vec![GatewayEndpoint {
+                host: local_addr.ip().to_string(),
+                port: local_addr.port(),
+            }],
+        );
+        let shared = Arc::new(Shared::default());
+        let (tx, rx) = mpsc::channel();
+
+        let engine_shared = shared.clone();
+        let engine_thread = thread::Builder::new()
+            .name("ftd-gateway-engine".into())
+            .spawn(move || engine_loop(rx, config, host(), engine_shared))?;
+
+        let accept_tx = tx.clone();
+        let accept_shared = shared.clone();
+        let accept_thread = thread::Builder::new()
+            .name("ftd-gateway-accept".into())
+            .spawn(move || accept_loop(listener, accept_tx, accept_shared))?;
+
+        Ok(GatewayServer {
+            local_addr,
+            publisher,
+            tx,
+            shared,
+            engine_thread: Some(engine_thread),
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the gateway is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Publishes an IOR for `group`: its IIOP profile points at this
+    /// gateway's real host and port (§3.1 — clients never see replicas).
+    pub fn ior(&self, type_id: &str, group: GroupId) -> Ior {
+        self.publisher.publish(type_id, group)
+    }
+
+    /// A snapshot of the per-connection / per-group statistics counters
+    /// (engine `gateway.*` counters plus transport `net.*` counters).
+    pub fn stats(&self) -> Stats {
+        self.shared.stats.lock().expect("stats lock").clone()
+    }
+
+    /// The engine gauges as of the last processed batch.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        *self.shared.snapshot.lock().expect("snapshot lock")
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        let _ = self.tx.send(Ev::Shutdown);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.engine_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops serving, joins the threads, and returns the final statistics.
+    pub fn shutdown(mut self) -> Stats {
+        self.stop();
+        self.stats()
+    }
+}
+
+impl Drop for GatewayServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<Ev>, shared: Arc<Shared>) {
+    let mut next_id = 1u64;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let Ok(reader) = stream.try_clone() else {
+            continue;
+        };
+        let id = next_id;
+        next_id += 1;
+        if tx.send(Ev::Accepted(id, stream)).is_err() {
+            break;
+        }
+        let reader_tx = tx.clone();
+        let _ = thread::Builder::new()
+            .name(format!("ftd-gateway-conn-{id}"))
+            .spawn(move || reader_loop(id, reader, reader_tx));
+    }
+}
+
+fn reader_loop(id: u64, mut stream: TcpStream, tx: Sender<Ev>) {
+    let mut buf = [0u8; 16 * 1024];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => {
+                let _ = tx.send(Ev::Closed(id));
+                break;
+            }
+            Ok(n) => {
+                if tx.send(Ev::Data(id, buf[..n].to_vec())).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// How much real time the engine thread waits per tick, and how much
+/// virtual time the in-process domain advances per tick.
+const TICK_REAL: Duration = Duration::from_millis(1);
+const TICK_VIRTUAL: SimDuration = SimDuration::from_millis(2);
+
+fn engine_loop(rx: Receiver<Ev>, config: EngineConfig, mut host: DomainHost, shared: Arc<Shared>) {
+    let mut engine = GatewayEngine::new(config, BTreeMap::new());
+    let mut writers: BTreeMap<u64, TcpStream> = BTreeMap::new();
+    // Requests forwarded into the domain and not yet answered, oldest
+    // first, for the reply-latency metric.
+    let mut inflight: VecDeque<(u64, Instant)> = VecDeque::new();
+
+    loop {
+        let mut events = Vec::new();
+        match rx.recv_timeout(TICK_REAL) {
+            Ok(ev) => {
+                events.push(ev);
+                while let Ok(ev) = rx.try_recv() {
+                    events.push(ev);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+
+        let mut stop = false;
+        for ev in events {
+            match ev {
+                Ev::Accepted(id, stream) => {
+                    writers.insert(id, stream);
+                    shared
+                        .stats
+                        .lock()
+                        .expect("stats lock")
+                        .inc("net.connections");
+                    let actions = engine.on_client_accepted(GwConn(id));
+                    apply(actions, &mut writers, &mut host, &shared, &mut inflight);
+                }
+                Ev::Data(id, bytes) => {
+                    shared
+                        .stats
+                        .lock()
+                        .expect("stats lock")
+                        .add("net.bytes_in", bytes.len() as u64);
+                    let view = host.view();
+                    let actions = engine.on_bytes_from_client(GwConn(id), &bytes, &view);
+                    let forwarded = actions
+                        .iter()
+                        .filter(|a| matches!(a, Action::Multicast { .. }))
+                        .count();
+                    for _ in 0..forwarded {
+                        inflight.push_back((id, Instant::now()));
+                    }
+                    apply(actions, &mut writers, &mut host, &shared, &mut inflight);
+                }
+                Ev::Closed(id) => {
+                    writers.remove(&id);
+                    let actions = engine.on_client_closed(GwConn(id));
+                    apply(actions, &mut writers, &mut host, &shared, &mut inflight);
+                }
+                Ev::Shutdown => stop = true,
+            }
+        }
+
+        // Advance the domain's virtual clock and pull ordered deliveries
+        // (replica responses, gateway-group coordination) back out.
+        for (group, payload) in host.pump(TICK_VIRTUAL) {
+            let view = host.view();
+            let actions = engine.on_delivery_from_domain(group, &payload, &view);
+            apply(actions, &mut writers, &mut host, &shared, &mut inflight);
+        }
+
+        *shared.snapshot.lock().expect("snapshot lock") = EngineSnapshot {
+            connected_clients: engine.connected_clients(),
+            duplicates_suppressed: engine.duplicates_suppressed(),
+            cached_responses: engine.cached_responses(),
+        };
+
+        if stop || shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+
+    for (_, stream) in writers {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn apply(
+    actions: Vec<Action>,
+    writers: &mut BTreeMap<u64, TcpStream>,
+    host: &mut DomainHost,
+    shared: &Shared,
+    inflight: &mut VecDeque<(u64, Instant)>,
+) {
+    for action in actions {
+        match action {
+            Action::ToClient { conn, bytes } => {
+                if let Some(pos) = inflight.iter().position(|&(c, _)| c == conn.0) {
+                    let (_, since) = inflight.remove(pos).expect("position valid");
+                    shared
+                        .stats
+                        .lock()
+                        .expect("stats lock")
+                        .sample("net.reply_latency_us", since.elapsed().as_micros() as u64);
+                }
+                let mut dead = false;
+                if let Some(stream) = writers.get_mut(&conn.0) {
+                    if stream.write_all(&bytes).is_ok() {
+                        shared
+                            .stats
+                            .lock()
+                            .expect("stats lock")
+                            .add("net.bytes_out", bytes.len() as u64);
+                    } else {
+                        dead = true;
+                    }
+                }
+                if dead {
+                    writers.remove(&conn.0);
+                }
+            }
+            Action::CloseClient { conn } => {
+                if let Some(stream) = writers.remove(&conn.0) {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+            Action::Multicast { group, payload } => host.multicast(group, payload),
+            Action::BridgeConnect { .. } | Action::ToBridge { .. } => {
+                // The net front end serves a single domain; it has no
+                // wide-area routes, so the engine never targets a peer
+                // domain unless misconfigured.
+                shared
+                    .stats
+                    .lock()
+                    .expect("stats lock")
+                    .inc("net.bridge_unrouted");
+            }
+            Action::PersistCounter { .. } => {
+                // No stable store behind the net host (warm-gateway
+                // configuration); counters restart with the process.
+            }
+            Action::Count { counter } => {
+                shared.stats.lock().expect("stats lock").inc(counter);
+            }
+        }
+    }
+}

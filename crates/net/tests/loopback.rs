@@ -1,0 +1,174 @@
+//! End-to-end loopback tests: a real `ftd-giop` client on a real
+//! `std::net::TcpStream` invokes a replicated object through
+//! [`GatewayServer`] — the acceptance path for the net front end.
+
+use ftd_core::EngineConfig;
+use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
+use ftd_net::{DomainHost, GatewayServer, NetClient};
+use ftd_totem::GroupId;
+use std::time::{Duration, Instant};
+
+const GROUP: GroupId = GroupId(10);
+
+/// The domain behind the gateway advances in virtual time on the engine
+/// thread; counters that depend on *later* deliveries (the second and
+/// third replica's duplicate responses) trail the reply itself. Poll.
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn registry() -> ObjectRegistry {
+    let mut reg = ObjectRegistry::new();
+    reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+    reg
+}
+
+fn start_server(domain: u32, seed: u64) -> GatewayServer {
+    let config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), 0);
+    GatewayServer::start("127.0.0.1:0", config, move || {
+        let mut host = DomainHost::new(domain, 4, seed, registry);
+        host.create_group(
+            GROUP,
+            "Counter",
+            FtProperties::new(ReplicationStyle::Active).with_initial(3),
+        );
+        host
+    })
+    .expect("bind loopback")
+}
+
+#[test]
+fn enhanced_client_invokes_three_replica_group_with_exactly_one_reply_each() {
+    let server = start_server(1, 0xFEED);
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    let mut client = NetClient::connect(&ior, Some(0x77)).expect("connect");
+
+    // Three invocations; each replica of the 3-member active group
+    // responds, the gateway forwards exactly one reply apiece.
+    let r1 = client.invoke("add", &5u64.to_be_bytes()).expect("add 5");
+    assert_eq!(r1.body, 5u64.to_be_bytes());
+    // 3 live replicas answered; the duplicates must get suppressed.
+    wait_until("first request's duplicate suppression", || {
+        server.snapshot().duplicates_suppressed >= 1
+    });
+    let suppressed_after_first = server.snapshot().duplicates_suppressed;
+
+    let r2 = client.invoke("add", &2u64.to_be_bytes()).expect("add 2");
+    assert_eq!(r2.body, 7u64.to_be_bytes());
+    let r3 = client.invoke("get", &[]).expect("get");
+    assert_eq!(r3.body, 7u64.to_be_bytes());
+
+    // duplicates_suppressed keeps incrementing request over request.
+    wait_until("suppression count growth", || {
+        server.snapshot().duplicates_suppressed > suppressed_after_first
+    });
+
+    // Exactly one reply per request: nothing else arrives on the wire.
+    let extra = client
+        .drain_extra(Duration::from_millis(300))
+        .expect("drain");
+    assert_eq!(
+        extra, 0,
+        "gateway must deliver exactly one reply per request"
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.counter("gateway.requests_forwarded"), 3);
+    // Counted per request carrying the §3.5 client-id service context.
+    assert_eq!(stats.counter("gateway.enhanced_clients_seen"), 3);
+    assert!(stats.counter("gateway.duplicate_responses_suppressed") >= 2);
+}
+
+#[test]
+fn reissued_request_is_served_from_the_response_cache_not_reexecuted() {
+    let server = start_server(2, 0xBEEF);
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    let mut client = NetClient::connect(&ior, Some(0x31)).expect("connect");
+
+    let r1 = client.invoke("add", &9u64.to_be_bytes()).expect("add 9");
+    assert_eq!(r1.body, 9u64.to_be_bytes());
+
+    // A §3.5 failover reissue: same client id, same request id. The
+    // gateway answers from its response cache; the domain never sees a
+    // second invocation, so the counter is NOT incremented again.
+    let id = client.last_request_id();
+    let rr = client
+        .resend(id, "add", &9u64.to_be_bytes())
+        .expect("reissue");
+    assert_eq!(rr.body, 9u64.to_be_bytes(), "cached reply, not re-executed");
+
+    // Fresh requests still execute (and see the un-corrupted state).
+    let r2 = client.invoke("get", &[]).expect("get");
+    assert_eq!(r2.body, 9u64.to_be_bytes());
+
+    let stats = server.shutdown();
+    assert!(stats.counter("gateway.reissues_served_from_cache") >= 1);
+    assert_eq!(stats.counter("gateway.requests_forwarded"), 2);
+}
+
+#[test]
+fn plain_client_gets_counter_assigned_identity_and_cache_service() {
+    let server = start_server(3, 0xD00D);
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    // No client id: the gateway assigns one from its §3.2 counter.
+    let mut client = NetClient::connect(&ior, None).expect("connect");
+
+    let r1 = client.invoke("add", &4u64.to_be_bytes()).expect("add 4");
+    assert_eq!(r1.body, 4u64.to_be_bytes());
+
+    // Same-connection retransmission hits the cache under the
+    // counter-assigned identity too.
+    let rr = client
+        .resend(client.last_request_id(), "add", &4u64.to_be_bytes())
+        .expect("reissue");
+    assert_eq!(rr.body, 4u64.to_be_bytes());
+
+    let stats = server.shutdown();
+    assert!(stats.counter("gateway.reissues_served_from_cache") >= 1);
+    assert_eq!(stats.counter("gateway.enhanced_clients_seen"), 0);
+    assert_eq!(stats.counter("gateway.requests_forwarded"), 1);
+}
+
+#[test]
+fn two_clients_interleave_without_crosstalk() {
+    let server = start_server(4, 0xCAFE);
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    let mut a = NetClient::connect(&ior, Some(1)).expect("connect a");
+    let mut b = NetClient::connect(&ior, Some(2)).expect("connect b");
+
+    let ra = a.invoke("add", &10u64.to_be_bytes()).expect("a add");
+    let rb = b.invoke("add", &1u64.to_be_bytes()).expect("b add");
+    assert_eq!(ra.body, 10u64.to_be_bytes());
+    assert_eq!(rb.body, 11u64.to_be_bytes());
+
+    // Replies went only to their own connections.
+    assert_eq!(a.drain_extra(Duration::from_millis(200)).expect("a"), 0);
+    assert_eq!(b.drain_extra(Duration::from_millis(200)).expect("b"), 0);
+
+    let snap = server.snapshot();
+    assert_eq!(snap.connected_clients, 2);
+    drop(server);
+}
+
+#[test]
+fn malformed_bytes_draw_message_error_and_disconnect() {
+    use std::io::{Read, Write};
+
+    let server = start_server(5, 0xABBA);
+    let addr = server.local_addr();
+    let mut raw = std::net::TcpStream::connect(addr).expect("connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // GIOP magic with a hostile length field.
+    raw.write_all(&[b'G', b'I', b'O', b'P', 1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF])
+        .expect("write garbage");
+
+    // The gateway answers MessageError and closes; read to EOF.
+    let mut buf = Vec::new();
+    let _ = raw.read_to_end(&mut buf);
+    let stats = server.shutdown();
+    assert!(stats.counter("gateway.protocol_errors") >= 1);
+}

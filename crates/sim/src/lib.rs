@@ -67,6 +67,7 @@
 
 mod ids;
 mod net;
+mod rng;
 mod stats;
 mod time;
 mod trace;
@@ -74,6 +75,7 @@ mod world;
 
 pub use ids::{ConnId, LanId, NetAddr, ProcessorId, TimerId};
 pub use net::{Datagram, LanConfig, NetConfig, TcpError, TcpEvent};
+pub use rng::{splitmix64, SimRng};
 pub use stats::{Stats, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLog};

@@ -283,7 +283,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert_eq!(TcpError::PortInUse(80).to_string(), "port 80 already in use");
+        assert_eq!(
+            TcpError::PortInUse(80).to_string(),
+            "port 80 already in use"
+        );
         assert_eq!(
             TcpError::NotConnected(ConnId(3)).to_string(),
             "conn3 is not open"

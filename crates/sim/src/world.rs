@@ -8,12 +8,11 @@
 //! *exactly-once* delivery and byte-identical replica state.
 
 use crate::net::{ConnSide, ConnState, NetState, TcpConn};
+use crate::rng::SimRng;
 use crate::{
     ConnId, Datagram, LanConfig, LanId, NetAddr, NetConfig, ProcessorId, SimDuration, SimTime,
     Stats, TcpError, TcpEvent, TimerId, TraceLog,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BTreeSet, BinaryHeap};
@@ -131,7 +130,7 @@ pub(crate) struct WorldCore {
     now: SimTime,
     queue: BinaryHeap<Reverse<Scheduled>>,
     next_seq: u64,
-    rng: StdRng,
+    rng: SimRng,
     procs: Vec<ProcInfo>,
     lans: Vec<LanConfig>,
     net: NetState,
@@ -148,7 +147,11 @@ impl WorldCore {
         debug_assert!(at >= self.now, "scheduling into the past");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Reverse(Scheduled { time: at, seq, kind }));
+        self.queue.push(Reverse(Scheduled {
+            time: at,
+            seq,
+            kind,
+        }));
     }
 
     fn schedule_after(&mut self, delay: SimDuration, kind: EventKind) {
@@ -159,7 +162,7 @@ impl WorldCore {
         if jitter.is_zero() {
             base
         } else {
-            base + SimDuration::from_nanos(self.rng.gen_range(0..=jitter.as_nanos()))
+            base + SimDuration::from_nanos(self.rng.gen_range_inclusive(0, jitter.as_nanos()))
         }
     }
 
@@ -256,7 +259,7 @@ impl World {
                 now: SimTime::ZERO,
                 queue: BinaryHeap::new(),
                 next_seq: 0,
-                rng: StdRng::seed_from_u64(seed),
+                rng: SimRng::seed_from_u64(seed),
                 procs: Vec::new(),
                 lans: Vec::new(),
                 net: NetState::default(),
@@ -289,10 +292,7 @@ impl World {
     where
         F: FnMut(ProcessorId) -> Box<dyn Actor> + 'static,
     {
-        assert!(
-            (lan.0 as usize) < self.core.lans.len(),
-            "unknown LAN {lan}"
-        );
+        assert!((lan.0 as usize) < self.core.lans.len(), "unknown LAN {lan}");
         let id = ProcessorId(self.core.procs.len() as u32);
         self.core.procs.push(ProcInfo {
             name: name.to_owned(),
@@ -446,8 +446,13 @@ impl World {
             .trace
             .record(self.core.now, Some(p), "fault", "recover".into());
         self.core.stats.inc("sim.recoveries");
-        self.core
-            .schedule(self.core.now, EventKind::Start { proc: p, generation });
+        self.core.schedule(
+            self.core.now,
+            EventKind::Start {
+                proc: p,
+                generation,
+            },
+        );
     }
 
     /// Partitions the network. Each slice becomes one side of the partition;
@@ -463,9 +468,12 @@ impl World {
                 self.core.procs[p.0 as usize].partition = i as u32 + 1;
             }
         }
-        self.core
-            .trace
-            .record(self.core.now, None, "fault", format!("partition {groups:?}"));
+        self.core.trace.record(
+            self.core.now,
+            None,
+            "fault",
+            format!("partition {groups:?}"),
+        );
         self.core.stats.inc("sim.partitions");
     }
 
@@ -551,11 +559,7 @@ impl World {
         self.core.queue.is_empty()
     }
 
-    fn deliver(
-        &mut self,
-        proc: ProcessorId,
-        f: impl FnOnce(&mut dyn Actor, &mut Context<'_>),
-    ) {
+    fn deliver(&mut self, proc: ProcessorId, f: impl FnOnce(&mut dyn Actor, &mut Context<'_>)) {
         let slot = &mut self.actors[proc.0 as usize];
         let Some(mut actor) = slot.actor.take() else {
             return;
@@ -721,8 +725,9 @@ impl World {
         let refused = !self.core.side_current(initiator)
             || !self.core.reachable(initiator.processor, target.processor)
             || !self.core.net.listeners.contains_key(&target);
-        let back_latency =
-            self.core.latency_between(target.processor, initiator.processor);
+        let back_latency = self
+            .core
+            .latency_between(target.processor, initiator.processor);
         if refused {
             let c = self.core.net.conns.get_mut(&conn_id).expect("conn exists");
             c.state = ConnState::Closed;
@@ -849,7 +854,7 @@ impl<'a> Context<'a> {
             if !self.core.reachable(self.me, dest) {
                 continue;
             }
-            if cfg.loss_probability > 0.0 && self.core.rng.gen::<f64>() < cfg.loss_probability {
+            if cfg.loss_probability > 0.0 && self.core.rng.gen_f64() < cfg.loss_probability {
                 self.core.stats.inc("net.datagrams_lost");
                 continue;
             }
@@ -878,7 +883,7 @@ impl<'a> Context<'a> {
             self.core.procs[self.me.0 as usize].lan == self.core.procs[dest.0 as usize].lan;
         if same_lan {
             let cfg = self.core.lans[self.my_lan().0 as usize];
-            if cfg.loss_probability > 0.0 && self.core.rng.gen::<f64>() < cfg.loss_probability {
+            if cfg.loss_probability > 0.0 && self.core.rng.gen_f64() < cfg.loss_probability {
                 self.core.stats.inc("net.datagrams_lost");
                 return;
             }
@@ -1006,7 +1011,9 @@ impl<'a> Context<'a> {
         let at = (self.core.now + lat).max(*fifo);
         *fifo = at;
         self.core.stats.inc("net.tcp_chunks_sent");
-        self.core.stats.add("net.tcp_bytes_sent", bytes.len() as u64);
+        self.core
+            .stats
+            .add("net.tcp_bytes_sent", bytes.len() as u64);
         self.core.schedule(
             at,
             EventKind::TcpData {
@@ -1081,12 +1088,12 @@ impl<'a> Context<'a> {
 
     /// A uniformly random `u64` from the world's seeded RNG.
     pub fn rand_u64(&mut self) -> u64 {
-        self.core.rng.gen()
+        self.core.rng.next_u64()
     }
 
     /// A uniformly random `f64` in `[0, 1)`.
     pub fn rand_f64(&mut self) -> f64 {
-        self.core.rng.gen()
+        self.core.rng.gen_f64()
     }
 
     /// A uniformly random value in `[0, n)`.
@@ -1095,7 +1102,7 @@ impl<'a> Context<'a> {
     ///
     /// Panics if `n` is zero.
     pub fn rand_range(&mut self, n: u64) -> u64 {
-        self.core.rng.gen_range(0..n)
+        self.core.rng.gen_range(n)
     }
 
     /// Shared statistics.

@@ -99,7 +99,10 @@ mod tests {
     fn display_forms() {
         assert_eq!(GroupId(4).to_string(), "g4");
         assert_eq!(RingEpoch(2).to_string(), "epoch0.2");
-        assert_eq!(RingEpoch::next_round(RingEpoch(2), 7).to_string(), "epoch1.7");
+        assert_eq!(
+            RingEpoch::next_round(RingEpoch(2), 7).to_string(),
+            "epoch1.7"
+        );
         assert_eq!(RingEpoch::next_round(RingEpoch(2), 7).round(), 1);
     }
 

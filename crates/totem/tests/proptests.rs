@@ -1,113 +1,81 @@
 //! Property-based tests on the Totem wire formats and on the total-order
 //! invariant across randomized workloads and loss rates.
 
+use ftd_check::{check, Gen};
 use ftd_sim::ProcessorId;
 use ftd_totem::*;
-use proptest::prelude::*;
 
-fn arb_procs() -> impl Strategy<Value = Vec<ProcessorId>> {
-    proptest::collection::vec(any::<u32>().prop_map(ProcessorId), 1..8)
+fn arb_procs(g: &mut Gen) -> Vec<ProcessorId> {
+    (0..g.range(1, 7)).map(|_| ProcessorId(g.u32())).collect()
 }
 
-fn arb_msg() -> impl Strategy<Value = TotemMsg> {
-    prop_oneof![
-        (
-            any::<u64>(),
-            any::<u64>(),
-            any::<u32>(),
-            any::<u32>(),
-            any::<bool>(),
-            proptest::collection::vec(any::<u8>(), 0..64),
-        )
-            .prop_map(|(e, seq, sender, group, control, payload)| {
-                TotemMsg::Regular(Regular {
-                    epoch: RingEpoch(e),
-                    seq,
-                    sender: ProcessorId(sender),
-                    group: GroupId(group),
-                    control,
-                    payload,
-                })
-            }),
-        (
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            proptest::option::of(any::<u32>().prop_map(ProcessorId)),
-            arb_procs(),
-            proptest::collection::vec(any::<u64>(), 0..8),
-        )
-            .prop_map(|(e, id, seq, aru, aru_id, members, rtr)| {
-                TotemMsg::Token(Token {
-                    epoch: RingEpoch(e),
-                    token_id: id,
-                    seq,
-                    aru,
-                    aru_id,
-                    members,
-                    rtr,
-                })
-            }),
-        (
-            any::<u32>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            any::<bool>(),
-        )
-            .prop_map(|(s, e, aru, high, retained, fresh)| {
-                TotemMsg::Join(Join {
-                    sender: ProcessorId(s),
-                    epoch: RingEpoch(e),
-                    aru,
-                    high_seq: high,
-                    retained_from: retained,
-                    fresh,
-                })
-            }),
-        (
-            any::<u64>(),
-            any::<u32>(),
-            arb_procs(),
-            any::<u64>(),
-            any::<u64>(),
-            proptest::collection::vec((any::<u32>().prop_map(GroupId), arb_procs()), 0..4),
-        )
-            .prop_map(|(e, rep, members, start, floor, directory)| {
-                TotemMsg::Commit(Commit {
-                    epoch: RingEpoch(e),
-                    representative: ProcessorId(rep),
-                    members,
-                    start_seq: start,
-                    recovery_floor: floor,
-                    directory,
-                })
-            }),
-        (any::<u64>(), any::<u32>()).prop_map(|(e, s)| TotemMsg::Beacon(Beacon {
-            epoch: RingEpoch(e),
-            sender: ProcessorId(s),
-        })),
-    ]
+fn arb_msg(g: &mut Gen) -> TotemMsg {
+    match g.below(5) {
+        0 => TotemMsg::Regular(Regular {
+            epoch: RingEpoch(g.u64()),
+            seq: g.u64(),
+            sender: ProcessorId(g.u32()),
+            group: GroupId(g.u32()),
+            control: g.bool(),
+            payload: g.bytes(63),
+        }),
+        1 => TotemMsg::Token(Token {
+            epoch: RingEpoch(g.u64()),
+            token_id: g.u64(),
+            seq: g.u64(),
+            aru: g.u64(),
+            aru_id: if g.bool() {
+                Some(ProcessorId(g.u32()))
+            } else {
+                None
+            },
+            members: arb_procs(g),
+            rtr: g.vec(7, Gen::u64),
+        }),
+        2 => TotemMsg::Join(Join {
+            sender: ProcessorId(g.u32()),
+            epoch: RingEpoch(g.u64()),
+            aru: g.u64(),
+            high_seq: g.u64(),
+            retained_from: g.u64(),
+            fresh: g.bool(),
+        }),
+        3 => TotemMsg::Commit(Commit {
+            epoch: RingEpoch(g.u64()),
+            representative: ProcessorId(g.u32()),
+            members: arb_procs(g),
+            start_seq: g.u64(),
+            recovery_floor: g.u64(),
+            directory: g.vec(3, |g| (GroupId(g.u32()), arb_procs(g))),
+        }),
+        _ => TotemMsg::Beacon(Beacon {
+            epoch: RingEpoch(g.u64()),
+            sender: ProcessorId(g.u32()),
+        }),
+    }
 }
 
-proptest! {
-    #[test]
-    fn totem_messages_round_trip(msg in arb_msg()) {
+#[test]
+fn totem_messages_round_trip() {
+    check("totem messages round-trip", 512, |g| {
+        let msg = arb_msg(g);
         let wire = msg.encode();
-        prop_assert_eq!(TotemMsg::decode(&wire).unwrap(), msg);
-    }
+        assert_eq!(TotemMsg::decode(&wire).unwrap(), msg);
+    });
+}
 
-    #[test]
-    fn totem_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let _ = TotemMsg::decode(&bytes);
-    }
+#[test]
+fn totem_decoder_never_panics() {
+    check("totem decoder never panics", 512, |g| {
+        let _ = TotemMsg::decode(&g.bytes(255));
+    });
+}
 
-    #[test]
-    fn aru_id_none_survives_round_trip(e in any::<u64>()) {
+#[test]
+fn aru_id_none_survives_round_trip() {
+    check("aru_id none survives round-trip", 128, |g| {
         let t = TotemMsg::Token(Token {
-            epoch: RingEpoch(e),
+            epoch: RingEpoch(g.u64()),
             token_id: 1,
             seq: 2,
             aru: 1,
@@ -115,25 +83,33 @@ proptest! {
             members: vec![ProcessorId(0)],
             rtr: vec![],
         });
-        prop_assert_eq!(TotemMsg::decode(&t.encode()).unwrap(), t);
-    }
+        assert_eq!(TotemMsg::decode(&t.encode()).unwrap(), t);
+    });
+}
 
-    #[test]
-    fn epoch_next_round_is_strictly_increasing(seen in any::<u32>(), rep in any::<u32>()) {
-        let seen = RingEpoch(seen as u64);
-        let next = RingEpoch::next_round(seen, rep);
-        prop_assert!(next > seen);
-        prop_assert_eq!(next.round(), seen.round() + 1);
-    }
+#[test]
+fn epoch_next_round_is_strictly_increasing() {
+    check("epoch next_round is strictly increasing", 256, |g| {
+        let seen = RingEpoch(g.u32() as u64);
+        let next = RingEpoch::next_round(seen, g.u32());
+        assert!(next > seen);
+        assert_eq!(next.round(), seen.round() + 1);
+    });
+}
 
-    #[test]
-    fn epoch_ties_are_broken_by_representative(seen in any::<u32>(), a in any::<u8>(), b in any::<u8>()) {
-        prop_assume!(a != b);
-        let seen = RingEpoch(seen as u64);
+#[test]
+fn epoch_ties_are_broken_by_representative() {
+    check("epoch ties are broken by representative", 256, |g| {
+        let seen = RingEpoch(g.u32() as u64);
+        let a = g.u8();
+        let b = g.u8();
+        if a == b {
+            return;
+        }
         let ea = RingEpoch::next_round(seen, a as u32);
         let eb = RingEpoch::next_round(seen, b as u32);
-        prop_assert_ne!(ea, eb, "same round, different reps must differ");
-    }
+        assert_ne!(ea, eb, "same round, different reps must differ");
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -141,9 +117,9 @@ proptest! {
 // ---------------------------------------------------------------------
 
 mod end_to_end {
+    use ftd_check::check;
     use ftd_sim::*;
     use ftd_totem::*;
-    use proptest::prelude::*;
 
     const GROUP: GroupId = GroupId(5);
 
@@ -180,15 +156,14 @@ mod end_to_end {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-        #[test]
-        fn all_members_agree_on_the_total_order(
-            seed in any::<u64>(),
-            n in 2u32..5,
-            loss in 0u32..12, // percent
-            sends in 1u64..10,
-        ) {
+    #[test]
+    fn all_members_agree_on_the_total_order() {
+        check("all members agree on the total order", 12, |g| {
+            let seed = g.u64();
+            let n = g.range(2, 4) as u32;
+            let loss = g.below(12); // percent
+            let sends = g.range(1, 9);
+
             let mut world = World::new(seed);
             let lan = world.add_lan(LanConfig {
                 loss_probability: loss as f64 / 100.0,
@@ -197,7 +172,7 @@ mod end_to_end {
             let procs: Vec<ProcessorId> = (0..n)
                 .map(|i| {
                     world.add_processor(&format!("p{i}"), lan, |me| {
-                        Box::new(super::end_to_end::Host {
+                        Box::new(Host {
                             totem: TotemNode::new(me, TotemConfig::default(), 1 << 48),
                             delivered: Vec::new(),
                         })
@@ -218,13 +193,9 @@ mod end_to_end {
                 .map(|&p| world.actor::<Host>(p).unwrap().delivered.clone())
                 .collect();
             for other in &sequences[1..] {
-                prop_assert_eq!(&sequences[0], other, "delivery sequences diverged");
+                assert_eq!(&sequences[0], other, "delivery sequences diverged");
             }
-            prop_assert_eq!(
-                sequences[0].len() as u64,
-                sends * n as u64,
-                "messages lost"
-            );
-        }
+            assert_eq!(sequences[0].len() as u64, sends * n as u64, "messages lost");
+        });
     }
 }

@@ -250,7 +250,7 @@ fn recovered_processor_rejoins_the_ring() {
     let rec = &recovered.delivered;
     let start = surv
         .iter()
-        .position(|e| Some(e) == rec.first().map(|x| x))
+        .position(|e| Some(e) == rec.first())
         .expect("recovered deliveries must appear in survivor order");
     assert_eq!(&surv[start..start + rec.len()], rec.as_slice());
 }
@@ -371,7 +371,10 @@ fn long_exclusion_yields_gap_event() {
     let rejoined: &Host = world.actor(procs[2]).unwrap();
     assert!(rejoined.totem.is_operational());
     assert_eq!(rejoined.totem.ring().len(), 3);
-    assert!(rejoined.gaps > 0, "expected a Gap event after long exclusion");
+    assert!(
+        rejoined.gaps > 0,
+        "expected a Gap event after long exclusion"
+    );
     // After the gap, new traffic flows normally.
     let before = rejoined.delivered.len();
     for &p in procs.iter() {
@@ -379,9 +382,16 @@ fn long_exclusion_yields_gap_event() {
     }
     world.run_for(SimDuration::from_millis(300));
     let rejoined: &Host = world.actor(procs[2]).unwrap();
-    eprintln!("op={} ring={:?} epoch={} delivered={} before={} gaps={} backlog={}",
-        rejoined.totem.is_operational(), rejoined.totem.ring(), rejoined.totem.epoch(),
-        rejoined.delivered.len(), before, rejoined.gaps, rejoined.totem.backlog());
+    eprintln!(
+        "op={} ring={:?} epoch={} delivered={} before={} gaps={} backlog={}",
+        rejoined.totem.is_operational(),
+        rejoined.totem.ring(),
+        rejoined.totem.epoch(),
+        rejoined.delivered.len(),
+        before,
+        rejoined.gaps,
+        rejoined.totem.backlog()
+    );
     assert_eq!(rejoined.delivered.len(), before + 3);
 }
 
@@ -423,10 +433,7 @@ fn directory_lists_joined_groups() {
     world.run_for(SimDuration::from_millis(30));
     let host: &Host = world.actor(procs[0]).unwrap();
     assert!(host.totem.directory_groups().contains(&APP_GROUP));
-    assert!(host
-        .totem
-        .subscriptions()
-        .any(|g| g == APP_GROUP));
+    assert!(host.totem.subscriptions().any(|g| g == APP_GROUP));
 }
 
 #[test]
@@ -453,5 +460,9 @@ fn sequence_numbers_never_regress_across_reformations() {
         seqs.windows(2).all(|w| w[0] < w[1]),
         "sequence numbers regressed: {seqs:?}"
     );
-    assert!(seqs.len() >= 13, "traffic flowed every round: {}", seqs.len());
+    assert!(
+        seqs.len() >= 13,
+        "traffic flowed every round: {}",
+        seqs.len()
+    );
 }

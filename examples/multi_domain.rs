@@ -31,12 +31,20 @@ fn main() {
     let ny = build_domain(&mut world, &specs[1], registry);
     let la = build_domain(&mut world, &specs[2], registry);
     world.run_for(SimDuration::from_millis(30));
-    for (name, d) in [("wide-area", &wide), ("new york", &ny), ("los angeles", &la)] {
+    for (name, d) in [
+        ("wide-area", &wide),
+        ("new york", &ny),
+        ("los angeles", &la),
+    ] {
         println!(
             "{name} domain: {} processors, gateway P{}, ring {}",
             d.processors.len(),
             d.gateway_processors[0].0,
-            if d.is_operational(&world) { "up" } else { "down" },
+            if d.is_operational(&world) {
+                "up"
+            } else {
+                "down"
+            },
         );
     }
 

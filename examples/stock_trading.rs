@@ -152,7 +152,11 @@ fn main() {
             c.outstanding()
         );
         for r in &c.replies {
-            println!("   reply to request {}: {}", r.request_id, String::from_utf8_lossy(&r.body));
+            println!(
+                "   reply to request {}: {}",
+                r.request_id,
+                String::from_utf8_lossy(&r.body)
+            );
         }
         assert_eq!(c.replies.len(), 2, "{name} lost a trade!");
         assert_eq!(c.failovers, 1);
@@ -182,6 +186,9 @@ fn main() {
     assert_eq!(check.positions.get("alice:ACME"), Some(&125));
     assert_eq!(check.positions.get("bob:ACME"), Some(&50));
     assert_eq!(check.positions.get("bob:GLOBEX"), Some(&10));
-    assert_eq!(check.trades_executed, 4, "a trade executed twice or not at all");
+    assert_eq!(
+        check.trades_executed, 4,
+        "a trade executed twice or not at all"
+    );
     println!("all trades executed exactly once across the gateway crash ✓");
 }

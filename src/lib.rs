@@ -13,9 +13,11 @@
 //! | group communication | [`totem`] | Totem-style single-ring totally ordered multicast with membership |
 //! | FT infrastructure | [`eternal`] | replication styles/mechanisms/managers, logging-recovery, interceptor |
 //! | **the paper** | [`core`] | gateways, client identification, duplicate suppression, redundant gateway groups, enhanced clients, domain bridging |
+//! | real sockets | [`net`] | the same gateway engine over `std::net` TCP: `GatewayServer`, `NetClient`, `ftd-gatewayd`/`ftd-client` binaries |
 //!
 //! Start with [`prelude`] and the `examples/` directory:
-//! `cargo run --example quickstart`.
+//! `cargo run --example quickstart` (simulated) or
+//! `cargo run --example live_gateway` (real loopback sockets).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +25,7 @@
 pub use ftd_core as core;
 pub use ftd_eternal as eternal;
 pub use ftd_giop as giop;
+pub use ftd_net as net;
 pub use ftd_sim as sim;
 pub use ftd_totem as totem;
 
@@ -31,13 +34,15 @@ pub use ftd_totem as totem;
 pub mod prelude {
     pub use ftd_core::{
         build_domain, build_domain_on, connect_domains, DomainDaemon, DomainHandle, DomainSpec,
-        EnhancedClient, Gateway, GatewayConfig, PlainClient, TAG_FLUSH,
+        EngineConfig, EnhancedClient, Gateway, GatewayConfig, GatewayEngine, PlainClient,
+        TAG_FLUSH,
     };
     pub use ftd_eternal::{
         AppObject, Counter, EternalDaemon, FtProperties, MechConfig, ObjectRegistry, Outcome,
         ReplicationStyle,
     };
     pub use ftd_giop::{GiopMessage, IiopProfile, Ior, ObjectKey, Reply, Request};
+    pub use ftd_net::{DomainHost, GatewayServer, NetClient};
     pub use ftd_sim::{
         Actor, Context, LanConfig, NetAddr, ProcessorId, SimDuration, SimTime, World,
     };
