@@ -3,7 +3,8 @@
 //! for the index E1–E10 and EXPERIMENTS.md for recorded results).
 //!
 //! Usage: `cargo run -p ftd-bench --bin experiments [-- e1 e2 ...]`
-//! (no arguments = run all). All latencies are *virtual* (simulated) time;
+//! (no arguments = run all; `smoke` = the fast subset E3/E4/E6 that CI
+//! runs on every push). All latencies are *virtual* (simulated) time;
 //! the shapes, ratios and counts — not absolute values — are the
 //! reproduction targets.
 
@@ -17,13 +18,22 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
+/// The fast subset `experiments -- smoke` runs (a few seconds in CI):
+/// duplicate suppression, message formats, operation identifiers.
+const SMOKE: &[&str] = &["e3", "e4", "e6"];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty() || args.iter().any(|a| a == "all");
-    let want = |name: &str| all || args.iter().any(|a| a == name);
+    let smoke = args.iter().any(|a| a == "smoke");
+    let all = !smoke && (args.is_empty() || args.iter().any(|a| a == "all"));
+    let want =
+        |name: &str| all || (smoke && SMOKE.contains(&name)) || args.iter().any(|a| a == name);
 
     println!("== Gateways for Accessing Fault Tolerance Domains — experiments ==");
     println!("   (virtual-time measurements on the deterministic simulator)\n");
+    if smoke {
+        println!("   [smoke mode: {}]\n", SMOKE.join(", "));
+    }
     if want("e1") {
         e1_fig1_topology();
     }

@@ -11,7 +11,57 @@
 //! regression-spotting; it makes no statistical claims beyond min/median/max.
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+/// One completed measurement, kept for the optional JSON report.
+#[derive(Debug, Clone)]
+struct Record {
+    name: String,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+fn records() -> &'static Mutex<Vec<Record>> {
+    static RECORDS: OnceLock<Mutex<Vec<Record>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Writes every measurement taken so far to the path named by the
+/// `BENCH_JSON` environment variable (a no-op when it is unset). Called
+/// by [`bench_main!`] after all groups have run, so CI can archive the
+/// numbers as a machine-readable artifact alongside the stdout report.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let records = records().lock().expect("records lock");
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"name\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+            r.name.replace('\\', "\\\\").replace('"', "\\\""),
+            r.median_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.iters_per_sample,
+        ));
+    }
+    out.push_str("\n]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("bench: failed to write {path}: {e}");
+    } else {
+        eprintln!("bench: wrote {} results to {path}", records.len());
+    }
+}
 
 /// How `iter_batched` amortizes setup; accepted for API compatibility.
 /// All variants time each routine call individually, excluding setup.
@@ -254,6 +304,14 @@ impl Bencher {
         let median = sorted[sorted.len() / 2];
         let min = sorted[0];
         let max = sorted[sorted.len() - 1];
+        records().lock().expect("records lock").push(Record {
+            name: name.to_owned(),
+            median_ns: median,
+            min_ns: min,
+            max_ns: max,
+            samples: sorted.len(),
+            iters_per_sample: self.iters_per_sample,
+        });
         println!(
             "{name:<56} median {:>12} [{} .. {}]  ({} samples x {} iters)",
             fmt_ns(median),
@@ -289,12 +347,15 @@ macro_rules! bench_group {
     };
 }
 
-/// Declares the bench binary's `main`, invoking one or more groups.
+/// Declares the bench binary's `main`, invoking one or more groups and
+/// then writing the `BENCH_JSON` report if that environment variable
+/// names a path.
 #[macro_export]
 macro_rules! bench_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::micro::write_json_report();
         }
     };
 }

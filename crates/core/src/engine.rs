@@ -30,10 +30,12 @@ use ftd_eternal::DomainMsg;
 use ftd_eternal::{FtHeader, OperationId, OperationKind, ResponseFilter, Voter};
 use ftd_giop::{
     ByteOrder, GiopMessage, MessageReader, ObjectKey, Reply, Request, ServiceContext,
-    FT_CLIENT_ID_SERVICE_CONTEXT,
+    DEFAULT_MAX_BODY_LEN, FT_CLIENT_ID_SERVICE_CONTEXT,
 };
+use ftd_obs::Clock;
 use ftd_totem::GroupId;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// An opaque transport-neutral connection handle. The hosting transport
 /// chooses the numbering; the engine only compares handles for equality
@@ -91,7 +93,46 @@ pub enum Action {
         /// The counter name.
         counter: &'static str,
     },
+    /// Record one request-admission→reply latency observation for a
+    /// server group. Emitted only when the engine was given a clock via
+    /// [`GatewayEngine::set_clock`]; `micros` is measured on that clock
+    /// (real time under `ftd-net`, virtual time in the simulation).
+    Latency {
+        /// The server group the operation targeted.
+        group: GroupId,
+        /// Admission→reply duration in clock microseconds.
+        micros: u64,
+    },
 }
+
+/// Every counter name the engine can emit through [`Action::Count`],
+/// sorted. The sim reports and the `/metrics` exposition share this
+/// vocabulary; a snapshot test in `tests/counters.rs` pins the source
+/// against this list so names cannot silently drift.
+pub const ENGINE_COUNTERS: &[&str] = &[
+    "gateway.bad_object_keys",
+    "gateway.bridge_reconnects",
+    "gateway.bridge_replies",
+    "gateway.bridge_requests",
+    "gateway.cancels_ignored",
+    "gateway.client_disconnects",
+    "gateway.clients_accepted",
+    "gateway.clients_gced",
+    "gateway.duplicate_responses_suppressed",
+    "gateway.enhanced_clients_seen",
+    "gateway.protocol_errors",
+    "gateway.records_seen",
+    "gateway.reissues_served_from_cache",
+    "gateway.replies_cached_for_peer_clients",
+    "gateway.replies_delivered",
+    "gateway.requests_forwarded",
+    "gateway.unexpected_messages",
+    "gateway.unroutable_domains",
+];
+
+/// The histogram series name [`Action::Latency`] observations belong to;
+/// hosts append a `{group="N"}` label per server group.
+pub const ENGINE_LATENCY_SERIES: &str = "gateway.request_latency_us";
 
 /// Domain-side facts the engine needs but cannot derive from its inputs.
 /// Hosts implement this over whatever their domain substrate is (the
@@ -143,6 +184,9 @@ pub struct EngineConfig {
     pub bridge_client_id: u32,
     /// Response-cache capacity (ops retained for failover reissues).
     pub cache_capacity: usize,
+    /// Largest GIOP body accepted on any connection the engine reads
+    /// (clients and bridge links). Oversized frames are protocol errors.
+    pub max_body: usize,
 }
 
 impl EngineConfig {
@@ -155,6 +199,7 @@ impl EngineConfig {
             peer_domains: BTreeSet::new(),
             bridge_client_id: 0x6000_0000 | (domain << 8) | index,
             cache_capacity: 4096,
+            max_body: DEFAULT_MAX_BODY_LEN,
         }
     }
 }
@@ -187,10 +232,10 @@ struct BridgeLink {
 }
 
 impl BridgeLink {
-    fn new() -> Self {
+    fn new(max_body: usize) -> Self {
         BridgeLink {
             state: LinkState::Down,
-            reader: MessageReader::new(),
+            reader: MessageReader::with_max_body(max_body),
             pending: BTreeMap::new(),
             queue: VecDeque::new(),
         }
@@ -205,7 +250,6 @@ struct BridgeOrigin {
 }
 
 /// The §3 gateway state machine. See the module docs.
-#[derive(Debug)]
 pub struct GatewayEngine {
     config: EngineConfig,
     conns: BTreeMap<GwConn, ClientConn>,
@@ -222,6 +266,23 @@ pub struct GatewayEngine {
     /// Bridge links to peer domains.
     bridges: BTreeMap<u32, BridgeLink>,
     next_forward_id: u32,
+    /// Optional time source for admission→reply latency spans.
+    clock: Option<Arc<dyn Clock>>,
+    /// Admission timestamps of in-flight operations (clock set only),
+    /// bounded like the response cache.
+    admitted: BTreeMap<OperationId, u64>,
+    admitted_order: VecDeque<OperationId>,
+}
+
+impl std::fmt::Debug for GatewayEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayEngine")
+            .field("config", &self.config)
+            .field("conns", &self.conns.len())
+            .field("cached_responses", &self.cache.len())
+            .field("in_flight", &self.admitted.len())
+            .finish()
+    }
 }
 
 impl GatewayEngine {
@@ -240,7 +301,18 @@ impl GatewayEngine {
             cache_order: VecDeque::new(),
             bridges: BTreeMap::new(),
             next_forward_id: 0,
+            clock: None,
+            admitted: BTreeMap::new(),
+            admitted_order: VecDeque::new(),
         }
+    }
+
+    /// Gives the engine a time source; from here on it stamps every
+    /// admitted invocation and emits [`Action::Latency`] when the
+    /// matching reply is accepted. Without a clock the engine emits no
+    /// latency actions (and pays no bookkeeping).
+    pub fn set_clock(&mut self, clock: Arc<dyn Clock>) {
+        self.clock = Some(clock);
     }
 
     /// The gateway group id.
@@ -286,6 +358,37 @@ impl GatewayEngine {
         key
     }
 
+    /// Stamps `op`'s admission time (no-op without a clock). The table
+    /// is bounded like the response cache so lost replies cannot grow it
+    /// without limit.
+    fn stamp_admission(&mut self, op: OperationId) {
+        let Some(clock) = &self.clock else { return };
+        let now = clock.now_micros();
+        if self.admitted.insert(op, now).is_none() {
+            self.admitted_order.push_back(op);
+            while self.admitted_order.len() > self.config.cache_capacity {
+                if let Some(old) = self.admitted_order.pop_front() {
+                    self.admitted.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Closes `op`'s admission span, emitting [`Action::Latency`] keyed
+    /// by the target server group. Duplicates (already-closed spans) are
+    /// silently ignored, so suppressed duplicate responses never skew
+    /// the distribution.
+    fn finish_admission(&mut self, op: OperationId, out: &mut Vec<Action>) {
+        let Some(start) = self.admitted.remove(&op) else {
+            return;
+        };
+        let Some(clock) = &self.clock else { return };
+        out.push(Action::Latency {
+            group: op.target,
+            micros: clock.now_micros().saturating_sub(start),
+        });
+    }
+
     fn cache_put(&mut self, op: OperationId, reply: Vec<u8>) {
         if self.cache.insert(op, reply).is_none() {
             self.cache_order.push_back(op);
@@ -306,7 +409,7 @@ impl GatewayEngine {
         self.conns.insert(
             conn,
             ClientConn {
-                reader: MessageReader::new(),
+                reader: MessageReader::with_max_body(self.config.max_body),
                 client_key: None,
                 graceful_close: false,
             },
@@ -486,6 +589,7 @@ impl GatewayEngine {
             child_seq: req.request_id,
         };
         let iiop = GiopMessage::Request(req).encode(ByteOrder::Big);
+        self.stamp_admission(op);
         out.push(Action::Count {
             counter: "gateway.requests_forwarded",
         });
@@ -587,6 +691,7 @@ impl GatewayEngine {
         };
 
         self.cache_put(op, accepted.clone());
+        self.finish_admission(op, out);
 
         // Route to the client socket by (destination group, client id)
         // (Fig. 5b; §3.2 "collectively").
@@ -652,6 +757,13 @@ impl GatewayEngine {
             request_id: req.request_id,
             server: GroupId(key.group),
         };
+        self.stamp_admission(OperationId {
+            source: self.config.group,
+            target: GroupId(key.group),
+            client: client_key,
+            parent_ts: 0,
+            child_seq: req.request_id,
+        });
 
         // Toward the peer we are an enhanced client: stable client id in
         // the service context, our own request id.
@@ -667,10 +779,11 @@ impl GatewayEngine {
         out.push(Action::Count {
             counter: "gateway.bridge_requests",
         });
+        let max_body = self.config.max_body;
         let link = self
             .bridges
             .entry(key.domain)
-            .or_insert_with(BridgeLink::new);
+            .or_insert_with(|| BridgeLink::new(max_body));
         link.pending.insert(fwd_id, origin);
         match link.state {
             LinkState::Up => out.push(Action::ToBridge {
@@ -713,7 +826,7 @@ impl GatewayEngine {
             return out;
         };
         link.state = LinkState::Down;
-        link.reader = MessageReader::new();
+        link.reader = MessageReader::with_max_body(self.config.max_body);
         if link.pending.is_empty() {
             return out;
         }
@@ -758,6 +871,7 @@ impl GatewayEngine {
                 child_seq: origin.request_id,
             };
             self.cache_put(op, wire.clone());
+            self.finish_admission(op, &mut out);
             out.push(Action::Count {
                 counter: "gateway.bridge_replies",
             });
@@ -784,6 +898,8 @@ impl GatewayEngine {
             self.cache.remove(&op);
         }
         self.cache_order.retain(|op| op.client != client);
+        self.admitted.retain(|op, _| op.client != client);
+        self.admitted_order.retain(|op| op.client != client);
     }
 
     /// A snapshot of the §3.2 counters (for hosts that persist them).
@@ -930,6 +1046,68 @@ mod tests {
         assert!(reissue
             .iter()
             .any(|a| matches!(a, Action::ToClient { bytes, .. } if *bytes == reply)));
+    }
+
+    #[test]
+    fn clocked_engine_emits_admission_to_reply_latency_once() {
+        use ftd_obs::ManualClock;
+        let clock = Arc::new(ManualClock::new());
+        let mut gw = engine(0);
+        gw.set_clock(clock.clone());
+        gw.on_client_accepted(GwConn(1));
+        let req = Request {
+            request_id: 3,
+            response_expected: true,
+            object_key: ObjectKey::new(0, 10).to_bytes(),
+            operation: "get".into(),
+            ..Request::default()
+        };
+        let wire = GiopMessage::Request(req).encode(ByteOrder::Big);
+        gw.on_bytes_from_client(GwConn(1), &wire, &SoloView);
+
+        clock.advance(350);
+        let reply = GiopMessage::Reply(Reply::success(3, vec![9])).encode(ByteOrder::Big);
+        let header = FtHeader {
+            client: 1,
+            source: GroupId(10),
+            target: GroupId(100),
+            kind: OperationKind::Response,
+            parent_ts: 0,
+            child_seq: 3,
+        };
+        let payload = DomainMsg::Iiop {
+            header,
+            iiop: reply,
+        }
+        .encode();
+        let first = gw.on_delivery_from_domain(GroupId(100), &payload, &SoloView);
+        let latencies: Vec<_> = first
+            .iter()
+            .filter_map(|a| match a {
+                Action::Latency { group, micros } => Some((*group, *micros)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(latencies, vec![(GroupId(10), 350)]);
+        // The duplicate closes no span: the distribution stays unskewed.
+        let second = gw.on_delivery_from_domain(GroupId(100), &payload, &SoloView);
+        assert!(!second.iter().any(|a| matches!(a, Action::Latency { .. })));
+    }
+
+    #[test]
+    fn unclocked_engine_emits_no_latency_actions() {
+        let mut gw = engine(0);
+        gw.on_client_accepted(GwConn(1));
+        let req = Request {
+            request_id: 1,
+            response_expected: true,
+            object_key: ObjectKey::new(0, 10).to_bytes(),
+            operation: "get".into(),
+            ..Request::default()
+        };
+        let wire = GiopMessage::Request(req).encode(ByteOrder::Big);
+        let actions = gw.on_bytes_from_client(GwConn(1), &wire, &SoloView);
+        assert!(!actions.iter().any(|a| matches!(a, Action::Latency { .. })));
     }
 
     #[test]

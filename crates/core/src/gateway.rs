@@ -11,13 +11,17 @@
 //! cold-passive stable-counter store. `ftd-net` hosts the very same
 //! engine over real sockets.
 
-use crate::engine::{Action, DomainView, EngineConfig, GatewayEngine, GwConn};
+use crate::engine::{
+    Action, DomainView, EngineConfig, GatewayEngine, GwConn, ENGINE_LATENCY_SERIES,
+};
 use ftd_eternal::{DaemonExtension, Mechanisms};
+use ftd_obs::ManualClock;
 use ftd_sim::{ConnId, Context, NetAddr, ProcessorId, TcpEvent};
 use ftd_totem::{GroupId, GroupMessage, MembershipView, TotemNode};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// Persistent per-server-group client-id counters — the piece of gateway
 /// state a *cold passive* gateway checkpoints to stable storage so that a
@@ -72,6 +76,7 @@ impl GatewayConfig {
             peer_domains: self.routes.keys().copied().collect(),
             bridge_client_id: self.bridge_client_id,
             cache_capacity: self.cache_capacity,
+            max_body: ftd_giop::DEFAULT_MAX_BODY_LEN,
         }
     }
 }
@@ -128,6 +133,10 @@ pub struct Gateway {
     /// Bridge links: simulated connection → peer domain.
     bridge_conns: BTreeMap<ConnId, u32>,
     membership: Vec<ProcessorId>,
+    /// Virtual-time clock behind the engine's latency spans; synced to
+    /// the world clock before every engine call, so measured latencies
+    /// are exact virtual durations.
+    clock: Arc<ManualClock>,
 }
 
 impl Gateway {
@@ -138,12 +147,15 @@ impl Gateway {
             .as_ref()
             .map(|s| s.borrow().clone())
             .unwrap_or_default();
-        let engine = GatewayEngine::new(config.engine_config(), counters);
+        let mut engine = GatewayEngine::new(config.engine_config(), counters);
+        let clock = Arc::new(ManualClock::new());
+        engine.set_clock(clock.clone());
         Gateway {
             config,
             engine,
             bridge_conns: BTreeMap::new(),
             membership: Vec::new(),
+            clock,
         }
     }
 
@@ -224,6 +236,12 @@ impl Gateway {
                 Action::Count { counter } => {
                     ctx.stats().inc(counter);
                 }
+                Action::Latency { group, micros } => {
+                    ctx.stats().sample(
+                        &format!("{ENGINE_LATENCY_SERIES}{{group=\"{}\"}}", group.0),
+                        micros,
+                    );
+                }
             }
         }
     }
@@ -243,6 +261,7 @@ impl DaemonExtension for Gateway {
         mech: &mut Mechanisms,
         msg: &GroupMessage,
     ) {
+        self.clock.set(ctx.now().as_micros());
         let actions = {
             let view = SimView {
                 totem,
@@ -273,6 +292,7 @@ impl DaemonExtension for Gateway {
         _mech: &mut Mechanisms,
         ev: TcpEvent,
     ) {
+        self.clock.set(ctx.now().as_micros());
         let actions = match ev {
             TcpEvent::Accepted { conn, .. } => self.engine.on_client_accepted(GwConn(conn.0)),
             TcpEvent::Data { conn, bytes } => {

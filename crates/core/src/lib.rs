@@ -67,6 +67,9 @@ pub use client::{ClientReply, EnhancedClient, PlainClient, TAG_FLUSH};
 pub use domain::{
     build_domain, build_domain_on, connect_domains, DomainDaemon, DomainHandle, DomainSpec,
 };
-pub use engine::{Action, DomainView, EngineConfig, GatewayEngine, GwConn, SoloView};
+pub use engine::{
+    Action, DomainView, EngineConfig, GatewayEngine, GwConn, SoloView, ENGINE_COUNTERS,
+    ENGINE_LATENCY_SERIES,
+};
 pub use gateway::{Gateway, GatewayConfig, StableCounters};
 pub use gwmsg::{GwMsg, GwMsgError};

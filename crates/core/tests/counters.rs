@@ -1,0 +1,67 @@
+//! Snapshot test pinning the engine's statistics vocabulary.
+//!
+//! The sim reports, the live daemon's `/metrics` endpoint, and the docs
+//! all refer to the engine's `Action::Count` counters by name. This test
+//! scans `src/engine.rs` for every emitted `counter: "..."` literal and
+//! requires the set to exactly equal the published
+//! [`ftd_core::ENGINE_COUNTERS`] list — so a renamed, added, or removed
+//! counter has to be an explicit, reviewed change to the list.
+
+use ftd_core::ENGINE_COUNTERS;
+use std::collections::BTreeSet;
+
+fn emitted_counter_names() -> BTreeSet<String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/src/engine.rs");
+    let src = std::fs::read_to_string(path).expect("engine source readable");
+    let mut found = BTreeSet::new();
+    for chunk in src.split("counter: \"").skip(1) {
+        let name = chunk
+            .split('"')
+            .next()
+            .expect("split always yields one piece");
+        found.insert(name.to_owned());
+    }
+    found
+}
+
+#[test]
+fn published_counter_list_is_sorted_and_unique() {
+    let mut sorted = ENGINE_COUNTERS.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(
+        sorted, ENGINE_COUNTERS,
+        "ENGINE_COUNTERS must stay sorted and duplicate-free"
+    );
+}
+
+#[test]
+fn every_emitted_counter_is_published_and_vice_versa() {
+    let emitted = emitted_counter_names();
+    let published: BTreeSet<String> = ENGINE_COUNTERS.iter().map(|&s| s.to_owned()).collect();
+
+    let unpublished: Vec<_> = emitted.difference(&published).collect();
+    let stale: Vec<_> = published.difference(&emitted).collect();
+    assert!(
+        unpublished.is_empty() && stale.is_empty(),
+        "engine counter vocabulary drifted.\n  emitted but not in ENGINE_COUNTERS: \
+         {unpublished:?}\n  in ENGINE_COUNTERS but never emitted: {stale:?}\n\
+         Update ftd_core::ENGINE_COUNTERS (and any dashboards/docs naming the \
+         old counters) deliberately."
+    );
+}
+
+#[test]
+fn counters_follow_the_component_metric_convention() {
+    for name in ENGINE_COUNTERS {
+        assert!(
+            name.starts_with("gateway."),
+            "engine counters live in the gateway namespace: {name}"
+        );
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '.' || c == '_'),
+            "counter names must be lowercase dotted identifiers: {name}"
+        );
+    }
+}

@@ -4,12 +4,18 @@
 //! operations, connects over real TCP, and prints each reply.
 //!
 //! ```text
-//! ftd-client [--client-id N] <IOR:...> <op>[:u64-arg]...
+//! ftd-client [--client-id N] [--repeat N] <IOR:...> <op>[:u64-arg]...
 //! ftd-client IOR:000... add:5 add:2 get
+//! ftd-client --repeat 100 IOR:000... get        # latency report
 //! ```
+//!
+//! With `--repeat N` the whole operation list is invoked `N` times and a
+//! round-trip latency summary (min/p50/p99/max in microseconds, from an
+//! `ftd-obs` histogram) is printed instead of the per-reply output.
 
 use ftd_giop::{Ior, ReplyStatus};
 use ftd_net::NetClient;
+use ftd_obs::{Clock, Histogram, RealClock};
 
 fn die(msg: &str) -> ! {
     eprintln!("ftd-client: {msg}");
@@ -18,6 +24,7 @@ fn die(msg: &str) -> ! {
 
 fn main() {
     let mut client_id = None;
+    let mut repeat = 1u64;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,15 +35,24 @@ fn main() {
                     .unwrap_or_else(|| die("--client-id needs a value"));
                 client_id = Some(v.parse().unwrap_or_else(|_| die("bad --client-id")));
             }
+            "--repeat" => {
+                let v = args.next().unwrap_or_else(|| die("--repeat needs a value"));
+                repeat = v.parse().unwrap_or_else(|_| die("bad --repeat"));
+                if repeat == 0 {
+                    die("--repeat must be >= 1");
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("usage: ftd-client [--client-id N] <IOR:...> <op>[:u64-arg]...");
+                eprintln!(
+                    "usage: ftd-client [--client-id N] [--repeat N] <IOR:...> <op>[:u64-arg]..."
+                );
                 std::process::exit(0);
             }
             _ => positional.push(arg),
         }
     }
     if positional.len() < 2 {
-        die("usage: ftd-client [--client-id N] <IOR:...> <op>[:u64-arg]...");
+        die("usage: ftd-client [--client-id N] [--repeat N] <IOR:...> <op>[:u64-arg]...");
     }
 
     let ior =
@@ -44,26 +60,46 @@ fn main() {
     let mut client = NetClient::connect(&ior, client_id)
         .unwrap_or_else(|e| die(&format!("connect failed: {e}")));
 
-    for spec in &positional[1..] {
-        let (operation, args_bytes) = match spec.split_once(':') {
-            Some((op, arg)) => {
-                let n: u64 = arg.parse().unwrap_or_else(|_| die("bad u64 argument"));
-                (op, n.to_be_bytes().to_vec())
+    let clock = RealClock::new();
+    let latency = Histogram::new();
+    for round in 0..repeat {
+        for spec in &positional[1..] {
+            let (operation, args_bytes) = match spec.split_once(':') {
+                Some((op, arg)) => {
+                    let n: u64 = arg.parse().unwrap_or_else(|_| die("bad u64 argument"));
+                    (op, n.to_be_bytes().to_vec())
+                }
+                None => (spec.as_str(), Vec::new()),
+            };
+            let started = clock.now_micros();
+            let reply = client
+                .invoke(operation, &args_bytes)
+                .unwrap_or_else(|e| die(&format!("{operation} failed: {e}")));
+            latency.observe(clock.now_micros().saturating_sub(started));
+            if repeat > 1 && round > 0 {
+                continue; // only report the first round's replies
             }
-            None => (spec.as_str(), Vec::new()),
-        };
-        let reply = client
-            .invoke(operation, &args_bytes)
-            .unwrap_or_else(|e| die(&format!("{operation} failed: {e}")));
-        match reply.reply_status {
-            ReplyStatus::NoException if reply.body.len() == 8 => {
-                let mut buf = [0u8; 8];
-                buf.copy_from_slice(&reply.body);
-                println!("{operation} -> {}", u64::from_be_bytes(buf));
+            match reply.reply_status {
+                ReplyStatus::NoException if reply.body.len() == 8 => {
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(&reply.body);
+                    println!("{operation} -> {}", u64::from_be_bytes(buf));
+                }
+                ReplyStatus::NoException => println!("{operation} -> {:?}", reply.body),
+                status => println!("{operation} -> {status:?}: {:?}", reply.body),
             }
-            ReplyStatus::NoException => println!("{operation} -> {:?}", reply.body),
-            status => println!("{operation} -> {status:?}: {:?}", reply.body),
         }
+    }
+    if repeat > 1 {
+        let snap = latency.snapshot();
+        println!(
+            "latency_us: n={} min={} p50={} p99={} max={}",
+            snap.count,
+            snap.min.unwrap_or(0),
+            snap.quantile(0.50).unwrap_or(0),
+            snap.quantile(0.99).unwrap_or(0),
+            snap.max.unwrap_or(0),
+        );
     }
     let _ = client.close();
 }

@@ -8,11 +8,16 @@
 //! ```text
 //! ftd-gatewayd [--port N] [--domain N] [--processors N] [--replicas N]
 //!              [--group N] [--voting] [--seed N]
+//!              [--metrics-addr HOST:PORT] [--max-body-bytes N]
 //! ```
+//!
+//! With `--metrics-addr`, a second admin listener serves `GET /metrics`
+//! (Prometheus text) and `GET /metrics.json`; the bound address is
+//! printed on stderr.
 
 use ftd_core::EngineConfig;
 use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
-use ftd_net::{DomainHost, GatewayServer};
+use ftd_net::{DomainHost, GatewayServer, ServerOptions};
 use ftd_totem::GroupId;
 use std::time::Duration;
 
@@ -24,6 +29,8 @@ struct Opts {
     group: u32,
     voting: bool,
     seed: u64,
+    metrics_addr: Option<String>,
+    max_body_bytes: Option<usize>,
 }
 
 fn parse_opts() -> Opts {
@@ -35,6 +42,8 @@ fn parse_opts() -> Opts {
         group: 10,
         voting: false,
         seed: 42,
+        metrics_addr: None,
+        max_body_bytes: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,10 +59,13 @@ fn parse_opts() -> Opts {
             "--group" => opts.group = parse(&value("--group")),
             "--seed" => opts.seed = parse(&value("--seed")),
             "--voting" => opts.voting = true,
+            "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")),
+            "--max-body-bytes" => opts.max_body_bytes = Some(parse(&value("--max-body-bytes"))),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ftd-gatewayd [--port N] [--domain N] [--processors N] \
-                     [--replicas N] [--group N] [--voting] [--seed N]"
+                     [--replicas N] [--group N] [--voting] [--seed N] \
+                     [--metrics-addr HOST:PORT] [--max-body-bytes N]"
                 );
                 std::process::exit(0);
             }
@@ -87,20 +99,31 @@ fn main() {
     let (domain, processors, replicas, seed) =
         (opts.domain, opts.processors, opts.replicas, opts.seed);
 
-    let config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), 0);
-    let server = GatewayServer::start(&format!("127.0.0.1:{}", opts.port), config, move || {
-        let mut host = DomainHost::new(domain, processors, seed, || {
-            let mut reg = ObjectRegistry::new();
-            reg.register("Counter", Box::new(|| Box::new(Counter::new())));
-            reg
-        });
-        host.create_group(
-            group,
-            "Counter",
-            FtProperties::new(style).with_initial(replicas),
-        );
-        host
-    })
+    let mut config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), 0);
+    if let Some(max_body) = opts.max_body_bytes {
+        config.max_body = max_body;
+    }
+    let options = ServerOptions {
+        metrics_addr: opts.metrics_addr.clone(),
+    };
+    let server = GatewayServer::start_with(
+        &format!("127.0.0.1:{}", opts.port),
+        config,
+        options,
+        move || {
+            let mut host = DomainHost::new(domain, processors, seed, || {
+                let mut reg = ObjectRegistry::new();
+                reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+                reg
+            });
+            host.create_group(
+                group,
+                "Counter",
+                FtProperties::new(style).with_initial(replicas),
+            );
+            host
+        },
+    )
     .unwrap_or_else(|e| die(&format!("bind failed: {e}")));
 
     eprintln!(
@@ -111,6 +134,9 @@ fn main() {
         if opts.voting { "voting" } else { "active" },
         server.local_addr()
     );
+    if let Some(addr) = server.metrics_addr() {
+        eprintln!("ftd-gatewayd: metrics on http://{addr}/metrics");
+    }
     println!("{}", server.ior("IDL:Counter:1.0", group).to_stringified());
 
     loop {

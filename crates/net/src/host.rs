@@ -159,6 +159,14 @@ impl DomainHost {
         self.domain
     }
 
+    /// Bridges the world's deterministic [`ftd_sim::Stats`] sink into
+    /// `registry`, flushing everything recorded so far (e.g. the ring
+    /// formation that happened in [`DomainHost::new`]) and mirroring all
+    /// future counters and samples. See [`ftd_sim::Stats::bind_registry`].
+    pub fn bind_stats(&mut self, registry: std::sync::Arc<ftd_obs::Registry>) {
+        self.world.stats_mut().bind_registry(registry);
+    }
+
     /// The gateway group the relay represents the gateway in.
     pub fn gateway_group(&self) -> GroupId {
         self.gateway_group

@@ -31,4 +31,4 @@ mod server;
 
 pub use client::NetClient;
 pub use host::{DomainHost, HostView};
-pub use server::{EngineSnapshot, GatewayServer};
+pub use server::{EngineSnapshot, GatewayServer, ServerOptions};

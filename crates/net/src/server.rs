@@ -12,15 +12,25 @@
 //!   engine's [`Action`]s: client-bound bytes are written here (it doubles
 //!   as the writer/mux thread), multicasts go into the domain, and the
 //!   domain's virtual clock is advanced a slice per tick so ordered
-//!   deliveries flow back out to clients.
+//!   deliveries flow back out to clients,
+//! * optionally, a **metrics thread** serves `GET /metrics` (Prometheus
+//!   text) and `GET /metrics.json` over a minimal HTTP/1.0 responder on
+//!   a separate admin listener (see [`ServerOptions::metrics_addr`]).
+//!
+//! Every thread reports into one shared [`ftd_obs::Registry`]: the
+//! engine's `gateway.*` counters and per-group latency histogram, the
+//! transport's `net.*` byte/frame counters, and — through the
+//! [`Stats`] bridge bound to the in-process domain's world — the
+//! `totem.*` ring counters.
 //!
 //! Nothing but `std::net` and `std::sync` is used — the crate adds zero
 //! external dependencies.
 
 use crate::host::DomainHost;
-use ftd_core::{Action, EngineConfig, GatewayEngine, GwConn};
+use ftd_core::{Action, EngineConfig, GatewayEngine, GwConn, ENGINE_LATENCY_SERIES};
 use ftd_eternal::{GatewayEndpoint, IorPublisher};
 use ftd_giop::Ior;
+use ftd_obs::{RealClock, Registry};
 use ftd_sim::{SimDuration, Stats};
 use ftd_totem::GroupId;
 use std::collections::{BTreeMap, VecDeque};
@@ -55,22 +65,33 @@ pub struct EngineSnapshot {
     pub cached_responses: usize,
 }
 
+/// Optional knobs for [`GatewayServer::start_with`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerOptions {
+    /// Address for the admin/metrics listener (e.g. `"127.0.0.1:9100"`,
+    /// port 0 for ephemeral). `None` disables the endpoint.
+    pub metrics_addr: Option<String>,
+}
+
 #[derive(Default)]
 struct Shared {
     stats: Mutex<Stats>,
     snapshot: Mutex<EngineSnapshot>,
     shutdown: AtomicBool,
+    registry: Arc<Registry>,
 }
 
 /// A gateway serving a fault tolerance domain on a real TCP socket. See
 /// the module docs.
 pub struct GatewayServer {
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     publisher: IorPublisher,
     tx: Sender<Ev>,
     shared: Arc<Shared>,
     engine_thread: Option<JoinHandle<()>>,
     accept_thread: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for GatewayServer {
@@ -91,6 +112,17 @@ impl GatewayServer {
         config: EngineConfig,
         host: impl FnOnce() -> DomainHost + Send + 'static,
     ) -> io::Result<GatewayServer> {
+        Self::start_with(addr, config, ServerOptions::default(), host)
+    }
+
+    /// [`GatewayServer::start`] with extra [`ServerOptions`] — notably
+    /// the `GET /metrics` admin listener.
+    pub fn start_with(
+        addr: &str,
+        config: EngineConfig,
+        options: ServerOptions,
+        host: impl FnOnce() -> DomainHost + Send + 'static,
+    ) -> io::Result<GatewayServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let publisher = IorPublisher::new(
@@ -101,6 +133,11 @@ impl GatewayServer {
             }],
         );
         let shared = Arc::new(Shared::default());
+        shared
+            .stats
+            .lock()
+            .expect("stats lock")
+            .bind_registry(shared.registry.clone());
         let (tx, rx) = mpsc::channel();
 
         let engine_shared = shared.clone();
@@ -114,19 +151,44 @@ impl GatewayServer {
             .name("ftd-gateway-accept".into())
             .spawn(move || accept_loop(listener, accept_tx, accept_shared))?;
 
+        let (metrics_addr, metrics_thread) = match &options.metrics_addr {
+            Some(addr) => {
+                let metrics_listener = TcpListener::bind(addr)?;
+                let metrics_addr = metrics_listener.local_addr()?;
+                let metrics_shared = shared.clone();
+                let handle = thread::Builder::new()
+                    .name("ftd-gateway-metrics".into())
+                    .spawn(move || metrics_loop(metrics_listener, metrics_shared))?;
+                (Some(metrics_addr), Some(handle))
+            }
+            None => (None, None),
+        };
+
         Ok(GatewayServer {
             local_addr,
+            metrics_addr,
             publisher,
             tx,
             shared,
             engine_thread: Some(engine_thread),
             accept_thread: Some(accept_thread),
+            metrics_thread,
         })
     }
 
     /// The address the gateway is listening on.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The address of the `GET /metrics` admin listener, if enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The live metrics registry every gateway thread reports into.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.shared.registry.clone()
     }
 
     /// Publishes an IOR for `group`: its IIOP profile points at this
@@ -137,8 +199,12 @@ impl GatewayServer {
 
     /// A snapshot of the per-connection / per-group statistics counters
     /// (engine `gateway.*` counters plus transport `net.*` counters).
+    /// The clone is detached from the live registry, so mutating it
+    /// cannot pollute the `/metrics` exposition.
     pub fn stats(&self) -> Stats {
-        self.shared.stats.lock().expect("stats lock").clone()
+        let mut stats = self.shared.stats.lock().expect("stats lock").clone();
+        stats.detach_registry();
+        stats
     }
 
     /// The engine gauges as of the last processed batch.
@@ -149,12 +215,18 @@ impl GatewayServer {
     fn stop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         let _ = self.tx.send(Ev::Shutdown);
-        // Unblock the accept loop with a throwaway connection.
+        // Unblock the accept loops with throwaway connections.
         let _ = TcpStream::connect(self.local_addr);
+        if let Some(addr) = self.metrics_addr {
+            let _ = TcpStream::connect(addr);
+        }
         if let Some(t) = self.engine_thread.take() {
             let _ = t.join();
         }
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.metrics_thread.take() {
             let _ = t.join();
         }
     }
@@ -218,7 +290,11 @@ const TICK_REAL: Duration = Duration::from_millis(1);
 const TICK_VIRTUAL: SimDuration = SimDuration::from_millis(2);
 
 fn engine_loop(rx: Receiver<Ev>, config: EngineConfig, mut host: DomainHost, shared: Arc<Shared>) {
+    // The domain's deterministic counters (totem.* ring activity, etc.)
+    // flow into the same registry the engine and transport report into.
+    host.bind_stats(shared.registry.clone());
     let mut engine = GatewayEngine::new(config, BTreeMap::new());
+    engine.set_clock(Arc::new(RealClock::new()));
     let mut writers: BTreeMap<u64, TcpStream> = BTreeMap::new();
     // Requests forwarded into the domain and not yet answered, oldest
     // first, for the reply-latency metric.
@@ -284,11 +360,22 @@ fn engine_loop(rx: Receiver<Ev>, config: EngineConfig, mut host: DomainHost, sha
             apply(actions, &mut writers, &mut host, &shared, &mut inflight);
         }
 
-        *shared.snapshot.lock().expect("snapshot lock") = EngineSnapshot {
+        let snapshot = EngineSnapshot {
             connected_clients: engine.connected_clients(),
             duplicates_suppressed: engine.duplicates_suppressed(),
             cached_responses: engine.cached_responses(),
         };
+        *shared.snapshot.lock().expect("snapshot lock") = snapshot;
+        shared.registry.set_gauge(
+            "gateway.connected_clients",
+            snapshot.connected_clients as i64,
+        );
+        shared
+            .registry
+            .set_gauge("gateway.cached_responses", snapshot.cached_responses as i64);
+        shared
+            .registry
+            .set_gauge("net.open_connections", writers.len() as i64);
 
         if stop || shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -357,6 +444,59 @@ fn apply(
             Action::Count { counter } => {
                 shared.stats.lock().expect("stats lock").inc(counter);
             }
+            Action::Latency { group, micros } => {
+                shared.stats.lock().expect("stats lock").sample(
+                    &format!("{ENGINE_LATENCY_SERIES}{{group=\"{}\"}}", group.0),
+                    micros,
+                );
+            }
         }
+    }
+}
+
+/// One HTTP/1.0 exchange per connection: read the request line, answer
+/// `GET /metrics` with the Prometheus text exposition (or `/metrics.json`
+/// with the JSON snapshot), close. Deliberately minimal — this is an
+/// admin endpoint for `curl` and scrapers, not a web server.
+fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+        let mut buf = [0u8; 1024];
+        let mut request = Vec::new();
+        // Read until the end of the request line; ignore any headers.
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    request.extend_from_slice(&buf[..n]);
+                    if request.contains(&b'\n') || request.len() > 8 * 1024 {
+                        break;
+                    }
+                }
+            }
+        }
+        let line = request.split(|&b| b == b'\n').next().unwrap_or(&[]);
+        let line = String::from_utf8_lossy(line);
+        let path = line.split_whitespace().nth(1).unwrap_or("");
+        let (status, content_type, body) = match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                shared.registry.render_prometheus(),
+            ),
+            "/metrics.json" => ("200 OK", "application/json", shared.registry.render_json()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+        };
+        let _ = write!(
+            stream,
+            "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        let _ = stream.flush();
+        let _ = stream.shutdown(Shutdown::Both);
     }
 }

@@ -4,7 +4,7 @@
 
 use ftd_core::EngineConfig;
 use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
-use ftd_net::{DomainHost, GatewayServer, NetClient};
+use ftd_net::{DomainHost, GatewayServer, NetClient, ServerOptions};
 use ftd_totem::GroupId;
 use std::time::{Duration, Instant};
 
@@ -151,6 +151,104 @@ fn two_clients_interleave_without_crosstalk() {
 
     let snap = server.snapshot();
     assert_eq!(snap.connected_clients, 2);
+    drop(server);
+}
+
+/// One raw HTTP/1.0 request against the metrics listener; returns
+/// (status line, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator");
+    let status = head.lines().next().unwrap_or("").to_owned();
+    (status, body.to_owned())
+}
+
+#[test]
+fn metrics_endpoint_exposes_gateway_totem_and_latency_series() {
+    let config = EngineConfig::new(6, GroupId(0x4000_0006), 0);
+    let options = ServerOptions {
+        metrics_addr: Some("127.0.0.1:0".to_owned()),
+    };
+    let server = GatewayServer::start_with("127.0.0.1:0", config, options, move || {
+        let mut host = DomainHost::new(6, 4, 0x5EED, registry);
+        host.create_group(
+            GROUP,
+            "Counter",
+            FtProperties::new(ReplicationStyle::Active).with_initial(3),
+        );
+        host
+    })
+    .expect("bind loopback");
+    let metrics_addr = server.metrics_addr().expect("metrics listener enabled");
+
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    let mut client = NetClient::connect(&ior, Some(0x42)).expect("connect");
+    let r1 = client.invoke("add", &3u64.to_be_bytes()).expect("add 3");
+    assert_eq!(r1.body, 3u64.to_be_bytes());
+    let r2 = client.invoke("get", &[]).expect("get");
+    assert_eq!(r2.body, 3u64.to_be_bytes());
+    wait_until("duplicate suppression", || {
+        server.snapshot().duplicates_suppressed >= 1
+    });
+
+    let (status, body) = http_get(metrics_addr, "/metrics");
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    // Engine counters, rendered in Prometheus grammar.
+    assert!(
+        body.contains("gateway_requests_forwarded 2"),
+        "missing forwarded counter in:\n{body}"
+    );
+    assert!(
+        body.contains("gateway_duplicate_responses_suppressed"),
+        "missing suppression counter in:\n{body}"
+    );
+    // Per-group admission-to-reply latency histogram with a group label.
+    assert!(
+        body.contains("# TYPE gateway_request_latency_us histogram"),
+        "missing latency TYPE line in:\n{body}"
+    );
+    assert!(
+        body.contains("gateway_request_latency_us_bucket{group=\"10\","),
+        "missing labelled latency buckets in:\n{body}"
+    );
+    assert!(
+        body.contains("gateway_request_latency_us_count{group=\"10\"} 2"),
+        "latency histogram should have one sample per request in:\n{body}"
+    );
+    // Totem ring counters bridged out of the simulated domain.
+    assert!(
+        body.contains("totem_token_rotations"),
+        "missing totem rotation counter in:\n{body}"
+    );
+    assert!(
+        body.contains("totem_token_hops"),
+        "missing totem hop counter in:\n{body}"
+    );
+    // Transport counters from the socket threads.
+    assert!(
+        body.contains("net_bytes_in"),
+        "missing transport counter in:\n{body}"
+    );
+
+    // The JSON flavour parses the same registry.
+    let (status, json) = http_get(metrics_addr, "/metrics.json");
+    assert_eq!(status, "HTTP/1.0 200 OK");
+    assert!(json.contains("\"gateway.requests_forwarded\""));
+    assert!(json.contains("\"gateway.request_latency_us{group=\\\"10\\\"}\""));
+
+    // Unknown paths draw a 404, not a hang or a panic.
+    let (status, _) = http_get(metrics_addr, "/nope");
+    assert_eq!(status, "HTTP/1.0 404 Not Found");
+
     drop(server);
 }
 

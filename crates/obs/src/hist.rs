@@ -1,0 +1,231 @@
+//! Fixed-bucket log2 histograms over `u64` samples.
+//!
+//! Bucket `0` holds the value `0`; bucket `i >= 1` holds values in
+//! `[2^(i-1), 2^i - 1]` (the last bucket tops out at `u64::MAX`). That
+//! gives 65 buckets covering the whole `u64` range with at most 2x
+//! relative error on quantile estimates — plenty for latency series —
+//! while keeping `observe` to a handful of relaxed atomic adds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets: one for zero plus one per bit of `u64`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index of a value: 0 for 0, else `floor(log2(v)) + 1`.
+fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A thread-safe log2 histogram. All operations take `&self`; `observe`
+/// is lock-free (relaxed atomics plus one CAS loop for the saturating
+/// sum).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    /// Saturates at `u64::MAX` instead of wrapping.
+    sum: AtomicU64,
+    /// `u64::MAX` while empty.
+    min: AtomicU64,
+    /// `0` while empty (disambiguated by `count`).
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(value))
+            });
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples, saturating at `u64::MAX`.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.min.load(Ordering::Relaxed))
+    }
+
+    /// Exact largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// Bucket-estimated quantile (`q` in `0.0..=1.0`), or `None` if
+    /// empty. The estimate is the upper bound of the bucket holding the
+    /// nearest-rank sample, clamped to the exact `[min, max]` range, so
+    /// it is at most 2x above the true value.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        self.snapshot().quantile(q)
+    }
+
+    /// Adds every bucket, the count, and the sum of `other` into `self`;
+    /// min/max tighten accordingly. Concurrent observers on either side
+    /// remain safe (the merge is per-field atomic, not a transaction).
+    pub fn merge(&self, other: &Histogram) {
+        let snap = other.snapshot();
+        for (i, &n) in snap.buckets.iter().enumerate() {
+            if n > 0 {
+                self.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(snap.count, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                Some(s.saturating_add(snap.sum))
+            });
+        if let Some(min) = snap.min {
+            self.min.fetch_min(min, Ordering::Relaxed);
+        }
+        if let Some(max) = snap.max {
+            self.max.fetch_max(max, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the histogram's state. Under concurrent
+    /// writes the fields may lag each other by a few samples; each field
+    /// is individually consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: [u64; HISTOGRAM_BUCKETS] =
+            std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        let count = self.count();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum(),
+            min: (count > 0).then(|| self.min.load(Ordering::Relaxed)),
+            max: (count > 0).then(|| self.max.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], used for exposition and reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket (not cumulative) sample counts.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Number of samples.
+    pub count: u64,
+    /// Saturating sum of samples.
+    pub sum: u64,
+    /// Exact smallest sample, `None` if empty.
+    pub min: Option<u64>,
+    /// Exact largest sample, `None` if empty.
+    pub max: Option<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Inclusive upper bound of bucket `i` (the Prometheus `le` bound).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        upper_bound(i)
+    }
+
+    /// See [`Histogram::quantile`].
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let est = upper_bound(i);
+                let lo = self.min.unwrap_or(0);
+                let hi = self.max.unwrap_or(u64::MAX);
+                return Some(est.clamp(lo, hi));
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Index of the highest non-empty bucket, or `None` if empty.
+    pub fn highest_bucket(&self) -> Option<usize> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, &n)| n > 0)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_log2_with_zero_bucket() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(upper_bound(0), 0);
+        assert_eq!(upper_bound(1), 1);
+        assert_eq!(upper_bound(2), 3);
+        assert_eq!(upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_clamped_to_exact_extremes() {
+        let h = Histogram::new();
+        for v in [10u64, 20, 30, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(1000));
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((10..=31).contains(&p50), "p50 estimate {p50}");
+        assert_eq!(h.quantile(1.0), Some(1000));
+    }
+}

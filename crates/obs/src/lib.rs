@@ -1,0 +1,56 @@
+//! # ftd-obs — workspace-wide observability
+//!
+//! The measurement substrate shared by every host of the gateway engine:
+//! the deterministic simulation, the real-socket front end (`ftd-net`),
+//! the Totem ring, and the experiment/bench harnesses all report through
+//! the same vocabulary.
+//!
+//! * [`Registry`] — a thread-safe set of named metrics. The hot path is
+//!   lock-free: looking a metric up by name takes a brief read lock once,
+//!   after which the returned [`Counter`]/[`Gauge`]/[`Histogram`] handle
+//!   is a plain `Arc` of atomics usable from any thread with `&self`.
+//! * [`Histogram`] — fixed-bucket log2 histogram over `u64` samples with
+//!   exact atomic min/max and bucket-estimated quantiles.
+//! * [`Clock`] — the pluggable time source behind latency measurements:
+//!   [`RealClock`] wraps a monotonic [`std::time::Instant`] for live
+//!   processes, [`ManualClock`] is set explicitly from the simulation's
+//!   virtual time so simulated latencies stay deterministic.
+//! * [`Span`] / [`Stopwatch`] — scoped latency measurement: a [`Span`]
+//!   observes its lifetime into a histogram on drop.
+//! * Exposition — [`Registry::render_prometheus`] produces the Prometheus
+//!   text format (served by `ftd-net`'s `GET /metrics` admin endpoint);
+//!   [`Registry::render_json`] produces a JSON snapshot.
+//!
+//! The crate is `std`-only and dependency-free, like the rest of the
+//! workspace.
+//!
+//! # Examples
+//!
+//! ```
+//! use ftd_obs::{Clock, ManualClock, Registry, Span};
+//!
+//! let registry = Registry::new();
+//! registry.inc("gateway.requests_forwarded");
+//!
+//! let clock = ManualClock::new();
+//! let latency = registry.histogram("gateway.request_latency_us{group=\"10\"}");
+//! {
+//!     let _span = Span::enter(&latency, &clock);
+//!     clock.advance(250); // simulated work
+//! }
+//! assert_eq!(latency.count(), 1);
+//! assert_eq!(latency.max(), Some(250));
+//! assert!(registry.render_prometheus().contains("gateway_requests_forwarded 1"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod hist;
+mod registry;
+mod render;
+
+pub use clock::{Clock, ManualClock, RealClock, Span, Stopwatch};
+pub use hist::{Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use registry::{Counter, Gauge, Registry, Snapshot};

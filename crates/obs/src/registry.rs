@@ -1,0 +1,249 @@
+//! The thread-safe metric registry.
+//!
+//! A [`Registry`] maps free-form names (`component.metric`, optionally
+//! with a trailing Prometheus-style label block such as
+//! `gateway.request_latency_us{group="10"}`) to atomic metric handles.
+//! Registration takes a short lock; after that, every handle operation
+//! is `&self` and lock-free, so the gateway's accept/reader/engine
+//! threads all report into one registry without contention.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named family of metrics. See the module docs. Cheap to share:
+/// wrap it in an [`Arc`] and clone the `Arc`.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(existing) = map.read().expect("registry lock").get(name) {
+        return existing.clone();
+    }
+    map.write()
+        .expect("registry lock")
+        .entry(name.to_owned())
+        .or_default()
+        .clone()
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use. Hold the
+    /// returned handle to skip the name lookup on a hot path.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name)
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name)
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name)
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.counter(name).inc();
+    }
+
+    /// Adds `delta` to the counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// Sets the gauge `name`.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.gauge(name).set(value);
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        self.histogram(name).observe(value);
+    }
+
+    /// Folds every metric of `other` into `self`: counters add,
+    /// gauges add, histograms merge bucket-wise.
+    pub fn merge(&self, other: &Registry) {
+        for (name, value) in other.snapshot().counters {
+            self.add(&name, value);
+        }
+        for (name, value) in other.gauges.read().expect("registry lock").iter() {
+            self.gauge(name).add(value.get());
+        }
+        for (name, hist) in other.histograms.read().expect("registry lock").iter() {
+            self.histogram(name).merge(hist);
+        }
+    }
+
+    /// A point-in-time plain-data copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (version 0.0.4). Dots in metric names become underscores; a
+    /// trailing `{label="value"}` block in the registered name is
+    /// preserved as Prometheus labels.
+    pub fn render_prometheus(&self) -> String {
+        crate::render::prometheus(&self.snapshot())
+    }
+
+    /// Renders every metric as a JSON document (counters and gauges as
+    /// numbers, histograms as count/sum/min/max/quantile summaries plus
+    /// the non-empty buckets).
+    pub fn render_json(&self) -> String {
+        crate::render::json(&self.snapshot())
+    }
+}
+
+/// Plain-data copy of a [`Registry`]. All vectors are sorted by name.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Counter name → value.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge name → value.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram name → snapshot.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// The value of counter `name` (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// The snapshot of histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_by_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+        assert_eq!(r.snapshot().counter("x"), 3);
+    }
+
+    #[test]
+    fn gauges_set_and_add() {
+        let r = Registry::new();
+        r.set_gauge("g", 5);
+        r.gauge("g").add(-2);
+        assert_eq!(r.gauge("g").get(), 3);
+    }
+
+    #[test]
+    fn merge_folds_all_metric_kinds() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.add("c", 1);
+        b.add("c", 2);
+        a.set_gauge("g", 10);
+        b.set_gauge("g", 5);
+        a.observe("h", 1);
+        b.observe("h", 100);
+        a.merge(&b);
+        assert_eq!(a.counter("c").get(), 3);
+        assert_eq!(a.gauge("g").get(), 15);
+        assert_eq!(a.histogram("h").count(), 2);
+        assert_eq!(a.histogram("h").max(), Some(100));
+    }
+}

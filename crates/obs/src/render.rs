@@ -1,0 +1,206 @@
+//! Wire exposition: Prometheus text format and a JSON snapshot.
+
+use crate::hist::HistogramSnapshot;
+use crate::registry::Snapshot;
+use std::fmt::Write;
+
+/// Splits a registered name into its metric part and an optional
+/// `{label="value"}` block, sanitizing the metric part into the
+/// Prometheus grammar (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn split_name(name: &str) -> (String, &str) {
+    let (metric, labels) = match name.find('{') {
+        Some(i) => (&name[..i], &name[i..]),
+        None => (name, ""),
+    };
+    let mut out = String::with_capacity(metric.len());
+    for (i, c) in metric.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    (out, labels)
+}
+
+/// Formats one sample line, splicing `extra` (e.g. `le="15"`) into the
+/// label block if one is present.
+fn sample_line(out: &mut String, metric: &str, labels: &str, extra: &str, value: impl ToString) {
+    let value = value.to_string();
+    match (labels.is_empty(), extra.is_empty()) {
+        (true, true) => {
+            let _ = writeln!(out, "{metric} {value}");
+        }
+        (true, false) => {
+            let _ = writeln!(out, "{metric}{{{extra}}} {value}");
+        }
+        (false, true) => {
+            let _ = writeln!(out, "{metric}{labels} {value}");
+        }
+        (false, false) => {
+            let inner = labels.trim_start_matches('{').trim_end_matches('}');
+            let _ = writeln!(out, "{metric}{{{inner},{extra}}} {value}");
+        }
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub fn prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    // One TYPE line per metric family: names sort adjacently, so
+    // label-variants of one family dedupe against the previous line.
+    let mut last_metric: Option<String> = None;
+    let mut type_line = |out: &mut String, metric: &str, kind: &str| {
+        if last_metric.as_deref() != Some(metric) {
+            let _ = writeln!(out, "# TYPE {metric} {kind}");
+            last_metric = Some(metric.to_owned());
+        }
+    };
+
+    for (name, value) in &snap.counters {
+        let (metric, labels) = split_name(name);
+        type_line(&mut out, &metric, "counter");
+        sample_line(&mut out, &metric, labels, "", value);
+    }
+    for (name, value) in &snap.gauges {
+        let (metric, labels) = split_name(name);
+        type_line(&mut out, &metric, "gauge");
+        sample_line(&mut out, &metric, labels, "", value);
+    }
+    for (name, hist) in &snap.histograms {
+        let (metric, labels) = split_name(name);
+        type_line(&mut out, &metric, "histogram");
+        let bucket_metric = format!("{metric}_bucket");
+        let top = hist.highest_bucket().unwrap_or(0);
+        let mut cumulative = 0u64;
+        for (i, &n) in hist.buckets.iter().enumerate().take(top + 1) {
+            cumulative += n;
+            let le = HistogramSnapshot::bucket_upper_bound(i);
+            let extra = if le == u64::MAX {
+                "le=\"+Inf\"".to_owned()
+            } else {
+                format!("le=\"{le}\"")
+            };
+            sample_line(&mut out, &bucket_metric, labels, &extra, cumulative);
+        }
+        if HistogramSnapshot::bucket_upper_bound(top) != u64::MAX {
+            sample_line(&mut out, &bucket_metric, labels, "le=\"+Inf\"", hist.count);
+        }
+        sample_line(&mut out, &format!("{metric}_sum"), labels, "", hist.sum);
+        sample_line(&mut out, &format!("{metric}_count"), labels, "", hist.count);
+    }
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as a JSON document.
+pub fn json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(name), value);
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{}", json_escape(name), value);
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, hist)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{}\":{{\"count\":{},\"sum\":{}",
+            json_escape(name),
+            hist.count,
+            hist.sum
+        );
+        if let (Some(min), Some(max)) = (hist.min, hist.max) {
+            let _ = write!(
+                out,
+                ",\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}",
+                min,
+                max,
+                hist.quantile(0.50).expect("non-empty"),
+                hist.quantile(0.99).expect("non-empty")
+            );
+        }
+        out.push_str(",\"buckets\":[");
+        let mut first = true;
+        for (b, &n) in hist.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "[{},{}]", HistogramSnapshot::bucket_upper_bound(b), n);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    #[test]
+    fn prometheus_sanitizes_names_and_keeps_labels() {
+        let r = Registry::new();
+        r.add("gateway.requests_forwarded", 7);
+        r.observe("gateway.request_latency_us{group=\"10\"}", 12);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE gateway_requests_forwarded counter"));
+        assert!(text.contains("gateway_requests_forwarded 7"));
+        assert!(text.contains("gateway_request_latency_us_bucket{group=\"10\",le=\"15\"} 1"));
+        assert!(text.contains("gateway_request_latency_us_bucket{group=\"10\",le=\"+Inf\"} 1"));
+        assert!(text.contains("gateway_request_latency_us_sum{group=\"10\"} 12"));
+        assert!(text.contains("gateway_request_latency_us_count{group=\"10\"} 1"));
+    }
+
+    #[test]
+    fn json_escapes_label_quotes() {
+        let r = Registry::new();
+        r.observe("h{group=\"10\"}", 3);
+        let json = r.render_json();
+        assert!(json.contains("\"h{group=\\\"10\\\"}\""));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.contains("\"min\":3,\"max\":3"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_without_quantiles() {
+        let r = Registry::new();
+        let _ = r.histogram("empty");
+        let text = r.render_prometheus();
+        assert!(text.contains("empty_count 0"));
+        let json = r.render_json();
+        assert!(json.contains("\"empty\":{\"count\":0,\"sum\":0,\"buckets\":[]}"));
+    }
+}

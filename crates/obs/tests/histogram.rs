@@ -1,0 +1,116 @@
+//! Histogram edge cases: empty series, extreme samples, bucket
+//! boundaries, registry merges, and concurrent increments.
+
+use ftd_obs::{Histogram, HistogramSnapshot, Registry, HISTOGRAM_BUCKETS};
+use std::sync::Arc;
+
+#[test]
+fn zero_samples_yields_no_statistics() {
+    let h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.min(), None);
+    assert_eq!(h.max(), None);
+    assert_eq!(h.quantile(0.5), None);
+    let snap = h.snapshot();
+    assert_eq!(snap.highest_bucket(), None);
+    assert_eq!(snap.mean(), None);
+}
+
+#[test]
+fn u64_max_sample_lands_in_the_top_bucket_and_saturates_the_sum() {
+    let h = Histogram::new();
+    h.observe(u64::MAX);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.min(), Some(u64::MAX));
+    assert_eq!(h.max(), Some(u64::MAX));
+    assert_eq!(h.quantile(0.5), Some(u64::MAX));
+    let snap = h.snapshot();
+    assert_eq!(snap.highest_bucket(), Some(HISTOGRAM_BUCKETS - 1));
+    // A second enormous sample saturates rather than wraps.
+    h.observe(u64::MAX);
+    assert_eq!(h.sum(), u64::MAX);
+    assert_eq!(h.count(), 2);
+}
+
+#[test]
+fn bucket_boundary_values_split_consistently() {
+    // 0 sits alone in bucket 0; each power of two starts a new bucket;
+    // 2^k - 1 is the inclusive top of the previous one.
+    let h = Histogram::new();
+    for v in [0u64, 1, 2, 3, 4, 7, 8, (1 << 32) - 1, 1 << 32] {
+        h.observe(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.buckets[0], 1); // {0}
+    assert_eq!(snap.buckets[1], 1); // {1}
+    assert_eq!(snap.buckets[2], 2); // {2, 3}
+    assert_eq!(snap.buckets[3], 2); // {4, 7}
+    assert_eq!(snap.buckets[4], 1); // {8}
+    assert_eq!(snap.buckets[32], 1); // {.., 2^32 - 1}
+    assert_eq!(snap.buckets[33], 1); // {2^32, ..}
+    assert_eq!(snap.count, 9);
+    // The le bound of a bucket is inclusive: quantile estimates for a
+    // boundary sample never undershoot into the previous bucket.
+    assert_eq!(HistogramSnapshot::bucket_upper_bound(2), 3);
+    assert_eq!(HistogramSnapshot::bucket_upper_bound(3), 7);
+}
+
+#[test]
+fn merging_two_registries_adds_counters_and_unions_histograms() {
+    let live = Registry::new();
+    let sim = Registry::new();
+    live.add("gateway.requests_forwarded", 10);
+    sim.add("gateway.requests_forwarded", 5);
+    live.observe("lat", 100);
+    live.observe("lat", 200);
+    sim.observe("lat", 1);
+    sim.set_gauge("clients", 3);
+
+    live.merge(&sim);
+    assert_eq!(live.counter("gateway.requests_forwarded").get(), 15);
+    assert_eq!(live.gauge("clients").get(), 3);
+    let lat = live.histogram("lat");
+    assert_eq!(lat.count(), 3);
+    assert_eq!(lat.sum(), 301);
+    assert_eq!(lat.min(), Some(1));
+    assert_eq!(lat.max(), Some(200));
+    // The merged-from registry is untouched.
+    assert_eq!(sim.histogram("lat").count(), 1);
+}
+
+#[test]
+fn concurrent_increments_from_eight_threads_sum_exactly() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Arc::new(Registry::new());
+    let hist = registry.histogram("contended");
+    let counter = registry.counter("hits");
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let hist = hist.clone();
+            let counter = counter.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread samples across buckets so bucket adds race too.
+                    hist.observe((t as u64) * PER_THREAD + i);
+                    counter.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker");
+    }
+
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(counter.get(), total);
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, total);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), total);
+    assert_eq!(snap.min, Some(0));
+    assert_eq!(snap.max, Some(total - 1));
+    // Sum of 0..total is exact under concurrency (no lost updates).
+    assert_eq!(snap.sum, total * (total - 1) / 2);
+}

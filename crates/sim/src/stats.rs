@@ -3,10 +3,20 @@
 //! Every component (Totem, the replication mechanisms, the gateways) bumps
 //! named counters and records latency samples here; the experiment harness
 //! reads them back to print the per-figure reports.
+//!
+//! A `Stats` can additionally be **bridged** into a thread-safe
+//! [`ftd_obs::Registry`] with [`Stats::bind_registry`]: every counter
+//! increment and latency sample is then mirrored into the registry (as a
+//! counter or histogram of the same name), so the deterministic sim
+//! reports and a live `/metrics` endpoint speak one vocabulary. The
+//! bridge is strictly write-through — the deterministic in-`Stats` state
+//! is unaffected by it.
 
 use crate::SimDuration;
+use ftd_obs::Registry;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A set of named counters and sample series.
 ///
@@ -27,6 +37,8 @@ use std::fmt;
 pub struct Stats {
     counters: BTreeMap<String, u64>,
     samples: BTreeMap<String, Vec<u64>>,
+    /// Write-through mirror; see the module docs.
+    registry: Option<Arc<Registry>>,
 }
 
 impl Stats {
@@ -35,9 +47,37 @@ impl Stats {
         Stats::default()
     }
 
+    /// Mirrors this sink into `registry` from now on, first forwarding
+    /// everything already recorded so the registry never under-reports
+    /// events that happened before the bridge existed (e.g. Totem ring
+    /// formation during domain bootstrap).
+    pub fn bind_registry(&mut self, registry: Arc<Registry>) {
+        for (name, &value) in &self.counters {
+            if value > 0 {
+                registry.add(name, value);
+            }
+        }
+        for (name, series) in &self.samples {
+            let hist = registry.histogram(name);
+            for &v in series {
+                hist.observe(v);
+            }
+        }
+        self.registry = Some(registry);
+    }
+
+    /// Detaches the registry bridge (clones handed out for inspection
+    /// use this so accidental writes cannot pollute the live registry).
+    pub fn detach_registry(&mut self) {
+        self.registry = None;
+    }
+
     /// Adds `delta` to the named counter, creating it at zero if absent.
     pub fn add(&mut self, name: &str, delta: u64) {
         *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+        if let Some(registry) = &self.registry {
+            registry.add(name, delta);
+        }
     }
 
     /// Increments the named counter by one.
@@ -58,6 +98,9 @@ impl Stats {
     /// Records one raw sample (e.g. a nanosecond latency) in the named series.
     pub fn sample(&mut self, name: &str, value: u64) {
         self.samples.entry(name.to_owned()).or_default().push(value);
+        if let Some(registry) = &self.registry {
+            registry.observe(name, value);
+        }
     }
 
     /// Records a duration sample in nanoseconds.
@@ -86,13 +129,20 @@ impl Stats {
         self.samples.clear();
     }
 
-    /// Merges another `Stats` into this one (counters add, samples append).
+    /// Merges another `Stats` into this one (counters add, samples
+    /// append); a bound registry sees the merged-in values too.
     pub fn merge(&mut self, other: &Stats) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (k, &v) in &other.counters {
+            self.add(k, v);
         }
         for (k, v) in &other.samples {
             self.samples.entry(k.clone()).or_default().extend(v);
+            if let Some(registry) = &self.registry {
+                let hist = registry.histogram(k);
+                for &s in v {
+                    hist.observe(s);
+                }
+            }
         }
     }
 }
@@ -195,6 +245,45 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.counter("x"), 3);
         assert_eq!(a.samples("s"), &[1, 2]);
+    }
+
+    #[test]
+    fn bound_registry_mirrors_counters_and_samples() {
+        let registry = Arc::new(Registry::new());
+        let mut s = Stats::new();
+        // Recorded before the bridge: flushed at bind time.
+        s.add("totem.token_hops", 7);
+        s.sample("lat", 40);
+        s.bind_registry(registry.clone());
+        assert_eq!(registry.counter("totem.token_hops").get(), 7);
+        assert_eq!(registry.histogram("lat").count(), 1);
+        // Recorded after: written through live.
+        s.inc("totem.token_hops");
+        s.sample("lat", 60);
+        assert_eq!(registry.counter("totem.token_hops").get(), 8);
+        assert_eq!(registry.histogram("lat").count(), 2);
+        assert_eq!(registry.histogram("lat").max(), Some(60));
+        // The deterministic view is untouched by the mirror.
+        assert_eq!(s.counter("totem.token_hops"), 8);
+        assert_eq!(s.samples("lat"), &[40, 60]);
+        // Detached clones stop writing through.
+        let mut snapshot = s.clone();
+        snapshot.detach_registry();
+        snapshot.inc("totem.token_hops");
+        assert_eq!(registry.counter("totem.token_hops").get(), 8);
+    }
+
+    #[test]
+    fn merge_writes_through_to_the_registry() {
+        let registry = Arc::new(Registry::new());
+        let mut a = Stats::new();
+        a.bind_registry(registry.clone());
+        let mut b = Stats::new();
+        b.add("x", 2);
+        b.sample("s", 9);
+        a.merge(&b);
+        assert_eq!(registry.counter("x").get(), 2);
+        assert_eq!(registry.histogram("s").count(), 1);
     }
 
     #[test]

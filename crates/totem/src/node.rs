@@ -703,6 +703,12 @@ impl TotemNode {
         token.token_id += 1;
         let successor = token.successor_of(self.me);
         ctx.stats().inc("totem.token_hops");
+        // The ring leader (lowest member) sees the token once per full
+        // circuit: count rotations there so the rate is per-ring, not
+        // per-member.
+        if self.ring.first() == Some(&self.me) {
+            ctx.stats().inc("totem.token_rotations");
+        }
         ctx.datagram_to(successor, TotemMsg::Token(token.clone()).encode());
         self.saved_token = Some(token);
         self.arm(ctx, KIND_TOKEN_RETRANSMIT, self.config.token_retransmit);

@@ -14,6 +14,7 @@
 //! | FT infrastructure | [`eternal`] | replication styles/mechanisms/managers, logging-recovery, interceptor |
 //! | **the paper** | [`core`] | gateways, client identification, duplicate suppression, redundant gateway groups, enhanced clients, domain bridging |
 //! | real sockets | [`net`] | the same gateway engine over `std::net` TCP: `GatewayServer`, `NetClient`, `ftd-gatewayd`/`ftd-client` binaries |
+//! | observability | [`obs`] | thread-safe metrics registry, real/virtual clocks, latency spans, Prometheus/JSON exposition |
 //!
 //! Start with [`prelude`] and the `examples/` directory:
 //! `cargo run --example quickstart` (simulated) or
@@ -26,6 +27,7 @@ pub use ftd_core as core;
 pub use ftd_eternal as eternal;
 pub use ftd_giop as giop;
 pub use ftd_net as net;
+pub use ftd_obs as obs;
 pub use ftd_sim as sim;
 pub use ftd_totem as totem;
 
@@ -42,7 +44,8 @@ pub mod prelude {
         ReplicationStyle,
     };
     pub use ftd_giop::{GiopMessage, IiopProfile, Ior, ObjectKey, Reply, Request};
-    pub use ftd_net::{DomainHost, GatewayServer, NetClient};
+    pub use ftd_net::{DomainHost, GatewayServer, NetClient, ServerOptions};
+    pub use ftd_obs::{Clock, Histogram, ManualClock, RealClock, Registry};
     pub use ftd_sim::{
         Actor, Context, LanConfig, NetAddr, ProcessorId, SimDuration, SimTime, World,
     };
