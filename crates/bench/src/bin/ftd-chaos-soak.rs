@@ -1,0 +1,386 @@
+//! `ftd-chaos-soak` — end-to-end chaos soak for the live TCP stack.
+//!
+//! Brings up a real [`GatewayServer`] (in-process 4-processor domain,
+//! 3-replica active `Counter` group), puts an [`ftd_chaos::ChaosProxy`]
+//! in front of it, and drives N enhanced clients through the proxy under
+//! a seeded fault mix (drops, delays, mid-message truncations, resets,
+//! duplicated request chunks — plus optional blackout windows and an
+//! optional live domain-processor crash/recovery). Every client retries
+//! each `add` under the §3.5 reconnect-and-reissue discipline until it
+//! is acknowledged, always under the *same* request id, so the run can
+//! assert the strongest property the paper claims: **exactly-once
+//! delivery** — the final replicated counter equals the sum of every
+//! acknowledged add, with zero duplicate executions and zero lost
+//! acknowledged replies — verified against the gateway engine's own
+//! counters.
+//!
+//! ```text
+//! ftd-chaos-soak [--seed N] [--clients N] [--requests N]
+//!                [--fault-probability F] [--blackout] [--crash]
+//!                [--json PATH]
+//! ```
+//!
+//! Exit code 0 iff every assertion held; `--json` additionally writes a
+//! machine-readable report (consumed by the CI chaos job).
+
+use ftd_chaos::{Blackout, ChaosProxy, FaultPlan};
+use ftd_core::EngineConfig;
+use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
+use ftd_giop::ReplyStatus;
+use ftd_net::{DomainFault, DomainHost, GatewayServer, NetClient, RetryPolicy};
+use ftd_totem::GroupId;
+use std::time::{Duration, Instant};
+
+const GROUP: GroupId = GroupId(10);
+
+struct Opts {
+    seed: u64,
+    clients: u32,
+    requests: u32,
+    fault_probability: f64,
+    blackout: bool,
+    crash: bool,
+    json: Option<String>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ftd-chaos-soak: {msg}");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad numeric value: {s}")))
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        seed: 42,
+        clients: 4,
+        requests: 25,
+        fault_probability: 0.15,
+        blackout: false,
+        crash: false,
+        json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--seed" => opts.seed = parse(&value("--seed")),
+            "--clients" => opts.clients = parse(&value("--clients")),
+            "--requests" => opts.requests = parse(&value("--requests")),
+            "--fault-probability" => opts.fault_probability = parse(&value("--fault-probability")),
+            "--blackout" => opts.blackout = true,
+            "--crash" => opts.crash = true,
+            "--json" => opts.json = Some(value("--json")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ftd-chaos-soak [--seed N] [--clients N] [--requests N] \
+                     [--fault-probability F] [--blackout] [--crash] [--json PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    if opts.clients == 0 || opts.requests == 0 {
+        die("--clients and --requests must be >= 1");
+    }
+    opts
+}
+
+/// The deterministic amount client `i` adds on its `k`-th request.
+fn amount(i: u32, k: u32) -> u64 {
+    (i as u64 * 37 + k as u64 * 11) % 9 + 1
+}
+
+struct ClientOutcome {
+    acked_sum: u64,
+    reconnects: u64,
+    reissues: u64,
+}
+
+/// Drives one client: every add is pushed until acknowledged, reissuing
+/// under the SAME request id after `invoke_retrying` itself gives up
+/// (e.g. a blackout window outlasting the policy), so an unacknowledged
+/// attempt can never double-execute under a second identity.
+fn run_client(
+    proxy_addr: std::net::SocketAddr,
+    object_key: Vec<u8>,
+    client_index: u32,
+    requests: u32,
+) -> ClientOutcome {
+    let policy = RetryPolicy {
+        retries: 8,
+        backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(300),
+        timeout: Duration::from_secs(2),
+    };
+    let id = 0x5001 + client_index;
+    let mut client = loop {
+        match NetClient::connect_addr(proxy_addr, object_key.clone(), Some(id)) {
+            Ok(c) => break c,
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    };
+    client
+        .set_read_timeout(Duration::from_secs(2))
+        .expect("read timeout");
+
+    let mut acked_sum = 0u64;
+    for k in 0..requests {
+        let add = amount(client_index, k);
+        let bytes = add.to_be_bytes();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let mut issued = false;
+        loop {
+            let result = if !issued {
+                client.invoke_retrying("add", &bytes, &policy)
+            } else {
+                // The id is already on the wire somewhere: reissue it
+                // verbatim so the gateway's cache (or the domain's
+                // duplicate detection) keeps the add exactly-once.
+                match client.is_connected() {
+                    true => client.resend(client.last_request_id(), "add", &bytes),
+                    false => client
+                        .reconnect()
+                        .and_then(|()| client.resend(client.last_request_id(), "add", &bytes)),
+                }
+            };
+            issued = true;
+            match result {
+                Ok(reply) if reply.reply_status == ReplyStatus::NoException => {
+                    acked_sum += add;
+                    break;
+                }
+                Ok(reply) => die(&format!(
+                    "client {client_index} request {k}: unexpected reply status {:?}",
+                    reply.reply_status
+                )),
+                Err(_) if Instant::now() < deadline => {
+                    client.disconnect();
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => die(&format!(
+                    "client {client_index} request {k}: never acknowledged: {e}"
+                )),
+            }
+        }
+    }
+    ClientOutcome {
+        acked_sum,
+        reconnects: client.reconnects(),
+        reissues: client.reissues(),
+    }
+}
+
+fn main() {
+    let opts = parse_opts();
+    let started = Instant::now();
+
+    let config = EngineConfig::new(9, GroupId(0x4000_0009), 0);
+    let server = GatewayServer::start("127.0.0.1:0", config, {
+        let seed = opts.seed;
+        move || {
+            let mut host = DomainHost::try_start(9, 4, seed, || {
+                let mut reg = ObjectRegistry::new();
+                reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+                reg
+            })?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            Ok(host)
+        }
+    })
+    .unwrap_or_else(|e| die(&format!("gateway start failed: {e}")));
+
+    let mut plan = FaultPlan::soak(opts.seed, opts.fault_probability);
+    if opts.blackout {
+        plan.blackouts = vec![Blackout {
+            after: Duration::from_millis(1500),
+            duration: Duration::from_millis(500),
+        }];
+    }
+    let proxy = ChaosProxy::start("127.0.0.1:0", server.local_addr(), plan)
+        .unwrap_or_else(|e| die(&format!("proxy start failed: {e}")));
+
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    let object_key = ior
+        .primary_iiop()
+        .unwrap_or_else(|e| die(&format!("bad IOR: {e:?}")))
+        .object_key;
+
+    eprintln!(
+        "ftd-chaos-soak: seed={} clients={} requests={} p={} blackout={} crash={}",
+        opts.seed, opts.clients, opts.requests, opts.fault_probability, opts.blackout, opts.crash
+    );
+
+    let workers: Vec<_> = (0..opts.clients)
+        .map(|i| {
+            let addr = proxy.local_addr();
+            let key = object_key.clone();
+            let requests = opts.requests;
+            std::thread::Builder::new()
+                .name(format!("soak-client-{i}"))
+                .spawn(move || run_client(addr, key, i, requests))
+                .expect("spawn client")
+        })
+        .collect();
+
+    // Mid-run domain chaos, from the only thread that may touch `server`.
+    if opts.crash {
+        std::thread::sleep(Duration::from_secs(1));
+        server.inject(DomainFault::CrashProcessor(2));
+        eprintln!("ftd-chaos-soak: crashed domain processor 2 (gateway degraded)");
+        std::thread::sleep(Duration::from_millis(1500));
+        server.inject(DomainFault::RecoverProcessor(2));
+        eprintln!("ftd-chaos-soak: recovered domain processor 2");
+    }
+
+    let outcomes: Vec<ClientOutcome> = workers
+        .into_iter()
+        .map(|w| match w.join() {
+            Ok(outcome) => outcome,
+            Err(_) => die("a client thread panicked"),
+        })
+        .collect();
+
+    let expected_sum: u64 = (0..opts.clients)
+        .flat_map(|i| (0..opts.requests).map(move |k| amount(i, k)))
+        .sum();
+    let acked_sum: u64 = outcomes.iter().map(|o| o.acked_sum).sum();
+    let reconnects: u64 = outcomes.iter().map(|o| o.reconnects).sum();
+    let reissues: u64 = outcomes.iter().map(|o| o.reissues).sum();
+
+    // The verdict read: a clean direct connection (no proxy), fresh
+    // identity, one `get`. The gateway may still be degraded (sheds the
+    // connection) right after a `--crash` recovery, so keep trying until
+    // the ring has healed.
+    let verify_deadline = Instant::now() + Duration::from_secs(60);
+    let reply = loop {
+        let attempt = NetClient::connect(&ior, Some(0xFFFF)).and_then(|mut verifier| {
+            verifier.set_read_timeout(Duration::from_secs(5))?;
+            verifier.invoke("get", &[])
+        });
+        match attempt {
+            Ok(reply) => break reply,
+            Err(e) if Instant::now() < verify_deadline => {
+                eprintln!("ftd-chaos-soak: verify retry ({e})");
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            Err(e) => die(&format!("verify get: {e}")),
+        }
+    };
+    let final_value = u64::from_be_bytes(
+        reply
+            .body
+            .as_slice()
+            .try_into()
+            .unwrap_or_else(|_| die("verify get: non-u64 reply")),
+    );
+
+    let report = proxy.shutdown();
+    let snapshot = server.snapshot();
+    let stats = server.shutdown();
+    let total_requests = opts.clients as u64 * opts.requests as u64;
+    let forwarded = stats.counter("gateway.requests_forwarded");
+    let cache_hits = stats.counter("gateway.reissues_served_from_cache");
+    let evictions = stats.counter("gateway.responses_evicted");
+    let elapsed = started.elapsed();
+
+    eprintln!("ftd-chaos-soak: proxy injected: {report}");
+    eprintln!(
+        "ftd-chaos-soak: engine: forwarded={forwarded} cache_hits={cache_hits} \
+         suppressed={} evictions={evictions} cached={}",
+        snapshot.duplicates_suppressed, snapshot.cached_responses
+    );
+    eprintln!(
+        "ftd-chaos-soak: clients: acked_sum={acked_sum} reconnects={reconnects} \
+         reissues={reissues}"
+    );
+
+    // The acceptance assertions.
+    let mut failures = Vec::new();
+    if acked_sum != expected_sum {
+        failures.push(format!(
+            "lost acknowledged adds: acked {acked_sum} != attempted {expected_sum}"
+        ));
+    }
+    if final_value != expected_sum {
+        failures.push(format!(
+            "exactly-once violated: final counter {final_value} != acked sum {expected_sum} \
+             ({} it)",
+            if final_value > expected_sum {
+                "duplicate executions inflated"
+            } else {
+                "lost acknowledged replies deflated"
+            }
+        ));
+    }
+    if forwarded < total_requests {
+        failures.push(format!(
+            "metrics inconsistent: {forwarded} forwarded < {total_requests} unique requests"
+        ));
+    }
+    if opts.fault_probability > 0.0 && report.faults_injected() == 0 {
+        failures.push("the proxy injected no faults — the soak proved nothing".to_owned());
+    }
+
+    let passed = failures.is_empty();
+    if let Some(path) = &opts.json {
+        let json = format!(
+            "{{\n  \"seed\": {},\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \
+             \"fault_probability\": {},\n  \"blackout\": {},\n  \"crash\": {},\n  \
+             \"expected_sum\": {expected_sum},\n  \"acked_sum\": {acked_sum},\n  \
+             \"final_value\": {final_value},\n  \"client_reconnects\": {reconnects},\n  \
+             \"client_reissues\": {reissues},\n  \"proxy\": {{\n    \"connections\": {},\n    \
+             \"refused_blackout\": {},\n    \"delays\": {},\n    \"drops\": {},\n    \
+             \"truncations\": {},\n    \"resets\": {},\n    \"duplicates\": {}\n  }},\n  \
+             \"engine\": {{\n    \"requests_forwarded\": {forwarded},\n    \
+             \"reissues_served_from_cache\": {cache_hits},\n    \
+             \"duplicates_suppressed\": {},\n    \"responses_evicted\": {evictions}\n  }},\n  \
+             \"elapsed_ms\": {},\n  \"passed\": {passed}\n}}\n",
+            opts.seed,
+            opts.clients,
+            opts.requests,
+            opts.fault_probability,
+            opts.blackout,
+            opts.crash,
+            report.connections,
+            report.refused_blackout,
+            report.delays,
+            report.drops,
+            report.truncations,
+            report.resets,
+            report.duplicates,
+            snapshot.duplicates_suppressed,
+            elapsed.as_millis(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    }
+
+    if passed {
+        println!(
+            "PASS seed={} clients={} requests={} final={final_value} faults={} \
+             reconnects={reconnects} reissues={reissues} elapsed={:.1}s",
+            opts.seed,
+            opts.clients,
+            opts.requests,
+            report.faults_injected(),
+            elapsed.as_secs_f64()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("ftd-chaos-soak: FAIL: {f}");
+        }
+        println!("FAIL seed={} ({} violations)", opts.seed, failures.len());
+        std::process::exit(1);
+    }
+}

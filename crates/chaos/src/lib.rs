@@ -1,0 +1,386 @@
+//! # ftd-chaos — a byte-level TCP chaos proxy
+//!
+//! The live-wire half of the workspace's fault model: a TCP relay that
+//! sits between a client and a gateway (or any upstream) and injects the
+//! [`Fault`] vocabulary of [`ftd_sim`] into the real byte stream —
+//! dropped chunks, injected delays, mid-message truncations, connection
+//! resets, duplicated request chunks — on a seeded, fully deterministic
+//! schedule, plus [`Blackout`] windows during which every live
+//! connection is killed and new ones are refused (what a client observes
+//! while the gateway process it talks to is dead and restarting, §3.5).
+//!
+//! The plan/schedule types are re-exported from `ftd-sim` so the same
+//! `(seed, connection, direction)` triple draws the same fault stream
+//! whether it is interpreted by the deterministic simulation or by this
+//! proxy against live sockets: a soak failure found here replays there.
+//!
+//! * [`ChaosProxy::start`] — bind a listen address, relay every accepted
+//!   connection to the upstream through two pump threads (one per
+//!   direction), each consulting its own [`FaultSchedule`].
+//! * [`ChaosProxy::report`] — totals of what was actually injected, for
+//!   harnesses to print and assert on (a soak that injected zero faults
+//!   proved nothing).
+//!
+//! Faithfulness notes: `Fault::Reset` is modeled as an immediate
+//! bidirectional close (a FIN, not a true RST — `std::net` cannot force
+//! an RST without `SO_LINGER`); from the GIOP peers' point of view both
+//! are a connection that dies mid-message. `Fault::Truncate` writes the
+//! first `keep` bytes of the chunk and then kills the connection, which
+//! is how a real mid-message loss of the sender manifests.
+//!
+//! `std`-only, like the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ftd_sim::{Blackout, DirPlan, Direction, Fault, FaultPlan, FaultSchedule, FaultWeights};
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Totals of everything the proxy injected (and relayed), snapshotted by
+/// [`ChaosProxy::report`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Connections accepted and relayed.
+    pub connections: u64,
+    /// Connections refused (or killed) because a blackout window was open.
+    pub refused_blackout: u64,
+    /// Chunks passed through untouched.
+    pub chunks_delivered: u64,
+    /// Chunks held back by an injected delay (then delivered).
+    pub delays: u64,
+    /// Chunks silently discarded.
+    pub drops: u64,
+    /// Connections killed mid-chunk after a partial write.
+    pub truncations: u64,
+    /// Connections killed outright.
+    pub resets: u64,
+    /// Chunks delivered twice.
+    pub duplicates: u64,
+    /// Bytes relayed client → upstream (post-fault).
+    pub bytes_to_upstream: u64,
+    /// Bytes relayed upstream → client (post-fault).
+    pub bytes_to_client: u64,
+}
+
+impl ChaosReport {
+    /// Total faults of any kind injected.
+    pub fn faults_injected(&self) -> u64 {
+        self.delays + self.drops + self.truncations + self.resets + self.duplicates
+    }
+}
+
+impl std::fmt::Display for ChaosReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "connections={} refused_blackout={} delivered={} delays={} drops={} \
+             truncations={} resets={} duplicates={} bytes_up={} bytes_down={}",
+            self.connections,
+            self.refused_blackout,
+            self.chunks_delivered,
+            self.delays,
+            self.drops,
+            self.truncations,
+            self.resets,
+            self.duplicates,
+            self.bytes_to_upstream,
+            self.bytes_to_client,
+        )
+    }
+}
+
+#[derive(Default)]
+struct Counts {
+    connections: AtomicU64,
+    refused_blackout: AtomicU64,
+    chunks_delivered: AtomicU64,
+    delays: AtomicU64,
+    drops: AtomicU64,
+    truncations: AtomicU64,
+    resets: AtomicU64,
+    duplicates: AtomicU64,
+    bytes_to_upstream: AtomicU64,
+    bytes_to_client: AtomicU64,
+}
+
+struct Inner {
+    counts: Counts,
+    /// Write halves of every live relayed socket, killed wholesale when a
+    /// blackout opens (dead entries are pruned then).
+    live: Mutex<Vec<TcpStream>>,
+    shutdown: AtomicBool,
+    started: Instant,
+    plan: FaultPlan,
+}
+
+/// A running chaos proxy. Dropping it stops the accept loop and kills
+/// every relayed connection. See the crate docs.
+pub struct ChaosProxy {
+    local_addr: SocketAddr,
+    inner: Arc<Inner>,
+    accept_thread: Option<JoinHandle<()>>,
+    blackout_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ChaosProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosProxy")
+            .field("local_addr", &self.local_addr)
+            .field("seed", &self.inner.plan.seed)
+            .finish()
+    }
+}
+
+impl ChaosProxy {
+    /// Binds `listen` (port 0 for ephemeral) and relays every accepted
+    /// connection to `upstream` under `plan`'s fault schedules.
+    pub fn start(listen: &str, upstream: SocketAddr, plan: FaultPlan) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(listen)?;
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            counts: Counts::default(),
+            live: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            plan,
+        });
+
+        let accept_inner = inner.clone();
+        let accept_thread = thread::Builder::new()
+            .name("ftd-chaos-accept".into())
+            .spawn(move || accept_loop(listener, upstream, accept_inner))?;
+
+        // Blackouts need an active hand: the accept loop only refuses
+        // *new* connections, this thread kills the live ones on cue.
+        let blackout_thread = if inner.plan.blackouts.is_empty() {
+            None
+        } else {
+            let blackout_inner = inner.clone();
+            Some(
+                thread::Builder::new()
+                    .name("ftd-chaos-blackout".into())
+                    .spawn(move || blackout_loop(blackout_inner))?,
+            )
+        };
+
+        Ok(ChaosProxy {
+            local_addr,
+            inner,
+            accept_thread: Some(accept_thread),
+            blackout_thread: Some(blackout_thread).flatten(),
+        })
+    }
+
+    /// The address clients should connect to instead of the upstream.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether a blackout window is open right now.
+    pub fn in_blackout(&self) -> bool {
+        in_blackout(&self.inner.plan.blackouts, self.inner.started.elapsed())
+    }
+
+    /// Totals of everything injected so far.
+    pub fn report(&self) -> ChaosReport {
+        let c = &self.inner.counts;
+        ChaosReport {
+            connections: c.connections.load(Ordering::SeqCst),
+            refused_blackout: c.refused_blackout.load(Ordering::SeqCst),
+            chunks_delivered: c.chunks_delivered.load(Ordering::SeqCst),
+            delays: c.delays.load(Ordering::SeqCst),
+            drops: c.drops.load(Ordering::SeqCst),
+            truncations: c.truncations.load(Ordering::SeqCst),
+            resets: c.resets.load(Ordering::SeqCst),
+            duplicates: c.duplicates.load(Ordering::SeqCst),
+            bytes_to_upstream: c.bytes_to_upstream.load(Ordering::SeqCst),
+            bytes_to_client: c.bytes_to_client.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stops the proxy: kills every relayed connection, joins the
+    /// threads, returns the final report.
+    pub fn shutdown(mut self) -> ChaosReport {
+        self.stop();
+        self.report()
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        kill_live(&self.inner);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.blackout_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn in_blackout(blackouts: &[Blackout], elapsed: Duration) -> bool {
+    blackouts
+        .iter()
+        .any(|b| elapsed >= b.after && elapsed < b.after + b.duration)
+}
+
+fn kill_live(inner: &Inner) {
+    let mut live = inner.live.lock().expect("live lock");
+    for stream in live.drain(..) {
+        let _ = stream.shutdown(Shutdown::Both);
+    }
+}
+
+fn blackout_loop(inner: Arc<Inner>) {
+    let mut windows = inner.plan.blackouts.clone();
+    windows.sort_by_key(|b| b.after);
+    for window in windows {
+        loop {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let elapsed = inner.started.elapsed();
+            if elapsed >= window.after {
+                break;
+            }
+            thread::sleep((window.after - elapsed).min(Duration::from_millis(20)));
+        }
+        // The window just opened: everyone dies. The accept loop refuses
+        // newcomers on its own (it checks elapsed time per accept).
+        let killed = inner.live.lock().expect("live lock").len() as u64 / 2;
+        inner
+            .counts
+            .refused_blackout
+            .fetch_add(killed, Ordering::SeqCst);
+        kill_live(&inner);
+    }
+}
+
+fn accept_loop(listener: TcpListener, upstream: SocketAddr, inner: Arc<Inner>) {
+    let mut conn = 0u64;
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(client) = stream else { continue };
+        if in_blackout(&inner.plan.blackouts, inner.started.elapsed()) {
+            inner.counts.refused_blackout.fetch_add(1, Ordering::SeqCst);
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        }
+        let Ok(up) = TcpStream::connect(upstream) else {
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        };
+        let _ = client.set_nodelay(true);
+        let _ = up.set_nodelay(true);
+        inner.counts.connections.fetch_add(1, Ordering::SeqCst);
+
+        let id = conn;
+        conn += 1;
+        {
+            let mut live = inner.live.lock().expect("live lock");
+            if let Ok(c) = client.try_clone() {
+                live.push(c);
+            }
+            if let Ok(u) = up.try_clone() {
+                live.push(u);
+            }
+        }
+        for (direction, from, to) in [
+            (Direction::ToUpstream, client.try_clone(), up.try_clone()),
+            (Direction::ToClient, up.try_clone(), client.try_clone()),
+        ] {
+            let (Ok(from), Ok(to)) = (from, to) else {
+                let _ = client.shutdown(Shutdown::Both);
+                let _ = up.shutdown(Shutdown::Both);
+                break;
+            };
+            let schedule = inner.plan.schedule_for(id, direction);
+            let pump_inner = inner.clone();
+            let _ = thread::Builder::new()
+                .name(format!("ftd-chaos-{id}-{direction:?}"))
+                .spawn(move || pump(from, to, schedule, direction, pump_inner));
+        }
+    }
+}
+
+/// Relays one direction of one connection, consulting the schedule for a
+/// verdict per chunk. Runs until EOF, a socket error, or a killing fault.
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    mut schedule: FaultSchedule,
+    direction: Direction,
+    inner: Arc<Inner>,
+) {
+    let counts = &inner.counts;
+    let bytes = match direction {
+        Direction::ToUpstream => &counts.bytes_to_upstream,
+        Direction::ToClient => &counts.bytes_to_client,
+    };
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        match schedule.next(n) {
+            Fault::Deliver => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+                counts.chunks_delivered.fetch_add(1, Ordering::SeqCst);
+                bytes.fetch_add(n as u64, Ordering::SeqCst);
+            }
+            Fault::Delay(d) => {
+                thread::sleep(d);
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+                counts.delays.fetch_add(1, Ordering::SeqCst);
+                bytes.fetch_add(n as u64, Ordering::SeqCst);
+            }
+            Fault::Drop => {
+                counts.drops.fetch_add(1, Ordering::SeqCst);
+            }
+            Fault::Truncate { keep } => {
+                let _ = to.write_all(&buf[..keep]);
+                let _ = to.flush();
+                counts.truncations.fetch_add(1, Ordering::SeqCst);
+                bytes.fetch_add(keep as u64, Ordering::SeqCst);
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+            Fault::Reset => {
+                counts.resets.fetch_add(1, Ordering::SeqCst);
+                let _ = from.shutdown(Shutdown::Both);
+                let _ = to.shutdown(Shutdown::Both);
+                return;
+            }
+            Fault::Duplicate => {
+                if to.write_all(&buf[..n]).is_err() || to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+                counts.duplicates.fetch_add(1, Ordering::SeqCst);
+                bytes.fetch_add(2 * n as u64, Ordering::SeqCst);
+            }
+        }
+    }
+    // Propagate this direction's EOF without killing the other one.
+    let _ = to.shutdown(Shutdown::Write);
+    let _ = from.shutdown(Shutdown::Read);
+}

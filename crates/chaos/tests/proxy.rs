@@ -1,0 +1,213 @@
+//! Proxy behaviour tests against a plain echo upstream: every fault kind
+//! observable from the client side, plus blackout windows.
+
+use ftd_chaos::{Blackout, ChaosProxy, DirPlan, Fault, FaultPlan};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A TCP echo server on an ephemeral port; every connection gets its
+/// bytes written straight back until EOF.
+fn echo_upstream() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+    let addr = listener.local_addr().expect("echo addr");
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            std::thread::spawn(move || {
+                let mut buf = [0u8; 4096];
+                loop {
+                    match stream.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            if stream.write_all(&buf[..n]).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+fn connect(proxy: &ChaosProxy) -> TcpStream {
+    let stream = TcpStream::connect(proxy.local_addr()).expect("connect proxy");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    stream
+}
+
+/// Reads exactly `n` bytes or panics on EOF/timeout.
+fn read_exact_n(stream: &mut TcpStream, n: usize) -> Vec<u8> {
+    let mut out = vec![0u8; n];
+    stream.read_exact(&mut out).expect("read echoed bytes");
+    out
+}
+
+#[test]
+fn clean_plan_is_a_transparent_relay() {
+    let upstream = echo_upstream();
+    let proxy = ChaosProxy::start("127.0.0.1:0", upstream, FaultPlan::clean(1)).expect("proxy");
+    let mut stream = connect(&proxy);
+
+    for round in 0u8..3 {
+        let payload = vec![round; 100];
+        stream.write_all(&payload).expect("write");
+        assert_eq!(read_exact_n(&mut stream, 100), payload);
+    }
+
+    let report = proxy.shutdown();
+    assert_eq!(report.connections, 1);
+    assert_eq!(report.faults_injected(), 0, "clean plan injected: {report}");
+    assert!(report.bytes_to_upstream >= 300);
+    assert!(report.bytes_to_client >= 300);
+}
+
+#[test]
+fn scripted_drop_discards_exactly_one_chunk() {
+    let upstream = echo_upstream();
+    let mut plan = FaultPlan::clean(2);
+    plan.to_upstream = DirPlan::scripted(vec![Fault::Drop]);
+    let proxy = ChaosProxy::start("127.0.0.1:0", upstream, plan).expect("proxy");
+    let mut stream = connect(&proxy);
+
+    stream.write_all(&[0xAA; 32]).expect("write dropped chunk");
+    // Give the proxy time to consume (and drop) the first chunk so the
+    // two writes cannot coalesce into one relayed chunk.
+    std::thread::sleep(Duration::from_millis(100));
+    stream
+        .write_all(&[0xBB; 32])
+        .expect("write delivered chunk");
+
+    let echoed = read_exact_n(&mut stream, 32);
+    assert_eq!(echoed, vec![0xBB; 32], "first chunk gone, second echoed");
+
+    let report = proxy.shutdown();
+    assert_eq!(report.drops, 1);
+}
+
+#[test]
+fn scripted_reset_kills_the_connection() {
+    let upstream = echo_upstream();
+    let mut plan = FaultPlan::clean(3);
+    plan.to_upstream = DirPlan::scripted(vec![Fault::Reset]);
+    let proxy = ChaosProxy::start("127.0.0.1:0", upstream, plan).expect("proxy");
+    let mut stream = connect(&proxy);
+
+    stream.write_all(b"doomed").expect("write");
+    let mut buf = [0u8; 16];
+    match stream.read(&mut buf) {
+        Ok(0) => {}
+        Ok(n) => panic!("expected a dead connection, read {n} bytes"),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
+            ),
+            "unexpected error kind: {e}"
+        ),
+    }
+    assert_eq!(proxy.shutdown().resets, 1);
+}
+
+#[test]
+fn scripted_truncation_delivers_a_prefix_then_kills() {
+    let upstream = echo_upstream();
+    // Truncate on the *reply* path so the client can observe the prefix.
+    let mut plan = FaultPlan::clean(4);
+    plan.to_client = DirPlan::scripted(vec![Fault::Truncate { keep: 10 }]);
+    let proxy = ChaosProxy::start("127.0.0.1:0", upstream, plan).expect("proxy");
+    let mut stream = connect(&proxy);
+
+    stream.write_all(&[0xCC; 64]).expect("write");
+    let mut got = Vec::new();
+    let mut buf = [0u8; 64];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => got.extend_from_slice(&buf[..n]),
+        }
+    }
+    assert_eq!(got, vec![0xCC; 10], "exactly the kept prefix arrives");
+    assert_eq!(proxy.shutdown().truncations, 1);
+}
+
+#[test]
+fn scripted_duplicate_delivers_the_chunk_twice() {
+    let upstream = echo_upstream();
+    let mut plan = FaultPlan::clean(5);
+    plan.to_upstream = DirPlan::scripted(vec![Fault::Duplicate]);
+    let proxy = ChaosProxy::start("127.0.0.1:0", upstream, plan).expect("proxy");
+    let mut stream = connect(&proxy);
+
+    stream.write_all(&[0xDD; 24]).expect("write");
+    // The upstream echo saw the chunk twice, so 48 bytes come back.
+    assert_eq!(read_exact_n(&mut stream, 48), vec![0xDD; 48]);
+    assert_eq!(proxy.shutdown().duplicates, 1);
+}
+
+#[test]
+fn scripted_delay_holds_the_chunk_back() {
+    let upstream = echo_upstream();
+    let mut plan = FaultPlan::clean(6);
+    plan.to_upstream = DirPlan::scripted(vec![Fault::Delay(Duration::from_millis(250))]);
+    let proxy = ChaosProxy::start("127.0.0.1:0", upstream, plan).expect("proxy");
+    let mut stream = connect(&proxy);
+
+    let started = Instant::now();
+    stream.write_all(&[0xEE; 8]).expect("write");
+    assert_eq!(read_exact_n(&mut stream, 8), vec![0xEE; 8]);
+    assert!(
+        started.elapsed() >= Duration::from_millis(200),
+        "echo came back too fast for an injected 250ms delay"
+    );
+    assert_eq!(proxy.shutdown().delays, 1);
+}
+
+#[test]
+fn blackout_kills_live_connections_refuses_new_ones_then_recovers() {
+    let upstream = echo_upstream();
+    let mut plan = FaultPlan::clean(7);
+    plan.blackouts = vec![Blackout {
+        after: Duration::from_millis(300),
+        duration: Duration::from_millis(400),
+    }];
+    let proxy = ChaosProxy::start("127.0.0.1:0", upstream, plan).expect("proxy");
+
+    // Before the window: a connection relays fine.
+    let mut early = connect(&proxy);
+    early.write_all(b"hello").expect("write");
+    assert_eq!(read_exact_n(&mut early, 5), b"hello".to_vec());
+
+    // When the window opens the live connection dies.
+    let mut buf = [0u8; 8];
+    match early.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("blackout should kill the connection, read {n} bytes"),
+    }
+    assert!(proxy.in_blackout(), "read unblocked by the blackout window");
+
+    // During the window new connections are accepted then shut at once.
+    let mut during = connect(&proxy);
+    match during.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("blackout should refuse newcomers, read {n} bytes"),
+    }
+
+    // After the window service is back.
+    while proxy.in_blackout() {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let mut late = connect(&proxy);
+    late.write_all(b"again").expect("write");
+    assert_eq!(read_exact_n(&mut late, 5), b"again".to_vec());
+
+    let report = proxy.shutdown();
+    assert!(
+        report.refused_blackout >= 2,
+        "one killed + one refused expected: {report}"
+    );
+}

@@ -126,6 +126,7 @@ pub const ENGINE_COUNTERS: &[&str] = &[
     "gateway.replies_cached_for_peer_clients",
     "gateway.replies_delivered",
     "gateway.requests_forwarded",
+    "gateway.responses_evicted",
     "gateway.unexpected_messages",
     "gateway.unroutable_domains",
 ];
@@ -389,12 +390,19 @@ impl GatewayEngine {
         });
     }
 
-    fn cache_put(&mut self, op: OperationId, reply: Vec<u8>) {
+    /// Caches a reply for §3.5 reissues. Evictions are part of the
+    /// failover contract — an evicted reply means a later reissue
+    /// re-executes at the replicas and leans on the domain's duplicate
+    /// detection instead — so each one is accounted via [`Action::Count`].
+    fn cache_put(&mut self, op: OperationId, reply: Vec<u8>, out: &mut Vec<Action>) {
         if self.cache.insert(op, reply).is_none() {
             self.cache_order.push_back(op);
             if self.cache_order.len() > self.config.cache_capacity {
                 if let Some(old) = self.cache_order.pop_front() {
                     self.cache.remove(&old);
+                    out.push(Action::Count {
+                        counter: "gateway.responses_evicted",
+                    });
                 }
             }
         }
@@ -690,7 +698,7 @@ impl GatewayEngine {
             iiop
         };
 
-        self.cache_put(op, accepted.clone());
+        self.cache_put(op, accepted.clone(), out);
         self.finish_admission(op, out);
 
         // Route to the client socket by (destination group, client id)
@@ -870,7 +878,7 @@ impl GatewayEngine {
                 parent_ts: 0,
                 child_seq: origin.request_id,
             };
-            self.cache_put(op, wire.clone());
+            self.cache_put(op, wire.clone(), &mut out);
             self.finish_admission(op, &mut out);
             out.push(Action::Count {
                 counter: "gateway.bridge_replies",
@@ -932,6 +940,7 @@ mod tests {
         let mut config = EngineConfig::new(0, GroupId(100), 0);
         config.cache_capacity = 2;
         let mut gw = GatewayEngine::new(config, BTreeMap::new());
+        let mut out = Vec::new();
         for i in 0..5u32 {
             gw.cache_put(
                 OperationId {
@@ -942,9 +951,17 @@ mod tests {
                     child_seq: i,
                 },
                 vec![i as u8],
+                &mut out,
             );
         }
         assert_eq!(gw.cached_responses(), 2);
+        let evictions = out
+            .iter()
+            .filter(
+                |a| matches!(a, Action::Count { counter } if *counter == "gateway.responses_evicted"),
+            )
+            .count();
+        assert_eq!(evictions, 3, "five inserts into capacity 2 evict three");
     }
 
     #[test]
@@ -960,6 +977,7 @@ mod tests {
                     child_seq: 1,
                 },
                 vec![client as u8],
+                &mut Vec::new(),
             );
         }
         gw.gc_client(1);

@@ -7,8 +7,11 @@
 //! [`ftd_core::ENGINE_COUNTERS`] list — so a renamed, added, or removed
 //! counter has to be an explicit, reviewed change to the list.
 
-use ftd_core::ENGINE_COUNTERS;
-use std::collections::BTreeSet;
+use ftd_core::{Action, EngineConfig, GatewayEngine, GwConn, SoloView, ENGINE_COUNTERS};
+use ftd_eternal::{DomainMsg, FtHeader, OperationKind};
+use ftd_giop::{ByteOrder, GiopMessage, ObjectKey, Reply, Request};
+use ftd_totem::GroupId;
+use std::collections::{BTreeMap, BTreeSet};
 
 fn emitted_counter_names() -> BTreeSet<String> {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/src/engine.rs");
@@ -49,6 +52,72 @@ fn every_emitted_counter_is_published_and_vice_versa() {
          Update ftd_core::ENGINE_COUNTERS (and any dashboards/docs naming the \
          old counters) deliberately."
     );
+}
+
+/// The eviction counter added for the §3.5 failover path: its name is
+/// pinned here explicitly (beyond the source scan) because the chaos
+/// soak harness and the DESIGN.md fault-model section refer to it.
+#[test]
+fn response_cache_eviction_counter_is_published() {
+    assert!(
+        ENGINE_COUNTERS.contains(&"gateway.responses_evicted"),
+        "gateway.responses_evicted must stay in the published vocabulary"
+    );
+}
+
+/// Drives full request/response cycles through a capacity-1 response
+/// cache and asserts the engine accounts each eviction with an
+/// `Action::Count` — the observable half of the failover contract: an
+/// evicted reply means a reissue re-executes and leans on the domain's
+/// duplicate detection instead of the gateway's cache.
+#[test]
+fn tiny_response_cache_emits_eviction_counts() {
+    let mut config = EngineConfig::new(0, GroupId(100), 0);
+    config.cache_capacity = 1;
+    let mut gw = GatewayEngine::new(config, BTreeMap::new());
+    gw.on_client_accepted(GwConn(1));
+
+    let mut evictions = 0usize;
+    for request_id in 1..=3u32 {
+        let req = Request {
+            request_id,
+            response_expected: true,
+            object_key: ObjectKey::new(0, 10).to_bytes(),
+            operation: "get".into(),
+            ..Request::default()
+        };
+        let wire = GiopMessage::Request(req).encode(ByteOrder::Big);
+        gw.on_bytes_from_client(GwConn(1), &wire, &SoloView);
+
+        let reply = GiopMessage::Reply(Reply::success(request_id, vec![request_id as u8]))
+            .encode(ByteOrder::Big);
+        let header = FtHeader {
+            client: 1,
+            source: GroupId(10),
+            target: GroupId(100),
+            kind: OperationKind::Response,
+            parent_ts: 0,
+            child_seq: request_id,
+        };
+        let payload = DomainMsg::Iiop {
+            header,
+            iiop: reply,
+        }
+        .encode();
+        let actions = gw.on_delivery_from_domain(GroupId(100), &payload, &SoloView);
+        evictions += actions
+            .iter()
+            .filter(
+                |a| matches!(a, Action::Count { counter } if *counter == "gateway.responses_evicted"),
+            )
+            .count();
+    }
+
+    assert_eq!(
+        evictions, 2,
+        "three cached replies through a capacity-1 cache evict twice"
+    );
+    assert_eq!(gw.cached_responses(), 1, "capacity holds after eviction");
 }
 
 #[test]

@@ -4,7 +4,8 @@
 //! operations, connects over real TCP, and prints each reply.
 //!
 //! ```text
-//! ftd-client [--client-id N] [--repeat N] <IOR:...> <op>[:u64-arg]...
+//! ftd-client [--client-id N] [--repeat N] [--timeout MS] [--retries N]
+//!            [--backoff-ms MS] <IOR:...> <op>[:u64-arg]...
 //! ftd-client IOR:000... add:5 add:2 get
 //! ftd-client --repeat 100 IOR:000... get        # latency report
 //! ```
@@ -12,10 +13,18 @@
 //! With `--repeat N` the whole operation list is invoked `N` times and a
 //! round-trip latency summary (min/p50/p99/max in microseconds, from an
 //! `ftd-obs` histogram) is printed instead of the per-reply output.
+//!
+//! Invocations default to the §3.5 failover discipline: on a reply
+//! timeout (`--timeout`) or broken connection the client reconnects with
+//! exponential backoff (first wait `--backoff-ms`, doubling) and reissues
+//! the same request — same request id, same client id — up to `--retries`
+//! times, letting the gateway's response cache suppress any duplicate
+//! execution. `--retries 0` disables the retry path.
 
 use ftd_giop::{Ior, ReplyStatus};
-use ftd_net::NetClient;
+use ftd_net::{NetClient, RetryPolicy};
 use ftd_obs::{Clock, Histogram, RealClock};
+use std::time::Duration;
 
 fn die(msg: &str) -> ! {
     eprintln!("ftd-client: {msg}");
@@ -25,6 +34,7 @@ fn die(msg: &str) -> ! {
 fn main() {
     let mut client_id = None;
     let mut repeat = 1u64;
+    let mut policy = RetryPolicy::default();
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,9 +52,30 @@ fn main() {
                     die("--repeat must be >= 1");
                 }
             }
+            "--timeout" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--timeout needs a value"));
+                let ms: u64 = v.parse().unwrap_or_else(|_| die("bad --timeout"));
+                policy.timeout = Duration::from_millis(ms);
+            }
+            "--retries" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--retries needs a value"));
+                policy.retries = v.parse().unwrap_or_else(|_| die("bad --retries"));
+            }
+            "--backoff-ms" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--backoff-ms needs a value"));
+                let ms: u64 = v.parse().unwrap_or_else(|_| die("bad --backoff-ms"));
+                policy.backoff = Duration::from_millis(ms);
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: ftd-client [--client-id N] [--repeat N] <IOR:...> <op>[:u64-arg]..."
+                    "usage: ftd-client [--client-id N] [--repeat N] [--timeout MS] \
+                     [--retries N] [--backoff-ms MS] <IOR:...> <op>[:u64-arg]..."
                 );
                 std::process::exit(0);
             }
@@ -52,7 +83,10 @@ fn main() {
         }
     }
     if positional.len() < 2 {
-        die("usage: ftd-client [--client-id N] [--repeat N] <IOR:...> <op>[:u64-arg]...");
+        die(
+            "usage: ftd-client [--client-id N] [--repeat N] [--timeout MS] \
+             [--retries N] [--backoff-ms MS] <IOR:...> <op>[:u64-arg]...",
+        );
     }
 
     let ior =
@@ -73,7 +107,7 @@ fn main() {
             };
             let started = clock.now_micros();
             let reply = client
-                .invoke(operation, &args_bytes)
+                .invoke_retrying(operation, &args_bytes, &policy)
                 .unwrap_or_else(|e| die(&format!("{operation} failed: {e}")));
             latency.observe(clock.now_micros().saturating_sub(started));
             if repeat > 1 && round > 0 {
@@ -99,6 +133,13 @@ fn main() {
             snap.quantile(0.50).unwrap_or(0),
             snap.quantile(0.99).unwrap_or(0),
             snap.max.unwrap_or(0),
+        );
+    }
+    if client.reconnects() > 0 {
+        eprintln!(
+            "ftd-client: reconnects={} reissues={}",
+            client.reconnects(),
+            client.reissues()
         );
     }
     let _ = client.close();

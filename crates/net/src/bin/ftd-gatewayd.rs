@@ -111,20 +111,20 @@ fn main() {
         config,
         options,
         move || {
-            let mut host = DomainHost::new(domain, processors, seed, || {
+            let mut host = DomainHost::try_start(domain, processors, seed, || {
                 let mut reg = ObjectRegistry::new();
                 reg.register("Counter", Box::new(|| Box::new(Counter::new())));
                 reg
-            });
+            })?;
             host.create_group(
                 group,
                 "Counter",
                 FtProperties::new(style).with_initial(replicas),
             );
-            host
+            Ok(host)
         },
     )
-    .unwrap_or_else(|e| die(&format!("bind failed: {e}")));
+    .unwrap_or_else(|e| die(&format!("start failed: {e}")));
 
     eprintln!(
         "ftd-gatewayd: domain {} ({} processors, {} {} Counter replicas) on {}",

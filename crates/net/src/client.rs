@@ -8,27 +8,78 @@
 //! recognizes it across reconnects. Without a client id it behaves as a
 //! plain ORB (§3.4) and relies on the gateway's counter-assigned
 //! identity.
+//!
+//! # Failover (§3.5): reconnect and reissue
+//!
+//! [`NetClient::invoke_retrying`] is the paper's client-side failover
+//! protocol: when the connection dies (or a reply times out), the client
+//! redials the gateway with exponential backoff and *reissues the same
+//! request under the same request id*. An enhanced client's identity is
+//! stable across connections, so the gateway recognizes the reissue and
+//! answers it from its response cache — or, if the reply was never
+//! produced, the domain's duplicate detection makes the re-execution
+//! safe. The result is exactly-once semantics over an at-least-once
+//! wire. A *plain* client's identity is per-connection, so for it the
+//! retry path degrades to at-least-once: use a client id whenever
+//! duplicate execution would matter.
 
 use ftd_giop::{
     ByteOrder, GiopMessage, Ior, MessageReader, Reply, Request, ServiceContext,
     FT_CLIENT_ID_SERVICE_CONTEXT,
 };
+use ftd_obs::{names, Registry};
 use std::io::{self, Read, Write};
-use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn bad_data(e: impl std::fmt::Debug) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}"))
 }
 
+const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How [`NetClient::invoke_retrying`] survives connection failures:
+/// up to `retries` reissues of the in-flight request, redialing with
+/// exponential backoff between attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reissue attempts after the first try (0 = fail on first error).
+    pub retries: u32,
+    /// Backoff before the first reissue; doubles per attempt.
+    pub backoff: Duration,
+    /// Upper bound the doubling backoff saturates at.
+    pub max_backoff: Duration,
+    /// How long one attempt waits for its reply before the connection
+    /// is declared dead and the request reissued.
+    pub timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            retries: 3,
+            backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            timeout: DEFAULT_READ_TIMEOUT,
+        }
+    }
+}
+
 /// A blocking IIOP client connection to a gateway. See the module docs.
 #[derive(Debug)]
 pub struct NetClient {
-    stream: TcpStream,
+    /// Resolved gateway addresses, retained for reconnects.
+    addrs: Vec<SocketAddr>,
+    stream: Option<TcpStream>,
     reader: MessageReader,
     object_key: Vec<u8>,
     client_id: Option<u32>,
     next_request: u32,
+    read_timeout: Duration,
+    reconnects: u64,
+    reissues: u64,
+    registry: Option<Arc<Registry>>,
 }
 
 impl NetClient {
@@ -49,21 +100,105 @@ impl NetClient {
         object_key: Vec<u8>,
         client_id: Option<u32>,
     ) -> io::Result<NetClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        Ok(NetClient {
-            stream,
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut client = NetClient {
+            addrs,
+            stream: None,
             reader: MessageReader::new(),
             object_key,
             client_id,
             next_request: 0,
-        })
+            read_timeout: DEFAULT_READ_TIMEOUT,
+            reconnects: 0,
+            reissues: 0,
+            registry: None,
+        };
+        client.dial()?;
+        Ok(client)
+    }
+
+    /// Mirrors this client's reconnect/reissue counters into `registry`
+    /// (under [`ftd_obs::names::CLIENT_RECONNECTS`] and
+    /// [`ftd_obs::names::CLIENT_REISSUES`]).
+    pub fn bind_registry(&mut self, registry: Arc<Registry>) {
+        self.registry = Some(registry);
+    }
+
+    /// Sets the read timeout applied to replies outside of
+    /// [`NetClient::invoke_retrying`] (which uses its policy's timeout).
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.read_timeout = timeout;
+        if let Some(stream) = &self.stream {
+            stream.set_read_timeout(Some(timeout))?;
+        }
+        Ok(())
+    }
+
+    /// Whether the client currently holds a live connection.
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Reconnect attempts performed so far.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Request reissues (same id resent after a failure) so far.
+    pub fn reissues(&self) -> u64 {
+        self.reissues
     }
 
     /// The request id of the most recently sent request.
     pub fn last_request_id(&self) -> u32 {
         self.next_request
+    }
+
+    fn dial(&mut self) -> io::Result<()> {
+        let mut last = None;
+        for addr in &self.addrs {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(self.read_timeout))?;
+                    self.stream = Some(stream);
+                    // A dead connection's half-read frame must not
+                    // corrupt the next one.
+                    self.reader = MessageReader::new();
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::AddrNotAvailable, "no gateway address")
+        }))
+    }
+
+    /// Drops the current connection (if any) and redials the gateway.
+    pub fn reconnect(&mut self) -> io::Result<()> {
+        self.disconnect();
+        self.reconnects += 1;
+        if let Some(registry) = &self.registry {
+            registry.inc(names::CLIENT_RECONNECTS);
+        }
+        self.dial()
+    }
+
+    /// Drops the connection without redialing. Subsequent invokes fail
+    /// with `NotConnected` until [`NetClient::reconnect`] (or the
+    /// retrying path) re-establishes it.
+    pub fn disconnect(&mut self) {
+        if let Some(stream) = self.stream.take() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        self.reader = MessageReader::new();
+    }
+
+    fn stream(&mut self) -> io::Result<&mut TcpStream> {
+        self.stream
+            .as_mut()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "gateway connection down"))
     }
 
     /// Invokes `operation` and blocks for its reply.
@@ -72,6 +207,61 @@ impl NetClient {
         let id = self.next_request;
         self.send_request(id, operation, args)?;
         self.recv_reply_for(id)
+    }
+
+    /// Invokes `operation` with §3.5 failover: on a connection error or
+    /// reply timeout the client redials (exponential backoff) and
+    /// reissues the *same* request id, so the gateway can answer from
+    /// its response cache. See the module docs for the plain-client
+    /// caveat.
+    pub fn invoke_retrying(
+        &mut self,
+        operation: &str,
+        args: &[u8],
+        policy: &RetryPolicy,
+    ) -> io::Result<Reply> {
+        self.next_request += 1;
+        let id = self.next_request;
+        let mut backoff = policy.backoff;
+        let mut last_err = None;
+        for attempt in 0..=policy.retries {
+            if attempt > 0 {
+                self.reissues += 1;
+                if let Some(registry) = &self.registry {
+                    registry.inc(names::CLIENT_REISSUES);
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(policy.max_backoff);
+            }
+            match self.attempt(id, operation, args, policy.timeout) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    self.disconnect();
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err.unwrap_or_else(|| io::Error::other("retry loop never ran")))
+    }
+
+    /// One attempt of the retrying path: ensure a connection, send under
+    /// `id`, wait up to `timeout` for the reply.
+    fn attempt(
+        &mut self,
+        id: u32,
+        operation: &str,
+        args: &[u8],
+        timeout: Duration,
+    ) -> io::Result<Reply> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+        }
+        self.stream()?.set_read_timeout(Some(timeout))?;
+        self.send_request(id, operation, args)?;
+        let reply = self.recv_reply_for(id)?;
+        let default_timeout = self.read_timeout;
+        self.stream()?.set_read_timeout(Some(default_timeout))?;
+        Ok(reply)
     }
 
     /// Re-sends a request under an *existing* request id and blocks for
@@ -106,8 +296,8 @@ impl NetClient {
             body: args.to_vec(),
             ..Request::default()
         };
-        self.stream
-            .write_all(&GiopMessage::Request(request).encode(ByteOrder::Big))
+        let bytes = GiopMessage::Request(request).encode(ByteOrder::Big);
+        self.stream()?.write_all(&bytes)
     }
 
     /// Blocks until the reply for `request_id` arrives; other messages
@@ -129,7 +319,7 @@ impl NetClient {
                 }
             }
             let mut buf = [0u8; 8 * 1024];
-            let n = self.stream.read(&mut buf)?;
+            let n = self.stream()?.read(&mut buf)?;
             if n == 0 {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -143,14 +333,14 @@ impl NetClient {
     /// Reads for up to `wait` and returns how many *extra* GIOP messages
     /// arrived unsolicited — 0 when the gateway honors exactly-one-reply.
     pub fn drain_extra(&mut self, wait: Duration) -> io::Result<usize> {
-        self.stream.set_read_timeout(Some(wait))?;
+        self.stream()?.set_read_timeout(Some(wait))?;
         let mut extra = 0;
         loop {
             while let Some(_msg) = self.reader.next().map_err(bad_data)? {
                 extra += 1;
             }
             let mut buf = [0u8; 8 * 1024];
-            match self.stream.read(&mut buf) {
+            match self.stream()?.read(&mut buf) {
                 Ok(0) => break,
                 Ok(n) => self.reader.push(&buf[..n]),
                 Err(e)
@@ -162,15 +352,15 @@ impl NetClient {
                 Err(e) => return Err(e),
             }
         }
-        self.stream
-            .set_read_timeout(Some(Duration::from_secs(30)))?;
+        let timeout = self.read_timeout;
+        self.stream()?.set_read_timeout(Some(timeout))?;
         Ok(extra)
     }
 
     /// Sends an orderly CloseConnection and shuts the socket down.
     pub fn close(mut self) -> io::Result<()> {
-        self.stream
-            .write_all(&GiopMessage::CloseConnection.encode(ByteOrder::Big))?;
-        self.stream.shutdown(Shutdown::Both)
+        let bytes = GiopMessage::CloseConnection.encode(ByteOrder::Big);
+        self.stream()?.write_all(&bytes)?;
+        self.stream()?.shutdown(Shutdown::Both)
     }
 }

@@ -55,6 +55,35 @@ impl DaemonExtension for Relay {
 
 type HostDaemon = EternalDaemon<Relay>;
 
+/// Why a [`DomainHost`] could not be brought up (or has stopped being a
+/// usable domain): surfaced through [`DomainHost::try_start`] so callers
+/// can report the failure instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// A domain needs at least one processor.
+    NoProcessors,
+    /// The Totem ring did not become operational within the bring-up
+    /// budget; carries how much virtual time was spent waiting.
+    RingFormation {
+        /// Virtual milliseconds spent waiting for the ring.
+        waited_ms: u64,
+    },
+}
+
+impl std::fmt::Display for HostError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HostError::NoProcessors => write!(f, "a domain needs at least one processor"),
+            HostError::RingFormation { waited_ms } => write!(
+                f,
+                "domain ring failed to form within {waited_ms}ms of virtual time"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
 /// A [`DomainView`] snapshot taken from the relay daemon's directory;
 /// handed to the engine for one batch of events.
 #[derive(Debug, Clone, Default)]
@@ -104,14 +133,29 @@ impl DomainHost {
     ///
     /// # Panics
     ///
-    /// Panics if `processors == 0` or the ring fails to form.
+    /// Panics if `processors == 0` or the ring fails to form; use
+    /// [`DomainHost::try_start`] to get a [`HostError`] instead.
     pub fn new(
         domain: u32,
         processors: u32,
         seed: u64,
         registry: impl Fn() -> ObjectRegistry + Clone + 'static,
     ) -> Self {
-        assert!(processors >= 1, "a domain needs at least one processor");
+        Self::try_start(domain, processors, seed, registry).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`DomainHost::new`] without the panics: brings the domain up and
+    /// reports ring-formation failure as a [`HostError`] the caller can
+    /// print or turn into a degraded-start decision.
+    pub fn try_start(
+        domain: u32,
+        processors: u32,
+        seed: u64,
+        registry: impl Fn() -> ObjectRegistry + Clone + 'static,
+    ) -> Result<Self, HostError> {
+        if processors == 0 {
+            return Err(HostError::NoProcessors);
+        }
         let mut world = World::new(seed);
         let lan = world.add_lan(Default::default());
         let gateway_group = GroupId(0x4000_0000 | domain);
@@ -144,14 +188,18 @@ impl DomainHost {
             relay,
             gateway_group,
         };
+        let mut waited_ms = 0u64;
         for _ in 0..400 {
             if host.is_operational() {
                 break;
             }
             host.world.run_for(SimDuration::from_millis(5));
+            waited_ms += 5;
         }
-        assert!(host.is_operational(), "domain ring failed to form");
-        host
+        if !host.is_operational() {
+            return Err(HostError::RingFormation { waited_ms });
+        }
+        Ok(host)
     }
 
     /// The domain id.
@@ -181,45 +229,89 @@ impl DomainHost {
         })
     }
 
-    fn relay_daemon(&self) -> &HostDaemon {
-        self.world
-            .actor::<HostDaemon>(self.relay)
-            .expect("relay daemon alive")
+    fn relay_daemon(&self) -> Option<&HostDaemon> {
+        self.world.actor::<HostDaemon>(self.relay)
     }
 
-    fn relay_daemon_mut(&mut self) -> &mut HostDaemon {
-        self.world
-            .actor_mut::<HostDaemon>(self.relay)
-            .expect("relay daemon alive")
+    fn relay_daemon_mut(&mut self) -> Option<&mut HostDaemon> {
+        self.world.actor_mut::<HostDaemon>(self.relay)
     }
 
     /// Creates a replicated object group and runs the domain until the
     /// placement settles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relay processor is crashed (groups are created at
+    /// bring-up, before fault injection starts).
     pub fn create_group(&mut self, group: GroupId, type_name: &str, properties: FtProperties) {
         self.relay_daemon_mut()
+            .expect("create_group before fault injection")
             .create_group(group, type_name, properties);
         self.world.run_for(SimDuration::from_millis(30));
     }
 
+    /// Crashes processor `index` of the domain — the live-wire analogue
+    /// of pulling a replica host's power (§3.5 fault model). Processor 0
+    /// hosts the relay that stands in for the gateway inside the domain,
+    /// so it cannot be crashed here (kill the gateway process to model
+    /// that). Returns `false` for the relay, out-of-range indices, and
+    /// already-crashed processors.
+    pub fn crash_processor(&mut self, index: usize) -> bool {
+        if index == 0 || index >= self.processors.len() {
+            return false;
+        }
+        let p = self.processors[index];
+        if self.world.is_crashed(p) {
+            return false;
+        }
+        self.world.crash(p);
+        true
+    }
+
+    /// Recovers a previously crashed processor: its daemon reincarnates
+    /// from the registered factory and rejoins the ring. Returns `false`
+    /// if the processor is not currently crashed.
+    pub fn recover_processor(&mut self, index: usize) -> bool {
+        if index >= self.processors.len() {
+            return false;
+        }
+        let p = self.processors[index];
+        if !self.world.is_crashed(p) {
+            return false;
+        }
+        self.world.recover(p);
+        true
+    }
+
     /// Queues a totally ordered multicast from the gateway into the
     /// domain; it is sent as virtual time advances in [`DomainHost::pump`].
+    /// Silently dropped while the relay processor is crashed — the caller
+    /// sees the domain as unreachable through [`DomainHost::is_operational`].
     pub fn multicast(&mut self, group: GroupId, payload: Vec<u8>) {
-        self.relay_daemon_mut()
-            .parts_mut()
-            .0
-            .multicast(group, payload);
+        if let Some(daemon) = self.relay_daemon_mut() {
+            daemon.parts_mut().0.multicast(group, payload);
+        }
     }
 
     /// Advances the domain by `d` of virtual time and drains the ordered
-    /// deliveries the gateway should see.
+    /// deliveries the gateway should see (none while the relay is down).
     pub fn pump(&mut self, d: SimDuration) -> Vec<(GroupId, Vec<u8>)> {
         self.world.run_for(d);
-        std::mem::take(&mut self.relay_daemon_mut().ext_mut().deliveries)
+        match self.relay_daemon_mut() {
+            Some(daemon) => std::mem::take(&mut daemon.ext_mut().deliveries),
+            None => Vec::new(),
+        }
     }
 
-    /// Snapshots the [`DomainView`] facts for the engine.
+    /// Snapshots the [`DomainView`] facts for the engine. With the relay
+    /// down the view is empty (no peers, no groups): the engine then
+    /// treats every group as absent, which is the §3.5 "domain
+    /// unreachable" degraded mode.
     pub fn view(&self) -> HostView {
-        let daemon = self.relay_daemon();
+        let Some(daemon) = self.relay_daemon() else {
+            return HostView::default();
+        };
         let totem = daemon.totem();
         let ring = totem.ring().to_vec();
         let peers = totem
@@ -266,6 +358,47 @@ mod tests {
         assert_eq!(view.live_gateway_peers(), 1);
         assert_eq!(view.live_replicas(GroupId(10)), 3);
         assert!(!view.votes(GroupId(10)));
+    }
+
+    #[test]
+    fn try_start_reports_errors_instead_of_panicking() {
+        assert_eq!(
+            DomainHost::try_start(1, 0, 7, registry).err(),
+            Some(HostError::NoProcessors)
+        );
+        assert!(DomainHost::try_start(1, 2, 7, registry).is_ok());
+    }
+
+    #[test]
+    fn crashing_a_processor_degrades_and_recovery_heals() {
+        let mut host = DomainHost::new(5, 4, 21, registry);
+        assert!(host.is_operational());
+
+        assert!(!host.crash_processor(0), "the relay cannot be crashed");
+        assert!(!host.crash_processor(99), "out of range");
+        assert!(host.crash_processor(2));
+        assert!(!host.crash_processor(2), "already crashed");
+        assert!(
+            !host.is_operational(),
+            "a crashed processor makes the domain degraded"
+        );
+        // Degraded-mode calls must not panic.
+        host.multicast(GroupId(10), vec![1, 2, 3]);
+        let _ = host.pump(SimDuration::from_millis(5));
+        let _ = host.view();
+
+        assert!(host.recover_processor(2));
+        assert!(!host.recover_processor(2), "not crashed anymore");
+        for _ in 0..400 {
+            if host.is_operational() {
+                break;
+            }
+            let _ = host.pump(SimDuration::from_millis(5));
+        }
+        assert!(
+            host.is_operational(),
+            "recovered processor rejoins the ring"
+        );
     }
 
     #[test]

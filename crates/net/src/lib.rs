@@ -29,6 +29,6 @@ mod client;
 mod host;
 mod server;
 
-pub use client::NetClient;
-pub use host::{DomainHost, HostView};
-pub use server::{EngineSnapshot, GatewayServer, ServerOptions};
+pub use client::{NetClient, RetryPolicy};
+pub use host::{DomainHost, HostError, HostView};
+pub use server::{DomainFault, EngineSnapshot, GatewayServer, ServerOptions, CONN_INBOUND_BUDGET};

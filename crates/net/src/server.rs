@@ -14,8 +14,22 @@
 //!   domain's virtual clock is advanced a slice per tick so ordered
 //!   deliveries flow back out to clients,
 //! * optionally, a **metrics thread** serves `GET /metrics` (Prometheus
-//!   text) and `GET /metrics.json` over a minimal HTTP/1.0 responder on
-//!   a separate admin listener (see [`ServerOptions::metrics_addr`]).
+//!   text), `GET /metrics.json`, and `GET /health` over a minimal
+//!   HTTP/1.0 responder on a separate admin listener (see
+//!   [`ServerOptions::metrics_addr`]).
+//!
+//! # Graceful degradation (§3.5 fault model)
+//!
+//! The gateway survives its domain rather than crashing with it. Every
+//! tick the engine thread re-checks the domain's ring; while it is not
+//! operational the gateway is **degraded**: the health gauge drops to 0,
+//! `GET /health` answers `503 degraded`, and new connections are shed at
+//! accept time (existing clients keep being served — with a partial ring
+//! the surviving replicas still answer). When the ring heals the gateway
+//! recovers by itself. Each reader enforces a bounded per-connection
+//! inbound queue, so one client flooding bytes faster than the engine
+//! drains them is disconnected instead of growing the event channel
+//! without limit.
 //!
 //! Every thread reports into one shared [`ftd_obs::Registry`]: the
 //! engine's `gateway.*` counters and per-group latency histogram, the
@@ -26,30 +40,50 @@
 //! Nothing but `std::net` and `std::sync` is used — the crate adds zero
 //! external dependencies.
 
-use crate::host::DomainHost;
+use crate::host::{DomainHost, HostError};
 use ftd_core::{Action, EngineConfig, GatewayEngine, GwConn, ENGINE_LATENCY_SERIES};
 use ftd_eternal::{GatewayEndpoint, IorPublisher};
 use ftd_giop::Ior;
-use ftd_obs::{RealClock, Registry};
+use ftd_obs::{names, RealClock, Registry};
 use ftd_sim::{SimDuration, Stats};
 use ftd_totem::GroupId;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+/// Most bytes a single connection may have in flight between its reader
+/// thread and the engine thread. A client that outruns the engine by
+/// more than this is disconnected (`net.queue_overflows`) instead of
+/// growing the event queue without bound.
+pub const CONN_INBOUND_BUDGET: usize = 1 << 20;
+
+/// A live fault injected into the domain behind a serving gateway —
+/// the harness-facing face of the §3.5 fault model. Applied on the
+/// engine thread via [`GatewayServer::inject`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainFault {
+    /// Crash a domain processor (by index; 0, the relay, is refused).
+    CrashProcessor(usize),
+    /// Recover a previously crashed processor.
+    RecoverProcessor(usize),
+}
+
 /// Transport events flowing from the socket threads to the engine thread.
 enum Ev {
-    /// A connection was accepted; the stream is the write half.
-    Accepted(u64, TcpStream),
+    /// A connection was accepted; the stream is the write half, the
+    /// counter is its shared inbound-queue budget.
+    Accepted(u64, TcpStream, Arc<AtomicUsize>),
     /// Bytes arrived on a connection.
     Data(u64, Vec<u8>),
     /// A connection reached EOF or errored.
     Closed(u64),
+    /// A live fault to apply to the in-process domain.
+    Chaos(DomainFault),
     /// Stop serving.
     Shutdown,
 }
@@ -73,12 +107,26 @@ pub struct ServerOptions {
     pub metrics_addr: Option<String>,
 }
 
-#[derive(Default)]
 struct Shared {
     stats: Mutex<Stats>,
     snapshot: Mutex<EngineSnapshot>,
     shutdown: AtomicBool,
+    /// `true` while the domain behind the gateway is operational; new
+    /// connections are shed while `false`.
+    healthy: AtomicBool,
     registry: Arc<Registry>,
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        Shared {
+            stats: Mutex::new(Stats::default()),
+            snapshot: Mutex::new(EngineSnapshot::default()),
+            shutdown: AtomicBool::new(false),
+            healthy: AtomicBool::new(true),
+            registry: Arc::new(Registry::new()),
+        }
+    }
 }
 
 /// A gateway serving a fault tolerance domain on a real TCP socket. See
@@ -106,22 +154,24 @@ impl GatewayServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
     /// the domain produced by `host` through an engine configured by
     /// `config`. The host factory runs on the engine thread — the
-    /// simulated world never crosses threads.
+    /// simulated world never crosses threads — and its error (e.g.
+    /// [`HostError::RingFormation`]) is propagated back out of this call
+    /// instead of killing the engine thread.
     pub fn start(
         addr: &str,
         config: EngineConfig,
-        host: impl FnOnce() -> DomainHost + Send + 'static,
+        host: impl FnOnce() -> Result<DomainHost, HostError> + Send + 'static,
     ) -> io::Result<GatewayServer> {
         Self::start_with(addr, config, ServerOptions::default(), host)
     }
 
     /// [`GatewayServer::start`] with extra [`ServerOptions`] — notably
-    /// the `GET /metrics` admin listener.
+    /// the `GET /metrics` + `GET /health` admin listener.
     pub fn start_with(
         addr: &str,
         config: EngineConfig,
         options: ServerOptions,
-        host: impl FnOnce() -> DomainHost + Send + 'static,
+        host: impl FnOnce() -> Result<DomainHost, HostError> + Send + 'static,
     ) -> io::Result<GatewayServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
@@ -139,11 +189,40 @@ impl GatewayServer {
             .expect("stats lock")
             .bind_registry(shared.registry.clone());
         let (tx, rx) = mpsc::channel();
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), HostError>>();
 
         let engine_shared = shared.clone();
         let engine_thread = thread::Builder::new()
             .name("ftd-gateway-engine".into())
-            .spawn(move || engine_loop(rx, config, host(), engine_shared))?;
+            .spawn(move || {
+                let host = match host() {
+                    Ok(host) => {
+                        let _ = ready_tx.send(Ok(()));
+                        host
+                    }
+                    Err(e) => {
+                        let _ = ready_tx.send(Err(e));
+                        return;
+                    }
+                };
+                engine_loop(rx, config, host, engine_shared);
+            })?;
+
+        // The domain must be up before the gateway advertises itself:
+        // surface bring-up failures here rather than serving a black hole.
+        match ready_rx.recv() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                let _ = engine_thread.join();
+                return Err(io::Error::other(format!("domain bring-up failed: {e}")));
+            }
+            Err(_) => {
+                let _ = engine_thread.join();
+                return Err(io::Error::other(
+                    "engine thread died during domain bring-up",
+                ));
+            }
+        }
 
         let accept_tx = tx.clone();
         let accept_shared = shared.clone();
@@ -189,6 +268,21 @@ impl GatewayServer {
     /// The live metrics registry every gateway thread reports into.
     pub fn registry(&self) -> Arc<Registry> {
         self.shared.registry.clone()
+    }
+
+    /// Whether the domain behind the gateway is currently operational.
+    /// While `false` the gateway serves existing clients best-effort and
+    /// sheds new connections.
+    pub fn healthy(&self) -> bool {
+        self.shared.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Injects a live fault into the in-process domain (applied on the
+    /// engine thread before its next batch). The observable effects —
+    /// degraded `/health`, shed connections, recovery — are what chaos
+    /// tests assert on.
+    pub fn inject(&self, fault: DomainFault) {
+        let _ = self.tx.send(Ev::Chaos(fault));
     }
 
     /// Publishes an IOR for `group`: its IIOP profile points at this
@@ -251,23 +345,44 @@ fn accept_loop(listener: TcpListener, tx: Sender<Ev>, shared: Arc<Shared>) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        if !shared.healthy.load(Ordering::SeqCst) {
+            // Degraded: the domain behind us is unreachable. Shedding at
+            // accept time fails fast (the client's connect succeeds but
+            // the next read sees EOF and its retry policy backs off)
+            // instead of accepting work we cannot serve.
+            shared
+                .stats
+                .lock()
+                .expect("stats lock")
+                .inc(names::NET_CONNECTIONS_SHED);
+            let _ = stream.shutdown(Shutdown::Both);
+            continue;
+        }
         let _ = stream.set_nodelay(true);
         let Ok(reader) = stream.try_clone() else {
             continue;
         };
         let id = next_id;
         next_id += 1;
-        if tx.send(Ev::Accepted(id, stream)).is_err() {
+        let budget = Arc::new(AtomicUsize::new(0));
+        if tx.send(Ev::Accepted(id, stream, budget.clone())).is_err() {
             break;
         }
         let reader_tx = tx.clone();
+        let reader_shared = shared.clone();
         let _ = thread::Builder::new()
             .name(format!("ftd-gateway-conn-{id}"))
-            .spawn(move || reader_loop(id, reader, reader_tx));
+            .spawn(move || reader_loop(id, reader, reader_tx, budget, reader_shared));
     }
 }
 
-fn reader_loop(id: u64, mut stream: TcpStream, tx: Sender<Ev>) {
+fn reader_loop(
+    id: u64,
+    mut stream: TcpStream,
+    tx: Sender<Ev>,
+    budget: Arc<AtomicUsize>,
+    shared: Arc<Shared>,
+) {
     let mut buf = [0u8; 16 * 1024];
     loop {
         match stream.read(&mut buf) {
@@ -276,6 +391,20 @@ fn reader_loop(id: u64, mut stream: TcpStream, tx: Sender<Ev>) {
                 break;
             }
             Ok(n) => {
+                // Bounded per-connection queue: bytes the engine has not
+                // drained yet. A client outrunning the engine past the
+                // budget is disconnected, protecting every other client
+                // on this gateway from its backlog.
+                if budget.fetch_add(n, Ordering::SeqCst) + n > CONN_INBOUND_BUDGET {
+                    shared
+                        .stats
+                        .lock()
+                        .expect("stats lock")
+                        .inc(names::NET_QUEUE_OVERFLOWS);
+                    let _ = stream.shutdown(Shutdown::Both);
+                    let _ = tx.send(Ev::Closed(id));
+                    break;
+                }
                 if tx.send(Ev::Data(id, buf[..n].to_vec())).is_err() {
                     break;
                 }
@@ -296,6 +425,7 @@ fn engine_loop(rx: Receiver<Ev>, config: EngineConfig, mut host: DomainHost, sha
     let mut engine = GatewayEngine::new(config, BTreeMap::new());
     engine.set_clock(Arc::new(RealClock::new()));
     let mut writers: BTreeMap<u64, TcpStream> = BTreeMap::new();
+    let mut budgets: BTreeMap<u64, Arc<AtomicUsize>> = BTreeMap::new();
     // Requests forwarded into the domain and not yet answered, oldest
     // first, for the reply-latency metric.
     let mut inflight: VecDeque<(u64, Instant)> = VecDeque::new();
@@ -316,8 +446,9 @@ fn engine_loop(rx: Receiver<Ev>, config: EngineConfig, mut host: DomainHost, sha
         let mut stop = false;
         for ev in events {
             match ev {
-                Ev::Accepted(id, stream) => {
+                Ev::Accepted(id, stream, budget) => {
                     writers.insert(id, stream);
+                    budgets.insert(id, budget);
                     shared
                         .stats
                         .lock()
@@ -342,12 +473,24 @@ fn engine_loop(rx: Receiver<Ev>, config: EngineConfig, mut host: DomainHost, sha
                         inflight.push_back((id, Instant::now()));
                     }
                     apply(actions, &mut writers, &mut host, &shared, &mut inflight);
+                    if let Some(budget) = budgets.get(&id) {
+                        budget.fetch_sub(bytes.len(), Ordering::SeqCst);
+                    }
                 }
                 Ev::Closed(id) => {
                     writers.remove(&id);
+                    budgets.remove(&id);
                     let actions = engine.on_client_closed(GwConn(id));
                     apply(actions, &mut writers, &mut host, &shared, &mut inflight);
                 }
+                Ev::Chaos(fault) => match fault {
+                    DomainFault::CrashProcessor(i) => {
+                        host.crash_processor(i);
+                    }
+                    DomainFault::RecoverProcessor(i) => {
+                        host.recover_processor(i);
+                    }
+                },
                 Ev::Shutdown => stop = true,
             }
         }
@@ -359,6 +502,14 @@ fn engine_loop(rx: Receiver<Ev>, config: EngineConfig, mut host: DomainHost, sha
             let actions = engine.on_delivery_from_domain(group, &payload, &view);
             apply(actions, &mut writers, &mut host, &shared, &mut inflight);
         }
+
+        // Re-assess serving health: degraded while the ring is broken,
+        // recovered the tick it heals.
+        let healthy = host.is_operational();
+        shared.healthy.store(healthy, Ordering::SeqCst);
+        shared
+            .registry
+            .set_gauge(names::GATEWAY_HEALTH, healthy as i64);
 
         let snapshot = EngineSnapshot {
             connected_clients: engine.connected_clients(),
@@ -455,9 +606,11 @@ fn apply(
 }
 
 /// One HTTP/1.0 exchange per connection: read the request line, answer
-/// `GET /metrics` with the Prometheus text exposition (or `/metrics.json`
-/// with the JSON snapshot), close. Deliberately minimal — this is an
-/// admin endpoint for `curl` and scrapers, not a web server.
+/// `GET /metrics` with the Prometheus text exposition, `/metrics.json`
+/// with the JSON snapshot, or `/health` with the serving state (200 ok /
+/// 503 degraded — load-balancer and chaos-harness food), close.
+/// Deliberately minimal — this is an admin endpoint for `curl` and
+/// scrapers, not a web server.
 fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -489,6 +642,17 @@ fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
                 shared.registry.render_prometheus(),
             ),
             "/metrics.json" => ("200 OK", "application/json", shared.registry.render_json()),
+            "/health" => {
+                if shared.healthy.load(Ordering::SeqCst) {
+                    ("200 OK", "text/plain", "ok\n".to_owned())
+                } else {
+                    (
+                        "503 Service Unavailable",
+                        "text/plain",
+                        "degraded\n".to_owned(),
+                    )
+                }
+            }
             _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
         };
         let _ = write!(

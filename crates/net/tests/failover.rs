@@ -1,0 +1,211 @@
+//! §3.5 failover over real sockets: connections die mid-request (killed
+//! by a chaos proxy between client and gateway) and the client's
+//! reconnect-and-reissue discipline preserves exactly-once semantics —
+//! reissues of already-answered requests come from the gateway's
+//! response cache, reissues of never-delivered requests execute once.
+//! Plus gateway graceful degradation when the domain behind it breaks.
+
+use ftd_chaos::{ChaosProxy, DirPlan, Fault, FaultPlan};
+use ftd_core::EngineConfig;
+use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
+use ftd_net::{DomainFault, DomainHost, GatewayServer, NetClient, RetryPolicy, ServerOptions};
+use ftd_totem::GroupId;
+use std::io::Read;
+use std::time::{Duration, Instant};
+
+const GROUP: GroupId = GroupId(10);
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn registry() -> ObjectRegistry {
+    let mut reg = ObjectRegistry::new();
+    reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+    reg
+}
+
+fn start_server(domain: u32, seed: u64, options: ServerOptions) -> GatewayServer {
+    let config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), 0);
+    GatewayServer::start_with("127.0.0.1:0", config, options, move || {
+        let mut host = DomainHost::try_start(domain, 4, seed, registry)?;
+        host.create_group(
+            GROUP,
+            "Counter",
+            FtProperties::new(ReplicationStyle::Active).with_initial(3),
+        );
+        Ok(host)
+    })
+    .expect("bind loopback")
+}
+
+/// Connects an enhanced client through a chaos proxy to `server`.
+fn client_via(proxy: &ChaosProxy, server: &GatewayServer, id: u32) -> NetClient {
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    let key = ior.primary_iiop().expect("iiop profile").object_key;
+    NetClient::connect_addr(proxy.local_addr(), key, Some(id)).expect("connect via proxy")
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        retries: 6,
+        backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(200),
+        timeout: Duration::from_secs(3),
+    }
+}
+
+/// The connection is killed *after* the gateway produced and sent the
+/// reply but before the client read it (a reply-path reset on the second
+/// reply chunk). The reissue must be answered from the §3.5 response
+/// cache — same reply bytes, no second execution.
+#[test]
+fn reply_path_kill_reissue_is_answered_from_response_cache() {
+    let server = start_server(21, 0x51ED, ServerOptions::default());
+    let mut plan = FaultPlan::clean(1);
+    plan.to_client = DirPlan::scripted(vec![Fault::Deliver, Fault::Reset]);
+    let proxy = ChaosProxy::start("127.0.0.1:0", server.local_addr(), plan).expect("proxy");
+    let mut client = client_via(&proxy, &server, 0x99);
+
+    let r1 = client
+        .invoke_retrying("add", &5u64.to_be_bytes(), &policy())
+        .expect("add 5");
+    assert_eq!(r1.body, 5u64.to_be_bytes());
+
+    // Request 2: delivered and executed, but its reply chunk draws the
+    // scripted Reset — the connection dies mid-request, client-side.
+    let r2 = client
+        .invoke_retrying("add", &7u64.to_be_bytes(), &policy())
+        .expect("add 7 survives the mid-request kill");
+    assert_eq!(r2.body, 12u64.to_be_bytes(), "the reissued reply bytes");
+    assert!(client.reconnects() >= 1, "the client redialed");
+    assert!(client.reissues() >= 1, "the client reissued the request");
+
+    let r3 = client
+        .invoke_retrying("get", &[], &policy())
+        .expect("final get");
+    assert_eq!(
+        r3.body,
+        12u64.to_be_bytes(),
+        "5 + 7 exactly once — a re-execution would show more"
+    );
+
+    let report = proxy.shutdown();
+    assert!(report.resets >= 1, "the kill actually happened: {report}");
+    let stats = server.shutdown();
+    assert!(
+        stats.counter("gateway.reissues_served_from_cache") >= 1,
+        "the reissue must be a cache hit"
+    );
+    assert_eq!(
+        stats.counter("gateway.requests_forwarded"),
+        3,
+        "add, add, get — the reissue is NOT forwarded again"
+    );
+}
+
+/// The connection is killed *before* the request reaches the gateway (a
+/// request-path reset). The reissue is the first copy the gateway ever
+/// sees: it executes exactly once.
+#[test]
+fn request_path_kill_reissue_executes_exactly_once() {
+    let server = start_server(22, 0xACE5, ServerOptions::default());
+    let mut plan = FaultPlan::clean(2);
+    plan.to_upstream = DirPlan::scripted(vec![Fault::Deliver, Fault::Reset]);
+    let proxy = ChaosProxy::start("127.0.0.1:0", server.local_addr(), plan).expect("proxy");
+    let mut client = client_via(&proxy, &server, 0x31);
+
+    let r1 = client
+        .invoke_retrying("add", &9u64.to_be_bytes(), &policy())
+        .expect("add 9");
+    assert_eq!(r1.body, 9u64.to_be_bytes());
+
+    // Request 2 is reset in flight; the gateway never saw the first copy.
+    let r2 = client
+        .invoke_retrying("add", &4u64.to_be_bytes(), &policy())
+        .expect("add 4 survives the request-path kill");
+    assert_eq!(r2.body, 13u64.to_be_bytes());
+    assert!(client.reconnects() >= 1);
+
+    let r3 = client
+        .invoke_retrying("get", &[], &policy())
+        .expect("final get");
+    assert_eq!(r3.body, 13u64.to_be_bytes(), "9 + 4, each exactly once");
+
+    let report = proxy.shutdown();
+    assert!(report.resets >= 1, "the kill actually happened: {report}");
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.counter("gateway.requests_forwarded"),
+        3,
+        "add, reissued add, get"
+    );
+}
+
+/// One raw HTTP/1.0 GET; returns the status line.
+fn http_status(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::Write;
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect admin");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("write request");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response.lines().next().unwrap_or("").to_owned()
+}
+
+/// Crashing a domain processor degrades the gateway (health gauge down,
+/// `/health` 503, new connections shed) without killing it; recovering
+/// the processor heals it end to end.
+#[test]
+fn gateway_degrades_under_domain_crash_and_recovers() {
+    let server = start_server(
+        23,
+        0xD1CE,
+        ServerOptions {
+            metrics_addr: Some("127.0.0.1:0".to_owned()),
+        },
+    );
+    let admin = server.metrics_addr().expect("admin listener");
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    let mut client = NetClient::connect(&ior, Some(0x42)).expect("connect");
+    let r1 = client.invoke("add", &3u64.to_be_bytes()).expect("add 3");
+    assert_eq!(r1.body, 3u64.to_be_bytes());
+    assert!(server.healthy());
+    assert_eq!(http_status(admin, "/health"), "HTTP/1.0 200 OK");
+
+    server.inject(DomainFault::CrashProcessor(2));
+    wait_until("degradation after processor crash", || !server.healthy());
+    assert_eq!(
+        http_status(admin, "/health"),
+        "HTTP/1.0 503 Service Unavailable"
+    );
+
+    // New connections are shed while degraded: accepted, then closed
+    // before any service.
+    let mut shed = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    shed.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 8];
+    match shed.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("degraded gateway should shed, served {n} bytes"),
+    }
+    wait_until("shed counter", || {
+        server.stats().counter(ftd_obs::names::NET_CONNECTIONS_SHED) >= 1
+    });
+
+    server.inject(DomainFault::RecoverProcessor(2));
+    wait_until("recovery after processor return", || server.healthy());
+    assert_eq!(http_status(admin, "/health"), "HTTP/1.0 200 OK");
+
+    // Back in business for new clients, state intact.
+    let mut late = NetClient::connect(&ior, Some(0x43)).expect("connect after recovery");
+    let r2 = late.invoke("get", &[]).expect("get");
+    assert_eq!(r2.body, 3u64.to_be_bytes(), "state survived the outage");
+}

@@ -30,13 +30,13 @@ fn registry() -> ObjectRegistry {
 fn start_server(domain: u32, seed: u64) -> GatewayServer {
     let config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), 0);
     GatewayServer::start("127.0.0.1:0", config, move || {
-        let mut host = DomainHost::new(domain, 4, seed, registry);
+        let mut host = DomainHost::try_start(domain, 4, seed, registry)?;
         host.create_group(
             GROUP,
             "Counter",
             FtProperties::new(ReplicationStyle::Active).with_initial(3),
         );
-        host
+        Ok(host)
     })
     .expect("bind loopback")
 }
@@ -179,13 +179,13 @@ fn metrics_endpoint_exposes_gateway_totem_and_latency_series() {
         metrics_addr: Some("127.0.0.1:0".to_owned()),
     };
     let server = GatewayServer::start_with("127.0.0.1:0", config, options, move || {
-        let mut host = DomainHost::new(6, 4, 0x5EED, registry);
+        let mut host = DomainHost::try_start(6, 4, 0x5EED, registry)?;
         host.create_group(
             GROUP,
             "Counter",
             FtProperties::new(ReplicationStyle::Active).with_initial(3),
         );
-        host
+        Ok(host)
     })
     .expect("bind loopback");
     let metrics_addr = server.metrics_addr().expect("metrics listener enabled");

@@ -48,6 +48,7 @@
 
 mod clock;
 mod hist;
+pub mod names;
 mod registry;
 mod render;
 

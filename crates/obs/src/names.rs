@@ -1,0 +1,54 @@
+//! Well-known metric names shared across crates.
+//!
+//! Most metrics are owned by a single component and named locally (the
+//! engine's `gateway.*` counters are pinned by `ftd-core`'s
+//! `ENGINE_COUNTERS`). The names here are different: they are written by
+//! one crate and read by another — the gateway front end sets the health
+//! gauge that the chaos soak harness asserts on; the net client counts
+//! the reconnects the soak report aggregates. Centralizing them keeps
+//! the producer and the consumer from drifting apart.
+
+/// Gateway serving health, as exposed by `GET /health`: `1` while the
+/// fault tolerance domain behind the gateway is reachable and its ring
+/// operational, `0` while degraded (new connections are shed).
+pub const GATEWAY_HEALTH: &str = "gateway.health";
+
+/// Connections refused at accept time because the gateway was degraded.
+pub const NET_CONNECTIONS_SHED: &str = "net.connections_shed";
+
+/// Connections closed because a client outran the bounded
+/// per-connection inbound queue.
+pub const NET_QUEUE_OVERFLOWS: &str = "net.queue_overflows";
+
+/// Client-side reconnect attempts performed by the §3.5
+/// reconnect-and-reissue path.
+pub const CLIENT_RECONNECTS: &str = "client.reconnects";
+
+/// Client-side request reissues (same request id resent after a
+/// connection failure or reply timeout).
+pub const CLIENT_REISSUES: &str = "client.reissues";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_follow_the_component_metric_convention() {
+        for name in [
+            super::GATEWAY_HEALTH,
+            super::NET_CONNECTIONS_SHED,
+            super::NET_QUEUE_OVERFLOWS,
+            super::CLIENT_RECONNECTS,
+            super::CLIENT_REISSUES,
+        ] {
+            assert!(
+                name.split_once('.').is_some_and(|(component, metric)| {
+                    !component.is_empty()
+                        && !metric.is_empty()
+                        && name
+                            .chars()
+                            .all(|c| c.is_ascii_lowercase() || c == '.' || c == '_')
+                }),
+                "well-known names are lowercase component.metric identifiers: {name}"
+            );
+        }
+    }
+}

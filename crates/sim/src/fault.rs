@@ -1,0 +1,382 @@
+//! Seeded fault plans and schedules (§3.5 fault model, made injectable).
+//!
+//! A [`FaultPlan`] describes *what kinds* of faults a component should
+//! suffer and *how often*; a [`FaultSchedule`] turns that plan plus a
+//! seed into a deterministic stream of [`Fault`] verdicts. The types are
+//! transport-free on purpose: the deterministic simulation consults a
+//! schedule to decide when to crash processors or corrupt simulated
+//! streams, and `ftd-chaos`'s live TCP proxy consults the *same* types
+//! to decide what to do with each relayed chunk of real socket bytes —
+//! so a soak failure seen live can be replayed under the sim's fault
+//! vocabulary and vice versa.
+//!
+//! Scheduling is two-phase: a plan's [`script`](DirPlan::script) is
+//! consumed verbatim first (precise regression tests pin exact fault
+//! positions), then verdicts are drawn randomly from the weighted kinds
+//! (soaks explore). Both phases are pure functions of the seed.
+
+use crate::rng::{splitmix64, SimRng};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// One fault verdict for one unit of work (a relayed chunk of bytes, a
+/// delivery, a tick — the consumer decides the granularity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// No fault: pass the chunk through untouched.
+    Deliver,
+    /// Hold the chunk for the given duration before passing it on.
+    Delay(Duration),
+    /// Silently discard the chunk (mid-stream, this tears GIOP framing
+    /// and exercises the receiver's protocol-error path).
+    Drop,
+    /// Pass only the first `keep` bytes of the chunk, then kill the
+    /// connection — a mid-message truncation.
+    Truncate {
+        /// Bytes of the chunk to deliver before the cut.
+        keep: usize,
+    },
+    /// Kill the connection immediately.
+    Reset,
+    /// Deliver the chunk twice (a duplicated request delivery; safe iff
+    /// the receiving domain's duplicate detection works, which is
+    /// exactly what chaos runs are meant to prove).
+    Duplicate,
+}
+
+/// The directions a proxied connection relays in. Plans are
+/// per-direction because some faults only make sense one way (e.g.
+/// duplicating *replies* would make the proxy itself violate the
+/// exactly-one-reply property a soak asserts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → gateway (requests).
+    ToUpstream,
+    /// Gateway → client (replies).
+    ToClient,
+}
+
+/// Relative weights for randomly drawn fault kinds. A weight of zero
+/// disables the kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWeights {
+    /// Weight of [`Fault::Delay`].
+    pub delay: u32,
+    /// Weight of [`Fault::Drop`].
+    pub drop: u32,
+    /// Weight of [`Fault::Truncate`].
+    pub truncate: u32,
+    /// Weight of [`Fault::Reset`].
+    pub reset: u32,
+    /// Weight of [`Fault::Duplicate`].
+    pub duplicate: u32,
+}
+
+impl FaultWeights {
+    /// No fault kind enabled.
+    pub const NONE: FaultWeights = FaultWeights {
+        delay: 0,
+        drop: 0,
+        truncate: 0,
+        reset: 0,
+        duplicate: 0,
+    };
+
+    fn total(&self) -> u64 {
+        self.delay as u64
+            + self.drop as u64
+            + self.truncate as u64
+            + self.reset as u64
+            + self.duplicate as u64
+    }
+}
+
+/// What one relay direction of a connection should suffer.
+#[derive(Debug, Clone)]
+pub struct DirPlan {
+    /// Probability in `[0, 1]` that a chunk draws a random fault (after
+    /// the script is exhausted).
+    pub fault_probability: f64,
+    /// Relative weights of the random fault kinds.
+    pub weights: FaultWeights,
+    /// Inclusive range of injected delays, in milliseconds.
+    pub delay_ms: (u64, u64),
+    /// Faults to emit verbatim, one per chunk, before any randomness.
+    pub script: Vec<Fault>,
+}
+
+impl DirPlan {
+    /// A direction that never faults.
+    pub fn clean() -> DirPlan {
+        DirPlan {
+            fault_probability: 0.0,
+            weights: FaultWeights::NONE,
+            delay_ms: (0, 0),
+            script: Vec::new(),
+        }
+    }
+
+    /// A direction that plays `script` and then never faults.
+    pub fn scripted(script: Vec<Fault>) -> DirPlan {
+        DirPlan {
+            script,
+            ..DirPlan::clean()
+        }
+    }
+}
+
+/// A window of total unavailability, relative to harness start: the
+/// proxy (or sim) kills every live connection at `after` and refuses
+/// new ones until `after + duration` — what a client observes when the
+/// gateway process it talks to dies and is restarted (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blackout {
+    /// When the window opens, relative to start.
+    pub after: Duration,
+    /// How long it lasts.
+    pub duration: Duration,
+}
+
+/// A complete seeded fault-injection plan for one proxied hop. See the
+/// module docs.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// The master seed every per-connection schedule derives from.
+    pub seed: u64,
+    /// Faults injected on the request direction.
+    pub to_upstream: DirPlan,
+    /// Faults injected on the reply direction.
+    pub to_client: DirPlan,
+    /// Scheduled unavailability windows.
+    pub blackouts: Vec<Blackout>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing: the proxy becomes a plain relay.
+    pub fn clean(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            to_upstream: DirPlan::clean(),
+            to_client: DirPlan::clean(),
+            blackouts: Vec::new(),
+        }
+    }
+
+    /// The default soak mix: every fault kind on requests; delays and
+    /// drops (lost replies force client reissues) plus resets on
+    /// replies — but never duplicates, so any duplicate a client sees
+    /// is the gateway's fault, not the harness's.
+    pub fn soak(seed: u64, fault_probability: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            to_upstream: DirPlan {
+                fault_probability,
+                weights: FaultWeights {
+                    delay: 3,
+                    drop: 2,
+                    truncate: 2,
+                    reset: 2,
+                    duplicate: 2,
+                },
+                delay_ms: (1, 40),
+                script: Vec::new(),
+            },
+            to_client: DirPlan {
+                fault_probability,
+                weights: FaultWeights {
+                    delay: 3,
+                    drop: 2,
+                    truncate: 1,
+                    reset: 2,
+                    duplicate: 0,
+                },
+                delay_ms: (1, 40),
+                script: Vec::new(),
+            },
+            blackouts: Vec::new(),
+        }
+    }
+
+    /// The deterministic schedule for one direction of one connection.
+    /// Distinct `(seed, conn, direction)` triples get independent
+    /// streams; the same triple always gets the same stream.
+    pub fn schedule_for(&self, conn: u64, direction: Direction) -> FaultSchedule {
+        let dir_plan = match direction {
+            Direction::ToUpstream => &self.to_upstream,
+            Direction::ToClient => &self.to_client,
+        };
+        let mut mix = self.seed;
+        let a = splitmix64(&mut mix);
+        let mut mix = a
+            ^ conn.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ match direction {
+                Direction::ToUpstream => 0x55,
+                Direction::ToClient => 0xAA,
+            };
+        FaultSchedule {
+            plan: dir_plan.clone(),
+            script: dir_plan.script.iter().cloned().collect(),
+            rng: SimRng::seed_from_u64(splitmix64(&mut mix)),
+        }
+    }
+}
+
+/// A deterministic stream of [`Fault`] verdicts for one direction of
+/// one connection: the plan's script first, then seeded randomness.
+#[derive(Debug, Clone)]
+pub struct FaultSchedule {
+    plan: DirPlan,
+    script: VecDeque<Fault>,
+    rng: SimRng,
+}
+
+impl FaultSchedule {
+    /// The verdict for the next chunk of `chunk_len` bytes. `Truncate`
+    /// verdicts always keep at least one byte and strictly fewer than
+    /// `chunk_len`; for one-byte chunks the kind degrades to `Reset`
+    /// (there is nothing to cut in half).
+    pub fn next(&mut self, chunk_len: usize) -> Fault {
+        if let Some(scripted) = self.script.pop_front() {
+            return clamp_truncate(scripted, chunk_len);
+        }
+        let w = &self.plan.weights;
+        let total = w.total();
+        if total == 0 || self.rng.gen_f64() >= self.plan.fault_probability {
+            return Fault::Deliver;
+        }
+        let mut pick = self.rng.gen_range(total);
+        for (weight, kind) in [
+            (w.delay as u64, 0),
+            (w.drop as u64, 1),
+            (w.truncate as u64, 2),
+            (w.reset as u64, 3),
+            (w.duplicate as u64, 4),
+        ] {
+            if pick < weight {
+                return match kind {
+                    0 => {
+                        let (lo, hi) = self.plan.delay_ms;
+                        Fault::Delay(Duration::from_millis(
+                            self.rng.gen_range_inclusive(lo.min(hi), hi.max(lo)),
+                        ))
+                    }
+                    1 => Fault::Drop,
+                    2 => clamp_truncate(
+                        Fault::Truncate {
+                            keep: self.rng.gen_range_inclusive(1, chunk_len.max(2) as u64 - 1)
+                                as usize,
+                        },
+                        chunk_len,
+                    ),
+                    3 => Fault::Reset,
+                    _ => Fault::Duplicate,
+                };
+            }
+            pick -= weight;
+        }
+        Fault::Deliver
+    }
+}
+
+/// Keeps truncation verdicts meaningful: at least one byte delivered,
+/// at least one byte cut.
+fn clamp_truncate(fault: Fault, chunk_len: usize) -> Fault {
+    match fault {
+        Fault::Truncate { .. } if chunk_len < 2 => Fault::Reset,
+        Fault::Truncate { keep } => Fault::Truncate {
+            keep: keep.clamp(1, chunk_len - 1),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(plan: &FaultPlan, conn: u64, dir: Direction, n: usize) -> Vec<Fault> {
+        let mut schedule = plan.schedule_for(conn, dir);
+        (0..n).map(|_| schedule.next(1024)).collect()
+    }
+
+    #[test]
+    fn same_triple_same_stream_different_triple_different_stream() {
+        let plan = FaultPlan::soak(7, 0.5);
+        let a = drain(&plan, 3, Direction::ToUpstream, 64);
+        let b = drain(&plan, 3, Direction::ToUpstream, 64);
+        assert_eq!(a, b, "schedules are pure functions of (seed, conn, dir)");
+        let c = drain(&plan, 4, Direction::ToUpstream, 64);
+        let d = drain(&plan, 3, Direction::ToClient, 64);
+        assert_ne!(a, c, "different connections draw different faults");
+        assert_ne!(a, d, "directions draw independent streams");
+    }
+
+    #[test]
+    fn clean_plan_never_faults() {
+        let plan = FaultPlan::clean(1);
+        for f in drain(&plan, 0, Direction::ToUpstream, 200) {
+            assert_eq!(f, Fault::Deliver);
+        }
+    }
+
+    #[test]
+    fn script_is_played_verbatim_before_randomness() {
+        let mut plan = FaultPlan::clean(9);
+        plan.to_upstream = DirPlan::scripted(vec![
+            Fault::Deliver,
+            Fault::Reset,
+            Fault::Truncate { keep: 5 },
+        ]);
+        let faults = drain(&plan, 0, Direction::ToUpstream, 5);
+        assert_eq!(
+            faults,
+            vec![
+                Fault::Deliver,
+                Fault::Reset,
+                Fault::Truncate { keep: 5 },
+                Fault::Deliver,
+                Fault::Deliver,
+            ]
+        );
+    }
+
+    #[test]
+    fn soak_plan_draws_every_request_side_kind_and_no_reply_duplicates() {
+        let plan = FaultPlan::soak(11, 0.9);
+        let up = drain(&plan, 1, Direction::ToUpstream, 2000);
+        assert!(up.iter().any(|f| matches!(f, Fault::Delay(_))));
+        assert!(up.contains(&Fault::Drop));
+        assert!(up.iter().any(|f| matches!(f, Fault::Truncate { .. })));
+        assert!(up.contains(&Fault::Reset));
+        assert!(up.contains(&Fault::Duplicate));
+        let down = drain(&plan, 1, Direction::ToClient, 2000);
+        assert!(
+            !down.contains(&Fault::Duplicate),
+            "replies must never be duplicated by the harness"
+        );
+    }
+
+    #[test]
+    fn truncation_always_cuts_and_always_delivers_something() {
+        let plan = FaultPlan::soak(13, 1.0);
+        let mut schedule = plan.schedule_for(0, Direction::ToUpstream);
+        for &len in &[2usize, 3, 7, 1500] {
+            for _ in 0..200 {
+                if let Fault::Truncate { keep } = schedule.next(len) {
+                    assert!(
+                        keep >= 1 && keep < len,
+                        "keep {keep} out of range for {len}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_byte_chunks_degrade_truncation_to_reset() {
+        let mut plan = FaultPlan::clean(3);
+        plan.to_upstream = DirPlan::scripted(vec![Fault::Truncate { keep: 1 }]);
+        let mut schedule = plan.schedule_for(0, Direction::ToUpstream);
+        assert_eq!(schedule.next(1), Fault::Reset);
+    }
+}

@@ -65,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod ids;
 mod net;
 mod rng;
@@ -73,6 +74,7 @@ mod time;
 mod trace;
 mod world;
 
+pub use fault::{Blackout, DirPlan, Direction, Fault, FaultPlan, FaultSchedule, FaultWeights};
 pub use ids::{ConnId, LanId, NetAddr, ProcessorId, TimerId};
 pub use net::{Datagram, LanConfig, NetConfig, TcpError, TcpEvent};
 pub use rng::{splitmix64, SimRng};

@@ -16,17 +16,17 @@ fn main() {
     // it.
     let engine = EngineConfig::new(1, GroupId(0x4000_0001), 0);
     let server = GatewayServer::start("127.0.0.1:0", engine, move || {
-        let mut host = DomainHost::new(1, 4, 7, || {
+        let mut host = DomainHost::try_start(1, 4, 7, || {
             let mut reg = ObjectRegistry::new();
             reg.register("Counter", Box::new(|| Box::new(Counter::new())));
             reg
-        });
+        })?;
         host.create_group(
             group,
             "Counter",
             FtProperties::new(ReplicationStyle::Active).with_initial(3),
         );
-        host
+        Ok(host)
     })
     .expect("bind loopback");
 

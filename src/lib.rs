@@ -15,6 +15,7 @@
 //! | **the paper** | [`core`] | gateways, client identification, duplicate suppression, redundant gateway groups, enhanced clients, domain bridging |
 //! | real sockets | [`net`] | the same gateway engine over `std::net` TCP: `GatewayServer`, `NetClient`, `ftd-gatewayd`/`ftd-client` binaries |
 //! | observability | [`obs`] | thread-safe metrics registry, real/virtual clocks, latency spans, Prometheus/JSON exposition |
+//! | fault injection | [`chaos`] | seeded byte-level TCP chaos proxy (drop/delay/truncate/reset/duplicate, blackout windows) and the shared fault-plan vocabulary |
 //!
 //! Start with [`prelude`] and the `examples/` directory:
 //! `cargo run --example quickstart` (simulated) or
@@ -23,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ftd_chaos as chaos;
 pub use ftd_core as core;
 pub use ftd_eternal as eternal;
 pub use ftd_giop as giop;
@@ -34,6 +36,7 @@ pub use ftd_totem as totem;
 /// The most common imports for building and driving a fault tolerance
 /// domain.
 pub mod prelude {
+    pub use ftd_chaos::{Blackout, ChaosProxy, DirPlan, Direction, Fault, FaultPlan};
     pub use ftd_core::{
         build_domain, build_domain_on, connect_domains, DomainDaemon, DomainHandle, DomainSpec,
         EngineConfig, EnhancedClient, Gateway, GatewayConfig, GatewayEngine, PlainClient,
@@ -44,7 +47,9 @@ pub mod prelude {
         ReplicationStyle,
     };
     pub use ftd_giop::{GiopMessage, IiopProfile, Ior, ObjectKey, Reply, Request};
-    pub use ftd_net::{DomainHost, GatewayServer, NetClient, ServerOptions};
+    pub use ftd_net::{
+        DomainFault, DomainHost, GatewayServer, HostError, NetClient, RetryPolicy, ServerOptions,
+    };
     pub use ftd_obs::{Clock, Histogram, ManualClock, RealClock, Registry};
     pub use ftd_sim::{
         Actor, Context, LanConfig, NetAddr, ProcessorId, SimDuration, SimTime, World,
