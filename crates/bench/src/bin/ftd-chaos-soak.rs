@@ -183,23 +183,27 @@ fn main() {
     let started = Instant::now();
 
     let config = EngineConfig::new(9, GroupId(0x4000_0009), 0);
-    let server = GatewayServer::start("127.0.0.1:0", config, {
-        let seed = opts.seed;
-        move || {
-            let mut host = DomainHost::try_start(9, 4, seed, || {
-                let mut reg = ObjectRegistry::new();
-                reg.register("Counter", Box::new(|| Box::new(Counter::new())));
-                reg
-            })?;
-            host.create_group(
-                GROUP,
-                "Counter",
-                FtProperties::new(ReplicationStyle::Active).with_initial(3),
-            );
-            Ok(host)
-        }
-    })
-    .unwrap_or_else(|e| die(&format!("gateway start failed: {e}")));
+    let server = GatewayServer::builder()
+        .addr("127.0.0.1:0")
+        .config(config)
+        .host({
+            let seed = opts.seed;
+            move || {
+                let mut host = DomainHost::try_start(9, 4, seed, || {
+                    let mut reg = ObjectRegistry::new();
+                    reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+                    reg
+                })?;
+                host.create_group(
+                    GROUP,
+                    "Counter",
+                    FtProperties::new(ReplicationStyle::Active).with_initial(3),
+                );
+                Ok::<_, ftd_core::Error>(host)
+            }
+        })
+        .build()
+        .unwrap_or_else(|e| die(&format!("gateway start failed: {e}")));
 
     let mut plan = FaultPlan::soak(opts.seed, opts.fault_probability);
     if opts.blackout {

@@ -1,0 +1,310 @@
+//! `ftd-scale` — throughput scaling sweep for the sharded gateway.
+//!
+//! For every (shards, gateways) point in the sweep, brings up a fresh
+//! [`GatewayPool`] (a pool of 1 is a plain [`GatewayServer`]) over an
+//! in-process 4-processor domain hosting G 3-replica active `Counter`
+//! groups, pins group `j` to shard `j % shards` for dense placement,
+//! and drives K closed-loop enhanced clients (each invoking `add` on
+//! its round-robin group) for a fixed wall-clock window.
+//!
+//! The scaling lever on a latency-bound domain is the per-shard §3.2
+//! **admission window**: a gateway admits at most `--window` requests
+//! per shard into the domain at once, so total in-flight — and hence
+//! throughput at fixed round-trip time — grows with the shard count.
+//! The sweep demonstrates exactly that: the headline `speedup_4x1`
+//! compares 4 shards against 1 on a single gateway. Each point is run
+//! `--repeat` times and the best attempt kept, so one unlucky OS
+//! scheduling on a small CI box does not fail the regression gate.
+//!
+//! ```text
+//! ftd-scale [--clients N] [--duration-ms N] [--window N] [--repeat N]
+//!           [--shards LIST] [--gateways LIST]
+//!           [--json PATH] [--assert-speedup F]
+//! ```
+//!
+//! `--json` writes `BENCH_scale.json`-style machine-readable results;
+//! `--assert-speedup F` exits non-zero unless `speedup_4x1 >= F` (the
+//! CI regression gate; requires shards 1 and 4 in the sweep).
+
+use ftd_core::EngineConfig;
+use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
+use ftd_net::{GatewayPool, NetClient};
+use ftd_totem::GroupId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Benchmark groups: one per maximum shard count, pinned round-robin.
+const GROUPS: u32 = 8;
+const BASE_GROUP: u32 = 10;
+
+struct Opts {
+    clients: u32,
+    duration_ms: u64,
+    window: usize,
+    repeat: usize,
+    shards: Vec<usize>,
+    gateways: Vec<usize>,
+    json: Option<String>,
+    assert_speedup: Option<f64>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ftd-scale: {msg}");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad numeric value: {s}")))
+}
+
+fn parse_list(s: &str) -> Vec<usize> {
+    s.split(',').map(|part| parse(part.trim())).collect()
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        clients: 64,
+        duration_ms: 1500,
+        window: 4,
+        repeat: 3,
+        shards: vec![1, 2, 4, 8],
+        gateways: vec![1, 2],
+        json: None,
+        assert_speedup: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--clients" => opts.clients = parse(&value("--clients")),
+            "--duration-ms" => opts.duration_ms = parse(&value("--duration-ms")),
+            "--window" => opts.window = parse(&value("--window")),
+            "--repeat" => opts.repeat = parse(&value("--repeat")),
+            "--shards" => opts.shards = parse_list(&value("--shards")),
+            "--gateways" => opts.gateways = parse_list(&value("--gateways")),
+            "--json" => opts.json = Some(value("--json")),
+            "--assert-speedup" => opts.assert_speedup = Some(parse(&value("--assert-speedup"))),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ftd-scale [--clients N] [--duration-ms N] [--window N] \
+                     [--repeat N] [--shards LIST] [--gateways LIST] [--json PATH] \
+                     [--assert-speedup F]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    if opts.clients == 0 || opts.duration_ms == 0 || opts.repeat == 0 || opts.shards.is_empty() {
+        die("--clients, --duration-ms, --repeat and --shards must be non-trivial");
+    }
+    if opts.shards.contains(&0) || opts.gateways.contains(&0) {
+        die("shard and gateway counts must be >= 1");
+    }
+    opts
+}
+
+struct RunResult {
+    shards: usize,
+    gateways: usize,
+    requests: u64,
+    elapsed_ms: u64,
+    throughput_rps: f64,
+    deferrals: u64,
+}
+
+/// One sweep point: fresh domain, fresh pool, K clients, fixed window.
+fn run_point(opts: &Opts, shards: usize, gateways: usize, seed: u64) -> RunResult {
+    let config = EngineConfig::new(3, GroupId(0x4000_0003), 0);
+    let mut builder = GatewayPool::builder()
+        .gateways(gateways)
+        .config(config)
+        .shards(shards)
+        .max_inflight(opts.window)
+        .host(move || {
+            let mut host = start_host(seed)?;
+            for j in 0..GROUPS {
+                host.create_group(
+                    GroupId(BASE_GROUP + j),
+                    "Counter",
+                    FtProperties::new(ReplicationStyle::Active).with_initial(3),
+                );
+            }
+            Ok::<_, ftd_core::Error>(host)
+        });
+    for j in 0..GROUPS {
+        builder = builder.pin_group(GroupId(BASE_GROUP + j), j as usize % shards);
+    }
+    let pool = builder
+        .build()
+        .unwrap_or_else(|e| die(&format!("pool start ({shards} shards): {e}")));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let workers: Vec<_> = (0..opts.clients)
+        .map(|i| {
+            let client_id = 0x6000 + i as u64;
+            let group = GroupId(BASE_GROUP + i % GROUPS);
+            let ior = pool.ior_for_client(client_id, "IDL:Counter:1.0", group);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("scale-client-{i}"))
+                .spawn(move || {
+                    let mut client =
+                        NetClient::connect(&ior, Some(client_id as u32)).expect("connect");
+                    client
+                        .set_read_timeout(Duration::from_secs(20))
+                        .expect("read timeout");
+                    let mut done = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        match client.invoke("add", &1u64.to_be_bytes()) {
+                            Ok(_) => done += 1,
+                            Err(e) => die(&format!("client {i} invoke: {e}")),
+                        }
+                    }
+                    done
+                })
+                .expect("spawn client")
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(opts.duration_ms));
+    stop.store(true, Ordering::Relaxed);
+    let requests: u64 = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread"))
+        .sum();
+    let elapsed = started.elapsed();
+
+    let stats = pool.shutdown();
+    let deferrals: u64 = (0..shards)
+        .map(|s| {
+            stats.counter(&ftd_obs::names::with_shard(
+                ftd_obs::names::GATEWAY_SHARD_DEFERRALS,
+                s,
+            ))
+        })
+        .sum();
+    let throughput_rps = requests as f64 / elapsed.as_secs_f64();
+    RunResult {
+        shards,
+        gateways,
+        requests,
+        elapsed_ms: elapsed.as_millis() as u64,
+        throughput_rps,
+        deferrals,
+    }
+}
+
+/// The in-process domain behind every sweep point.
+fn start_host(seed: u64) -> ftd_core::Result<ftd_net::DomainHost> {
+    ftd_net::DomainHost::try_start(3, 4, seed, || {
+        let mut reg = ObjectRegistry::new();
+        reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+        reg
+    })
+}
+
+fn main() {
+    let opts = parse_opts();
+    eprintln!(
+        "ftd-scale: clients={} duration={}ms window={} repeat={} shards={:?} gateways={:?}",
+        opts.clients, opts.duration_ms, opts.window, opts.repeat, opts.shards, opts.gateways
+    );
+
+    let mut runs = Vec::new();
+    for &gateways in &opts.gateways {
+        for &shards in &opts.shards {
+            // Best of `repeat` attempts: one attempt measures one
+            // scheduling of 60+ threads on however few cores CI grants,
+            // so a single sample is noise — the max is the point's
+            // actual capability and is what the regression gate needs
+            // to be stable.
+            let r = (0..opts.repeat)
+                .map(|a| run_point(&opts, shards, gateways, 0x5CA1E + shards as u64 + a as u64))
+                .max_by(|x, y| x.throughput_rps.total_cmp(&y.throughput_rps))
+                .expect("repeat >= 1");
+            eprintln!(
+                "ftd-scale: shards={} gateways={} -> {} requests in {}ms = {:.0} rps \
+                 (deferrals={}, best of {})",
+                r.shards,
+                r.gateways,
+                r.requests,
+                r.elapsed_ms,
+                r.throughput_rps,
+                r.deferrals,
+                opts.repeat
+            );
+            runs.push(r);
+        }
+    }
+
+    let rps_at = |shards: usize, gateways: usize| {
+        runs.iter()
+            .find(|r| r.shards == shards && r.gateways == gateways)
+            .map(|r| r.throughput_rps)
+    };
+    let speedup_4x1 = match (rps_at(1, 1), rps_at(4, 1)) {
+        (Some(one), Some(four)) if one > 0.0 => Some(four / one),
+        _ => None,
+    };
+    if let Some(s) = speedup_4x1 {
+        eprintln!("ftd-scale: speedup (4 shards vs 1, single gateway) = {s:.2}x");
+    }
+
+    let passed = match (opts.assert_speedup, speedup_4x1) {
+        (Some(floor), Some(actual)) => actual >= floor,
+        (Some(_), None) => {
+            eprintln!("ftd-scale: --assert-speedup needs shards 1 and 4 in the sweep");
+            false
+        }
+        (None, _) => true,
+    };
+
+    if let Some(path) = &opts.json {
+        let mut rows = String::new();
+        for (i, r) in runs.iter().enumerate() {
+            let sep = if i + 1 < runs.len() { "," } else { "" };
+            rows.push_str(&format!(
+                "    {{\"shards\": {}, \"gateways\": {}, \"requests\": {}, \
+                 \"elapsed_ms\": {}, \"throughput_rps\": {:.1}, \"deferrals\": {}}}{sep}\n",
+                r.shards, r.gateways, r.requests, r.elapsed_ms, r.throughput_rps, r.deferrals
+            ));
+        }
+        let json = format!(
+            "{{\n  \"clients\": {},\n  \"duration_ms\": {},\n  \"window_per_shard\": {},\n  \
+             \"runs\": [\n{rows}  ],\n  \"speedup_4x1\": {},\n  \"passed\": {passed}\n}}\n",
+            opts.clients,
+            opts.duration_ms,
+            opts.window,
+            speedup_4x1
+                .map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "null".to_owned()),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    }
+
+    if passed {
+        println!(
+            "PASS {} points{}",
+            runs.len(),
+            speedup_4x1
+                .map(|s| format!(" speedup_4x1={s:.2}x"))
+                .unwrap_or_default()
+        );
+    } else {
+        println!(
+            "FAIL speedup_4x1={} below floor {}",
+            speedup_4x1
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "n/a".to_owned()),
+            opts.assert_speedup.unwrap_or(0.0)
+        );
+        std::process::exit(1);
+    }
+}

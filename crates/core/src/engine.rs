@@ -169,7 +169,12 @@ impl DomainView for SoloView {
 
 /// Engine configuration: the transport-free subset of
 /// [`GatewayConfig`](crate::GatewayConfig).
+///
+/// Marked `#[non_exhaustive]`: construct with [`EngineConfig::new`] or
+/// [`EngineConfig::builder`] and adjust the public fields — future knobs
+/// then arrive without breaking callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct EngineConfig {
     /// This fault tolerance domain's id (object keys are checked against it).
     pub domain: u32,
@@ -202,6 +207,50 @@ impl EngineConfig {
             cache_capacity: 4096,
             max_body: DEFAULT_MAX_BODY_LEN,
         }
+    }
+
+    /// A builder seeded with [`EngineConfig::new`]'s defaults.
+    pub fn builder(domain: u32, group: GroupId, index: u32) -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::new(domain, group, index),
+        }
+    }
+}
+
+/// Builder for [`EngineConfig`]; see [`EngineConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Adds a peer domain this gateway may bridge to (Fig. 1).
+    pub fn peer_domain(mut self, domain: u32) -> Self {
+        self.config.peer_domains.insert(domain);
+        self
+    }
+
+    /// Sets the client id presented to peer domains when bridging.
+    pub fn bridge_client_id(mut self, id: u32) -> Self {
+        self.config.bridge_client_id = id;
+        self
+    }
+
+    /// Sets the response-cache capacity (§3.5 failover reissues).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the largest GIOP body accepted on any connection.
+    pub fn max_body(mut self, max_body: usize) -> Self {
+        self.config.max_body = max_body;
+        self
+    }
+
+    /// Finishes the configuration.
+    pub fn build(self) -> EngineConfig {
+        self.config
     }
 }
 
@@ -441,8 +490,9 @@ impl GatewayEngine {
         } else {
             return out;
         }
-        loop {
-            let msg = match self.conns.get_mut(&conn).expect("checked").reader.next() {
+        // The connection can disappear mid-batch (MessageError).
+        while let Some(state) = self.conns.get_mut(&conn) {
+            let msg = match state.reader.next() {
                 Ok(Some(m)) => m,
                 Ok(None) => break,
                 Err(_) => {
@@ -458,41 +508,63 @@ impl GatewayEngine {
                     return out;
                 }
             };
-            match msg {
-                GiopMessage::Request(req) => {
-                    self.on_client_request(conn, req, view, &mut out);
-                }
-                GiopMessage::LocateRequest { request_id, .. } => {
-                    // The gateway *is* the object as far as clients know.
-                    out.push(Action::ToClient {
-                        conn,
-                        bytes: GiopMessage::LocateReply {
-                            request_id,
-                            locate_status: 1, // OBJECT_HERE
-                        }
-                        .encode(ByteOrder::Big),
-                    });
-                }
-                GiopMessage::CloseConnection => {
-                    if let Some(state) = self.conns.get_mut(&conn) {
-                        state.graceful_close = true;
+            out.extend(self.on_client_message(conn, msg, view));
+        }
+        out
+    }
+
+    /// One already-framed client message. Hosts that parse GIOP on their
+    /// own threads (the sharded `ftd-net` server: readers frame, shards
+    /// process) dispatch messages straight here; byte-stream hosts go
+    /// through [`GatewayEngine::on_bytes_from_client`], which frames and
+    /// then calls this. A connection the engine has not seen is
+    /// registered silently — the transport already counted its accept.
+    pub fn on_client_message(
+        &mut self,
+        conn: GwConn,
+        msg: GiopMessage,
+        view: &dyn DomainView,
+    ) -> Vec<Action> {
+        let mut out = Vec::new();
+        let max_body = self.config.max_body;
+        self.conns.entry(conn).or_insert_with(|| ClientConn {
+            reader: MessageReader::with_max_body(max_body),
+            client_key: None,
+            graceful_close: false,
+        });
+        match msg {
+            GiopMessage::Request(req) => {
+                self.on_client_request(conn, req, view, &mut out);
+            }
+            GiopMessage::LocateRequest { request_id, .. } => {
+                // The gateway *is* the object as far as clients know.
+                out.push(Action::ToClient {
+                    conn,
+                    bytes: GiopMessage::LocateReply {
+                        request_id,
+                        locate_status: 1, // OBJECT_HERE
                     }
+                    .encode(ByteOrder::Big),
+                });
+            }
+            GiopMessage::CloseConnection => {
+                if let Some(state) = self.conns.get_mut(&conn) {
+                    state.graceful_close = true;
                 }
-                GiopMessage::CancelRequest { .. } => {
-                    out.push(Action::Count {
-                        counter: "gateway.cancels_ignored",
-                    });
-                }
-                GiopMessage::Reply(_) | GiopMessage::LocateReply { .. } => {
-                    out.push(Action::Count {
-                        counter: "gateway.unexpected_messages",
-                    });
-                }
-                GiopMessage::MessageError => {
-                    out.push(Action::CloseClient { conn });
-                    self.conns.remove(&conn);
-                    return out;
-                }
+            }
+            GiopMessage::CancelRequest { .. } => {
+                out.push(Action::Count {
+                    counter: "gateway.cancels_ignored",
+                });
+            }
+            GiopMessage::Reply(_) | GiopMessage::LocateReply { .. } => {
+                out.push(Action::Count {
+                    counter: "gateway.unexpected_messages",
+                });
+            }
+            GiopMessage::MessageError => {
+                out.push(Action::CloseClient { conn });
+                self.conns.remove(&conn);
             }
         }
         out
@@ -913,6 +985,15 @@ impl GatewayEngine {
     /// A snapshot of the §3.2 counters (for hosts that persist them).
     pub fn counters(&self) -> &BTreeMap<u32, u32> {
         &self.counters
+    }
+
+    /// Empties the §3.5 response cache and returns every cached reply —
+    /// the shutdown flush. A host draining its shards calls this after
+    /// the last event so no cached reply is silently dropped with the
+    /// engine.
+    pub fn drain_cached_responses(&mut self) -> Vec<(OperationId, Vec<u8>)> {
+        self.cache_order.clear();
+        std::mem::take(&mut self.cache).into_iter().collect()
     }
 }
 

@@ -1,0 +1,190 @@
+//! The workspace-wide error type.
+//!
+//! Before the builder redesign every layer surfaced its own ad-hoc error
+//! — `HostError` from domain bring-up, `GiopError` from framing,
+//! `std::io::Error` from sockets — and callers matched on three shapes.
+//! [`Error`] is the one type `DomainHost::try_start`,
+//! `GatewayServer::builder().build()`, and `NetClient` all return; the
+//! layer-specific causes stay available through the variants and
+//! [`std::error::Error::source`].
+
+use ftd_giop::GiopError;
+use std::fmt;
+use std::io;
+
+/// Why a fault tolerance domain host could not be brought up (or has
+/// stopped being a usable domain). Defined here so both the simulated
+/// substrate hosts and `ftd-net` speak the same bring-up vocabulary;
+/// `ftd_net::HostError` re-exports it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostError {
+    /// A domain needs at least one processor.
+    NoProcessors,
+    /// The Totem ring did not become operational within the bring-up
+    /// budget; carries how much virtual time was spent waiting.
+    RingFormation {
+        /// Virtual milliseconds spent waiting for the ring.
+        waited_ms: u64,
+    },
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::NoProcessors => write!(f, "a domain needs at least one processor"),
+            HostError::RingFormation { waited_ms } => write!(
+                f,
+                "domain ring failed to form within {waited_ms}ms of virtual time"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HostError {}
+
+/// Errors from the sharded engine layer: misconfigured shard counts and
+/// exhausted routing tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardError {
+    /// A sharded engine needs at least one shard.
+    ZeroShards,
+    /// A pin named a shard outside `0..shards`.
+    ShardOutOfRange {
+        /// The shard index requested.
+        shard: usize,
+        /// How many shards exist.
+        shards: usize,
+    },
+    /// The lock-free routing table has no free slot for another pin.
+    TableFull {
+        /// The table's slot capacity.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::ZeroShards => write!(f, "a sharded engine needs at least one shard"),
+            ShardError::ShardOutOfRange { shard, shards } => {
+                write!(f, "shard {shard} out of range (engine has {shards} shards)")
+            }
+            ShardError::TableFull { capacity } => {
+                write!(f, "shard routing table full ({capacity} slots)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// The one error type the public surfaces return. Marked
+/// `#[non_exhaustive]`: future layers can add variants without breaking
+/// callers.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// Domain bring-up / liveness failure.
+    Host(HostError),
+    /// GIOP framing or CDR decoding failure.
+    Giop(GiopError),
+    /// Shard routing / configuration failure.
+    Shard(ShardError),
+    /// Socket-level I/O failure.
+    Io(io::Error),
+    /// A configuration that cannot be served (builder misuse, bad knobs).
+    Config(String),
+}
+
+impl Error {
+    /// The `io::ErrorKind` when this is transport-level I/O, else `None`.
+    /// Lets retry loops keep matching on kinds without unwrapping variants.
+    pub fn io_kind(&self) -> Option<io::ErrorKind> {
+        match self {
+            Error::Io(e) => Some(e.kind()),
+            _ => None,
+        }
+    }
+
+    /// A config error from anything printable.
+    pub fn config(msg: impl Into<String>) -> Self {
+        Error::Config(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Host(e) => write!(f, "domain host: {e}"),
+            Error::Giop(e) => write!(f, "giop framing: {e}"),
+            Error::Shard(e) => write!(f, "shard routing: {e}"),
+            Error::Io(e) => write!(f, "transport i/o: {e}"),
+            Error::Config(msg) => write!(f, "configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Host(e) => Some(e),
+            Error::Giop(e) => Some(e),
+            Error::Shard(e) => Some(e),
+            Error::Io(e) => Some(e),
+            Error::Config(_) => None,
+        }
+    }
+}
+
+impl From<HostError> for Error {
+    fn from(e: HostError) -> Self {
+        Error::Host(e)
+    }
+}
+
+impl From<GiopError> for Error {
+    fn from(e: GiopError) -> Self {
+        Error::Giop(e)
+    }
+}
+
+impl From<ShardError> for Error {
+    fn from(e: ShardError) -> Self {
+        Error::Shard(e)
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias: `ftd_core::Result<T>`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_error_converts_into_the_workspace_error() {
+        let host: Error = HostError::NoProcessors.into();
+        assert!(matches!(host, Error::Host(_)));
+        let shard: Error = ShardError::ZeroShards.into();
+        assert!(matches!(shard, Error::Shard(_)));
+        let io: Error = io::Error::other("boom").into();
+        assert_eq!(io.io_kind(), Some(io::ErrorKind::Other));
+        assert_eq!(host.io_kind(), None);
+    }
+
+    #[test]
+    fn display_prefixes_the_failing_layer() {
+        let e = Error::from(HostError::RingFormation { waited_ms: 2000 });
+        let text = e.to_string();
+        assert!(text.starts_with("domain host:"), "{text}");
+        assert!(text.contains("2000ms"), "{text}");
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(Error::config("bad knob").to_string().contains("bad knob"));
+    }
+}

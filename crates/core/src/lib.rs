@@ -60,16 +60,23 @@
 mod client;
 mod domain;
 pub mod engine;
+pub mod error;
 mod gateway;
 mod gwmsg;
+pub mod shard;
 
 pub use client::{ClientReply, EnhancedClient, PlainClient, TAG_FLUSH};
 pub use domain::{
     build_domain, build_domain_on, connect_domains, DomainDaemon, DomainHandle, DomainSpec,
 };
 pub use engine::{
-    Action, DomainView, EngineConfig, GatewayEngine, GwConn, SoloView, ENGINE_COUNTERS,
-    ENGINE_LATENCY_SERIES,
+    Action, DomainView, EngineConfig, EngineConfigBuilder, GatewayEngine, GwConn, SoloView,
+    ENGINE_COUNTERS, ENGINE_LATENCY_SERIES,
 };
+pub use error::{Error, HostError, Result, ShardError};
 pub use gateway::{Gateway, GatewayConfig, StableCounters};
 pub use gwmsg::{GwMsg, GwMsgError};
+pub use shard::{
+    classify_client_message, classify_delivery, dedupe_fanout, shard_of, DeliveryRoute,
+    EngineShard, MsgRoute, ShardRouter, ShardedEngine, DEFAULT_ROUTER_SLOTS, FANOUT_ONCE_COUNTERS,
+};

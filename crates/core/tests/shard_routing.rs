@@ -1,0 +1,157 @@
+//! Property tests for the lock-free group→shard routing table: a group
+//! (and hence every client key minted for it) must resolve to exactly
+//! one shard, no matter how many threads consult the table at once or
+//! how many pins land concurrently, and the §3.2 per-group client-key
+//! counters must stay dense `1..=k` when `k` plain clients arrive.
+
+use ftd_core::{shard_of, Action, EngineConfig, ShardRouter, ShardedEngine, SoloView};
+use ftd_giop::{GiopMessage, ObjectKey, Request};
+use ftd_totem::GroupId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const SHARDS: usize = 4;
+const GROUPS: u32 = 128;
+const THREADS: usize = 8;
+const ROUNDS: usize = 200;
+
+/// Every thread resolves every group repeatedly; all observations across
+/// all threads must agree with each other and with the pure hash — a
+/// client key minted on one shard can never be looked up on another.
+#[test]
+fn concurrent_routing_is_stable_and_never_splits_a_group() {
+    let router = Arc::new(ShardRouter::new(SHARDS).unwrap());
+    // Pins are installed before serving starts, exactly as
+    // `GatewayBuilder::pin_group` does; pinned groups must be as stable
+    // as hashed ones.
+    router.pin(GroupId(3), 2).unwrap();
+    router.pin(GroupId(96), 0).unwrap();
+
+    let observations: Vec<HashMap<u32, usize>> = (0..THREADS)
+        .map(|_| {
+            let router = Arc::clone(&router);
+            std::thread::spawn(move || {
+                let mut seen = HashMap::new();
+                for _ in 0..ROUNDS {
+                    for g in 0..GROUPS {
+                        let shard = router.route(GroupId(g));
+                        assert!(shard < SHARDS);
+                        let prior = seen.insert(g, shard);
+                        if let Some(prior) = prior {
+                            assert_eq!(prior, shard, "group {g} split across shards");
+                        }
+                    }
+                }
+                seen
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().expect("router reader thread"))
+        .collect();
+
+    let reference = &observations[0];
+    for seen in &observations[1..] {
+        assert_eq!(seen, reference, "threads disagree on placement");
+    }
+    for (&g, &shard) in reference {
+        let expect = match g {
+            3 => 2,
+            96 => 0,
+            _ => shard_of(GroupId(g), SHARDS),
+        };
+        assert_eq!(shard, expect, "group {g} off its hash/pin placement");
+    }
+}
+
+/// A writer pinning *new* groups while readers route a disjoint set: the
+/// readers' placements must not waver (no torn reads on neighbouring
+/// table slots), and every pin must be visible once installed.
+#[test]
+fn concurrent_pins_do_not_perturb_unrelated_routes() {
+    let router = Arc::new(ShardRouter::new(SHARDS).unwrap());
+    let writer = {
+        let router = Arc::clone(&router);
+        std::thread::spawn(move || {
+            // Groups 1000.. are never routed by the readers below.
+            for g in 0..64u32 {
+                router
+                    .pin(GroupId(1000 + g), (g as usize) % SHARDS)
+                    .unwrap();
+            }
+        })
+    };
+    let readers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let router = Arc::clone(&router);
+            std::thread::spawn(move || {
+                for _ in 0..ROUNDS {
+                    for g in 0..GROUPS {
+                        assert_eq!(
+                            router.route(GroupId(g)),
+                            shard_of(GroupId(g), SHARDS),
+                            "unpinned group {g} must keep its hash placement"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    writer.join().expect("pin writer");
+    for r in readers {
+        r.join().expect("router reader");
+    }
+    for g in 0..64u32 {
+        assert_eq!(router.route(GroupId(1000 + g)), (g as usize) % SHARDS);
+    }
+}
+
+fn request_for(conn_tag: u32, group: u32) -> GiopMessage {
+    GiopMessage::Request(Request {
+        request_id: conn_tag,
+        response_expected: true,
+        object_key: ObjectKey::new(0, group).to_bytes(),
+        operation: "get".into(),
+        ..Request::default()
+    })
+}
+
+/// `k` plain clients per group, interleaved across groups in accept
+/// order: the owning shard's §3.2 counter must read exactly `k` for each
+/// group (keys assigned densely `1..=k`, no gaps, no duplicates) and
+/// every non-owning shard must still read 0.
+#[test]
+fn per_group_client_key_counters_stay_dense_under_interleaved_accepts() {
+    let config = EngineConfig::new(0, GroupId(0x4000_0000), 0);
+    let mut sharded = ShardedEngine::new(config, SHARDS).unwrap();
+    let groups = [GroupId(5), GroupId(11), GroupId(23), GroupId(42)];
+    let k = 6u32;
+
+    let mut conn = 0u64;
+    for round in 1..=k {
+        for &g in &groups {
+            conn += 1;
+            let conn = ftd_core::GwConn(conn);
+            sharded.on_client_accepted(conn);
+            let actions = sharded.on_client_message(conn, request_for(round, g.0), &SoloView);
+            assert!(
+                actions
+                    .iter()
+                    .any(|a| matches!(a, Action::Multicast { group, .. } if *group == g)),
+                "round {round} request for {g:?} forwarded"
+            );
+        }
+    }
+
+    for &g in &groups {
+        let owner = sharded.route(g);
+        for shard in 0..sharded.shard_count() {
+            let counter = sharded.shard(shard).counter_for(g);
+            if shard == owner {
+                assert_eq!(counter, k, "{g:?}: owner counter dense 1..={k}");
+            } else {
+                assert_eq!(counter, 0, "{g:?}: state leaked to shard {shard}");
+            }
+        }
+    }
+}

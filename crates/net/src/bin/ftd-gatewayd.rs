@@ -7,9 +7,16 @@
 //!
 //! ```text
 //! ftd-gatewayd [--port N] [--domain N] [--processors N] [--replicas N]
-//!              [--group N] [--voting] [--seed N]
+//!              [--group N] [--voting] [--seed N] [--shards N]
+//!              [--gateways N] [--inflight N]
 //!              [--metrics-addr HOST:PORT] [--max-body-bytes N]
 //! ```
+//!
+//! `--shards` sets the engine shard (thread) count per gateway (default:
+//! the machine's available parallelism). `--gateways N` with N > 1 runs
+//! a [`GatewayPool`]: N gateways in front of one shared domain, one IOR
+//! printed per gateway. `--inflight` bounds each shard's admission
+//! window.
 //!
 //! With `--metrics-addr`, a second admin listener serves `GET /metrics`
 //! (Prometheus text) and `GET /metrics.json`; the bound address is
@@ -17,7 +24,7 @@
 
 use ftd_core::EngineConfig;
 use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
-use ftd_net::{DomainHost, GatewayServer, ServerOptions};
+use ftd_net::{DomainHost, GatewayPool, GatewayServer, ServerOptions};
 use ftd_totem::GroupId;
 use std::time::Duration;
 
@@ -31,6 +38,9 @@ struct Opts {
     seed: u64,
     metrics_addr: Option<String>,
     max_body_bytes: Option<usize>,
+    shards: Option<usize>,
+    gateways: usize,
+    inflight: Option<usize>,
 }
 
 fn parse_opts() -> Opts {
@@ -44,6 +54,9 @@ fn parse_opts() -> Opts {
         seed: 42,
         metrics_addr: None,
         max_body_bytes: None,
+        shards: None,
+        gateways: 1,
+        inflight: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -61,10 +74,14 @@ fn parse_opts() -> Opts {
             "--voting" => opts.voting = true,
             "--metrics-addr" => opts.metrics_addr = Some(value("--metrics-addr")),
             "--max-body-bytes" => opts.max_body_bytes = Some(parse(&value("--max-body-bytes"))),
+            "--shards" => opts.shards = Some(parse(&value("--shards"))),
+            "--gateways" => opts.gateways = parse(&value("--gateways")),
+            "--inflight" => opts.inflight = Some(parse(&value("--inflight"))),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ftd-gatewayd [--port N] [--domain N] [--processors N] \
-                     [--replicas N] [--group N] [--voting] [--seed N] \
+                     [--replicas N] [--group N] [--voting] [--seed N] [--shards N] \
+                     [--gateways N] [--inflight N] \
                      [--metrics-addr HOST:PORT] [--max-body-bytes N]"
                 );
                 std::process::exit(0);
@@ -74,6 +91,9 @@ fn parse_opts() -> Opts {
     }
     if opts.processors < opts.replicas {
         die("--processors must be >= --replicas");
+    }
+    if opts.gateways == 0 {
+        die("--gateways must be >= 1");
     }
     opts
 }
@@ -103,36 +123,97 @@ fn main() {
     if let Some(max_body) = opts.max_body_bytes {
         config.max_body = max_body;
     }
-    let options = ServerOptions {
-        metrics_addr: opts.metrics_addr.clone(),
+    let mut options = ServerOptions::builder();
+    if let Some(addr) = &opts.metrics_addr {
+        options = options.metrics_addr(addr.clone());
+    }
+    let options = options.build();
+    let host_factory = move || {
+        let mut host = DomainHost::try_start(domain, processors, seed, || {
+            let mut reg = ObjectRegistry::new();
+            reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+            reg
+        })?;
+        host.create_group(
+            group,
+            "Counter",
+            FtProperties::new(style).with_initial(replicas),
+        );
+        Ok::<_, ftd_core::Error>(host)
     };
-    let server = GatewayServer::start_with(
-        &format!("127.0.0.1:{}", opts.port),
-        config,
-        options,
-        move || {
-            let mut host = DomainHost::try_start(domain, processors, seed, || {
-                let mut reg = ObjectRegistry::new();
-                reg.register("Counter", Box::new(|| Box::new(Counter::new())));
-                reg
-            })?;
-            host.create_group(
-                group,
-                "Counter",
-                FtProperties::new(style).with_initial(replicas),
+
+    if opts.gateways > 1 {
+        // Scale-out: one shared domain, N gateways, one IOR per gateway.
+        let mut builder = GatewayPool::builder()
+            .gateways(opts.gateways)
+            .addr("127.0.0.1:0")
+            .config(config)
+            .host(host_factory);
+        if let Some(shards) = opts.shards {
+            builder = builder.shards(shards);
+        }
+        if let Some(window) = opts.inflight {
+            builder = builder.max_inflight(window);
+        }
+        let pool = builder
+            .build()
+            .unwrap_or_else(|e| die(&format!("start failed: {e}")));
+        eprintln!(
+            "ftd-gatewayd: domain {} ({} processors, {} {} Counter replicas) behind {} gateways",
+            domain,
+            processors,
+            replicas,
+            if opts.voting { "voting" } else { "active" },
+            pool.len(),
+        );
+        for g in 0..pool.len() {
+            println!(
+                "{}",
+                pool.gateway(g)
+                    .ior("IDL:Counter:1.0", group)
+                    .to_stringified()
             );
-            Ok(host)
-        },
-    )
-    .unwrap_or_else(|e| die(&format!("start failed: {e}")));
+        }
+        loop {
+            std::thread::sleep(Duration::from_secs(10));
+            let snap = pool.snapshot();
+            let snapshot = pool.registry().snapshot();
+            eprintln!(
+                "ftd-gatewayd: clients={} forwarded={} suppressed={} cached={} \
+                 bytes_in={} bytes_out={}",
+                snap.connected_clients,
+                snapshot.counter("gateway.requests_forwarded"),
+                snap.duplicates_suppressed,
+                snap.cached_responses,
+                snapshot.counter("net.bytes_in"),
+                snapshot.counter("net.bytes_out"),
+            );
+        }
+    }
+
+    let mut builder = GatewayServer::builder()
+        .addr(format!("127.0.0.1:{}", opts.port))
+        .config(config)
+        .options(options)
+        .host(host_factory);
+    if let Some(shards) = opts.shards {
+        builder = builder.shards(shards);
+    }
+    if let Some(window) = opts.inflight {
+        builder = builder.max_inflight(window);
+    }
+    let server = builder
+        .build()
+        .unwrap_or_else(|e| die(&format!("start failed: {e}")));
 
     eprintln!(
-        "ftd-gatewayd: domain {} ({} processors, {} {} Counter replicas) on {}",
+        "ftd-gatewayd: domain {} ({} processors, {} {} Counter replicas) on {} ({} shards)",
         domain,
         processors,
         replicas,
         if opts.voting { "voting" } else { "active" },
-        server.local_addr()
+        server.local_addr(),
+        server.shard_count(),
     );
     if let Some(addr) = server.metrics_addr() {
         eprintln!("ftd-gatewayd: metrics on http://{addr}/metrics");

@@ -23,6 +23,7 @@
 //! retry path degrades to at-least-once: use a client id whenever
 //! duplicate execution would matter.
 
+use ftd_core::Error;
 use ftd_giop::{
     ByteOrder, GiopMessage, Ior, MessageReader, Reply, Request, ServiceContext,
     FT_CLIENT_ID_SERVICE_CONTEXT,
@@ -32,10 +33,6 @@ use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
-
-fn bad_data(e: impl std::fmt::Debug) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}"))
-}
 
 const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
@@ -85,8 +82,8 @@ pub struct NetClient {
 impl NetClient {
     /// Connects to the primary IIOP profile of `ior`. A `client_id` makes
     /// this an enhanced client (§3.5); `None` makes it a plain one (§3.4).
-    pub fn connect(ior: &Ior, client_id: Option<u32>) -> io::Result<NetClient> {
-        let profile = ior.primary_iiop().map_err(bad_data)?;
+    pub fn connect(ior: &Ior, client_id: Option<u32>) -> ftd_core::Result<NetClient> {
+        let profile = ior.primary_iiop()?;
         Self::connect_addr(
             (profile.host.as_str(), profile.port),
             profile.object_key,
@@ -99,7 +96,7 @@ impl NetClient {
         addr: impl ToSocketAddrs,
         object_key: Vec<u8>,
         client_id: Option<u32>,
-    ) -> io::Result<NetClient> {
+    ) -> ftd_core::Result<NetClient> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
         let mut client = NetClient {
             addrs,
@@ -126,7 +123,7 @@ impl NetClient {
 
     /// Sets the read timeout applied to replies outside of
     /// [`NetClient::invoke_retrying`] (which uses its policy's timeout).
-    pub fn set_read_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+    pub fn set_read_timeout(&mut self, timeout: Duration) -> ftd_core::Result<()> {
         self.read_timeout = timeout;
         if let Some(stream) = &self.stream {
             stream.set_read_timeout(Some(timeout))?;
@@ -176,13 +173,13 @@ impl NetClient {
     }
 
     /// Drops the current connection (if any) and redials the gateway.
-    pub fn reconnect(&mut self) -> io::Result<()> {
+    pub fn reconnect(&mut self) -> ftd_core::Result<()> {
         self.disconnect();
         self.reconnects += 1;
         if let Some(registry) = &self.registry {
             registry.inc(names::CLIENT_RECONNECTS);
         }
-        self.dial()
+        Ok(self.dial()?)
     }
 
     /// Drops the connection without redialing. Subsequent invokes fail
@@ -202,7 +199,7 @@ impl NetClient {
     }
 
     /// Invokes `operation` and blocks for its reply.
-    pub fn invoke(&mut self, operation: &str, args: &[u8]) -> io::Result<Reply> {
+    pub fn invoke(&mut self, operation: &str, args: &[u8]) -> ftd_core::Result<Reply> {
         self.next_request += 1;
         let id = self.next_request;
         self.send_request(id, operation, args)?;
@@ -219,11 +216,11 @@ impl NetClient {
         operation: &str,
         args: &[u8],
         policy: &RetryPolicy,
-    ) -> io::Result<Reply> {
+    ) -> ftd_core::Result<Reply> {
         self.next_request += 1;
         let id = self.next_request;
         let mut backoff = policy.backoff;
-        let mut last_err = None;
+        let mut last_err: Option<Error> = None;
         for attempt in 0..=policy.retries {
             if attempt > 0 {
                 self.reissues += 1;
@@ -241,7 +238,7 @@ impl NetClient {
                 }
             }
         }
-        Err(last_err.unwrap_or_else(|| io::Error::other("retry loop never ran")))
+        Err(last_err.unwrap_or_else(|| io::Error::other("retry loop never ran").into()))
     }
 
     /// One attempt of the retrying path: ensure a connection, send under
@@ -252,7 +249,7 @@ impl NetClient {
         operation: &str,
         args: &[u8],
         timeout: Duration,
-    ) -> io::Result<Reply> {
+    ) -> ftd_core::Result<Reply> {
         if self.stream.is_none() {
             self.reconnect()?;
         }
@@ -268,7 +265,12 @@ impl NetClient {
     /// the reply — the reissue a client performs after a failover (§3.5).
     /// The gateway answers retransmissions from its response cache rather
     /// than re-executing.
-    pub fn resend(&mut self, request_id: u32, operation: &str, args: &[u8]) -> io::Result<Reply> {
+    pub fn resend(
+        &mut self,
+        request_id: u32,
+        operation: &str,
+        args: &[u8],
+    ) -> ftd_core::Result<Reply> {
         self.send_request(request_id, operation, args)?;
         self.recv_reply_for(request_id)
     }
@@ -279,7 +281,7 @@ impl NetClient {
         request_id: u32,
         operation: &str,
         args: &[u8],
-    ) -> io::Result<()> {
+    ) -> ftd_core::Result<()> {
         let service_contexts = match self.client_id {
             Some(id) => vec![ServiceContext::new(
                 FT_CLIENT_ID_SERVICE_CONTEXT,
@@ -297,14 +299,14 @@ impl NetClient {
             ..Request::default()
         };
         let bytes = GiopMessage::Request(request).encode(ByteOrder::Big);
-        self.stream()?.write_all(&bytes)
+        Ok(self.stream()?.write_all(&bytes)?)
     }
 
     /// Blocks until the reply for `request_id` arrives; other messages
     /// (stray replies, locate traffic) are discarded.
-    pub fn recv_reply_for(&mut self, request_id: u32) -> io::Result<Reply> {
+    pub fn recv_reply_for(&mut self, request_id: u32) -> ftd_core::Result<Reply> {
         loop {
-            while let Some(msg) = self.reader.next().map_err(bad_data)? {
+            while let Some(msg) = self.reader.next().map_err(Error::Giop)? {
                 match msg {
                     GiopMessage::Reply(reply) if reply.request_id == request_id => {
                         return Ok(reply)
@@ -313,7 +315,8 @@ impl NetClient {
                         return Err(io::Error::new(
                             io::ErrorKind::ConnectionAborted,
                             "gateway closed the connection",
-                        ))
+                        )
+                        .into())
                     }
                     _ => {}
                 }
@@ -324,7 +327,8 @@ impl NetClient {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "gateway hung up mid-reply",
-                ));
+                )
+                .into());
             }
             self.reader.push(&buf[..n]);
         }
@@ -332,11 +336,11 @@ impl NetClient {
 
     /// Reads for up to `wait` and returns how many *extra* GIOP messages
     /// arrived unsolicited — 0 when the gateway honors exactly-one-reply.
-    pub fn drain_extra(&mut self, wait: Duration) -> io::Result<usize> {
+    pub fn drain_extra(&mut self, wait: Duration) -> ftd_core::Result<usize> {
         self.stream()?.set_read_timeout(Some(wait))?;
         let mut extra = 0;
         loop {
-            while let Some(_msg) = self.reader.next().map_err(bad_data)? {
+            while let Some(_msg) = self.reader.next().map_err(Error::Giop)? {
                 extra += 1;
             }
             let mut buf = [0u8; 8 * 1024];
@@ -349,7 +353,7 @@ impl NetClient {
                 {
                     break
                 }
-                Err(e) => return Err(e),
+                Err(e) => return Err(e.into()),
             }
         }
         let timeout = self.read_timeout;
@@ -358,9 +362,9 @@ impl NetClient {
     }
 
     /// Sends an orderly CloseConnection and shuts the socket down.
-    pub fn close(mut self) -> io::Result<()> {
+    pub fn close(mut self) -> ftd_core::Result<()> {
         let bytes = GiopMessage::CloseConnection.encode(ByteOrder::Big);
         self.stream()?.write_all(&bytes)?;
-        self.stream()?.shutdown(Shutdown::Both)
+        Ok(self.stream()?.shutdown(Shutdown::Both)?)
     }
 }

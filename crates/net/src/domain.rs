@@ -1,0 +1,309 @@
+//! The domain thread: one [`DomainHost`] pumped in virtual time, shared
+//! by every gateway in front of it.
+//!
+//! The seed architecture ran the in-process domain *on* the gateway's
+//! single engine thread. With the engine sharded (N threads) and
+//! scale-out (M gateways per domain, [`crate::GatewayPool`]), the domain
+//! gets its own thread: [`DomainService`] owns the host, applies queued
+//! multicasts, advances the virtual clock a slice per real tick, and
+//! routes ordered deliveries out to every registered gateway's shard
+//! queues. Gateways talk to it through a cloneable [`DomainLink`].
+//!
+//! The paper's Fig. 1 anticipates exactly this shape: several gateways
+//! front one fault tolerance domain; the domain is the ordered,
+//! replicated substrate and the gateways are the scale-out edge.
+
+use crate::host::{DomainHost, HostView};
+use ftd_core::Error;
+use ftd_obs::{names, Registry};
+use ftd_sim::SimDuration;
+use ftd_totem::GroupId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How much real time the domain thread waits per tick, and how much
+/// virtual time the in-process domain advances per tick.
+pub(crate) const TICK_REAL: Duration = Duration::from_millis(1);
+pub(crate) const TICK_VIRTUAL: SimDuration = SimDuration::from_millis(2);
+
+/// A live fault injected into the domain behind serving gateways — the
+/// harness-facing face of the §3.5 fault model. Applied on the domain
+/// thread via [`DomainLink::inject`] / `GatewayServer::inject`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainFault {
+    /// Crash a domain processor (by index; 0, the relay, is refused).
+    CrashProcessor(usize),
+    /// Recover a previously crashed processor.
+    RecoverProcessor(usize),
+}
+
+/// A delivery fan-out callback registered by one gateway: returns `false`
+/// once the gateway is gone, and the service drops it.
+pub(crate) type DeliverySink = Box<dyn FnMut(GroupId, &[u8]) -> bool + Send>;
+
+enum DomainCmd {
+    Multicast(GroupId, Vec<u8>),
+    Chaos(DomainFault),
+    Register(DeliverySink),
+    /// Drain the domain (pump until deliveries stop arriving), then ack.
+    Quiesce(Sender<()>),
+    Shutdown,
+}
+
+struct DomainSharedState {
+    healthy: AtomicBool,
+    view: Mutex<Arc<HostView>>,
+}
+
+/// A cloneable handle to a running [`DomainService`]. Cheap to clone;
+/// every gateway and every shard thread holds one.
+#[derive(Clone)]
+pub struct DomainLink {
+    tx: Sender<DomainCmd>,
+    shared: Arc<DomainSharedState>,
+}
+
+impl std::fmt::Debug for DomainLink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainLink")
+            .field("healthy", &self.healthy())
+            .finish()
+    }
+}
+
+impl DomainLink {
+    /// Whether the domain's ring is currently operational. Gateways shed
+    /// new connections while `false`.
+    pub fn healthy(&self) -> bool {
+        self.shared.healthy.load(Ordering::SeqCst)
+    }
+
+    /// Injects a live fault (applied on the domain thread before its
+    /// next tick).
+    pub fn inject(&self, fault: DomainFault) {
+        let _ = self.tx.send(DomainCmd::Chaos(fault));
+    }
+
+    /// Queues a totally ordered multicast into the domain.
+    pub(crate) fn multicast(&self, group: GroupId, payload: Vec<u8>) {
+        let _ = self.tx.send(DomainCmd::Multicast(group, payload));
+    }
+
+    /// The latest published [`DomainView`](ftd_core::DomainView) snapshot.
+    pub(crate) fn view(&self) -> Arc<HostView> {
+        self.shared.view.lock().expect("view lock").clone()
+    }
+
+    /// Registers a gateway's delivery sink.
+    pub(crate) fn register_sink(&self, sink: DeliverySink) {
+        let _ = self.tx.send(DomainCmd::Register(sink));
+    }
+
+    /// Asks the domain thread to drain in-flight work and waits (bounded
+    /// by `timeout`) for the ack. Used by gateway shutdown so replies
+    /// already ordered inside the domain reach the shard queues before
+    /// the shards stop.
+    pub(crate) fn quiesce(&self, timeout: Duration) {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if self.tx.send(DomainCmd::Quiesce(ack_tx)).is_ok() {
+            let _ = ack_rx.recv_timeout(timeout);
+        }
+    }
+}
+
+/// Owns the domain thread. Construct with [`DomainService::start`]; hand
+/// [`DomainService::link`] clones to gateways (or let
+/// `GatewayServer::builder().host(..)` start a private one).
+pub struct DomainService {
+    link: DomainLink,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for DomainService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainService")
+            .field("healthy", &self.link.healthy())
+            .finish()
+    }
+}
+
+impl DomainService {
+    /// Runs `host` on a fresh domain thread (the simulated world never
+    /// crosses threads) and waits for bring-up: an error from the factory
+    /// — e.g. [`ftd_core::HostError::RingFormation`] — is returned here
+    /// instead of killing the thread. The host's deterministic `totem.*`
+    /// counters are bridged into `registry`.
+    pub fn start(
+        registry: Arc<Registry>,
+        host: impl FnOnce() -> ftd_core::Result<DomainHost> + Send + 'static,
+    ) -> ftd_core::Result<DomainService> {
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::new(DomainSharedState {
+            healthy: AtomicBool::new(true),
+            view: Mutex::new(Arc::new(HostView::default())),
+        });
+        let (ready_tx, ready_rx) = mpsc::channel::<ftd_core::Result<()>>();
+        let thread_shared = shared.clone();
+        let thread = thread::Builder::new()
+            .name("ftd-domain".into())
+            .spawn(move || {
+                let mut host = match host() {
+                    Ok(host) => {
+                        let _ = ready_tx.send(Ok(()));
+                        host
+                    }
+                    Err(e) => {
+                        let _ = ready_tx.send(Err(e));
+                        return;
+                    }
+                };
+                host.bind_stats(registry.clone());
+                domain_loop(rx, host, thread_shared, registry);
+            })
+            .map_err(Error::Io)?;
+
+        // The domain must be up before any gateway advertises itself:
+        // surface bring-up failures here, not as a serving black hole.
+        match ready_rx.recv() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                let _ = thread.join();
+                return Err(e);
+            }
+            Err(_) => {
+                let _ = thread.join();
+                return Err(Error::config("domain thread died during bring-up"));
+            }
+        }
+        Ok(DomainService {
+            link: DomainLink { tx, shared },
+            thread: Some(thread),
+        })
+    }
+
+    /// A handle gateways use to reach this domain.
+    pub fn link(&self) -> DomainLink {
+        self.link.clone()
+    }
+
+    fn stop(&mut self) {
+        let _ = self.link.tx.send(DomainCmd::Shutdown);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Stops the domain thread and joins it.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+}
+
+impl Drop for DomainService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn route_deliveries(deliveries: &[(GroupId, Vec<u8>)], sinks: &mut Vec<DeliverySink>) {
+    if deliveries.is_empty() || sinks.is_empty() {
+        return;
+    }
+    sinks.retain_mut(|sink| {
+        deliveries
+            .iter()
+            .all(|(group, payload)| sink(*group, payload))
+    });
+}
+
+fn domain_loop(
+    rx: Receiver<DomainCmd>,
+    mut host: DomainHost,
+    shared: Arc<DomainSharedState>,
+    registry: Arc<Registry>,
+) {
+    let mut sinks: Vec<DeliverySink> = Vec::new();
+    let mut next_tick = Instant::now() + TICK_REAL;
+    loop {
+        // Gather commands until the tick boundary. The ring advances on
+        // a fixed real-time cadence — token rotation is not free — so no
+        // matter how fast multicasts arrive, ordered deliveries surface
+        // at tick granularity. That pacing is what makes the per-shard
+        // admission window the throughput lever: a gateway overlaps up
+        // to `max_inflight` requests per shard into each rotation.
+        let mut stop = false;
+        let mut disconnected = false;
+        let mut quiesce_acks = Vec::new();
+        loop {
+            let now = Instant::now();
+            if now >= next_tick || stop {
+                break;
+            }
+            match rx.recv_timeout(next_tick - now) {
+                Ok(cmd) => match cmd {
+                    DomainCmd::Multicast(group, payload) => host.multicast(group, payload),
+                    DomainCmd::Chaos(DomainFault::CrashProcessor(i)) => {
+                        host.crash_processor(i);
+                    }
+                    DomainCmd::Chaos(DomainFault::RecoverProcessor(i)) => {
+                        host.recover_processor(i);
+                    }
+                    DomainCmd::Register(sink) => sinks.push(sink),
+                    DomainCmd::Quiesce(ack) => quiesce_acks.push(ack),
+                    DomainCmd::Shutdown => stop = true,
+                },
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        if disconnected {
+            break;
+        }
+        next_tick = Instant::now() + TICK_REAL;
+
+        // Advance the virtual clock and push ordered deliveries out to
+        // the gateways' shard queues.
+        let deliveries = host.pump(TICK_VIRTUAL);
+        route_deliveries(&deliveries, &mut sinks);
+
+        if !quiesce_acks.is_empty() {
+            // Drain: keep pumping until the domain goes quiet for a few
+            // consecutive ticks (bounded), so in-flight invocations
+            // produce their replies before the requester shuts its
+            // shards down.
+            let mut idle = 0u32;
+            for _ in 0..400 {
+                if idle >= 5 {
+                    break;
+                }
+                let more = host.pump(TICK_VIRTUAL);
+                if more.is_empty() {
+                    idle += 1;
+                } else {
+                    idle = 0;
+                    route_deliveries(&more, &mut sinks);
+                }
+            }
+            for ack in quiesce_acks {
+                let _ = ack.send(());
+            }
+        }
+
+        // Re-assess serving health: degraded while the ring is broken,
+        // recovered the tick it heals.
+        let healthy = host.is_operational();
+        shared.healthy.store(healthy, Ordering::SeqCst);
+        registry.set_gauge(names::GATEWAY_HEALTH, healthy as i64);
+        *shared.view.lock().expect("view lock") = Arc::new(host.view());
+
+        if stop {
+            break;
+        }
+    }
+}

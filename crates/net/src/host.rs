@@ -55,34 +55,11 @@ impl DaemonExtension for Relay {
 
 type HostDaemon = EternalDaemon<Relay>;
 
-/// Why a [`DomainHost`] could not be brought up (or has stopped being a
-/// usable domain): surfaced through [`DomainHost::try_start`] so callers
-/// can report the failure instead of aborting.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum HostError {
-    /// A domain needs at least one processor.
-    NoProcessors,
-    /// The Totem ring did not become operational within the bring-up
-    /// budget; carries how much virtual time was spent waiting.
-    RingFormation {
-        /// Virtual milliseconds spent waiting for the ring.
-        waited_ms: u64,
-    },
-}
-
-impl std::fmt::Display for HostError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            HostError::NoProcessors => write!(f, "a domain needs at least one processor"),
-            HostError::RingFormation { waited_ms } => write!(
-                f,
-                "domain ring failed to form within {waited_ms}ms of virtual time"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for HostError {}
+/// Why a [`DomainHost`] could not be brought up. Now defined in
+/// [`ftd_core::error`] (re-exported here for compatibility) so the whole
+/// workspace shares one bring-up vocabulary; [`DomainHost::try_start`]
+/// surfaces it wrapped in the workspace-wide [`ftd_core::Error`].
+pub use ftd_core::HostError;
 
 /// A [`DomainView`] snapshot taken from the relay daemon's directory;
 /// handed to the engine for one batch of events.
@@ -145,16 +122,16 @@ impl DomainHost {
     }
 
     /// [`DomainHost::new`] without the panics: brings the domain up and
-    /// reports ring-formation failure as a [`HostError`] the caller can
-    /// print or turn into a degraded-start decision.
+    /// reports ring-formation failure as [`ftd_core::Error::Host`] the
+    /// caller can print or turn into a degraded-start decision.
     pub fn try_start(
         domain: u32,
         processors: u32,
         seed: u64,
         registry: impl Fn() -> ObjectRegistry + Clone + 'static,
-    ) -> Result<Self, HostError> {
+    ) -> ftd_core::Result<Self> {
         if processors == 0 {
-            return Err(HostError::NoProcessors);
+            return Err(HostError::NoProcessors.into());
         }
         let mut world = World::new(seed);
         let lan = world.add_lan(Default::default());
@@ -197,7 +174,7 @@ impl DomainHost {
             waited_ms += 5;
         }
         if !host.is_operational() {
-            return Err(HostError::RingFormation { waited_ms });
+            return Err(HostError::RingFormation { waited_ms }.into());
         }
         Ok(host)
     }
@@ -362,10 +339,10 @@ mod tests {
 
     #[test]
     fn try_start_reports_errors_instead_of_panicking() {
-        assert_eq!(
-            DomainHost::try_start(1, 0, 7, registry).err(),
-            Some(HostError::NoProcessors)
-        );
+        assert!(matches!(
+            DomainHost::try_start(1, 0, 7, registry),
+            Err(ftd_core::Error::Host(HostError::NoProcessors))
+        ));
         assert!(DomainHost::try_start(1, 2, 7, registry).is_ok());
     }
 

@@ -7,15 +7,22 @@
 //! the first being the deterministic simulation — and runs the *same*
 //! engine over `std::net` sockets:
 //!
-//! * [`GatewayServer`] — a listening gateway: accept/reader threads feed
-//!   an engine thread that owns the engine and the in-process domain and
-//!   multiplexes all writes (see `server` module docs for the thread
-//!   layout).
-//! * [`DomainHost`] — the fault tolerance domain behind the gateway: the
-//!   simulated substrate (Totem ring, replication mechanisms, replicated
-//!   objects) hosted in-process and advanced in virtual time.
+//! * [`GatewayServer`] — a listening gateway, built with
+//!   [`GatewayServer::builder`]: per-connection reader threads parse GIOP
+//!   frames and dispatch them through a lock-free group→shard routing
+//!   table to N engine shard threads, each owning its slice of the
+//!   engine state (see `server` module docs for the thread layout).
+//! * [`GatewayPool`] — M gateways in front of one shared domain, with
+//!   deterministic client partitioning and per-client IORs advertising
+//!   the owning gateway.
+//! * [`DomainHost`] — the fault tolerance domain behind the gateway(s):
+//!   the simulated substrate (Totem ring, replication mechanisms,
+//!   replicated objects) hosted in-process on its own [`DomainService`]
+//!   thread and advanced in virtual time.
 //! * [`NetClient`] — a blocking GIOP/IIOP client for real sockets, plain
 //!   (§3.4) or enhanced with the client-id service context (§3.5).
+//!
+//! Fallible surfaces return the workspace-wide [`ftd_core::Error`].
 //!
 //! The `ftd-gatewayd` binary serves a domain and prints a stringified
 //! IOR whose profile carries the gateway's real host and port; the
@@ -26,9 +33,16 @@
 #![warn(missing_docs)]
 
 mod client;
+mod domain;
 mod host;
+mod pool;
 mod server;
 
 pub use client::{NetClient, RetryPolicy};
+pub use domain::{DomainFault, DomainLink, DomainService};
 pub use host::{DomainHost, HostError, HostView};
-pub use server::{DomainFault, EngineSnapshot, GatewayServer, ServerOptions, CONN_INBOUND_BUDGET};
+pub use pool::{gateway_for_client, GatewayPool, GatewayPoolBuilder};
+pub use server::{
+    EngineSnapshot, GatewayBuilder, GatewayServer, ServerOptions, ServerOptionsBuilder,
+    ShutdownReport, CONN_INBOUND_BUDGET, DEFAULT_MAX_INFLIGHT,
+};

@@ -1,18 +1,31 @@
 //! The real-socket gateway front end: [`GatewayServer`] listens on an
 //! operating-system TCP port and runs the transport-agnostic
-//! [`GatewayEngine`] against it.
+//! [`GatewayEngine`] against it — sharded by server group across N
+//! engine threads.
 //!
 //! Threading (§3.1's "gateway process", mapped onto threads):
 //!
 //! * an **accept thread** blocks on the listener and spawns one **reader
-//!   thread** per accepted connection; readers forward raw bytes as
-//!   events,
-//! * a single **engine thread** owns the [`GatewayEngine`] *and* the
-//!   in-process [`DomainHost`], drains the event channel, and applies the
-//!   engine's [`Action`]s: client-bound bytes are written here (it doubles
-//!   as the writer/mux thread), multicasts go into the domain, and the
-//!   domain's virtual clock is advanced a slice per tick so ordered
-//!   deliveries flow back out to clients,
+//!   thread** per accepted connection; readers own the connection's GIOP
+//!   frame parser and dispatch whole messages to shard queues through the
+//!   lock-free [`ShardRouter`] (group-addressed messages go to the owning
+//!   shard; connection-scoped messages fan to every shard),
+//! * **N shard threads** (`GatewayServer::builder().shards(n)`, default
+//!   `std::thread::available_parallelism`) each own a [`GatewayEngine`]
+//!   with that shard's slice of the §3.2 client-id counters, §3.3
+//!   duplicate-suppression filter, and §3.5 response cache. Each shard
+//!   drains its own mpsc queue, applies the engine's [`Action`]s (writes
+//!   go through per-connection mutexed writers), and enforces a
+//!   per-shard **admission window**: at most `max_inflight` requests
+//!   in the domain at once, the rest deferred FIFO — so the shard count
+//!   multiplies the gateway's admitted concurrency while one overloaded
+//!   group cannot starve the rest,
+//! * one **domain thread** ([`crate::DomainService`]) owns the in-process
+//!   [`DomainHost`], advances its virtual clock a slice per real tick,
+//!   and routes ordered deliveries back to the shard queues (replica
+//!   responses to the shard owning their group, gateway-group
+//!   coordination to every shard). Several gateways may share it — see
+//!   [`crate::GatewayPool`],
 //! * optionally, a **metrics thread** serves `GET /metrics` (Prometheus
 //!   text), `GET /metrics.json`, and `GET /health` over a minimal
 //!   HTTP/1.0 responder on a separate admin listener (see
@@ -20,32 +33,38 @@
 //!
 //! # Graceful degradation (§3.5 fault model)
 //!
-//! The gateway survives its domain rather than crashing with it. Every
-//! tick the engine thread re-checks the domain's ring; while it is not
+//! The gateway survives its domain rather than crashing with it. The
+//! domain thread re-checks the ring every tick; while it is not
 //! operational the gateway is **degraded**: the health gauge drops to 0,
 //! `GET /health` answers `503 degraded`, and new connections are shed at
 //! accept time (existing clients keep being served — with a partial ring
 //! the surviving replicas still answer). When the ring heals the gateway
 //! recovers by itself. Each reader enforces a bounded per-connection
-//! inbound queue, so one client flooding bytes faster than the engine
-//! drains them is disconnected instead of growing the event channel
-//! without limit.
+//! inbound budget, so one client flooding bytes faster than its shard
+//! drains them is disconnected instead of growing the queue without
+//! limit.
 //!
 //! Every thread reports into one shared [`ftd_obs::Registry`]: the
-//! engine's `gateway.*` counters and per-group latency histogram, the
-//! transport's `net.*` byte/frame counters, and — through the
-//! [`Stats`] bridge bound to the in-process domain's world — the
-//! `totem.*` ring counters.
+//! engines' `gateway.*` counters and per-group latency histogram, the
+//! per-shard `gateway.shard.*` series, the transport's `net.*`
+//! byte/frame counters, and — through the bridge bound to the in-process
+//! domain's world — the `totem.*` ring counters. [`GatewayServer::stats`]
+//! reconstructs the legacy [`Stats`] view from that registry.
 //!
 //! Nothing but `std::net` and `std::sync` is used — the crate adds zero
 //! external dependencies.
 
-use crate::host::{DomainHost, HostError};
-use ftd_core::{Action, EngineConfig, GatewayEngine, GwConn, ENGINE_LATENCY_SERIES};
-use ftd_eternal::{GatewayEndpoint, IorPublisher};
-use ftd_giop::Ior;
-use ftd_obs::{names, RealClock, Registry};
-use ftd_sim::{SimDuration, Stats};
+use crate::domain::{DomainFault, DomainLink, DomainService, TICK_REAL};
+use crate::host::DomainHost;
+use ftd_core::{
+    classify_client_message, classify_delivery, Action, DeliveryRoute, EngineConfig, Error,
+    GatewayEngine, GwConn, MsgRoute, ShardError, ShardRouter, ENGINE_LATENCY_SERIES,
+    FANOUT_ONCE_COUNTERS,
+};
+use ftd_eternal::{GatewayEndpoint, IorPublisher, OperationId};
+use ftd_giop::{ByteOrder, GiopMessage, Ior, MessageReader};
+use ftd_obs::{names, Clock, Counter, Histogram, RealClock, Registry};
+use ftd_sim::Stats;
 use ftd_totem::GroupId;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
@@ -57,38 +76,20 @@ use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Most bytes a single connection may have in flight between its reader
-/// thread and the engine thread. A client that outruns the engine by
+/// thread and the shard threads. A client that outruns its shard by
 /// more than this is disconnected (`net.queue_overflows`) instead of
 /// growing the event queue without bound.
 pub const CONN_INBOUND_BUDGET: usize = 1 << 20;
 
-/// A live fault injected into the domain behind a serving gateway —
-/// the harness-facing face of the §3.5 fault model. Applied on the
-/// engine thread via [`GatewayServer::inject`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DomainFault {
-    /// Crash a domain processor (by index; 0, the relay, is refused).
-    CrashProcessor(usize),
-    /// Recover a previously crashed processor.
-    RecoverProcessor(usize),
-}
+/// Default per-shard admission window (see [`GatewayBuilder::max_inflight`]).
+pub const DEFAULT_MAX_INFLIGHT: usize = 256;
 
-/// Transport events flowing from the socket threads to the engine thread.
-enum Ev {
-    /// A connection was accepted; the stream is the write half, the
-    /// counter is its shared inbound-queue budget.
-    Accepted(u64, TcpStream, Arc<AtomicUsize>),
-    /// Bytes arrived on a connection.
-    Data(u64, Vec<u8>),
-    /// A connection reached EOF or errored.
-    Closed(u64),
-    /// A live fault to apply to the in-process domain.
-    Chaos(DomainFault),
-    /// Stop serving.
-    Shutdown,
-}
+/// If a shard's admission window stays full this long with no reply
+/// progress (replies lost to chaos, oneway traffic), the window resets
+/// rather than wedging the shard.
+const STALL_RESET: Duration = Duration::from_millis(500);
 
-/// Engine-side gauges mirrored out of the engine thread after every batch.
+/// Engine-side gauges mirrored out of a shard thread after every batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineSnapshot {
     /// Clients currently known to the engine (§3.2 identity table size).
@@ -99,81 +100,252 @@ pub struct EngineSnapshot {
     pub cached_responses: usize,
 }
 
-/// Optional knobs for [`GatewayServer::start_with`].
+impl EngineSnapshot {
+    fn absorb(&mut self, other: &EngineSnapshot) {
+        self.connected_clients += other.connected_clients;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+        self.cached_responses += other.cached_responses;
+    }
+}
+
+/// Optional serving knobs. Construct via [`ServerOptions::builder`] (the
+/// struct is `#[non_exhaustive]`, so literal construction only works
+/// inside this crate).
 #[derive(Debug, Clone, Default)]
+#[non_exhaustive]
 pub struct ServerOptions {
     /// Address for the admin/metrics listener (e.g. `"127.0.0.1:9100"`,
     /// port 0 for ephemeral). `None` disables the endpoint.
     pub metrics_addr: Option<String>,
 }
 
-struct Shared {
-    stats: Mutex<Stats>,
-    snapshot: Mutex<EngineSnapshot>,
-    shutdown: AtomicBool,
-    /// `true` while the domain behind the gateway is operational; new
-    /// connections are shed while `false`.
-    healthy: AtomicBool,
-    registry: Arc<Registry>,
+impl ServerOptions {
+    /// Starts building [`ServerOptions`].
+    pub fn builder() -> ServerOptionsBuilder {
+        ServerOptionsBuilder::default()
+    }
 }
 
-impl Default for Shared {
-    fn default() -> Self {
-        Shared {
-            stats: Mutex::new(Stats::default()),
-            snapshot: Mutex::new(EngineSnapshot::default()),
-            shutdown: AtomicBool::new(false),
-            healthy: AtomicBool::new(true),
-            registry: Arc::new(Registry::new()),
+/// Builder for [`ServerOptions`]; see [`ServerOptions::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct ServerOptionsBuilder {
+    metrics_addr: Option<String>,
+}
+
+impl ServerOptionsBuilder {
+    /// Enables the `GET /metrics` + `GET /health` admin listener on `addr`.
+    pub fn metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Finishes the options.
+    pub fn build(self) -> ServerOptions {
+        ServerOptions {
+            metrics_addr: self.metrics_addr,
         }
     }
 }
 
-/// A gateway serving a fault tolerance domain on a real TCP socket. See
-/// the module docs.
-pub struct GatewayServer {
-    local_addr: SocketAddr,
-    metrics_addr: Option<SocketAddr>,
-    publisher: IorPublisher,
-    tx: Sender<Ev>,
-    shared: Arc<Shared>,
-    engine_thread: Option<JoinHandle<()>>,
-    accept_thread: Option<JoinHandle<()>>,
-    metrics_thread: Option<JoinHandle<()>>,
+/// Everything a gateway's shards drained on shutdown, beyond the final
+/// [`Stats`]: per-shard engine gauges and the flushed §3.5 response
+/// caches (no cached reply is silently lost on a graceful stop — a
+/// redundant-gateway deployment would hand these to its successor).
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Final statistics (same as [`GatewayServer::stats`]).
+    pub stats: Stats,
+    /// Final per-shard engine gauges, indexed by shard.
+    pub shards: Vec<EngineSnapshot>,
+    /// Cached responses flushed from every shard's response cache.
+    pub cached_replies: Vec<(OperationId, Vec<u8>)>,
 }
 
-impl std::fmt::Debug for GatewayServer {
+/// Transport events flowing from the socket threads to a shard thread.
+enum ShardEv {
+    /// A connection was accepted (fanned to every shard); the writer is
+    /// the shared mutexed write half, the counter its inbound budget.
+    Accepted(u64, Arc<ConnWriter>, Arc<AtomicUsize>),
+    /// A parsed GIOP message for this shard. The cost is how many wire
+    /// bytes the message consumed (released from the connection's budget
+    /// once processed; 0 for fan-out copies beyond the first).
+    Msg(u64, GiopMessage, usize),
+    /// A connection reached EOF or errored (fanned to every shard).
+    Closed(u64),
+    /// An ordered delivery from the domain routed to this shard.
+    Delivery(GroupId, Vec<u8>),
+    /// Stop serving; the queue ahead of this sentinel is drained first.
+    Shutdown,
+}
+
+/// The write half of one client connection, shared by every shard that
+/// may answer on it. Writes are whole GIOP messages under a mutex, so
+/// concurrent shards never interleave partial frames.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn write(&self, bytes: &[u8]) -> bool {
+        match self.stream.lock() {
+            Ok(mut stream) => stream.write_all(bytes).is_ok(),
+            Err(_) => false,
+        }
+    }
+
+    fn close(&self) {
+        if let Ok(stream) = self.stream.lock() {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+struct Shared {
+    registry: Arc<Registry>,
+    /// Per-shard engine gauges, mirrored out of each shard after every
+    /// batch; summed by [`GatewayServer::snapshot`].
+    shard_snapshots: Mutex<Vec<EngineSnapshot>>,
+    shutdown: AtomicBool,
+}
+
+type HostFactory = Box<dyn FnOnce() -> ftd_core::Result<DomainHost> + Send + 'static>;
+
+/// Builder for [`GatewayServer`] — the one way to start a gateway.
+///
+/// ```no_run
+/// use ftd_net::{DomainHost, GatewayServer, ServerOptions};
+/// use ftd_core::EngineConfig;
+/// use ftd_eternal::ObjectRegistry;
+/// use ftd_totem::GroupId;
+///
+/// let server = GatewayServer::builder()
+///     .addr("127.0.0.1:0")
+///     .config(EngineConfig::new(1, GroupId(0x4000_0001), 0))
+///     .options(ServerOptions::builder().metrics_addr("127.0.0.1:0").build())
+///     .shards(4)
+///     .host(|| DomainHost::try_start(1, 4, 7, ObjectRegistry::new))
+///     .build()
+///     .expect("gateway starts");
+/// # drop(server);
+/// ```
+pub struct GatewayBuilder {
+    addr: String,
+    config: Option<EngineConfig>,
+    options: ServerOptions,
+    registry: Option<Arc<Registry>>,
+    clock: Option<Arc<dyn Clock>>,
+    shards: Option<usize>,
+    max_inflight: usize,
+    pins: Vec<(GroupId, usize)>,
+    host: Option<HostFactory>,
+    domain: Option<DomainLink>,
+}
+
+impl std::fmt::Debug for GatewayBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("GatewayServer")
-            .field("local_addr", &self.local_addr)
+        f.debug_struct("GatewayBuilder")
+            .field("addr", &self.addr)
+            .field("shards", &self.shards)
             .finish()
     }
 }
 
-impl GatewayServer {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// the domain produced by `host` through an engine configured by
-    /// `config`. The host factory runs on the engine thread — the
-    /// simulated world never crosses threads — and its error (e.g.
-    /// [`HostError::RingFormation`]) is propagated back out of this call
-    /// instead of killing the engine thread.
-    pub fn start(
-        addr: &str,
-        config: EngineConfig,
-        host: impl FnOnce() -> Result<DomainHost, HostError> + Send + 'static,
-    ) -> io::Result<GatewayServer> {
-        Self::start_with(addr, config, ServerOptions::default(), host)
+impl GatewayBuilder {
+    /// The address to listen on (default `"127.0.0.1:0"`; port 0 binds
+    /// an ephemeral port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
     }
 
-    /// [`GatewayServer::start`] with extra [`ServerOptions`] — notably
-    /// the `GET /metrics` + `GET /health` admin listener.
-    pub fn start_with(
-        addr: &str,
-        config: EngineConfig,
-        options: ServerOptions,
-        host: impl FnOnce() -> Result<DomainHost, HostError> + Send + 'static,
-    ) -> io::Result<GatewayServer> {
-        let listener = TcpListener::bind(addr)?;
+    /// The engine configuration (required).
+    pub fn config(mut self, config: EngineConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Optional serving knobs (admin/metrics listener).
+    pub fn options(mut self, options: ServerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The metrics registry every gateway thread reports into (default:
+    /// a fresh registry, exposed via [`GatewayServer::registry`]).
+    pub fn registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The clock behind the per-group admission→reply latency histogram
+    /// (default: [`RealClock`]).
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// How many engine shards (threads) to run. Default:
+    /// `std::thread::available_parallelism()`. Each server group's state
+    /// lives on exactly one shard; 0 is rejected at [`GatewayBuilder::build`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Per-shard admission window: at most this many requests in the
+    /// domain at once per shard, the rest deferred FIFO (default
+    /// [`DEFAULT_MAX_INFLIGHT`]). Total gateway admission capacity is
+    /// `shards × max_inflight` — the knob behind multi-shard scaling.
+    pub fn max_inflight(mut self, window: usize) -> Self {
+        self.max_inflight = window.max(1);
+        self
+    }
+
+    /// Pins `group`'s state to a specific shard in the lock-free routing
+    /// table, overriding the hash placement (capacity planning, or
+    /// spreading a known-hot set of groups evenly).
+    pub fn pin_group(mut self, group: GroupId, shard: usize) -> Self {
+        self.pins.push((group, shard));
+        self
+    }
+
+    /// Serve a private in-process domain produced by `factory` (run on
+    /// the domain thread — the simulated world never crosses threads).
+    /// Mutually exclusive with [`GatewayBuilder::domain`].
+    pub fn host<E>(
+        mut self,
+        factory: impl FnOnce() -> Result<DomainHost, E> + Send + 'static,
+    ) -> Self
+    where
+        E: Into<Error>,
+    {
+        self.host = Some(Box::new(move || factory().map_err(Into::into)));
+        self
+    }
+
+    /// Serve an already-running shared domain ([`DomainService::link`]) —
+    /// how [`crate::GatewayPool`] puts several gateways in front of one
+    /// domain. Mutually exclusive with [`GatewayBuilder::host`].
+    pub fn domain(mut self, link: DomainLink) -> Self {
+        self.domain = Some(link);
+        self
+    }
+
+    /// Binds the listener, brings the domain up (when built with
+    /// [`GatewayBuilder::host`]), spawns the shard/accept/metrics
+    /// threads, and returns the serving gateway.
+    pub fn build(self) -> ftd_core::Result<GatewayServer> {
+        let config = self
+            .config
+            .ok_or_else(|| Error::config("GatewayServer::builder() requires .config(..)"))?;
+        let shards = match self.shards {
+            Some(0) => return Err(ShardError::ZeroShards.into()),
+            Some(n) => n,
+            None => thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        };
+        let listener = TcpListener::bind(&self.addr)?;
         let local_addr = listener.local_addr()?;
         let publisher = IorPublisher::new(
             config.domain,
@@ -182,62 +354,114 @@ impl GatewayServer {
                 port: local_addr.port(),
             }],
         );
-        let shared = Arc::new(Shared::default());
-        shared
-            .stats
-            .lock()
-            .expect("stats lock")
-            .bind_registry(shared.registry.clone());
-        let (tx, rx) = mpsc::channel();
-        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), HostError>>();
-
-        let engine_shared = shared.clone();
-        let engine_thread = thread::Builder::new()
-            .name("ftd-gateway-engine".into())
-            .spawn(move || {
-                let host = match host() {
-                    Ok(host) => {
-                        let _ = ready_tx.send(Ok(()));
-                        host
-                    }
-                    Err(e) => {
-                        let _ = ready_tx.send(Err(e));
-                        return;
-                    }
-                };
-                engine_loop(rx, config, host, engine_shared);
-            })?;
-
-        // The domain must be up before the gateway advertises itself:
-        // surface bring-up failures here rather than serving a black hole.
-        match ready_rx.recv() {
-            Ok(Ok(())) => {}
-            Ok(Err(e)) => {
-                let _ = engine_thread.join();
-                return Err(io::Error::other(format!("domain bring-up failed: {e}")));
-            }
-            Err(_) => {
-                let _ = engine_thread.join();
-                return Err(io::Error::other(
-                    "engine thread died during domain bring-up",
-                ));
-            }
+        let registry = self.registry.unwrap_or_else(|| Arc::new(Registry::new()));
+        let clock: Arc<dyn Clock> = self.clock.unwrap_or_else(|| Arc::new(RealClock::new()));
+        let router = Arc::new(ShardRouter::new(shards)?);
+        for (group, shard) in &self.pins {
+            router.pin(*group, *shard)?;
         }
 
-        let accept_tx = tx.clone();
+        let (domain, owned_domain) = match (self.domain, self.host) {
+            (Some(_), Some(_)) => {
+                return Err(Error::config(
+                    "GatewayServer::builder() takes .host(..) or .domain(..), not both",
+                ))
+            }
+            (Some(link), None) => (link, None),
+            (None, Some(factory)) => {
+                let service = DomainService::start(registry.clone(), factory)?;
+                (service.link(), Some(service))
+            }
+            (None, None) => {
+                return Err(Error::config(
+                    "GatewayServer::builder() requires .host(..) or .domain(..)",
+                ))
+            }
+        };
+
+        let shared = Arc::new(Shared {
+            registry: registry.clone(),
+            shard_snapshots: Mutex::new(vec![EngineSnapshot::default(); shards]),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut shard_txs: Vec<Sender<ShardEv>> = Vec::with_capacity(shards);
+        let mut shard_threads = Vec::with_capacity(shards);
+        for idx in 0..shards {
+            let (tx, rx) = mpsc::channel();
+            shard_txs.push(tx);
+            let mut engine = GatewayEngine::new(config.clone(), BTreeMap::new());
+            engine.set_clock(clock.clone());
+            let shard = Shard::new(
+                idx,
+                engine,
+                self.max_inflight,
+                domain.clone(),
+                registry.clone(),
+            );
+            let shard_shared = shared.clone();
+            shard_threads.push(
+                thread::Builder::new()
+                    .name(format!("ftd-gateway-shard-{idx}"))
+                    .spawn(move || shard_loop(shard, rx, shard_shared))?,
+            );
+        }
+
+        // The domain fans ordered deliveries into the shard queues until
+        // this gateway flips its sink dead on shutdown.
+        let sink_alive = Arc::new(AtomicBool::new(true));
+        {
+            let txs = shard_txs.clone();
+            let sink_router = router.clone();
+            let alive = sink_alive.clone();
+            domain.register_sink(Box::new(move |group, payload| {
+                if !alive.load(Ordering::SeqCst) {
+                    return false;
+                }
+                match classify_delivery(&sink_router, payload) {
+                    DeliveryRoute::Shard(i) => txs[i]
+                        .send(ShardEv::Delivery(group, payload.to_vec()))
+                        .is_ok(),
+                    DeliveryRoute::All => {
+                        let mut any = false;
+                        for tx in &txs {
+                            any |= tx.send(ShardEv::Delivery(group, payload.to_vec())).is_ok();
+                        }
+                        any
+                    }
+                }
+            }));
+        }
+
+        let accept_txs = shard_txs.clone();
+        let accept_router = router.clone();
         let accept_shared = shared.clone();
+        let accept_domain = domain.clone();
+        let max_body = config.max_body;
         let accept_thread = thread::Builder::new()
             .name("ftd-gateway-accept".into())
-            .spawn(move || accept_loop(listener, accept_tx, accept_shared))?;
+            .spawn(move || {
+                accept_loop(
+                    listener,
+                    accept_txs,
+                    accept_router,
+                    accept_shared,
+                    accept_domain,
+                    max_body,
+                )
+            })?;
 
-        let (metrics_addr, metrics_thread) = match &options.metrics_addr {
+        let (metrics_addr, metrics_thread) = match &self.options.metrics_addr {
             Some(addr) => {
                 let metrics_listener = TcpListener::bind(addr)?;
                 let metrics_addr = metrics_listener.local_addr()?;
                 let metrics_shared = shared.clone();
+                let metrics_domain = domain.clone();
                 let handle = thread::Builder::new()
                     .name("ftd-gateway-metrics".into())
-                    .spawn(move || metrics_loop(metrics_listener, metrics_shared))?;
+                    .spawn(move || {
+                        metrics_loop(metrics_listener, metrics_shared, metrics_domain)
+                    })?;
                 (Some(metrics_addr), Some(handle))
             }
             None => (None, None),
@@ -247,12 +471,108 @@ impl GatewayServer {
             local_addr,
             metrics_addr,
             publisher,
-            tx,
+            shard_txs,
+            router,
+            domain,
+            owned_domain,
             shared,
-            engine_thread: Some(engine_thread),
+            sink_alive,
+            shard_threads,
             accept_thread: Some(accept_thread),
             metrics_thread,
+            report: None,
         })
+    }
+}
+
+/// A gateway serving a fault tolerance domain on a real TCP socket. See
+/// the module docs. Construct via [`GatewayServer::builder`].
+pub struct GatewayServer {
+    local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    publisher: IorPublisher,
+    shard_txs: Vec<Sender<ShardEv>>,
+    router: Arc<ShardRouter>,
+    domain: DomainLink,
+    owned_domain: Option<DomainService>,
+    shared: Arc<Shared>,
+    sink_alive: Arc<AtomicBool>,
+    shard_threads: Vec<JoinHandle<ShardFinal>>,
+    accept_thread: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
+    report: Option<ShutdownReport>,
+}
+
+impl std::fmt::Debug for GatewayServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayServer")
+            .field("local_addr", &self.local_addr)
+            .field("shards", &self.router.shards())
+            .finish()
+    }
+}
+
+impl GatewayServer {
+    /// Starts building a gateway; see [`GatewayBuilder`].
+    pub fn builder() -> GatewayBuilder {
+        GatewayBuilder {
+            addr: "127.0.0.1:0".to_owned(),
+            config: None,
+            options: ServerOptions::default(),
+            registry: None,
+            clock: None,
+            shards: None,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+            pins: Vec::new(),
+            host: None,
+            domain: None,
+        }
+    }
+
+    /// Single-shard gateway over a private domain — the pre-builder API.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use GatewayServer::builder().addr(..).config(..).host(..).build()"
+    )]
+    pub fn start<E>(
+        addr: &str,
+        config: EngineConfig,
+        host: impl FnOnce() -> Result<DomainHost, E> + Send + 'static,
+    ) -> io::Result<GatewayServer>
+    where
+        E: Into<Error>,
+    {
+        GatewayServer::builder()
+            .addr(addr)
+            .config(config)
+            .shards(1)
+            .host(host)
+            .build()
+            .map_err(error_to_io)
+    }
+
+    /// [`GatewayServer::start`] with [`ServerOptions`] — the pre-builder API.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use GatewayServer::builder().addr(..).config(..).options(..).host(..).build()"
+    )]
+    pub fn start_with<E>(
+        addr: &str,
+        config: EngineConfig,
+        options: ServerOptions,
+        host: impl FnOnce() -> Result<DomainHost, E> + Send + 'static,
+    ) -> io::Result<GatewayServer>
+    where
+        E: Into<Error>,
+    {
+        GatewayServer::builder()
+            .addr(addr)
+            .config(config)
+            .options(options)
+            .shards(1)
+            .host(host)
+            .build()
+            .map_err(error_to_io)
     }
 
     /// The address the gateway is listening on.
@@ -270,19 +590,36 @@ impl GatewayServer {
         self.shared.registry.clone()
     }
 
+    /// How many engine shards this gateway runs.
+    pub fn shard_count(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// The lock-free group→shard routing table (inspect placements, pin
+    /// groups at runtime).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// A handle to the domain behind this gateway (share it with further
+    /// gateways via [`GatewayBuilder::domain`]).
+    pub fn domain_link(&self) -> DomainLink {
+        self.domain.clone()
+    }
+
     /// Whether the domain behind the gateway is currently operational.
     /// While `false` the gateway serves existing clients best-effort and
     /// sheds new connections.
     pub fn healthy(&self) -> bool {
-        self.shared.healthy.load(Ordering::SeqCst)
+        self.domain.healthy()
     }
 
     /// Injects a live fault into the in-process domain (applied on the
-    /// engine thread before its next batch). The observable effects —
+    /// domain thread before its next tick). The observable effects —
     /// degraded `/health`, shed connections, recovery — are what chaos
     /// tests assert on.
     pub fn inject(&self, fault: DomainFault) {
-        let _ = self.tx.send(Ev::Chaos(fault));
+        self.domain.inject(fault);
     }
 
     /// Publishes an IOR for `group`: its IIOP profile points at this
@@ -292,30 +629,64 @@ impl GatewayServer {
     }
 
     /// A snapshot of the per-connection / per-group statistics counters
-    /// (engine `gateway.*` counters plus transport `net.*` counters).
-    /// The clone is detached from the live registry, so mutating it
-    /// cannot pollute the `/metrics` exposition.
+    /// (engine `gateway.*` counters plus transport `net.*` counters),
+    /// reconstructed from the live registry. The clone is detached, so
+    /// mutating it cannot pollute the `/metrics` exposition.
     pub fn stats(&self) -> Stats {
-        let mut stats = self.shared.stats.lock().expect("stats lock").clone();
-        stats.detach_registry();
-        stats
+        stats_from_registry(&self.shared.registry)
     }
 
-    /// The engine gauges as of the last processed batch.
+    /// The engine gauges as of each shard's last processed batch, summed
+    /// across shards.
     pub fn snapshot(&self) -> EngineSnapshot {
-        *self.shared.snapshot.lock().expect("snapshot lock")
+        let mut total = EngineSnapshot::default();
+        for s in self
+            .shared
+            .shard_snapshots
+            .lock()
+            .expect("snapshots lock")
+            .iter()
+        {
+            total.absorb(s);
+        }
+        total
+    }
+
+    /// The engine gauges per shard (indexed by shard).
+    pub fn shard_snapshots(&self) -> Vec<EngineSnapshot> {
+        self.shared
+            .shard_snapshots
+            .lock()
+            .expect("snapshots lock")
+            .clone()
     }
 
     fn stop(&mut self) {
+        if self.shard_threads.is_empty() && self.accept_thread.is_none() {
+            return;
+        }
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        let _ = self.tx.send(Ev::Shutdown);
         // Unblock the accept loops with throwaway connections.
         let _ = TcpStream::connect(self.local_addr);
         if let Some(addr) = self.metrics_addr {
             let _ = TcpStream::connect(addr);
         }
-        if let Some(t) = self.engine_thread.take() {
-            let _ = t.join();
+        // Drain the domain first: replies already ordered inside it reach
+        // the shard queues *before* the Shutdown sentinels below, so the
+        // shards process them (FIFO) and their response caches see every
+        // reply before being flushed.
+        self.domain.quiesce(Duration::from_secs(2));
+        self.sink_alive.store(false, Ordering::SeqCst);
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardEv::Shutdown);
+        }
+        let mut shards = Vec::new();
+        let mut cached_replies = Vec::new();
+        for t in self.shard_threads.drain(..) {
+            if let Ok(fin) = t.join() {
+                shards.push(fin.snapshot);
+                cached_replies.extend(fin.cached);
+            }
         }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
@@ -323,12 +694,35 @@ impl GatewayServer {
         if let Some(t) = self.metrics_thread.take() {
             let _ = t.join();
         }
+        if let Some(domain) = self.owned_domain.take() {
+            domain.shutdown();
+        }
+        *self.shared.shard_snapshots.lock().expect("snapshots lock") = shards.clone();
+        self.report = Some(ShutdownReport {
+            stats: stats_from_registry(&self.shared.registry),
+            shards,
+            cached_replies,
+        });
     }
 
     /// Stops serving, joins the threads, and returns the final statistics.
     pub fn shutdown(mut self) -> Stats {
         self.stop();
-        self.stats()
+        match self.report.take() {
+            Some(report) => report.stats,
+            None => stats_from_registry(&self.shared.registry),
+        }
+    }
+
+    /// [`GatewayServer::shutdown`] with the full drain: per-shard final
+    /// gauges and the flushed response caches.
+    pub fn shutdown_report(mut self) -> ShutdownReport {
+        self.stop();
+        self.report.take().unwrap_or_else(|| ShutdownReport {
+            stats: stats_from_registry(&self.shared.registry),
+            shards: Vec::new(),
+            cached_replies: Vec::new(),
+        })
     }
 }
 
@@ -338,99 +732,402 @@ impl Drop for GatewayServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<Ev>, shared: Arc<Shared>) {
+fn error_to_io(e: Error) -> io::Error {
+    match e {
+        Error::Io(io) => io,
+        other => io::Error::other(other.to_string()),
+    }
+}
+
+/// Rebuilds the legacy [`Stats`] view from the live registry: counters
+/// copy over exactly; histogram sample series are synthesized at bucket
+/// resolution with the exact count, min, and max preserved (`summary()`
+/// keeps working; percentiles degrade to bucket bounds).
+pub(crate) fn stats_from_registry(registry: &Registry) -> Stats {
+    let snap = registry.snapshot();
+    let mut stats = Stats::default();
+    for (name, value) in &snap.counters {
+        if *value > 0 {
+            stats.add(name, *value);
+        }
+    }
+    for (name, hist) in &snap.histograms {
+        let (Some(min), Some(max)) = (hist.min, hist.max) else {
+            continue;
+        };
+        let mut emitted = 0u64;
+        for (i, &n) in hist.buckets.iter().enumerate() {
+            let bound = ftd_obs::HistogramSnapshot::bucket_upper_bound(i);
+            for _ in 0..n {
+                emitted += 1;
+                let value = if emitted == 1 {
+                    min
+                } else if emitted == hist.count {
+                    max
+                } else {
+                    bound.clamp(min, max)
+                };
+                stats.sample(name, value);
+            }
+        }
+    }
+    stats
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shard_txs: Vec<Sender<ShardEv>>,
+    router: Arc<ShardRouter>,
+    shared: Arc<Shared>,
+    domain: DomainLink,
+    max_body: usize,
+) {
     let mut next_id = 1u64;
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
-        if !shared.healthy.load(Ordering::SeqCst) {
+        if !domain.healthy() {
             // Degraded: the domain behind us is unreachable. Shedding at
             // accept time fails fast (the client's connect succeeds but
             // the next read sees EOF and its retry policy backs off)
             // instead of accepting work we cannot serve.
-            shared
-                .stats
-                .lock()
-                .expect("stats lock")
-                .inc(names::NET_CONNECTIONS_SHED);
+            shared.registry.inc(names::NET_CONNECTIONS_SHED);
             let _ = stream.shutdown(Shutdown::Both);
             continue;
         }
         let _ = stream.set_nodelay(true);
-        let Ok(reader) = stream.try_clone() else {
+        let Ok(read_half) = stream.try_clone() else {
             continue;
         };
         let id = next_id;
         next_id += 1;
+        shared.registry.inc("net.connections");
+        let writer = Arc::new(ConnWriter {
+            stream: Mutex::new(stream),
+        });
         let budget = Arc::new(AtomicUsize::new(0));
-        if tx.send(Ev::Accepted(id, stream, budget.clone())).is_err() {
+        // Every shard learns of the connection before its reader starts,
+        // so a routed message never beats its Accepted event.
+        let mut dead = false;
+        for tx in &shard_txs {
+            dead |= tx
+                .send(ShardEv::Accepted(id, writer.clone(), budget.clone()))
+                .is_err();
+        }
+        if dead {
             break;
         }
-        let reader_tx = tx.clone();
-        let reader_shared = shared.clone();
+        let reader_txs = shard_txs.clone();
+        let reader_router = router.clone();
+        let reader_registry = shared.registry.clone();
         let _ = thread::Builder::new()
             .name(format!("ftd-gateway-conn-{id}"))
-            .spawn(move || reader_loop(id, reader, reader_tx, budget, reader_shared));
+            .spawn(move || {
+                reader_loop(
+                    id,
+                    read_half,
+                    writer,
+                    budget,
+                    reader_txs,
+                    reader_router,
+                    reader_registry,
+                    max_body,
+                )
+            });
     }
 }
 
+/// Owns one connection's GIOP frame parser: reads raw bytes, charges
+/// them against the connection's budget, and dispatches whole messages
+/// to the owning shard's queue (group-addressed) or every shard
+/// (connection-scoped). Framing failures are answered with MessageError
+/// here — the parse happens on this thread now, not on the engine.
+#[allow(clippy::too_many_arguments)]
 fn reader_loop(
     id: u64,
     mut stream: TcpStream,
-    tx: Sender<Ev>,
+    writer: Arc<ConnWriter>,
     budget: Arc<AtomicUsize>,
-    shared: Arc<Shared>,
+    shard_txs: Vec<Sender<ShardEv>>,
+    router: Arc<ShardRouter>,
+    registry: Arc<Registry>,
+    max_body: usize,
 ) {
+    let mut reader = MessageReader::with_max_body(max_body);
     let mut buf = [0u8; 16 * 1024];
-    loop {
+    'read: loop {
         match stream.read(&mut buf) {
-            Ok(0) | Err(_) => {
-                let _ = tx.send(Ev::Closed(id));
-                break;
-            }
+            Ok(0) | Err(_) => break,
             Ok(n) => {
-                // Bounded per-connection queue: bytes the engine has not
-                // drained yet. A client outrunning the engine past the
+                registry.add("net.bytes_in", n as u64);
+                // Bounded per-connection queue: bytes the shards have not
+                // processed yet. A client outrunning its shard past the
                 // budget is disconnected, protecting every other client
                 // on this gateway from its backlog.
                 if budget.fetch_add(n, Ordering::SeqCst) + n > CONN_INBOUND_BUDGET {
-                    shared
-                        .stats
-                        .lock()
-                        .expect("stats lock")
-                        .inc(names::NET_QUEUE_OVERFLOWS);
+                    registry.inc(names::NET_QUEUE_OVERFLOWS);
                     let _ = stream.shutdown(Shutdown::Both);
-                    let _ = tx.send(Ev::Closed(id));
                     break;
                 }
-                if tx.send(Ev::Data(id, buf[..n].to_vec())).is_err() {
-                    break;
+                reader.push(&buf[..n]);
+                loop {
+                    let before = reader.buffered();
+                    match reader.next() {
+                        Ok(Some(msg)) => {
+                            let cost = before - reader.buffered();
+                            let sent = match classify_client_message(&msg) {
+                                MsgRoute::Group(group) => shard_txs[router.route(group)]
+                                    .send(ShardEv::Msg(id, msg, cost))
+                                    .is_ok(),
+                                MsgRoute::Any => {
+                                    shard_txs[0].send(ShardEv::Msg(id, msg, cost)).is_ok()
+                                }
+                                MsgRoute::All => {
+                                    // Fan-out copies carry cost 0: the
+                                    // budget is released exactly once.
+                                    let mut any = false;
+                                    for (i, tx) in shard_txs.iter().enumerate() {
+                                        let copy_cost = if i == 0 { cost } else { 0 };
+                                        any |= tx
+                                            .send(ShardEv::Msg(id, msg.clone(), copy_cost))
+                                            .is_ok();
+                                    }
+                                    any
+                                }
+                            };
+                            if !sent {
+                                break 'read;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            // Framing failure: answer MessageError and
+                            // drop the connection (§3.3).
+                            registry.inc("gateway.protocol_errors");
+                            let _ = writer.write(&GiopMessage::MessageError.encode(ByteOrder::Big));
+                            writer.close();
+                            break 'read;
+                        }
+                    }
                 }
             }
         }
     }
+    for tx in &shard_txs {
+        let _ = tx.send(ShardEv::Closed(id));
+    }
 }
 
-/// How much real time the engine thread waits per tick, and how much
-/// virtual time the in-process domain advances per tick.
-const TICK_REAL: Duration = Duration::from_millis(1);
-const TICK_VIRTUAL: SimDuration = SimDuration::from_millis(2);
+/// What a shard thread hands back when it stops: its final gauges and
+/// the drained §3.5 response cache.
+struct ShardFinal {
+    snapshot: EngineSnapshot,
+    cached: Vec<(OperationId, Vec<u8>)>,
+}
 
-fn engine_loop(rx: Receiver<Ev>, config: EngineConfig, mut host: DomainHost, shared: Arc<Shared>) {
-    // The domain's deterministic counters (totem.* ring activity, etc.)
-    // flow into the same registry the engine and transport report into.
-    host.bind_stats(shared.registry.clone());
-    let mut engine = GatewayEngine::new(config, BTreeMap::new());
-    engine.set_clock(Arc::new(RealClock::new()));
-    let mut writers: BTreeMap<u64, TcpStream> = BTreeMap::new();
-    let mut budgets: BTreeMap<u64, Arc<AtomicUsize>> = BTreeMap::new();
-    // Requests forwarded into the domain and not yet answered, oldest
-    // first, for the reply-latency metric.
-    let mut inflight: VecDeque<(u64, Instant)> = VecDeque::new();
+struct ConnEntry {
+    writer: Arc<ConnWriter>,
+    budget: Arc<AtomicUsize>,
+}
 
-    loop {
+/// One engine shard's working state, owned by its thread.
+struct Shard {
+    idx: usize,
+    engine: GatewayEngine,
+    conns: BTreeMap<u64, ConnEntry>,
+    /// Requests deferred while the admission window is full, FIFO.
+    deferred: VecDeque<(u64, GiopMessage, usize)>,
+    window: usize,
+    inflight: usize,
+    last_progress: Instant,
+    /// Requests forwarded into the domain and not yet answered, oldest
+    /// first, for the reply-latency metric.
+    pending_latency: VecDeque<(u64, Instant)>,
+    domain: DomainLink,
+    registry: Arc<Registry>,
+    counters: BTreeMap<&'static str, Arc<Counter>>,
+    latency: BTreeMap<u32, Arc<Histogram>>,
+    reply_latency: Arc<Histogram>,
+    bytes_out: Arc<Counter>,
+    m_events: Arc<Counter>,
+    m_deferrals: Arc<Counter>,
+}
+
+impl Shard {
+    fn new(
+        idx: usize,
+        engine: GatewayEngine,
+        window: usize,
+        domain: DomainLink,
+        registry: Arc<Registry>,
+    ) -> Shard {
+        let bytes_out = registry.counter("net.bytes_out");
+        let reply_latency = registry.histogram("net.reply_latency_us");
+        let m_events = registry.counter(&names::with_shard(names::GATEWAY_SHARD_EVENTS, idx));
+        let m_deferrals = registry.counter(&names::with_shard(names::GATEWAY_SHARD_DEFERRALS, idx));
+        Shard {
+            idx,
+            engine,
+            conns: BTreeMap::new(),
+            deferred: VecDeque::new(),
+            window: window.max(1),
+            inflight: 0,
+            last_progress: Instant::now(),
+            pending_latency: VecDeque::new(),
+            domain,
+            registry,
+            counters: BTreeMap::new(),
+            latency: BTreeMap::new(),
+            reply_latency,
+            bytes_out,
+            m_events,
+            m_deferrals,
+        }
+    }
+
+    fn counter(&mut self, name: &'static str) -> Arc<Counter> {
+        self.counters
+            .entry(name)
+            .or_insert_with(|| self.registry.counter(name))
+            .clone()
+    }
+
+    fn latency_hist(&mut self, group: u32) -> Arc<Histogram> {
+        self.latency
+            .entry(group)
+            .or_insert_with(|| {
+                self.registry
+                    .histogram(&format!("{ENGINE_LATENCY_SERIES}{{group=\"{group}\"}}"))
+            })
+            .clone()
+    }
+
+    fn process_msg(&mut self, id: u64, msg: GiopMessage, cost: usize) {
+        let Some(entry) = self.conns.get(&id) else {
+            // The connection closed while this message sat deferred (the
+            // Closed purge races the admission drain); never resurrect it
+            // through the engine's auto-registration.
+            return;
+        };
+        if cost > 0 {
+            entry.budget.fetch_sub(cost, Ordering::SeqCst);
+        }
+        let view = self.domain.view();
+        let actions = self.engine.on_client_message(GwConn(id), msg, &*view);
+        let forwarded = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Multicast { .. }))
+            .count();
+        for _ in 0..forwarded {
+            self.pending_latency.push_back((id, Instant::now()));
+        }
+        self.apply(actions);
+    }
+
+    fn apply(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::ToClient { conn, bytes } => {
+                    if let Some(pos) = self.pending_latency.iter().position(|&(c, _)| c == conn.0) {
+                        let (_, since) = self.pending_latency.remove(pos).expect("position valid");
+                        self.reply_latency
+                            .observe(since.elapsed().as_micros() as u64);
+                    }
+                    if let Some(entry) = self.conns.get(&conn.0) {
+                        if entry.writer.write(&bytes) {
+                            self.bytes_out.add(bytes.len() as u64);
+                        } else {
+                            entry.writer.close();
+                        }
+                    }
+                }
+                Action::CloseClient { conn } => {
+                    if let Some(entry) = self.conns.get(&conn.0) {
+                        entry.writer.close();
+                    }
+                }
+                Action::Multicast { group, payload } => self.domain.multicast(group, payload),
+                Action::BridgeConnect { .. } | Action::ToBridge { .. } => {
+                    // The net front end serves a single domain; it has no
+                    // wide-area routes, so the engine never targets a peer
+                    // domain unless misconfigured.
+                    self.counter("net.bridge_unrouted").inc();
+                }
+                Action::PersistCounter { .. } => {
+                    // No stable store behind the net host (warm-gateway
+                    // configuration); counters restart with the process.
+                }
+                Action::Count { counter } => {
+                    // Connection lifecycle events fan to every shard; only
+                    // shard 0 counts them, so `gateway.clients_accepted`
+                    // still means connections, not connections × shards.
+                    if self.idx == 0 || !FANOUT_ONCE_COUNTERS.contains(&counter) {
+                        self.counter(counter).inc();
+                    }
+                    match counter {
+                        "gateway.requests_forwarded" | "gateway.bridge_requests" => {
+                            self.inflight += 1;
+                        }
+                        // One admission is freed per *operation*, on its
+                        // first reply; the suppressed duplicates from the
+                        // other replicas must not free slots never taken.
+                        "gateway.replies_delivered" | "gateway.bridge_replies" => {
+                            self.inflight = self.inflight.saturating_sub(1);
+                            self.last_progress = Instant::now();
+                        }
+                        "gateway.duplicate_responses_suppressed" => {
+                            self.last_progress = Instant::now();
+                        }
+                        _ => {}
+                    }
+                }
+                Action::Latency { group, micros } => {
+                    self.latency_hist(group.0).observe(micros);
+                }
+            }
+        }
+    }
+
+    fn publish(&mut self, shared: &Shared) {
+        let snapshot = self.snapshot();
+        let mut total = EngineSnapshot::default();
+        {
+            let mut all = shared.shard_snapshots.lock().expect("snapshots lock");
+            all[self.idx] = snapshot;
+            for s in all.iter() {
+                total.absorb(s);
+            }
+        }
+        self.registry
+            .set_gauge("gateway.connected_clients", total.connected_clients as i64);
+        self.registry
+            .set_gauge("gateway.cached_responses", total.cached_responses as i64);
+        self.registry.set_gauge(
+            &names::with_shard(names::GATEWAY_SHARD_INFLIGHT, self.idx),
+            self.inflight as i64,
+        );
+        if self.idx == 0 {
+            self.registry
+                .set_gauge("net.open_connections", self.conns.len() as i64);
+            self.registry
+                .set_gauge(names::GATEWAY_HEALTH, self.domain.healthy() as i64);
+        }
+    }
+
+    fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            connected_clients: self.engine.connected_clients(),
+            duplicates_suppressed: self.engine.duplicates_suppressed(),
+            cached_responses: self.engine.cached_responses(),
+        }
+    }
+}
+
+fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> ShardFinal {
+    let mut stop = false;
+    while !stop {
         let mut events = Vec::new();
         match rx.recv_timeout(TICK_REAL) {
             Ok(ev) => {
@@ -443,165 +1140,71 @@ fn engine_loop(rx: Receiver<Ev>, config: EngineConfig, mut host: DomainHost, sha
             Err(RecvTimeoutError::Disconnected) => break,
         }
 
-        let mut stop = false;
         for ev in events {
+            shard.m_events.inc();
             match ev {
-                Ev::Accepted(id, stream, budget) => {
-                    writers.insert(id, stream);
-                    budgets.insert(id, budget);
-                    shared
-                        .stats
-                        .lock()
-                        .expect("stats lock")
-                        .inc("net.connections");
-                    let actions = engine.on_client_accepted(GwConn(id));
-                    apply(actions, &mut writers, &mut host, &shared, &mut inflight);
+                ShardEv::Accepted(id, writer, budget) => {
+                    shard.conns.insert(id, ConnEntry { writer, budget });
+                    let actions = shard.engine.on_client_accepted(GwConn(id));
+                    shard.apply(actions);
                 }
-                Ev::Data(id, bytes) => {
-                    shared
-                        .stats
-                        .lock()
-                        .expect("stats lock")
-                        .add("net.bytes_in", bytes.len() as u64);
-                    let view = host.view();
-                    let actions = engine.on_bytes_from_client(GwConn(id), &bytes, &view);
-                    let forwarded = actions
-                        .iter()
-                        .filter(|a| matches!(a, Action::Multicast { .. }))
-                        .count();
-                    for _ in 0..forwarded {
-                        inflight.push_back((id, Instant::now()));
-                    }
-                    apply(actions, &mut writers, &mut host, &shared, &mut inflight);
-                    if let Some(budget) = budgets.get(&id) {
-                        budget.fetch_sub(bytes.len(), Ordering::SeqCst);
-                    }
-                }
-                Ev::Closed(id) => {
-                    writers.remove(&id);
-                    budgets.remove(&id);
-                    let actions = engine.on_client_closed(GwConn(id));
-                    apply(actions, &mut writers, &mut host, &shared, &mut inflight);
-                }
-                Ev::Chaos(fault) => match fault {
-                    DomainFault::CrashProcessor(i) => {
-                        host.crash_processor(i);
-                    }
-                    DomainFault::RecoverProcessor(i) => {
-                        host.recover_processor(i);
-                    }
-                },
-                Ev::Shutdown => stop = true,
-            }
-        }
-
-        // Advance the domain's virtual clock and pull ordered deliveries
-        // (replica responses, gateway-group coordination) back out.
-        for (group, payload) in host.pump(TICK_VIRTUAL) {
-            let view = host.view();
-            let actions = engine.on_delivery_from_domain(group, &payload, &view);
-            apply(actions, &mut writers, &mut host, &shared, &mut inflight);
-        }
-
-        // Re-assess serving health: degraded while the ring is broken,
-        // recovered the tick it heals.
-        let healthy = host.is_operational();
-        shared.healthy.store(healthy, Ordering::SeqCst);
-        shared
-            .registry
-            .set_gauge(names::GATEWAY_HEALTH, healthy as i64);
-
-        let snapshot = EngineSnapshot {
-            connected_clients: engine.connected_clients(),
-            duplicates_suppressed: engine.duplicates_suppressed(),
-            cached_responses: engine.cached_responses(),
-        };
-        *shared.snapshot.lock().expect("snapshot lock") = snapshot;
-        shared.registry.set_gauge(
-            "gateway.connected_clients",
-            snapshot.connected_clients as i64,
-        );
-        shared
-            .registry
-            .set_gauge("gateway.cached_responses", snapshot.cached_responses as i64);
-        shared
-            .registry
-            .set_gauge("net.open_connections", writers.len() as i64);
-
-        if stop || shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-    }
-
-    for (_, stream) in writers {
-        let _ = stream.shutdown(Shutdown::Both);
-    }
-}
-
-fn apply(
-    actions: Vec<Action>,
-    writers: &mut BTreeMap<u64, TcpStream>,
-    host: &mut DomainHost,
-    shared: &Shared,
-    inflight: &mut VecDeque<(u64, Instant)>,
-) {
-    for action in actions {
-        match action {
-            Action::ToClient { conn, bytes } => {
-                if let Some(pos) = inflight.iter().position(|&(c, _)| c == conn.0) {
-                    let (_, since) = inflight.remove(pos).expect("position valid");
-                    shared
-                        .stats
-                        .lock()
-                        .expect("stats lock")
-                        .sample("net.reply_latency_us", since.elapsed().as_micros() as u64);
-                }
-                let mut dead = false;
-                if let Some(stream) = writers.get_mut(&conn.0) {
-                    if stream.write_all(&bytes).is_ok() {
-                        shared
-                            .stats
-                            .lock()
-                            .expect("stats lock")
-                            .add("net.bytes_out", bytes.len() as u64);
+                ShardEv::Msg(id, msg, cost) => {
+                    // Admission window: requests past the window (or
+                    // behind earlier deferred ones — FIFO fairness) wait;
+                    // everything else processes immediately.
+                    let defer = matches!(msg, GiopMessage::Request(_))
+                        && (shard.inflight >= shard.window || !shard.deferred.is_empty());
+                    if defer {
+                        shard.deferred.push_back((id, msg, cost));
+                        shard.m_deferrals.inc();
                     } else {
-                        dead = true;
+                        shard.process_msg(id, msg, cost);
                     }
                 }
-                if dead {
-                    writers.remove(&conn.0);
+                ShardEv::Closed(id) => {
+                    shard.deferred.retain(|&(conn, _, _)| conn != id);
+                    let actions = shard.engine.on_client_closed(GwConn(id));
+                    shard.apply(actions);
+                    shard.conns.remove(&id);
                 }
-            }
-            Action::CloseClient { conn } => {
-                if let Some(stream) = writers.remove(&conn.0) {
-                    let _ = stream.shutdown(Shutdown::Both);
+                ShardEv::Delivery(group, payload) => {
+                    let view = shard.domain.view();
+                    let actions = shard
+                        .engine
+                        .on_delivery_from_domain(group, &payload, &*view);
+                    shard.apply(actions);
                 }
-            }
-            Action::Multicast { group, payload } => host.multicast(group, payload),
-            Action::BridgeConnect { .. } | Action::ToBridge { .. } => {
-                // The net front end serves a single domain; it has no
-                // wide-area routes, so the engine never targets a peer
-                // domain unless misconfigured.
-                shared
-                    .stats
-                    .lock()
-                    .expect("stats lock")
-                    .inc("net.bridge_unrouted");
-            }
-            Action::PersistCounter { .. } => {
-                // No stable store behind the net host (warm-gateway
-                // configuration); counters restart with the process.
-            }
-            Action::Count { counter } => {
-                shared.stats.lock().expect("stats lock").inc(counter);
-            }
-            Action::Latency { group, micros } => {
-                shared.stats.lock().expect("stats lock").sample(
-                    &format!("{ENGINE_LATENCY_SERIES}{{group=\"{}\"}}", group.0),
-                    micros,
-                );
+                ShardEv::Shutdown => stop = true,
             }
         }
+
+        // Admit deferred requests as replies free the window. On
+        // shutdown everything still deferred is processed (not dropped):
+        // the queue ahead of the Shutdown sentinel was already drained,
+        // so these are the last client bytes this shard will ever see.
+        while !shard.deferred.is_empty() && (stop || shard.inflight < shard.window) {
+            let (id, msg, cost) = shard.deferred.pop_front().expect("non-empty deferred");
+            shard.process_msg(id, msg, cost);
+        }
+
+        // A wedged window (replies lost to chaos, oneway floods) decays
+        // instead of starving the shard forever.
+        if shard.inflight > 0 && shard.last_progress.elapsed() >= STALL_RESET {
+            shard.inflight = 0;
+            shard.last_progress = Instant::now();
+        }
+
+        shard.publish(&shared);
+    }
+
+    if shard.idx == 0 {
+        for entry in shard.conns.values() {
+            entry.writer.close();
+        }
+    }
+    ShardFinal {
+        snapshot: shard.snapshot(),
+        cached: shard.engine.drain_cached_responses(),
     }
 }
 
@@ -611,7 +1214,7 @@ fn apply(
 /// 503 degraded — load-balancer and chaos-harness food), close.
 /// Deliberately minimal — this is an admin endpoint for `curl` and
 /// scrapers, not a web server.
-fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
+fn metrics_loop(listener: TcpListener, shared: Arc<Shared>, domain: DomainLink) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -643,7 +1246,7 @@ fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
             ),
             "/metrics.json" => ("200 OK", "application/json", shared.registry.render_json()),
             "/health" => {
-                if shared.healthy.load(Ordering::SeqCst) {
+                if domain.healthy() {
                     ("200 OK", "text/plain", "ok\n".to_owned())
                 } else {
                     (

@@ -31,16 +31,21 @@ fn registry() -> ObjectRegistry {
 
 fn start_server(domain: u32, seed: u64, options: ServerOptions) -> GatewayServer {
     let config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), 0);
-    GatewayServer::start_with("127.0.0.1:0", config, options, move || {
-        let mut host = DomainHost::try_start(domain, 4, seed, registry)?;
-        host.create_group(
-            GROUP,
-            "Counter",
-            FtProperties::new(ReplicationStyle::Active).with_initial(3),
-        );
-        Ok(host)
-    })
-    .expect("bind loopback")
+    GatewayServer::builder()
+        .addr("127.0.0.1:0")
+        .config(config)
+        .options(options)
+        .host(move || {
+            let mut host = DomainHost::try_start(domain, 4, seed, registry)?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            Ok::<_, ftd_core::Error>(host)
+        })
+        .build()
+        .expect("bind loopback")
 }
 
 /// Connects an enhanced client through a chaos proxy to `server`.
@@ -167,9 +172,7 @@ fn gateway_degrades_under_domain_crash_and_recovers() {
     let server = start_server(
         23,
         0xD1CE,
-        ServerOptions {
-            metrics_addr: Some("127.0.0.1:0".to_owned()),
-        },
+        ServerOptions::builder().metrics_addr("127.0.0.1:0").build(),
     );
     let admin = server.metrics_addr().expect("admin listener");
     let ior = server.ior("IDL:Counter:1.0", GROUP);

@@ -29,16 +29,20 @@ fn registry() -> ObjectRegistry {
 
 fn start_server(domain: u32, seed: u64) -> GatewayServer {
     let config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), 0);
-    GatewayServer::start("127.0.0.1:0", config, move || {
-        let mut host = DomainHost::try_start(domain, 4, seed, registry)?;
-        host.create_group(
-            GROUP,
-            "Counter",
-            FtProperties::new(ReplicationStyle::Active).with_initial(3),
-        );
-        Ok(host)
-    })
-    .expect("bind loopback")
+    GatewayServer::builder()
+        .addr("127.0.0.1:0")
+        .config(config)
+        .host(move || {
+            let mut host = DomainHost::try_start(domain, 4, seed, registry)?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            Ok::<_, ftd_core::Error>(host)
+        })
+        .build()
+        .expect("bind loopback")
 }
 
 #[test]
@@ -175,19 +179,22 @@ fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
 #[test]
 fn metrics_endpoint_exposes_gateway_totem_and_latency_series() {
     let config = EngineConfig::new(6, GroupId(0x4000_0006), 0);
-    let options = ServerOptions {
-        metrics_addr: Some("127.0.0.1:0".to_owned()),
-    };
-    let server = GatewayServer::start_with("127.0.0.1:0", config, options, move || {
-        let mut host = DomainHost::try_start(6, 4, 0x5EED, registry)?;
-        host.create_group(
-            GROUP,
-            "Counter",
-            FtProperties::new(ReplicationStyle::Active).with_initial(3),
-        );
-        Ok(host)
-    })
-    .expect("bind loopback");
+    let options = ServerOptions::builder().metrics_addr("127.0.0.1:0").build();
+    let server = GatewayServer::builder()
+        .addr("127.0.0.1:0")
+        .config(config)
+        .options(options)
+        .host(move || {
+            let mut host = DomainHost::try_start(6, 4, 0x5EED, registry)?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            Ok::<_, ftd_core::Error>(host)
+        })
+        .build()
+        .expect("bind loopback");
     let metrics_addr = server.metrics_addr().expect("metrics listener enabled");
 
     let ior = server.ior("IDL:Counter:1.0", GROUP);
@@ -269,4 +276,55 @@ fn malformed_bytes_draw_message_error_and_disconnect() {
     let _ = raw.read_to_end(&mut buf);
     let stats = server.shutdown();
     assert!(stats.counter("gateway.protocol_errors") >= 1);
+}
+
+/// Satellite of the sharding tentpole: on a 4-shard gateway, the §3.5
+/// reissue must land on the *same* shard as the original (group-affine
+/// routing) and hit that shard's response cache — never re-execute and
+/// never miss because the retry crossed a shard boundary.
+#[test]
+fn reissue_on_a_multi_shard_gateway_hits_the_same_shard_cache() {
+    let config = EngineConfig::new(7, GroupId(0x4000_0007), 0);
+    let server = GatewayServer::builder()
+        .addr("127.0.0.1:0")
+        .config(config)
+        .shards(4)
+        .host(move || {
+            let mut host = DomainHost::try_start(7, 4, 0x5AAD, registry)?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            Ok::<_, ftd_core::Error>(host)
+        })
+        .build()
+        .expect("bind loopback");
+    assert_eq!(server.shard_count(), 4);
+
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    let mut client = NetClient::connect(&ior, Some(0x66)).expect("connect");
+    let r1 = client.invoke("add", &6u64.to_be_bytes()).expect("add 6");
+    assert_eq!(r1.body, 6u64.to_be_bytes());
+    wait_until("reply cached", || server.snapshot().cached_responses >= 1);
+
+    // Group state lives on exactly one shard; the other three stay empty.
+    let shards = server.shard_snapshots();
+    assert_eq!(shards.len(), 4);
+    assert_eq!(
+        shards.iter().filter(|s| s.cached_responses > 0).count(),
+        1,
+        "exactly one shard owns the group's response cache: {shards:?}"
+    );
+
+    // The reissue routes by the same group, lands on the same shard, and
+    // is answered from its cache without re-executing in the domain.
+    let rr = client
+        .resend(client.last_request_id(), "add", &6u64.to_be_bytes())
+        .expect("reissue");
+    assert_eq!(rr.body, 6u64.to_be_bytes(), "cached reply, not 12");
+
+    let stats = server.shutdown();
+    assert!(stats.counter("gateway.reissues_served_from_cache") >= 1);
+    assert_eq!(stats.counter("gateway.requests_forwarded"), 1);
 }

@@ -22,16 +22,20 @@ fn registry() -> ObjectRegistry {
 
 fn start_server(domain: u32, seed: u64) -> GatewayServer {
     let config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), 0);
-    GatewayServer::start("127.0.0.1:0", config, move || {
-        let mut host = DomainHost::try_start(domain, 4, seed, registry)?;
-        host.create_group(
-            GROUP,
-            "Counter",
-            FtProperties::new(ReplicationStyle::Active).with_initial(3),
-        );
-        Ok(host)
-    })
-    .expect("bind loopback")
+    GatewayServer::builder()
+        .addr("127.0.0.1:0")
+        .config(config)
+        .host(move || {
+            let mut host = DomainHost::try_start(domain, 4, seed, registry)?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            Ok::<_, ftd_core::Error>(host)
+        })
+        .build()
+        .expect("bind loopback")
 }
 
 /// A valid encoded `get` request against `server`'s Counter group, used

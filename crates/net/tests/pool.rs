@@ -1,0 +1,135 @@
+//! Multi-gateway scale-out: two `GatewayServer`s in one [`GatewayPool`]
+//! front a single shared fault tolerance domain. Clients are partitioned
+//! deterministically; the IOR a client receives advertises the gateway
+//! that owns it; and — because every gateway's relay joins the same
+//! gateway group — each gateway caches replies for its peers' clients,
+//! the §3.5 redundant-gateway behaviour.
+
+use ftd_core::EngineConfig;
+use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
+use ftd_net::{DomainFault, DomainHost, GatewayPool, NetClient};
+use ftd_totem::GroupId;
+use std::time::{Duration, Instant};
+
+const GROUP: GroupId = GroupId(10);
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn start_pool(domain: u32, seed: u64) -> GatewayPool {
+    let config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), 0);
+    GatewayPool::builder()
+        .gateways(2)
+        .config(config)
+        .shards(2)
+        .host(move || {
+            let mut host = DomainHost::try_start(domain, 4, seed, || {
+                let mut reg = ObjectRegistry::new();
+                reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+                reg
+            })?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            Ok::<_, ftd_core::Error>(host)
+        })
+        .build()
+        .expect("start pool")
+}
+
+/// A stable client id owned by gateway `g` of a 2-gateway pool.
+fn client_owned_by(pool: &GatewayPool, g: usize) -> u64 {
+    (1u64..999)
+        .find(|&c| pool.gateway_for_client(c) == g)
+        .expect("some client id maps to every gateway")
+}
+
+#[test]
+fn two_gateways_serve_one_domain_with_partitioned_clients() {
+    let pool = start_pool(51, 0x9001);
+    assert_eq!(pool.len(), 2);
+    assert!(pool.healthy());
+    let addrs = pool.addrs();
+    assert_ne!(addrs[0], addrs[1], "each gateway has its own listener");
+
+    // One client per partition; each IOR advertises the owning gateway.
+    let a_id = client_owned_by(&pool, 0);
+    let b_id = client_owned_by(&pool, 1);
+    let ior_a = pool.ior_for_client(a_id, "IDL:Counter:1.0", GROUP);
+    let ior_b = pool.ior_for_client(b_id, "IDL:Counter:1.0", GROUP);
+    assert_eq!(
+        ior_a.primary_iiop().expect("iiop").port,
+        addrs[0].port(),
+        "client A's IOR points at gateway 0"
+    );
+    assert_eq!(
+        ior_b.primary_iiop().expect("iiop").port,
+        addrs[1].port(),
+        "client B's IOR points at gateway 1"
+    );
+
+    // Both partitions invoke the SAME replicated counter: the domain is
+    // genuinely shared, not duplicated per gateway.
+    let mut a = NetClient::connect(&ior_a, Some(a_id as u32)).expect("connect a");
+    let mut b = NetClient::connect(&ior_b, Some(b_id as u32)).expect("connect b");
+    let ra = a.invoke("add", &5u64.to_be_bytes()).expect("a add");
+    assert_eq!(ra.body, 5u64.to_be_bytes());
+    let rb = b.invoke("add", &3u64.to_be_bytes()).expect("b add");
+    assert_eq!(rb.body, 8u64.to_be_bytes(), "5 + 3 on one shared counter");
+
+    // Redundant-gateway caching: replies for gateway 0's client are also
+    // delivered to (and cached by) gateway 1, and vice versa.
+    wait_until("peer reply caching", || {
+        pool.registry()
+            .snapshot()
+            .counter("gateway.replies_cached_for_peer_clients")
+            >= 1
+    });
+
+    let snap = pool.snapshot();
+    assert_eq!(snap.connected_clients, 2, "one client on each gateway");
+
+    let stats = pool.shutdown();
+    assert_eq!(
+        stats.counter("gateway.requests_forwarded"),
+        2,
+        "one forward per request, pool-wide"
+    );
+}
+
+/// One domain fault degrades — and one recovery heals — every gateway in
+/// the pool at once: they share the substrate, so they share its fate.
+#[test]
+fn pool_degrades_and_recovers_as_one() {
+    let pool = start_pool(52, 0xF00D);
+    let a_id = client_owned_by(&pool, 0);
+    let ior = pool.ior_for_client(a_id, "IDL:Counter:1.0", GROUP);
+    let mut client = NetClient::connect(&ior, Some(a_id as u32)).expect("connect");
+    let r = client.invoke("add", &2u64.to_be_bytes()).expect("add");
+    assert_eq!(r.body, 2u64.to_be_bytes());
+    assert!(pool.gateway(0).healthy() && pool.gateway(1).healthy());
+
+    pool.inject(DomainFault::CrashProcessor(2));
+    wait_until("both gateways degrade", || {
+        !pool.gateway(0).healthy() && !pool.gateway(1).healthy()
+    });
+
+    pool.inject(DomainFault::RecoverProcessor(2));
+    wait_until("both gateways recover", || {
+        pool.gateway(0).healthy() && pool.gateway(1).healthy()
+    });
+
+    // State survived the outage, reachable through either partition.
+    let b_id = client_owned_by(&pool, 1);
+    let ior_b = pool.ior_for_client(b_id, "IDL:Counter:1.0", GROUP);
+    let mut late = NetClient::connect(&ior_b, Some(b_id as u32)).expect("connect late");
+    let r2 = late.invoke("get", &[]).expect("get");
+    assert_eq!(r2.body, 2u64.to_be_bytes());
+}

@@ -28,6 +28,25 @@ pub const CLIENT_RECONNECTS: &str = "client.reconnects";
 /// connection failure or reply timeout).
 pub const CLIENT_REISSUES: &str = "client.reissues";
 
+/// Events processed by one engine shard (labelled per shard via
+/// [`with_shard`]) — queue traffic, not client requests.
+pub const GATEWAY_SHARD_EVENTS: &str = "gateway.shard.events";
+
+/// Requests a shard deferred because its admission window was full.
+pub const GATEWAY_SHARD_DEFERRALS: &str = "gateway.shard.deferrals";
+
+/// Requests a shard currently has admitted into the domain (gauge,
+/// labelled per shard via [`with_shard`]).
+pub const GATEWAY_SHARD_INFLIGHT: &str = "gateway.shard.inflight";
+
+/// Attaches a `shard` label to a per-shard metric name, in the same
+/// `{label="value"}` form the Prometheus renderer splits back out:
+/// `with_shard("gateway.shard.events", 2)` →
+/// `gateway.shard.events{shard="2"}`.
+pub fn with_shard(name: &str, shard: usize) -> String {
+    format!("{name}{{shard=\"{shard}\"}}")
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -38,6 +57,9 @@ mod tests {
             super::NET_QUEUE_OVERFLOWS,
             super::CLIENT_RECONNECTS,
             super::CLIENT_REISSUES,
+            super::GATEWAY_SHARD_EVENTS,
+            super::GATEWAY_SHARD_DEFERRALS,
+            super::GATEWAY_SHARD_INFLIGHT,
         ] {
             assert!(
                 name.split_once('.').is_some_and(|(component, metric)| {
@@ -50,5 +72,13 @@ mod tests {
                 "well-known names are lowercase component.metric identifiers: {name}"
             );
         }
+    }
+
+    #[test]
+    fn with_shard_attaches_a_renderable_label() {
+        assert_eq!(
+            super::with_shard(super::GATEWAY_SHARD_EVENTS, 2),
+            "gateway.shard.events{shard=\"2\"}"
+        );
     }
 }

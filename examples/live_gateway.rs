@@ -15,20 +15,24 @@ fn main() {
     // builds the domain (4 processors, 3-replica active Counter) behind
     // it.
     let engine = EngineConfig::new(1, GroupId(0x4000_0001), 0);
-    let server = GatewayServer::start("127.0.0.1:0", engine, move || {
-        let mut host = DomainHost::try_start(1, 4, 7, || {
-            let mut reg = ObjectRegistry::new();
-            reg.register("Counter", Box::new(|| Box::new(Counter::new())));
-            reg
-        })?;
-        host.create_group(
-            group,
-            "Counter",
-            FtProperties::new(ReplicationStyle::Active).with_initial(3),
-        );
-        Ok(host)
-    })
-    .expect("bind loopback");
+    let server = GatewayServer::builder()
+        .addr("127.0.0.1:0")
+        .config(engine)
+        .host(move || {
+            let mut host = DomainHost::try_start(1, 4, 7, || {
+                let mut reg = ObjectRegistry::new();
+                reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+                reg
+            })?;
+            host.create_group(
+                group,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            Ok::<_, ftdomains::core::Error>(host)
+        })
+        .build()
+        .expect("bind loopback");
 
     // The IOR external clients would receive: a real host and port in the
     // IIOP profile (§3.1 — it points at the gateway, never a replica).
