@@ -17,18 +17,34 @@
 //! ```text
 //! ftd-chaos-soak [--seed N] [--clients N] [--requests N]
 //!                [--fault-probability F] [--blackout] [--crash]
-//!                [--json PATH]
+//!                [--restart] [--data-dir DIR] [--json PATH]
 //! ```
 //!
+//! `--restart` runs the **kill-and-restart phase** instead of the proxy
+//! soak: the gateway and its domain run with stable storage (`--data-dir`,
+//! default a temp dir), clients hammer the gateway directly, and mid-load
+//! the whole gateway+domain process stand-in is killed — no quiesce, no
+//! checkpoint — then rebuilt from the same data dir on a fresh port (the
+//! old one lingers in TIME_WAIT). Clients fail over to the new address
+//! reissuing under their original request ids; a probe client reissues a
+//! request the *dead* incarnation acknowledged and must get the identical
+//! reply back from the recovered response cache. The run asserts zero
+//! duplicate executions and zero lost acknowledged replies across the
+//! restart.
+//!
 //! Exit code 0 iff every assertion held; `--json` additionally writes a
-//! machine-readable report (consumed by the CI chaos job).
+//! machine-readable report (consumed by the CI chaos and recovery jobs).
 
 use ftd_chaos::{Blackout, ChaosProxy, FaultPlan};
 use ftd_core::EngineConfig;
 use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
 use ftd_giop::ReplyStatus;
-use ftd_net::{DomainFault, DomainHost, GatewayServer, NetClient, RetryPolicy};
+use ftd_net::{DomainFault, DomainHost, DurableHost, GatewayServer, NetClient, RetryPolicy};
+use ftd_store::FsyncPolicy;
 use ftd_totem::GroupId;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 const GROUP: GroupId = GroupId(10);
@@ -40,6 +56,8 @@ struct Opts {
     fault_probability: f64,
     blackout: bool,
     crash: bool,
+    restart: bool,
+    data_dir: Option<PathBuf>,
     json: Option<String>,
 }
 
@@ -61,6 +79,8 @@ fn parse_opts() -> Opts {
         fault_probability: 0.15,
         blackout: false,
         crash: false,
+        restart: false,
+        data_dir: None,
         json: None,
     };
     let mut args = std::env::args().skip(1);
@@ -76,11 +96,14 @@ fn parse_opts() -> Opts {
             "--fault-probability" => opts.fault_probability = parse(&value("--fault-probability")),
             "--blackout" => opts.blackout = true,
             "--crash" => opts.crash = true,
+            "--restart" => opts.restart = true,
+            "--data-dir" => opts.data_dir = Some(PathBuf::from(value("--data-dir"))),
             "--json" => opts.json = Some(value("--json")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ftd-chaos-soak [--seed N] [--clients N] [--requests N] \
-                     [--fault-probability F] [--blackout] [--crash] [--json PATH]"
+                     [--fault-probability F] [--blackout] [--crash] \
+                     [--restart] [--data-dir DIR] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -178,8 +201,360 @@ fn run_client(
     }
 }
 
+/// A durable gateway for the restart phase: the same domain/group shape
+/// as the proxy soak, but with stable storage under `dir` for both the
+/// gateway's §3.5 response cache and the domain's per-group logs.
+fn start_durable_gateway(dir: &Path, seed: u64) -> GatewayServer {
+    let data_dir = dir.to_path_buf();
+    GatewayServer::builder()
+        .addr("127.0.0.1:0")
+        .config(EngineConfig::new(9, GroupId(0x4000_0009), 0))
+        .data_dir(dir)
+        .host(move || {
+            let mut host = DomainHost::try_start(9, 4, seed, || {
+                let mut reg = ObjectRegistry::new();
+                reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+                reg
+            })?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            let (durable, _) = DurableHost::open(host, &data_dir, FsyncPolicy::Always, None)
+                .map_err(ftd_core::Error::Io)?;
+            Ok::<_, ftd_core::Error>(durable)
+        })
+        .build()
+        .unwrap_or_else(|e| die(&format!("durable gateway start failed: {e}")))
+}
+
+/// Drives one client through the kill-and-restart phase. The gateway's
+/// address changes mid-run (the restarted incarnation binds a fresh port
+/// — the old one lingers in TIME_WAIT), so every retry first re-reads
+/// the shared target and retargets the connection. Retargeting keeps the
+/// client identity and request-id sequence, so reissues reach the new
+/// incarnation under their original ids and stay exactly-once.
+fn run_restart_client(
+    target: Arc<Mutex<SocketAddr>>,
+    object_key: Vec<u8>,
+    client_index: u32,
+    requests: u32,
+) -> ClientOutcome {
+    let policy = RetryPolicy {
+        retries: 4,
+        backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(200),
+        timeout: Duration::from_secs(2),
+    };
+    let id = 0x5001 + client_index;
+    let mut current = *target.lock().expect("target lock");
+    let mut client = loop {
+        match NetClient::connect_addr(current, object_key.clone(), Some(id)) {
+            Ok(c) => break c,
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    client
+        .set_read_timeout(Duration::from_secs(2))
+        .expect("read timeout");
+
+    let mut acked_sum = 0u64;
+    for k in 0..requests {
+        let add = amount(client_index, k);
+        let bytes = add.to_be_bytes();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let mut issued = false;
+        loop {
+            let latest = *target.lock().expect("target lock");
+            if latest != current {
+                current = latest;
+                client.retarget(current).expect("retarget");
+            }
+            let result = if !issued {
+                client.invoke_retrying("add", &bytes, &policy)
+            } else {
+                // Same discipline as the proxy soak: once an id is on
+                // the wire, only ever reissue it verbatim.
+                match client.is_connected() {
+                    true => client.resend(client.last_request_id(), "add", &bytes),
+                    false => client
+                        .reconnect()
+                        .and_then(|()| client.resend(client.last_request_id(), "add", &bytes)),
+                }
+            };
+            issued = true;
+            match result {
+                Ok(reply) if reply.reply_status == ReplyStatus::NoException => {
+                    acked_sum += add;
+                    break;
+                }
+                Ok(reply) => die(&format!(
+                    "restart client {client_index} request {k}: unexpected reply status {:?}",
+                    reply.reply_status
+                )),
+                Err(_) if Instant::now() < deadline => {
+                    client.disconnect();
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => die(&format!(
+                    "restart client {client_index} request {k}: never acknowledged: {e}"
+                )),
+            }
+        }
+        // Pace the load so it straddles the kill and the recovery window.
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    ClientOutcome {
+        acked_sum,
+        reconnects: client.reconnects(),
+        reissues: client.reissues(),
+    }
+}
+
+/// The kill-and-restart phase (`--restart`). Clients hammer a durable
+/// gateway directly; mid-load the gateway+domain is killed without
+/// quiesce or checkpoint, rebuilt from the same data dir (different ring
+/// seed, fresh port), and the run asserts the paper's restart story:
+/// zero duplicate executions, zero lost acknowledged replies, and a
+/// pre-kill acked reply reissued byte-identically from the recovered
+/// response cache.
+fn run_restart_soak(opts: &Opts) {
+    let started = Instant::now();
+    let data_dir = opts.data_dir.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!(
+            "ftd-soak-restart-{}-{}",
+            std::process::id(),
+            opts.seed
+        ))
+    });
+    // The phase asserts exact counter math from zero: start clean.
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    let server = start_durable_gateway(&data_dir, opts.seed);
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    let object_key = ior
+        .primary_iiop()
+        .unwrap_or_else(|e| die(&format!("bad IOR: {e:?}")))
+        .object_key;
+    let target = Arc::new(Mutex::new(server.local_addr()));
+
+    eprintln!(
+        "ftd-chaos-soak: restart phase: seed={} clients={} requests={} data_dir={}",
+        opts.seed,
+        opts.clients,
+        opts.requests,
+        data_dir.display()
+    );
+
+    // The probe: one add acknowledged by the FIRST incarnation. After
+    // the kill, reissuing it must return the identical bytes from the
+    // recovered cache — the "zero lost acked replies" witness.
+    let mut probe = NetClient::connect_addr(server.local_addr(), object_key.clone(), Some(0xA001))
+        .unwrap_or_else(|e| die(&format!("probe connect: {e}")));
+    probe
+        .set_read_timeout(Duration::from_secs(5))
+        .expect("probe timeout");
+    let probe_reply = probe
+        .invoke("add", &5u64.to_be_bytes())
+        .unwrap_or_else(|e| die(&format!("probe add: {e}")));
+    let probe_id = probe.last_request_id();
+
+    let workers: Vec<_> = (0..opts.clients)
+        .map(|i| {
+            let target = target.clone();
+            let key = object_key.clone();
+            let requests = opts.requests;
+            std::thread::Builder::new()
+                .name(format!("restart-client-{i}"))
+                .spawn(move || run_restart_client(target, key, i, requests))
+                .expect("spawn client")
+        })
+        .collect();
+
+    // Kill mid-load: no quiesce, no checkpoint — crash-equivalent.
+    std::thread::sleep(Duration::from_millis(400));
+    server.kill();
+    eprintln!("ftd-chaos-soak: killed the gateway (no quiesce, no checkpoint)");
+    std::thread::sleep(Duration::from_millis(200));
+
+    // Rebuild from the same data dir. A different ring seed shows replay
+    // does not depend on reproducing the dead incarnation's schedule.
+    let server = start_durable_gateway(&data_dir, opts.seed.wrapping_add(1));
+    *target.lock().expect("target lock") = server.local_addr();
+    eprintln!(
+        "ftd-chaos-soak: restarted from {} on {}",
+        data_dir.display(),
+        server.local_addr()
+    );
+
+    let outcomes: Vec<ClientOutcome> = workers
+        .into_iter()
+        .map(|w| match w.join() {
+            Ok(outcome) => outcome,
+            Err(_) => die("a restart client thread panicked"),
+        })
+        .collect();
+
+    // Reissue the probe's pre-kill request against the new incarnation.
+    probe
+        .retarget(server.local_addr())
+        .unwrap_or_else(|e| die(&format!("probe retarget: {e}")));
+    let reissue_deadline = Instant::now() + Duration::from_secs(30);
+    let replayed = loop {
+        let attempt = if probe.is_connected() {
+            probe.resend(probe_id, "add", &5u64.to_be_bytes())
+        } else {
+            probe
+                .reconnect()
+                .and_then(|()| probe.resend(probe_id, "add", &5u64.to_be_bytes()))
+        };
+        match attempt {
+            Ok(reply) => break reply,
+            Err(e) if Instant::now() < reissue_deadline => {
+                eprintln!("ftd-chaos-soak: probe reissue retry ({e})");
+                probe.disconnect();
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => die(&format!("probe reissue: {e}")),
+        }
+    };
+
+    let expected_load: u64 = (0..opts.clients)
+        .flat_map(|i| (0..opts.requests).map(move |k| amount(i, k)))
+        .sum();
+    let acked_sum: u64 = outcomes.iter().map(|o| o.acked_sum).sum();
+    let reconnects: u64 = outcomes.iter().map(|o| o.reconnects).sum();
+    let reissues: u64 = outcomes.iter().map(|o| o.reissues).sum();
+    let expected_sum = expected_load + 5; // load + probe
+
+    // The verdict read, from a fresh identity against the survivor.
+    let verify_deadline = Instant::now() + Duration::from_secs(60);
+    let reply = loop {
+        let attempt =
+            NetClient::connect_addr(server.local_addr(), object_key.clone(), Some(0xFFFF))
+                .and_then(|mut verifier| {
+                    verifier.set_read_timeout(Duration::from_secs(5))?;
+                    verifier.invoke("get", &[])
+                });
+        match attempt {
+            Ok(reply) => break reply,
+            Err(e) if Instant::now() < verify_deadline => {
+                eprintln!("ftd-chaos-soak: verify retry ({e})");
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            Err(e) => die(&format!("verify get: {e}")),
+        }
+    };
+    let final_value = u64::from_be_bytes(
+        reply
+            .body
+            .as_slice()
+            .try_into()
+            .unwrap_or_else(|_| die("verify get: non-u64 reply")),
+    );
+
+    let stats = server.shutdown();
+    let cache_hits = stats.counter("gateway.reissues_served_from_cache");
+    let responses_recovered = stats.counter("store.responses_recovered");
+    let elapsed = started.elapsed();
+
+    eprintln!(
+        "ftd-chaos-soak: restart: acked_sum={acked_sum} final={final_value} \
+         cache_hits={cache_hits} responses_recovered={responses_recovered} \
+         reconnects={reconnects} reissues={reissues}"
+    );
+
+    let mut failures = Vec::new();
+    if replayed.body != probe_reply.body {
+        failures.push(format!(
+            "lost acked reply: probe reissue answered {:?}, the dead incarnation acked {:?}",
+            replayed.body, probe_reply.body
+        ));
+    }
+    if acked_sum != expected_load {
+        failures.push(format!(
+            "lost acknowledged adds: acked {acked_sum} != attempted {expected_load}"
+        ));
+    }
+    if final_value != expected_sum {
+        failures.push(format!(
+            "exactly-once violated across restart: final counter {final_value} != \
+             acked sum {expected_sum} ({} it)",
+            if final_value > expected_sum {
+                "duplicate executions inflated"
+            } else {
+                "lost acknowledged replies deflated"
+            }
+        ));
+    }
+    if responses_recovered == 0 {
+        failures.push(
+            "the restarted gateway recovered no cached responses — the kill landed \
+             before any durable write, the phase proved nothing"
+                .to_owned(),
+        );
+    }
+    if cache_hits == 0 {
+        failures.push(
+            "no reissue was served from the recovered cache (the probe's should have been)"
+                .to_owned(),
+        );
+    }
+
+    let passed = failures.is_empty();
+    if let Some(path) = &opts.json {
+        let json = format!(
+            "{{\n  \"seed\": {},\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \
+             \"restart\": true,\n  \"data_dir\": \"{}\",\n  \
+             \"expected_sum\": {expected_sum},\n  \"acked_sum\": {acked_sum},\n  \
+             \"final_value\": {final_value},\n  \"client_reconnects\": {reconnects},\n  \
+             \"client_reissues\": {reissues},\n  \"engine\": {{\n    \
+             \"reissues_served_from_cache\": {cache_hits},\n    \
+             \"responses_recovered\": {responses_recovered}\n  }},\n  \
+             \"elapsed_ms\": {},\n  \"passed\": {passed}\n}}\n",
+            opts.seed,
+            opts.clients,
+            opts.requests,
+            data_dir.display(),
+            elapsed.as_millis(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    }
+
+    if opts.data_dir.is_none() {
+        let _ = std::fs::remove_dir_all(&data_dir);
+    }
+
+    if passed {
+        println!(
+            "PASS restart seed={} clients={} requests={} final={final_value} \
+             cache_hits={cache_hits} reconnects={reconnects} reissues={reissues} \
+             elapsed={:.1}s",
+            opts.seed,
+            opts.clients,
+            opts.requests,
+            elapsed.as_secs_f64()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("ftd-chaos-soak: FAIL: {f}");
+        }
+        println!(
+            "FAIL restart seed={} ({} violations)",
+            opts.seed,
+            failures.len()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = parse_opts();
+    if opts.restart {
+        run_restart_soak(&opts);
+        return;
+    }
     let started = Instant::now();
 
     let config = EngineConfig::new(9, GroupId(0x4000_0009), 0);

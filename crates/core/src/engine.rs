@@ -88,6 +88,19 @@ pub enum Action {
         /// The new counter value.
         value: u32,
     },
+    /// Persist a §3.5 cached reply to stable storage, so a restarted
+    /// gateway can still answer a client's reissue of a request it
+    /// acknowledged before dying. Emitted only when
+    /// [`EngineConfig::persist_responses`] is set; emitted *before* the
+    /// [`Action::ToClient`] carrying the same reply, so a host applying
+    /// actions in order makes the reply durable before the client can
+    /// observe it.
+    PersistResponse {
+        /// The operation whose reply is being cached.
+        operation: OperationId,
+        /// The full IIOP reply bytes.
+        reply: Vec<u8>,
+    },
     /// Increment a named statistics counter.
     Count {
         /// The counter name.
@@ -193,6 +206,10 @@ pub struct EngineConfig {
     /// Largest GIOP body accepted on any connection the engine reads
     /// (clients and bridge links). Oversized frames are protocol errors.
     pub max_body: usize,
+    /// Emit [`Action::PersistResponse`] for every reply entering the
+    /// §3.5 response cache. Off by default: only hosts with stable
+    /// storage behind them (`--data-dir`) pay the copy.
+    pub persist_responses: bool,
 }
 
 impl EngineConfig {
@@ -206,6 +223,7 @@ impl EngineConfig {
             bridge_client_id: 0x6000_0000 | (domain << 8) | index,
             cache_capacity: 4096,
             max_body: DEFAULT_MAX_BODY_LEN,
+            persist_responses: false,
         }
     }
 
@@ -245,6 +263,13 @@ impl EngineConfigBuilder {
     /// Sets the largest GIOP body accepted on any connection.
     pub fn max_body(mut self, max_body: usize) -> Self {
         self.config.max_body = max_body;
+        self
+    }
+
+    /// Emits [`Action::PersistResponse`] for every newly cached reply
+    /// (hosts with stable storage behind them).
+    pub fn persist_responses(mut self, persist: bool) -> Self {
+        self.config.persist_responses = persist;
         self
     }
 
@@ -444,6 +469,12 @@ impl GatewayEngine {
     /// re-executes at the replicas and leans on the domain's duplicate
     /// detection instead — so each one is accounted via [`Action::Count`].
     fn cache_put(&mut self, op: OperationId, reply: Vec<u8>, out: &mut Vec<Action>) {
+        if self.config.persist_responses {
+            out.push(Action::PersistResponse {
+                operation: op,
+                reply: reply.clone(),
+            });
+        }
         if self.cache.insert(op, reply).is_none() {
             self.cache_order.push_back(op);
             if self.cache_order.len() > self.config.cache_capacity {
@@ -455,6 +486,28 @@ impl GatewayEngine {
                 }
             }
         }
+    }
+
+    /// Installs a recovered reply into the §3.5 response cache without
+    /// emitting actions — the restart path, fed from stable storage. The
+    /// cache capacity is enforced (oldest recovered entry evicted first).
+    pub fn restore_cached_response(&mut self, op: OperationId, reply: Vec<u8>) {
+        if self.cache.insert(op, reply).is_none() {
+            self.cache_order.push_back(op);
+            if self.cache_order.len() > self.config.cache_capacity {
+                if let Some(old) = self.cache_order.pop_front() {
+                    self.cache.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Seeds a §3.2 client-id counter from stable storage, keeping the
+    /// larger of the persisted and any already-seeded value so replaying
+    /// a stale record can never reissue an already-assigned id.
+    pub fn seed_counter(&mut self, server: u32, value: u32) {
+        let counter = self.counters.entry(server).or_insert(0);
+        *counter = (*counter).max(value);
     }
 
     // ------------------------------------------------------------------

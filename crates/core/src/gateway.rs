@@ -77,6 +77,7 @@ impl GatewayConfig {
             bridge_client_id: self.bridge_client_id,
             cache_capacity: self.cache_capacity,
             max_body: ftd_giop::DEFAULT_MAX_BODY_LEN,
+            persist_responses: false,
         }
     }
 }
@@ -233,6 +234,9 @@ impl Gateway {
                 Action::PersistCounter { server, value } => {
                     self.persist_counter(server, value);
                 }
+                // The simulated host has no response store; the threaded
+                // `ftd-net` host persists these to its write-ahead log.
+                Action::PersistResponse { .. } => {}
                 Action::Count { counter } => {
                     ctx.stats().inc(counter);
                 }

@@ -416,6 +416,20 @@ impl ShardedEngine {
             .counter_for(group)
     }
 
+    /// Seeds a §3.2 counter on the shard owning `server` (max-merge, see
+    /// [`GatewayEngine::seed_counter`]).
+    pub fn seed_counter(&mut self, server: u32, value: u32) {
+        let i = self.router.route(GroupId(server));
+        self.shards[i].engine.seed_counter(server, value);
+    }
+
+    /// Installs a recovered §3.5 reply on the shard owning its target
+    /// group (see [`GatewayEngine::restore_cached_response`]).
+    pub fn restore_cached_response(&mut self, op: OperationId, reply: Vec<u8>) {
+        let i = self.router.route(op.target);
+        self.shards[i].engine.restore_cached_response(op, reply);
+    }
+
     /// Drains every shard's response cache (shutdown flush).
     pub fn drain_cached_responses(&mut self) -> Vec<(OperationId, Vec<u8>)> {
         self.shards

@@ -51,7 +51,7 @@ pub use ftmsg::{
     UNUSED_CLIENT_ID,
 };
 pub use interceptor::{GatewayEndpoint, IorPublisher};
-pub use logging::{GroupLog, OpRecord};
+pub use logging::{GroupLog, LogSink, OpRecord};
 pub use manager::{make_meta, DomainDirectory};
 pub use mechanisms::{
     derive_entropy, stub_group, MechConfig, Mechanisms, RootReply, ALL_DAEMONS_GROUP,

@@ -516,7 +516,7 @@ impl Mechanisms {
         ReplicaRuntime {
             object,
             table: InvocationTable::new(self.config.response_cache),
-            log: GroupLog::new(),
+            log: GroupLog::with_capacity(self.config.response_cache),
             busy: None,
             queue: VecDeque::new(),
             unanswered: BTreeMap::new(),
@@ -669,6 +669,33 @@ impl Mechanisms {
         for msg in buffered {
             self.dispatch(ctx, totem, &msg);
         }
+    }
+
+    /// Installs recovered durable state into a local replica — the restart
+    /// analogue of [`Mechanisms::on_state_transfer`], fed from stable
+    /// storage instead of a live donor. `state` (when present) overwrites
+    /// the object; `responses` prime the duplicate-detection table so
+    /// operations answered before the crash are suppressed rather than
+    /// re-executed. Returns `false` when no replica of `group` lives here.
+    pub fn restore_replica(
+        &mut self,
+        group: GroupId,
+        state: Option<&[u8]>,
+        responses: &[(OperationId, Vec<u8>)],
+    ) -> bool {
+        let Some(rt) = self.replicas.get_mut(&group) else {
+            return false;
+        };
+        if let Some(state) = state {
+            rt.object.set_state(state);
+        }
+        for (id, resp) in responses {
+            rt.table.install(*id, resp.clone());
+            rt.log.record_response(*id, resp.clone());
+        }
+        rt.awaiting_state = false;
+        rt.promoted = true;
+        true
     }
 
     fn on_upgrade(&mut self, ctx: &mut Context<'_>, group: GroupId, new_type: &str) {
@@ -1059,7 +1086,10 @@ impl Mechanisms {
         rt.object.set_state(&state);
         rt.promoted = true; // warm backups stay hot
         rt.table.install(operation, response.clone());
-        rt.log.record_response(operation, response);
+        let evicted = rt.log.record_response(operation, response);
+        if evicted > 0 {
+            ctx.stats().add("eternal.responses_evicted", evicted);
+        }
         rt.unanswered.remove(&operation);
     }
 
@@ -1079,11 +1109,14 @@ impl Mechanisms {
             return;
         }
         ctx.stats().inc("eternal.log_ops_applied");
-        rt.log.append(OpRecord {
+        let evicted = rt.log.append(OpRecord {
             operation,
             invocation,
             response: response.clone(),
         });
+        if evicted > 0 {
+            ctx.stats().add("eternal.responses_evicted", evicted);
+        }
         rt.table.install(operation, response);
         rt.unanswered.remove(&operation);
     }

@@ -8,7 +8,7 @@
 //! ```text
 //! ftd-gatewayd [--port N] [--domain N] [--processors N] [--replicas N]
 //!              [--group N] [--voting] [--seed N] [--shards N]
-//!              [--gateways N] [--inflight N]
+//!              [--gateways N] [--inflight N] [--data-dir DIR]
 //!              [--metrics-addr HOST:PORT] [--max-body-bytes N]
 //! ```
 //!
@@ -18,14 +18,26 @@
 //! printed per gateway. `--inflight` bounds each shard's admission
 //! window.
 //!
+//! `--data-dir DIR` turns on stable storage: the domain's per-group
+//! operation logs and checkpoints live under `DIR/domain`, the gateway's
+//! §3.5 response cache and §3.2 client-id counters under `DIR/gateway`.
+//! On start the daemon replays whatever a previous incarnation left
+//! behind — recovered object state, re-executed logged invocations, and
+//! a reissue cache that still suppresses duplicates for requests the
+//! dead process answered — and prints the recovery summary on stderr.
+//!
 //! With `--metrics-addr`, a second admin listener serves `GET /metrics`
 //! (Prometheus text) and `GET /metrics.json`; the bound address is
 //! printed on stderr.
 
 use ftd_core::EngineConfig;
 use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
-use ftd_net::{DomainHost, GatewayPool, GatewayServer, ServerOptions};
+use ftd_net::{DomainBackend, DomainHost, DurableHost, GatewayPool, GatewayServer, ServerOptions};
+use ftd_obs::Registry;
+use ftd_store::FsyncPolicy;
 use ftd_totem::GroupId;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Opts {
@@ -41,6 +53,7 @@ struct Opts {
     shards: Option<usize>,
     gateways: usize,
     inflight: Option<usize>,
+    data_dir: Option<PathBuf>,
 }
 
 fn parse_opts() -> Opts {
@@ -57,6 +70,7 @@ fn parse_opts() -> Opts {
         shards: None,
         gateways: 1,
         inflight: None,
+        data_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,11 +91,12 @@ fn parse_opts() -> Opts {
             "--shards" => opts.shards = Some(parse(&value("--shards"))),
             "--gateways" => opts.gateways = parse(&value("--gateways")),
             "--inflight" => opts.inflight = Some(parse(&value("--inflight"))),
+            "--data-dir" => opts.data_dir = Some(PathBuf::from(value("--data-dir"))),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ftd-gatewayd [--port N] [--domain N] [--processors N] \
                      [--replicas N] [--group N] [--voting] [--seed N] [--shards N] \
-                     [--gateways N] [--inflight N] \
+                     [--gateways N] [--inflight N] [--data-dir DIR] \
                      [--metrics-addr HOST:PORT] [--max-body-bytes N]"
                 );
                 std::process::exit(0);
@@ -94,6 +109,9 @@ fn parse_opts() -> Opts {
     }
     if opts.gateways == 0 {
         die("--gateways must be >= 1");
+    }
+    if opts.data_dir.is_some() && opts.gateways > 1 {
+        die("--data-dir serves a single gateway (pools would share one store)");
     }
     opts
 }
@@ -128,6 +146,9 @@ fn main() {
         options = options.metrics_addr(addr.clone());
     }
     let options = options.build();
+    let registry = Arc::new(Registry::new());
+    let factory_registry = registry.clone();
+    let factory_data_dir = opts.data_dir.clone();
     let host_factory = move || {
         let mut host = DomainHost::try_start(domain, processors, seed, || {
             let mut reg = ObjectRegistry::new();
@@ -139,7 +160,21 @@ fn main() {
             "Counter",
             FtProperties::new(style).with_initial(replicas),
         );
-        Ok::<_, ftd_core::Error>(host)
+        let backend: Box<dyn DomainBackend> = match &factory_data_dir {
+            Some(dir) => {
+                let (durable, recovery) =
+                    DurableHost::open(host, dir, FsyncPolicy::Always, Some(factory_registry))
+                        .map_err(ftd_core::Error::Io)?;
+                eprintln!(
+                    "ftd-gatewayd: recovered {} durable groups, {} cached responses, \
+                     replayed {} logged operations",
+                    recovery.groups_recovered, recovery.responses_restored, recovery.ops_replayed,
+                );
+                Box::new(durable)
+            }
+            None => Box::new(host),
+        };
+        Ok::<_, ftd_core::Error>(backend)
     };
 
     if opts.gateways > 1 {
@@ -148,6 +183,7 @@ fn main() {
             .gateways(opts.gateways)
             .addr("127.0.0.1:0")
             .config(config)
+            .registry(registry)
             .host(host_factory);
         if let Some(shards) = opts.shards {
             builder = builder.shards(shards);
@@ -195,7 +231,11 @@ fn main() {
         .addr(format!("127.0.0.1:{}", opts.port))
         .config(config)
         .options(options)
+        .registry(registry)
         .host(host_factory);
+    if let Some(dir) = &opts.data_dir {
+        builder = builder.data_dir(dir.clone());
+    }
     if let Some(shards) = opts.shards {
         builder = builder.shards(shards);
     }

@@ -172,6 +172,19 @@ impl NetClient {
         }))
     }
 
+    /// Repoints the client at a different gateway address — the §3.5
+    /// failover an enhanced client performs when its gateway dies and a
+    /// successor advertises a new endpoint (a restarted gateway cannot
+    /// reuse its old port while it lingers in TIME_WAIT). The current
+    /// connection drops; the client identity and request-id sequence
+    /// continue, so reissues keep their original ids and the successor's
+    /// recovered response cache still recognises them.
+    pub fn retarget(&mut self, addr: impl ToSocketAddrs) -> ftd_core::Result<()> {
+        self.addrs = addr.to_socket_addrs()?.collect();
+        self.disconnect();
+        Ok(())
+    }
+
     /// Drops the current connection (if any) and redials the gateway.
     pub fn reconnect(&mut self) -> ftd_core::Result<()> {
         self.disconnect();

@@ -1,5 +1,5 @@
-//! The domain thread: one [`DomainHost`] pumped in virtual time, shared
-//! by every gateway in front of it.
+//! The domain thread: one [`DomainBackend`] pumped in virtual time,
+//! shared by every gateway in front of it.
 //!
 //! The seed architecture ran the in-process domain *on* the gateway's
 //! single engine thread. With the engine sharded (N threads) and
@@ -13,7 +13,8 @@
 //! front one fault tolerance domain; the domain is the ordered,
 //! replicated substrate and the gateways are the scale-out edge.
 
-use crate::host::{DomainHost, HostView};
+use crate::backend::DomainBackend;
+use crate::host::HostView;
 use ftd_core::Error;
 use ftd_obs::{names, Registry};
 use ftd_sim::SimDuration;
@@ -135,10 +136,12 @@ impl DomainService {
     /// crosses threads) and waits for bring-up: an error from the factory
     /// — e.g. [`ftd_core::HostError::RingFormation`] — is returned here
     /// instead of killing the thread. The host's deterministic `totem.*`
-    /// counters are bridged into `registry`.
-    pub fn start(
+    /// counters are bridged into `registry`. Accepts any
+    /// [`DomainBackend`]: the plain [`DomainHost`](crate::DomainHost),
+    /// a [`DurableHost`](crate::DurableHost), or a test double.
+    pub fn start<B: DomainBackend>(
         registry: Arc<Registry>,
-        host: impl FnOnce() -> ftd_core::Result<DomainHost> + Send + 'static,
+        host: impl FnOnce() -> ftd_core::Result<B> + Send + 'static,
     ) -> ftd_core::Result<DomainService> {
         let (tx, rx) = mpsc::channel();
         let shared = Arc::new(DomainSharedState {
@@ -219,9 +222,9 @@ fn route_deliveries(deliveries: &[(GroupId, Vec<u8>)], sinks: &mut Vec<DeliveryS
     });
 }
 
-fn domain_loop(
+fn domain_loop<B: DomainBackend>(
     rx: Receiver<DomainCmd>,
-    mut host: DomainHost,
+    mut host: B,
     shared: Arc<DomainSharedState>,
     registry: Arc<Registry>,
 ) {
@@ -268,9 +271,11 @@ fn domain_loop(
         next_tick = Instant::now() + TICK_REAL;
 
         // Advance the virtual clock and push ordered deliveries out to
-        // the gateways' shard queues.
+        // the gateways' shard queues. Durable backends take their
+        // checkpoint opportunity once the tick's deliveries are routed.
         let deliveries = host.pump(TICK_VIRTUAL);
         route_deliveries(&deliveries, &mut sinks);
+        host.maintain();
 
         if !quiesce_acks.is_empty() {
             // Drain: keep pumping until the domain goes quiet for a few

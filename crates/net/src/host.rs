@@ -281,6 +281,47 @@ impl DomainHost {
         }
     }
 
+    /// The replicated object groups currently placed in the domain, per
+    /// the relay's converged directory (empty while the relay is down).
+    pub fn groups(&self) -> Vec<GroupId> {
+        self.relay_daemon()
+            .map(|d| d.mech().directory().groups().map(|m| m.group).collect())
+            .unwrap_or_default()
+    }
+
+    /// The current application state of `group`, read from the first live
+    /// replica. This is the checkpointable state of §2's Logging-Recovery
+    /// Mechanisms; `None` when no live processor hosts a replica.
+    pub fn replica_state(&self, group: GroupId) -> Option<Vec<u8>> {
+        self.processors.iter().find_map(|&p| {
+            self.world
+                .actor::<HostDaemon>(p)
+                .and_then(|d| d.mech().replica_state(group))
+        })
+    }
+
+    /// Installs recovered durable state into every live replica of
+    /// `group` (see [`Mechanisms::restore_replica`]): `state` overwrites
+    /// the objects, `responses` prime duplicate detection so operations
+    /// answered before the crash are suppressed, not re-executed. Returns
+    /// how many replicas accepted the restore.
+    pub fn restore_group(
+        &mut self,
+        group: GroupId,
+        state: Option<&[u8]>,
+        responses: &[(ftd_eternal::OperationId, Vec<u8>)],
+    ) -> usize {
+        let procs = self.processors.clone();
+        procs
+            .into_iter()
+            .filter(|&p| {
+                self.world
+                    .actor_mut::<HostDaemon>(p)
+                    .is_some_and(|d| d.mech_mut().restore_replica(group, state, responses))
+            })
+            .count()
+    }
+
     /// Snapshots the [`DomainView`] facts for the engine. With the relay
     /// down the view is empty (no peers, no groups): the engine then
     /// treats every group as absent, which is the §3.5 "domain

@@ -21,6 +21,11 @@
 //!   thread and advanced in virtual time.
 //! * [`NetClient`] — a blocking GIOP/IIOP client for real sockets, plain
 //!   (§3.4) or enhanced with the client-id service context (§3.5).
+//! * [`DurableHost`] + [`GatewayStore`] — restart durability: a
+//!   [`DomainBackend`] wrapper that write-ahead logs every group's
+//!   operations (and checkpoints object state) via `ftd-store`, and the
+//!   gateway-side store that makes the §3.5 response cache survive a
+//!   crash. `GatewayServer::builder().data_dir(..)` turns both on.
 //!
 //! Fallible surfaces return the workspace-wide [`ftd_core::Error`].
 //!
@@ -32,17 +37,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod client;
 mod domain;
+mod durable;
 mod host;
 mod pool;
 mod server;
+mod store;
 
+pub use backend::DomainBackend;
 pub use client::{NetClient, RetryPolicy};
 pub use domain::{DomainFault, DomainLink, DomainService};
+pub use durable::{DomainRecovery, DurableHost};
 pub use host::{DomainHost, HostError, HostView};
 pub use pool::{gateway_for_client, GatewayPool, GatewayPoolBuilder};
 pub use server::{
     EngineSnapshot, GatewayBuilder, GatewayServer, ServerOptions, ServerOptionsBuilder,
     ShutdownReport, CONN_INBOUND_BUDGET, DEFAULT_MAX_INFLIGHT,
 };
+pub use store::{GatewayStore, RecoveredGateway};

@@ -5,7 +5,7 @@
 //! ordered multicast substrate is one, the TCP edge scales out.
 //! [`GatewayPool`] builds that shape in-process — one
 //! [`DomainService`](crate::DomainService) thread owns the
-//! [`DomainHost`], and M [`GatewayServer`]s (each with its own listener,
+//! [`DomainBackend`], and M [`GatewayServer`]s (each with its own listener,
 //! shard set, client-id namespace `EngineConfig::index = g`, and §3.5
 //! response cache) register delivery sinks with it.
 //!
@@ -19,10 +19,11 @@
 //! (`gateway.replies_cached_for_peer_clients`), exactly the §3.5
 //! redundant-gateway behaviour the loopback tests assert in miniature.
 
+use crate::backend::DomainBackend;
 use crate::domain::{DomainFault, DomainLink, DomainService};
-use crate::host::DomainHost;
 use crate::server::{
-    stats_from_registry, EngineSnapshot, GatewayServer, ServerOptions, DEFAULT_MAX_INFLIGHT,
+    stats_from_registry, EngineSnapshot, GatewayServer, HostFactory, ServerOptions,
+    DEFAULT_MAX_INFLIGHT,
 };
 use ftd_core::{EngineConfig, Error};
 use ftd_giop::Ior;
@@ -47,8 +48,6 @@ pub fn gateway_for_client(client_id: u64, gateways: usize) -> usize {
     (x % gateways as u64) as usize
 }
 
-type PoolHostFactory = Box<dyn FnOnce() -> ftd_core::Result<DomainHost> + Send + 'static>;
-
 /// Builder for [`GatewayPool`]; see [`GatewayPool::builder`].
 pub struct GatewayPoolBuilder {
     gateways: usize,
@@ -59,7 +58,7 @@ pub struct GatewayPoolBuilder {
     shards: Option<usize>,
     max_inflight: usize,
     pins: Vec<(GroupId, usize)>,
-    host: Option<PoolHostFactory>,
+    host: Option<HostFactory>,
     domain: Option<DomainLink>,
 }
 
@@ -132,16 +131,19 @@ impl GatewayPoolBuilder {
     }
 
     /// The one domain the whole pool serves, produced by `factory` on
-    /// the pool's domain thread. Mutually exclusive with
+    /// the pool's domain thread. Accepts any [`DomainBackend`] — see
+    /// [`crate::GatewayBuilder::host`]. Mutually exclusive with
     /// [`GatewayPoolBuilder::domain`].
-    pub fn host<E>(
-        mut self,
-        factory: impl FnOnce() -> Result<DomainHost, E> + Send + 'static,
-    ) -> Self
+    pub fn host<B, E>(mut self, factory: impl FnOnce() -> Result<B, E> + Send + 'static) -> Self
     where
+        B: DomainBackend,
         E: Into<Error>,
     {
-        self.host = Some(Box::new(move || factory().map_err(Into::into)));
+        self.host = Some(Box::new(move || {
+            factory()
+                .map(|b| Box::new(b) as Box<dyn DomainBackend>)
+                .map_err(Into::into)
+        }));
         self
     }
 

@@ -54,8 +54,9 @@
 //! Nothing but `std::net` and `std::sync` is used — the crate adds zero
 //! external dependencies.
 
+use crate::backend::DomainBackend;
 use crate::domain::{DomainFault, DomainLink, DomainService, TICK_REAL};
-use crate::host::DomainHost;
+use crate::store::GatewayStore;
 use ftd_core::{
     classify_client_message, classify_delivery, Action, DeliveryRoute, EngineConfig, Error,
     GatewayEngine, GwConn, MsgRoute, ShardError, ShardRouter, ENGINE_LATENCY_SERIES,
@@ -65,10 +66,12 @@ use ftd_eternal::{GatewayEndpoint, IorPublisher, OperationId};
 use ftd_giop::{ByteOrder, GiopMessage, Ior, MessageReader};
 use ftd_obs::{names, Clock, Counter, Histogram, RealClock, Registry};
 use ftd_sim::Stats;
+use ftd_store::FsyncPolicy;
 use ftd_totem::GroupId;
 use std::collections::{BTreeMap, VecDeque};
-use std::io::{self, Read, Write};
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
@@ -208,7 +211,8 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
-type HostFactory = Box<dyn FnOnce() -> ftd_core::Result<DomainHost> + Send + 'static>;
+pub(crate) type HostFactory =
+    Box<dyn FnOnce() -> ftd_core::Result<Box<dyn DomainBackend>> + Send + 'static>;
 
 /// Builder for [`GatewayServer`] — the one way to start a gateway.
 ///
@@ -239,6 +243,8 @@ pub struct GatewayBuilder {
     pins: Vec<(GroupId, usize)>,
     host: Option<HostFactory>,
     domain: Option<DomainLink>,
+    data_dir: Option<PathBuf>,
+    fsync: FsyncPolicy,
 }
 
 impl std::fmt::Debug for GatewayBuilder {
@@ -246,6 +252,7 @@ impl std::fmt::Debug for GatewayBuilder {
         f.debug_struct("GatewayBuilder")
             .field("addr", &self.addr)
             .field("shards", &self.shards)
+            .field("data_dir", &self.data_dir)
             .finish()
     }
 }
@@ -311,15 +318,41 @@ impl GatewayBuilder {
 
     /// Serve a private in-process domain produced by `factory` (run on
     /// the domain thread — the simulated world never crosses threads).
-    /// Mutually exclusive with [`GatewayBuilder::domain`].
-    pub fn host<E>(
-        mut self,
-        factory: impl FnOnce() -> Result<DomainHost, E> + Send + 'static,
-    ) -> Self
+    /// Accepts any [`DomainBackend`]: the plain
+    /// [`DomainHost`](crate::DomainHost), a
+    /// [`DurableHost`](crate::DurableHost), or a test double. Mutually
+    /// exclusive with [`GatewayBuilder::domain`].
+    pub fn host<B, E>(mut self, factory: impl FnOnce() -> Result<B, E> + Send + 'static) -> Self
     where
+        B: DomainBackend,
         E: Into<Error>,
     {
-        self.host = Some(Box::new(move || factory().map_err(Into::into)));
+        self.host = Some(Box::new(move || {
+            factory()
+                .map(|b| Box::new(b) as Box<dyn DomainBackend>)
+                .map_err(Into::into)
+        }));
+        self
+    }
+
+    /// Enables stable storage for this gateway's §3.5 response cache and
+    /// §3.2 client-id counters under `dir` (the store lives in
+    /// `dir/gateway`). With a data dir set, every cached reply is
+    /// write-ahead logged *before* it reaches the client, and
+    /// [`GatewayBuilder::build`] replays whatever a previous incarnation
+    /// left behind — a restarted gateway keeps suppressing client
+    /// reissues it answered before dying.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// The fsync policy for the gateway's write-ahead log (default
+    /// [`FsyncPolicy::Always`] — §3.5 exactly-once needs the reply on
+    /// disk before the client sees it). Only meaningful with
+    /// [`GatewayBuilder::data_dir`].
+    pub fn fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
         self
     }
 
@@ -335,7 +368,7 @@ impl GatewayBuilder {
     /// [`GatewayBuilder::host`]), spawns the shard/accept/metrics
     /// threads, and returns the serving gateway.
     pub fn build(self) -> ftd_core::Result<GatewayServer> {
-        let config = self
+        let mut config = self
             .config
             .ok_or_else(|| Error::config("GatewayServer::builder() requires .config(..)"))?;
         let shards = match self.shards {
@@ -361,6 +394,20 @@ impl GatewayBuilder {
             router.pin(*group, *shard)?;
         }
 
+        // Stable storage: open (and replay) the store before any engine
+        // exists, so recovered §3.2 counters and §3.5 cached replies seed
+        // the engines before the first client byte arrives.
+        let opened_store = match &self.data_dir {
+            Some(dir) => {
+                let (store, recovered) =
+                    GatewayStore::open(&dir.join("gateway"), self.fsync, Some(registry.clone()))
+                        .map_err(Error::Io)?;
+                config.persist_responses = true;
+                Some((store, recovered))
+            }
+            None => None,
+        };
+
         let (domain, owned_domain) = match (self.domain, self.host) {
             (Some(_), Some(_)) => {
                 return Err(Error::config(
@@ -385,19 +432,46 @@ impl GatewayBuilder {
             shutdown: AtomicBool::new(false),
         });
 
+        // Create every engine before spawning its thread so recovered
+        // state can be routed shard-by-shard (same routing the live
+        // traffic uses: a group's counter and its replies land on the
+        // shard that owns the group).
+        let mut engines: Vec<GatewayEngine> = (0..shards)
+            .map(|_| {
+                let mut engine = GatewayEngine::new(config.clone(), BTreeMap::new());
+                engine.set_clock(clock.clone());
+                engine
+            })
+            .collect();
+        let store = match opened_store {
+            Some((store, recovered)) => {
+                for (&server, &value) in &recovered.counters {
+                    engines[router.route(GroupId(server))].seed_counter(server, value);
+                }
+                for (op, reply) in &recovered.responses {
+                    engines[router.route(op.target)].restore_cached_response(*op, reply.clone());
+                }
+                registry.add(
+                    names::STORE_RESPONSES_RECOVERED,
+                    recovered.responses.len() as u64,
+                );
+                Some(store)
+            }
+            None => None,
+        };
+
         let mut shard_txs: Vec<Sender<ShardEv>> = Vec::with_capacity(shards);
         let mut shard_threads = Vec::with_capacity(shards);
-        for idx in 0..shards {
+        for (idx, engine) in engines.into_iter().enumerate() {
             let (tx, rx) = mpsc::channel();
             shard_txs.push(tx);
-            let mut engine = GatewayEngine::new(config.clone(), BTreeMap::new());
-            engine.set_clock(clock.clone());
             let shard = Shard::new(
                 idx,
                 engine,
                 self.max_inflight,
                 domain.clone(),
                 registry.clone(),
+                store.clone(),
             );
             let shard_shared = shared.clone();
             shard_threads.push(
@@ -477,6 +551,7 @@ impl GatewayBuilder {
             owned_domain,
             shared,
             sink_alive,
+            store,
             shard_threads,
             accept_thread: Some(accept_thread),
             metrics_thread,
@@ -497,6 +572,7 @@ pub struct GatewayServer {
     owned_domain: Option<DomainService>,
     shared: Arc<Shared>,
     sink_alive: Arc<AtomicBool>,
+    store: Option<Arc<GatewayStore>>,
     shard_threads: Vec<JoinHandle<ShardFinal>>,
     accept_thread: Option<JoinHandle<()>>,
     metrics_thread: Option<JoinHandle<()>>,
@@ -526,53 +602,9 @@ impl GatewayServer {
             pins: Vec::new(),
             host: None,
             domain: None,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
         }
-    }
-
-    /// Single-shard gateway over a private domain — the pre-builder API.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use GatewayServer::builder().addr(..).config(..).host(..).build()"
-    )]
-    pub fn start<E>(
-        addr: &str,
-        config: EngineConfig,
-        host: impl FnOnce() -> Result<DomainHost, E> + Send + 'static,
-    ) -> io::Result<GatewayServer>
-    where
-        E: Into<Error>,
-    {
-        GatewayServer::builder()
-            .addr(addr)
-            .config(config)
-            .shards(1)
-            .host(host)
-            .build()
-            .map_err(error_to_io)
-    }
-
-    /// [`GatewayServer::start`] with [`ServerOptions`] — the pre-builder API.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use GatewayServer::builder().addr(..).config(..).options(..).host(..).build()"
-    )]
-    pub fn start_with<E>(
-        addr: &str,
-        config: EngineConfig,
-        options: ServerOptions,
-        host: impl FnOnce() -> Result<DomainHost, E> + Send + 'static,
-    ) -> io::Result<GatewayServer>
-    where
-        E: Into<Error>,
-    {
-        GatewayServer::builder()
-            .addr(addr)
-            .config(config)
-            .options(options)
-            .shards(1)
-            .host(host)
-            .build()
-            .map_err(error_to_io)
     }
 
     /// The address the gateway is listening on.
@@ -662,6 +694,10 @@ impl GatewayServer {
     }
 
     fn stop(&mut self) {
+        self.stop_inner(true);
+    }
+
+    fn stop_inner(&mut self, graceful: bool) {
         if self.shard_threads.is_empty() && self.accept_thread.is_none() {
             return;
         }
@@ -671,21 +707,28 @@ impl GatewayServer {
         if let Some(addr) = self.metrics_addr {
             let _ = TcpStream::connect(addr);
         }
-        // Drain the domain first: replies already ordered inside it reach
-        // the shard queues *before* the Shutdown sentinels below, so the
-        // shards process them (FIFO) and their response caches see every
-        // reply before being flushed.
-        self.domain.quiesce(Duration::from_secs(2));
+        if graceful {
+            // Drain the domain first: replies already ordered inside it
+            // reach the shard queues *before* the Shutdown sentinels
+            // below, so the shards process them (FIFO) and their response
+            // caches see every reply before being flushed.
+            self.domain.quiesce(Duration::from_secs(2));
+        }
         self.sink_alive.store(false, Ordering::SeqCst);
         for tx in &self.shard_txs {
             let _ = tx.send(ShardEv::Shutdown);
         }
         let mut shards = Vec::new();
         let mut cached_replies = Vec::new();
+        let mut counters: BTreeMap<u32, u32> = BTreeMap::new();
         for t in self.shard_threads.drain(..) {
             if let Ok(fin) = t.join() {
                 shards.push(fin.snapshot);
                 cached_replies.extend(fin.cached);
+                for (server, value) in fin.counters {
+                    let c = counters.entry(server).or_insert(0);
+                    *c = (*c).max(value);
+                }
             }
         }
         if let Some(t) = self.accept_thread.take() {
@@ -693,6 +736,14 @@ impl GatewayServer {
         }
         if let Some(t) = self.metrics_thread.take() {
             let _ = t.join();
+        }
+        if graceful {
+            // Clean shutdown compacts everything the shards drained into
+            // one atomic checkpoint and truncates the log; a kill skips
+            // this — the write-ahead log already holds every acked reply.
+            if let Some(store) = &self.store {
+                let _ = store.checkpoint(&counters, &cached_replies);
+            }
         }
         if let Some(domain) = self.owned_domain.take() {
             domain.shutdown();
@@ -703,6 +754,16 @@ impl GatewayServer {
             shards,
             cached_replies,
         });
+    }
+
+    /// Stops the gateway the unclean way: no domain drain, no store
+    /// checkpoint — the closest an in-process harness gets to `kill -9`.
+    /// Threads are joined (the process must not leak them) but recovery
+    /// state is whatever the write-ahead log holds, exactly as after a
+    /// crash. Pair with [`GatewayBuilder::data_dir`] to exercise the
+    /// restart path.
+    pub fn kill(mut self) {
+        self.stop_inner(false);
     }
 
     /// Stops serving, joins the threads, and returns the final statistics.
@@ -729,13 +790,6 @@ impl GatewayServer {
 impl Drop for GatewayServer {
     fn drop(&mut self) {
         self.stop();
-    }
-}
-
-fn error_to_io(e: Error) -> io::Error {
-    match e {
-        Error::Io(io) => io,
-        other => io::Error::other(other.to_string()),
     }
 }
 
@@ -920,11 +974,13 @@ fn reader_loop(
     }
 }
 
-/// What a shard thread hands back when it stops: its final gauges and
-/// the drained §3.5 response cache.
+/// What a shard thread hands back when it stops: its final gauges, the
+/// drained §3.5 response cache, and the §3.2 counters (checkpointed by
+/// a durable gateway's clean shutdown).
 struct ShardFinal {
     snapshot: EngineSnapshot,
     cached: Vec<(OperationId, Vec<u8>)>,
+    counters: BTreeMap<u32, u32>,
 }
 
 struct ConnEntry {
@@ -947,6 +1003,7 @@ struct Shard {
     pending_latency: VecDeque<(u64, Instant)>,
     domain: DomainLink,
     registry: Arc<Registry>,
+    store: Option<Arc<GatewayStore>>,
     counters: BTreeMap<&'static str, Arc<Counter>>,
     latency: BTreeMap<u32, Arc<Histogram>>,
     reply_latency: Arc<Histogram>,
@@ -962,6 +1019,7 @@ impl Shard {
         window: usize,
         domain: DomainLink,
         registry: Arc<Registry>,
+        store: Option<Arc<GatewayStore>>,
     ) -> Shard {
         let bytes_out = registry.counter("net.bytes_out");
         let reply_latency = registry.histogram("net.reply_latency_us");
@@ -978,6 +1036,7 @@ impl Shard {
             pending_latency: VecDeque::new(),
             domain,
             registry,
+            store,
             counters: BTreeMap::new(),
             latency: BTreeMap::new(),
             reply_latency,
@@ -1055,9 +1114,27 @@ impl Shard {
                     // domain unless misconfigured.
                     self.counter("net.bridge_unrouted").inc();
                 }
-                Action::PersistCounter { .. } => {
-                    // No stable store behind the net host (warm-gateway
-                    // configuration); counters restart with the process.
+                Action::PersistResponse { operation, reply } => {
+                    // The engine emits this *before* the ToClient carrying
+                    // the same reply, so the WAL append completes before
+                    // the client can observe the answer — which is what
+                    // makes the recovered cache trustworthy after a crash.
+                    if let Some(store) = &self.store {
+                        if store.persist_response(&operation, &reply).is_err() {
+                            self.counter("net.store_append_errors").inc();
+                        }
+                    }
+                }
+                Action::PersistCounter { server, value } => {
+                    // Without a data dir there is no stable store and
+                    // counters restart with the process (warm-gateway
+                    // configuration). Recovery max-merges counter values,
+                    // so a lost append is harmless — it only counts.
+                    if let Some(store) = &self.store {
+                        if store.persist_counter(server, value).is_err() {
+                            self.counter("net.store_append_errors").inc();
+                        }
+                    }
                 }
                 Action::Count { counter } => {
                     // Connection lifecycle events fan to every shard; only
@@ -1204,6 +1281,7 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
     }
     ShardFinal {
         snapshot: shard.snapshot(),
+        counters: shard.engine.counters().clone(),
         cached: shard.engine.drain_cached_responses(),
     }
 }

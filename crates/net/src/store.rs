@@ -1,0 +1,307 @@
+//! Stable storage behind one gateway: the §3.5 response cache and the
+//! §3.2 client-id counters, made restart-durable.
+//!
+//! The paper's reissue protocol only works if a gateway that answered a
+//! request can keep suppressing the client's reissues — even across its
+//! own crash and restart. [`GatewayStore`] gives the threaded server that
+//! memory: every [`Action::PersistResponse`](ftd_core::Action) and
+//! [`Action::PersistCounter`](ftd_core::Action) the engine emits is
+//! appended to an `ftd-store` write-ahead log *before* the reply reaches
+//! the client, and a clean shutdown compacts the log into an atomic
+//! checkpoint. [`GatewayStore::open`] replays checkpoint + log tail into
+//! the state a restarted gateway seeds its engines from.
+
+use ftd_eternal::OperationId;
+use ftd_obs::Registry;
+use ftd_store::{checkpoint, FsyncPolicy, Wal, WalOptions};
+use ftd_totem::GroupId;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// WAL record tag: a cached reply (`[opid][reply bytes]`).
+const TAG_RESPONSE: u8 = 1;
+/// WAL record tag: a client-id counter (`[server u32][value u32]`).
+const TAG_COUNTER: u8 = 2;
+
+pub(crate) fn write_opid(buf: &mut Vec<u8>, id: &OperationId) {
+    buf.extend(id.source.0.to_be_bytes());
+    buf.extend(id.target.0.to_be_bytes());
+    buf.extend(id.client.to_be_bytes());
+    buf.extend(id.parent_ts.to_be_bytes());
+    buf.extend(id.child_seq.to_be_bytes());
+}
+
+pub(crate) fn read_opid(buf: &[u8]) -> Option<(OperationId, &[u8])> {
+    if buf.len() < 24 {
+        return None;
+    }
+    let u32_at = |i: usize| u32::from_be_bytes(buf[i..i + 4].try_into().expect("4 bytes"));
+    let id = OperationId {
+        source: GroupId(u32_at(0)),
+        target: GroupId(u32_at(4)),
+        client: u32_at(8),
+        parent_ts: u64::from_be_bytes(buf[12..20].try_into().expect("8 bytes")),
+        child_seq: u32_at(20),
+    };
+    Some((id, &buf[24..]))
+}
+
+pub(crate) fn write_len_bytes(buf: &mut Vec<u8>, bytes: &[u8]) {
+    buf.extend((bytes.len() as u32).to_be_bytes());
+    buf.extend(bytes);
+}
+
+pub(crate) fn read_len_bytes(buf: &[u8]) -> Option<(&[u8], &[u8])> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let n = u32::from_be_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    if buf.len() - 4 < n {
+        return None;
+    }
+    Some((&buf[4..4 + n], &buf[4 + n..]))
+}
+
+/// What [`GatewayStore::open`] recovered from stable storage.
+#[derive(Debug, Default, Clone)]
+pub struct RecoveredGateway {
+    /// §3.2 client-id counters by server group (max across checkpoint and
+    /// log — a counter must never move backwards).
+    pub counters: BTreeMap<u32, u32>,
+    /// §3.5 cached replies, checkpoint first then log tail (later entries
+    /// for the same operation win).
+    pub responses: Vec<(OperationId, Vec<u8>)>,
+}
+
+/// The write-ahead log + checkpoint pair behind one gateway's engines.
+/// Shared by every shard thread (appends take the internal lock; the WAL
+/// serializes the §3.5 durability order anyway).
+pub struct GatewayStore {
+    wal: Mutex<Wal>,
+    checkpoint_path: PathBuf,
+    registry: Option<Arc<Registry>>,
+}
+
+impl std::fmt::Debug for GatewayStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayStore")
+            .field("checkpoint_path", &self.checkpoint_path)
+            .finish()
+    }
+}
+
+impl GatewayStore {
+    /// Opens (or creates) the store under `dir`, replaying whatever a
+    /// previous incarnation left behind.
+    pub fn open(
+        dir: &Path,
+        fsync: FsyncPolicy,
+        registry: Option<Arc<Registry>>,
+    ) -> io::Result<(Arc<GatewayStore>, RecoveredGateway)> {
+        std::fs::create_dir_all(dir)?;
+        let checkpoint_path = dir.join("checkpoint.bin");
+        let mut recovered = RecoveredGateway::default();
+        if let Some(payload) = checkpoint::read(&checkpoint_path)? {
+            decode_checkpoint(&payload, &mut recovered);
+        }
+        let options = WalOptions {
+            fsync,
+            registry: registry.clone(),
+            ..WalOptions::default()
+        };
+        let (wal, records, _report) = Wal::open(dir.join("wal"), options)?;
+        for record in &records {
+            apply_wal_record(record, &mut recovered);
+        }
+        dedupe_responses(&mut recovered.responses);
+        let store = Arc::new(GatewayStore {
+            wal: Mutex::new(wal),
+            checkpoint_path,
+            registry,
+        });
+        Ok((store, recovered))
+    }
+
+    /// Appends a cached reply to the log (called from a shard thread
+    /// *before* the reply is written to the client).
+    pub fn persist_response(&self, op: &OperationId, reply: &[u8]) -> io::Result<()> {
+        let mut buf = vec![TAG_RESPONSE];
+        write_opid(&mut buf, op);
+        buf.extend(reply);
+        self.wal.lock().expect("wal lock").append(&buf)
+    }
+
+    /// Appends a §3.2 counter value to the log.
+    pub fn persist_counter(&self, server: u32, value: u32) -> io::Result<()> {
+        let mut buf = vec![TAG_COUNTER];
+        buf.extend(server.to_be_bytes());
+        buf.extend(value.to_be_bytes());
+        self.wal.lock().expect("wal lock").append(&buf)
+    }
+
+    /// Compacts the full gateway state into an atomic checkpoint and
+    /// truncates the log (clean shutdown; crash recovery never needs it).
+    pub fn checkpoint(
+        &self,
+        counters: &BTreeMap<u32, u32>,
+        responses: &[(OperationId, Vec<u8>)],
+    ) -> io::Result<()> {
+        let mut payload = Vec::new();
+        payload.extend((counters.len() as u32).to_be_bytes());
+        for (&server, &value) in counters {
+            payload.extend(server.to_be_bytes());
+            payload.extend(value.to_be_bytes());
+        }
+        payload.extend((responses.len() as u32).to_be_bytes());
+        for (op, reply) in responses {
+            write_opid(&mut payload, op);
+            write_len_bytes(&mut payload, reply);
+        }
+        checkpoint::write(&self.checkpoint_path, &payload, self.registry.as_ref())?;
+        self.wal.lock().expect("wal lock").reset()
+    }
+}
+
+fn decode_checkpoint(payload: &[u8], out: &mut RecoveredGateway) {
+    let Some((head, mut rest)) = payload.split_at_checked(4) else {
+        return;
+    };
+    let n_counters = u32::from_be_bytes(head.try_into().expect("4 bytes")) as usize;
+    for _ in 0..n_counters {
+        let Some((pair, r)) = rest.split_at_checked(8) else {
+            return;
+        };
+        let server = u32::from_be_bytes(pair[..4].try_into().expect("4 bytes"));
+        let value = u32::from_be_bytes(pair[4..].try_into().expect("4 bytes"));
+        merge_counter(&mut out.counters, server, value);
+        rest = r;
+    }
+    let Some((head, mut rest)) = rest.split_at_checked(4) else {
+        return;
+    };
+    let n_responses = u32::from_be_bytes(head.try_into().expect("4 bytes")) as usize;
+    for _ in 0..n_responses {
+        let Some((op, r)) = read_opid(rest) else {
+            return;
+        };
+        let Some((reply, r)) = read_len_bytes(r) else {
+            return;
+        };
+        out.responses.push((op, reply.to_vec()));
+        rest = r;
+    }
+}
+
+fn apply_wal_record(record: &[u8], out: &mut RecoveredGateway) {
+    match record.split_first() {
+        Some((&TAG_RESPONSE, rest)) => {
+            if let Some((op, reply)) = read_opid(rest) {
+                out.responses.push((op, reply.to_vec()));
+            }
+        }
+        Some((&TAG_COUNTER, rest)) if rest.len() >= 8 => {
+            let server = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes"));
+            let value = u32::from_be_bytes(rest[4..8].try_into().expect("4 bytes"));
+            merge_counter(&mut out.counters, server, value);
+        }
+        _ => {} // unknown tag: a future format, skipped
+    }
+}
+
+fn merge_counter(counters: &mut BTreeMap<u32, u32>, server: u32, value: u32) {
+    let c = counters.entry(server).or_insert(0);
+    *c = (*c).max(value);
+}
+
+/// Later entries for the same operation win, preserving first-seen order.
+fn dedupe_responses(responses: &mut Vec<(OperationId, Vec<u8>)>) {
+    let mut latest: BTreeMap<OperationId, Vec<u8>> = BTreeMap::new();
+    for (op, reply) in responses.drain(..) {
+        latest.insert(op, reply);
+    }
+    responses.extend(latest);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ftd-gwstore-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn op(n: u32) -> OperationId {
+        OperationId {
+            source: GroupId(0x4000_0001),
+            target: GroupId(10),
+            client: 0x5000 + n,
+            parent_ts: 0,
+            child_seq: n,
+        }
+    }
+
+    #[test]
+    fn wal_tail_survives_reopen() {
+        let dir = tmp("wal-tail");
+        {
+            let (store, recovered) =
+                GatewayStore::open(&dir, FsyncPolicy::Never, None).expect("open");
+            assert!(recovered.responses.is_empty());
+            store.persist_counter(10, 3).expect("counter");
+            store
+                .persist_response(&op(1), b"reply-1")
+                .expect("response");
+            store
+                .persist_response(&op(2), b"reply-2")
+                .expect("response");
+        }
+        let (_, recovered) = GatewayStore::open(&dir, FsyncPolicy::Never, None).expect("reopen");
+        assert_eq!(recovered.counters.get(&10), Some(&3));
+        assert_eq!(recovered.responses.len(), 2);
+        assert_eq!(recovered.responses[0], (op(1), b"reply-1".to_vec()));
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_later_wal_wins() {
+        let dir = tmp("compact");
+        {
+            let (store, _) = GatewayStore::open(&dir, FsyncPolicy::Never, None).expect("open");
+            store.persist_response(&op(1), b"old").expect("response");
+            let mut counters = BTreeMap::new();
+            counters.insert(10u32, 5u32);
+            store
+                .checkpoint(&counters, &[(op(1), b"old".to_vec())])
+                .expect("checkpoint");
+            // Post-checkpoint activity lands in the fresh log.
+            store.persist_response(&op(1), b"new").expect("response");
+            store.persist_counter(10, 7).expect("counter");
+        }
+        let (_, recovered) = GatewayStore::open(&dir, FsyncPolicy::Never, None).expect("reopen");
+        assert_eq!(
+            recovered.counters.get(&10),
+            Some(&7),
+            "log beats checkpoint"
+        );
+        assert_eq!(
+            recovered.responses,
+            vec![(op(1), b"new".to_vec())],
+            "latest reply wins, deduped"
+        );
+    }
+
+    #[test]
+    fn counters_never_move_backwards() {
+        let dir = tmp("monotonic");
+        {
+            let (store, _) = GatewayStore::open(&dir, FsyncPolicy::Never, None).expect("open");
+            store.persist_counter(10, 9).expect("counter");
+            store.persist_counter(10, 4).expect("stale value");
+        }
+        let (_, recovered) = GatewayStore::open(&dir, FsyncPolicy::Never, None).expect("reopen");
+        assert_eq!(recovered.counters.get(&10), Some(&9));
+    }
+}

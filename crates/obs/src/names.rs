@@ -39,6 +39,36 @@ pub const GATEWAY_SHARD_DEFERRALS: &str = "gateway.shard.deferrals";
 /// labelled per shard via [`with_shard`]).
 pub const GATEWAY_SHARD_INFLIGHT: &str = "gateway.shard.inflight";
 
+/// Records appended to a write-ahead log by `ftd-store`.
+pub const STORE_APPENDS: &str = "store.appends";
+
+/// Bytes appended (frames included) to a write-ahead log.
+pub const STORE_BYTES_APPENDED: &str = "store.bytes_appended";
+
+/// Explicit fsyncs issued by a write-ahead log's durability policy.
+pub const STORE_FSYNCS: &str = "store.fsyncs";
+
+/// Write-ahead log segment rotations.
+pub const STORE_SEGMENTS_ROTATED: &str = "store.segments_rotated";
+
+/// Atomic checkpoint files written (write-temp + rename).
+pub const STORE_CHECKPOINTS_WRITTEN: &str = "store.checkpoints_written";
+
+/// Intact records replayed from write-ahead logs at recovery.
+pub const STORE_REPLAY_RECORDS: &str = "store.replay_records";
+
+/// Torn log tails truncated during replay (the expected crash signature:
+/// a frame cut short mid-append).
+pub const STORE_TORN_TAILS_TRUNCATED: &str = "store.torn_tails_truncated";
+
+/// Corrupt mid-log frames found during replay; the log was truncated at
+/// the first one because ordering past a hole cannot be trusted.
+pub const STORE_CORRUPT_RECORDS_DROPPED: &str = "store.corrupt_records_dropped";
+
+/// §3.5 cached replies a restarted gateway recovered from stable
+/// storage and seeded back into its engines.
+pub const STORE_RESPONSES_RECOVERED: &str = "store.responses_recovered";
+
 /// Attaches a `shard` label to a per-shard metric name, in the same
 /// `{label="value"}` form the Prometheus renderer splits back out:
 /// `with_shard("gateway.shard.events", 2)` →
@@ -60,6 +90,15 @@ mod tests {
             super::GATEWAY_SHARD_EVENTS,
             super::GATEWAY_SHARD_DEFERRALS,
             super::GATEWAY_SHARD_INFLIGHT,
+            super::STORE_APPENDS,
+            super::STORE_BYTES_APPENDED,
+            super::STORE_FSYNCS,
+            super::STORE_SEGMENTS_ROTATED,
+            super::STORE_CHECKPOINTS_WRITTEN,
+            super::STORE_REPLAY_RECORDS,
+            super::STORE_TORN_TAILS_TRUNCATED,
+            super::STORE_CORRUPT_RECORDS_DROPPED,
+            super::STORE_RESPONSES_RECOVERED,
         ] {
             assert!(
                 name.split_once('.').is_some_and(|(component, metric)| {

@@ -1,0 +1,114 @@
+//! Atomic checkpoint snapshot files.
+//!
+//! A checkpoint is one self-verifying file: `FTDC` magic, payload length,
+//! payload CRC32, payload. It is written to a `<name>.tmp` sibling,
+//! fsynced, then renamed over the final name and the directory fsynced —
+//! so at every instant the final path holds either the complete previous
+//! checkpoint or the complete new one, never a torn mix. A crash between
+//! write and rename leaves a stale `.tmp` behind; [`read`] never looks at
+//! it, and the next [`write`] overwrites it.
+
+use crate::crc32;
+use ftd_obs::{names, Registry};
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"FTDC";
+
+/// The temporary sibling a checkpoint is staged in before the rename.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically replaces the checkpoint at `path` with `payload`
+/// (write-temp + fsync + rename + directory fsync).
+pub fn write(path: &Path, payload: &[u8], registry: Option<&Arc<Registry>>) -> std::io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(MAGIC)?;
+        f.write_all(&(payload.len() as u32).to_le_bytes())?;
+        f.write_all(&crc32(payload).to_le_bytes())?;
+        f.write_all(payload)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    if let Some(r) = registry {
+        r.inc(names::STORE_CHECKPOINTS_WRITTEN);
+    }
+    Ok(())
+}
+
+/// Reads the checkpoint at `path`. `Ok(None)` when the file is missing
+/// *or* fails verification (magic, length, CRC) — a half-written or
+/// bit-rotted checkpoint is treated as absent rather than trusted,
+/// because the write protocol guarantees the previous good checkpoint is
+/// only replaced by a complete new one.
+pub fn read(path: &Path) -> std::io::Result<Option<Vec<u8>>> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => f.read_to_end(&mut bytes)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < 12 || &bytes[..4] != MAGIC {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if bytes.len() - 12 != len {
+        return Ok(None);
+    }
+    let payload = &bytes[12..];
+    if crc32(payload) != crc {
+        return Ok(None);
+    }
+    Ok(Some(payload.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ftd-ckpt-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let dir = tmp_dir("round");
+        let path = dir.join("checkpoint.bin");
+        assert_eq!(read(&path).expect("read missing"), None);
+        write(&path, b"state-v1", None).expect("write");
+        assert_eq!(read(&path).expect("read"), Some(b"state-v1".to_vec()));
+        write(&path, b"state-v2", None).expect("overwrite");
+        assert_eq!(read(&path).expect("reread"), Some(b"state-v2".to_vec()));
+    }
+
+    #[test]
+    fn stale_tmp_is_ignored_and_overwritten() {
+        let dir = tmp_dir("stale-tmp");
+        let path = dir.join("checkpoint.bin");
+        write(&path, b"good", None).expect("write");
+        // A crash between staging and rename leaves a garbage .tmp.
+        fs::write(tmp_path(&path), b"torn garbage").expect("stage garbage");
+        assert_eq!(read(&path).expect("read"), Some(b"good".to_vec()));
+        write(&path, b"newer", None).expect("rewrite over stale tmp");
+        assert_eq!(read(&path).expect("reread"), Some(b"newer".to_vec()));
+    }
+}

@@ -1,0 +1,68 @@
+//! `ftd-store` — the durable half of the paper's §2 Logging-Recovery
+//! Mechanisms, on a real filesystem.
+//!
+//! Eternal pairs every processor with Logging-Recovery Mechanisms so that
+//! "checkpoints and logged operations let replicas recover without
+//! re-executing or losing acknowledged work". The in-memory
+//! [`GroupLog`](../ftd_eternal/struct.GroupLog.html) models the mechanism;
+//! this crate gives it a place to live across process restarts:
+//!
+//! * [`wal`] — a segmented append-only write-ahead log: CRC32-framed
+//!   records, a configurable [`FsyncPolicy`], and a replay path that
+//!   repairs the torn tail a crash mid-append leaves behind.
+//! * [`checkpoint`] — atomic snapshot files (write-temp + fsync + rename),
+//!   so a checkpoint is either entirely the old one or entirely the new
+//!   one, never a torn mix.
+//!
+//! The crate is deliberately ignorant of what the bytes mean: `ftd-net`
+//! layers the gateway's response-cache records and the domain's operation
+//! records on top. Only `std` and `ftd-obs` (for the `store.*` counters)
+//! are used — the workspace stays free of external dependencies.
+
+pub mod checkpoint;
+pub mod wal;
+
+pub use wal::{FsyncPolicy, ReplayReport, Wal, WalOptions, FRAME_HEADER_LEN, MAX_RECORD_LEN};
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven. Used for both
+/// WAL frames and checkpoint payloads.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

@@ -1,0 +1,396 @@
+//! A segmented append-only write-ahead log.
+//!
+//! Records are framed `[len: u32 LE][crc32: u32 LE][payload]` and appended
+//! to segment files `wal-<seq>.log` inside one directory. When the current
+//! segment exceeds [`WalOptions::segment_bytes`] a new segment is started
+//! (the old one is never rewritten), so replay cost after a checkpoint is
+//! bounded by the live tail, not the log's lifetime.
+//!
+//! Replay ([`Wal::open`]) walks every segment oldest-first and stops at
+//! the first bad frame: a torn tail from a crash mid-append is *expected*
+//! — the file is truncated at the bad frame and appending resumes there.
+//! A bad frame in a non-final segment means real corruption; the rest of
+//! that segment and every later segment are dropped (counted separately),
+//! because records after a hole can no longer be trusted to be in order.
+//!
+//! Durability is a policy, not a promise: [`FsyncPolicy::Always`] fsyncs
+//! after every append (an acked record survives power loss),
+//! [`FsyncPolicy::EveryN`] amortises the fsync over batches (a crash can
+//! lose up to N-1 recent records), [`FsyncPolicy::Never`] leaves flushing
+//! to the OS (fastest; survives process crashes but not power loss).
+
+use crate::crc32;
+use ftd_obs::{names, Registry};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Largest record payload [`Wal::append`] accepts and replay believes.
+/// A length field above this is treated as a corrupt frame, so a few
+/// flipped bits cannot make replay attempt a multi-gigabyte allocation.
+pub const MAX_RECORD_LEN: usize = 64 * 1024 * 1024;
+
+/// Bytes of frame overhead per record (length + CRC32).
+pub const FRAME_HEADER_LEN: usize = 8;
+
+/// When appended records are flushed to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every append. An acknowledged record survives
+    /// power loss; slowest.
+    Always,
+    /// `fdatasync` every N appends (and on [`Wal::flush`]). A crash can
+    /// lose up to N-1 of the most recent records.
+    EveryN(u32),
+    /// Never fsync explicitly; the OS flushes when it pleases. Survives
+    /// process crashes (the page cache outlives the process) but not
+    /// power loss.
+    Never,
+}
+
+/// Knobs for [`Wal::open`].
+#[derive(Clone)]
+pub struct WalOptions {
+    /// Fsync policy for appends (default [`FsyncPolicy::Always`]).
+    pub fsync: FsyncPolicy,
+    /// Rotate to a new segment once the current one exceeds this many
+    /// bytes (default 8 MiB).
+    pub segment_bytes: u64,
+    /// Registry for the `store.*` counters (optional).
+    pub registry: Option<Arc<Registry>>,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 8 * 1024 * 1024,
+            registry: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for WalOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WalOptions")
+            .field("fsync", &self.fsync)
+            .field("segment_bytes", &self.segment_bytes)
+            .finish()
+    }
+}
+
+/// What [`Wal::open`] found (and repaired) while replaying a directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Intact records replayed, across all segments.
+    pub records: u64,
+    /// Whether the final segment ended in a torn frame that was truncated
+    /// away (the expected crash signature).
+    pub torn_tail_truncated: bool,
+    /// Corrupt frames found *before* the final segment's tail; everything
+    /// from the first one on was dropped.
+    pub corrupt_records_dropped: u64,
+    /// Segments present after replay.
+    pub segments: usize,
+}
+
+/// A segmented append-only write-ahead log rooted at one directory. See
+/// the module docs.
+pub struct Wal {
+    dir: PathBuf,
+    options: WalOptions,
+    file: File,
+    seq: u64,
+    written: u64,
+    unsynced: u32,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("seq", &self.seq)
+            .field("written", &self.written)
+            .finish()
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:08x}.log"))
+}
+
+fn segment_seq(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+    u64::from_str_radix(rest, 16).ok()
+}
+
+fn sync_dir(dir: &Path) {
+    // Persist directory entries (new/removed segments). Best-effort: some
+    // filesystems refuse fsync on directories, and losing it only costs
+    // the most recent rotation, which replay tolerates.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+fn inc(registry: &Option<Arc<Registry>>, name: &str, by: u64) {
+    if let Some(r) = registry {
+        r.add(name, by);
+    }
+}
+
+/// Walks one segment's frames. Returns the records and the byte offset of
+/// the first bad frame (`None` when the segment parses to the end).
+fn scan_segment(bytes: &[u8]) -> (Vec<Vec<u8>>, Option<usize>) {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        if bytes.len() - off < FRAME_HEADER_LEN {
+            return (records, Some(off));
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN || bytes.len() - off - FRAME_HEADER_LEN < len {
+            return (records, Some(off));
+        }
+        let payload = &bytes[off + FRAME_HEADER_LEN..off + FRAME_HEADER_LEN + len];
+        if crc32(payload) != crc {
+            return (records, Some(off));
+        }
+        records.push(payload.to_vec());
+        off += FRAME_HEADER_LEN + len;
+    }
+    (records, None)
+}
+
+impl Wal {
+    /// Opens (creating if necessary) the log rooted at `dir`, replays
+    /// every intact record, repairs torn tails, and positions the log for
+    /// appending. Returns the log, the replayed records oldest-first, and
+    /// a report of what replay found.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        options: WalOptions,
+    ) -> std::io::Result<(Wal, Vec<Vec<u8>>, ReplayReport)> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+
+        let mut seqs: Vec<u64> = fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| segment_seq(&e.file_name().to_string_lossy()))
+            .collect();
+        seqs.sort_unstable();
+
+        let mut records = Vec::new();
+        let mut report = ReplayReport::default();
+        let mut kept = Vec::new();
+        let mut dropped_from = None;
+        for (i, &seq) in seqs.iter().enumerate() {
+            let path = segment_path(&dir, seq);
+            let mut bytes = Vec::new();
+            File::open(&path)?.read_to_end(&mut bytes)?;
+            let (mut recs, bad) = scan_segment(&bytes);
+            report.records += recs.len() as u64;
+            records.append(&mut recs);
+            kept.push(seq);
+            if let Some(off) = bad {
+                // Truncate the segment at the bad frame. On the final
+                // segment that is the torn tail a crash mid-append leaves
+                // behind; anywhere earlier it is corruption, and every
+                // later segment is dropped too (order past a hole cannot
+                // be trusted).
+                OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(off as u64)?;
+                if i + 1 == seqs.len() {
+                    report.torn_tail_truncated = true;
+                } else {
+                    report.corrupt_records_dropped += 1;
+                    dropped_from = Some(i + 1);
+                }
+                break;
+            }
+        }
+        if let Some(from) = dropped_from {
+            for &seq in &seqs[from..] {
+                report.corrupt_records_dropped += 1;
+                let _ = fs::remove_file(segment_path(&dir, seq));
+            }
+        }
+
+        let seq = kept.last().copied().unwrap_or(0);
+        let path = segment_path(&dir, seq);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let written = file.metadata()?.len();
+        sync_dir(&dir);
+        report.segments = kept.len().max(1);
+
+        if let Some(r) = &options.registry {
+            r.add(names::STORE_REPLAY_RECORDS, report.records);
+            if report.torn_tail_truncated {
+                r.inc(names::STORE_TORN_TAILS_TRUNCATED);
+            }
+            r.add(
+                names::STORE_CORRUPT_RECORDS_DROPPED,
+                report.corrupt_records_dropped,
+            );
+        }
+
+        Ok((
+            Wal {
+                dir,
+                options,
+                file,
+                seq,
+                written,
+                unsynced: 0,
+            },
+            records,
+            report,
+        ))
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Appends one record and applies the fsync policy. The record is
+    /// durable (per the policy) when this returns.
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "record exceeds MAX_RECORD_LEN",
+            ));
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.written += frame.len() as u64;
+        inc(&self.options.registry, names::STORE_APPENDS, 1);
+        inc(
+            &self.options.registry,
+            names::STORE_BYTES_APPENDED,
+            frame.len() as u64,
+        );
+
+        self.unsynced += 1;
+        let sync = match self.options.fsync {
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n.max(1),
+            FsyncPolicy::Never => false,
+        };
+        if sync {
+            self.sync()?;
+        }
+        if self.written >= self.options.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    /// Forces everything appended so far to stable storage, regardless of
+    /// policy.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if self.unsynced > 0 {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        inc(&self.options.registry, names::STORE_FSYNCS, 1);
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        self.seq += 1;
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, self.seq))?;
+        self.written = 0;
+        self.unsynced = 0;
+        sync_dir(&self.dir);
+        inc(&self.options.registry, names::STORE_SEGMENTS_ROTATED, 1);
+        Ok(())
+    }
+
+    /// Discards every record: removes all segments and starts an empty
+    /// one. Called after the records' effects were captured by a
+    /// checkpoint, so replay after this point starts from that checkpoint.
+    pub fn reset(&mut self) -> std::io::Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if segment_seq(&entry.file_name().to_string_lossy()).is_some() {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        self.seq = 0;
+        self.file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, 0))?;
+        self.written = 0;
+        self.unsynced = 0;
+        sync_dir(&self.dir);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ftd-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let dir = tmp("round-trip");
+        {
+            let (mut wal, records, _) = Wal::open(&dir, WalOptions::default()).expect("open");
+            assert!(records.is_empty());
+            wal.append(b"one").expect("append");
+            wal.append(b"two").expect("append");
+        }
+        let (_, records, report) = Wal::open(&dir, WalOptions::default()).expect("reopen");
+        assert_eq!(records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(report.records, 2);
+        assert!(!report.torn_tail_truncated);
+    }
+
+    #[test]
+    fn rotation_keeps_replay_order() {
+        let dir = tmp("rotate");
+        let options = WalOptions {
+            segment_bytes: 32,
+            fsync: FsyncPolicy::Never,
+            ..WalOptions::default()
+        };
+        {
+            let (mut wal, _, _) = Wal::open(&dir, options.clone()).expect("open");
+            for i in 0u32..20 {
+                wal.append(&i.to_le_bytes()).expect("append");
+            }
+        }
+        let (_, records, report) = Wal::open(&dir, options).expect("reopen");
+        assert!(report.segments > 1, "tiny segments must rotate");
+        let values: Vec<u32> = records
+            .iter()
+            .map(|r| u32::from_le_bytes(r[..4].try_into().expect("4 bytes")))
+            .collect();
+        assert_eq!(values, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,193 @@
+//! Edge cases the recovery path must survive: torn tails, double replay,
+//! the checkpoint rename crash window, and corrupt or empty segments.
+
+use ftd_store::{checkpoint, FsyncPolicy, Wal, WalOptions, FRAME_HEADER_LEN};
+use std::fs::{self, OpenOptions};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftd-store-edge-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn no_fsync() -> WalOptions {
+    WalOptions {
+        fsync: FsyncPolicy::Never,
+        ..WalOptions::default()
+    }
+}
+
+fn segment_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("read dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .map(|n| n.to_string_lossy().starts_with("wal-"))
+                .unwrap_or(false)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn replay_twice_yields_identical_records() {
+    let dir = tmp("idempotent");
+    {
+        let (mut wal, _, _) = Wal::open(&dir, no_fsync()).expect("open");
+        for i in 0u32..50 {
+            wal.append(&i.to_le_bytes()).expect("append");
+        }
+    }
+    let (_, first, report1) = Wal::open(&dir, no_fsync()).expect("first replay");
+    let (_, second, report2) = Wal::open(&dir, no_fsync()).expect("second replay");
+    assert_eq!(first, second, "replay must be idempotent");
+    assert_eq!(report1.records, 50);
+    assert_eq!(report2.records, 50);
+    assert!(
+        !report2.torn_tail_truncated,
+        "first replay already repaired"
+    );
+}
+
+#[test]
+fn torn_tail_is_truncated_and_appending_resumes() {
+    let dir = tmp("torn-tail");
+    {
+        let (mut wal, _, _) = Wal::open(&dir, no_fsync()).expect("open");
+        wal.append(b"alpha").expect("append");
+        wal.append(b"beta").expect("append");
+    }
+    // Simulate a crash mid-append: chop the last record's frame short.
+    let seg = segment_files(&dir).pop().expect("one segment");
+    let len = fs::metadata(&seg).expect("metadata").len();
+    OpenOptions::new()
+        .write(true)
+        .open(&seg)
+        .expect("open segment")
+        .set_len(len - 2)
+        .expect("tear the tail");
+
+    let (mut wal, records, report) = Wal::open(&dir, no_fsync()).expect("replay torn");
+    assert_eq!(records, vec![b"alpha".to_vec()], "torn record dropped");
+    assert!(report.torn_tail_truncated);
+    wal.append(b"gamma")
+        .expect("appending resumes after repair");
+    drop(wal);
+
+    let (_, records, report) = Wal::open(&dir, no_fsync()).expect("replay repaired");
+    assert_eq!(records, vec![b"alpha".to_vec(), b"gamma".to_vec()]);
+    assert!(!report.torn_tail_truncated, "repair is persistent");
+}
+
+#[test]
+fn corrupt_mid_segment_drops_the_rest() {
+    let dir = tmp("corrupt-mid");
+    let options = WalOptions {
+        segment_bytes: 24, // force several segments
+        ..no_fsync()
+    };
+    {
+        let (mut wal, _, _) = Wal::open(&dir, options.clone()).expect("open");
+        for i in 0u32..12 {
+            wal.append(&i.to_le_bytes()).expect("append");
+        }
+    }
+    let segs = segment_files(&dir);
+    assert!(segs.len() >= 3, "need several segments, got {}", segs.len());
+    // Flip a payload byte in the FIRST segment: everything from that
+    // frame on — including all later segments — must be dropped.
+    let mut bytes = fs::read(&segs[0]).expect("read segment");
+    let idx = FRAME_HEADER_LEN; // first payload byte of the first frame
+    bytes[idx] ^= 0xFF;
+    fs::write(&segs[0], &bytes).expect("corrupt");
+
+    let (_, records, report) = Wal::open(&dir, options.clone()).expect("replay corrupt");
+    assert!(records.is_empty(), "nothing after the hole is trusted");
+    assert!(report.corrupt_records_dropped > 0);
+    assert!(!report.torn_tail_truncated);
+    assert_eq!(
+        segment_files(&dir).len(),
+        1,
+        "later segments removed, one live segment remains"
+    );
+
+    // And the repaired directory replays cleanly.
+    let (_, records, report) = Wal::open(&dir, options).expect("replay repaired");
+    assert!(records.is_empty());
+    assert_eq!(report.corrupt_records_dropped, 0);
+}
+
+#[test]
+fn empty_and_header_only_segments_are_handled() {
+    let dir = tmp("empty");
+    fs::create_dir_all(&dir).expect("mkdir");
+    // An empty segment (crash right after rotation).
+    fs::write(dir.join("wal-00000000.log"), b"").expect("empty segment");
+    let (mut wal, records, report) = Wal::open(&dir, no_fsync()).expect("open empty");
+    assert!(records.is_empty());
+    assert_eq!(report.records, 0);
+    wal.append(b"first").expect("append into empty");
+    drop(wal);
+
+    // A segment holding only a partial frame header.
+    let dir2 = tmp("header-only");
+    fs::create_dir_all(&dir2).expect("mkdir");
+    fs::write(dir2.join("wal-00000000.log"), [0x03, 0x00, 0x00]).expect("partial header");
+    let (_, records, report) = Wal::open(&dir2, no_fsync()).expect("open partial");
+    assert!(records.is_empty());
+    assert!(report.torn_tail_truncated);
+}
+
+#[test]
+fn oversized_length_field_is_a_bad_frame_not_an_allocation() {
+    let dir = tmp("oversized");
+    fs::create_dir_all(&dir).expect("mkdir");
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(b"junk");
+    fs::write(dir.join("wal-00000000.log"), &bytes).expect("write junk");
+    let (_, records, report) = Wal::open(&dir, no_fsync()).expect("open");
+    assert!(records.is_empty());
+    assert!(report.torn_tail_truncated);
+}
+
+#[test]
+fn checkpoint_crash_window_keeps_the_previous_checkpoint() {
+    let dir = tmp("crash-window");
+    fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("checkpoint.bin");
+    checkpoint::write(&path, b"generation-1", None).expect("write v1");
+
+    // Crash inside the window: the new checkpoint was staged to .tmp but
+    // the rename never happened. The previous checkpoint must win.
+    fs::write(checkpoint::tmp_path(&path), b"half written garbage").expect("stage");
+    assert_eq!(
+        checkpoint::read(&path).expect("read"),
+        Some(b"generation-1".to_vec())
+    );
+
+    // Corrupting the *final* file (bit rot) degrades to "no checkpoint",
+    // never to trusting bad state.
+    let mut bytes = fs::read(&path).expect("read file");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    fs::write(&path, &bytes).expect("corrupt");
+    assert_eq!(checkpoint::read(&path).expect("read corrupt"), None);
+}
+
+#[test]
+fn reset_after_checkpoint_truncates_replay() {
+    let dir = tmp("reset");
+    let (mut wal, _, _) = Wal::open(&dir, no_fsync()).expect("open");
+    wal.append(b"captured-by-checkpoint").expect("append");
+    wal.reset().expect("reset");
+    wal.append(b"after-checkpoint").expect("append");
+    drop(wal);
+    let (_, records, _) = Wal::open(&dir, no_fsync()).expect("replay");
+    assert_eq!(records, vec![b"after-checkpoint".to_vec()]);
+}
