@@ -17,7 +17,8 @@
 //! ```text
 //! ftd-chaos-soak [--seed N] [--clients N] [--requests N]
 //!                [--fault-probability F] [--blackout] [--crash]
-//!                [--restart] [--data-dir DIR] [--json PATH]
+//!                [--restart] [--data-dir DIR] [--record DIR]
+//!                [--json PATH]
 //! ```
 //!
 //! `--restart` runs the **kill-and-restart phase** instead of the proxy
@@ -32,6 +33,14 @@
 //! duplicate executions and zero lost acknowledged replies across the
 //! restart.
 //!
+//! `--record DIR` additionally records every nondeterministic input the
+//! gateway consumes into an `ftd-replay` event log under `DIR` (wiped
+//! first — the run owns its recording). Replay it offline with
+//! `ftd-replay replay DIR`. Under `--restart` the recording spans the
+//! kill: each incarnation records into its own `DIR/inc-0` / `DIR/inc-1`
+//! subdirectory, and each is independently replayable (recovery is part
+//! of `inc-1`'s event log).
+//!
 //! Exit code 0 iff every assertion held; `--json` additionally writes a
 //! machine-readable report (consumed by the CI chaos and recovery jobs).
 
@@ -40,6 +49,7 @@ use ftd_core::EngineConfig;
 use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
 use ftd_giop::ReplyStatus;
 use ftd_net::{DomainFault, DomainHost, DurableHost, GatewayServer, NetClient, RetryPolicy};
+use ftd_replay::{style_tag, GroupSpec, Recorder, ReplayEvent};
 use ftd_store::FsyncPolicy;
 use ftd_totem::GroupId;
 use std::net::SocketAddr;
@@ -58,6 +68,7 @@ struct Opts {
     crash: bool,
     restart: bool,
     data_dir: Option<PathBuf>,
+    record: Option<PathBuf>,
     json: Option<String>,
 }
 
@@ -81,6 +92,7 @@ fn parse_opts() -> Opts {
         crash: false,
         restart: false,
         data_dir: None,
+        record: None,
         json: None,
     };
     let mut args = std::env::args().skip(1);
@@ -98,12 +110,13 @@ fn parse_opts() -> Opts {
             "--crash" => opts.crash = true,
             "--restart" => opts.restart = true,
             "--data-dir" => opts.data_dir = Some(PathBuf::from(value("--data-dir"))),
+            "--record" => opts.record = Some(PathBuf::from(value("--record"))),
             "--json" => opts.json = Some(value("--json")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ftd-chaos-soak [--seed N] [--clients N] [--requests N] \
                      [--fault-probability F] [--blackout] [--crash] \
-                     [--restart] [--data-dir DIR] [--json PATH]"
+                     [--restart] [--data-dir DIR] [--record DIR] [--json PATH]"
                 );
                 std::process::exit(0);
             }
@@ -201,15 +214,43 @@ fn run_client(
     }
 }
 
+/// Records the soak's fixed topology (domain 9, 4 processors, one
+/// 3-replica active `Counter` group) so `ftd-replay` can rebuild the
+/// world, and announces the recording on stderr.
+fn record_topology(recorder: &Option<Arc<Recorder>>, seed: u64) {
+    if let Some(rec) = recorder {
+        rec.record(&ReplayEvent::Topology {
+            domain: 9,
+            processors: 4,
+            seed,
+            groups: vec![GroupSpec {
+                group: GROUP.0,
+                type_name: "Counter".into(),
+                style: style_tag(ReplicationStyle::Active),
+                initial_replicas: 3,
+            }],
+        });
+        eprintln!("ftd-chaos-soak: recording to {}", rec.dir().display());
+    }
+}
+
 /// A durable gateway for the restart phase: the same domain/group shape
 /// as the proxy soak, but with stable storage under `dir` for both the
-/// gateway's §3.5 response cache and the domain's per-group logs.
-fn start_durable_gateway(dir: &Path, seed: u64) -> GatewayServer {
+/// gateway's §3.5 response cache and the domain's per-group logs. With
+/// `record`, this incarnation writes an `ftd-replay` event log there —
+/// including whatever recovery the data dir forces at bring-up.
+fn start_durable_gateway(dir: &Path, seed: u64, record: Option<&Path>) -> GatewayServer {
     let data_dir = dir.to_path_buf();
-    GatewayServer::builder()
+    let mut builder = GatewayServer::builder()
         .addr("127.0.0.1:0")
         .config(EngineConfig::new(9, GroupId(0x4000_0009), 0))
-        .data_dir(dir)
+        .data_dir(dir);
+    if let Some(record) = record {
+        builder = builder.record_dir(record);
+    }
+    let recorder = builder.recorder();
+    record_topology(&recorder, seed);
+    builder
         .host(move || {
             let mut host = DomainHost::try_start(9, 4, seed, || {
                 let mut reg = ObjectRegistry::new();
@@ -221,8 +262,14 @@ fn start_durable_gateway(dir: &Path, seed: u64) -> GatewayServer {
                 "Counter",
                 FtProperties::new(ReplicationStyle::Active).with_initial(3),
             );
-            let (durable, _) = DurableHost::open(host, &data_dir, FsyncPolicy::Always, None)
-                .map_err(ftd_core::Error::Io)?;
+            let (durable, _) = DurableHost::open_recording(
+                host,
+                &data_dir,
+                FsyncPolicy::Always,
+                None,
+                recorder.as_deref(),
+            )
+            .map_err(ftd_core::Error::Io)?;
             Ok::<_, ftd_core::Error>(durable)
         })
         .build()
@@ -328,10 +375,16 @@ fn run_restart_soak(opts: &Opts) {
             opts.seed
         ))
     });
-    // The phase asserts exact counter math from zero: start clean.
+    // The phase asserts exact counter math from zero: start clean. The
+    // same goes for the recording — the run owns its record dir, and
+    // each incarnation gets its own independently replayable subdir.
     let _ = std::fs::remove_dir_all(&data_dir);
+    if let Some(dir) = &opts.record {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let record_inc = |i: u32| opts.record.as_ref().map(|dir| dir.join(format!("inc-{i}")));
 
-    let server = start_durable_gateway(&data_dir, opts.seed);
+    let server = start_durable_gateway(&data_dir, opts.seed, record_inc(0).as_deref());
     let ior = server.ior("IDL:Counter:1.0", GROUP);
     let object_key = ior
         .primary_iiop()
@@ -380,7 +433,11 @@ fn run_restart_soak(opts: &Opts) {
 
     // Rebuild from the same data dir. A different ring seed shows replay
     // does not depend on reproducing the dead incarnation's schedule.
-    let server = start_durable_gateway(&data_dir, opts.seed.wrapping_add(1));
+    let server = start_durable_gateway(
+        &data_dir,
+        opts.seed.wrapping_add(1),
+        record_inc(1).as_deref(),
+    );
     *target.lock().expect("target lock") = server.local_addr();
     eprintln!(
         "ftd-chaos-soak: restarted from {} on {}",
@@ -558,9 +615,13 @@ fn main() {
     let started = Instant::now();
 
     let config = EngineConfig::new(9, GroupId(0x4000_0009), 0);
-    let server = GatewayServer::builder()
-        .addr("127.0.0.1:0")
-        .config(config)
+    let mut builder = GatewayServer::builder().addr("127.0.0.1:0").config(config);
+    if let Some(dir) = &opts.record {
+        let _ = std::fs::remove_dir_all(dir);
+        builder = builder.record_dir(dir.clone());
+    }
+    record_topology(&builder.recorder(), opts.seed);
+    let server = builder
         .host({
             let seed = opts.seed;
             move || {

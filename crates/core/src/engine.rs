@@ -1048,6 +1048,89 @@ impl GatewayEngine {
         self.cache_order.clear();
         std::mem::take(&mut self.cache).into_iter().collect()
     }
+
+    /// Canonically serializes the engine's replayable state — every
+    /// field whose divergence between two runs of the same inputs would
+    /// mean the runs were *not* the same: connections and their client
+    /// keys, the §3.2 counters, the §3.5 response cache (contents and
+    /// eviction order), in-flight admissions, bridge links, and the
+    /// duplicate-suppression tally. All maps are `BTreeMap`s, so the
+    /// byte string is a pure function of the state, never of insertion
+    /// or iteration order. `ftd-replay` hashes this into its
+    /// `StateDigest`; the encoding is internal and may change across
+    /// versions (digests only ever compare within one version).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        fn put_u32(out: &mut Vec<u8>, v: u32) {
+            out.extend(v.to_be_bytes());
+        }
+        fn put_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend(v.to_be_bytes());
+        }
+        fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+            put_u32(out, b.len() as u32);
+            out.extend(b);
+        }
+        fn put_opid(out: &mut Vec<u8>, id: &OperationId) {
+            put_u32(out, id.source.0);
+            put_u32(out, id.target.0);
+            put_u32(out, id.client);
+            put_u64(out, id.parent_ts);
+            put_u32(out, id.child_seq);
+        }
+        let mut out = Vec::new();
+        put_u32(&mut out, self.conns.len() as u32);
+        for (conn, c) in &self.conns {
+            put_u64(&mut out, conn.0);
+            match c.client_key {
+                Some(key) => {
+                    out.push(1);
+                    put_u32(&mut out, key);
+                }
+                None => out.push(0),
+            }
+            out.push(c.graceful_close as u8);
+        }
+        put_u32(&mut out, self.client_conns.len() as u32);
+        for (&(group, client), conn) in &self.client_conns {
+            put_u32(&mut out, group.0);
+            put_u32(&mut out, client);
+            put_u64(&mut out, conn.0);
+        }
+        put_u32(&mut out, self.counters.len() as u32);
+        for (&server, &value) in &self.counters {
+            put_u32(&mut out, server);
+            put_u32(&mut out, value);
+        }
+        put_u32(&mut out, self.cache.len() as u32);
+        for (op, reply) in &self.cache {
+            put_opid(&mut out, op);
+            put_bytes(&mut out, reply);
+        }
+        put_u32(&mut out, self.cache_order.len() as u32);
+        for op in &self.cache_order {
+            put_opid(&mut out, op);
+        }
+        put_u32(&mut out, self.admitted.len() as u32);
+        for (op, &ts) in &self.admitted {
+            put_opid(&mut out, op);
+            put_u64(&mut out, ts);
+        }
+        put_u32(&mut out, self.bridges.len() as u32);
+        for (&domain, link) in &self.bridges {
+            put_u32(&mut out, domain);
+            put_u32(&mut out, link.pending.len() as u32);
+            for (&fwd, origin) in &link.pending {
+                put_u32(&mut out, fwd);
+                put_u32(&mut out, origin.client_key);
+                put_u32(&mut out, origin.request_id);
+                put_u32(&mut out, origin.server.0);
+            }
+            put_u32(&mut out, link.queue.len() as u32);
+        }
+        put_u32(&mut out, self.next_forward_id);
+        put_u64(&mut out, self.filter.suppressed());
+        out
+    }
 }
 
 #[cfg(test)]

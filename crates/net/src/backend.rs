@@ -62,6 +62,14 @@ pub trait DomainBackend: 'static {
     /// Periodic housekeeping, called once per domain-thread tick.
     /// Durable backends checkpoint here; the default does nothing.
     fn maintain(&mut self) {}
+
+    /// Canonical per-group replica state, sorted by group id — the
+    /// domain half of a replay [`StateDigest`](ftd_replay::StateDigest).
+    /// Backends without replicated application state (test doubles)
+    /// return the default empty vector.
+    fn state_bytes(&self) -> Vec<(u32, Vec<u8>)> {
+        Vec::new()
+    }
 }
 
 impl DomainBackend for DomainHost {
@@ -99,6 +107,10 @@ impl DomainBackend for DomainHost {
 
     fn bind_stats(&mut self, registry: Arc<Registry>) {
         DomainHost::bind_stats(self, registry)
+    }
+
+    fn state_bytes(&self) -> Vec<(u32, Vec<u8>)> {
+        DomainHost::state_bytes(self)
     }
 }
 
@@ -145,5 +157,9 @@ impl DomainBackend for Box<dyn DomainBackend> {
 
     fn maintain(&mut self) {
         (**self).maintain()
+    }
+
+    fn state_bytes(&self) -> Vec<(u32, Vec<u8>)> {
+        (**self).state_bytes()
     }
 }

@@ -29,11 +29,16 @@
 //! With `--metrics-addr`, a second admin listener serves `GET /metrics`
 //! (Prometheus text) and `GET /metrics.json`; the bound address is
 //! printed on stderr.
+//!
+//! `--record-dir DIR` records every nondeterministic input the gateway
+//! consumes into an `ftd-replay` event log under `DIR`; replay it
+//! offline with `ftd-replay replay DIR`. Single gateway only.
 
 use ftd_core::EngineConfig;
 use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
 use ftd_net::{DomainBackend, DomainHost, DurableHost, GatewayPool, GatewayServer, ServerOptions};
 use ftd_obs::Registry;
+use ftd_replay::{style_tag, GroupSpec, Recorder, ReplayEvent};
 use ftd_store::FsyncPolicy;
 use ftd_totem::GroupId;
 use std::path::PathBuf;
@@ -54,6 +59,7 @@ struct Opts {
     gateways: usize,
     inflight: Option<usize>,
     data_dir: Option<PathBuf>,
+    record_dir: Option<PathBuf>,
 }
 
 fn parse_opts() -> Opts {
@@ -71,6 +77,7 @@ fn parse_opts() -> Opts {
         gateways: 1,
         inflight: None,
         data_dir: None,
+        record_dir: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -92,11 +99,12 @@ fn parse_opts() -> Opts {
             "--gateways" => opts.gateways = parse(&value("--gateways")),
             "--inflight" => opts.inflight = Some(parse(&value("--inflight"))),
             "--data-dir" => opts.data_dir = Some(PathBuf::from(value("--data-dir"))),
+            "--record-dir" => opts.record_dir = Some(PathBuf::from(value("--record-dir"))),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ftd-gatewayd [--port N] [--domain N] [--processors N] \
                      [--replicas N] [--group N] [--voting] [--seed N] [--shards N] \
-                     [--gateways N] [--inflight N] [--data-dir DIR] \
+                     [--gateways N] [--inflight N] [--data-dir DIR] [--record-dir DIR] \
                      [--metrics-addr HOST:PORT] [--max-body-bytes N]"
                 );
                 std::process::exit(0);
@@ -112,6 +120,9 @@ fn parse_opts() -> Opts {
     }
     if opts.data_dir.is_some() && opts.gateways > 1 {
         die("--data-dir serves a single gateway (pools would share one store)");
+    }
+    if opts.record_dir.is_some() && opts.gateways > 1 {
+        die("--record-dir serves a single gateway (one recording per gateway process)");
     }
     opts
 }
@@ -147,34 +158,49 @@ fn main() {
     }
     let options = options.build();
     let registry = Arc::new(Registry::new());
-    let factory_registry = registry.clone();
-    let factory_data_dir = opts.data_dir.clone();
-    let host_factory = move || {
-        let mut host = DomainHost::try_start(domain, processors, seed, || {
-            let mut reg = ObjectRegistry::new();
-            reg.register("Counter", Box::new(|| Box::new(Counter::new())));
-            reg
-        })?;
-        host.create_group(
-            group,
-            "Counter",
-            FtProperties::new(style).with_initial(replicas),
-        );
-        let backend: Box<dyn DomainBackend> = match &factory_data_dir {
-            Some(dir) => {
-                let (durable, recovery) =
-                    DurableHost::open(host, dir, FsyncPolicy::Always, Some(factory_registry))
-                        .map_err(ftd_core::Error::Io)?;
-                eprintln!(
-                    "ftd-gatewayd: recovered {} durable groups, {} cached responses, \
-                     replayed {} logged operations",
-                    recovery.groups_recovered, recovery.responses_restored, recovery.ops_replayed,
+    // Reusable factory generator: the recorder (if recording) must reach
+    // the domain bring-up so recovery is part of the event log.
+    let make_host_factory = {
+        let registry = registry.clone();
+        let data_dir = opts.data_dir.clone();
+        move |recorder: Option<Arc<Recorder>>| {
+            let factory_registry = registry.clone();
+            let factory_data_dir = data_dir.clone();
+            move || {
+                let mut host = DomainHost::try_start(domain, processors, seed, || {
+                    let mut reg = ObjectRegistry::new();
+                    reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+                    reg
+                })?;
+                host.create_group(
+                    group,
+                    "Counter",
+                    FtProperties::new(style).with_initial(replicas),
                 );
-                Box::new(durable)
+                let backend: Box<dyn DomainBackend> = match &factory_data_dir {
+                    Some(dir) => {
+                        let (durable, recovery) = DurableHost::open_recording(
+                            host,
+                            dir,
+                            FsyncPolicy::Always,
+                            Some(factory_registry),
+                            recorder.as_deref(),
+                        )
+                        .map_err(ftd_core::Error::Io)?;
+                        eprintln!(
+                            "ftd-gatewayd: recovered {} durable groups, {} cached responses, \
+                             replayed {} logged operations",
+                            recovery.groups_recovered,
+                            recovery.responses_restored,
+                            recovery.ops_replayed,
+                        );
+                        Box::new(durable)
+                    }
+                    None => Box::new(host),
+                };
+                Ok::<_, ftd_core::Error>(backend)
             }
-            None => Box::new(host),
-        };
-        Ok::<_, ftd_core::Error>(backend)
+        }
     };
 
     if opts.gateways > 1 {
@@ -184,7 +210,7 @@ fn main() {
             .addr("127.0.0.1:0")
             .config(config)
             .registry(registry)
-            .host(host_factory);
+            .host(make_host_factory(None));
         if let Some(shards) = opts.shards {
             builder = builder.shards(shards);
         }
@@ -231,8 +257,26 @@ fn main() {
         .addr(format!("127.0.0.1:{}", opts.port))
         .config(config)
         .options(options)
-        .registry(registry)
-        .host(host_factory);
+        .registry(registry);
+    if let Some(dir) = &opts.record_dir {
+        builder = builder.record_dir(dir.clone());
+    }
+    let recorder = builder.recorder();
+    if let Some(rec) = &recorder {
+        rec.record(&ReplayEvent::Topology {
+            domain,
+            processors,
+            seed,
+            groups: vec![GroupSpec {
+                group: group.0,
+                type_name: "Counter".into(),
+                style: style_tag(style),
+                initial_replicas: replicas,
+            }],
+        });
+        eprintln!("ftd-gatewayd: recording to {}", rec.dir().display());
+    }
+    builder = builder.host(make_host_factory(recorder));
     if let Some(dir) = &opts.data_dir {
         builder = builder.data_dir(dir.clone());
     }

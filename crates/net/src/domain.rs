@@ -143,6 +143,18 @@ impl DomainService {
         registry: Arc<Registry>,
         host: impl FnOnce() -> ftd_core::Result<B> + Send + 'static,
     ) -> ftd_core::Result<DomainService> {
+        Self::start_with_recorder(registry, host, None)
+    }
+
+    /// [`DomainService::start`] with a replay recorder tap: every
+    /// multicast, fault, virtual-time pump, and the final domain digest
+    /// are appended to the recorder in the exact order the domain thread
+    /// applies them — the domain half of a record/replay log.
+    pub fn start_with_recorder<B: DomainBackend>(
+        registry: Arc<Registry>,
+        host: impl FnOnce() -> ftd_core::Result<B> + Send + 'static,
+        recorder: Option<Arc<ftd_replay::Recorder>>,
+    ) -> ftd_core::Result<DomainService> {
         let (tx, rx) = mpsc::channel();
         let shared = Arc::new(DomainSharedState {
             healthy: AtomicBool::new(true),
@@ -164,7 +176,7 @@ impl DomainService {
                     }
                 };
                 host.bind_stats(registry.clone());
-                domain_loop(rx, host, thread_shared, registry);
+                domain_loop(rx, host, thread_shared, registry, recorder);
             })
             .map_err(Error::Io)?;
 
@@ -227,7 +239,13 @@ fn domain_loop<B: DomainBackend>(
     mut host: B,
     shared: Arc<DomainSharedState>,
     registry: Arc<Registry>,
+    recorder: Option<Arc<ftd_replay::Recorder>>,
 ) {
+    let rec = |event: &ftd_replay::ReplayEvent| {
+        if let Some(r) = &recorder {
+            r.record(event);
+        }
+    };
     let mut sinks: Vec<DeliverySink> = Vec::new();
     let mut next_tick = Instant::now() + TICK_REAL;
     loop {
@@ -247,11 +265,19 @@ fn domain_loop<B: DomainBackend>(
             }
             match rx.recv_timeout(next_tick - now) {
                 Ok(cmd) => match cmd {
-                    DomainCmd::Multicast(group, payload) => host.multicast(group, payload),
+                    DomainCmd::Multicast(group, payload) => {
+                        rec(&ftd_replay::ReplayEvent::DomainMulticast {
+                            group: group.0,
+                            payload: payload.clone(),
+                        });
+                        host.multicast(group, payload)
+                    }
                     DomainCmd::Chaos(DomainFault::CrashProcessor(i)) => {
+                        rec(&ftd_replay::ReplayEvent::DomainCrash { index: i as u32 });
                         host.crash_processor(i);
                     }
                     DomainCmd::Chaos(DomainFault::RecoverProcessor(i)) => {
+                        rec(&ftd_replay::ReplayEvent::DomainRecover { index: i as u32 });
                         host.recover_processor(i);
                     }
                     DomainCmd::Register(sink) => sinks.push(sink),
@@ -273,6 +299,9 @@ fn domain_loop<B: DomainBackend>(
         // Advance the virtual clock and push ordered deliveries out to
         // the gateways' shard queues. Durable backends take their
         // checkpoint opportunity once the tick's deliveries are routed.
+        rec(&ftd_replay::ReplayEvent::DomainTick {
+            micros: TICK_VIRTUAL.as_micros(),
+        });
         let deliveries = host.pump(TICK_VIRTUAL);
         route_deliveries(&deliveries, &mut sinks);
         host.maintain();
@@ -287,6 +316,9 @@ fn domain_loop<B: DomainBackend>(
                 if idle >= 5 {
                     break;
                 }
+                rec(&ftd_replay::ReplayEvent::DomainTick {
+                    micros: TICK_VIRTUAL.as_micros(),
+                });
                 let more = host.pump(TICK_VIRTUAL);
                 if more.is_empty() {
                     idle += 1;
@@ -310,5 +342,15 @@ fn domain_loop<B: DomainBackend>(
         if stop {
             break;
         }
+    }
+
+    // Close the domain half of the recording with its digest — the
+    // replayer compares its rebuilt world against exactly this.
+    if recorder.is_some() {
+        let state = host.state_bytes();
+        rec(&ftd_replay::ReplayEvent::DomainDigest {
+            digest: ftd_replay::hash_domain_state(&state),
+            groups: state.len() as u32,
+        });
     }
 }

@@ -158,6 +158,22 @@ impl DurableHost {
         fsync: FsyncPolicy,
         registry: Option<Arc<Registry>>,
     ) -> io::Result<(DurableHost, DomainRecovery)> {
+        Self::open_recording(inner, data_dir, fsync, registry, None)
+    }
+
+    /// [`DurableHost::open`] with a replay [`Recorder`](ftd_replay::Recorder)
+    /// tap: the per-group restores and the recovery replay's multicasts
+    /// and pump ticks are logged as ordinary domain events, so a replayer
+    /// re-drives recovery through a plain [`DomainHost`] with no special
+    /// recovery logic. The recorder is borrowed only for the open — after
+    /// recovery, the domain thread's own taps take over.
+    pub fn open_recording(
+        inner: DomainHost,
+        data_dir: &Path,
+        fsync: FsyncPolicy,
+        registry: Option<Arc<Registry>>,
+        recorder: Option<&ftd_replay::Recorder>,
+    ) -> io::Result<(DurableHost, DomainRecovery)> {
         let dir = data_dir.join("domain");
         std::fs::create_dir_all(&dir)?;
         let mut host = DurableHost {
@@ -197,6 +213,13 @@ impl DurableHost {
             // into the fresh replicas: duplicate detection now suppresses
             // re-execution of anything answered before the crash.
             report.responses_restored += cp_responses.len();
+            if let Some(rec) = recorder {
+                rec.record(&ftd_replay::ReplayEvent::DomainRestore {
+                    group: group.0,
+                    state: state.clone(),
+                    responses: cp_responses.clone(),
+                });
+            }
             host.inner
                 .restore_group(group, state.as_deref(), &cp_responses);
             // Post-checkpoint logged ops are re-executed through the ring
@@ -218,7 +241,7 @@ impl DurableHost {
             host.logs.insert(group, log);
         }
         report.ops_replayed = replay.len();
-        host.replay(replay)?;
+        host.replay(replay, recorder)?;
         Ok((host, report))
     }
 
@@ -228,7 +251,11 @@ impl DurableHost {
 
     /// Re-multicasts logged invocations and pumps the domain until every
     /// one is answered again (deterministic re-execution is the replay).
-    fn replay(&mut self, records: Vec<OpRecord>) -> io::Result<()> {
+    fn replay(
+        &mut self,
+        records: Vec<OpRecord>,
+        recorder: Option<&ftd_replay::Recorder>,
+    ) -> io::Result<()> {
         if records.is_empty() {
             return Ok(());
         }
@@ -249,12 +276,24 @@ impl DurableHost {
             // Keep the invocation pending so the re-produced response is
             // re-appended to the (reset-on-checkpoint) log as usual.
             self.note_pending(op, rec.invocation);
-            self.inner.multicast(op.target, msg.encode());
+            let payload = msg.encode();
+            if let Some(r) = recorder {
+                r.record(&ftd_replay::ReplayEvent::DomainMulticast {
+                    group: op.target.0,
+                    payload: payload.clone(),
+                });
+            }
+            self.inner.multicast(op.target, payload);
             awaiting.push(op);
         }
         for _ in 0..REPLAY_TICK_BUDGET {
             if awaiting.is_empty() {
                 return Ok(());
+            }
+            if let Some(r) = recorder {
+                r.record(&ftd_replay::ReplayEvent::DomainTick {
+                    micros: REPLAY_TICK.as_micros(),
+                });
             }
             // pump() both drains deliveries and logs answered pairs.
             for (_, payload) in DurableHost::pump(self, REPLAY_TICK) {
@@ -392,6 +431,10 @@ impl DomainBackend for DurableHost {
 
     fn bind_stats(&mut self, registry: Arc<Registry>) {
         self.inner.bind_stats(registry)
+    }
+
+    fn state_bytes(&self) -> Vec<(u32, Vec<u8>)> {
+        self.inner.state_bytes()
     }
 
     /// Checkpoints any group whose log has grown past the threshold —

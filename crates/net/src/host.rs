@@ -70,6 +70,23 @@ pub struct HostView {
     replicas: BTreeMap<u32, usize>,
 }
 
+/// The exported facts of a [`HostView`]: gateway peer count, sorted
+/// per-group voting flags, sorted per-group live-replica counts.
+pub type ViewParts = (usize, Vec<(u32, bool)>, Vec<(u32, usize)>);
+
+impl HostView {
+    /// Exports the view's facts — gateway peer count, per-group voting
+    /// flags, per-group live-replica counts — for recording (the replay
+    /// log stores each view inline with the event that consulted it).
+    pub fn parts(&self) -> ViewParts {
+        (
+            self.peers,
+            self.votes.iter().map(|(&g, &v)| (g, v)).collect(),
+            self.replicas.iter().map(|(&g, &n)| (g, n)).collect(),
+        )
+    }
+}
+
 impl DomainView for HostView {
     fn live_gateway_peers(&self) -> usize {
         self.peers
@@ -320,6 +337,20 @@ impl DomainHost {
                     .is_some_and(|d| d.mech_mut().restore_replica(group, state, responses))
             })
             .count()
+    }
+
+    /// Canonical per-group replica state, sorted by group id: each
+    /// placed group paired with its first live replica's checkpointable
+    /// state (crashed-out groups contribute an empty state so record and
+    /// replay agree on group membership). This is the domain half of a
+    /// replay `StateDigest`.
+    pub fn state_bytes(&self) -> Vec<(u32, Vec<u8>)> {
+        let mut groups = self.groups();
+        groups.sort();
+        groups
+            .into_iter()
+            .map(|g| (g.0, self.replica_state(g).unwrap_or_default()))
+            .collect()
     }
 
     /// Snapshots the [`DomainView`] facts for the engine. With the relay

@@ -26,6 +26,11 @@
 //!   operations (and checkpoints object state) via `ftd-store`, and the
 //!   gateway-side store that makes the §3.5 response cache survive a
 //!   crash. `GatewayServer::builder().data_dir(..)` turns both on.
+//! * Record/replay (`ftd-replay` integration): `.record_dir(..)` logs
+//!   every nondeterministic input the gateway consumes; the [`replay`]
+//!   module rebuilds the recorded domain and re-drives the whole run
+//!   offline to a bitwise-identical state digest
+//!   ([`replay_recording`]).
 //!
 //! Fallible surfaces return the workspace-wide [`ftd_core::Error`].
 //!
@@ -43,6 +48,7 @@ mod domain;
 mod durable;
 mod host;
 mod pool;
+pub mod replay;
 mod server;
 mod store;
 
@@ -52,6 +58,7 @@ pub use domain::{DomainFault, DomainLink, DomainService};
 pub use durable::{DomainRecovery, DurableHost};
 pub use host::{DomainHost, HostError, HostView};
 pub use pool::{gateway_for_client, GatewayPool, GatewayPoolBuilder};
+pub use replay::{rebuild_domain, replay_recording, HostReplayDomain};
 pub use server::{
     EngineSnapshot, GatewayBuilder, GatewayServer, ServerOptions, ServerOptionsBuilder,
     ShutdownReport, CONN_INBOUND_BUDGET, DEFAULT_MAX_INFLIGHT,

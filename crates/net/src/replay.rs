@@ -1,0 +1,133 @@
+//! Offline replay of `ftd-net` recordings.
+//!
+//! A gateway built with `GatewayServer::builder().record_dir(..)` writes
+//! an `ftd-replay` event log. This module is the net-side half of
+//! replaying one: [`rebuild_domain`] reconstructs the recorded
+//! deterministic world (same seed, same processor count, same groups —
+//! bring-up is deterministic, so the rebuilt world *is* the recorded
+//! world at traffic start), [`HostReplayDomain`] adapts a [`DomainHost`]
+//! to the [`ReplayDomain`] trait the replayer drives, and
+//! [`replay_recording`] runs a whole directory end to end.
+//!
+//! Replayed deliveries are discarded on purpose: the replayer drives the
+//! engines from the *recorded* delivery events (arrival order included),
+//! so the rebuilt world only has to evolve identically — which it does,
+//! being a pure function of the seed and the recorded multicast/tick/
+//! fault sequence.
+
+use crate::host::DomainHost;
+use ftd_eternal::{FtProperties, ObjectRegistry, OperationId};
+use ftd_replay::{read_log, style_from_tag, NullDomain, ReplayDomain, ReplayEvent, ReplayOutcome};
+use ftd_sim::SimDuration;
+use ftd_totem::GroupId;
+use std::io;
+use std::path::Path;
+
+/// Rebuilds the domain a recording's `Topology` event describes:
+/// `DomainHost::try_start` with the recorded id/processors/seed, then
+/// the recorded `create_group` sequence in order. `registry` must
+/// register the same application types the recorded process did (the
+/// binaries use `Counter`). Returns `Ok(None)` for a recording with no
+/// domain side.
+pub fn rebuild_domain(
+    events: &[ReplayEvent],
+    registry: impl Fn() -> ObjectRegistry + Clone + 'static,
+) -> io::Result<Option<DomainHost>> {
+    let Some((domain, processors, seed, groups)) = events.iter().find_map(|e| match e {
+        ReplayEvent::Topology {
+            domain,
+            processors,
+            seed,
+            groups,
+        } => Some((*domain, *processors, *seed, groups.clone())),
+        _ => None,
+    }) else {
+        return Ok(None);
+    };
+    let mut host = DomainHost::try_start(domain, processors, seed, registry)
+        .map_err(|e| io::Error::other(format!("rebuilding recorded domain: {e}")))?;
+    for spec in groups {
+        let style = style_from_tag(spec.style).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("recorded group {:#x} has unknown style tag", spec.group),
+            )
+        })?;
+        host.create_group(
+            GroupId(spec.group),
+            &spec.type_name,
+            FtProperties::new(style).with_initial(spec.initial_replicas),
+        );
+    }
+    Ok(Some(host))
+}
+
+/// A rebuilt [`DomainHost`] driven by the replayer: recorded multicasts,
+/// virtual-time pumps, fault-plan events, and recovery restores are
+/// re-applied verbatim; deliveries the world produces are dropped (see
+/// the module docs).
+#[derive(Debug)]
+pub struct HostReplayDomain {
+    host: DomainHost,
+}
+
+impl HostReplayDomain {
+    /// Wraps a rebuilt host.
+    pub fn new(host: DomainHost) -> Self {
+        HostReplayDomain { host }
+    }
+
+    /// The wrapped host (inspect replica state after a replay).
+    pub fn host(&self) -> &DomainHost {
+        &self.host
+    }
+}
+
+impl ReplayDomain for HostReplayDomain {
+    fn multicast(&mut self, group: GroupId, payload: Vec<u8>) {
+        self.host.multicast(group, payload);
+    }
+
+    fn tick(&mut self, micros: u64) {
+        let _ = self.host.pump(SimDuration::from_micros(micros));
+    }
+
+    fn crash(&mut self, index: u32) {
+        let _ = self.host.crash_processor(index as usize);
+    }
+
+    fn recover(&mut self, index: u32) {
+        let _ = self.host.recover_processor(index as usize);
+    }
+
+    fn restore(
+        &mut self,
+        group: GroupId,
+        state: Option<Vec<u8>>,
+        responses: Vec<(OperationId, Vec<u8>)>,
+    ) {
+        let _ = self.host.restore_group(group, state.as_deref(), &responses);
+    }
+
+    fn state_bytes(&self) -> Vec<(u32, Vec<u8>)> {
+        self.host.state_bytes()
+    }
+}
+
+/// Replays a whole recording directory: read the log, rebuild the
+/// recorded domain (if any), re-drive every event, and return the
+/// outcome — `outcome.matches()` is the replay-equality verdict, and
+/// `outcome.divergence` pinpoints the first diverging event otherwise.
+pub fn replay_recording(
+    dir: impl AsRef<Path>,
+    registry: impl Fn() -> ObjectRegistry + Clone + 'static,
+) -> io::Result<ReplayOutcome> {
+    let (events, _report) = read_log(dir.as_ref())?;
+    match rebuild_domain(&events, registry)? {
+        Some(host) => {
+            let mut domain = HostReplayDomain::new(host);
+            ftd_replay::replay_events(&events, &mut domain)
+        }
+        None => ftd_replay::replay_events(&events, &mut NullDomain),
+    }
+}

@@ -56,6 +56,7 @@
 
 use crate::backend::DomainBackend;
 use crate::domain::{DomainFault, DomainLink, DomainService, TICK_REAL};
+use crate::host::HostView;
 use crate::store::GatewayStore;
 use ftd_core::{
     classify_client_message, classify_delivery, Action, DeliveryRoute, EngineConfig, Error,
@@ -65,6 +66,7 @@ use ftd_core::{
 use ftd_eternal::{GatewayEndpoint, IorPublisher, OperationId};
 use ftd_giop::{ByteOrder, GiopMessage, Ior, MessageReader};
 use ftd_obs::{names, Clock, Counter, Histogram, RealClock, Registry};
+use ftd_replay::{EngineSetup, RecordedView, Recorder, RecordingClock, ReplayEvent, ShardTap};
 use ftd_sim::Stats;
 use ftd_store::FsyncPolicy;
 use ftd_totem::GroupId;
@@ -76,7 +78,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Most bytes a single connection may have in flight between its reader
 /// thread and the shard threads. A client that outruns its shard by
@@ -87,10 +89,11 @@ pub const CONN_INBOUND_BUDGET: usize = 1 << 20;
 /// Default per-shard admission window (see [`GatewayBuilder::max_inflight`]).
 pub const DEFAULT_MAX_INFLIGHT: usize = 256;
 
-/// If a shard's admission window stays full this long with no reply
-/// progress (replies lost to chaos, oneway traffic), the window resets
-/// rather than wedging the shard.
-const STALL_RESET: Duration = Duration::from_millis(500);
+/// If a shard's admission window stays full this long (microseconds of
+/// the gateway's base clock) with no reply progress (replies lost to
+/// chaos, oneway traffic), the window resets rather than wedging the
+/// shard.
+const STALL_RESET_US: u64 = 500_000;
 
 /// Engine-side gauges mirrored out of a shard thread after every batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -245,6 +248,8 @@ pub struct GatewayBuilder {
     domain: Option<DomainLink>,
     data_dir: Option<PathBuf>,
     fsync: FsyncPolicy,
+    recorder: Option<Arc<Recorder>>,
+    record_err: Option<std::io::Error>,
 }
 
 impl std::fmt::Debug for GatewayBuilder {
@@ -364,6 +369,30 @@ impl GatewayBuilder {
         self
     }
 
+    /// Records every nondeterministic input crossing the gateway
+    /// boundary — accepts, inbound GIOP messages, ring deliveries,
+    /// engine clock reads, fault-plan events, recovery seeding — into an
+    /// `ftd-replay` event log under `dir`, for offline deterministic
+    /// replay (`ftd-replay replay <dir>`). The recording is created
+    /// eagerly so [`GatewayBuilder::recorder`] can hand the live handle
+    /// to a host factory (e.g. `DurableHost::open_recording`); a
+    /// creation failure is deferred and surfaces at
+    /// [`GatewayBuilder::build`]. Requires an owned domain
+    /// ([`GatewayBuilder::host`]).
+    pub fn record_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        match Recorder::create(dir.into()) {
+            Ok(rec) => self.recorder = Some(Arc::new(rec)),
+            Err(e) => self.record_err = Some(e),
+        }
+        self
+    }
+
+    /// The recorder created by [`GatewayBuilder::record_dir`], if any —
+    /// pass it into a host factory so domain recovery is recorded too.
+    pub fn recorder(&self) -> Option<Arc<Recorder>> {
+        self.recorder.clone()
+    }
+
     /// Binds the listener, brings the domain up (when built with
     /// [`GatewayBuilder::host`]), spawns the shard/accept/metrics
     /// threads, and returns the serving gateway.
@@ -371,6 +400,15 @@ impl GatewayBuilder {
         let mut config = self
             .config
             .ok_or_else(|| Error::config("GatewayServer::builder() requires .config(..)"))?;
+        if let Some(e) = self.record_err {
+            return Err(Error::Io(e));
+        }
+        if self.recorder.is_some() && self.domain.is_some() {
+            return Err(Error::config(
+                "record_dir(..) requires an owned domain (.host(..)); \
+                 a shared .domain(..) link cannot be recorded",
+            ));
+        }
         let shards = match self.shards {
             Some(0) => return Err(ShardError::ZeroShards.into()),
             Some(n) => n,
@@ -408,6 +446,16 @@ impl GatewayBuilder {
             None => None,
         };
 
+        // The engine setup goes into the log first (after the store
+        // decision above fixed `persist_responses`): the replayer builds
+        // its engines from exactly this configuration.
+        if let Some(rec) = &self.recorder {
+            rec.record(&ReplayEvent::EngineSetup(EngineSetup::from_config(
+                &config,
+                shards as u32,
+            )));
+        }
+
         let (domain, owned_domain) = match (self.domain, self.host) {
             (Some(_), Some(_)) => {
                 return Err(Error::config(
@@ -416,7 +464,11 @@ impl GatewayBuilder {
             }
             (Some(link), None) => (link, None),
             (None, Some(factory)) => {
-                let service = DomainService::start(registry.clone(), factory)?;
+                let service = DomainService::start_with_recorder(
+                    registry.clone(),
+                    factory,
+                    self.recorder.clone(),
+                )?;
                 (service.link(), Some(service))
             }
             (None, None) => {
@@ -437,19 +489,45 @@ impl GatewayBuilder {
         // traffic uses: a group's counter and its replies land on the
         // shard that owns the group).
         let mut engines: Vec<GatewayEngine> = (0..shards)
-            .map(|_| {
+            .map(|idx| {
                 let mut engine = GatewayEngine::new(config.clone(), BTreeMap::new());
-                engine.set_clock(clock.clone());
+                // Recording wraps each engine's time source so every
+                // clock value the engine observes lands in the log; the
+                // host-side shard timing below stays on the base clock
+                // (replay never re-runs host code).
+                match &self.recorder {
+                    Some(rec) => engine.set_clock(Arc::new(RecordingClock::new(
+                        clock.clone(),
+                        rec.clone(),
+                        idx as u32,
+                    ))),
+                    None => engine.set_clock(clock.clone()),
+                }
                 engine
+            })
+            .collect();
+        let mut taps: Vec<Option<ShardTap>> = (0..shards)
+            .map(|idx| {
+                self.recorder
+                    .as_ref()
+                    .map(|rec| ShardTap::new(rec.clone(), idx as u32))
             })
             .collect();
         let store = match opened_store {
             Some((store, recovered)) => {
                 for (&server, &value) in &recovered.counters {
-                    engines[router.route(GroupId(server))].seed_counter(server, value);
+                    let idx = router.route(GroupId(server));
+                    match taps[idx].as_mut() {
+                        Some(tap) => tap.seed_counter(&mut engines[idx], server, value),
+                        None => engines[idx].seed_counter(server, value),
+                    }
                 }
                 for (op, reply) in &recovered.responses {
-                    engines[router.route(op.target)].restore_cached_response(*op, reply.clone());
+                    let idx = router.route(op.target);
+                    match taps[idx].as_mut() {
+                        Some(tap) => tap.restore_response(&mut engines[idx], *op, reply.clone()),
+                        None => engines[idx].restore_cached_response(*op, reply.clone()),
+                    }
                 }
                 registry.add(
                     names::STORE_RESPONSES_RECOVERED,
@@ -462,7 +540,7 @@ impl GatewayBuilder {
 
         let mut shard_txs: Vec<Sender<ShardEv>> = Vec::with_capacity(shards);
         let mut shard_threads = Vec::with_capacity(shards);
-        for (idx, engine) in engines.into_iter().enumerate() {
+        for (idx, (engine, tap)) in engines.into_iter().zip(taps.drain(..)).enumerate() {
             let (tx, rx) = mpsc::channel();
             shard_txs.push(tx);
             let shard = Shard::new(
@@ -472,6 +550,8 @@ impl GatewayBuilder {
                 domain.clone(),
                 registry.clone(),
                 store.clone(),
+                clock.clone(),
+                tap,
             );
             let shard_shared = shared.clone();
             shard_threads.push(
@@ -552,6 +632,7 @@ impl GatewayBuilder {
             shared,
             sink_alive,
             store,
+            recorder: self.recorder,
             shard_threads,
             accept_thread: Some(accept_thread),
             metrics_thread,
@@ -573,6 +654,7 @@ pub struct GatewayServer {
     shared: Arc<Shared>,
     sink_alive: Arc<AtomicBool>,
     store: Option<Arc<GatewayStore>>,
+    recorder: Option<Arc<Recorder>>,
     shard_threads: Vec<JoinHandle<ShardFinal>>,
     accept_thread: Option<JoinHandle<()>>,
     metrics_thread: Option<JoinHandle<()>>,
@@ -604,6 +686,8 @@ impl GatewayServer {
             domain: None,
             data_dir: None,
             fsync: FsyncPolicy::Always,
+            recorder: None,
+            record_err: None,
         }
     }
 
@@ -637,6 +721,13 @@ impl GatewayServer {
     /// gateways via [`GatewayBuilder::domain`]).
     pub fn domain_link(&self) -> DomainLink {
         self.domain.clone()
+    }
+
+    /// The replay recorder, when built with
+    /// [`GatewayBuilder::record_dir`]. Check [`Recorder::ok`] after
+    /// shutdown to know the recording on disk is complete.
+    pub fn recorder(&self) -> Option<Arc<Recorder>> {
+        self.recorder.clone()
     }
 
     /// Whether the domain behind the gateway is currently operational.
@@ -997,10 +1088,15 @@ struct Shard {
     deferred: VecDeque<(u64, GiopMessage, usize)>,
     window: usize,
     inflight: usize,
-    last_progress: Instant,
+    /// Base-clock stamp of the last admission-window progress. Host-side
+    /// timing deliberately bypasses any recording clock: replay re-drives
+    /// the engine, not the shard loop.
+    last_progress_us: u64,
     /// Requests forwarded into the domain and not yet answered, oldest
-    /// first, for the reply-latency metric.
-    pending_latency: VecDeque<(u64, Instant)>,
+    /// first (base-clock micros), for the reply-latency metric.
+    pending_latency: VecDeque<(u64, u64)>,
+    clock: Arc<dyn Clock>,
+    tap: Option<ShardTap>,
     domain: DomainLink,
     registry: Arc<Registry>,
     store: Option<Arc<GatewayStore>>,
@@ -1013,6 +1109,7 @@ struct Shard {
 }
 
 impl Shard {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         idx: usize,
         engine: GatewayEngine,
@@ -1020,11 +1117,14 @@ impl Shard {
         domain: DomainLink,
         registry: Arc<Registry>,
         store: Option<Arc<GatewayStore>>,
+        clock: Arc<dyn Clock>,
+        tap: Option<ShardTap>,
     ) -> Shard {
         let bytes_out = registry.counter("net.bytes_out");
         let reply_latency = registry.histogram("net.reply_latency_us");
         let m_events = registry.counter(&names::with_shard(names::GATEWAY_SHARD_EVENTS, idx));
         let m_deferrals = registry.counter(&names::with_shard(names::GATEWAY_SHARD_DEFERRALS, idx));
+        let now_us = clock.now_micros();
         Shard {
             idx,
             engine,
@@ -1032,8 +1132,10 @@ impl Shard {
             deferred: VecDeque::new(),
             window: window.max(1),
             inflight: 0,
-            last_progress: Instant::now(),
+            last_progress_us: now_us,
             pending_latency: VecDeque::new(),
+            clock,
+            tap,
             domain,
             registry,
             store,
@@ -1074,13 +1176,22 @@ impl Shard {
             entry.budget.fetch_sub(cost, Ordering::SeqCst);
         }
         let view = self.domain.view();
-        let actions = self.engine.on_client_message(GwConn(id), msg, &*view);
+        let actions = match self.tap.as_mut() {
+            Some(tap) => {
+                let rv = recorded_view(&view);
+                tap.on_message(&mut self.engine, GwConn(id), msg, &rv)
+            }
+            None => self.engine.on_client_message(GwConn(id), msg, &*view),
+        };
         let forwarded = actions
             .iter()
             .filter(|a| matches!(a, Action::Multicast { .. }))
             .count();
-        for _ in 0..forwarded {
-            self.pending_latency.push_back((id, Instant::now()));
+        if forwarded > 0 {
+            let now_us = self.clock.now_micros();
+            for _ in 0..forwarded {
+                self.pending_latency.push_back((id, now_us));
+            }
         }
         self.apply(actions);
     }
@@ -1090,9 +1201,10 @@ impl Shard {
             match action {
                 Action::ToClient { conn, bytes } => {
                     if let Some(pos) = self.pending_latency.iter().position(|&(c, _)| c == conn.0) {
-                        let (_, since) = self.pending_latency.remove(pos).expect("position valid");
+                        let (_, since_us) =
+                            self.pending_latency.remove(pos).expect("position valid");
                         self.reply_latency
-                            .observe(since.elapsed().as_micros() as u64);
+                            .observe(self.clock.now_micros().saturating_sub(since_us));
                     }
                     if let Some(entry) = self.conns.get(&conn.0) {
                         if entry.writer.write(&bytes) {
@@ -1152,10 +1264,10 @@ impl Shard {
                         // other replicas must not free slots never taken.
                         "gateway.replies_delivered" | "gateway.bridge_replies" => {
                             self.inflight = self.inflight.saturating_sub(1);
-                            self.last_progress = Instant::now();
+                            self.last_progress_us = self.clock.now_micros();
                         }
                         "gateway.duplicate_responses_suppressed" => {
-                            self.last_progress = Instant::now();
+                            self.last_progress_us = self.clock.now_micros();
                         }
                         _ => {}
                     }
@@ -1222,7 +1334,10 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
             match ev {
                 ShardEv::Accepted(id, writer, budget) => {
                     shard.conns.insert(id, ConnEntry { writer, budget });
-                    let actions = shard.engine.on_client_accepted(GwConn(id));
+                    let actions = match shard.tap.as_mut() {
+                        Some(tap) => tap.on_accepted(&mut shard.engine, GwConn(id)),
+                        None => shard.engine.on_client_accepted(GwConn(id)),
+                    };
                     shard.apply(actions);
                 }
                 ShardEv::Msg(id, msg, cost) => {
@@ -1240,15 +1355,24 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
                 }
                 ShardEv::Closed(id) => {
                     shard.deferred.retain(|&(conn, _, _)| conn != id);
-                    let actions = shard.engine.on_client_closed(GwConn(id));
+                    let actions = match shard.tap.as_mut() {
+                        Some(tap) => tap.on_closed(&mut shard.engine, GwConn(id)),
+                        None => shard.engine.on_client_closed(GwConn(id)),
+                    };
                     shard.apply(actions);
                     shard.conns.remove(&id);
                 }
                 ShardEv::Delivery(group, payload) => {
                     let view = shard.domain.view();
-                    let actions = shard
-                        .engine
-                        .on_delivery_from_domain(group, &payload, &*view);
+                    let actions = match shard.tap.as_mut() {
+                        Some(tap) => {
+                            let rv = recorded_view(&view);
+                            tap.on_delivery(&mut shard.engine, group, &payload, &rv)
+                        }
+                        None => shard
+                            .engine
+                            .on_delivery_from_domain(group, &payload, &*view),
+                    };
                     shard.apply(actions);
                 }
                 ShardEv::Shutdown => stop = true,
@@ -1266,9 +1390,12 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
 
         // A wedged window (replies lost to chaos, oneway floods) decays
         // instead of starving the shard forever.
-        if shard.inflight > 0 && shard.last_progress.elapsed() >= STALL_RESET {
-            shard.inflight = 0;
-            shard.last_progress = Instant::now();
+        if shard.inflight > 0 {
+            let now_us = shard.clock.now_micros();
+            if now_us.saturating_sub(shard.last_progress_us) >= STALL_RESET_US {
+                shard.inflight = 0;
+                shard.last_progress_us = now_us;
+            }
         }
 
         shard.publish(&shared);
@@ -1279,10 +1406,26 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
             entry.writer.close();
         }
     }
+    // Close the shard's recording with its digest before the engine is
+    // drained below (drain_cached_responses mutates the cache).
+    if let Some(tap) = shard.tap.as_mut() {
+        tap.finish(&shard.engine);
+    }
     ShardFinal {
         snapshot: shard.snapshot(),
         counters: shard.engine.counters().clone(),
         cached: shard.engine.drain_cached_responses(),
+    }
+}
+
+/// Snapshots a [`HostView`] into the value type the replay log stores
+/// inline with each engine event.
+fn recorded_view(view: &HostView) -> RecordedView {
+    let (peers, votes, replicas) = view.parts();
+    RecordedView {
+        peers: peers as u32,
+        votes,
+        replicas: replicas.into_iter().map(|(g, n)| (g, n as u32)).collect(),
     }
 }
 

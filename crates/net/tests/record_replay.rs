@@ -1,0 +1,177 @@
+//! Live record/replay equality, end to end: a real [`GatewayServer`]
+//! with `record_dir(..)` serving real TCP clients, then an offline
+//! [`replay_recording`] that must reproduce the identical
+//! [`StateDigest`](ftd_replay::StateDigest) — including across a
+//! kill-and-restart with per-incarnation recordings.
+
+use ftd_core::EngineConfig;
+use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
+use ftd_net::{DomainHost, DurableHost, GatewayServer, NetClient};
+use ftd_replay::{style_tag, GroupSpec, ReplayEvent};
+use ftd_store::FsyncPolicy;
+use ftd_totem::GroupId;
+use std::path::{Path, PathBuf};
+
+const GROUP: GroupId = GroupId(10);
+
+fn registry() -> ObjectRegistry {
+    let mut reg = ObjectRegistry::new();
+    reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+    reg
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftd-net-rr-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn topology(seed: u64) -> ReplayEvent {
+    ReplayEvent::Topology {
+        domain: 1,
+        processors: 4,
+        seed,
+        groups: vec![GroupSpec {
+            group: GROUP.0,
+            type_name: "Counter".into(),
+            style: style_tag(ReplicationStyle::Active),
+            initial_replicas: 3,
+        }],
+    }
+}
+
+fn start_recording_server(record: &Path, seed: u64) -> GatewayServer {
+    let builder = GatewayServer::builder()
+        .addr("127.0.0.1:0")
+        .config(EngineConfig::new(1, GroupId(0x4000_0001), 0))
+        .record_dir(record);
+    let recorder = builder.recorder().expect("recorder");
+    recorder.record(&topology(seed));
+    builder
+        .host(move || {
+            let mut host = DomainHost::try_start(1, 4, seed, registry)?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            Ok::<_, ftd_core::Error>(host)
+        })
+        .build()
+        .expect("bind recording gateway")
+}
+
+fn start_durable_recording_server(data: &Path, record: &Path, seed: u64) -> GatewayServer {
+    let data_dir = data.to_path_buf();
+    let builder = GatewayServer::builder()
+        .addr("127.0.0.1:0")
+        .config(EngineConfig::new(1, GroupId(0x4000_0001), 0))
+        .data_dir(data)
+        .record_dir(record);
+    let recorder = builder.recorder().expect("recorder");
+    recorder.record(&topology(seed));
+    builder
+        .host(move || {
+            let mut host = DomainHost::try_start(1, 4, seed, registry)?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            let (durable, _) = DurableHost::open_recording(
+                host,
+                &data_dir,
+                FsyncPolicy::Always,
+                None,
+                Some(&*recorder),
+            )
+            .map_err(ftd_core::Error::Io)?;
+            Ok::<_, ftd_core::Error>(durable)
+        })
+        .build()
+        .expect("bind durable recording gateway")
+}
+
+#[test]
+fn live_traffic_replays_to_identical_state_digest() {
+    let record = tmp("live");
+    let server = start_recording_server(&record, 0xFACE);
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+
+    let mut client = NetClient::connect(&ior, Some(0x77)).expect("connect");
+    let mut sum = 0u64;
+    for add in [5u64, 2, 9] {
+        sum += add;
+        let reply = client.invoke("add", &add.to_be_bytes()).expect("add");
+        assert_eq!(reply.body, sum.to_be_bytes());
+    }
+    let got = client.invoke("get", &[]).expect("get");
+    assert_eq!(got.body, sum.to_be_bytes());
+    drop(client);
+    server.shutdown();
+
+    let outcome = ftd_net::replay_recording(&record, registry).expect("replay");
+    assert!(outcome.complete(), "recording must close out with digests");
+    assert!(
+        outcome.matches(),
+        "replay diverged: {:?}\nrecorded:\n{}\nreplayed:\n{}",
+        outcome.divergence,
+        outcome.recorded.render(),
+        outcome.replayed.render()
+    );
+    assert_eq!(outcome.recorded, outcome.replayed);
+    let _ = std::fs::remove_dir_all(&record);
+}
+
+#[test]
+fn recording_spans_kill_and_restart_with_each_incarnation_replayable() {
+    let data = tmp("restart-data");
+    let record = tmp("restart-rec");
+
+    // Incarnation 0: durable gateway, some acknowledged adds, then a
+    // kill — no quiesce, no checkpoint.
+    let server = start_durable_recording_server(&data, &record.join("inc-0"), 7);
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    let mut client = NetClient::connect(&ior, Some(0x51)).expect("connect inc-0");
+    let mut sum = 0u64;
+    for add in [3u64, 4] {
+        sum += add;
+        client.invoke("add", &add.to_be_bytes()).expect("add inc-0");
+    }
+    server.kill();
+
+    // Incarnation 1: rebuilt from the same data dir (recovery is part of
+    // inc-1's event log), different ring seed, more traffic.
+    let server = start_durable_recording_server(&data, &record.join("inc-1"), 8);
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    let mut client = NetClient::connect(&ior, Some(0x52)).expect("connect inc-1");
+    sum += 6;
+    client
+        .invoke("add", &6u64.to_be_bytes())
+        .expect("add inc-1");
+    let got = client.invoke("get", &[]).expect("get inc-1");
+    assert_eq!(
+        got.body,
+        sum.to_be_bytes(),
+        "recovery must carry the pre-kill adds"
+    );
+    drop(client);
+    server.shutdown();
+
+    for inc in ["inc-0", "inc-1"] {
+        let outcome = ftd_net::replay_recording(record.join(inc), registry).expect("replay");
+        assert!(
+            outcome.divergence.is_none(),
+            "{inc} diverged: {:?}",
+            outcome.divergence
+        );
+        // A clean replay of a *complete* recording is full digest
+        // equality; a torn one (the kill can race shutdown) is verified
+        // per-event as far as the log goes.
+        if outcome.complete() {
+            assert!(outcome.matches(), "{inc} digests differ");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&data);
+    let _ = std::fs::remove_dir_all(&record);
+}

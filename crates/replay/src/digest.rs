@@ -1,0 +1,210 @@
+//! The canonical [`StateDigest`] and its hashing primitives.
+//!
+//! Record-run and replay-run equality must be a single comparison, so
+//! everything that matters — per-shard engine state, the byte stream of
+//! every action the engines emitted, and the per-group domain replica
+//! state — is folded into fixed-size hashes built from the workspace's
+//! existing primitives: `ftd_store::crc32` per action, and a
+//! splitmix64-finalizer fold (the same avalanche `ftd-check` seeds its
+//! generators with) to combine them.
+
+use ftd_core::Action;
+use ftd_store::crc32;
+
+/// The splitmix64 finalizer: a cheap full-avalanche 64-bit mix.
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Folds one value into a running 64-bit hash. Order-sensitive — the
+/// whole point is that a reordered action stream produces a different
+/// digest.
+pub fn fold64(h: u64, v: u64) -> u64 {
+    mix64(h ^ v.wrapping_add(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Hashes an arbitrary byte string to 64 bits (FNV-1a, then mixed).
+pub fn hash64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+/// Canonically encodes one engine [`Action`] for hashing. Every field
+/// that reaches a client, the domain, or stable storage is covered;
+/// `Count`/`Latency` observability actions are included too so a replay
+/// that diverges only in instrumentation still trips the digest.
+pub fn encode_action(out: &mut Vec<u8>, action: &Action) {
+    fn bytes(out: &mut Vec<u8>, b: &[u8]) {
+        out.extend((b.len() as u32).to_be_bytes());
+        out.extend(b);
+    }
+    match action {
+        Action::ToClient { conn, bytes: b } => {
+            out.push(1);
+            out.extend(conn.0.to_be_bytes());
+            bytes(out, b);
+        }
+        Action::CloseClient { conn } => {
+            out.push(2);
+            out.extend(conn.0.to_be_bytes());
+        }
+        Action::Multicast { group, payload } => {
+            out.push(3);
+            out.extend(group.0.to_be_bytes());
+            bytes(out, payload);
+        }
+        Action::BridgeConnect { domain } => {
+            out.push(4);
+            out.extend(domain.to_be_bytes());
+        }
+        Action::ToBridge { domain, bytes: b } => {
+            out.push(5);
+            out.extend(domain.to_be_bytes());
+            bytes(out, b);
+        }
+        Action::PersistCounter { server, value } => {
+            out.push(6);
+            out.extend(server.to_be_bytes());
+            out.extend(value.to_be_bytes());
+        }
+        Action::PersistResponse { operation, reply } => {
+            out.push(7);
+            out.extend(operation.source.0.to_be_bytes());
+            out.extend(operation.target.0.to_be_bytes());
+            out.extend(operation.client.to_be_bytes());
+            out.extend(operation.parent_ts.to_be_bytes());
+            out.extend(operation.child_seq.to_be_bytes());
+            bytes(out, reply);
+        }
+        Action::Count { counter } => {
+            out.push(8);
+            bytes(out, counter.as_bytes());
+        }
+        Action::Latency { group, micros } => {
+            out.push(9);
+            out.extend(group.0.to_be_bytes());
+            out.extend(micros.to_be_bytes());
+        }
+    }
+}
+
+/// CRC32 of one event's emitted action list, canonically encoded. This
+/// is the per-event fingerprint stored in the log — the replayer
+/// compares it to pinpoint the first diverging event.
+pub fn actions_crc(actions: &[Action]) -> u32 {
+    let mut buf = Vec::new();
+    for action in actions {
+        encode_action(&mut buf, action);
+    }
+    crc32(&buf)
+}
+
+/// Hashes the domain's per-group replica state: `(group id, state
+/// bytes)` pairs, which callers must supply sorted by group id.
+pub fn hash_domain_state(groups: &[(u32, Vec<u8>)]) -> u64 {
+    let mut h = 0u64;
+    for (group, state) in groups {
+        h = fold64(h, *group as u64);
+        h = fold64(h, hash64(state));
+    }
+    h
+}
+
+/// Final digest of one shard's engine: canonical state, the running
+/// action-stream hash, and how many engine events produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShardDigest {
+    /// The shard index.
+    pub shard: u32,
+    /// [`hash64`] of the engine's canonical state bytes.
+    pub engine: u64,
+    /// [`fold64`]-accumulated per-event action CRCs.
+    pub actions: u64,
+    /// Engine-driving events processed.
+    pub events: u64,
+}
+
+/// Final digest of the domain: per-group replica state, hashed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainDigest {
+    /// [`hash_domain_state`] over the sorted per-group state.
+    pub digest: u64,
+    /// Groups contributing state.
+    pub groups: u32,
+}
+
+/// The canonical whole-system digest: every shard plus the domain. Two
+/// runs are *the same run* iff their `StateDigest`s are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StateDigest {
+    /// Per-shard digests, sorted by shard index.
+    pub shards: Vec<ShardDigest>,
+    /// The domain digest, if a domain participated.
+    pub domain: Option<DomainDigest>,
+}
+
+impl StateDigest {
+    /// Renders the digest as stable one-line-per-component text (the
+    /// `ftd-replay` binary prints this as the digest report).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for s in &self.shards {
+            let _ = writeln!(
+                out,
+                "shard {:<3} engine={:016x} actions={:016x} events={}",
+                s.shard, s.engine, s.actions, s.events
+            );
+        }
+        match &self.domain {
+            Some(d) => {
+                let _ = writeln!(out, "domain    state={:016x} groups={}", d.digest, d.groups);
+            }
+            None => {
+                let _ = writeln!(out, "domain    (none recorded)");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftd_core::GwConn;
+
+    #[test]
+    fn action_crc_is_order_sensitive() {
+        let a = Action::ToClient {
+            conn: GwConn(1),
+            bytes: vec![1, 2, 3],
+        };
+        let b = Action::CloseClient { conn: GwConn(1) };
+        assert_ne!(
+            actions_crc(&[a.clone(), b.clone()]),
+            actions_crc(&[b, a]),
+            "reordering actions must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn domain_hash_depends_on_group_and_state() {
+        let base = vec![(10u32, vec![0, 0, 0, 9])];
+        let other_group = vec![(11u32, vec![0, 0, 0, 9])];
+        let other_state = vec![(10u32, vec![0, 0, 0, 8])];
+        assert_ne!(hash_domain_state(&base), hash_domain_state(&other_group));
+        assert_ne!(hash_domain_state(&base), hash_domain_state(&other_state));
+        assert_eq!(hash_domain_state(&base), hash_domain_state(&base.clone()));
+    }
+
+    #[test]
+    fn fold_is_not_commutative() {
+        assert_ne!(fold64(fold64(0, 1), 2), fold64(fold64(0, 2), 1));
+    }
+}

@@ -1,0 +1,144 @@
+//! The event log: [`ReplayEvent`]s framed on the ftd-store WAL.
+//!
+//! A recording is a directory holding one segmented WAL
+//! (`[len][crc32][payload]` frames, `wal-<seq>.log` segments) whose
+//! first record is the versioned `FTDR` header and whose remaining
+//! records are encoded events. The WAL's torn-tail repair means a
+//! recording cut off mid-append (the recorded process died) loses at
+//! most the final partial event — everything before it still replays.
+
+use crate::event::{decode_header, encode_header, ReplayEvent, LOG_VERSION};
+use ftd_store::{FsyncPolicy, ReplayReport, Wal, WalOptions};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+fn wal_options() -> WalOptions {
+    WalOptions {
+        // Recording is correctness tooling on the live hot path: losing
+        // the tail of a recording on a host crash is acceptable, slowing
+        // every request by an fsync is not.
+        fsync: FsyncPolicy::Never,
+        ..WalOptions::default()
+    }
+}
+
+/// An append-only event log writer. Thread-safe: shard threads, reader
+/// threads, and the domain thread all append through one internal lock
+/// (which is also what serializes the global event order the replayer
+/// re-drives).
+pub struct EventLog {
+    wal: Mutex<Wal>,
+    dir: PathBuf,
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog").field("dir", &self.dir).finish()
+    }
+}
+
+impl EventLog {
+    /// Creates a fresh log under `dir` (created if absent) and writes
+    /// the version header. Refuses a directory that already holds a
+    /// recording — a half-overwritten log would replay as garbage.
+    pub fn create(dir: impl Into<PathBuf>) -> io::Result<EventLog> {
+        let dir = dir.into();
+        let (mut wal, records, _report) = Wal::open(&dir, wal_options())?;
+        if !records.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("ftd-replay: {} already holds a recording", dir.display()),
+            ));
+        }
+        wal.append(&encode_header(LOG_VERSION))?;
+        Ok(EventLog {
+            wal: Mutex::new(wal),
+            dir,
+        })
+    }
+
+    /// Appends one event.
+    pub fn append(&self, event: &ReplayEvent) -> io::Result<()> {
+        self.wal
+            .lock()
+            .expect("event log lock")
+            .append(&event.encode())
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Reads a recording back: validates the header, decodes every event,
+/// and reports what WAL-level repair happened (torn tail, dropped
+/// corrupt frames). Unknown event tags and future format versions are
+/// `InvalidData` errors.
+pub fn read_log(dir: impl AsRef<Path>) -> io::Result<(Vec<ReplayEvent>, ReplayReport)> {
+    let (_wal, records, report) = Wal::open(dir.as_ref(), wal_options())?;
+    let mut iter = records.iter();
+    let header = iter.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "ftd-replay: {} holds no recording (empty log)",
+                dir.as_ref().display()
+            ),
+        )
+    })?;
+    decode_header(header)?;
+    let mut events = Vec::with_capacity(records.len().saturating_sub(1));
+    for record in iter {
+        events.push(ReplayEvent::decode(record)?);
+    }
+    Ok((events, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ftd-replay-log-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn events_round_trip_through_the_log() {
+        let dir = tmp("roundtrip");
+        let log = EventLog::create(&dir).expect("create");
+        let events = vec![
+            ReplayEvent::DomainTick { micros: 2000 },
+            ReplayEvent::ClockRead {
+                shard: 0,
+                micros: 17,
+            },
+        ];
+        for e in &events {
+            log.append(e).expect("append");
+        }
+        drop(log);
+        let (back, report) = read_log(&dir).expect("read");
+        assert_eq!(back, events);
+        assert!(!report.torn_tail_truncated);
+    }
+
+    #[test]
+    fn create_refuses_an_existing_recording() {
+        let dir = tmp("exists");
+        EventLog::create(&dir).expect("create");
+        let err = EventLog::create(&dir).expect_err("refuse");
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+    }
+
+    #[test]
+    fn empty_dir_is_not_a_recording() {
+        let dir = tmp("empty");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        assert!(read_log(&dir).is_err());
+    }
+}

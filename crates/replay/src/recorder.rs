@@ -1,0 +1,149 @@
+//! The [`Recorder`]: the write side of record/replay.
+//!
+//! One `Recorder` serves a whole gateway process — shard threads, the
+//! accept loop, the domain thread, and the recovery path all append
+//! through it. Recording must never take the gateway down, so appends
+//! are infallible at the call site: the first I/O error poisons the
+//! recorder (subsequent appends become no-ops) and is reported once on
+//! stderr and retrievable via [`Recorder::ok`].
+
+use crate::event::ReplayEvent;
+use crate::log::EventLog;
+use ftd_obs::Clock;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A thread-safe event-log writer for one recorded run.
+pub struct Recorder {
+    log: EventLog,
+    poisoned: AtomicBool,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("dir", &self.log.dir())
+            .field("poisoned", &self.poisoned.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// Starts a fresh recording under `dir` (must not already hold one).
+    pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<Recorder> {
+        Ok(Recorder {
+            log: EventLog::create(dir)?,
+            poisoned: AtomicBool::new(false),
+        })
+    }
+
+    /// Appends one event. Infallible by design: an I/O failure poisons
+    /// the recording instead of failing the recorded run.
+    pub fn record(&self, event: &ReplayEvent) {
+        if self.poisoned.load(Ordering::Relaxed) {
+            return;
+        }
+        if let Err(e) = self.log.append(event) {
+            if !self.poisoned.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "ftd-replay: recording to {} failed, recording stopped: {e}",
+                    self.log.dir().display()
+                );
+            }
+        }
+    }
+
+    /// `false` once any append has failed — the recording on disk is a
+    /// truncated prefix and will not replay to the final digest.
+    pub fn ok(&self) -> bool {
+        !self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// The recording directory.
+    pub fn dir(&self) -> &Path {
+        self.log.dir()
+    }
+}
+
+/// A [`Clock`] that records every read. Wrap the engine's real clock in
+/// one of these per shard, and the exact microsecond values the engine
+/// observed (admission stamps, latency observations) land in the log in
+/// read order, ready for a `ReplayClock` to feed back.
+pub struct RecordingClock {
+    inner: Arc<dyn Clock>,
+    recorder: Arc<Recorder>,
+    shard: u32,
+}
+
+impl RecordingClock {
+    /// Wraps `inner`, tagging reads with `shard`.
+    pub fn new(inner: Arc<dyn Clock>, recorder: Arc<Recorder>, shard: u32) -> Self {
+        RecordingClock {
+            inner,
+            recorder,
+            shard,
+        }
+    }
+}
+
+impl std::fmt::Debug for RecordingClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordingClock")
+            .field("shard", &self.shard)
+            .finish()
+    }
+}
+
+impl Clock for RecordingClock {
+    fn now_micros(&self) -> u64 {
+        let micros = self.inner.now_micros();
+        self.recorder.record(&ReplayEvent::ClockRead {
+            shard: self.shard,
+            micros,
+        });
+        micros
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::read_log;
+    use ftd_obs::ManualClock;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ftd-replay-rec-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn recording_clock_logs_every_read() {
+        let dir = tmp("clock");
+        let recorder = Arc::new(Recorder::create(&dir).expect("create"));
+        let manual = Arc::new(ManualClock::new());
+        manual.set(41);
+        let clock = RecordingClock::new(manual.clone(), recorder.clone(), 2);
+        assert_eq!(clock.now_micros(), 41);
+        manual.advance(1);
+        assert_eq!(clock.now_micros(), 42);
+        assert!(recorder.ok());
+        drop((clock, recorder));
+        let (events, _) = read_log(&dir).expect("read");
+        assert_eq!(
+            events,
+            vec![
+                ReplayEvent::ClockRead {
+                    shard: 2,
+                    micros: 41
+                },
+                ReplayEvent::ClockRead {
+                    shard: 2,
+                    micros: 42
+                },
+            ]
+        );
+    }
+}

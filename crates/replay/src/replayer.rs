@@ -1,0 +1,411 @@
+//! The [`Replayer`]: re-drives engines and a domain from a recording.
+//!
+//! Replay is offline and single-threaded: events are applied in the
+//! recorded order, engine clock reads are fed back through
+//! [`ReplayClock`]s, and each engine-driving event's emitted actions are
+//! fingerprinted and compared against the recorded fingerprint — the
+//! first mismatch *is* the first diverging event, reported by log
+//! offset. At the end the replayed [`StateDigest`] is compared against
+//! the digests the recorded run wrote at shutdown.
+
+use crate::digest::{
+    actions_crc, fold64, hash64, hash_domain_state, DomainDigest, ShardDigest, StateDigest,
+};
+use crate::event::{EngineSetup, ReplayEvent};
+use ftd_core::{GatewayEngine, GwConn};
+use ftd_giop::GiopMessage;
+use ftd_obs::Clock;
+use ftd_totem::GroupId;
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::sync::{Arc, Mutex};
+
+/// A [`Clock`] fed from recorded reads: returns them in order, then
+/// holds at the last value (a recording truncated mid-event may lose
+/// trailing reads; holding keeps time monotonic instead of jumping to
+/// zero).
+#[derive(Debug, Default)]
+pub struct ReplayClock {
+    state: Mutex<(VecDeque<u64>, u64)>,
+}
+
+impl ReplayClock {
+    /// An empty clock (reads return 0 until fed).
+    pub fn new() -> Self {
+        ReplayClock::default()
+    }
+
+    /// Queues one recorded read.
+    pub fn feed(&self, micros: u64) {
+        self.state.lock().expect("replay clock").0.push_back(micros);
+    }
+}
+
+impl Clock for ReplayClock {
+    fn now_micros(&self) -> u64 {
+        let mut state = self.state.lock().expect("replay clock");
+        match state.0.pop_front() {
+            Some(v) => {
+                state.1 = v;
+                v
+            }
+            None => state.1,
+        }
+    }
+}
+
+/// The domain half of a replay: something that can re-apply the
+/// recorded domain inputs deterministically. `ftd-net` implements this
+/// over a fresh `DomainHost` rebuilt from the recorded topology; tests
+/// that only exercise engines use [`NullDomain`].
+pub trait ReplayDomain {
+    /// Re-applies one recorded multicast.
+    fn multicast(&mut self, group: GroupId, payload: Vec<u8>);
+    /// Advances virtual time by `micros` (one recorded pump).
+    fn tick(&mut self, micros: u64);
+    /// Crashes simulated processor `index`.
+    fn crash(&mut self, index: u32);
+    /// Recovers simulated processor `index`.
+    fn recover(&mut self, index: u32);
+    /// Restores checkpointed group state + logged responses (recovery
+    /// seeding of a restarted incarnation).
+    fn restore(
+        &mut self,
+        group: GroupId,
+        state: Option<Vec<u8>>,
+        responses: Vec<(ftd_eternal::OperationId, Vec<u8>)>,
+    );
+    /// Sorted `(group id, replica state)` pairs — the digest input.
+    fn state_bytes(&self) -> Vec<(u32, Vec<u8>)>;
+}
+
+/// A [`ReplayDomain`] that ignores everything — for recordings (or
+/// tests) with no domain side.
+#[derive(Debug, Default)]
+pub struct NullDomain;
+
+impl ReplayDomain for NullDomain {
+    fn multicast(&mut self, _group: GroupId, _payload: Vec<u8>) {}
+    fn tick(&mut self, _micros: u64) {}
+    fn crash(&mut self, _index: u32) {}
+    fn recover(&mut self, _index: u32) {}
+    fn restore(
+        &mut self,
+        _group: GroupId,
+        _state: Option<Vec<u8>>,
+        _responses: Vec<(ftd_eternal::OperationId, Vec<u8>)>,
+    ) {
+    }
+    fn state_bytes(&self) -> Vec<(u32, Vec<u8>)> {
+        Vec::new()
+    }
+}
+
+/// The first point where the replay stopped matching the recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the first diverging event (0-based, counting events
+    /// after the log header).
+    pub event_index: u64,
+    /// What diverged, human-readable.
+    pub detail: String,
+}
+
+/// What a replay produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Digests the *recorded* run wrote at shutdown (empty components if
+    /// the recording was cut off before shutdown).
+    pub recorded: StateDigest,
+    /// Digests computed by this replay.
+    pub replayed: StateDigest,
+    /// The first diverging event, if any.
+    pub divergence: Option<Divergence>,
+    /// Events applied.
+    pub events: u64,
+}
+
+impl ReplayOutcome {
+    /// `true` iff the recorded run closed out with final digests and the
+    /// replay reproduced them bit for bit with no per-event divergence.
+    pub fn matches(&self) -> bool {
+        self.divergence.is_none() && self.complete()
+    }
+
+    /// Whether the recording ran to shutdown (final shard digests were
+    /// written). A torn recording replays as far as it goes but cannot
+    /// be *verified* equal.
+    pub fn complete(&self) -> bool {
+        !self.recorded.shards.is_empty()
+    }
+}
+
+struct ReplayShard {
+    engine: GatewayEngine,
+    clock: Arc<ReplayClock>,
+    actions_hash: u64,
+    events: u64,
+}
+
+/// Re-drives a recording. See the module docs.
+pub struct Replayer {
+    shards: BTreeMap<u32, ReplayShard>,
+    recorded: StateDigest,
+    divergence: Option<Divergence>,
+    events: u64,
+}
+
+impl std::fmt::Debug for Replayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replayer")
+            .field("shards", &self.shards.len())
+            .field("events", &self.events)
+            .finish()
+    }
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("ftd-replay: {msg}"))
+}
+
+impl Replayer {
+    /// Builds the replay engines from the recording's [`EngineSetup`]
+    /// event. Fails if the recording holds none (it is written before
+    /// any traffic, so only a log torn at birth lacks it).
+    pub fn new(events: &[ReplayEvent]) -> io::Result<Replayer> {
+        let setup = events
+            .iter()
+            .find_map(|e| match e {
+                ReplayEvent::EngineSetup(setup) => Some(setup.clone()),
+                _ => None,
+            })
+            .ok_or_else(|| bad("recording has no EngineSetup event".into()))?;
+        Ok(Replayer::with_setup(&setup))
+    }
+
+    /// Builds the replay engines directly from a setup.
+    pub fn with_setup(setup: &EngineSetup) -> Replayer {
+        let mut shards = BTreeMap::new();
+        for shard in 0..setup.shards.max(1) {
+            let config = setup.to_config();
+            let mut engine = GatewayEngine::new(config, BTreeMap::new());
+            let clock = Arc::new(ReplayClock::new());
+            engine.set_clock(clock.clone() as Arc<dyn Clock>);
+            shards.insert(
+                shard,
+                ReplayShard {
+                    engine,
+                    clock,
+                    actions_hash: 0,
+                    events: 0,
+                },
+            );
+        }
+        Replayer {
+            shards,
+            recorded: StateDigest::default(),
+            divergence: None,
+            events: 0,
+        }
+    }
+
+    fn shard(&mut self, shard: u32) -> io::Result<&mut ReplayShard> {
+        self.shards.get_mut(&shard).ok_or_else(|| {
+            bad(format!(
+                "event names shard {shard} beyond the recorded setup"
+            ))
+        })
+    }
+
+    fn diverge(&mut self, index: u64, detail: String) {
+        if self.divergence.is_none() {
+            self.divergence = Some(Divergence {
+                event_index: index,
+                detail,
+            });
+        }
+    }
+
+    fn check_crc(&mut self, index: u64, what: &str, recorded: u32, actions: &[ftd_core::Action]) {
+        let replayed = actions_crc(actions);
+        if replayed != recorded {
+            self.diverge(
+                index,
+                format!("{what}: recorded actions crc {recorded:#010x}, replayed {replayed:#010x}"),
+            );
+        }
+    }
+
+    /// Applies every event in recorded order against `domain`, then
+    /// compares final digests. Structural errors (unknown shard, torn
+    /// setup) are `Err`; *divergence* is a successful outcome with
+    /// `divergence` set.
+    pub fn run(
+        mut self,
+        events: &[ReplayEvent],
+        domain: &mut dyn ReplayDomain,
+    ) -> io::Result<ReplayOutcome> {
+        for (i, event) in events.iter().enumerate() {
+            let index = i as u64;
+            self.events += 1;
+            match event {
+                ReplayEvent::EngineSetup(_) | ReplayEvent::Topology { .. } => {}
+                ReplayEvent::ClockRead { shard, micros } => {
+                    self.shard(*shard)?.clock.feed(*micros);
+                }
+                ReplayEvent::ConnAccepted {
+                    shard,
+                    conn,
+                    actions_crc,
+                } => {
+                    let conn = GwConn(*conn);
+                    let s = self.shard(*shard)?;
+                    let actions = s.engine.on_client_accepted(conn);
+                    Self::fold_shard(s, &actions);
+                    self.check_crc(index, "ConnAccepted", *actions_crc, &actions);
+                }
+                ReplayEvent::ClientMsg {
+                    shard,
+                    conn,
+                    view,
+                    bytes,
+                    actions_crc,
+                } => {
+                    let msg = GiopMessage::decode(bytes)
+                        .map_err(|e| bad(format!("event {index}: undecodable ClientMsg: {e:?}")))?;
+                    let conn = GwConn(*conn);
+                    let s = self.shard(*shard)?;
+                    let actions = s.engine.on_client_message(conn, msg, view);
+                    Self::fold_shard(s, &actions);
+                    self.check_crc(index, "ClientMsg", *actions_crc, &actions);
+                }
+                ReplayEvent::ConnClosed {
+                    shard,
+                    conn,
+                    actions_crc,
+                } => {
+                    let conn = GwConn(*conn);
+                    let s = self.shard(*shard)?;
+                    let actions = s.engine.on_client_closed(conn);
+                    Self::fold_shard(s, &actions);
+                    self.check_crc(index, "ConnClosed", *actions_crc, &actions);
+                }
+                ReplayEvent::Delivery {
+                    shard,
+                    group,
+                    payload,
+                    view,
+                    actions_crc,
+                } => {
+                    let group = GroupId(*group);
+                    let s = self.shard(*shard)?;
+                    let actions = s.engine.on_delivery_from_domain(group, payload, view);
+                    Self::fold_shard(s, &actions);
+                    self.check_crc(index, "Delivery", *actions_crc, &actions);
+                }
+                ReplayEvent::SeedCounter {
+                    shard,
+                    server,
+                    value,
+                } => {
+                    self.shard(*shard)?.engine.seed_counter(*server, *value);
+                }
+                ReplayEvent::RestoreResponse { shard, op, reply } => {
+                    self.shard(*shard)?
+                        .engine
+                        .restore_cached_response(*op, reply.clone());
+                }
+                ReplayEvent::ShardDigest {
+                    shard,
+                    engine,
+                    actions,
+                    events,
+                } => {
+                    self.recorded.shards.push(ShardDigest {
+                        shard: *shard,
+                        engine: *engine,
+                        actions: *actions,
+                        events: *events,
+                    });
+                }
+                ReplayEvent::DomainMulticast { group, payload } => {
+                    domain.multicast(GroupId(*group), payload.clone());
+                }
+                ReplayEvent::DomainTick { micros } => domain.tick(*micros),
+                ReplayEvent::DomainCrash { index } => domain.crash(*index),
+                ReplayEvent::DomainRecover { index } => domain.recover(*index),
+                ReplayEvent::DomainRestore {
+                    group,
+                    state,
+                    responses,
+                } => {
+                    domain.restore(GroupId(*group), state.clone(), responses.clone());
+                }
+                ReplayEvent::DomainDigest { digest, groups } => {
+                    self.recorded.domain = Some(DomainDigest {
+                        digest: *digest,
+                        groups: *groups,
+                    });
+                }
+            }
+        }
+        self.recorded.shards.sort();
+
+        // Final digests from the replayed state.
+        let mut replayed = StateDigest::default();
+        for (&shard, s) in &self.shards {
+            replayed.shards.push(ShardDigest {
+                shard,
+                engine: hash64(&s.engine.state_bytes()),
+                actions: s.actions_hash,
+                events: s.events,
+            });
+        }
+        let domain_state = domain.state_bytes();
+        if self.recorded.domain.is_some() || !domain_state.is_empty() {
+            replayed.domain = Some(DomainDigest {
+                digest: hash_domain_state(&domain_state),
+                groups: domain_state.len() as u32,
+            });
+        }
+
+        // Compare only the components the recording actually closed out
+        // with — a recording torn before shutdown has no final digests,
+        // which is incompleteness (see [`ReplayOutcome::matches`]), not
+        // divergence.
+        if self.divergence.is_none() {
+            if !self.recorded.shards.is_empty() && self.recorded.shards != replayed.shards {
+                self.divergence = Some(Divergence {
+                    event_index: self.events.saturating_sub(1),
+                    detail: "final shard StateDigest mismatch (no per-event divergence)".into(),
+                });
+            } else if self.recorded.domain.is_some() && self.recorded.domain != replayed.domain {
+                self.divergence = Some(Divergence {
+                    event_index: self.events.saturating_sub(1),
+                    detail: "final domain StateDigest mismatch (no per-event divergence)".into(),
+                });
+            }
+        }
+
+        Ok(ReplayOutcome {
+            recorded: self.recorded,
+            replayed,
+            divergence: self.divergence,
+            events: self.events,
+        })
+    }
+
+    fn fold_shard(s: &mut ReplayShard, actions: &[ftd_core::Action]) {
+        s.actions_hash = fold64(s.actions_hash, actions_crc(actions) as u64);
+        s.events += 1;
+    }
+}
+
+/// Convenience: replay a full recording (as returned by
+/// [`crate::read_log`]) against `domain`.
+pub fn replay_events(
+    events: &[ReplayEvent],
+    domain: &mut dyn ReplayDomain,
+) -> io::Result<ReplayOutcome> {
+    Replayer::new(events)?.run(events, domain)
+}
