@@ -1,0 +1,645 @@
+//! `ftd-group-soak` — kill-a-process soak for the out-of-process
+//! gateway group (§3.5's redundant gateways).
+//!
+//! Spawns **three real `ftd-gatewayd` processes** joined into one
+//! gateway group (UDP membership, TCP request/reply relay, one domain
+//! replica per process, all seeded identically), drives enhanced
+//! clients through the group's multi-profile IORs, and `kill -9`s one
+//! member mid-load. The run asserts the paper's strongest group claims:
+//!
+//! * **zero duplicate executions** — every survivor's replica converges
+//!   on exactly the sum of the acknowledged adds;
+//! * **zero lost acknowledged replies** — a probe request *acknowledged
+//!   by the victim* is reissued after the kill and answered
+//!   **byte-identically** from a survivor's relayed-response cache
+//!   (`gateway.reissues_served_from_cache`), without re-execution;
+//! * **membership reacts** — survivors drop the victim from the view on
+//!   missed heartbeats, and client-state GC fires at peers after the
+//!   linger once clients say goodbye (`gateway.clients_gced`).
+//!
+//! ```text
+//! ftd-group-soak [--seed N] [--clients N] [--requests N]
+//!                [--kill-after-ms N] [--gatewayd PATH] [--record DIR]
+//!                [--json PATH]
+//! ```
+//!
+//! The victim is derived from the seed (`seed % 3`), so different CI
+//! seeds kill different members. `--gatewayd` overrides where the
+//! daemon binary lives (default: next to this binary). `--record DIR`
+//! passes `--record-dir DIR/gw-<n>` to every member; replay the whole
+//! group offline with `ftd-replay replay DIR` (one verdict per
+//! process). Exit code 0 iff every assertion held; `--json` writes the
+//! machine-readable report the CI `group` job uploads.
+
+use ftd_giop::{Ior, ReplyStatus};
+use ftd_net::{NetClient, RetryPolicy};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Opts {
+    seed: u64,
+    clients: u32,
+    requests: u32,
+    kill_after_ms: u64,
+    gatewayd: Option<PathBuf>,
+    record: Option<PathBuf>,
+    json: Option<String>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("ftd-group-soak: {msg}");
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse()
+        .unwrap_or_else(|_| die(&format!("bad numeric value: {s}")))
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        seed: 42,
+        clients: 4,
+        requests: 40,
+        kill_after_ms: 600,
+        gatewayd: None,
+        record: None,
+        json: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{what} needs a value")))
+        };
+        match arg.as_str() {
+            "--seed" => opts.seed = parse(&value("--seed")),
+            "--clients" => opts.clients = parse(&value("--clients")),
+            "--requests" => opts.requests = parse(&value("--requests")),
+            "--kill-after-ms" => opts.kill_after_ms = parse(&value("--kill-after-ms")),
+            "--gatewayd" => opts.gatewayd = Some(PathBuf::from(value("--gatewayd"))),
+            "--record" => opts.record = Some(PathBuf::from(value("--record"))),
+            "--json" => opts.json = Some(value("--json")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ftd-group-soak [--seed N] [--clients N] [--requests N] \
+                     [--kill-after-ms N] [--gatewayd PATH] [--record DIR] [--json PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    if opts.clients == 0 || opts.requests == 0 {
+        die("--clients and --requests must be >= 1");
+    }
+    opts
+}
+
+/// The deterministic amount client `i` adds on its `k`-th request —
+/// the same schedule as `ftd-chaos-soak`, so reports are comparable.
+fn amount(i: u32, k: u32) -> u64 {
+    (i as u64 * 37 + k as u64 * 11) % 9 + 1
+}
+
+/// Where the `ftd-gatewayd` binary lives: `--gatewayd`, or next to us.
+fn gatewayd_path(explicit: &Option<PathBuf>) -> PathBuf {
+    if let Some(path) = explicit {
+        return path.clone();
+    }
+    let exe = std::env::current_exe().unwrap_or_else(|e| die(&format!("current_exe: {e}")));
+    let candidate = exe
+        .parent()
+        .unwrap_or_else(|| Path::new("."))
+        .join("ftd-gatewayd");
+    if candidate.exists() {
+        return candidate;
+    }
+    die(&format!(
+        "{} not found — build it (cargo build --bin ftd-gatewayd) or pass --gatewayd PATH",
+        candidate.display()
+    ));
+}
+
+/// Reserves an ephemeral UDP port by bind-and-drop: the kernel hands
+/// out a free port, we release it immediately and pass the number to a
+/// child process. Loopback-only and short-lived, so collisions are
+/// vanishingly rare.
+fn free_udp_port() -> u16 {
+    UdpSocket::bind("127.0.0.1:0")
+        .and_then(|s| s.local_addr())
+        .unwrap_or_else(|e| die(&format!("reserving udp port: {e}")))
+        .port()
+}
+
+/// Same bind-and-drop reservation for a TCP listener port.
+fn free_tcp_port() -> u16 {
+    TcpListener::bind("127.0.0.1:0")
+        .and_then(|l| l.local_addr())
+        .unwrap_or_else(|e| die(&format!("reserving tcp port: {e}")))
+        .port()
+}
+
+/// The spawned members; kills and reaps every survivor on drop so a
+/// failed run never leaks gateway processes.
+struct Members {
+    children: Vec<Option<Child>>,
+}
+
+impl Members {
+    fn kill(&mut self, index: usize) {
+        if let Some(mut child) = self.children[index].take() {
+            let _ = child.kill(); // SIGKILL — no goodbye, no drain
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for Members {
+    fn drop(&mut self) {
+        for i in 0..self.children.len() {
+            self.kill(i);
+        }
+    }
+}
+
+/// Polls `path` until the daemon's atomic IOR write lands, then parses.
+fn wait_for_ior(path: &Path) -> Ior {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Some(line) = text.lines().map(str::trim).find(|l| !l.is_empty()) {
+                match Ior::from_stringified(line) {
+                    Ok(ior) => return ior,
+                    Err(e) => die(&format!("{}: bad IOR: {e:?}", path.display())),
+                }
+            }
+        }
+        if Instant::now() > deadline {
+            die(&format!(
+                "{} never appeared — a member failed to join the group",
+                path.display()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// One `GET /metrics.json` scrape against a member's admin listener.
+fn scrape(addr: SocketAddr) -> Option<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2)).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
+    write!(stream, "GET /metrics.json HTTP/1.0\r\n\r\n").ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let body = response.split_once("\r\n\r\n")?.1;
+    Some(body.to_owned())
+}
+
+/// Extracts `"name":value` from the flat metrics JSON (0 if absent).
+fn metric(body: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    let Some(at) = body.find(&needle) else {
+        return 0;
+    };
+    body[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
+}
+
+/// Scrapes `name` from a member, retrying until `want` holds or the
+/// deadline passes; returns the last value seen either way.
+fn scrape_until(addr: SocketAddr, name: &str, want: impl Fn(u64) -> bool) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let value = scrape(addr).map(|body| metric(&body, name)).unwrap_or(0);
+        if want(value) || Instant::now() > deadline {
+            return value;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+struct ClientOutcome {
+    acked_sum: u64,
+    reconnects: u64,
+    reissues: u64,
+    profile_switches: u64,
+}
+
+/// Drives one load client against the group via a multi-profile IOR.
+/// Same §3.5 discipline as the chaos soak: once a request id is on the
+/// wire it is only ever reissued verbatim, so the group's relayed
+/// Records/replies (or a survivor's replica) keep the add exactly-once
+/// no matter which member dies. A graceful `close` at the end makes the
+/// member announce `ClientGone` to its peers — the GC-after-linger
+/// path.
+fn run_client(ior: Ior, client_index: u32, requests: u32) -> ClientOutcome {
+    let policy = RetryPolicy {
+        retries: 6,
+        backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(200),
+        timeout: Duration::from_secs(2),
+    };
+    let id = 0x5001 + client_index;
+    let start_deadline = Instant::now() + Duration::from_secs(30);
+    let mut client = loop {
+        match NetClient::connect(&ior, Some(id)) {
+            Ok(c) => break c,
+            Err(e) if Instant::now() < start_deadline => {
+                eprintln!("ftd-group-soak: client {client_index} connect retry ({e})");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => die(&format!("client {client_index} never connected: {e}")),
+        }
+    };
+    client
+        .set_read_timeout(Duration::from_secs(2))
+        .expect("read timeout");
+
+    let mut acked_sum = 0u64;
+    for k in 0..requests {
+        let add = amount(client_index, k);
+        let bytes = add.to_be_bytes();
+        let deadline = Instant::now() + Duration::from_secs(120);
+        let mut issued = false;
+        loop {
+            let result = if !issued {
+                client.invoke_retrying("add", &bytes, &policy)
+            } else {
+                match client.is_connected() {
+                    true => client.resend(client.last_request_id(), "add", &bytes),
+                    false => client
+                        .reconnect()
+                        .and_then(|()| client.resend(client.last_request_id(), "add", &bytes)),
+                }
+            };
+            issued = true;
+            match result {
+                Ok(reply) if reply.reply_status == ReplyStatus::NoException => {
+                    acked_sum += add;
+                    break;
+                }
+                Ok(reply) => die(&format!(
+                    "client {client_index} request {k}: unexpected reply status {:?}",
+                    reply.reply_status
+                )),
+                Err(_) if Instant::now() < deadline => {
+                    client.disconnect();
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => die(&format!(
+                    "client {client_index} request {k}: never acknowledged: {e}"
+                )),
+            }
+        }
+        // Pace the load so it straddles the kill and the view change.
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let outcome = ClientOutcome {
+        acked_sum,
+        reconnects: client.reconnects(),
+        reissues: client.reissues(),
+        profile_switches: client.profile_switches(),
+    };
+    let _ = client.close();
+    outcome
+}
+
+fn main() {
+    let opts = parse_opts();
+    let started = Instant::now();
+    let gatewayd = gatewayd_path(&opts.gatewayd);
+    let victim = (opts.seed % 3) as usize; // 0-based member index
+    let work_dir = std::env::temp_dir().join(format!(
+        "ftd-group-soak-{}-{}",
+        std::process::id(),
+        opts.seed
+    ));
+    let _ = std::fs::remove_dir_all(&work_dir);
+    std::fs::create_dir_all(&work_dir).unwrap_or_else(|e| die(&format!("mkdir work dir: {e}")));
+    if let Some(dir) = &opts.record {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // Pre-reserve the membership (UDP) and admin (TCP) ports so every
+    // member can name its peers before any of them is running.
+    let udp_ports: Vec<u16> = (0..3).map(|_| free_udp_port()).collect();
+    let metrics_ports: Vec<u16> = (0..3).map(|_| free_tcp_port()).collect();
+    let ior_files: Vec<PathBuf> = (0..3)
+        .map(|n| work_dir.join(format!("gw-{n}.ior")))
+        .collect();
+
+    let mut members = Members {
+        children: Vec::new(),
+    };
+    for n in 0..3usize {
+        let peers: Vec<String> = (0..3)
+            .filter(|&p| p != n)
+            .map(|p| format!("127.0.0.1:{}", udp_ports[p]))
+            .collect();
+        let mut cmd = Command::new(&gatewayd);
+        cmd.arg("--port")
+            .arg("0")
+            .arg("--seed")
+            .arg(opts.seed.to_string())
+            .arg("--shards")
+            .arg("2")
+            .arg("--group-node")
+            .arg((n + 1).to_string())
+            .arg("--group-listen")
+            .arg(format!("127.0.0.1:{}", udp_ports[n]))
+            .arg("--group-peers")
+            .arg(peers.join(","))
+            .arg("--group-size")
+            .arg("3")
+            .arg("--linger-ms")
+            .arg("300")
+            .arg("--ior-file")
+            .arg(&ior_files[n])
+            .arg("--metrics-addr")
+            .arg(format!("127.0.0.1:{}", metrics_ports[n]))
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        if let Some(dir) = &opts.record {
+            cmd.arg("--record-dir").arg(dir.join(format!("gw-{n}")));
+        }
+        let child = cmd
+            .spawn()
+            .unwrap_or_else(|e| die(&format!("spawning {}: {e}", gatewayd.display())));
+        members.children.push(Some(child));
+    }
+    eprintln!(
+        "ftd-group-soak: seed={} clients={} requests={} victim=gw-{victim} (kill -9 after {}ms)",
+        opts.seed, opts.clients, opts.requests, opts.kill_after_ms
+    );
+
+    // Every member publishes its IOR only once the view reaches 3 — so
+    // three parsed IOR files mean the group formed.
+    let iors: Vec<Ior> = ior_files.iter().map(|p| wait_for_ior(p)).collect();
+    let member_addrs: Vec<SocketAddr> = iors
+        .iter()
+        .map(|ior| {
+            let profile = ior.primary_iiop().expect("iiop profile"); // self is first
+            format!("{}:{}", profile.host, profile.port)
+                .parse()
+                .expect("profile addr")
+        })
+        .collect();
+    let metrics_addrs: Vec<SocketAddr> = metrics_ports
+        .iter()
+        .map(|p| format!("127.0.0.1:{p}").parse().expect("metrics addr"))
+        .collect();
+    let survivors: Vec<usize> = (0..3).filter(|&n| n != victim).collect();
+    eprintln!("ftd-group-soak: group formed, members at {member_addrs:?}");
+
+    // The probe: one add acknowledged BY THE VICTIM, before any load.
+    // Its reply bytes must come back identically from a survivor's
+    // relayed-response cache after the kill. The probe never says
+    // goodbye, so no ClientGone can GC its state early.
+    let mut probe = NetClient::connect(&iors[victim], Some(0xA001))
+        .unwrap_or_else(|e| die(&format!("probe connect: {e}")));
+    probe
+        .set_read_timeout(Duration::from_secs(5))
+        .expect("probe timeout");
+    let probe_reply = probe
+        .invoke("add", &5u64.to_be_bytes())
+        .unwrap_or_else(|e| die(&format!("probe add: {e}")));
+    let probe_id = probe.last_request_id();
+
+    // Don't pull the trigger until the relay demonstrably primed both
+    // survivors' caches with the victim's reply.
+    for &s in &survivors {
+        let cached = scrape_until(
+            metrics_addrs[s],
+            "gateway.replies_cached_for_peer_clients",
+            |v| v >= 1,
+        );
+        if cached == 0 {
+            die(&format!(
+                "gw-{s} never cached the victim's relayed reply — the relay channel is down"
+            ));
+        }
+    }
+    eprintln!("ftd-group-soak: probe acked by gw-{victim} and relayed to both survivors");
+
+    // Load: each client enters through a different member's IOR (that
+    // member's own profile is first), so the victim owns a share of the
+    // connections when it dies.
+    let workers: Vec<_> = (0..opts.clients)
+        .map(|i| {
+            let ior = iors[i as usize % 3].clone();
+            let requests = opts.requests;
+            std::thread::Builder::new()
+                .name(format!("group-client-{i}"))
+                .spawn(move || run_client(ior, i, requests))
+                .expect("spawn client")
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(opts.kill_after_ms));
+    members.kill(victim);
+    eprintln!("ftd-group-soak: killed gw-{victim} (SIGKILL, mid-load)");
+
+    let outcomes: Vec<ClientOutcome> = workers
+        .into_iter()
+        .map(|w| match w.join() {
+            Ok(outcome) => outcome,
+            Err(_) => die("a client thread panicked"),
+        })
+        .collect();
+
+    // Survivors drop the victim on missed heartbeats: group.members
+    // settles at 2 on every survivor.
+    let mut view_members = Vec::new();
+    for &s in &survivors {
+        view_members.push(scrape_until(metrics_addrs[s], "group.members", |v| v == 2));
+    }
+
+    // The §3.5 probe reissue: the victim is gone, so the reconnect walks
+    // the multi-profile IOR to a survivor; the resend carries the
+    // ORIGINAL request id and must be answered from the relayed cache.
+    let reissue_deadline = Instant::now() + Duration::from_secs(30);
+    let replayed = loop {
+        let attempt = if probe.is_connected() {
+            probe.resend(probe_id, "add", &5u64.to_be_bytes())
+        } else {
+            probe
+                .reconnect()
+                .and_then(|()| probe.resend(probe_id, "add", &5u64.to_be_bytes()))
+        };
+        match attempt {
+            Ok(reply) => break reply,
+            Err(e) if Instant::now() < reissue_deadline => {
+                eprintln!("ftd-group-soak: probe reissue retry ({e})");
+                probe.disconnect();
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => die(&format!("probe reissue: {e}")),
+        }
+    };
+
+    let expected_load: u64 = (0..opts.clients)
+        .flat_map(|i| (0..opts.requests).map(move |k| amount(i, k)))
+        .sum();
+    let expected_sum = expected_load + 5; // load + probe
+    let acked_sum: u64 = outcomes.iter().map(|o| o.acked_sum).sum();
+    let reconnects: u64 = outcomes.iter().map(|o| o.reconnects).sum();
+    let reissues: u64 = outcomes.iter().map(|o| o.reissues).sum();
+    let switches: u64 = outcomes.iter().map(|o| o.profile_switches).sum();
+
+    // The verdict read, per survivor: each replica must converge on
+    // exactly the acknowledged sum — more means duplicate executions,
+    // less means lost acknowledged replies.
+    let mut final_values = Vec::new();
+    for &s in &survivors {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let value = loop {
+            let attempt =
+                NetClient::connect(&iors[s], Some(0xFFF0 + s as u32)).and_then(|mut verifier| {
+                    verifier.set_read_timeout(Duration::from_secs(5))?;
+                    verifier.invoke("get", &[])
+                });
+            match attempt {
+                Ok(reply) if reply.body.len() == 8 => {
+                    let mut buf = [0u8; 8];
+                    buf.copy_from_slice(&reply.body);
+                    let value = u64::from_be_bytes(buf);
+                    if value == expected_sum || Instant::now() > deadline {
+                        break value;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Ok(_) => die(&format!("gw-{s} verify get: non-u64 reply")),
+                Err(e) if Instant::now() < deadline => {
+                    eprintln!("ftd-group-soak: gw-{s} verify retry ({e})");
+                    std::thread::sleep(Duration::from_millis(250));
+                }
+                Err(e) => die(&format!("gw-{s} verify get: {e}")),
+            }
+        };
+        final_values.push(value);
+    }
+
+    // Post-run counters from the survivors' admin endpoints.
+    let cache_hits: u64 = survivors
+        .iter()
+        .map(|&s| {
+            scrape_until(
+                metrics_addrs[s],
+                "gateway.reissues_served_from_cache",
+                |v| v >= 1,
+            )
+        })
+        .sum();
+    let clients_gced: u64 = survivors
+        .iter()
+        .map(|&s| scrape_until(metrics_addrs[s], "gateway.clients_gced", |v| v >= 1))
+        .sum();
+    let elapsed = started.elapsed();
+
+    eprintln!(
+        "ftd-group-soak: acked_sum={acked_sum} finals={final_values:?} cache_hits={cache_hits} \
+         clients_gced={clients_gced} reconnects={reconnects} reissues={reissues} \
+         profile_switches={switches}"
+    );
+
+    let mut failures = Vec::new();
+    if replayed.body != probe_reply.body {
+        failures.push(format!(
+            "lost acked reply: probe reissue answered {:?}, the victim acked {:?}",
+            replayed.body, probe_reply.body
+        ));
+    }
+    if acked_sum != expected_load {
+        failures.push(format!(
+            "lost acknowledged adds: acked {acked_sum} != attempted {expected_load}"
+        ));
+    }
+    for (&s, &value) in survivors.iter().zip(&final_values) {
+        if value != expected_sum {
+            failures.push(format!(
+                "exactly-once violated at gw-{s}: final counter {value} != acked sum \
+                 {expected_sum} ({} it)",
+                if value > expected_sum {
+                    "duplicate executions inflated"
+                } else {
+                    "lost acknowledged replies deflated"
+                }
+            ));
+        }
+    }
+    for (&s, &view) in survivors.iter().zip(&view_members) {
+        if view != 2 {
+            failures.push(format!(
+                "gw-{s} never dropped the victim: group.members stuck at {view}"
+            ));
+        }
+    }
+    if cache_hits == 0 {
+        failures.push(
+            "no reissue was served from a relayed-response cache (the probe's should have been)"
+                .to_owned(),
+        );
+    }
+    if clients_gced == 0 {
+        failures.push("no peer GC'd a departed client's relayed state after the linger".to_owned());
+    }
+
+    let passed = failures.is_empty();
+    if let Some(path) = &opts.json {
+        let finals: Vec<String> = survivors
+            .iter()
+            .zip(&final_values)
+            .map(|(&s, &v)| format!("\"gw-{s}\": {v}"))
+            .collect();
+        let json = format!(
+            "{{\n  \"seed\": {},\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \
+             \"victim\": \"gw-{victim}\",\n  \"expected_sum\": {expected_sum},\n  \
+             \"acked_sum\": {acked_sum},\n  \"final_values\": {{ {} }},\n  \
+             \"probe_byte_identical\": {},\n  \"client_reconnects\": {reconnects},\n  \
+             \"client_reissues\": {reissues},\n  \"client_profile_switches\": {switches},\n  \
+             \"survivors\": {{\n    \"reissues_served_from_cache\": {cache_hits},\n    \
+             \"clients_gced\": {clients_gced}\n  }},\n  \
+             \"elapsed_ms\": {},\n  \"passed\": {passed}\n}}\n",
+            opts.seed,
+            opts.clients,
+            opts.requests,
+            finals.join(", "),
+            replayed.body == probe_reply.body,
+            elapsed.as_millis(),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    }
+
+    drop(members); // SIGKILL + reap the survivors before the verdict
+    let _ = std::fs::remove_dir_all(&work_dir);
+
+    if passed {
+        println!(
+            "PASS group seed={} clients={} requests={} victim=gw-{victim} \
+             finals={final_values:?} cache_hits={cache_hits} switches={switches} \
+             elapsed={:.1}s",
+            opts.seed,
+            opts.clients,
+            opts.requests,
+            elapsed.as_secs_f64()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("ftd-group-soak: FAIL: {f}");
+        }
+        println!(
+            "FAIL group seed={} ({} violations)",
+            opts.seed,
+            failures.len()
+        );
+        std::process::exit(1);
+    }
+}

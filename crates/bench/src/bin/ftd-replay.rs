@@ -12,11 +12,14 @@
 //! ftd-replay replay <DIR> [<DIR>...]
 //! ```
 //!
-//! A `DIR` may be a single recording or a directory of per-incarnation
-//! `inc-*` recordings (what `ftd-chaos-soak --restart --record` writes);
-//! the latter replays each incarnation in order. Exit code 0 iff every
-//! replay matched; on divergence the report names the first diverging
-//! event's index and what differed there.
+//! A `DIR` may be a single recording, a directory of per-incarnation
+//! `inc-*` recordings (what `ftd-chaos-soak --restart --record` writes),
+//! or a directory of per-gateway-process `gw-*` recordings (what a
+//! gateway group's members write under a shared recording root, e.g.
+//! `ftd-group-soak --record`) — each `gw-*` may itself hold `inc-*`
+//! subdirectories, and every discovered recording gets its own verdict.
+//! Exit code 0 iff every replay matched; on divergence the report names
+//! the first diverging event's index and what differed there.
 
 use ftd_eternal::{Counter, ObjectRegistry};
 use ftd_replay::ReplayOutcome;
@@ -69,24 +72,47 @@ fn replay_one(dir: &Path) -> bool {
     }
 }
 
-/// `inc-*` subdirectories of a restart recording, in incarnation order.
-/// Empty if `dir` is itself a single recording.
-fn incarnations(dir: &Path) -> Vec<PathBuf> {
+/// Subdirectories of `dir` whose name starts with `prefix`, sorted.
+/// Empty if there are none (e.g. `dir` is itself a single recording).
+fn subdirs(dir: &Path, prefix: &str) -> Vec<PathBuf> {
     let Ok(entries) = std::fs::read_dir(dir) else {
         return Vec::new();
     };
-    let mut incs: Vec<PathBuf> = entries
+    let mut subs: Vec<PathBuf> = entries
         .filter_map(|e| e.ok())
         .map(|e| e.path())
         .filter(|p| {
             p.is_dir()
                 && p.file_name()
                     .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("inc-"))
+                    .is_some_and(|n| n.starts_with(prefix))
         })
         .collect();
-    incs.sort();
-    incs
+    subs.sort();
+    subs
+}
+
+/// `inc-*` incarnations of a restart recording, or the recording itself.
+fn incarnations(dir: PathBuf) -> Vec<PathBuf> {
+    let incs = subdirs(&dir, "inc-");
+    if incs.is_empty() {
+        vec![dir]
+    } else {
+        incs
+    }
+}
+
+/// Expands one command-line `DIR` into the recordings it holds: first
+/// per-gateway-process `gw-*` subdirectories (a gateway group's shared
+/// recording root — one verdict per process), then per-incarnation
+/// `inc-*` subdirectories of each.
+fn discover(dir: PathBuf) -> Vec<PathBuf> {
+    let gws = subdirs(&dir, "gw-");
+    if gws.is_empty() {
+        incarnations(dir)
+    } else {
+        gws.into_iter().flat_map(incarnations).collect()
+    }
 }
 
 fn main() {
@@ -101,13 +127,7 @@ fn main() {
 
     let mut dirs = Vec::new();
     for arg in &args {
-        let dir = PathBuf::from(arg);
-        let incs = incarnations(&dir);
-        if incs.is_empty() {
-            dirs.push(dir);
-        } else {
-            dirs.extend(incs);
-        }
+        dirs.extend(discover(PathBuf::from(arg)));
     }
 
     let mut all_matched = true;

@@ -210,6 +210,12 @@ pub struct EngineConfig {
     /// §3.5 response cache. Off by default: only hosts with stable
     /// storage behind them (`--data-dir`) pay the copy.
     pub persist_responses: bool,
+    /// Relay every reply this gateway delivers to one of its own
+    /// clients as a [`GwMsg::PeerReply`] multicast on the gateway
+    /// group, priming peer gateways' §3.5 relayed-response caches. Off
+    /// by default: only out-of-process gateway groups (where a peer
+    /// cannot see this gateway's domain responses) need the copy.
+    pub relay_replies: bool,
 }
 
 impl EngineConfig {
@@ -224,6 +230,7 @@ impl EngineConfig {
             cache_capacity: 4096,
             max_body: DEFAULT_MAX_BODY_LEN,
             persist_responses: false,
+            relay_replies: false,
         }
     }
 
@@ -270,6 +277,13 @@ impl EngineConfigBuilder {
     /// (hosts with stable storage behind them).
     pub fn persist_responses(mut self, persist: bool) -> Self {
         self.config.persist_responses = persist;
+        self
+    }
+
+    /// Relays every locally delivered reply to peer gateways as a
+    /// [`GwMsg::PeerReply`] (out-of-process gateway groups).
+    pub fn relay_replies(mut self, relay: bool) -> Self {
+        self.config.relay_replies = relay;
         self
     }
 
@@ -786,6 +800,14 @@ impl GatewayEngine {
                     });
                     self.gc_client(client);
                 }
+                GwMsg::PeerReply {
+                    client,
+                    request_id,
+                    server,
+                    reply,
+                } => {
+                    self.on_peer_reply(client, request_id, server, reply, &mut out);
+                }
             }
             return out;
         }
@@ -830,6 +852,22 @@ impl GatewayEngine {
         // (Fig. 5b; §3.2 "collectively").
         if let Some(&conn) = self.client_conns.get(&(op.target, op.client)) {
             if self.conns.contains_key(&conn) {
+                if self.config.relay_replies {
+                    // Out-of-process gateway group: peers cannot see our
+                    // domain's responses, so relay the authoritative
+                    // bytes *before* the client ack — once the client
+                    // holds the reply, some surviving peer must too.
+                    out.push(Action::Multicast {
+                        group: self.config.group,
+                        payload: GwMsg::PeerReply {
+                            client: op.client,
+                            request_id: op.child_seq,
+                            server: op.target,
+                            reply: accepted.clone(),
+                        }
+                        .encode(),
+                    });
+                }
                 out.push(Action::Count {
                     counter: "gateway.replies_delivered",
                 });
@@ -841,6 +879,55 @@ impl GatewayEngine {
             }
         }
         // Not our client (a peer gateway is serving it) — cached only.
+        out.push(Action::Count {
+            counter: "gateway.replies_cached_for_peer_clients",
+        });
+    }
+
+    /// A peer gateway relayed the reply bytes it delivered (or will
+    /// deliver) to its client. Install them in the §3.5 response cache
+    /// so a reissue after that peer's crash is answered byte-identically.
+    ///
+    /// The relayed bytes are authoritative — they are what the client
+    /// actually saw — so they *overwrite* any locally computed reply for
+    /// the same operation (independent domain replicas may interleave
+    /// requests differently, and divergent bytes must not survive).
+    /// Conversely a local response arriving after the relay is
+    /// first-wins-suppressed by the filter and never reaches the cache.
+    /// No gateway-group multicast is emitted here: relaying is the
+    /// delivering gateway's job, and re-relaying would loop.
+    fn on_peer_reply(
+        &mut self,
+        client: u32,
+        request_id: u32,
+        server: GroupId,
+        reply: Vec<u8>,
+        out: &mut Vec<Action>,
+    ) {
+        let op = OperationId {
+            source: self.config.group,
+            target: server,
+            client,
+            parent_ts: 0,
+            child_seq: request_id,
+        };
+        let first = self.filter.accept(op);
+        self.cache_put(op, reply.clone(), out);
+        self.finish_admission(op, out);
+        if first {
+            // Rare but possible: the client already failed over to us
+            // and reissued before the relay arrived; the relay is then
+            // the first acceptable reply and the client is waiting.
+            if let Some(&conn) = self.client_conns.get(&(server, client)) {
+                if self.conns.contains_key(&conn) {
+                    out.push(Action::Count {
+                        counter: "gateway.replies_delivered",
+                    });
+                    out.push(Action::ToClient { conn, bytes: reply });
+                    return;
+                }
+            }
+        }
         out.push(Action::Count {
             counter: "gateway.replies_cached_for_peer_clients",
         });
@@ -1395,5 +1482,219 @@ mod tests {
             .filter(|a| matches!(a, Action::ToBridge { domain: 2, .. }))
             .collect();
         assert_eq!(sends.len(), 2, "both queued requests flush in order");
+    }
+
+    /// A `get` request as an enhanced client with `client_id` would
+    /// send it (service context carrying the id).
+    fn enhanced_request(request_id: u32, client_id: u32) -> Vec<u8> {
+        let mut req = Request {
+            request_id,
+            response_expected: true,
+            object_key: ObjectKey::new(0, 10).to_bytes(),
+            operation: "get".into(),
+            ..Request::default()
+        };
+        req.service_contexts = vec![ServiceContext::new(
+            FT_CLIENT_ID_SERVICE_CONTEXT,
+            client_id.to_be_bytes().to_vec(),
+        )];
+        GiopMessage::Request(req).encode(ByteOrder::Big)
+    }
+
+    #[test]
+    fn relayed_reply_primes_cache_and_serves_reissue_byte_identically() {
+        // Peer gateway B never saw the request; a PeerReply delivery
+        // must leave B able to answer a reissue from its cache.
+        let mut gw = engine(1);
+        let reply = GiopMessage::Reply(Reply::success(5, vec![1, 2, 3])).encode(ByteOrder::Big);
+        let relay = GwMsg::PeerReply {
+            client: 0x5000_0001,
+            request_id: 5,
+            server: GroupId(10),
+            reply: reply.clone(),
+        }
+        .encode();
+        let actions = gw.on_delivery_from_domain(GroupId(100), &relay, &SoloView);
+        assert!(
+            actions.iter().any(|a| matches!(a, Action::Count { counter }
+                if *counter == "gateway.replies_cached_for_peer_clients")),
+            "no local client: cached for the peer's client"
+        );
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, Action::Multicast { .. })),
+            "a relayed reply must never be re-relayed (multicast loop)"
+        );
+
+        // The crashed peer's client fails over to B and reissues.
+        gw.on_client_accepted(GwConn(9));
+        let reissue =
+            gw.on_bytes_from_client(GwConn(9), &enhanced_request(5, 0x5000_0001), &SoloView);
+        assert!(reissue.iter().any(|a| matches!(a, Action::Count { counter }
+                if *counter == "gateway.reissues_served_from_cache")));
+        assert!(
+            reissue
+                .iter()
+                .any(|a| matches!(a, Action::ToClient { bytes, .. } if *bytes == reply)),
+            "reissue answered with the exact relayed bytes"
+        );
+    }
+
+    #[test]
+    fn relayed_bytes_overwrite_the_local_replica_reply() {
+        // B's own domain replica executed the relayed invocation and
+        // produced (possibly divergent) bytes first; the authoritative
+        // relay must win the cache, and B must not deliver twice.
+        let mut gw = engine(1);
+        let client = 0x5000_0002;
+        let local = GiopMessage::Reply(Reply::success(6, vec![0xAA])).encode(ByteOrder::Big);
+        let header = FtHeader {
+            client,
+            source: GroupId(10),
+            target: GroupId(100),
+            kind: OperationKind::Response,
+            parent_ts: 0,
+            child_seq: 6,
+        };
+        let local_payload = DomainMsg::Iiop {
+            header,
+            iiop: local,
+        }
+        .encode();
+        gw.on_delivery_from_domain(GroupId(100), &local_payload, &SoloView);
+
+        let relayed = GiopMessage::Reply(Reply::success(6, vec![0xBB])).encode(ByteOrder::Big);
+        let relay = GwMsg::PeerReply {
+            client,
+            request_id: 6,
+            server: GroupId(10),
+            reply: relayed.clone(),
+        }
+        .encode();
+        let actions = gw.on_delivery_from_domain(GroupId(100), &relay, &SoloView);
+        assert!(
+            !actions.iter().any(|a| matches!(a, Action::ToClient { .. })),
+            "already answered by the local response path"
+        );
+
+        gw.on_client_accepted(GwConn(3));
+        let reissue = gw.on_bytes_from_client(GwConn(3), &enhanced_request(6, client), &SoloView);
+        assert!(
+            reissue
+                .iter()
+                .any(|a| matches!(a, Action::ToClient { bytes, .. } if *bytes == relayed)),
+            "the authoritative relayed bytes win the cache"
+        );
+    }
+
+    #[test]
+    fn local_response_after_relay_is_suppressed_and_does_not_clobber() {
+        let mut gw = engine(1);
+        let client = 0x5000_0003;
+        let relayed = GiopMessage::Reply(Reply::success(7, vec![0xBB])).encode(ByteOrder::Big);
+        let relay = GwMsg::PeerReply {
+            client,
+            request_id: 7,
+            server: GroupId(10),
+            reply: relayed.clone(),
+        }
+        .encode();
+        gw.on_delivery_from_domain(GroupId(100), &relay, &SoloView);
+
+        // B's replica answers later with different bytes: suppressed.
+        let local = GiopMessage::Reply(Reply::success(7, vec![0xAA])).encode(ByteOrder::Big);
+        let header = FtHeader {
+            client,
+            source: GroupId(10),
+            target: GroupId(100),
+            kind: OperationKind::Response,
+            parent_ts: 0,
+            child_seq: 7,
+        };
+        let payload = DomainMsg::Iiop {
+            header,
+            iiop: local,
+        }
+        .encode();
+        let actions = gw.on_delivery_from_domain(GroupId(100), &payload, &SoloView);
+        assert!(actions.iter().any(|a| matches!(a, Action::Count { counter }
+                if *counter == "gateway.duplicate_responses_suppressed")));
+
+        gw.on_client_accepted(GwConn(3));
+        let reissue = gw.on_bytes_from_client(GwConn(3), &enhanced_request(7, client), &SoloView);
+        assert!(reissue
+            .iter()
+            .any(|a| matches!(a, Action::ToClient { bytes, .. } if *bytes == relayed)));
+    }
+
+    #[test]
+    fn relay_replies_config_multicasts_the_delivered_bytes_before_the_ack() {
+        let mut config = EngineConfig::new(0, GroupId(100), 0);
+        config.relay_replies = true;
+        let mut gw = GatewayEngine::new(config, BTreeMap::new());
+        gw.on_client_accepted(GwConn(1));
+        let req = Request {
+            request_id: 3,
+            response_expected: true,
+            object_key: ObjectKey::new(0, 10).to_bytes(),
+            operation: "get".into(),
+            ..Request::default()
+        };
+        let wire = GiopMessage::Request(req).encode(ByteOrder::Big);
+        gw.on_bytes_from_client(GwConn(1), &wire, &SoloView);
+
+        let reply = GiopMessage::Reply(Reply::success(3, vec![9])).encode(ByteOrder::Big);
+        let header = FtHeader {
+            client: 1,
+            source: GroupId(10),
+            target: GroupId(100),
+            kind: OperationKind::Response,
+            parent_ts: 0,
+            child_seq: 3,
+        };
+        let payload = DomainMsg::Iiop {
+            header,
+            iiop: reply.clone(),
+        }
+        .encode();
+        let actions = gw.on_delivery_from_domain(GroupId(100), &payload, &SoloView);
+        let relay_at = actions.iter().position(|a| {
+            matches!(a, Action::Multicast { group, payload }
+            if *group == GroupId(100)
+                && matches!(
+                    GwMsg::decode(payload),
+                    Ok(GwMsg::PeerReply { request_id: 3, reply: r, .. }) if r == reply
+                ))
+        });
+        let ack_at = actions
+            .iter()
+            .position(|a| matches!(a, Action::ToClient { .. }));
+        match (relay_at, ack_at) {
+            (Some(relay), Some(ack)) => {
+                assert!(relay < ack, "relay must precede the client ack")
+            }
+            other => panic!("expected relay + ack, got {other:?} in {actions:?}"),
+        }
+
+        // Without the flag (default), no gateway-group multicast.
+        let mut plain = engine(0);
+        plain.on_client_accepted(GwConn(1));
+        let req = Request {
+            request_id: 3,
+            response_expected: true,
+            object_key: ObjectKey::new(0, 10).to_bytes(),
+            operation: "get".into(),
+            ..Request::default()
+        };
+        plain.on_bytes_from_client(
+            GwConn(1),
+            &GiopMessage::Request(req).encode(ByteOrder::Big),
+            &SoloView,
+        );
+        let actions = plain.on_delivery_from_domain(GroupId(100), &payload, &SoloView);
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, Action::Multicast { group, .. } if *group == GroupId(100))));
     }
 }

@@ -78,6 +78,7 @@ impl GatewayConfig {
             cache_capacity: self.cache_capacity,
             max_body: ftd_giop::DEFAULT_MAX_BODY_LEN,
             persist_responses: false,
+            relay_replies: false,
         }
     }
 }

@@ -13,6 +13,8 @@ use std::fmt;
 pub const KIND_RECORD: u8 = 64;
 /// Payload kind for [`GwMsg::ClientGone`].
 pub const KIND_CLIENT_GONE: u8 = 65;
+/// Payload kind for [`GwMsg::PeerReply`].
+pub const KIND_PEER_REPLY: u8 = 66;
 
 /// Errors decoding gateway coordination messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +59,20 @@ pub enum GwMsg {
         /// The departed client's identifier.
         client: u32,
     },
+    /// The authoritative reply bytes a peer gateway delivered (or is
+    /// about to deliver) to its client, relayed so every gateway's
+    /// §3.5 response cache can answer a reissue of the same request
+    /// byte-identically if that peer fails.
+    PeerReply {
+        /// The client's identifier.
+        client: u32,
+        /// The client's IIOP request id.
+        request_id: u32,
+        /// The server group the request targeted.
+        server: GroupId,
+        /// The full encoded GIOP Reply the owning gateway sent.
+        reply: Vec<u8>,
+    },
 }
 
 impl GwMsg {
@@ -77,6 +93,20 @@ impl GwMsg {
             GwMsg::ClientGone { client } => {
                 let mut v = vec![KIND_CLIENT_GONE];
                 v.extend(client.to_be_bytes());
+                v
+            }
+            GwMsg::PeerReply {
+                client,
+                request_id,
+                server,
+                reply,
+            } => {
+                let mut v = vec![KIND_PEER_REPLY];
+                v.extend(client.to_be_bytes());
+                v.extend(request_id.to_be_bytes());
+                v.extend(server.0.to_be_bytes());
+                v.extend((reply.len() as u32).to_be_bytes());
+                v.extend_from_slice(reply);
                 v
             }
         }
@@ -103,6 +133,19 @@ impl GwMsg {
                 server: GroupId(u32_at(9)?),
             }),
             Some(&KIND_CLIENT_GONE) => Ok(GwMsg::ClientGone { client: u32_at(1)? }),
+            Some(&KIND_PEER_REPLY) => {
+                let len = u32_at(13)? as usize;
+                let reply = bytes
+                    .get(17..17 + len)
+                    .ok_or(GwMsgError::Truncated)?
+                    .to_vec();
+                Ok(GwMsg::PeerReply {
+                    client: u32_at(1)?,
+                    request_id: u32_at(5)?,
+                    server: GroupId(u32_at(9)?),
+                    reply,
+                })
+            }
             _ => Err(GwMsgError::NotGateway),
         }
     }
@@ -135,6 +178,24 @@ mod tests {
     }
 
     #[test]
+    fn peer_reply_round_trip() {
+        let m = GwMsg::PeerReply {
+            client: 0x5000_0001,
+            request_id: 42,
+            server: GroupId(3),
+            reply: vec![0xde, 0xad, 0xbe, 0xef],
+        };
+        assert_eq!(GwMsg::decode(&m.encode()).unwrap(), m);
+        let empty = GwMsg::PeerReply {
+            client: 1,
+            request_id: 1,
+            server: GroupId(1),
+            reply: Vec::new(),
+        };
+        assert_eq!(GwMsg::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
     fn truncation_detected() {
         let m = GwMsg::Record {
             client: 7,
@@ -143,5 +204,19 @@ mod tests {
         }
         .encode();
         assert_eq!(GwMsg::decode(&m[..6]), Err(GwMsgError::Truncated));
+        let m = GwMsg::PeerReply {
+            client: 7,
+            request_id: 9,
+            server: GroupId(3),
+            reply: vec![1, 2, 3, 4, 5],
+        }
+        .encode();
+        for cut in 1..m.len() {
+            assert_eq!(
+                GwMsg::decode(&m[..cut]),
+                Err(GwMsgError::Truncated),
+                "cut at {cut}"
+            );
+        }
     }
 }

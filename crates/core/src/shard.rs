@@ -209,6 +209,9 @@ pub fn classify_delivery(router: &ShardRouter, payload: &[u8]) -> DeliveryRoute 
         return match gw {
             GwMsg::Record { server, .. } => DeliveryRoute::Shard(router.route(server)),
             GwMsg::ClientGone { .. } => DeliveryRoute::All,
+            // A relayed reply lives in the same shard that would serve
+            // the reissue: the one routing `server`'s client requests.
+            GwMsg::PeerReply { server, .. } => DeliveryRoute::Shard(router.route(server)),
         };
     }
     if let Ok(DomainMsg::Iiop { header, .. }) = DomainMsg::decode(payload) {

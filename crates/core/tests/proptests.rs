@@ -19,6 +19,13 @@ fn gwmsg_round_trips() {
         assert_eq!(GwMsg::decode(&record.encode()).unwrap(), record);
         let gone = GwMsg::ClientGone { client: g.u32() };
         assert_eq!(GwMsg::decode(&gone.encode()).unwrap(), gone);
+        let relayed = GwMsg::PeerReply {
+            client: g.u32(),
+            request_id: g.u32(),
+            server: GroupId(g.u32()),
+            reply: g.bytes(63),
+        };
+        assert_eq!(GwMsg::decode(&relayed.encode()).unwrap(), relayed);
     });
 }
 

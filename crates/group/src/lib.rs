@@ -1,0 +1,32 @@
+//! # ftd-group — the out-of-process gateway group
+//!
+//! The paper's §3.5 gateway group made real: independent `ftd-gatewayd`
+//! *processes* discover each other, relay every admitted client request
+//! (and its eventual reply bytes) to all peers, and answer for a
+//! crashed peer from the relayed-response cache while enhanced clients
+//! fail over along a combined multi-profile IOR.
+//!
+//! This crate holds the two process-to-process protocols, std-only and
+//! independent of the gateway engine:
+//!
+//! * [`GroupNode`] — UDP membership: versioned announce/heartbeat/leave
+//!   datagrams, suspect-on-missed-heartbeats, monotonic view numbers,
+//!   and the `group.members` gauge plus view-change counters.
+//! * [`PeerMesh`] — the TCP relay link (`PeerLink`): length-prefixed
+//!   [`RelayMsg`] frames carrying relayed invocations and opaque
+//!   gateway-to-gateway messages (reply bytes, client-failure
+//!   notifications) between members.
+//!
+//! `ftd-net` wires both into `GatewayServer`; this crate knows nothing
+//! about GIOP or the engine — relay payloads are opaque bytes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod link;
+mod node;
+mod wire;
+
+pub use link::{FrameHandler, PeerMesh};
+pub use node::{GroupConfig, GroupMember, GroupNode};
+pub use wire::{GroupMsg, RelayMsg, WireError, MAX_RELAY_FRAME, PROTO_VERSION};

@@ -1,0 +1,347 @@
+//! [`PeerMesh`]: the TCP relay link between gateway group members.
+//!
+//! Every member listens on a relay port and dials every peer the
+//! membership view names. Frames flow one way per connection (the
+//! dialing side writes, the accepting side reads), so a full mesh of N
+//! members carries N·(N−1) directed links — fine at gateway-group
+//! scale. The first frame on every connection is a [`RelayMsg::Hello`]
+//! naming the dialer; every later frame is handed to the `on_frame`
+//! callback together with that node id.
+//!
+//! Delivery is best-effort per link: a write failure drops the
+//! connection and the next broadcast redials (with a short backoff).
+//! The gateway's correctness does not ride on the mesh being lossless —
+//! a missed relay only means a reissued request is re-executed through
+//! the §3.3 dedup filter instead of answered from the relayed cache.
+
+use crate::node::GroupNode;
+use crate::wire::{RelayMsg, PROTO_VERSION};
+use ftd_obs::{names, Clock, Registry};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Called for every frame received from a peer: `(from_node, frame)`.
+pub type FrameHandler = Arc<dyn Fn(u32, RelayMsg) + Send + Sync>;
+
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
+const REDIAL_BACKOFF_US: u64 = 500_000;
+
+struct MeshInner {
+    node: Arc<GroupNode>,
+    clock: Arc<dyn Clock>,
+    registry: Arc<Registry>,
+    conns: Mutex<BTreeMap<u32, TcpStream>>,
+    last_attempt_us: Mutex<BTreeMap<u32, u64>>,
+    readers: Mutex<Vec<TcpStream>>,
+    stop: AtomicBool,
+    local_addr: SocketAddr,
+}
+
+/// The running relay mesh for one gateway process.
+pub struct PeerMesh {
+    inner: Arc<MeshInner>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for PeerMesh {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeerMesh")
+            .field("node", &self.inner.node.node_id())
+            .field("relay", &self.inner.local_addr)
+            .finish()
+    }
+}
+
+impl PeerMesh {
+    /// Starts accepting peer connections on `listener` and readies the
+    /// outbound side. `on_frame` runs on reader threads — it must be
+    /// cheap or hand off (the gateway hands frames to shard queues).
+    pub fn start(
+        node: Arc<GroupNode>,
+        listener: TcpListener,
+        clock: Arc<dyn Clock>,
+        registry: Arc<Registry>,
+        on_frame: FrameHandler,
+    ) -> io::Result<PeerMesh> {
+        let local_addr = listener.local_addr()?;
+        let inner = Arc::new(MeshInner {
+            node,
+            clock,
+            registry,
+            conns: Mutex::new(BTreeMap::new()),
+            last_attempt_us: Mutex::new(BTreeMap::new()),
+            readers: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+            local_addr,
+        });
+        let acceptor = inner.clone();
+        let accept = std::thread::Builder::new()
+            .name(format!("ftd-relay-{}", acceptor.node.node_id()))
+            .spawn(move || acceptor.accept_loop(listener, on_frame))?;
+        Ok(PeerMesh {
+            inner,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The bound relay (TCP) address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Sends one frame to every live peer in the current membership
+    /// view, dialing missing connections (with backoff on recent
+    /// failures). Write errors drop the link; they are counted, not
+    /// returned — see the module docs for why best-effort is sound.
+    pub fn broadcast(&self, msg: &RelayMsg) {
+        self.inner.broadcast(msg);
+    }
+
+    /// Stops the accept loop and closes every link.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.inner.local_addr, CONNECT_TIMEOUT);
+        if let Some(handle) = self.accept.lock().expect("mesh accept").take() {
+            let _ = handle.join();
+        }
+        for (_, conn) in self.inner.conns.lock().expect("mesh conns").iter() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        for conn in self.inner.readers.lock().expect("mesh readers").iter() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for PeerMesh {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl MeshInner {
+    fn accept_loop(self: Arc<Self>, listener: TcpListener, on_frame: FrameHandler) {
+        for stream in listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            if let Ok(clone) = stream.try_clone() {
+                self.readers.lock().expect("mesh readers").push(clone);
+            }
+            let reader = self.clone();
+            let handler = on_frame.clone();
+            let _ = std::thread::Builder::new()
+                .name(format!("ftd-relay-rx-{}", self.node.node_id()))
+                .spawn(move || reader.read_loop(stream, handler));
+        }
+    }
+
+    fn read_loop(self: Arc<Self>, mut stream: TcpStream, on_frame: FrameHandler) {
+        let received = self.registry.counter(names::GROUP_RELAY_FRAMES_RECEIVED);
+        // The first frame must introduce the dialer.
+        let from = match RelayMsg::read_frame(&mut stream) {
+            Ok(Some(RelayMsg::Hello { version, node })) if version == PROTO_VERSION => node,
+            _ => {
+                self.registry.inc(names::GROUP_RELAY_ERRORS);
+                return;
+            }
+        };
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            match RelayMsg::read_frame(&mut stream) {
+                Ok(Some(msg)) => {
+                    received.inc();
+                    on_frame(from, msg);
+                }
+                Ok(None) => return,
+                Err(_) => {
+                    if !self.stop.load(Ordering::SeqCst) {
+                        self.registry.inc(names::GROUP_RELAY_ERRORS);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn broadcast(&self, msg: &RelayMsg) {
+        let peers = self.node.peers();
+        let sent = self.registry.counter(names::GROUP_RELAY_FRAMES_SENT);
+        let mut conns = self.conns.lock().expect("mesh conns");
+        // Prune links to peers no longer in the view.
+        conns.retain(|node, _| peers.iter().any(|p| p.node == *node));
+        for peer in &peers {
+            if let std::collections::btree_map::Entry::Vacant(slot) = conns.entry(peer.node) {
+                match self.dial(peer.node, &peer.host, peer.relay_port) {
+                    Some(stream) => {
+                        slot.insert(stream);
+                    }
+                    None => continue,
+                }
+            }
+            let Some(stream) = conns.get_mut(&peer.node) else {
+                continue;
+            };
+            match msg.write_frame(stream) {
+                Ok(()) => sent.inc(),
+                Err(_) => {
+                    self.registry.inc(names::GROUP_RELAY_ERRORS);
+                    conns.remove(&peer.node);
+                    self.last_attempt_us
+                        .lock()
+                        .expect("mesh attempts")
+                        .insert(peer.node, self.clock.now_micros());
+                }
+            }
+        }
+    }
+
+    fn dial(&self, node: u32, host: &str, port: u16) -> Option<TcpStream> {
+        let now = self.clock.now_micros();
+        {
+            let attempts = self.last_attempt_us.lock().expect("mesh attempts");
+            if let Some(&last) = attempts.get(&node) {
+                if now.saturating_sub(last) < REDIAL_BACKOFF_US {
+                    return None;
+                }
+            }
+        }
+        let addr = format!("{host}:{port}")
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut a| a.next());
+        let stream = addr.and_then(|addr| TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT).ok());
+        match stream {
+            Some(mut stream) => {
+                let _ = stream.set_nodelay(true);
+                let hello = RelayMsg::Hello {
+                    version: PROTO_VERSION,
+                    node: self.node.node_id(),
+                };
+                if hello.write_frame(&mut stream).is_err() {
+                    self.registry.inc(names::GROUP_RELAY_ERRORS);
+                    self.last_attempt_us
+                        .lock()
+                        .expect("mesh attempts")
+                        .insert(node, now);
+                    return None;
+                }
+                self.registry.inc(names::GROUP_RELAY_CONNECTS);
+                self.last_attempt_us
+                    .lock()
+                    .expect("mesh attempts")
+                    .remove(&node);
+                Some(stream)
+            }
+            None => {
+                self.registry.inc(names::GROUP_RELAY_ERRORS);
+                self.last_attempt_us
+                    .lock()
+                    .expect("mesh attempts")
+                    .insert(node, now);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::GroupConfig;
+    use ftd_obs::RealClock;
+
+    fn mesh(node: u32, seeds: Vec<String>, on_frame: FrameHandler) -> (Arc<GroupNode>, PeerMesh) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind relay");
+        let relay_port = listener.local_addr().expect("addr").port();
+        let mut cfg = GroupConfig::new(node);
+        cfg.seeds = seeds;
+        cfg.heartbeat = Duration::from_millis(10);
+        cfg.relay_port = relay_port;
+        cfg.incarnation = node as u64 + 1;
+        let clock = Arc::new(RealClock::new());
+        let registry = Arc::new(Registry::new());
+        let group = GroupNode::start(cfg, clock.clone(), registry.clone()).expect("node");
+        let mesh =
+            PeerMesh::start(group.clone(), listener, clock, registry, on_frame).expect("mesh");
+        (group, mesh)
+    }
+
+    #[test]
+    fn frames_reach_every_peer_with_the_senders_node_id() {
+        let got_b: Arc<Mutex<Vec<(u32, RelayMsg)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_b = got_b.clone();
+        let (node_a, mesh_a) = mesh(1, vec![], Arc::new(|_, _| {}));
+        let (node_b, _mesh_b) = mesh(
+            2,
+            vec![node_a.udp_addr().to_string()],
+            Arc::new(move |from, msg| sink_b.lock().expect("sink").push((from, msg))),
+        );
+        assert!(node_a.wait_for_members(2, Duration::from_secs(5)));
+        assert!(node_b.wait_for_members(2, Duration::from_secs(5)));
+
+        mesh_a.broadcast(&RelayMsg::Invocation {
+            group: 7,
+            payload: vec![1, 2, 3],
+        });
+        mesh_a.broadcast(&RelayMsg::Gateway {
+            payload: vec![9, 9],
+        });
+
+        let mut waited = Duration::ZERO;
+        while got_b.lock().expect("sink").len() < 2 && waited < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+            waited += Duration::from_millis(5);
+        }
+        let got = got_b.lock().expect("sink").clone();
+        assert_eq!(
+            got,
+            vec![
+                (
+                    1,
+                    RelayMsg::Invocation {
+                        group: 7,
+                        payload: vec![1, 2, 3],
+                    }
+                ),
+                (
+                    1,
+                    RelayMsg::Gateway {
+                        payload: vec![9, 9],
+                    }
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn a_dead_peer_does_not_wedge_broadcast() {
+        let (node_a, mesh_a) = mesh(1, vec![], Arc::new(|_, _| {}));
+        let (node_b, mesh_b) = mesh(2, vec![node_a.udp_addr().to_string()], Arc::new(|_, _| {}));
+        assert!(node_a.wait_for_members(2, Duration::from_secs(5)));
+        // Crash b's relay (but not its membership yet): broadcasts from
+        // a keep returning without error while b is suspected.
+        mesh_b.shutdown();
+        node_b.stop(false);
+        for _ in 0..10 {
+            mesh_a.broadcast(&RelayMsg::Gateway { payload: vec![1] });
+        }
+        // Eventually the view prunes b and broadcast targets no one.
+        let mut waited = Duration::ZERO;
+        while node_a.members().len() > 1 && waited < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+            waited += Duration::from_millis(5);
+        }
+        assert_eq!(node_a.members().len(), 1);
+        mesh_a.broadcast(&RelayMsg::Gateway { payload: vec![2] });
+    }
+}

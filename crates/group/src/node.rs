@@ -1,0 +1,522 @@
+//! [`GroupNode`]: the UDP membership/announce protocol.
+//!
+//! Each `ftd-gatewayd` process runs one `GroupNode`. The node announces
+//! itself to a seed list until the seeds answer, heartbeats every known
+//! member, suspects (and removes) members that miss
+//! `suspect_after` consecutive heartbeats, and handles graceful leaves.
+//! Every membership change bumps a monotonic *view number* — the group's
+//! epoch counter, mirroring LLFT's leader-determined membership views.
+//!
+//! The protocol is deliberately symmetric (no leader): the group is
+//! small (gateways, not clients), every member heartbeats every other,
+//! and a partition heals by re-announce. Discovery state lives outside
+//! the recorded gateway boundary — it never reaches engine state, so
+//! wall time here is paced by socket read timeouts and measured through
+//! the injected [`Clock`] seam.
+
+use crate::wire::GroupMsg;
+use ftd_obs::{names, Clock, Registry};
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of one membership node.
+#[derive(Debug, Clone)]
+pub struct GroupConfig {
+    /// This node's id — unique within the group, stable across restarts.
+    pub node: u32,
+    /// UDP bind address for the membership socket (e.g. `127.0.0.1:0`).
+    pub bind: String,
+    /// UDP addresses of peers to announce to (typically every other
+    /// member's `bind`; including our own address is harmless).
+    pub seeds: Vec<String>,
+    /// Host peers should dial for this node's gateway and relay ports.
+    pub advertise_host: String,
+    /// This node's client-facing gateway (IIOP) port.
+    pub gateway_port: u16,
+    /// This node's TCP relay (PeerLink) port.
+    pub relay_port: u16,
+    /// Heartbeat period.
+    pub heartbeat: Duration,
+    /// Consecutive missed heartbeats before a member is suspected and
+    /// removed from the view.
+    pub suspect_after: u32,
+    /// Lifetime tag for this process: any value that differs between
+    /// two lives of the same node id that could overlap in peers'
+    /// views. The caller picks it (a clock read works).
+    pub incarnation: u64,
+}
+
+impl GroupConfig {
+    /// A loopback config with the defaults the soak and tests use.
+    pub fn new(node: u32) -> GroupConfig {
+        GroupConfig {
+            node,
+            bind: "127.0.0.1:0".into(),
+            seeds: Vec::new(),
+            advertise_host: "127.0.0.1".into(),
+            gateway_port: 0,
+            relay_port: 0,
+            heartbeat: Duration::from_millis(50),
+            suspect_after: 6,
+            incarnation: 1,
+        }
+    }
+}
+
+/// One member of the current view, as other nodes should dial it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupMember {
+    /// The member's node id.
+    pub node: u32,
+    /// The member's lifetime tag.
+    pub incarnation: u64,
+    /// Host to dial for `gateway_port` / `relay_port`.
+    pub host: String,
+    /// The member's client-facing gateway port.
+    pub gateway_port: u16,
+    /// The member's TCP relay port.
+    pub relay_port: u16,
+}
+
+struct PeerState {
+    member: GroupMember,
+    udp: SocketAddr,
+    last_heard_us: u64,
+}
+
+#[derive(Default)]
+struct Table {
+    peers: BTreeMap<u32, PeerState>,
+    view: u64,
+}
+
+struct NodeInner {
+    cfg: GroupConfig,
+    local: GroupMember,
+    udp_addr: SocketAddr,
+    table: Mutex<Table>,
+    stop: AtomicBool,
+    leave: AtomicBool,
+    clock: Arc<dyn Clock>,
+    registry: Arc<Registry>,
+}
+
+/// The running membership node. Dropping it leaves the group
+/// gracefully; [`GroupNode::stop`] with `leave = false` simulates a
+/// crash (peers must suspect).
+pub struct GroupNode {
+    inner: Arc<NodeInner>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for GroupNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupNode")
+            .field("node", &self.inner.cfg.node)
+            .field("udp", &self.inner.udp_addr)
+            .finish()
+    }
+}
+
+fn resolve(addr: &str) -> io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("ftd-group: seed address {addr:?} resolved to nothing"),
+        )
+    })
+}
+
+impl GroupNode {
+    /// Binds the membership socket and starts the protocol thread.
+    pub fn start(
+        cfg: GroupConfig,
+        clock: Arc<dyn Clock>,
+        registry: Arc<Registry>,
+    ) -> io::Result<Arc<GroupNode>> {
+        let socket = UdpSocket::bind(&cfg.bind)?;
+        let udp_addr = socket.local_addr()?;
+        let tick = (cfg.heartbeat / 4).max(Duration::from_millis(2));
+        socket.set_read_timeout(Some(tick))?;
+        let seeds: Vec<SocketAddr> = cfg
+            .seeds
+            .iter()
+            .map(|s| resolve(s))
+            .collect::<io::Result<_>>()?;
+        let local = GroupMember {
+            node: cfg.node,
+            incarnation: cfg.incarnation,
+            host: cfg.advertise_host.clone(),
+            gateway_port: cfg.gateway_port,
+            relay_port: cfg.relay_port,
+        };
+        let inner = Arc::new(NodeInner {
+            cfg,
+            local,
+            udp_addr,
+            table: Mutex::new(Table {
+                peers: BTreeMap::new(),
+                view: 1,
+            }),
+            stop: AtomicBool::new(false),
+            leave: AtomicBool::new(true),
+            clock,
+            registry,
+        });
+        inner.registry.set_gauge(names::GROUP_MEMBERS, 1);
+        let worker = inner.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("ftd-group-{}", worker.cfg.node))
+            .spawn(move || worker.run(socket, seeds))?;
+        Ok(Arc::new(GroupNode {
+            inner,
+            handle: Mutex::new(Some(handle)),
+        }))
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> u32 {
+        self.inner.cfg.node
+    }
+
+    /// The bound membership (UDP) address.
+    pub fn udp_addr(&self) -> SocketAddr {
+        self.inner.udp_addr
+    }
+
+    /// The current view number. Starts at 1 (just us) and bumps on
+    /// every join, leave, rejoin, and suspicion.
+    pub fn view(&self) -> u64 {
+        self.inner.table.lock().expect("group table").view
+    }
+
+    /// The current view: this node first, then every live peer in node
+    /// id order.
+    pub fn members(&self) -> Vec<GroupMember> {
+        let table = self.inner.table.lock().expect("group table");
+        let mut out = Vec::with_capacity(1 + table.peers.len());
+        out.push(self.inner.local.clone());
+        out.extend(table.peers.values().map(|p| p.member.clone()));
+        out
+    }
+
+    /// Live peers (the view minus this node), in node id order.
+    pub fn peers(&self) -> Vec<GroupMember> {
+        let table = self.inner.table.lock().expect("group table");
+        table.peers.values().map(|p| p.member.clone()).collect()
+    }
+
+    /// Blocks until the view holds at least `n` members (self
+    /// included) or `timeout` real time elapses; returns whether the
+    /// quorum was reached.
+    pub fn wait_for_members(&self, n: usize, timeout: Duration) -> bool {
+        let deadline = self.inner.clock.now_micros() + timeout.as_micros() as u64;
+        loop {
+            if self.members().len() >= n {
+                return true;
+            }
+            if self.inner.clock.now_micros() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Stops the protocol thread. With `leave = true` a Leave datagram
+    /// is sent to every member first (graceful departure); with `false`
+    /// the node just vanishes and peers suspect it — the in-process
+    /// stand-in for `kill -9`.
+    pub fn stop(&self, leave: bool) {
+        self.inner.leave.store(leave, Ordering::SeqCst);
+        self.inner.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.lock().expect("group handle").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for GroupNode {
+    fn drop(&mut self) {
+        self.stop(true);
+    }
+}
+
+impl NodeInner {
+    fn run(self: Arc<Self>, socket: UdpSocket, seeds: Vec<SocketAddr>) {
+        let hb_us = self.cfg.heartbeat.as_micros().max(1) as u64;
+        let expiry_us = hb_us.saturating_mul(self.cfg.suspect_after.max(1) as u64);
+        let heartbeats_sent = self.registry.counter(names::GROUP_HEARTBEATS_SENT);
+        let heartbeats_received = self.registry.counter(names::GROUP_HEARTBEATS_RECEIVED);
+        let mut next_beat = 0u64;
+        let mut buf = [0u8; 2048];
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match socket.recv_from(&mut buf) {
+                Ok((n, src)) => {
+                    if let Ok(msg) = GroupMsg::decode(&buf[..n]) {
+                        self.on_msg(&socket, msg, src, &heartbeats_received);
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => {}
+            }
+            let now = self.clock.now_micros();
+            if now >= next_beat {
+                next_beat = now + hb_us;
+                self.beat(&socket, &seeds, &heartbeats_sent);
+            }
+            self.expire(now, expiry_us);
+        }
+        if self.leave.load(Ordering::SeqCst) {
+            let leave = GroupMsg::Leave {
+                node: self.cfg.node,
+                incarnation: self.cfg.incarnation,
+            }
+            .encode();
+            let table = self.table.lock().expect("group table");
+            for peer in table.peers.values() {
+                let _ = socket.send_to(&leave, peer.udp);
+            }
+            for seed in &seeds {
+                let _ = socket.send_to(&leave, seed);
+            }
+        }
+    }
+
+    fn announce(&self) -> Vec<u8> {
+        GroupMsg::Announce {
+            node: self.cfg.node,
+            incarnation: self.cfg.incarnation,
+            host: self.cfg.advertise_host.clone(),
+            gateway_port: self.cfg.gateway_port,
+            relay_port: self.cfg.relay_port,
+        }
+        .encode()
+    }
+
+    fn beat(&self, socket: &UdpSocket, seeds: &[SocketAddr], sent: &ftd_obs::Counter) {
+        let heartbeat = GroupMsg::Heartbeat {
+            node: self.cfg.node,
+            incarnation: self.cfg.incarnation,
+        }
+        .encode();
+        let announce = self.announce();
+        let table = self.table.lock().expect("group table");
+        for peer in table.peers.values() {
+            let _ = socket.send_to(&heartbeat, peer.udp);
+            sent.inc();
+        }
+        // Seeds that have not answered yet get the full announce —
+        // either they are down (harmless) or they have not discovered
+        // us (this is how they do).
+        for seed in seeds {
+            let known = *seed == self.udp_addr || table.peers.values().any(|p| p.udp == *seed);
+            if !known {
+                let _ = socket.send_to(&announce, seed);
+            }
+        }
+    }
+
+    fn on_msg(
+        &self,
+        socket: &UdpSocket,
+        msg: GroupMsg,
+        src: SocketAddr,
+        heartbeats_received: &ftd_obs::Counter,
+    ) {
+        match msg {
+            GroupMsg::Announce {
+                node,
+                incarnation,
+                host,
+                gateway_port,
+                relay_port,
+            } => {
+                if node == self.cfg.node {
+                    return;
+                }
+                let host = if host.is_empty() {
+                    src.ip().to_string()
+                } else {
+                    host
+                };
+                let member = GroupMember {
+                    node,
+                    incarnation,
+                    host,
+                    gateway_port,
+                    relay_port,
+                };
+                let now = self.clock.now_micros();
+                let mut table = self.table.lock().expect("group table");
+                let newly_discovered = match table.peers.get_mut(&node) {
+                    Some(existing) if existing.member.incarnation == incarnation => {
+                        existing.member = member;
+                        existing.udp = src;
+                        existing.last_heard_us = now;
+                        false
+                    }
+                    Some(existing) => {
+                        // A different lifetime of the same node id: a
+                        // restart. Replace it and bump the view.
+                        *existing = PeerState {
+                            member,
+                            udp: src,
+                            last_heard_us: now,
+                        };
+                        self.view_change(&mut table, names::GROUP_JOINS);
+                        true
+                    }
+                    None => {
+                        table.peers.insert(
+                            node,
+                            PeerState {
+                                member,
+                                udp: src,
+                                last_heard_us: now,
+                            },
+                        );
+                        self.view_change(&mut table, names::GROUP_JOINS);
+                        true
+                    }
+                };
+                drop(table);
+                if newly_discovered {
+                    // Answer immediately so discovery converges in one
+                    // round trip instead of one heartbeat period.
+                    let _ = socket.send_to(&self.announce(), src);
+                }
+            }
+            GroupMsg::Heartbeat { node, incarnation } => {
+                let mut table = self.table.lock().expect("group table");
+                if let Some(peer) = table.peers.get_mut(&node) {
+                    if peer.member.incarnation == incarnation {
+                        peer.last_heard_us = self.clock.now_micros();
+                        heartbeats_received.inc();
+                    }
+                }
+            }
+            GroupMsg::Leave { node, .. } => {
+                let mut table = self.table.lock().expect("group table");
+                if table.peers.remove(&node).is_some() {
+                    self.view_change(&mut table, names::GROUP_LEAVES);
+                }
+            }
+        }
+    }
+
+    fn expire(&self, now: u64, expiry_us: u64) {
+        let mut table = self.table.lock().expect("group table");
+        let dead: Vec<u32> = table
+            .peers
+            .iter()
+            .filter(|(_, p)| now.saturating_sub(p.last_heard_us) > expiry_us)
+            .map(|(&n, _)| n)
+            .collect();
+        for node in dead {
+            table.peers.remove(&node);
+            self.view_change(&mut table, names::GROUP_SUSPECTS);
+        }
+    }
+
+    fn view_change(&self, table: &mut Table, counter: &'static str) {
+        table.view += 1;
+        self.registry.inc(counter);
+        self.registry.inc(names::GROUP_VIEW_CHANGES);
+        self.registry
+            .set_gauge(names::GROUP_MEMBERS, 1 + table.peers.len() as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftd_obs::RealClock;
+
+    fn start(node: u32, seeds: Vec<String>) -> Arc<GroupNode> {
+        let mut cfg = GroupConfig::new(node);
+        cfg.seeds = seeds;
+        cfg.heartbeat = Duration::from_millis(10);
+        cfg.suspect_after = 5;
+        cfg.gateway_port = 9000 + node as u16;
+        cfg.relay_port = 9100 + node as u16;
+        cfg.incarnation = node as u64 + 1;
+        GroupNode::start(cfg, Arc::new(RealClock::new()), Arc::new(Registry::new()))
+            .expect("start node")
+    }
+
+    #[test]
+    fn two_nodes_discover_each_other_and_bump_the_view() {
+        let a = start(1, vec![]);
+        let b = start(2, vec![a.udp_addr().to_string()]);
+        assert!(a.wait_for_members(2, Duration::from_secs(5)), "a sees b");
+        assert!(b.wait_for_members(2, Duration::from_secs(5)), "b sees a");
+        assert!(a.view() >= 2);
+        let members = a.members();
+        assert_eq!(
+            members.iter().map(|m| m.node).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(members[1].gateway_port, 9002);
+        assert_eq!(members[1].relay_port, 9102);
+        // b lists itself first, then its peer.
+        assert_eq!(
+            b.members().iter().map(|m| m.node).collect::<Vec<_>>(),
+            vec![2, 1]
+        );
+    }
+
+    #[test]
+    fn graceful_leave_removes_the_member() {
+        let a = start(1, vec![]);
+        let b = start(2, vec![a.udp_addr().to_string()]);
+        assert!(a.wait_for_members(2, Duration::from_secs(5)));
+        let view_before = a.view();
+        b.stop(true);
+        let mut waited = Duration::ZERO;
+        while a.members().len() > 1 && waited < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+            waited += Duration::from_millis(5);
+        }
+        assert_eq!(a.members().len(), 1, "leave should prune b");
+        assert!(a.view() > view_before);
+    }
+
+    #[test]
+    fn a_silent_crash_is_suspected_and_pruned() {
+        let a = start(1, vec![]);
+        let b = start(2, vec![a.udp_addr().to_string()]);
+        assert!(a.wait_for_members(2, Duration::from_secs(5)));
+        b.stop(false); // vanish without a Leave
+        let mut waited = Duration::ZERO;
+        while a.members().len() > 1 && waited < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+            waited += Duration::from_millis(5);
+        }
+        assert_eq!(a.members().len(), 1, "suspicion should prune b");
+    }
+
+    #[test]
+    fn three_nodes_converge_through_one_seed() {
+        let a = start(1, vec![]);
+        let b = start(2, vec![a.udp_addr().to_string()]);
+        let c = start(3, vec![a.udp_addr().to_string(), b.udp_addr().to_string()]);
+        for n in [&a, &b, &c] {
+            // a and b never heard of c's address, but c announces to
+            // both; b and c find each other through explicit seeds.
+            let _ = n;
+        }
+        assert!(c.wait_for_members(3, Duration::from_secs(5)), "c sees all");
+        assert!(a.wait_for_members(3, Duration::from_secs(5)), "a sees all");
+        assert!(b.wait_for_members(3, Duration::from_secs(5)), "b sees all");
+    }
+}

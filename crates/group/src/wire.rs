@@ -1,0 +1,443 @@
+//! Wire formats for the gateway group: the UDP membership datagrams and
+//! the length-prefixed TCP relay frames.
+//!
+//! Both protocols are versioned. A membership datagram is
+//! `magic(4) | version(2, BE) | kind(1) | fields`; a relay frame is
+//! `len(4, BE) | kind(1) | fields` where `len` counts everything after
+//! itself. All integers are big-endian. Peers speaking a different
+//! [`PROTO_VERSION`] are rejected, not guessed at — a gateway group is
+//! deployed as one release, and silently mixing framings is how relayed
+//! reply bytes get corrupted.
+
+use std::io::{self, Read, Write};
+
+/// Magic prefix of every membership datagram.
+pub const GROUP_MAGIC: [u8; 4] = *b"FTDG";
+
+/// Protocol version spoken by this build (membership and relay alike).
+pub const PROTO_VERSION: u16 = 1;
+
+/// Hard cap on one relay frame. Bigger than any GIOP body the gateway
+/// admits (16 MiB default `max_body` plus headers), small enough that a
+/// corrupt length prefix cannot balloon into an allocation bomb.
+pub const MAX_RELAY_FRAME: usize = 32 << 20;
+
+const KIND_ANNOUNCE: u8 = 1;
+const KIND_HEARTBEAT: u8 = 2;
+const KIND_LEAVE: u8 = 3;
+
+const RELAY_HELLO: u8 = 1;
+const RELAY_INVOCATION: u8 = 2;
+const RELAY_GATEWAY: u8 = 3;
+
+/// Why a datagram or frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The datagram does not start with [`GROUP_MAGIC`].
+    BadMagic,
+    /// The peer speaks a different protocol version.
+    BadVersion(u16),
+    /// Unknown message kind for this protocol version.
+    BadKind(u8),
+    /// The payload ended before its fields did.
+    Truncated,
+    /// A declared length exceeds [`MAX_RELAY_FRAME`].
+    Oversized(u64),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "not a group datagram (bad magic)"),
+            WireError::BadVersion(v) => write!(f, "peer speaks protocol version {v}"),
+            WireError::BadKind(k) => write!(f, "unknown message kind {k}"),
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::Oversized(n) => write!(f, "frame of {n} bytes exceeds the relay cap"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One UDP membership datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupMsg {
+    /// "I exist (or restarted): here is where to reach me." Sent to
+    /// seeds until they answer, and unicast back to any newly
+    /// discovered member for fast convergence.
+    Announce {
+        /// Sender's node id.
+        node: u32,
+        /// Sender's lifetime tag: a new value per process start, so a
+        /// restart is distinguishable from a late heartbeat.
+        incarnation: u64,
+        /// Host peers should dial for the gateway and relay ports.
+        /// Empty means "use the source address of this datagram".
+        host: String,
+        /// The sender's client-facing gateway (IIOP) port.
+        gateway_port: u16,
+        /// The sender's TCP relay (PeerLink) port.
+        relay_port: u16,
+    },
+    /// Periodic liveness from a known member.
+    Heartbeat {
+        /// Sender's node id.
+        node: u32,
+        /// Sender's lifetime tag; must match the announced one.
+        incarnation: u64,
+    },
+    /// Graceful departure.
+    Leave {
+        /// Sender's node id.
+        node: u32,
+        /// Sender's lifetime tag.
+        incarnation: u64,
+    },
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+impl GroupMsg {
+    /// Encodes the datagram (magic + version + kind + fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        out.extend_from_slice(&GROUP_MAGIC);
+        put_u16(&mut out, PROTO_VERSION);
+        match self {
+            GroupMsg::Announce {
+                node,
+                incarnation,
+                host,
+                gateway_port,
+                relay_port,
+            } => {
+                out.push(KIND_ANNOUNCE);
+                put_u32(&mut out, *node);
+                put_u64(&mut out, *incarnation);
+                let host = host.as_bytes();
+                put_u16(&mut out, host.len().min(u16::MAX as usize) as u16);
+                out.extend_from_slice(&host[..host.len().min(u16::MAX as usize)]);
+                put_u16(&mut out, *gateway_port);
+                put_u16(&mut out, *relay_port);
+            }
+            GroupMsg::Heartbeat { node, incarnation } => {
+                out.push(KIND_HEARTBEAT);
+                put_u32(&mut out, *node);
+                put_u64(&mut out, *incarnation);
+            }
+            GroupMsg::Leave { node, incarnation } => {
+                out.push(KIND_LEAVE);
+                put_u32(&mut out, *node);
+                put_u64(&mut out, *incarnation);
+            }
+        }
+        out
+    }
+
+    /// Decodes one datagram.
+    pub fn decode(buf: &[u8]) -> Result<GroupMsg, WireError> {
+        let mut c = Cursor { buf };
+        if c.take(4)? != GROUP_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = c.u16()?;
+        if version != PROTO_VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        match c.u8()? {
+            KIND_ANNOUNCE => {
+                let node = c.u32()?;
+                let incarnation = c.u64()?;
+                let n = c.u16()? as usize;
+                let host = String::from_utf8_lossy(c.take(n)?).into_owned();
+                Ok(GroupMsg::Announce {
+                    node,
+                    incarnation,
+                    host,
+                    gateway_port: c.u16()?,
+                    relay_port: c.u16()?,
+                })
+            }
+            KIND_HEARTBEAT => Ok(GroupMsg::Heartbeat {
+                node: c.u32()?,
+                incarnation: c.u64()?,
+            }),
+            KIND_LEAVE => Ok(GroupMsg::Leave {
+                node: c.u32()?,
+                incarnation: c.u64()?,
+            }),
+            k => Err(WireError::BadKind(k)),
+        }
+    }
+}
+
+/// One frame on the TCP relay link between two gateways.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayMsg {
+    /// First frame on every connection: who is dialing, speaking what.
+    Hello {
+        /// Sender's protocol version.
+        version: u16,
+        /// Sender's node id.
+        node: u32,
+    },
+    /// An admitted client invocation, relayed to every peer *before*
+    /// the owning gateway forwards it to its own domain replica. The
+    /// payload is the encoded `DomainMsg` the owner multicast; the
+    /// operation identifier rides inside its FT header.
+    Invocation {
+        /// The destination object group id.
+        group: u32,
+        /// The encoded domain message.
+        payload: Vec<u8>,
+    },
+    /// Gateway-to-gateway coordination: an encoded `GwMsg` (reply bytes
+    /// for the §3.5 relayed-response cache, client-failure
+    /// notifications). Opaque to this crate.
+    Gateway {
+        /// The encoded gateway message.
+        payload: Vec<u8>,
+    },
+}
+
+impl RelayMsg {
+    fn body(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            RelayMsg::Hello { version, node } => {
+                out.push(RELAY_HELLO);
+                put_u16(&mut out, *version);
+                put_u32(&mut out, *node);
+            }
+            RelayMsg::Invocation { group, payload } => {
+                out.push(RELAY_INVOCATION);
+                put_u32(&mut out, *group);
+                out.extend_from_slice(payload);
+            }
+            RelayMsg::Gateway { payload } => {
+                out.push(RELAY_GATEWAY);
+                out.extend_from_slice(payload);
+            }
+        }
+        out
+    }
+
+    fn from_body(body: &[u8]) -> Result<RelayMsg, WireError> {
+        let mut c = Cursor { buf: body };
+        match c.u8()? {
+            RELAY_HELLO => Ok(RelayMsg::Hello {
+                version: c.u16()?,
+                node: c.u32()?,
+            }),
+            RELAY_INVOCATION => Ok(RelayMsg::Invocation {
+                group: c.u32()?,
+                payload: c.buf.to_vec(),
+            }),
+            RELAY_GATEWAY => Ok(RelayMsg::Gateway {
+                payload: c.buf.to_vec(),
+            }),
+            k => Err(WireError::BadKind(k)),
+        }
+    }
+
+    /// Writes one length-prefixed frame.
+    pub fn write_frame(&self, w: &mut impl Write) -> io::Result<()> {
+        let body = self.body();
+        let mut frame = Vec::with_capacity(4 + body.len());
+        put_u32(&mut frame, body.len() as u32);
+        frame.extend_from_slice(&body);
+        w.write_all(&frame)
+    }
+
+    /// Reads one frame. `Ok(None)` is a clean EOF at a frame boundary;
+    /// a connection cut mid-frame is an error like any other.
+    pub fn read_frame(r: &mut impl Read) -> io::Result<Option<RelayMsg>> {
+        let mut len = [0u8; 4];
+        match r.read_exact(&mut len) {
+            Ok(()) => {}
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
+        let len = u32::from_be_bytes(len) as usize;
+        if len > MAX_RELAY_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                WireError::Oversized(len as u64).to_string(),
+            ));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        RelayMsg::from_body(&body)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_messages_round_trip() {
+        for msg in [
+            GroupMsg::Announce {
+                node: 2,
+                incarnation: 981,
+                host: "10.0.0.7".into(),
+                gateway_port: 9101,
+                relay_port: 9201,
+            },
+            GroupMsg::Announce {
+                node: 0,
+                incarnation: 1,
+                host: String::new(),
+                gateway_port: 1,
+                relay_port: 2,
+            },
+            GroupMsg::Heartbeat {
+                node: 7,
+                incarnation: 42,
+            },
+            GroupMsg::Leave {
+                node: 7,
+                incarnation: 42,
+            },
+        ] {
+            assert_eq!(GroupMsg::decode(&msg.encode()), Ok(msg));
+        }
+    }
+
+    #[test]
+    fn foreign_versions_and_kinds_are_rejected() {
+        assert_eq!(GroupMsg::decode(b"no"), Err(WireError::Truncated));
+        assert_eq!(GroupMsg::decode(b"nope"), Err(WireError::BadMagic));
+        assert_eq!(
+            GroupMsg::decode(b"XXXX\x00\x01\x02aaaaaaaaaaaa"),
+            Err(WireError::BadMagic)
+        );
+        let mut wrong_version = GroupMsg::Heartbeat {
+            node: 1,
+            incarnation: 1,
+        }
+        .encode();
+        wrong_version[5] = 99;
+        assert_eq!(
+            GroupMsg::decode(&wrong_version),
+            Err(WireError::BadVersion(99))
+        );
+        let mut wrong_kind = GroupMsg::Heartbeat {
+            node: 1,
+            incarnation: 1,
+        }
+        .encode();
+        wrong_kind[6] = 200;
+        assert_eq!(GroupMsg::decode(&wrong_kind), Err(WireError::BadKind(200)));
+    }
+
+    #[test]
+    fn truncated_datagrams_are_truncated_not_panics() {
+        let full = GroupMsg::Announce {
+            node: 3,
+            incarnation: 5,
+            host: "localhost".into(),
+            gateway_port: 80,
+            relay_port: 81,
+        }
+        .encode();
+        for cut in 0..full.len() {
+            assert_eq!(
+                GroupMsg::decode(&full[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn relay_frames_round_trip_over_a_byte_stream() {
+        let msgs = [
+            RelayMsg::Hello {
+                version: PROTO_VERSION,
+                node: 1,
+            },
+            RelayMsg::Invocation {
+                group: 0x77,
+                payload: vec![1, 2, 3, 4],
+            },
+            RelayMsg::Gateway {
+                payload: vec![9; 100],
+            },
+        ];
+        let mut stream = Vec::new();
+        for m in &msgs {
+            m.write_frame(&mut stream).expect("write");
+        }
+        let mut r = &stream[..];
+        for m in &msgs {
+            assert_eq!(
+                RelayMsg::read_frame(&mut r).expect("read").as_ref(),
+                Some(m)
+            );
+        }
+        assert_eq!(RelayMsg::read_frame(&mut r).expect("eof"), None);
+    }
+
+    #[test]
+    fn oversized_and_torn_frames_are_errors() {
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&(MAX_RELAY_FRAME as u32 + 1).to_be_bytes());
+        let mut r = &oversized[..];
+        assert!(RelayMsg::read_frame(&mut r).is_err());
+
+        let mut stream = Vec::new();
+        RelayMsg::Gateway {
+            payload: vec![1; 32],
+        }
+        .write_frame(&mut stream)
+        .expect("write");
+        let torn = &stream[..stream.len() - 5];
+        let mut r = torn;
+        assert!(RelayMsg::read_frame(&mut r).is_err());
+    }
+}

@@ -5,10 +5,17 @@
 //!
 //! ```text
 //! ftd-client [--client-id N] [--repeat N] [--timeout MS] [--retries N]
-//!            [--backoff-ms MS] <IOR:...> <op>[:u64-arg]...
+//!            [--backoff-ms MS] [--ior-file PATH] [<IOR:...>] <op>[:u64-arg]...
 //! ftd-client IOR:000... add:5 add:2 get
 //! ftd-client --repeat 100 IOR:000... get        # latency report
+//! ftd-client --ior-file /tmp/gw.ior add:5 get   # IOR written by ftd-gatewayd
 //! ```
+//!
+//! `--ior-file PATH` reads the stringified IOR from a file (the one
+//! `ftd-gatewayd --ior-file` writes) instead of the command line — handy
+//! for gateway groups, whose multi-profile IORs are long. When given,
+//! the positional IOR is omitted and every positional argument is an
+//! operation.
 //!
 //! With `--repeat N` the whole operation list is invoked `N` times and a
 //! round-trip latency summary (min/p50/p99/max in microseconds, from an
@@ -31,10 +38,14 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+const USAGE: &str = "usage: ftd-client [--client-id N] [--repeat N] [--timeout MS] \
+     [--retries N] [--backoff-ms MS] [--ior-file PATH] [<IOR:...>] <op>[:u64-arg]...";
+
 fn main() {
     let mut client_id = None;
     let mut repeat = 1u64;
     let mut policy = RetryPolicy::default();
+    let mut ior_file: Option<String> = None;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -72,32 +83,50 @@ fn main() {
                 let ms: u64 = v.parse().unwrap_or_else(|_| die("bad --backoff-ms"));
                 policy.backoff = Duration::from_millis(ms);
             }
+            "--ior-file" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| die("--ior-file needs a value"));
+                ior_file = Some(v);
+            }
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: ftd-client [--client-id N] [--repeat N] [--timeout MS] \
-                     [--retries N] [--backoff-ms MS] <IOR:...> <op>[:u64-arg]..."
-                );
+                eprintln!("{USAGE}");
                 std::process::exit(0);
             }
             _ => positional.push(arg),
         }
     }
-    if positional.len() < 2 {
-        die(
-            "usage: ftd-client [--client-id N] [--repeat N] [--timeout MS] \
-             [--retries N] [--backoff-ms MS] <IOR:...> <op>[:u64-arg]...",
-        );
-    }
+    let (ior_text, ops) = match ior_file {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| die(&format!("reading --ior-file {path}: {e}")));
+            let first = text
+                .lines()
+                .map(str::trim)
+                .find(|l| !l.is_empty())
+                .unwrap_or_else(|| die(&format!("--ior-file {path} is empty")))
+                .to_string();
+            if positional.is_empty() {
+                die(USAGE);
+            }
+            (first, &positional[..])
+        }
+        None => {
+            if positional.len() < 2 {
+                die(USAGE);
+            }
+            (positional[0].clone(), &positional[1..])
+        }
+    };
 
-    let ior =
-        Ior::from_stringified(&positional[0]).unwrap_or_else(|e| die(&format!("bad IOR: {e:?}")));
+    let ior = Ior::from_stringified(&ior_text).unwrap_or_else(|e| die(&format!("bad IOR: {e:?}")));
     let mut client = NetClient::connect(&ior, client_id)
         .unwrap_or_else(|e| die(&format!("connect failed: {e}")));
 
     let clock = RealClock::new();
     let latency = Histogram::new();
     for round in 0..repeat {
-        for spec in &positional[1..] {
+        for spec in ops {
             let (operation, args_bytes) = match spec.split_once(':') {
                 Some((op, arg)) => {
                     let n: u64 = arg.parse().unwrap_or_else(|_| die("bad u64 argument"));
@@ -137,9 +166,10 @@ fn main() {
     }
     if client.reconnects() > 0 {
         eprintln!(
-            "ftd-client: reconnects={} reissues={}",
+            "ftd-client: reconnects={} reissues={} profile_switches={}",
             client.reconnects(),
-            client.reissues()
+            client.reissues(),
+            client.profile_switches()
         );
     }
     let _ = client.close();

@@ -10,6 +10,10 @@
 //!              [--group N] [--voting] [--seed N] [--shards N]
 //!              [--gateways N] [--inflight N] [--data-dir DIR]
 //!              [--metrics-addr HOST:PORT] [--max-body-bytes N]
+//!              [--ior-file PATH]
+//!              [--group-node N] [--group-listen HOST:PORT]
+//!              [--group-peers A,B,..] [--group-relay HOST:PORT]
+//!              [--group-size N] [--linger-ms N]
 //! ```
 //!
 //! `--shards` sets the engine shard (thread) count per gateway (default:
@@ -20,8 +24,9 @@
 //!
 //! `--data-dir DIR` turns on stable storage: the domain's per-group
 //! operation logs and checkpoints live under `DIR/domain`, the gateway's
-//! §3.5 response cache and §3.2 client-id counters under `DIR/gateway`.
-//! On start the daemon replays whatever a previous incarnation left
+//! §3.5 response cache and §3.2 client-id counters under `DIR/gateway`
+//! (or `DIR/gw-<g>/gateway` per member of a `--gateways N` pool). On
+//! start the daemon replays whatever a previous incarnation left
 //! behind — recovered object state, re-executed logged invocations, and
 //! a reissue cache that still suppresses duplicates for requests the
 //! dead process answered — and prints the recovery summary on stderr.
@@ -33,10 +38,28 @@
 //! `--record-dir DIR` records every nondeterministic input the gateway
 //! consumes into an `ftd-replay` event log under `DIR`; replay it
 //! offline with `ftd-replay replay DIR`. Single gateway only.
+//!
+//! `--group-node N` joins an **out-of-process gateway group** (§3.5's
+//! redundant gateways): this daemon discovers the processes named by
+//! `--group-peers` (their `--group-listen` UDP addresses), relays every
+//! admitted request and delivered reply to them over TCP
+//! (`--group-relay`), and prints/writes a *multi-profile* IOR naming
+//! every live member, so a client can `kill -9` any one gateway and
+//! fail over to a survivor whose relayed cache answers its reissues
+//! byte-identically. `--group-size N` waits for N members to be in the
+//! view before publishing the IOR; `--linger-ms` is how long a departed
+//! peer's client state lingers before GC. Group mode hosts its own
+//! domain replica per process, so it requires `--gateways 1`.
+//!
+//! `--ior-file PATH` additionally writes the published IOR(s), one per
+//! line, to PATH (atomically: temp file + rename) — how other processes
+//! and the group soak harness pick the IOR up without scraping stdout.
 
 use ftd_core::EngineConfig;
 use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
-use ftd_net::{DomainBackend, DomainHost, DurableHost, GatewayPool, GatewayServer, ServerOptions};
+use ftd_net::{
+    DomainBackend, DomainHost, DurableHost, GatewayPool, GatewayServer, GroupOptions, ServerOptions,
+};
 use ftd_obs::Registry;
 use ftd_replay::{style_tag, GroupSpec, Recorder, ReplayEvent};
 use ftd_store::FsyncPolicy;
@@ -60,6 +83,13 @@ struct Opts {
     inflight: Option<usize>,
     data_dir: Option<PathBuf>,
     record_dir: Option<PathBuf>,
+    ior_file: Option<PathBuf>,
+    group_node: Option<u32>,
+    group_listen: Option<String>,
+    group_peers: Vec<String>,
+    group_relay: Option<String>,
+    group_size: usize,
+    linger_ms: Option<u64>,
 }
 
 fn parse_opts() -> Opts {
@@ -78,6 +108,13 @@ fn parse_opts() -> Opts {
         inflight: None,
         data_dir: None,
         record_dir: None,
+        ior_file: None,
+        group_node: None,
+        group_listen: None,
+        group_peers: Vec::new(),
+        group_relay: None,
+        group_size: 1,
+        linger_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -100,12 +137,27 @@ fn parse_opts() -> Opts {
             "--inflight" => opts.inflight = Some(parse(&value("--inflight"))),
             "--data-dir" => opts.data_dir = Some(PathBuf::from(value("--data-dir"))),
             "--record-dir" => opts.record_dir = Some(PathBuf::from(value("--record-dir"))),
+            "--ior-file" => opts.ior_file = Some(PathBuf::from(value("--ior-file"))),
+            "--group-node" => opts.group_node = Some(parse(&value("--group-node"))),
+            "--group-listen" => opts.group_listen = Some(value("--group-listen")),
+            "--group-peers" => {
+                opts.group_peers = value("--group-peers")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect()
+            }
+            "--group-relay" => opts.group_relay = Some(value("--group-relay")),
+            "--group-size" => opts.group_size = parse(&value("--group-size")),
+            "--linger-ms" => opts.linger_ms = Some(parse(&value("--linger-ms"))),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ftd-gatewayd [--port N] [--domain N] [--processors N] \
                      [--replicas N] [--group N] [--voting] [--seed N] [--shards N] \
                      [--gateways N] [--inflight N] [--data-dir DIR] [--record-dir DIR] \
-                     [--metrics-addr HOST:PORT] [--max-body-bytes N]"
+                     [--metrics-addr HOST:PORT] [--max-body-bytes N] [--ior-file PATH] \
+                     [--group-node N] [--group-listen HOST:PORT] [--group-peers A,B,..] \
+                     [--group-relay HOST:PORT] [--group-size N] [--linger-ms N]"
                 );
                 std::process::exit(0);
             }
@@ -118,13 +170,34 @@ fn parse_opts() -> Opts {
     if opts.gateways == 0 {
         die("--gateways must be >= 1");
     }
-    if opts.data_dir.is_some() && opts.gateways > 1 {
-        die("--data-dir serves a single gateway (pools would share one store)");
-    }
     if opts.record_dir.is_some() && opts.gateways > 1 {
         die("--record-dir serves a single gateway (one recording per gateway process)");
     }
+    if opts.group_node.is_some() && opts.gateways > 1 {
+        die("--group-node joins a group of processes; each runs --gateways 1");
+    }
+    if opts.group_node.is_none()
+        && (opts.group_listen.is_some()
+            || !opts.group_peers.is_empty()
+            || opts.group_relay.is_some()
+            || opts.group_size > 1
+            || opts.linger_ms.is_some())
+    {
+        die(
+            "--group-listen/--group-peers/--group-relay/--group-size/--linger-ms need --group-node",
+        );
+    }
     opts
+}
+
+/// Writes `lines` to `path` atomically (temp file in the same directory,
+/// then rename), so a reader polling the path never sees a torn IOR.
+fn write_ior_file(path: &std::path::Path, lines: &[String]) {
+    let tmp = path.with_extension("tmp");
+    let body = lines.join("\n") + "\n";
+    if let Err(e) = std::fs::write(&tmp, body).and_then(|()| std::fs::rename(&tmp, path)) {
+        die(&format!("writing --ior-file {}: {e}", path.display()));
+    }
 }
 
 fn parse<T: std::str::FromStr>(s: &str) -> T {
@@ -217,6 +290,9 @@ fn main() {
         if let Some(window) = opts.inflight {
             builder = builder.max_inflight(window);
         }
+        if let Some(dir) = &opts.data_dir {
+            builder = builder.data_dir(dir.clone());
+        }
         let pool = builder
             .build()
             .unwrap_or_else(|e| die(&format!("start failed: {e}")));
@@ -228,13 +304,18 @@ fn main() {
             if opts.voting { "voting" } else { "active" },
             pool.len(),
         );
-        for g in 0..pool.len() {
-            println!(
-                "{}",
+        let iors: Vec<String> = (0..pool.len())
+            .map(|g| {
                 pool.gateway(g)
                     .ior("IDL:Counter:1.0", group)
                     .to_stringified()
-            );
+            })
+            .collect();
+        for ior in &iors {
+            println!("{ior}");
+        }
+        if let Some(path) = &opts.ior_file {
+            write_ior_file(path, &iors);
         }
         loop {
             std::thread::sleep(Duration::from_secs(10));
@@ -286,6 +367,20 @@ fn main() {
     if let Some(window) = opts.inflight {
         builder = builder.max_inflight(window);
     }
+    if let Some(node) = opts.group_node {
+        let mut gopts = GroupOptions::new(node);
+        if let Some(listen) = &opts.group_listen {
+            gopts = gopts.listen(listen.clone());
+        }
+        if let Some(relay) = &opts.group_relay {
+            gopts = gopts.relay_listen(relay.clone());
+        }
+        gopts = gopts.seeds(opts.group_peers.iter().cloned());
+        if let Some(ms) = opts.linger_ms {
+            gopts = gopts.linger(Duration::from_millis(ms));
+        }
+        builder = builder.group(gopts);
+    }
     let server = builder
         .build()
         .unwrap_or_else(|e| die(&format!("start failed: {e}")));
@@ -302,7 +397,38 @@ fn main() {
     if let Some(addr) = server.metrics_addr() {
         eprintln!("ftd-gatewayd: metrics on http://{addr}/metrics");
     }
-    println!("{}", server.ior("IDL:Counter:1.0", group).to_stringified());
+
+    // Group mode: hold the IOR back until the view reaches the expected
+    // size, so the published profiles name every member from the start.
+    if opts.group_node.is_some() && opts.group_size > 1 {
+        let mut waited_ms = 0u64;
+        while server.group_members().len() < opts.group_size {
+            if waited_ms > 60_000 {
+                die(&format!(
+                    "group view stuck at {} members (wanted {})",
+                    server.group_members().len(),
+                    opts.group_size
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+            waited_ms += 10;
+        }
+        let members: Vec<String> = server
+            .group_members()
+            .iter()
+            .map(|m| format!("{}@{}:{}", m.node, m.host, m.gateway_port))
+            .collect();
+        eprintln!(
+            "ftd-gatewayd: gateway group view {} [{}]",
+            server.group_view(),
+            members.join(", ")
+        );
+    }
+    let ior = server.group_ior("IDL:Counter:1.0", group).to_stringified();
+    println!("{ior}");
+    if let Some(path) = &opts.ior_file {
+        write_ior_file(path, &[ior]);
+    }
 
     loop {
         std::thread::sleep(Duration::from_secs(10));

@@ -66,9 +66,14 @@ impl Default for RetryPolicy {
 /// A blocking IIOP client connection to a gateway. See the module docs.
 #[derive(Debug)]
 pub struct NetClient {
-    /// Resolved gateway addresses, retained for reconnects.
+    /// Resolved gateway addresses in failover preference order (one
+    /// entry per reachable resolution of each IIOP profile), retained
+    /// for reconnects.
     addrs: Vec<SocketAddr>,
     stream: Option<TcpStream>,
+    /// The address the live (or last) connection dialed — switch
+    /// detection for [`NetClient::profile_switches`].
+    connected_addr: Option<SocketAddr>,
     reader: MessageReader,
     object_key: Vec<u8>,
     client_id: Option<u32>,
@@ -76,19 +81,39 @@ pub struct NetClient {
     read_timeout: Duration,
     reconnects: u64,
     reissues: u64,
+    profile_switches: u64,
     registry: Option<Arc<Registry>>,
 }
 
 impl NetClient {
-    /// Connects to the primary IIOP profile of `ior`. A `client_id` makes
-    /// this an enhanced client (§3.5); `None` makes it a plain one (§3.4).
+    /// Connects through `ior`, walking its IIOP profiles in preference
+    /// order and skipping unreachable ones — a multi-profile IOR (a
+    /// gateway group's [`group_ior`](crate::GatewayServer::group_ior))
+    /// makes this the §3.5 enhanced-client failover: when the connected
+    /// gateway dies, [`NetClient::reconnect`] (or the retrying invoke)
+    /// walks the same list again and lands on a survivor, keeping the
+    /// client id and the request-id sequence across the switch. A
+    /// `client_id` makes this an enhanced client (§3.5); `None` makes
+    /// it a plain one (§3.4).
     pub fn connect(ior: &Ior, client_id: Option<u32>) -> ftd_core::Result<NetClient> {
-        let profile = ior.primary_iiop()?;
-        Self::connect_addr(
-            (profile.host.as_str(), profile.port),
-            profile.object_key,
-            client_id,
-        )
+        let profiles = ior.iiop_profiles()?;
+        let primary = ior.primary_iiop()?;
+        let mut addrs = Vec::new();
+        for profile in &profiles {
+            // A dead member's host may not even resolve any more; it is
+            // skipped here exactly like an unreachable one is at dial.
+            if let Ok(resolved) = (profile.host.as_str(), profile.port).to_socket_addrs() {
+                addrs.extend(resolved);
+            }
+        }
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "no IIOP profile in the IOR resolved to an address",
+            )
+            .into());
+        }
+        Self::connect_resolved(addrs, primary.object_key, client_id)
     }
 
     /// Connects to an explicit address with an explicit object key.
@@ -97,10 +122,18 @@ impl NetClient {
         object_key: Vec<u8>,
         client_id: Option<u32>,
     ) -> ftd_core::Result<NetClient> {
-        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        Self::connect_resolved(addr.to_socket_addrs()?.collect(), object_key, client_id)
+    }
+
+    fn connect_resolved(
+        addrs: Vec<SocketAddr>,
+        object_key: Vec<u8>,
+        client_id: Option<u32>,
+    ) -> ftd_core::Result<NetClient> {
         let mut client = NetClient {
             addrs,
             stream: None,
+            connected_addr: None,
             reader: MessageReader::new(),
             object_key,
             client_id,
@@ -108,6 +141,7 @@ impl NetClient {
             read_timeout: DEFAULT_READ_TIMEOUT,
             reconnects: 0,
             reissues: 0,
+            profile_switches: 0,
             registry: None,
         };
         client.dial()?;
@@ -151,9 +185,23 @@ impl NetClient {
         self.next_request
     }
 
+    /// The gateway address the live (or most recent) connection dialed.
+    pub fn connected_addr(&self) -> Option<SocketAddr> {
+        self.connected_addr
+    }
+
+    /// How many times a redial landed on a *different* gateway address
+    /// than the previous connection — the §3.5 profile switches of a
+    /// multi-profile (gateway group) IOR. Also mirrored to
+    /// [`ftd_obs::names::CLIENT_PROFILE_SWITCHES`] when a registry is
+    /// bound.
+    pub fn profile_switches(&self) -> u64 {
+        self.profile_switches
+    }
+
     fn dial(&mut self) -> io::Result<()> {
         let mut last = None;
-        for addr in &self.addrs {
+        for &addr in &self.addrs {
             match TcpStream::connect(addr) {
                 Ok(stream) => {
                     stream.set_nodelay(true)?;
@@ -162,6 +210,15 @@ impl NetClient {
                     // A dead connection's half-read frame must not
                     // corrupt the next one.
                     self.reader = MessageReader::new();
+                    if let Some(prev) = self.connected_addr {
+                        if prev != addr {
+                            self.profile_switches += 1;
+                            if let Some(registry) = &self.registry {
+                                registry.inc(names::CLIENT_PROFILE_SWITCHES);
+                            }
+                        }
+                    }
+                    self.connected_addr = Some(addr);
                     return Ok(());
                 }
                 Err(e) => last = Some(e),

@@ -1,0 +1,118 @@
+//! Configuration for joining an out-of-process gateway group.
+//!
+//! A *gateway group* (§3.5's redundant gateways) is a set of independent
+//! `ftd-gatewayd` **processes**, each hosting its own deterministic
+//! domain replica, that discover each other over UDP (`ftd-group`'s
+//! [`GroupNode`](ftd_group::GroupNode)), relay every admitted request
+//! and every delivered reply over TCP
+//! ([`PeerMesh`](ftd_group::PeerMesh)), and publish one multi-profile
+//! IOR so an enhanced client can fail over from a crashed member to a
+//! survivor and have its reissue answered byte-identically from the
+//! survivor's relayed-response cache.
+//!
+//! [`GroupOptions`] is the net-side knob bundle:
+//! `GatewayServer::builder().group(GroupOptions::new(1))` turns a
+//! single-process gateway into a group member. See
+//! `GatewayServer::group_ior` for the client-facing side.
+
+use std::time::Duration;
+
+/// How a [`GatewayServer`](crate::GatewayServer) joins a gateway group.
+/// Construct with [`GroupOptions::new`]; every other field has a
+/// loopback-friendly default.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct GroupOptions {
+    /// This member's node id — unique within the group, stable across
+    /// restarts (restarts are told apart by an incarnation tag the
+    /// server derives from its clock).
+    pub node: u32,
+    /// UDP bind address for the membership socket.
+    pub listen: String,
+    /// TCP bind address for the request/reply relay listener.
+    pub relay_listen: String,
+    /// UDP membership addresses of other members to announce to. Every
+    /// member naming at least one live peer (or being named by one) is
+    /// enough — discovery is transitive through the announce echo.
+    pub seeds: Vec<String>,
+    /// Host peers and clients should dial for this member's gateway and
+    /// relay ports. `None` advertises the gateway listener's own IP.
+    pub advertise_host: Option<String>,
+    /// Membership heartbeat period.
+    pub heartbeat: Duration,
+    /// Consecutive missed heartbeats before a member is suspected and
+    /// dropped from the view.
+    pub suspect_after: u32,
+    /// How long a peer's client state (relayed-response cache entries,
+    /// identity) lingers after that peer reports the client gone,
+    /// before it is garbage collected. The §3.5 failover window: a
+    /// client that reconnects to *us* within the linger still finds its
+    /// cached replies.
+    pub linger: Duration,
+}
+
+impl GroupOptions {
+    /// Options for group member `node` with loopback defaults:
+    /// ephemeral membership and relay ports, no seeds, 50 ms
+    /// heartbeats, suspicion after 6 misses, 2 s client-state linger.
+    pub fn new(node: u32) -> GroupOptions {
+        GroupOptions {
+            node,
+            listen: "127.0.0.1:0".into(),
+            relay_listen: "127.0.0.1:0".into(),
+            seeds: Vec::new(),
+            advertise_host: None,
+            heartbeat: Duration::from_millis(50),
+            suspect_after: 6,
+            linger: Duration::from_secs(2),
+        }
+    }
+
+    /// Sets the UDP membership bind address.
+    pub fn listen(mut self, addr: impl Into<String>) -> Self {
+        self.listen = addr.into();
+        self
+    }
+
+    /// Sets the TCP relay bind address.
+    pub fn relay_listen(mut self, addr: impl Into<String>) -> Self {
+        self.relay_listen = addr.into();
+        self
+    }
+
+    /// Adds a peer's UDP membership address to announce to.
+    pub fn seed(mut self, addr: impl Into<String>) -> Self {
+        self.seeds.push(addr.into());
+        self
+    }
+
+    /// Sets every seed at once (replacing any previous list).
+    pub fn seeds(mut self, addrs: impl IntoIterator<Item = String>) -> Self {
+        self.seeds = addrs.into_iter().collect();
+        self
+    }
+
+    /// Sets the host peers and clients dial for this member.
+    pub fn advertise_host(mut self, host: impl Into<String>) -> Self {
+        self.advertise_host = Some(host.into());
+        self
+    }
+
+    /// Sets the membership heartbeat period.
+    pub fn heartbeat(mut self, period: Duration) -> Self {
+        self.heartbeat = period;
+        self
+    }
+
+    /// Sets how many missed heartbeats make a member suspect.
+    pub fn suspect_after(mut self, misses: u32) -> Self {
+        self.suspect_after = misses.max(1);
+        self
+    }
+
+    /// Sets the client-state linger after a peer's client-gone notice.
+    pub fn linger(mut self, linger: Duration) -> Self {
+        self.linger = linger;
+        self
+    }
+}

@@ -21,6 +21,14 @@
 //!   thread and advanced in virtual time.
 //! * [`NetClient`] — a blocking GIOP/IIOP client for real sockets, plain
 //!   (§3.4) or enhanced with the client-id service context (§3.5).
+//! * [`GroupOptions`] — out-of-process **gateway groups** (§3.5's
+//!   redundant gateways): independent gateway processes, each with its
+//!   own deterministic domain replica, discover each other over UDP
+//!   (`ftd-group`), relay every admitted request and delivered reply
+//!   over a TCP mesh, and publish a multi-profile IOR
+//!   ([`GatewayServer::group_ior`]) so an enhanced client fails over to
+//!   a survivor whose relayed-response cache answers its reissues
+//!   byte-identically.
 //! * [`DurableHost`] + [`GatewayStore`] — restart durability: a
 //!   [`DomainBackend`] wrapper that write-ahead logs every group's
 //!   operations (and checkpoints object state) via `ftd-store`, and the
@@ -46,6 +54,7 @@ mod backend;
 mod client;
 mod domain;
 mod durable;
+mod group;
 mod host;
 mod pool;
 pub mod replay;
@@ -56,6 +65,8 @@ pub use backend::DomainBackend;
 pub use client::{NetClient, RetryPolicy};
 pub use domain::{DomainFault, DomainLink, DomainService};
 pub use durable::{DomainRecovery, DurableHost};
+pub use ftd_group::GroupMember;
+pub use group::GroupOptions;
 pub use host::{DomainHost, HostError, HostView};
 pub use pool::{gateway_for_client, GatewayPool, GatewayPoolBuilder};
 pub use replay::{rebuild_domain, replay_recording, HostReplayDomain};

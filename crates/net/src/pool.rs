@@ -29,8 +29,10 @@ use ftd_core::{EngineConfig, Error};
 use ftd_giop::Ior;
 use ftd_obs::Registry;
 use ftd_sim::Stats;
+use ftd_store::FsyncPolicy;
 use ftd_totem::GroupId;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Deterministic client→gateway placement: a splitmix-style avalanche of
@@ -60,6 +62,8 @@ pub struct GatewayPoolBuilder {
     pins: Vec<(GroupId, usize)>,
     host: Option<HostFactory>,
     domain: Option<DomainLink>,
+    data_dir: Option<PathBuf>,
+    fsync: FsyncPolicy,
 }
 
 impl std::fmt::Debug for GatewayPoolBuilder {
@@ -153,6 +157,24 @@ impl GatewayPoolBuilder {
         self
     }
 
+    /// Enables stable storage for every gateway's §3.5 response cache
+    /// and §3.2 client-id counters: gateway `g` of the pool stores under
+    /// `dir/gw-<g>` (so the M write-ahead logs never collide), and a
+    /// restarted pool recovers each member's cache from its own
+    /// subdirectory. See [`crate::GatewayBuilder::data_dir`].
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// The fsync policy for every gateway's write-ahead log (default
+    /// [`FsyncPolicy::Always`]). Only meaningful with
+    /// [`GatewayPoolBuilder::data_dir`].
+    pub fn fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
     /// Starts the domain thread (unless given a [`DomainLink`]) and the
     /// M gateways in front of it.
     pub fn build(self) -> ftd_core::Result<GatewayPool> {
@@ -194,6 +216,11 @@ impl GatewayPoolBuilder {
                 .domain(link.clone());
             if let Some(shards) = self.shards {
                 builder = builder.shards(shards);
+            }
+            if let Some(dir) = &self.data_dir {
+                builder = builder
+                    .data_dir(dir.join(format!("gw-{g}")))
+                    .fsync(self.fsync);
             }
             for &(group, shard) in &self.pins {
                 builder = builder.pin_group(group, shard);
@@ -242,6 +269,8 @@ impl GatewayPool {
             pins: Vec::new(),
             host: None,
             domain: None,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
         }
     }
 

@@ -56,15 +56,17 @@
 
 use crate::backend::DomainBackend;
 use crate::domain::{DomainFault, DomainLink, DomainService, TICK_REAL};
+use crate::group::GroupOptions;
 use crate::host::HostView;
 use crate::store::GatewayStore;
 use ftd_core::{
     classify_client_message, classify_delivery, Action, DeliveryRoute, EngineConfig, Error,
-    GatewayEngine, GwConn, MsgRoute, ShardError, ShardRouter, ENGINE_LATENCY_SERIES,
+    GatewayEngine, GwConn, GwMsg, MsgRoute, ShardError, ShardRouter, ENGINE_LATENCY_SERIES,
     FANOUT_ONCE_COUNTERS,
 };
-use ftd_eternal::{GatewayEndpoint, IorPublisher, OperationId};
+use ftd_eternal::{DomainMsg, GatewayEndpoint, IorPublisher, OperationId, OperationKind};
 use ftd_giop::{ByteOrder, GiopMessage, Ior, MessageReader};
+use ftd_group::{FrameHandler, GroupConfig, GroupMember, GroupNode, PeerMesh, RelayMsg};
 use ftd_obs::{names, Clock, Counter, Histogram, RealClock, Registry};
 use ftd_replay::{EngineSetup, RecordedView, Recorder, RecordingClock, ReplayEvent, ShardTap};
 use ftd_sim::Stats;
@@ -180,6 +182,11 @@ enum ShardEv {
     Closed(u64),
     /// An ordered delivery from the domain routed to this shard.
     Delivery(GroupId, Vec<u8>),
+    /// A peer gateway reported one of its clients gone (an encoded
+    /// [`GwMsg::ClientGone`]); the shard garbage collects that client's
+    /// state after the configured linger, not immediately — the §3.5
+    /// failover window.
+    PeerGone(Vec<u8>),
     /// Stop serving; the queue ahead of this sentinel is drained first.
     Shutdown,
 }
@@ -250,6 +257,7 @@ pub struct GatewayBuilder {
     fsync: FsyncPolicy,
     recorder: Option<Arc<Recorder>>,
     record_err: Option<std::io::Error>,
+    group: Option<GroupOptions>,
 }
 
 impl std::fmt::Debug for GatewayBuilder {
@@ -393,6 +401,20 @@ impl GatewayBuilder {
         self.recorder.clone()
     }
 
+    /// Joins an out-of-process gateway group (§3.5's redundant
+    /// gateways): starts the UDP membership node and the TCP relay mesh
+    /// alongside this gateway, relays every admitted request and every
+    /// delivered reply to the live peers, and turns on
+    /// [`EngineConfig::relay_replies`] so a surviving peer can answer a
+    /// failed-over client's reissue byte-identically from its
+    /// relayed-response cache. Requires an owned domain
+    /// ([`GatewayBuilder::host`]) — each member replicates the domain
+    /// inputs into its *own* deterministic replica.
+    pub fn group(mut self, options: GroupOptions) -> Self {
+        self.group = Some(options);
+        self
+    }
+
     /// Binds the listener, brings the domain up (when built with
     /// [`GatewayBuilder::host`]), spawns the shard/accept/metrics
     /// threads, and returns the serving gateway.
@@ -407,6 +429,12 @@ impl GatewayBuilder {
             return Err(Error::config(
                 "record_dir(..) requires an owned domain (.host(..)); \
                  a shared .domain(..) link cannot be recorded",
+            ));
+        }
+        if self.group.is_some() && self.domain.is_some() {
+            return Err(Error::config(
+                "group(..) requires an owned domain (.host(..)): each group \
+                 member replicates the inputs into its own domain replica",
             ));
         }
         let shards = match self.shards {
@@ -446,9 +474,18 @@ impl GatewayBuilder {
             None => None,
         };
 
+        // Group members relay every reply they deliver: peers host
+        // independent domain replicas and cannot see this gateway's
+        // responses any other way. Decided before the EngineSetup event
+        // below so a recording replays with the same configuration.
+        if self.group.is_some() {
+            config.relay_replies = true;
+        }
+
         // The engine setup goes into the log first (after the store
-        // decision above fixed `persist_responses`): the replayer builds
-        // its engines from exactly this configuration.
+        // decision above fixed `persist_responses` and `relay_replies`):
+        // the replayer builds its engines from exactly this
+        // configuration.
         if let Some(rec) = &self.recorder {
             rec.record(&ReplayEvent::EngineSetup(EngineSetup::from_config(
                 &config,
@@ -539,10 +576,65 @@ impl GatewayBuilder {
         };
 
         let mut shard_txs: Vec<Sender<ShardEv>> = Vec::with_capacity(shards);
-        let mut shard_threads = Vec::with_capacity(shards);
-        for (idx, (engine, tap)) in engines.into_iter().zip(taps.drain(..)).enumerate() {
+        let mut shard_rxs: Vec<Receiver<ShardEv>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
             let (tx, rx) = mpsc::channel();
             shard_txs.push(tx);
+            shard_rxs.push(rx);
+        }
+
+        // Gateway group: membership + relay come up before the shard
+        // threads spawn, so every shard is born holding the mesh handle
+        // and relayed frames (which land on the shard queues) can never
+        // beat the queues' creation.
+        let (group_node, mesh, linger_us) = match self.group {
+            Some(opts) => {
+                let relay_listener = TcpListener::bind(&opts.relay_listen)?;
+                let mut gcfg = GroupConfig::new(opts.node);
+                gcfg.bind = opts.listen.clone();
+                gcfg.seeds = opts.seeds.clone();
+                gcfg.advertise_host = opts
+                    .advertise_host
+                    .clone()
+                    .unwrap_or_else(|| local_addr.ip().to_string());
+                gcfg.gateway_port = local_addr.port();
+                gcfg.relay_port = relay_listener.local_addr()?.port();
+                gcfg.heartbeat = opts.heartbeat;
+                gcfg.suspect_after = opts.suspect_after;
+                // Any value that differs between two lives of this node
+                // id works; discovery metadata lives outside the recorded
+                // deterministic boundary, so a clock read is fine.
+                gcfg.incarnation = clock.now_micros().max(1);
+                let node =
+                    GroupNode::start(gcfg, clock.clone(), registry.clone()).map_err(Error::Io)?;
+                let on_frame = relay_frame_handler(
+                    shard_txs.clone(),
+                    router.clone(),
+                    domain.clone(),
+                    config.group,
+                );
+                let mesh = Arc::new(
+                    PeerMesh::start(
+                        node.clone(),
+                        relay_listener,
+                        clock.clone(),
+                        registry.clone(),
+                        on_frame,
+                    )
+                    .map_err(Error::Io)?,
+                );
+                (Some(node), Some(mesh), opts.linger.as_micros() as u64)
+            }
+            None => (None, None, 0),
+        };
+
+        let mut shard_threads = Vec::with_capacity(shards);
+        for (idx, ((engine, tap), rx)) in engines
+            .into_iter()
+            .zip(taps.drain(..))
+            .zip(shard_rxs.drain(..))
+            .enumerate()
+        {
             let shard = Shard::new(
                 idx,
                 engine,
@@ -552,6 +644,9 @@ impl GatewayBuilder {
                 store.clone(),
                 clock.clone(),
                 tap,
+                mesh.clone(),
+                config.group,
+                linger_us,
             );
             let shard_shared = shared.clone();
             shard_threads.push(
@@ -625,6 +720,7 @@ impl GatewayBuilder {
             local_addr,
             metrics_addr,
             publisher,
+            domain_id: config.domain,
             shard_txs,
             router,
             domain,
@@ -633,6 +729,8 @@ impl GatewayBuilder {
             sink_alive,
             store,
             recorder: self.recorder,
+            group_node,
+            mesh,
             shard_threads,
             accept_thread: Some(accept_thread),
             metrics_thread,
@@ -647,6 +745,7 @@ pub struct GatewayServer {
     local_addr: SocketAddr,
     metrics_addr: Option<SocketAddr>,
     publisher: IorPublisher,
+    domain_id: u32,
     shard_txs: Vec<Sender<ShardEv>>,
     router: Arc<ShardRouter>,
     domain: DomainLink,
@@ -655,6 +754,8 @@ pub struct GatewayServer {
     sink_alive: Arc<AtomicBool>,
     store: Option<Arc<GatewayStore>>,
     recorder: Option<Arc<Recorder>>,
+    group_node: Option<Arc<GroupNode>>,
+    mesh: Option<Arc<PeerMesh>>,
     shard_threads: Vec<JoinHandle<ShardFinal>>,
     accept_thread: Option<JoinHandle<()>>,
     metrics_thread: Option<JoinHandle<()>>,
@@ -688,6 +789,7 @@ impl GatewayServer {
             fsync: FsyncPolicy::Always,
             recorder: None,
             record_err: None,
+            group: None,
         }
     }
 
@@ -749,6 +851,53 @@ impl GatewayServer {
     /// gateway's real host and port (§3.1 — clients never see replicas).
     pub fn ior(&self, type_id: &str, group: GroupId) -> Ior {
         self.publisher.publish(type_id, group)
+    }
+
+    /// Publishes a **multi-profile** IOR for `group` naming every live
+    /// gateway-group member (§3.5: "the object references contain
+    /// multiple gateway profiles"), this gateway first and then its
+    /// peers in node-id order — the enhanced client's failover
+    /// preference order. Without [`GatewayBuilder::group`] this is
+    /// [`GatewayServer::ior`].
+    pub fn group_ior(&self, type_id: &str, group: GroupId) -> Ior {
+        match &self.group_node {
+            Some(node) => IorPublisher::new(
+                self.domain_id,
+                node.members()
+                    .into_iter()
+                    .map(|m| GatewayEndpoint {
+                        host: m.host,
+                        port: m.gateway_port,
+                    })
+                    .collect(),
+            )
+            .publish(type_id, group),
+            None => self.ior(type_id, group),
+        }
+    }
+
+    /// The current gateway-group membership view (this member first,
+    /// then live peers in node-id order). Empty without
+    /// [`GatewayBuilder::group`].
+    pub fn group_members(&self) -> Vec<GroupMember> {
+        self.group_node
+            .as_ref()
+            .map(|n| n.members())
+            .unwrap_or_default()
+    }
+
+    /// The UDP address this member's membership protocol answers on —
+    /// what another member passes as a seed ([`GroupOptions::seed`]).
+    /// `None` without [`GatewayBuilder::group`].
+    pub fn group_addr(&self) -> Option<std::net::SocketAddr> {
+        self.group_node.as_ref().map(|n| n.udp_addr())
+    }
+
+    /// The gateway group's monotonic view number (0 without
+    /// [`GatewayBuilder::group`]; starts at 1 and bumps on every join,
+    /// leave, and suspicion).
+    pub fn group_view(&self) -> u64 {
+        self.group_node.as_ref().map(|n| n.view()).unwrap_or(0)
     }
 
     /// A snapshot of the per-connection / per-group statistics counters
@@ -835,6 +984,15 @@ impl GatewayServer {
             if let Some(store) = &self.store {
                 let _ = store.checkpoint(&counters, &cached_replies);
             }
+        }
+        // The mesh outlived the shards so their final relays flushed;
+        // now leave the group — gracefully with a Leave datagram, or by
+        // vanishing (kill) so the peers exercise suspicion.
+        if let Some(mesh) = &self.mesh {
+            mesh.shutdown();
+        }
+        if let Some(node) = &self.group_node {
+            node.stop(graceful);
         }
         if let Some(domain) = self.owned_domain.take() {
             domain.shutdown();
@@ -1100,6 +1258,19 @@ struct Shard {
     domain: DomainLink,
     registry: Arc<Registry>,
     store: Option<Arc<GatewayStore>>,
+    /// The relay mesh when this gateway is a group member: engine
+    /// multicasts fan to the peer processes, not just the local domain.
+    mesh: Option<Arc<PeerMesh>>,
+    /// The engine's gateway group — multicasts addressed to it are peer
+    /// coordination and travel the mesh *only* (each process's domain is
+    /// private; a peer cannot hear the local domain's deliveries).
+    gw_group: GroupId,
+    /// How long a peer's client-gone notice lingers before the GC runs.
+    linger_us: u64,
+    /// Deferred peer client-gone payloads: `(deadline_us, GwMsg bytes)`,
+    /// FIFO (notices arrive in real-time order, so deadlines are
+    /// monotone).
+    gone_queue: VecDeque<(u64, Vec<u8>)>,
     counters: BTreeMap<&'static str, Arc<Counter>>,
     latency: BTreeMap<u32, Arc<Histogram>>,
     reply_latency: Arc<Histogram>,
@@ -1119,6 +1290,9 @@ impl Shard {
         store: Option<Arc<GatewayStore>>,
         clock: Arc<dyn Clock>,
         tap: Option<ShardTap>,
+        mesh: Option<Arc<PeerMesh>>,
+        gw_group: GroupId,
+        linger_us: u64,
     ) -> Shard {
         let bytes_out = registry.counter("net.bytes_out");
         let reply_latency = registry.histogram("net.reply_latency_us");
@@ -1139,6 +1313,10 @@ impl Shard {
             domain,
             registry,
             store,
+            mesh,
+            gw_group,
+            linger_us,
+            gone_queue: VecDeque::new(),
             counters: BTreeMap::new(),
             latency: BTreeMap::new(),
             reply_latency,
@@ -1219,7 +1397,29 @@ impl Shard {
                         entry.writer.close();
                     }
                 }
-                Action::Multicast { group, payload } => self.domain.multicast(group, payload),
+                Action::Multicast { group, payload } => match &self.mesh {
+                    // Gateway-group coordination (Record / ClientGone /
+                    // PeerReply) in an out-of-process group rides the
+                    // mesh only: the local domain is private to this
+                    // process, so multicasting it there reaches no peer,
+                    // and the engine already applied the local effect.
+                    Some(mesh) if group == self.gw_group => {
+                        mesh.broadcast(&RelayMsg::Gateway { payload });
+                    }
+                    // A server-group invocation: relay the §3.5 op copy
+                    // to every peer *before* forwarding to the local
+                    // domain (relay-before-execute, mirroring the
+                    // paper's record-before-forward), then let the local
+                    // replica execute it.
+                    Some(mesh) => {
+                        mesh.broadcast(&RelayMsg::Invocation {
+                            group: group.0,
+                            payload: payload.clone(),
+                        });
+                        self.domain.multicast(group, payload);
+                    }
+                    None => self.domain.multicast(group, payload),
+                },
                 Action::BridgeConnect { .. } | Action::ToBridge { .. } => {
                     // The net front end serves a single domain; it has no
                     // wide-area routes, so the engine never targets a peer
@@ -1276,6 +1476,39 @@ impl Shard {
                     self.latency_hist(group.0).observe(micros);
                 }
             }
+        }
+    }
+
+    /// Runs one ordered delivery through the engine (recorded when a
+    /// tap is attached) and applies the resulting actions. Used for
+    /// domain deliveries, relayed peer frames, and lingered client-GC
+    /// notices alike — they all replay identically.
+    fn process_delivery(&mut self, group: GroupId, payload: &[u8]) {
+        let view = self.domain.view();
+        let actions = match self.tap.as_mut() {
+            Some(tap) => {
+                let rv = recorded_view(&view);
+                tap.on_delivery(&mut self.engine, group, payload, &rv)
+            }
+            None => self.engine.on_delivery_from_domain(group, payload, &*view),
+        };
+        self.apply(actions);
+    }
+
+    /// Garbage collects peer clients whose linger expired: their
+    /// [`GwMsg::ClientGone`] payloads finally reach the engine through
+    /// the ordinary (recorded) delivery path.
+    fn drain_expired_gone(&mut self) {
+        if self.gone_queue.is_empty() {
+            return;
+        }
+        let now_us = self.clock.now_micros();
+        while let Some(&(deadline_us, _)) = self.gone_queue.front() {
+            if deadline_us > now_us {
+                break;
+            }
+            let (_, payload) = self.gone_queue.pop_front().expect("non-empty gone queue");
+            self.process_delivery(self.gw_group, &payload);
         }
     }
 
@@ -1363,17 +1596,14 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
                     shard.conns.remove(&id);
                 }
                 ShardEv::Delivery(group, payload) => {
-                    let view = shard.domain.view();
-                    let actions = match shard.tap.as_mut() {
-                        Some(tap) => {
-                            let rv = recorded_view(&view);
-                            tap.on_delivery(&mut shard.engine, group, &payload, &rv)
-                        }
-                        None => shard
-                            .engine
-                            .on_delivery_from_domain(group, &payload, &*view),
-                    };
-                    shard.apply(actions);
+                    shard.process_delivery(group, &payload);
+                }
+                ShardEv::PeerGone(payload) => {
+                    // A peer lost its client. Hold the GC for the linger
+                    // window: the client may be failing over to *us*, and
+                    // its relayed cache entries must survive the switch.
+                    let deadline_us = shard.clock.now_micros().saturating_add(shard.linger_us);
+                    shard.gone_queue.push_back((deadline_us, payload));
                 }
                 ShardEv::Shutdown => stop = true,
             }
@@ -1387,6 +1617,8 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
             let (id, msg, cost) = shard.deferred.pop_front().expect("non-empty deferred");
             shard.process_msg(id, msg, cost);
         }
+
+        shard.drain_expired_gone();
 
         // A wedged window (replies lost to chaos, oneway floods) decays
         // instead of starving the shard forever.
@@ -1416,6 +1648,61 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
         counters: shard.engine.counters().clone(),
         cached: shard.engine.drain_cached_responses(),
     }
+}
+
+/// Builds the [`PeerMesh`] frame handler: what this gateway does with
+/// each frame a group peer relays to it. Runs on mesh reader threads —
+/// everything is handed off to the shard queues or the domain thread.
+///
+/// * A relayed **invocation** is the §3.5 "record the request at every
+///   gateway of the group" copy: the handler synthesizes the same
+///   [`GwMsg::Record`] delivery an in-process peer would have seen
+///   (admission bookkeeping on the owning shard) and then multicasts
+///   the untouched payload into the *local* domain replica — every
+///   member executes the same inputs, so a survivor's replica holds the
+///   state a failed-over client expects.
+/// * A relayed **gateway message** is peer coordination:
+///   [`GwMsg::PeerReply`] routes to the shard owning its server group
+///   (priming the relayed-response cache), [`GwMsg::ClientGone`] fans
+///   to every shard as a lingered [`ShardEv::PeerGone`].
+///
+/// Send failures mean the shards are shutting down — frames are
+/// dropped, matching the mesh's best-effort contract.
+fn relay_frame_handler(
+    shard_txs: Vec<Sender<ShardEv>>,
+    router: Arc<ShardRouter>,
+    domain: DomainLink,
+    gw_group: GroupId,
+) -> FrameHandler {
+    Arc::new(move |_from, msg| match msg {
+        RelayMsg::Hello { .. } => {}
+        RelayMsg::Invocation { group, payload } => {
+            if let Ok(DomainMsg::Iiop { header, .. }) = DomainMsg::decode(&payload) {
+                if header.kind == OperationKind::Invocation {
+                    let record = GwMsg::Record {
+                        client: header.client,
+                        request_id: header.child_seq,
+                        server: header.target,
+                    }
+                    .encode();
+                    let _ = shard_txs[router.route(header.target)]
+                        .send(ShardEv::Delivery(gw_group, record));
+                }
+            }
+            domain.multicast(GroupId(group), payload);
+        }
+        RelayMsg::Gateway { payload } => match GwMsg::decode(&payload) {
+            Ok(GwMsg::ClientGone { .. }) => {
+                for tx in &shard_txs {
+                    let _ = tx.send(ShardEv::PeerGone(payload.clone()));
+                }
+            }
+            Ok(GwMsg::PeerReply { server, .. }) | Ok(GwMsg::Record { server, .. }) => {
+                let _ = shard_txs[router.route(server)].send(ShardEv::Delivery(gw_group, payload));
+            }
+            Err(_) => {}
+        },
+    })
 }
 
 /// Snapshots a [`HostView`] into the value type the replay log stores

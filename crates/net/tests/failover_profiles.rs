@@ -1,0 +1,174 @@
+//! §3.5 multi-profile IOR failover: an enhanced client consumes an IOR
+//! carrying several IIOP profiles (one per gateway-group member), walks
+//! them in preference order, skips unreachable ones, and — when the
+//! profile it is connected through dies — switches to the next live
+//! profile while keeping its client id and request-id sequence, so the
+//! surviving gateway's dedup filter and response cache still apply.
+
+use ftd_chaos::{ChaosProxy, FaultPlan};
+use ftd_core::EngineConfig;
+use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
+use ftd_giop::{IiopProfile, Ior};
+use ftd_net::{DomainHost, GatewayServer, NetClient, RetryPolicy, ServerOptions};
+use ftd_totem::GroupId;
+use std::net::{SocketAddr, TcpListener};
+use std::time::Duration;
+
+const GROUP: GroupId = GroupId(10);
+
+fn registry() -> ObjectRegistry {
+    let mut reg = ObjectRegistry::new();
+    reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+    reg
+}
+
+fn start_server(domain: u32, seed: u64) -> GatewayServer {
+    let config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), 0);
+    GatewayServer::builder()
+        .addr("127.0.0.1:0")
+        .config(config)
+        .options(ServerOptions::default())
+        .host(move || {
+            let mut host = DomainHost::try_start(domain, 4, seed, registry)?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            Ok::<_, ftd_core::Error>(host)
+        })
+        .build()
+        .expect("bind loopback")
+}
+
+/// A loopback address nothing is listening on: bind an ephemeral port,
+/// note it, drop the listener. Dials are refused immediately.
+fn dead_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    listener.local_addr().expect("local addr")
+}
+
+/// Rebuilds `server`'s single-profile IOR as a multi-profile one whose
+/// IIOP profiles point at `addrs` in that order (same object key).
+fn multi_profile_ior(server: &GatewayServer, addrs: &[SocketAddr]) -> Ior {
+    let key = server
+        .ior("IDL:Counter:1.0", GROUP)
+        .primary_iiop()
+        .expect("iiop profile")
+        .object_key;
+    Ior::with_iiop_profiles(
+        "IDL:Counter:1.0",
+        addrs
+            .iter()
+            .map(|a| IiopProfile::new(a.ip().to_string(), a.port(), key.clone())),
+    )
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        retries: 6,
+        backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(200),
+        timeout: Duration::from_secs(3),
+    }
+}
+
+/// The first profile is dead; connect skips it and lands on the second
+/// without counting a switch (nothing was connected before).
+#[test]
+fn connect_skips_unreachable_profiles_in_preference_order() {
+    let server = start_server(31, 0xBEEF);
+    let ior = multi_profile_ior(&server, &[dead_addr(), server.local_addr()]);
+
+    let mut client = NetClient::connect(&ior, Some(0x61)).expect("connect via second profile");
+    assert_eq!(
+        client.connected_addr(),
+        Some(server.local_addr()),
+        "landed on the first *reachable* profile"
+    );
+    assert_eq!(client.profile_switches(), 0, "initial dial is not a switch");
+
+    let r = client.invoke("add", &3u64.to_be_bytes()).expect("add 3");
+    assert_eq!(r.body, 3u64.to_be_bytes());
+}
+
+/// With every profile live, the first one wins — preference order, not
+/// load balancing.
+#[test]
+fn connect_prefers_the_first_live_profile() {
+    let server = start_server(32, 0xF00D);
+    let decoy = ChaosProxy::start("127.0.0.1:0", server.local_addr(), FaultPlan::clean(7))
+        .expect("decoy proxy");
+
+    let ior = multi_profile_ior(&server, &[server.local_addr(), decoy.local_addr()]);
+    let client = NetClient::connect(&ior, Some(0x62)).expect("connect");
+    assert_eq!(client.connected_addr(), Some(server.local_addr()));
+
+    decoy.shutdown();
+}
+
+/// An IOR whose profiles all point at dead addresses fails to connect
+/// rather than hanging.
+#[test]
+fn connect_fails_when_no_profile_is_reachable() {
+    let server = start_server(33, 0x0DD5);
+    let ior = multi_profile_ior(&server, &[dead_addr(), dead_addr()]);
+    assert!(NetClient::connect(&ior, Some(0x63)).is_err());
+}
+
+/// Kill the profile the client is connected through: the redial walks
+/// the profile list again, skips the dead entry, and switches to the
+/// survivor — same client id, request-id sequence intact, so the
+/// reissued request is deduplicated/continued rather than replayed as a
+/// fresh client. Two clean chaos proxies in front of ONE gateway stand
+/// in for two group members sharing relayed state.
+#[test]
+fn profile_switch_preserves_client_id_and_request_id_sequence() {
+    let server = start_server(34, 0xCAFE);
+    let via_a = ChaosProxy::start("127.0.0.1:0", server.local_addr(), FaultPlan::clean(1))
+        .expect("proxy a");
+    let via_b = ChaosProxy::start("127.0.0.1:0", server.local_addr(), FaultPlan::clean(2))
+        .expect("proxy b");
+    let addr_a = via_a.local_addr();
+    let addr_b = via_b.local_addr();
+
+    let ior = multi_profile_ior(&server, &[addr_a, addr_b]);
+    let mut client = NetClient::connect(&ior, Some(0x64)).expect("connect");
+    assert_eq!(client.connected_addr(), Some(addr_a), "preferred profile");
+
+    let r1 = client
+        .invoke_retrying("add", &5u64.to_be_bytes(), &policy())
+        .expect("add 5");
+    assert_eq!(r1.body, 5u64.to_be_bytes());
+
+    // Profile A dies: listener closed, live connection reset.
+    via_a.shutdown();
+
+    let r2 = client
+        .invoke_retrying("add", &7u64.to_be_bytes(), &policy())
+        .expect("add 7 survives the profile death");
+    assert_eq!(
+        r2.body,
+        12u64.to_be_bytes(),
+        "request id advanced past the pre-switch add — a restarted \
+         sequence would collide with it and return the cached 5"
+    );
+    assert_eq!(client.connected_addr(), Some(addr_b), "moved to profile B");
+    assert_eq!(client.profile_switches(), 1, "exactly one switch");
+    assert!(client.reconnects() >= 1);
+
+    let r3 = client
+        .invoke_retrying("get", &[], &policy())
+        .expect("final get");
+    assert_eq!(r3.body, 12u64.to_be_bytes(), "5 + 7, each exactly once");
+
+    // Reconnecting to the SAME profile (e.g. a plain broken pipe) is not
+    // a switch: only movement between profiles counts.
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.counter("gateway.duplicates_filtered"),
+        0,
+        "sequence continuity means no duplicate ids reached the filter"
+    );
+    via_b.shutdown();
+}

@@ -1,0 +1,215 @@
+//! Out-of-process gateway group, in-process harness: two group-mode
+//! [`GatewayServer`]s — each with its *own* deterministic domain replica
+//! seeded identically — discover each other over UDP, relay every
+//! admitted request and delivered reply over the TCP mesh, and publish
+//! a multi-profile IOR. Killing one mid-session exercises the §3.5
+//! story end to end: the enhanced client walks the IOR to the survivor,
+//! keeps its client id and request-id sequence, and a reissued request
+//! is answered byte-identically from the survivor's relayed-response
+//! cache without re-executing.
+
+use ftd_core::EngineConfig;
+use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
+use ftd_net::{DomainHost, GatewayServer, GroupOptions, NetClient, RetryPolicy, ServerOptions};
+use ftd_totem::GroupId;
+use std::time::{Duration, Instant};
+
+const GROUP: GroupId = GroupId(10);
+const SEED: u64 = 0x6120;
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn registry() -> ObjectRegistry {
+    let mut reg = ObjectRegistry::new();
+    reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+    reg
+}
+
+/// Starts one group member: its own gateway, its own domain replica
+/// (same domain id, same seed — state-machine replication of the
+/// relayed inputs), its own membership node.
+fn start_member(domain: u32, node: u32, opts: GroupOptions) -> GatewayServer {
+    let config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), node);
+    GatewayServer::builder()
+        .addr("127.0.0.1:0")
+        .config(config)
+        .options(ServerOptions::default())
+        .group(opts)
+        .host(move || {
+            let mut host = DomainHost::try_start(domain, 4, SEED, registry)?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            Ok::<_, ftd_core::Error>(host)
+        })
+        .build()
+        .expect("bind loopback")
+}
+
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        retries: 8,
+        backoff: Duration::from_millis(20),
+        max_backoff: Duration::from_millis(200),
+        timeout: Duration::from_secs(3),
+    }
+}
+
+/// The full §3.5 redundant-gateway walk: relay primes the survivor's
+/// cache, the member dies without a goodbye, the client fails over and
+/// reissues, the survivor answers from the relayed-response cache.
+#[test]
+fn killed_member_reissue_served_from_survivor_relayed_cache() {
+    let gw1 = start_member(
+        41,
+        1,
+        GroupOptions::new(1).linger(Duration::from_millis(150)),
+    );
+    let seed_addr = gw1.group_addr().expect("gw1 runs a group node");
+    let gw2 = start_member(
+        41,
+        2,
+        GroupOptions::new(2)
+            .seed(seed_addr.to_string())
+            .linger(Duration::from_millis(150)),
+    );
+
+    wait_until("both members see the full view", || {
+        gw1.group_members().len() == 2 && gw2.group_members().len() == 2
+    });
+
+    // The multi-profile IOR from gw1: itself first, gw2 second.
+    let ior = gw1.group_ior("IDL:Counter:1.0", GROUP);
+    let profiles = ior.iiop_profiles().expect("iiop profiles");
+    assert_eq!(profiles.len(), 2, "one profile per member");
+    assert_eq!(profiles[0].port, gw1.local_addr().port(), "self first");
+    assert_eq!(profiles[1].port, gw2.local_addr().port());
+
+    let mut client = NetClient::connect(&ior, Some(0x55)).expect("connect");
+    assert_eq!(client.connected_addr(), Some(gw1.local_addr()));
+
+    let r1 = client
+        .invoke_retrying("add", &5u64.to_be_bytes(), &policy())
+        .expect("add 5");
+    assert_eq!(r1.body, 5u64.to_be_bytes());
+    let acked_id = client.last_request_id();
+    let r2 = client
+        .invoke_retrying("add", &7u64.to_be_bytes(), &policy())
+        .expect("add 7");
+    assert_eq!(r2.body, 12u64.to_be_bytes());
+
+    // Relay primes the survivor before anything fails: gw2 has cached
+    // gw1's authoritative reply bytes for a client it has never met.
+    wait_until("gw2 caches the relayed replies", || {
+        gw2.stats()
+            .counter("gateway.replies_cached_for_peer_clients")
+            >= 2
+    });
+
+    // gw1 dies the unclean way — no Leave datagram, no drain. gw2 must
+    // notice via missed heartbeats and drop it from the view.
+    gw1.kill();
+    wait_until("gw2 suspects the dead member", || {
+        gw2.group_members().len() == 1
+    });
+    assert!(gw2.group_view() >= 3, "join + suspicion bumped the view");
+
+    // The client's next invocation finds gw1's port closed, walks the
+    // IOR to gw2, and keeps its identity: same client id, request-id
+    // sequence continuing where it left off.
+    let r3 = client
+        .invoke_retrying("get", &[], &policy())
+        .expect("get after failover");
+    assert_eq!(
+        r3.body,
+        12u64.to_be_bytes(),
+        "the survivor's replica executed the relayed adds"
+    );
+    assert_eq!(client.connected_addr(), Some(gw2.local_addr()));
+    assert_eq!(client.profile_switches(), 1);
+
+    // The §3.5 probe: reissue an ALREADY-ACKED request under its
+    // original id. gw2 never executed this admission for the client —
+    // it must answer byte-identically from the relayed-response cache.
+    let reissued = client
+        .resend(acked_id, "add", &5u64.to_be_bytes())
+        .expect("reissue of the acked add");
+    assert_eq!(
+        reissued.body, r1.body,
+        "byte-identical reply from the relayed cache"
+    );
+
+    let r4 = client
+        .invoke_retrying("get", &[], &policy())
+        .expect("final get");
+    assert_eq!(
+        r4.body,
+        12u64.to_be_bytes(),
+        "the reissue did not re-execute: still 5 + 7"
+    );
+
+    let stats = gw2.shutdown();
+    assert!(
+        stats.counter("gateway.reissues_served_from_cache") >= 1,
+        "the reissue was a cache hit at the survivor"
+    );
+}
+
+/// Graceful client close at one member propagates `ClientGone` through
+/// the mesh; the peer GC's the client's relayed state only after the
+/// configured linger, keeping the §3.5 failover window open.
+#[test]
+fn client_gone_gc_at_peers_after_linger() {
+    let gw1 = start_member(
+        42,
+        1,
+        GroupOptions::new(1).linger(Duration::from_millis(100)),
+    );
+    let seed_addr = gw1.group_addr().expect("group node");
+    let gw2 = start_member(
+        42,
+        2,
+        GroupOptions::new(2)
+            .seed(seed_addr.to_string())
+            .linger(Duration::from_millis(100)),
+    );
+    wait_until("full view", || {
+        gw1.group_members().len() == 2 && gw2.group_members().len() == 2
+    });
+
+    let ior = gw1.group_ior("IDL:Counter:1.0", GROUP);
+    let mut client = NetClient::connect(&ior, Some(0x77)).expect("connect");
+    let r = client
+        .invoke_retrying("add", &9u64.to_be_bytes(), &policy())
+        .expect("add 9");
+    assert_eq!(r.body, 9u64.to_be_bytes());
+    wait_until("relay reached gw2", || {
+        gw2.stats()
+            .counter("gateway.replies_cached_for_peer_clients")
+            >= 1
+    });
+
+    client.close().expect("graceful close");
+    // gw1 GC's its own state immediately (no counter — the ClientGone
+    // goes out over the mesh, not back through its own domain); gw2
+    // holds the relayed state for the linger, then GC's and counts.
+    wait_until("gw2 gc after linger", || {
+        gw2.stats().counter("gateway.clients_gced") >= 1
+    });
+
+    // A graceful member shutdown says goodbye: the view shrinks via
+    // Leave, not suspicion.
+    let hb_before = gw2.stats().counter("group.heartbeats_received");
+    gw1.shutdown();
+    wait_until("leave shrinks the view", || gw2.group_members().len() == 1);
+    assert!(hb_before >= 1, "heartbeats flowed while both lived");
+    gw2.shutdown();
+}

@@ -104,6 +104,57 @@ fn two_gateways_serve_one_domain_with_partitioned_clients() {
     );
 }
 
+/// A pool with stable storage: every member keeps its gateway store in
+/// its own `DIR/gw-<g>` subdirectory (the `ftd-gatewayd --data-dir
+/// --gateways N` combination, which used to be refused).
+#[test]
+fn pool_with_data_dir_stores_per_member_subdirs() {
+    let dir = std::env::temp_dir().join(format!("ftd-pool-data-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let domain = 53u32;
+    let config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), 0);
+    let pool = GatewayPool::builder()
+        .gateways(2)
+        .config(config)
+        .shards(2)
+        .data_dir(&dir)
+        .host(move || {
+            let mut host = DomainHost::try_start(domain, 4, 0xDA7A, || {
+                let mut reg = ObjectRegistry::new();
+                reg.register("Counter", Box::new(|| Box::new(Counter::new())));
+                reg
+            })?;
+            host.create_group(
+                GROUP,
+                "Counter",
+                FtProperties::new(ReplicationStyle::Active).with_initial(3),
+            );
+            Ok::<_, ftd_core::Error>(host)
+        })
+        .build()
+        .expect("start durable pool");
+
+    let a_id = client_owned_by(&pool, 0);
+    let b_id = client_owned_by(&pool, 1);
+    for id in [a_id, b_id] {
+        let ior = pool.ior_for_client(id, "IDL:Counter:1.0", GROUP);
+        let mut client = NetClient::connect(&ior, Some(id as u32)).expect("connect");
+        let r = client.invoke("add", &1u64.to_be_bytes()).expect("add");
+        assert!(!r.body.is_empty());
+    }
+    pool.shutdown();
+
+    for g in 0..2 {
+        let member = dir.join(format!("gw-{g}"));
+        assert!(
+            member.is_dir(),
+            "member {g} stores under {}",
+            member.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// One domain fault degrades — and one recovery heals — every gateway in
 /// the pool at once: they share the substrate, so they share its fate.
 #[test]

@@ -69,6 +69,46 @@ pub const STORE_CORRUPT_RECORDS_DROPPED: &str = "store.corrupt_records_dropped";
 /// storage and seeded back into its engines.
 pub const STORE_RESPONSES_RECOVERED: &str = "store.responses_recovered";
 
+/// Current gateway-group membership size (gauge, self included).
+pub const GROUP_MEMBERS: &str = "group.members";
+
+/// Membership view changes of any kind (join + rejoin + leave +
+/// suspicion); the view number itself is exposed by `GroupNode::view`.
+pub const GROUP_VIEW_CHANGES: &str = "group.view_changes";
+
+/// Members added to the view (first announce or restart re-announce).
+pub const GROUP_JOINS: &str = "group.joins";
+
+/// Members removed by a graceful Leave datagram.
+pub const GROUP_LEAVES: &str = "group.leaves";
+
+/// Members removed by suspicion (missed heartbeats).
+pub const GROUP_SUSPECTS: &str = "group.suspects";
+
+/// Membership heartbeats sent to peers.
+pub const GROUP_HEARTBEATS_SENT: &str = "group.heartbeats_sent";
+
+/// Membership heartbeats received from known peers.
+pub const GROUP_HEARTBEATS_RECEIVED: &str = "group.heartbeats_received";
+
+/// Relay frames written to peer links (per destination peer).
+pub const GROUP_RELAY_FRAMES_SENT: &str = "group.relay_frames_sent";
+
+/// Relay frames received from peer links.
+pub const GROUP_RELAY_FRAMES_RECEIVED: &str = "group.relay_frames_received";
+
+/// Outbound relay connections established (dial + Hello).
+pub const GROUP_RELAY_CONNECTS: &str = "group.relay_connects";
+
+/// Relay link failures: failed dials, dropped writes, torn or
+/// malformed inbound frames.
+pub const GROUP_RELAY_ERRORS: &str = "group.relay_errors";
+
+/// Profile switches performed by an enhanced client walking a
+/// multi-profile IOR: a successful (re)connect landed on a different
+/// profile than the previous connection used.
+pub const CLIENT_PROFILE_SWITCHES: &str = "client.profile_switches";
+
 /// Attaches a `shard` label to a per-shard metric name, in the same
 /// `{label="value"}` form the Prometheus renderer splits back out:
 /// `with_shard("gateway.shard.events", 2)` →
@@ -99,6 +139,18 @@ mod tests {
             super::STORE_TORN_TAILS_TRUNCATED,
             super::STORE_CORRUPT_RECORDS_DROPPED,
             super::STORE_RESPONSES_RECOVERED,
+            super::GROUP_MEMBERS,
+            super::GROUP_VIEW_CHANGES,
+            super::GROUP_JOINS,
+            super::GROUP_LEAVES,
+            super::GROUP_SUSPECTS,
+            super::GROUP_HEARTBEATS_SENT,
+            super::GROUP_HEARTBEATS_RECEIVED,
+            super::GROUP_RELAY_FRAMES_SENT,
+            super::GROUP_RELAY_FRAMES_RECEIVED,
+            super::GROUP_RELAY_CONNECTS,
+            super::GROUP_RELAY_ERRORS,
+            super::CLIENT_PROFILE_SWITCHES,
         ] {
             assert!(
                 name.split_once('.').is_some_and(|(component, metric)| {

@@ -85,6 +85,10 @@ pub struct EngineSetup {
     pub max_body: u64,
     /// `EngineConfig::persist_responses`.
     pub persist_responses: bool,
+    /// `EngineConfig::relay_replies` (out-of-process gateway groups
+    /// relay delivered reply bytes to peers — the extra `Multicast`
+    /// actions are part of the recorded fingerprint).
+    pub relay_replies: bool,
 }
 
 impl EngineSetup {
@@ -100,6 +104,7 @@ impl EngineSetup {
             cache_capacity: config.cache_capacity as u64,
             max_body: config.max_body as u64,
             persist_responses: config.persist_responses,
+            relay_replies: config.relay_replies,
         }
     }
 
@@ -111,6 +116,7 @@ impl EngineSetup {
         config.cache_capacity = self.cache_capacity as usize;
         config.max_body = self.max_body as usize;
         config.persist_responses = self.persist_responses;
+        config.relay_replies = self.relay_replies;
         config
     }
 }
@@ -455,7 +461,11 @@ impl ReplayEvent {
                 put_u32(&mut out, setup.bridge_client_id);
                 put_u64(&mut out, setup.cache_capacity);
                 put_u64(&mut out, setup.max_body);
-                out.push(setup.persist_responses as u8);
+                // Config flags packed into one byte: bit 0
+                // persist_responses, bit 1 relay_replies. Recordings
+                // written before relay_replies existed decode as 0/1
+                // and replay unchanged.
+                out.push(setup.persist_responses as u8 | (setup.relay_replies as u8) << 1);
             }
             ReplayEvent::Topology {
                 domain,
@@ -618,16 +628,21 @@ impl ReplayEvent {
                 for _ in 0..n {
                     peer_domains.push(c.u32()?);
                 }
+                let bridge_client_id = c.u32()?;
+                let cache_capacity = c.u64()?;
+                let max_body = c.u64()?;
+                let flags = c.u8()?;
                 ReplayEvent::EngineSetup(EngineSetup {
                     shards,
                     domain,
                     group,
                     index,
                     peer_domains,
-                    bridge_client_id: c.u32()?,
-                    cache_capacity: c.u64()?,
-                    max_body: c.u64()?,
-                    persist_responses: c.u8()? != 0,
+                    bridge_client_id,
+                    cache_capacity,
+                    max_body,
+                    persist_responses: flags & 1 != 0,
+                    relay_replies: flags & 2 != 0,
                 })
             }
             TAG_TOPOLOGY => {
@@ -793,6 +808,7 @@ mod tests {
                 cache_capacity: 4096,
                 max_body: 1 << 20,
                 persist_responses: true,
+                relay_replies: true,
             }),
             ReplayEvent::Topology {
                 domain: 9,
