@@ -1,35 +1,48 @@
-//! `ftd-group-soak` — kill-a-process soak for the out-of-process
+//! `ftd-group-soak` — process-level soak for the out-of-process
 //! gateway group (§3.5's redundant gateways).
 //!
 //! Spawns **three real `ftd-gatewayd` processes** joined into one
-//! gateway group (UDP membership, TCP request/reply relay, one domain
-//! replica per process, all seeded identically), drives enhanced
-//! clients through the group's multi-profile IORs, and `kill -9`s one
-//! member mid-load. The run asserts the paper's strongest group claims:
+//! gateway group (UDP membership, TCP request/reply relay, a
+//! cross-member sequencer, one domain replica per process, all seeded
+//! identically), drives enhanced clients through the group's
+//! multi-profile IORs, and injects one of three faults:
 //!
-//! * **zero duplicate executions** — every survivor's replica converges
-//!   on exactly the sum of the acknowledged adds;
-//! * **zero lost acknowledged replies** — a probe request *acknowledged
-//!   by the victim* is reissued after the kill and answered
-//!   **byte-identically** from a survivor's relayed-response cache
-//!   (`gateway.reissues_served_from_cache`), without re-execution;
-//! * **membership reacts** — survivors drop the victim from the view on
-//!   missed heartbeats, and client-state GC fires at peers after the
-//!   linger once clients say goodbye (`gateway.clients_gced`).
+//! * **default (kill)** — `kill -9` one member mid-load. Asserts zero
+//!   duplicate executions, zero lost acknowledged replies (a probe
+//!   acked by the victim is reissued after the kill and answered
+//!   byte-identically from a survivor's relayed-response cache),
+//!   membership reaction, and client-state GC after the linger.
+//! * **`--rejoin`** — `kill -9` one member mid-load, then restart it
+//!   under the same node id with `--sync-state`: the rejoiner pulls a
+//!   checkpoint plus the post-checkpoint sequenced ops from a peer
+//!   (`group.state_transfers`), re-enters the view, and serves the
+//!   second load phase. Asserts exactly-once sums at ALL three members
+//!   and byte-identical `/digest` reports across the healed group.
+//! * **`--partition`** — drop one member's membership UDP for a window
+//!   (`GET /blackout?ms=N`; the TCP mesh stays up, so the minority
+//!   member keeps *following* the sequenced stream). Survivors shrink
+//!   the view; the minority member refuses to admit new work
+//!   (`group.no_quorum_drops`) so a client pinned there fails instead
+//!   of diverging. After the heal, all three views recover and the
+//!   digests converge byte-identically.
 //!
 //! ```text
-//! ftd-group-soak [--seed N] [--clients N] [--requests N]
-//!                [--kill-after-ms N] [--gatewayd PATH] [--record DIR]
-//!                [--json PATH]
+//! ftd-group-soak [--rejoin | --partition] [--seed N] [--clients N]
+//!                [--requests N] [--kill-after-ms N] [--blackout-ms N]
+//!                [--gatewayd PATH] [--record DIR] [--json PATH]
+//!                [--digests DIR]
 //! ```
 //!
-//! The victim is derived from the seed (`seed % 3`), so different CI
-//! seeds kill different members. `--gatewayd` overrides where the
-//! daemon binary lives (default: next to this binary). `--record DIR`
-//! passes `--record-dir DIR/gw-<n>` to every member; replay the whole
-//! group offline with `ftd-replay replay DIR` (one verdict per
-//! process). Exit code 0 iff every assertion held; `--json` writes the
-//! machine-readable report the CI `group` job uploads.
+//! The kill/rejoin victim is derived from the seed (`seed % 3`), so
+//! different CI seeds kill different members; the partition target is
+//! always gw-2 (node id 3). `--gatewayd` overrides where the daemon
+//! binary lives (default: next to this binary); a missing or stale
+//! daemon fails the preflight immediately instead of hanging the run.
+//! `--record DIR` passes `--record-dir DIR/gw-<n>` to every member;
+//! replay the whole group offline with `ftd-replay replay DIR`.
+//! `--digests DIR` writes each member's final `/digest` report — the
+//! artifact CI uploads. Exit code 0 iff every assertion held; `--json`
+//! writes the machine-readable report.
 
 use ftd_giop::{Ior, ReplyStatus};
 use ftd_net::{NetClient, RetryPolicy};
@@ -37,16 +50,37 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Kill,
+    Rejoin,
+    Partition,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Kill => "kill",
+            Mode::Rejoin => "rejoin",
+            Mode::Partition => "partition",
+        }
+    }
+}
+
 struct Opts {
+    mode: Mode,
     seed: u64,
     clients: u32,
     requests: u32,
     kill_after_ms: u64,
+    blackout_ms: u64,
     gatewayd: Option<PathBuf>,
     record: Option<PathBuf>,
     json: Option<String>,
+    digests: Option<PathBuf>,
 }
 
 fn die(msg: &str) -> ! {
@@ -61,13 +95,16 @@ fn parse<T: std::str::FromStr>(s: &str) -> T {
 
 fn parse_opts() -> Opts {
     let mut opts = Opts {
+        mode: Mode::Kill,
         seed: 42,
         clients: 4,
         requests: 40,
         kill_after_ms: 600,
+        blackout_ms: 4000,
         gatewayd: None,
         record: None,
         json: None,
+        digests: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -76,17 +113,22 @@ fn parse_opts() -> Opts {
                 .unwrap_or_else(|| die(&format!("{what} needs a value")))
         };
         match arg.as_str() {
+            "--rejoin" => opts.mode = Mode::Rejoin,
+            "--partition" => opts.mode = Mode::Partition,
             "--seed" => opts.seed = parse(&value("--seed")),
             "--clients" => opts.clients = parse(&value("--clients")),
             "--requests" => opts.requests = parse(&value("--requests")),
             "--kill-after-ms" => opts.kill_after_ms = parse(&value("--kill-after-ms")),
+            "--blackout-ms" => opts.blackout_ms = parse(&value("--blackout-ms")),
             "--gatewayd" => opts.gatewayd = Some(PathBuf::from(value("--gatewayd"))),
             "--record" => opts.record = Some(PathBuf::from(value("--record"))),
             "--json" => opts.json = Some(value("--json")),
+            "--digests" => opts.digests = Some(PathBuf::from(value("--digests"))),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: ftd-group-soak [--seed N] [--clients N] [--requests N] \
-                     [--kill-after-ms N] [--gatewayd PATH] [--record DIR] [--json PATH]"
+                    "usage: ftd-group-soak [--rejoin | --partition] [--seed N] [--clients N] \
+                     [--requests N] [--kill-after-ms N] [--blackout-ms N] [--gatewayd PATH] \
+                     [--record DIR] [--json PATH] [--digests DIR]"
                 );
                 std::process::exit(0);
             }
@@ -96,6 +138,9 @@ fn parse_opts() -> Opts {
     if opts.clients == 0 || opts.requests == 0 {
         die("--clients and --requests must be >= 1");
     }
+    if opts.blackout_ms < 1000 {
+        die("--blackout-ms must be >= 1000 (suspicion needs time to fire)");
+    }
     opts
 }
 
@@ -103,6 +148,13 @@ fn parse_opts() -> Opts {
 /// the same schedule as `ftd-chaos-soak`, so reports are comparable.
 fn amount(i: u32, k: u32) -> u64 {
     (i as u64 * 37 + k as u64 * 11) % 9 + 1
+}
+
+/// The sum of the whole schedule for clients `base..base + clients`.
+fn schedule_sum(base: u32, clients: u32, requests: u32) -> u64 {
+    (base..base + clients)
+        .flat_map(|i| (0..requests).map(move |k| amount(i, k)))
+        .sum()
 }
 
 /// Where the `ftd-gatewayd` binary lives: `--gatewayd`, or next to us.
@@ -122,6 +174,30 @@ fn gatewayd_path(explicit: &Option<PathBuf>) -> PathBuf {
         "{} not found — build it (cargo build --bin ftd-gatewayd) or pass --gatewayd PATH",
         candidate.display()
     ));
+}
+
+/// Fails fast — with a diagnosis, not a hang — when the daemon binary
+/// is missing, not executable, or built from a different tree than
+/// this soak (relay protocol mismatch would otherwise show up as
+/// members silently never forming a group).
+fn preflight(gatewayd: &Path) {
+    let output = match Command::new(gatewayd).arg("--print-proto-version").output() {
+        Ok(output) => output,
+        Err(e) => die(&format!(
+            "cannot run {} ({e}) — build it (cargo build --bin ftd-gatewayd) or pass --gatewayd PATH",
+            gatewayd.display()
+        )),
+    };
+    let got = String::from_utf8_lossy(&output.stdout).trim().to_owned();
+    let want = format!("ftd-gatewayd proto {}", ftd_net::PROTO_VERSION);
+    if got != want {
+        die(&format!(
+            "{} is stale: it reports {:?}, this soak needs {:?} — rebuild both binaries from the same tree",
+            gatewayd.display(),
+            got,
+            want
+        ));
+    }
 }
 
 /// Reserves an ephemeral UDP port by bind-and-drop: the kernel hands
@@ -166,6 +242,120 @@ impl Drop for Members {
     }
 }
 
+/// The three-member group plus everything needed to restart a member
+/// in place: pre-reserved membership and admin ports, IOR file paths.
+struct Cluster {
+    gatewayd: PathBuf,
+    seed: u64,
+    record: Option<PathBuf>,
+    work_dir: PathBuf,
+    udp_ports: Vec<u16>,
+    metrics_ports: Vec<u16>,
+    ior_files: Vec<PathBuf>,
+    members: Members,
+}
+
+impl Cluster {
+    fn start(opts: &Opts, gatewayd: PathBuf) -> Cluster {
+        let work_dir = std::env::temp_dir().join(format!(
+            "ftd-group-soak-{}-{}",
+            std::process::id(),
+            opts.seed
+        ));
+        let _ = std::fs::remove_dir_all(&work_dir);
+        std::fs::create_dir_all(&work_dir).unwrap_or_else(|e| die(&format!("mkdir work dir: {e}")));
+        if let Some(dir) = &opts.record {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        // Pre-reserve the membership (UDP) and admin (TCP) ports so
+        // every member can name its peers before any of them runs.
+        let udp_ports: Vec<u16> = (0..3).map(|_| free_udp_port()).collect();
+        let metrics_ports: Vec<u16> = (0..3).map(|_| free_tcp_port()).collect();
+        let ior_files: Vec<PathBuf> = (0..3)
+            .map(|n| work_dir.join(format!("gw-{n}.ior")))
+            .collect();
+        let mut cluster = Cluster {
+            gatewayd,
+            seed: opts.seed,
+            record: opts.record.clone(),
+            work_dir,
+            udp_ports,
+            metrics_ports,
+            ior_files,
+            members: Members {
+                children: vec![None, None, None],
+            },
+        };
+        for n in 0..3 {
+            cluster.spawn(n, false, "");
+        }
+        cluster
+    }
+
+    fn spawn(&mut self, n: usize, sync_state: bool, record_suffix: &str) {
+        let peers: Vec<String> = (0..3)
+            .filter(|&p| p != n)
+            .map(|p| format!("127.0.0.1:{}", self.udp_ports[p]))
+            .collect();
+        let mut cmd = Command::new(&self.gatewayd);
+        cmd.arg("--port")
+            .arg("0")
+            .arg("--seed")
+            .arg(self.seed.to_string())
+            .arg("--shards")
+            .arg("2")
+            .arg("--group-node")
+            .arg((n + 1).to_string())
+            .arg("--group-listen")
+            .arg(format!("127.0.0.1:{}", self.udp_ports[n]))
+            .arg("--group-peers")
+            .arg(peers.join(","))
+            .arg("--group-size")
+            .arg("3")
+            .arg("--linger-ms")
+            .arg("300")
+            .arg("--ior-file")
+            .arg(&self.ior_files[n])
+            .arg("--metrics-addr")
+            .arg(format!("127.0.0.1:{}", self.metrics_ports[n]))
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        if sync_state {
+            cmd.arg("--sync-state");
+        }
+        if let Some(dir) = &self.record {
+            cmd.arg("--record-dir")
+                .arg(dir.join(format!("gw-{n}{record_suffix}")));
+        }
+        let child = cmd
+            .spawn()
+            .unwrap_or_else(|e| die(&format!("spawning {}: {e}", self.gatewayd.display())));
+        self.members.children[n] = Some(child);
+    }
+
+    /// Restarts a (dead) member under its original node id with
+    /// `--sync-state`: it re-enters the view and pulls a state transfer
+    /// from a peer before publishing its IOR.
+    fn restart_with_sync(&mut self, n: usize) {
+        let _ = std::fs::remove_file(&self.ior_files[n]);
+        self.spawn(n, true, "-rejoin");
+    }
+
+    /// Every member publishes its IOR only once the view is full (and,
+    /// for a rejoiner, once its state transfer installed) — so three
+    /// parsed IOR files mean the group formed.
+    fn wait_iors(&self) -> Vec<Ior> {
+        self.ior_files.iter().map(|p| wait_for_ior(p)).collect()
+    }
+
+    fn metrics_addrs(&self) -> Vec<SocketAddr> {
+        self.metrics_ports
+            .iter()
+            .map(|p| format!("127.0.0.1:{p}").parse().expect("metrics addr"))
+            .collect()
+    }
+}
+
 /// Polls `path` until the daemon's atomic IOR write lands, then parses.
 fn wait_for_ior(path: &Path) -> Ior {
     let deadline = Instant::now() + Duration::from_secs(60);
@@ -188,15 +378,20 @@ fn wait_for_ior(path: &Path) -> Ior {
     }
 }
 
-/// One `GET /metrics.json` scrape against a member's admin listener.
-fn scrape(addr: SocketAddr) -> Option<String> {
+/// One `GET {path}` exchange against a member's admin listener.
+fn scrape_path(addr: SocketAddr, path: &str) -> Option<String> {
     let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2)).ok()?;
     stream.set_read_timeout(Some(Duration::from_secs(5))).ok()?;
-    write!(stream, "GET /metrics.json HTTP/1.0\r\n\r\n").ok()?;
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").ok()?;
     let mut response = String::new();
     stream.read_to_string(&mut response).ok()?;
     let body = response.split_once("\r\n\r\n")?.1;
     Some(body.to_owned())
+}
+
+/// One `GET /metrics.json` scrape against a member's admin listener.
+fn scrape(addr: SocketAddr) -> Option<String> {
+    scrape_path(addr, "/metrics.json")
 }
 
 /// Extracts `"name":value` from the flat metrics JSON (0 if absent).
@@ -223,6 +418,38 @@ fn scrape_until(addr: SocketAddr, name: &str, want: impl Fn(u64) -> bool) -> u64
             return value;
         }
         std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Polls every listed member's `GET /digest` report until all are
+/// non-empty and byte-identical (converged group members produce
+/// exactly that) or the deadline passes. Returns the final reports and
+/// whether they matched.
+fn converged_digests(entries: &[(usize, SocketAddr)]) -> (Vec<(usize, String)>, bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let reports: Vec<(usize, String)> = entries
+            .iter()
+            .map(|&(n, addr)| (n, scrape_path(addr, "/digest").unwrap_or_default()))
+            .collect();
+        let equal = !reports.is_empty()
+            && !reports[0].1.is_empty()
+            && reports.iter().all(|(_, r)| *r == reports[0].1);
+        if equal || Instant::now() > deadline {
+            return (reports, equal);
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+/// Writes each member's digest report under `dir` — the per-member
+/// artifact the CI `group` job uploads.
+fn write_digest_reports(dir: &Path, seed: u64, mode: &str, reports: &[(usize, String)]) {
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| die(&format!("mkdir {}: {e}", dir.display())));
+    for (n, report) in reports {
+        let path = dir.join(format!("gw-{n}-seed{seed}-{mode}.digest.txt"));
+        std::fs::write(&path, report)
+            .unwrap_or_else(|e| die(&format!("write {}: {e}", path.display())));
     }
 }
 
@@ -299,7 +526,7 @@ fn run_client(ior: Ior, client_index: u32, requests: u32) -> ClientOutcome {
                 )),
             }
         }
-        // Pace the load so it straddles the kill and the view change.
+        // Pace the load so it straddles the fault and the view change.
         std::thread::sleep(Duration::from_millis(10));
     }
     let outcome = ClientOutcome {
@@ -312,92 +539,132 @@ fn run_client(ior: Ior, client_index: u32, requests: u32) -> ClientOutcome {
     outcome
 }
 
+/// Spawns one load phase: `clients` workers with schedule indices
+/// `base..base + clients`, each entering the group through one of the
+/// `entries` members' IORs (round-robin).
+fn spawn_load(
+    iors: &[Ior],
+    entries: &[usize],
+    clients: u32,
+    requests: u32,
+    base: u32,
+) -> Vec<JoinHandle<ClientOutcome>> {
+    (0..clients)
+        .map(|i| {
+            let ior = iors[entries[i as usize % entries.len()]].clone();
+            std::thread::Builder::new()
+                .name(format!("group-client-{}", base + i))
+                .spawn(move || run_client(ior, base + i, requests))
+                .expect("spawn client")
+        })
+        .collect()
+}
+
+fn join_load(workers: Vec<JoinHandle<ClientOutcome>>) -> Vec<ClientOutcome> {
+    workers
+        .into_iter()
+        .map(|w| match w.join() {
+            Ok(outcome) => outcome,
+            Err(_) => die("a client thread panicked"),
+        })
+        .collect()
+}
+
+/// The verdict read at one member: connect through its IOR and poll
+/// `get` until the counter reaches `expected` (or the deadline). More
+/// than `expected` means duplicate executions; less means lost
+/// acknowledged replies — both fail the run.
+fn read_final(ior: &Ior, member: usize, expected: u64) -> u64 {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let attempt =
+            NetClient::connect(ior, Some(0xFFF0 + member as u32)).and_then(|mut verifier| {
+                verifier.set_read_timeout(Duration::from_secs(5))?;
+                verifier.invoke("get", &[])
+            });
+        match attempt {
+            Ok(reply) if reply.body.len() == 8 => {
+                let mut buf = [0u8; 8];
+                buf.copy_from_slice(&reply.body);
+                let value = u64::from_be_bytes(buf);
+                if value == expected || Instant::now() > deadline {
+                    return value;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Ok(_) => die(&format!("gw-{member} verify get: non-u64 reply")),
+            Err(e) if Instant::now() < deadline => {
+                eprintln!("ftd-group-soak: gw-{member} verify retry ({e})");
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            Err(e) => die(&format!("gw-{member} verify get: {e}")),
+        }
+    }
+}
+
+fn write_json(path: &str, body: String) {
+    std::fs::write(path, body).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+}
+
+fn finals_json(finals: &[(usize, u64)]) -> String {
+    finals
+        .iter()
+        .map(|&(n, v)| format!("\"gw-{n}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn verdict(mode: Mode, opts: &Opts, failures: &[String], detail: String, elapsed: Duration) -> ! {
+    if failures.is_empty() {
+        println!(
+            "PASS group mode={} seed={} clients={} requests={} {detail} elapsed={:.1}s",
+            mode.name(),
+            opts.seed,
+            opts.clients,
+            opts.requests,
+            elapsed.as_secs_f64()
+        );
+        std::process::exit(0);
+    }
+    for f in failures {
+        eprintln!("ftd-group-soak: FAIL: {f}");
+    }
+    println!(
+        "FAIL group mode={} seed={} ({} violations)",
+        mode.name(),
+        opts.seed,
+        failures.len()
+    );
+    std::process::exit(1);
+}
+
 fn main() {
     let opts = parse_opts();
-    let started = Instant::now();
     let gatewayd = gatewayd_path(&opts.gatewayd);
+    preflight(&gatewayd);
+    match opts.mode {
+        Mode::Kill => run_kill(&opts, gatewayd),
+        Mode::Rejoin => run_rejoin(&opts, gatewayd),
+        Mode::Partition => run_partition(&opts, gatewayd),
+    }
+}
+
+/// The original soak: SIGKILL one member mid-load, assert the §3.5
+/// failover story from the survivors.
+fn run_kill(opts: &Opts, gatewayd: PathBuf) -> ! {
+    let started = Instant::now();
     let victim = (opts.seed % 3) as usize; // 0-based member index
-    let work_dir = std::env::temp_dir().join(format!(
-        "ftd-group-soak-{}-{}",
-        std::process::id(),
-        opts.seed
-    ));
-    let _ = std::fs::remove_dir_all(&work_dir);
-    std::fs::create_dir_all(&work_dir).unwrap_or_else(|e| die(&format!("mkdir work dir: {e}")));
-    if let Some(dir) = &opts.record {
-        let _ = std::fs::remove_dir_all(dir);
-    }
-
-    // Pre-reserve the membership (UDP) and admin (TCP) ports so every
-    // member can name its peers before any of them is running.
-    let udp_ports: Vec<u16> = (0..3).map(|_| free_udp_port()).collect();
-    let metrics_ports: Vec<u16> = (0..3).map(|_| free_tcp_port()).collect();
-    let ior_files: Vec<PathBuf> = (0..3)
-        .map(|n| work_dir.join(format!("gw-{n}.ior")))
-        .collect();
-
-    let mut members = Members {
-        children: Vec::new(),
-    };
-    for n in 0..3usize {
-        let peers: Vec<String> = (0..3)
-            .filter(|&p| p != n)
-            .map(|p| format!("127.0.0.1:{}", udp_ports[p]))
-            .collect();
-        let mut cmd = Command::new(&gatewayd);
-        cmd.arg("--port")
-            .arg("0")
-            .arg("--seed")
-            .arg(opts.seed.to_string())
-            .arg("--shards")
-            .arg("2")
-            .arg("--group-node")
-            .arg((n + 1).to_string())
-            .arg("--group-listen")
-            .arg(format!("127.0.0.1:{}", udp_ports[n]))
-            .arg("--group-peers")
-            .arg(peers.join(","))
-            .arg("--group-size")
-            .arg("3")
-            .arg("--linger-ms")
-            .arg("300")
-            .arg("--ior-file")
-            .arg(&ior_files[n])
-            .arg("--metrics-addr")
-            .arg(format!("127.0.0.1:{}", metrics_ports[n]))
-            .stdout(Stdio::null())
-            .stderr(Stdio::inherit());
-        if let Some(dir) = &opts.record {
-            cmd.arg("--record-dir").arg(dir.join(format!("gw-{n}")));
-        }
-        let child = cmd
-            .spawn()
-            .unwrap_or_else(|e| die(&format!("spawning {}: {e}", gatewayd.display())));
-        members.children.push(Some(child));
-    }
+    let mut cluster = Cluster::start(opts, gatewayd);
     eprintln!(
-        "ftd-group-soak: seed={} clients={} requests={} victim=gw-{victim} (kill -9 after {}ms)",
+        "ftd-group-soak: mode=kill seed={} clients={} requests={} victim=gw-{victim} \
+         (kill -9 after {}ms)",
         opts.seed, opts.clients, opts.requests, opts.kill_after_ms
     );
 
-    // Every member publishes its IOR only once the view reaches 3 — so
-    // three parsed IOR files mean the group formed.
-    let iors: Vec<Ior> = ior_files.iter().map(|p| wait_for_ior(p)).collect();
-    let member_addrs: Vec<SocketAddr> = iors
-        .iter()
-        .map(|ior| {
-            let profile = ior.primary_iiop().expect("iiop profile"); // self is first
-            format!("{}:{}", profile.host, profile.port)
-                .parse()
-                .expect("profile addr")
-        })
-        .collect();
-    let metrics_addrs: Vec<SocketAddr> = metrics_ports
-        .iter()
-        .map(|p| format!("127.0.0.1:{p}").parse().expect("metrics addr"))
-        .collect();
+    let iors = cluster.wait_iors();
+    let metrics_addrs = cluster.metrics_addrs();
     let survivors: Vec<usize> = (0..3).filter(|&n| n != victim).collect();
-    eprintln!("ftd-group-soak: group formed, members at {member_addrs:?}");
+    eprintln!("ftd-group-soak: group formed");
 
     // The probe: one add acknowledged BY THE VICTIM, before any load.
     // Its reply bytes must come back identically from a survivor's
@@ -432,28 +699,13 @@ fn main() {
     // Load: each client enters through a different member's IOR (that
     // member's own profile is first), so the victim owns a share of the
     // connections when it dies.
-    let workers: Vec<_> = (0..opts.clients)
-        .map(|i| {
-            let ior = iors[i as usize % 3].clone();
-            let requests = opts.requests;
-            std::thread::Builder::new()
-                .name(format!("group-client-{i}"))
-                .spawn(move || run_client(ior, i, requests))
-                .expect("spawn client")
-        })
-        .collect();
+    let workers = spawn_load(&iors, &[0, 1, 2], opts.clients, opts.requests, 0);
 
     std::thread::sleep(Duration::from_millis(opts.kill_after_ms));
-    members.kill(victim);
+    cluster.members.kill(victim);
     eprintln!("ftd-group-soak: killed gw-{victim} (SIGKILL, mid-load)");
 
-    let outcomes: Vec<ClientOutcome> = workers
-        .into_iter()
-        .map(|w| match w.join() {
-            Ok(outcome) => outcome,
-            Err(_) => die("a client thread panicked"),
-        })
-        .collect();
+    let outcomes = join_load(workers);
 
     // Survivors drop the victim on missed heartbeats: group.members
     // settles at 2 on every survivor.
@@ -485,9 +737,7 @@ fn main() {
         }
     };
 
-    let expected_load: u64 = (0..opts.clients)
-        .flat_map(|i| (0..opts.requests).map(move |k| amount(i, k)))
-        .sum();
+    let expected_load = schedule_sum(0, opts.clients, opts.requests);
     let expected_sum = expected_load + 5; // load + probe
     let acked_sum: u64 = outcomes.iter().map(|o| o.acked_sum).sum();
     let reconnects: u64 = outcomes.iter().map(|o| o.reconnects).sum();
@@ -497,35 +747,10 @@ fn main() {
     // The verdict read, per survivor: each replica must converge on
     // exactly the acknowledged sum — more means duplicate executions,
     // less means lost acknowledged replies.
-    let mut final_values = Vec::new();
-    for &s in &survivors {
-        let deadline = Instant::now() + Duration::from_secs(60);
-        let value = loop {
-            let attempt =
-                NetClient::connect(&iors[s], Some(0xFFF0 + s as u32)).and_then(|mut verifier| {
-                    verifier.set_read_timeout(Duration::from_secs(5))?;
-                    verifier.invoke("get", &[])
-                });
-            match attempt {
-                Ok(reply) if reply.body.len() == 8 => {
-                    let mut buf = [0u8; 8];
-                    buf.copy_from_slice(&reply.body);
-                    let value = u64::from_be_bytes(buf);
-                    if value == expected_sum || Instant::now() > deadline {
-                        break value;
-                    }
-                    std::thread::sleep(Duration::from_millis(100));
-                }
-                Ok(_) => die(&format!("gw-{s} verify get: non-u64 reply")),
-                Err(e) if Instant::now() < deadline => {
-                    eprintln!("ftd-group-soak: gw-{s} verify retry ({e})");
-                    std::thread::sleep(Duration::from_millis(250));
-                }
-                Err(e) => die(&format!("gw-{s} verify get: {e}")),
-            }
-        };
-        final_values.push(value);
-    }
+    let finals: Vec<(usize, u64)> = survivors
+        .iter()
+        .map(|&s| (s, read_final(&iors[s], s, expected_sum)))
+        .collect();
 
     // Post-run counters from the survivors' admin endpoints.
     let cache_hits: u64 = survivors
@@ -542,12 +767,21 @@ fn main() {
         .iter()
         .map(|&s| scrape_until(metrics_addrs[s], "gateway.clients_gced", |v| v >= 1))
         .sum();
+
+    // Both survivors executed the same sequenced stream, so their
+    // digest reports must be byte-identical.
+    let digest_entries: Vec<(usize, SocketAddr)> =
+        survivors.iter().map(|&s| (s, metrics_addrs[s])).collect();
+    let (reports, digest_equal) = converged_digests(&digest_entries);
+    if let Some(dir) = &opts.digests {
+        write_digest_reports(dir, opts.seed, "kill", &reports);
+    }
     let elapsed = started.elapsed();
 
     eprintln!(
-        "ftd-group-soak: acked_sum={acked_sum} finals={final_values:?} cache_hits={cache_hits} \
+        "ftd-group-soak: acked_sum={acked_sum} finals={finals:?} cache_hits={cache_hits} \
          clients_gced={clients_gced} reconnects={reconnects} reissues={reissues} \
-         profile_switches={switches}"
+         profile_switches={switches} digest_equal={digest_equal}"
     );
 
     let mut failures = Vec::new();
@@ -562,7 +796,7 @@ fn main() {
             "lost acknowledged adds: acked {acked_sum} != attempted {expected_load}"
         ));
     }
-    for (&s, &value) in survivors.iter().zip(&final_values) {
+    for &(s, value) in &finals {
         if value != expected_sum {
             failures.push(format!(
                 "exactly-once violated at gw-{s}: final counter {value} != acked sum \
@@ -591,55 +825,349 @@ fn main() {
     if clients_gced == 0 {
         failures.push("no peer GC'd a departed client's relayed state after the linger".to_owned());
     }
+    if !digest_equal {
+        failures.push("the survivors' digest reports never converged byte-identically".to_owned());
+    }
 
     let passed = failures.is_empty();
     if let Some(path) = &opts.json {
-        let finals: Vec<String> = survivors
-            .iter()
-            .zip(&final_values)
-            .map(|(&s, &v)| format!("\"gw-{s}\": {v}"))
-            .collect();
-        let json = format!(
-            "{{\n  \"seed\": {},\n  \"clients\": {},\n  \"requests_per_client\": {},\n  \
-             \"victim\": \"gw-{victim}\",\n  \"expected_sum\": {expected_sum},\n  \
-             \"acked_sum\": {acked_sum},\n  \"final_values\": {{ {} }},\n  \
-             \"probe_byte_identical\": {},\n  \"client_reconnects\": {reconnects},\n  \
-             \"client_reissues\": {reissues},\n  \"client_profile_switches\": {switches},\n  \
-             \"survivors\": {{\n    \"reissues_served_from_cache\": {cache_hits},\n    \
-             \"clients_gced\": {clients_gced}\n  }},\n  \
-             \"elapsed_ms\": {},\n  \"passed\": {passed}\n}}\n",
-            opts.seed,
-            opts.clients,
-            opts.requests,
-            finals.join(", "),
-            replayed.body == probe_reply.body,
-            elapsed.as_millis(),
+        write_json(
+            path,
+            format!(
+                "{{\n  \"mode\": \"kill\",\n  \"seed\": {},\n  \"clients\": {},\n  \
+                 \"requests_per_client\": {},\n  \"victim\": \"gw-{victim}\",\n  \
+                 \"expected_sum\": {expected_sum},\n  \"acked_sum\": {acked_sum},\n  \
+                 \"final_values\": {{ {} }},\n  \"probe_byte_identical\": {},\n  \
+                 \"client_reconnects\": {reconnects},\n  \"client_reissues\": {reissues},\n  \
+                 \"client_profile_switches\": {switches},\n  \"survivors\": {{\n    \
+                 \"reissues_served_from_cache\": {cache_hits},\n    \
+                 \"clients_gced\": {clients_gced}\n  }},\n  \"digest_equal\": {digest_equal},\n  \
+                 \"elapsed_ms\": {},\n  \"passed\": {passed}\n}}\n",
+                opts.seed,
+                opts.clients,
+                opts.requests,
+                finals_json(&finals),
+                replayed.body == probe_reply.body,
+                elapsed.as_millis(),
+            ),
         );
-        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
     }
 
-    drop(members); // SIGKILL + reap the survivors before the verdict
-    let _ = std::fs::remove_dir_all(&work_dir);
+    drop(cluster.members); // SIGKILL + reap the survivors before the verdict
+    let _ = std::fs::remove_dir_all(&cluster.work_dir);
+    let detail =
+        format!("victim=gw-{victim} finals={finals:?} cache_hits={cache_hits} switches={switches}");
+    verdict(Mode::Kill, opts, &failures, detail, elapsed);
+}
 
-    if passed {
-        println!(
-            "PASS group seed={} clients={} requests={} victim=gw-{victim} \
-             finals={final_values:?} cache_hits={cache_hits} switches={switches} \
-             elapsed={:.1}s",
-            opts.seed,
-            opts.clients,
-            opts.requests,
-            elapsed.as_secs_f64()
-        );
-    } else {
-        for f in &failures {
-            eprintln!("ftd-group-soak: FAIL: {f}");
+/// Kill → restart → rejoin-by-state-transfer: the victim comes back
+/// under its original node id, pulls a checkpoint plus post-checkpoint
+/// sequenced ops from a peer, and must serve the second load phase and
+/// converge byte-identically with the members that never died.
+fn run_rejoin(opts: &Opts, gatewayd: PathBuf) -> ! {
+    let started = Instant::now();
+    let victim = (opts.seed % 3) as usize;
+    let mut cluster = Cluster::start(opts, gatewayd);
+    eprintln!(
+        "ftd-group-soak: mode=rejoin seed={} clients={} requests={} victim=gw-{victim} \
+         (kill -9 after {}ms, then restart with --sync-state)",
+        opts.seed, opts.clients, opts.requests, opts.kill_after_ms
+    );
+
+    let mut iors = cluster.wait_iors();
+    let metrics_addrs = cluster.metrics_addrs();
+    let survivors: Vec<usize> = (0..3).filter(|&n| n != victim).collect();
+    eprintln!("ftd-group-soak: group formed");
+
+    let mut failures = Vec::new();
+
+    // Phase 1: load through every member, SIGKILL the victim mid-load.
+    let workers = spawn_load(&iors, &[0, 1, 2], opts.clients, opts.requests, 0);
+    std::thread::sleep(Duration::from_millis(opts.kill_after_ms));
+    cluster.members.kill(victim);
+    eprintln!("ftd-group-soak: killed gw-{victim} (SIGKILL, mid-load)");
+    let acked_1: u64 = join_load(workers).iter().map(|o| o.acked_sum).sum();
+
+    for &s in &survivors {
+        let view = scrape_until(metrics_addrs[s], "group.members", |v| v == 2);
+        if view != 2 {
+            failures.push(format!(
+                "gw-{s} never dropped the victim: group.members stuck at {view}"
+            ));
         }
-        println!(
-            "FAIL group seed={} ({} violations)",
-            opts.seed,
-            failures.len()
-        );
-        std::process::exit(1);
     }
+
+    // Restart under the same node id with --sync-state: the IOR file
+    // reappears only after the view refilled AND the transfer
+    // installed, so waiting on it is waiting on the whole rejoin.
+    cluster.restart_with_sync(victim);
+    eprintln!("ftd-group-soak: restarted gw-{victim} with --sync-state");
+    iors[victim] = wait_for_ior(&cluster.ior_files[victim]);
+    for (n, &addr) in metrics_addrs.iter().enumerate() {
+        let view = scrape_until(addr, "group.members", |v| v == 3);
+        if view != 3 {
+            failures.push(format!(
+                "gw-{n} never saw the rejoiner: group.members stuck at {view}"
+            ));
+        }
+    }
+    let transfers = scrape_until(metrics_addrs[victim], "group.state_transfers", |v| v >= 1);
+    if transfers == 0 {
+        failures.push("the rejoined member never installed a state transfer".to_owned());
+    }
+    eprintln!("ftd-group-soak: gw-{victim} rejoined (state transfers: {transfers})");
+
+    // Phase 2: more load, now entering through the rejoiner too.
+    let workers = spawn_load(&iors, &[0, 1, 2], opts.clients, opts.requests, opts.clients);
+    let acked_2: u64 = join_load(workers).iter().map(|o| o.acked_sum).sum();
+
+    let expected_sum = schedule_sum(0, opts.clients, opts.requests)
+        + schedule_sum(opts.clients, opts.clients, opts.requests);
+    let acked_sum = acked_1 + acked_2;
+    if acked_sum != expected_sum {
+        failures.push(format!(
+            "lost acknowledged adds: acked {acked_sum} != attempted {expected_sum}"
+        ));
+    }
+
+    // Exactly-once at ALL THREE members — the rejoiner's counter comes
+    // from the transferred checkpoint plus replayed sequenced ops.
+    let finals: Vec<(usize, u64)> = (0..3)
+        .map(|n| (n, read_final(&iors[n], n, expected_sum)))
+        .collect();
+    for &(n, value) in &finals {
+        if value != expected_sum {
+            failures.push(format!(
+                "exactly-once violated at gw-{n}: final counter {value} != acked sum \
+                 {expected_sum} ({} it)",
+                if value > expected_sum {
+                    "duplicate executions inflated"
+                } else {
+                    "lost acknowledged replies deflated"
+                }
+            ));
+        }
+    }
+
+    // The rejoin acceptance bar: byte-identical digest reports across
+    // all three members, including the one that died and came back.
+    let digest_entries: Vec<(usize, SocketAddr)> = (0..3).map(|n| (n, metrics_addrs[n])).collect();
+    let (reports, digest_equal) = converged_digests(&digest_entries);
+    if !digest_equal {
+        failures.push("per-member digest reports never converged after the rejoin".to_owned());
+    }
+    if let Some(dir) = &opts.digests {
+        write_digest_reports(dir, opts.seed, "rejoin", &reports);
+    }
+    let elapsed = started.elapsed();
+
+    eprintln!(
+        "ftd-group-soak: acked_sum={acked_sum} finals={finals:?} state_transfers={transfers} \
+         digest_equal={digest_equal}"
+    );
+
+    let passed = failures.is_empty();
+    if let Some(path) = &opts.json {
+        write_json(
+            path,
+            format!(
+                "{{\n  \"mode\": \"rejoin\",\n  \"seed\": {},\n  \"clients\": {},\n  \
+                 \"requests_per_client\": {},\n  \"victim\": \"gw-{victim}\",\n  \
+                 \"expected_sum\": {expected_sum},\n  \"acked_sum\": {acked_sum},\n  \
+                 \"final_values\": {{ {} }},\n  \"state_transfers\": {transfers},\n  \
+                 \"digest_equal\": {digest_equal},\n  \"elapsed_ms\": {},\n  \
+                 \"passed\": {passed}\n}}\n",
+                opts.seed,
+                opts.clients,
+                opts.requests,
+                finals_json(&finals),
+                elapsed.as_millis(),
+            ),
+        );
+    }
+
+    drop(cluster.members);
+    let _ = std::fs::remove_dir_all(&cluster.work_dir);
+    let detail = format!(
+        "victim=gw-{victim} finals={finals:?} state_transfers={transfers} \
+         digest_equal={digest_equal}"
+    );
+    verdict(Mode::Rejoin, opts, &failures, detail, elapsed);
+}
+
+/// UDP partition: black out gw-2's membership socket. The majority
+/// keeps serving; the minority member refuses to admit new work (no
+/// quorum) instead of diverging, while still *following* the sequenced
+/// stream over the TCP mesh. After the window the views heal and all
+/// three members converge byte-identically.
+fn run_partition(opts: &Opts, gatewayd: PathBuf) -> ! {
+    let started = Instant::now();
+    let target = 2usize; // node id 3 — never the sequencer, by design
+    let cluster = Cluster::start(opts, gatewayd);
+    eprintln!(
+        "ftd-group-soak: mode=partition seed={} clients={} requests={} target=gw-{target} \
+         (blackout {}ms after {}ms)",
+        opts.seed, opts.clients, opts.requests, opts.blackout_ms, opts.kill_after_ms
+    );
+
+    let iors = cluster.wait_iors();
+    let metrics_addrs = cluster.metrics_addrs();
+    eprintln!("ftd-group-soak: group formed");
+
+    let mut failures = Vec::new();
+
+    // Load enters only through the two majority members; the minority
+    // member must not acknowledge anything while partitioned.
+    let workers = spawn_load(&iors, &[0, 1], opts.clients, opts.requests, 0);
+    std::thread::sleep(Duration::from_millis(opts.kill_after_ms));
+
+    if scrape_path(
+        metrics_addrs[target],
+        &format!("/blackout?ms={}", opts.blackout_ms),
+    )
+    .is_none()
+    {
+        die(&format!("gw-{target} blackout request failed"));
+    }
+    eprintln!("ftd-group-soak: blacked out gw-{target}'s membership UDP");
+
+    // Suspicion fires on both sides of the partition.
+    for s in [0usize, 1] {
+        let view = scrape_until(metrics_addrs[s], "group.members", |v| v == 2);
+        if view != 2 {
+            failures.push(format!(
+                "gw-{s} never suspected the partitioned member: group.members stuck at {view}"
+            ));
+        }
+    }
+    let lone = scrape_until(metrics_addrs[target], "group.members", |v| v == 1);
+    if lone != 1 {
+        failures.push(format!(
+            "gw-{target} never noticed the partition: group.members stuck at {lone}"
+        ));
+    }
+
+    // Refresh the window so the pinned probe below runs entirely inside
+    // it, then prove the minority member REFUSES work: the TCP connect
+    // succeeds (the gateway port is up), but the quorum gate drops the
+    // admitted add, so the client times out instead of diverging the
+    // minority replica. Its amount is excluded from the expected sum —
+    // if the add ever executed anywhere, the finals check catches it.
+    let _ = scrape_path(
+        metrics_addrs[target],
+        &format!("/blackout?ms={}", opts.blackout_ms),
+    );
+    let mut pinned = NetClient::connect(&iors[target], Some(0xB001))
+        .unwrap_or_else(|e| die(&format!("pinned client connect: {e}")));
+    pinned
+        .set_read_timeout(Duration::from_millis(1500))
+        .expect("pinned timeout");
+    if pinned.invoke("add", &999u64.to_be_bytes()).is_ok() {
+        failures.push("the minority member acknowledged an add during the partition".to_owned());
+    }
+    let drops = scrape_until(metrics_addrs[target], "group.no_quorum_drops", |v| v >= 1);
+    if drops == 0 {
+        failures.push("group.no_quorum_drops never incremented at the minority member".to_owned());
+    }
+    let still_lone = scrape(metrics_addrs[target])
+        .map(|b| metric(&b, "group.members"))
+        .unwrap_or(0);
+    if still_lone != 1 {
+        failures.push(format!(
+            "the partition healed before the no-quorum drop was proven (view {still_lone})"
+        ));
+    }
+    pinned.disconnect();
+    eprintln!("ftd-group-soak: pinned client refused at gw-{target} (drops: {drops})");
+
+    let acked_1: u64 = join_load(workers).iter().map(|o| o.acked_sum).sum();
+
+    // The blackout expires on its own; the member re-announces to its
+    // peers and every view returns to 3.
+    for (n, &addr) in metrics_addrs.iter().enumerate() {
+        let view = scrape_until(addr, "group.members", |v| v == 3);
+        if view != 3 {
+            failures.push(format!(
+                "gw-{n} never healed: group.members stuck at {view}"
+            ));
+        }
+    }
+    eprintln!("ftd-group-soak: partition healed, views back to 3");
+
+    // Post-heal load through every member — the healed member admits
+    // work again.
+    let workers = spawn_load(&iors, &[0, 1, 2], opts.clients, opts.requests, opts.clients);
+    let acked_2: u64 = join_load(workers).iter().map(|o| o.acked_sum).sum();
+
+    let expected_sum = schedule_sum(0, opts.clients, opts.requests)
+        + schedule_sum(opts.clients, opts.clients, opts.requests);
+    let acked_sum = acked_1 + acked_2;
+    if acked_sum != expected_sum {
+        failures.push(format!(
+            "lost acknowledged adds: acked {acked_sum} != attempted {expected_sum}"
+        ));
+    }
+
+    // Exactly-once at ALL THREE members: the pinned add must appear
+    // nowhere, the partitioned member must have followed the sequenced
+    // stream it could not admit into.
+    let finals: Vec<(usize, u64)> = (0..3)
+        .map(|n| (n, read_final(&iors[n], n, expected_sum)))
+        .collect();
+    for &(n, value) in &finals {
+        if value != expected_sum {
+            failures.push(format!(
+                "exactly-once violated at gw-{n}: final counter {value} != acked sum \
+                 {expected_sum} ({} it)",
+                if value > expected_sum {
+                    "duplicate executions inflated"
+                } else {
+                    "lost acknowledged replies deflated"
+                }
+            ));
+        }
+    }
+
+    let digest_entries: Vec<(usize, SocketAddr)> = (0..3).map(|n| (n, metrics_addrs[n])).collect();
+    let (reports, digest_equal) = converged_digests(&digest_entries);
+    if !digest_equal {
+        failures.push("per-member digest reports never converged after the heal".to_owned());
+    }
+    if let Some(dir) = &opts.digests {
+        write_digest_reports(dir, opts.seed, "partition", &reports);
+    }
+    let elapsed = started.elapsed();
+
+    eprintln!(
+        "ftd-group-soak: acked_sum={acked_sum} finals={finals:?} no_quorum_drops={drops} \
+         digest_equal={digest_equal}"
+    );
+
+    let passed = failures.is_empty();
+    if let Some(path) = &opts.json {
+        write_json(
+            path,
+            format!(
+                "{{\n  \"mode\": \"partition\",\n  \"seed\": {},\n  \"clients\": {},\n  \
+                 \"requests_per_client\": {},\n  \"target\": \"gw-{target}\",\n  \
+                 \"expected_sum\": {expected_sum},\n  \"acked_sum\": {acked_sum},\n  \
+                 \"final_values\": {{ {} }},\n  \"no_quorum_drops\": {drops},\n  \
+                 \"digest_equal\": {digest_equal},\n  \"elapsed_ms\": {},\n  \
+                 \"passed\": {passed}\n}}\n",
+                opts.seed,
+                opts.clients,
+                opts.requests,
+                finals_json(&finals),
+                elapsed.as_millis(),
+            ),
+        );
+    }
+
+    drop(cluster.members);
+    let _ = std::fs::remove_dir_all(&cluster.work_dir);
+    let detail = format!(
+        "target=gw-{target} finals={finals:?} no_quorum_drops={drops} \
+         digest_equal={digest_equal}"
+    );
+    verdict(Mode::Partition, opts, &failures, detail, elapsed);
 }

@@ -116,6 +116,23 @@ pub enum Action {
         /// Admission→reply duration in clock microseconds.
         micros: u64,
     },
+    /// A peer gateway's piggybacked reply CRC or rolling digest for a
+    /// response sequence this gateway also executed disagrees with the
+    /// local computation: the members' replicas have diverged. The host
+    /// raises the `group.divergence` alarm and logs the sequence.
+    Divergence {
+        /// The server group whose response stream diverged.
+        group: u32,
+        /// The per-group response sequence number that disagreed.
+        seq: u64,
+        /// The member index whose piggybacked values disagreed.
+        member: u32,
+    },
+    /// Two or more distinct peers disagree with this gateway's response
+    /// stream: it is the minority and has fenced itself. The host must
+    /// stop serving — shed client connections, leave the membership
+    /// view, withdraw from the IOR profile set.
+    Fence,
 }
 
 /// Every counter name the engine can emit through [`Action::Count`],
@@ -147,6 +164,47 @@ pub const ENGINE_COUNTERS: &[&str] = &[
 /// The histogram series name [`Action::Latency`] observations belong to;
 /// hosts append a `{group="N"}` label per server group.
 pub const ENGINE_LATENCY_SERIES: &str = "gateway.request_latency_us";
+
+/// Per-server-group entries retained for peer divergence cross-checks.
+/// A peer whose piggybacked sequence is older than this window is
+/// simply not checked (it needs a state transfer anyway).
+const RESPONSE_WINDOW: usize = 1024;
+
+/// CRC-32 (IEEE) over `bytes` — the reply fingerprint piggybacked on
+/// [`GwMsg::PeerReply`]. Bitwise (no table): replies are small and the
+/// fingerprint is off the hot path unless `relay_replies` is set.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Folds one `(seq, crc)` response into a rolling per-group digest
+/// (splitmix64 finalizer). Equal digests at equal sequence numbers mean
+/// the entire response history up to that point matched byte-for-byte.
+fn mix(digest: u64, seq: u64, crc: u32) -> u64 {
+    let mut z = (digest ^ seq.rotate_left(32) ^ crc as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One server group's response-stream fingerprint: how many responses
+/// the local domain has produced for it, the rolling digest over all of
+/// them, and a bounded window of recent `(crc, digest)` pairs for
+/// cross-checking peers' piggybacked values.
+#[derive(Debug, Default)]
+struct ResponseChain {
+    seq: u64,
+    digest: u64,
+    window: BTreeMap<u64, (u32, u64)>,
+}
 
 /// Domain-side facts the engine needs but cannot derive from its inputs.
 /// Hosts implement this over whatever their domain substrate is (the
@@ -216,6 +274,19 @@ pub struct EngineConfig {
     /// by default: only out-of-process gateway groups (where a peer
     /// cannot see this gateway's domain responses) need the copy.
     pub relay_replies: bool,
+    /// The out-of-process gateway group routes relayed invocations
+    /// through a cross-member sequencer (the lowest-id member stamps a
+    /// group-wide order) instead of applying them in arrival order. The
+    /// engine itself does not sequence — the host's relay layer does —
+    /// but the flag rides here so record/replay preserves the topology.
+    pub sequenced: bool,
+    /// Test hook: after this many responses have been fingerprinted,
+    /// flip one byte of every subsequent domain response before it is
+    /// hashed, cached, and delivered — simulating a diverged local
+    /// replica so divergence detection can be exercised end to end.
+    /// Never recorded; replay of a corrupting run re-corrupts
+    /// deterministically only if the hook is re-armed by hand.
+    pub corrupt_after: Option<u64>,
 }
 
 impl EngineConfig {
@@ -231,6 +302,8 @@ impl EngineConfig {
             max_body: DEFAULT_MAX_BODY_LEN,
             persist_responses: false,
             relay_replies: false,
+            sequenced: false,
+            corrupt_after: None,
         }
     }
 
@@ -284,6 +357,20 @@ impl EngineConfigBuilder {
     /// [`GwMsg::PeerReply`] (out-of-process gateway groups).
     pub fn relay_replies(mut self, relay: bool) -> Self {
         self.config.relay_replies = relay;
+        self
+    }
+
+    /// Marks the host's relay layer as sequencing relayed invocations
+    /// through the group-wide total order (recorded for replay).
+    pub fn sequenced(mut self, sequenced: bool) -> Self {
+        self.config.sequenced = sequenced;
+        self
+    }
+
+    /// Arms the divergence-injection test hook: corrupt every domain
+    /// response after the first `after` fingerprinted ones.
+    pub fn corrupt_after(mut self, after: u64) -> Self {
+        self.config.corrupt_after = Some(after);
         self
     }
 
@@ -361,6 +448,21 @@ pub struct GatewayEngine {
     /// bounded like the response cache.
     admitted: BTreeMap<OperationId, u64>,
     admitted_order: VecDeque<OperationId>,
+    /// Per-server-group response fingerprints (`relay_replies` hosts).
+    chains: BTreeMap<u32, ResponseChain>,
+    /// Ensures each op is fingerprinted exactly once from the domain
+    /// side, independent of the delivery filter a peer relay may have
+    /// already won — the per-group sequence must stay aligned across
+    /// members or every cross-check would misfire.
+    domain_seen: ResponseFilter,
+    /// Total responses fingerprinted (drives `corrupt_after`).
+    responses_fingerprinted: u64,
+    /// Peers whose piggybacked fingerprints disagreed with ours. Two
+    /// distinct disagreeing peers make us the minority — we fence.
+    disagreeing: BTreeSet<u32>,
+    /// Set once [`Action::Fence`] has been emitted: the engine stops
+    /// accepting client work (connections are shed on contact).
+    fenced: bool,
 }
 
 impl std::fmt::Debug for GatewayEngine {
@@ -393,6 +495,11 @@ impl GatewayEngine {
             clock: None,
             admitted: BTreeMap::new(),
             admitted_order: VecDeque::new(),
+            chains: BTreeMap::new(),
+            domain_seen: ResponseFilter::new(4096),
+            responses_fingerprinted: 0,
+            disagreeing: BTreeSet::new(),
+            fenced: false,
         }
     }
 
@@ -427,6 +534,88 @@ impl GatewayEngine {
     /// The §3.2 counter value for a server group (0 if untouched).
     pub fn counter_for(&self, server: GroupId) -> u32 {
         self.counters.get(&server.0).copied().unwrap_or(0)
+    }
+
+    /// Whether this engine fenced itself after divergence detection
+    /// ([`Action::Fence`] was emitted).
+    pub fn is_fenced(&self) -> bool {
+        self.fenced
+    }
+
+    /// The per-server-group response fingerprints as
+    /// `(group, responses_seen, rolling_digest)` triples, ordered by
+    /// group id. Members that executed the same sequenced response
+    /// stream report byte-identical triples — the soak's cross-member
+    /// equality assertion.
+    pub fn response_digests(&self) -> Vec<(u32, u64, u64)> {
+        self.chains
+            .iter()
+            .map(|(&g, c)| (g, c.seq, c.digest))
+            .collect()
+    }
+
+    /// Folds one locally executed domain response into its server
+    /// group's chain: bump the sequence, CRC the bytes, extend the
+    /// rolling digest, and remember the pair for peer cross-checks. The
+    /// `corrupt_after` hook flips a byte *first*, so the corruption
+    /// flows into the hash, the cache, and the delivered reply alike —
+    /// exactly what a diverged replica would do.
+    fn fingerprint_response(&mut self, server: GroupId, bytes: &mut [u8]) -> (u64, u32, u64) {
+        self.responses_fingerprinted += 1;
+        if let Some(after) = self.config.corrupt_after {
+            if self.responses_fingerprinted > after {
+                if let Some(b) = bytes.last_mut() {
+                    *b ^= 0x01;
+                }
+            }
+        }
+        let chain = self.chains.entry(server.0).or_default();
+        chain.seq += 1;
+        let crc = crc32(bytes);
+        chain.digest = mix(chain.digest, chain.seq, crc);
+        chain.window.insert(chain.seq, (crc, chain.digest));
+        while chain.window.len() > RESPONSE_WINDOW {
+            let oldest = *chain.window.keys().next().expect("non-empty");
+            chain.window.remove(&oldest);
+        }
+        (chain.seq, crc, chain.digest)
+    }
+
+    /// Cross-checks a peer's piggybacked `(seq, crc, digest)` against
+    /// the local chain. Sequences outside the local window (a rejoiner
+    /// with fresh counters, an evicted entry) are skipped — absence of
+    /// evidence is not divergence. Two distinct disagreeing peers mean
+    /// *we* are the minority: fence.
+    fn cross_check(
+        &mut self,
+        server: GroupId,
+        member: u32,
+        seq: u64,
+        crc: u32,
+        digest: u64,
+        out: &mut Vec<Action>,
+    ) {
+        if !self.config.relay_replies || seq == 0 || member == self.config.index {
+            return;
+        }
+        let Some(&(our_crc, our_digest)) =
+            self.chains.get(&server.0).and_then(|c| c.window.get(&seq))
+        else {
+            return;
+        };
+        if our_crc == crc && our_digest == digest {
+            return;
+        }
+        out.push(Action::Divergence {
+            group: server.0,
+            seq,
+            member,
+        });
+        self.disagreeing.insert(member);
+        if self.disagreeing.len() >= 2 && !self.fenced {
+            self.fenced = true;
+            out.push(Action::Fence);
+        }
     }
 
     /// Assigns the next §3.2 client identifier for `server`. Exposed for
@@ -524,12 +713,40 @@ impl GatewayEngine {
         *counter = (*counter).max(value);
     }
 
+    /// Seeds a server group's response chain from a peer's state
+    /// transfer: the rejoiner's chain resumes at the donor's `(seq,
+    /// digest)` instead of restarting at zero (which would make every
+    /// later peer cross-check look like divergence). Advance-only — a
+    /// stale seed never rolls an already-live chain backwards — and the
+    /// cross-check window starts empty: sequences at or below the seed
+    /// are exactly the "outside the local window, skip" case.
+    pub fn seed_chain(&mut self, group: u32, seq: u64, digest: u64) {
+        let chain = self.chains.entry(group).or_default();
+        if chain.seq < seq {
+            chain.seq = seq;
+            chain.digest = digest;
+            chain.window.clear();
+        }
+    }
+
+    /// Marks `op` as already fingerprinted: a rejoiner primes this with
+    /// every response its installed snapshot covers, so when the local
+    /// replica re-answers one of them (a client reissue re-executing
+    /// through domain dedup) the reply is not folded into the response
+    /// chain a second time.
+    pub fn note_domain_response(&mut self, op: OperationId) {
+        let _ = self.domain_seen.accept(op);
+    }
+
     // ------------------------------------------------------------------
     // Inbound: a client connection's lifecycle (Fig. 5a)
     // ------------------------------------------------------------------
 
     /// A new client connection was accepted by the transport.
     pub fn on_client_accepted(&mut self, conn: GwConn) -> Vec<Action> {
+        if self.fenced {
+            return vec![Action::CloseClient { conn }];
+        }
         self.conns.insert(
             conn,
             ClientConn {
@@ -552,6 +769,13 @@ impl GatewayEngine {
         view: &dyn DomainView,
     ) -> Vec<Action> {
         let mut out = Vec::new();
+        if self.fenced {
+            // Self-fenced after divergence: a diverged gateway answering
+            // reissues would hand out minority bytes. Shed on contact.
+            self.conns.remove(&conn);
+            out.push(Action::CloseClient { conn });
+            return out;
+        }
         if let Some(state) = self.conns.get_mut(&conn) {
             state.reader.push(bytes);
         } else {
@@ -593,6 +817,11 @@ impl GatewayEngine {
         view: &dyn DomainView,
     ) -> Vec<Action> {
         let mut out = Vec::new();
+        if self.fenced {
+            self.conns.remove(&conn);
+            out.push(Action::CloseClient { conn });
+            return out;
+        }
         let max_body = self.config.max_body;
         self.conns.entry(conn).or_insert_with(|| ClientConn {
             reader: MessageReader::with_max_body(max_body),
@@ -804,8 +1033,13 @@ impl GatewayEngine {
                     client,
                     request_id,
                     server,
+                    member,
+                    seq,
+                    crc,
+                    digest,
                     reply,
                 } => {
+                    self.cross_check(server, member, seq, crc, digest, &mut out);
                     self.on_peer_reply(client, request_id, server, reply, &mut out);
                 }
             }
@@ -828,22 +1062,37 @@ impl GatewayEngine {
     ) {
         let op = header.operation_id();
 
-        // Voting for active-with-voting server groups, then first-wins.
-        let accepted = if view.votes(header.source) {
+        // Reduce the replica copies to one candidate: the vote winner
+        // for active-with-voting groups, the bytes themselves otherwise.
+        let mut candidate = if view.votes(header.source) {
             let size = view.live_replicas(header.source).max(1);
             match self.voter.vote(op, iiop, size) {
-                Some(winner) if self.filter.accept(op) => winner,
-                _ => return,
+                Some(winner) => winner,
+                None => return,
             }
         } else {
-            if !self.filter.accept(op) {
+            iiop
+        };
+
+        // Fingerprint every locally executed response exactly once —
+        // even when a peer's relay already won the delivery filter —
+        // so the per-group sequence stays aligned across members.
+        let fingerprint = if self.config.relay_replies && self.domain_seen.accept(op) {
+            Some(self.fingerprint_response(header.source, &mut candidate))
+        } else {
+            None
+        };
+
+        // First-wins delivery across the local and relayed paths.
+        if !self.filter.accept(op) {
+            if !view.votes(header.source) {
                 out.push(Action::Count {
                     counter: "gateway.duplicate_responses_suppressed",
                 });
-                return;
             }
-            iiop
-        };
+            return;
+        }
+        let accepted = candidate;
 
         self.cache_put(op, accepted.clone(), out);
         self.finish_admission(op, out);
@@ -857,12 +1106,19 @@ impl GatewayEngine {
                     // domain's responses, so relay the authoritative
                     // bytes *before* the client ack — once the client
                     // holds the reply, some surviving peer must too.
+                    // The piggybacked fingerprint is the peers'
+                    // divergence cross-check material.
+                    let (seq, crc, digest) = fingerprint.unwrap_or((0, 0, 0));
                     out.push(Action::Multicast {
                         group: self.config.group,
                         payload: GwMsg::PeerReply {
                             client: op.client,
                             request_id: op.child_seq,
                             server: op.target,
+                            member: self.config.index,
+                            seq,
+                            crc,
+                            digest,
                             reply: accepted.clone(),
                         }
                         .encode(),
@@ -1216,6 +1472,20 @@ impl GatewayEngine {
         }
         put_u32(&mut out, self.next_forward_id);
         put_u64(&mut out, self.filter.suppressed());
+        // The response chains are summarized by (seq, digest): the
+        // rolling digest is a pure function of the full (seq, crc)
+        // history, so equal summaries mean equal windows too.
+        put_u32(&mut out, self.chains.len() as u32);
+        for (&group, chain) in &self.chains {
+            put_u32(&mut out, group);
+            put_u64(&mut out, chain.seq);
+            put_u64(&mut out, chain.digest);
+        }
+        put_u32(&mut out, self.disagreeing.len() as u32);
+        for &member in &self.disagreeing {
+            put_u32(&mut out, member);
+        }
+        out.push(self.fenced as u8);
         out
     }
 }
@@ -1511,6 +1781,10 @@ mod tests {
             client: 0x5000_0001,
             request_id: 5,
             server: GroupId(10),
+            member: 0,
+            seq: 0,
+            crc: 0,
+            digest: 0,
             reply: reply.clone(),
         }
         .encode();
@@ -1569,6 +1843,10 @@ mod tests {
             client,
             request_id: 6,
             server: GroupId(10),
+            member: 0,
+            seq: 0,
+            crc: 0,
+            digest: 0,
             reply: relayed.clone(),
         }
         .encode();
@@ -1597,6 +1875,10 @@ mod tests {
             client,
             request_id: 7,
             server: GroupId(10),
+            member: 0,
+            seq: 0,
+            crc: 0,
+            digest: 0,
             reply: relayed.clone(),
         }
         .encode();
@@ -1696,5 +1978,203 @@ mod tests {
         assert!(!actions
             .iter()
             .any(|a| matches!(a, Action::Multicast { group, .. } if *group == GroupId(100))));
+    }
+
+    fn relay_engine(index: u32) -> GatewayEngine {
+        let config = EngineConfig::builder(0, GroupId(100), index)
+            .relay_replies(true)
+            .build();
+        GatewayEngine::new(config, BTreeMap::new())
+    }
+
+    /// Drives one enhanced-client request plus its domain response
+    /// through `gw` and returns the `(seq, crc, digest)` fingerprint it
+    /// piggybacked on the relayed [`GwMsg::PeerReply`].
+    fn drive_fingerprinted_response(gw: &mut GatewayEngine, request_id: u32) -> (u64, u32, u64) {
+        let client = 0x5000_0009;
+        gw.on_client_accepted(GwConn(1));
+        gw.on_bytes_from_client(GwConn(1), &enhanced_request(request_id, client), &SoloView);
+        let reply =
+            GiopMessage::Reply(Reply::success(request_id, vec![7, 7, 7])).encode(ByteOrder::Big);
+        let header = FtHeader {
+            client,
+            source: GroupId(10),
+            target: GroupId(100),
+            kind: OperationKind::Response,
+            parent_ts: 0,
+            child_seq: request_id,
+        };
+        let payload = DomainMsg::Iiop {
+            header,
+            iiop: reply,
+        }
+        .encode();
+        let actions = gw.on_delivery_from_domain(GroupId(100), &payload, &SoloView);
+        actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Multicast { payload, .. } => match GwMsg::decode(payload) {
+                    Ok(GwMsg::PeerReply {
+                        seq, crc, digest, ..
+                    }) => Some((seq, crc, digest)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .expect("a relay_replies engine relays a PeerReply")
+    }
+
+    /// An encoded [`GwMsg::PeerReply`] as peer `member` would relay it.
+    fn peer_reply(member: u32, request_id: u32, fp: (u64, u32, u64)) -> Vec<u8> {
+        GwMsg::PeerReply {
+            client: 0x5000_0009,
+            request_id,
+            server: GroupId(10),
+            member,
+            seq: fp.0,
+            crc: fp.1,
+            digest: fp.2,
+            reply: vec![1, 2, 3],
+        }
+        .encode()
+    }
+
+    #[test]
+    fn two_disagreeing_peers_fence_the_minority_member() {
+        let mut gw = relay_engine(3);
+        let fp = drive_fingerprinted_response(&mut gw, 1);
+        assert_eq!(fp.0, 1, "first fingerprinted response is seq 1");
+
+        // A peer that agrees raises nothing.
+        let ok = gw.on_delivery_from_domain(GroupId(100), &peer_reply(1, 1, fp), &SoloView);
+        assert!(!ok.iter().any(|a| matches!(a, Action::Divergence { .. })));
+
+        // One disagreeing peer: divergence, but it might be *them*.
+        let bad = (fp.0, fp.1 ^ 0xFF, fp.2);
+        let one = gw.on_delivery_from_domain(GroupId(100), &peer_reply(1, 1, bad), &SoloView);
+        assert!(one.iter().any(|a| matches!(
+            a,
+            Action::Divergence {
+                group: 10,
+                seq: 1,
+                member: 1
+            }
+        )));
+        assert!(!one.iter().any(|a| matches!(a, Action::Fence)));
+        assert!(!gw.is_fenced());
+
+        // A second distinct disagreeing peer makes us the minority.
+        let two = gw.on_delivery_from_domain(GroupId(100), &peer_reply(2, 1, bad), &SoloView);
+        assert!(two
+            .iter()
+            .any(|a| matches!(a, Action::Divergence { member: 2, .. })));
+        assert!(two.iter().any(|a| matches!(a, Action::Fence)));
+        assert!(gw.is_fenced());
+
+        // Fenced: client work is shed on contact.
+        let shed = gw.on_bytes_from_client(GwConn(1), &[1, 2, 3], &SoloView);
+        assert_eq!(shed, vec![Action::CloseClient { conn: GwConn(1) }]);
+        let accept = gw.on_client_accepted(GwConn(9));
+        assert_eq!(accept, vec![Action::CloseClient { conn: GwConn(9) }]);
+    }
+
+    #[test]
+    fn an_injected_corruption_is_caught_by_peer_cross_checks() {
+        let mut honest = relay_engine(1);
+        let mut corrupt = GatewayEngine::new(
+            EngineConfig::builder(0, GroupId(100), 2)
+                .relay_replies(true)
+                .corrupt_after(0)
+                .build(),
+            BTreeMap::new(),
+        );
+        let fp_honest = drive_fingerprinted_response(&mut honest, 1);
+        let fp_corrupt = drive_fingerprinted_response(&mut corrupt, 1);
+        assert_eq!(fp_honest.0, fp_corrupt.0, "same sequence position");
+        assert_ne!(
+            fp_honest.1, fp_corrupt.1,
+            "the flipped byte changes the CRC"
+        );
+
+        // Each side sees exactly one disagreeing peer — divergence is
+        // flagged, but neither fences on a single vote.
+        let at_corrupt =
+            corrupt.on_delivery_from_domain(GroupId(100), &peer_reply(1, 1, fp_honest), &SoloView);
+        assert!(at_corrupt
+            .iter()
+            .any(|a| matches!(a, Action::Divergence { member: 1, .. })));
+        let at_honest =
+            honest.on_delivery_from_domain(GroupId(100), &peer_reply(2, 1, fp_corrupt), &SoloView);
+        assert!(at_honest
+            .iter()
+            .any(|a| matches!(a, Action::Divergence { member: 2, .. })));
+        assert!(!honest.is_fenced() && !corrupt.is_fenced());
+    }
+
+    #[test]
+    fn a_losing_local_response_still_extends_the_fingerprint_chain() {
+        let mut gw = relay_engine(1);
+        gw.on_client_accepted(GwConn(1));
+        gw.on_bytes_from_client(GwConn(1), &enhanced_request(1, 0x5000_0009), &SoloView);
+        // The owner's relay wins the delivery race (seq 0: no check)...
+        gw.on_delivery_from_domain(GroupId(100), &peer_reply(2, 1, (0, 0, 0)), &SoloView);
+        // ...but the local domain response must still be fingerprinted,
+        // or this member's sequence falls behind its peers' forever.
+        let reply = GiopMessage::Reply(Reply::success(1, vec![9])).encode(ByteOrder::Big);
+        let header = FtHeader {
+            client: 0x5000_0009,
+            source: GroupId(10),
+            target: GroupId(100),
+            kind: OperationKind::Response,
+            parent_ts: 0,
+            child_seq: 1,
+        };
+        let payload = DomainMsg::Iiop {
+            header,
+            iiop: reply,
+        }
+        .encode();
+        let actions = gw.on_delivery_from_domain(GroupId(100), &payload, &SoloView);
+        assert!(actions.iter().any(|a| matches!(a, Action::Count { counter }
+            if *counter == "gateway.duplicate_responses_suppressed")));
+        assert_eq!(gw.response_digests().len(), 1);
+        let (group, seq, _) = gw.response_digests()[0];
+        assert_eq!((group, seq), (10, 1));
+    }
+
+    #[test]
+    fn seeded_chains_advance_only_and_cover_transferred_responses() {
+        let mut gw = relay_engine(3);
+        gw.seed_chain(10, 7, 0xDEAD);
+        assert_eq!(gw.response_digests(), vec![(10, 7, 0xDEAD)]);
+        // A stale seed never rolls an already-seeded chain backwards.
+        gw.seed_chain(10, 3, 0xBEEF);
+        assert_eq!(gw.response_digests(), vec![(10, 7, 0xDEAD)]);
+        // Cross-checks at sequences the seed covers hit the cleared
+        // window and are skipped — a rejoiner is never fenced for
+        // history it installed rather than executed.
+        let none =
+            gw.on_delivery_from_domain(GroupId(100), &peer_reply(1, 1, (5, 1, 2)), &SoloView);
+        assert!(!none.iter().any(|a| matches!(a, Action::Divergence { .. })));
+        assert!(!gw.is_fenced());
+
+        // A response the snapshot already covers (noted below) must not
+        // extend the chain when the local replica re-answers it.
+        let header = FtHeader {
+            client: 0x5000_0009,
+            source: GroupId(10),
+            target: GroupId(100),
+            kind: OperationKind::Response,
+            parent_ts: 0,
+            child_seq: 1,
+        };
+        gw.note_domain_response(header.operation_id());
+        let payload = DomainMsg::Iiop {
+            header,
+            iiop: GiopMessage::Reply(Reply::success(1, vec![9])).encode(ByteOrder::Big),
+        }
+        .encode();
+        gw.on_delivery_from_domain(GroupId(100), &payload, &SoloView);
+        assert_eq!(gw.response_digests(), vec![(10, 7, 0xDEAD)]);
     }
 }

@@ -79,6 +79,8 @@ impl GatewayConfig {
             max_body: ftd_giop::DEFAULT_MAX_BODY_LEN,
             persist_responses: false,
             relay_replies: false,
+            sequenced: false,
+            corrupt_after: None,
         }
     }
 }
@@ -247,6 +249,10 @@ impl Gateway {
                         micros,
                     );
                 }
+                // Out-of-process group signals: the simulated host's
+                // gateways share one domain and never set
+                // `relay_replies`, so no fingerprints circulate.
+                Action::Divergence { .. } | Action::Fence => {}
             }
         }
     }

@@ -62,7 +62,10 @@ pub enum GwMsg {
     /// The authoritative reply bytes a peer gateway delivered (or is
     /// about to deliver) to its client, relayed so every gateway's
     /// §3.5 response cache can answer a reissue of the same request
-    /// byte-identically if that peer fails.
+    /// byte-identically if that peer fails. Piggybacks the sender's
+    /// per-group response sequence, reply-bytes CRC, and rolling state
+    /// digest so receivers can cross-check their own replica's bytes —
+    /// the divergence alarm.
     PeerReply {
         /// The client's identifier.
         client: u32,
@@ -70,6 +73,16 @@ pub enum GwMsg {
         request_id: u32,
         /// The server group the request targeted.
         server: GroupId,
+        /// The sending gateway's member index (`EngineConfig::index`).
+        member: u32,
+        /// The sender's per-group response sequence number for this
+        /// reply (0 = sender does not sequence; skip the cross-check).
+        seq: u64,
+        /// CRC-32 of the domain response bytes behind this reply.
+        crc: u32,
+        /// The sender's rolling per-group state digest after folding
+        /// this response in.
+        digest: u64,
         /// The full encoded GIOP Reply the owning gateway sent.
         reply: Vec<u8>,
     },
@@ -99,12 +112,20 @@ impl GwMsg {
                 client,
                 request_id,
                 server,
+                member,
+                seq,
+                crc,
+                digest,
                 reply,
             } => {
                 let mut v = vec![KIND_PEER_REPLY];
                 v.extend(client.to_be_bytes());
                 v.extend(request_id.to_be_bytes());
                 v.extend(server.0.to_be_bytes());
+                v.extend(member.to_be_bytes());
+                v.extend(seq.to_be_bytes());
+                v.extend(crc.to_be_bytes());
+                v.extend(digest.to_be_bytes());
                 v.extend((reply.len() as u32).to_be_bytes());
                 v.extend_from_slice(reply);
                 v
@@ -126,6 +147,12 @@ impl GwMsg {
                 .map(|b| u32::from_be_bytes(b.try_into().expect("len 4")))
                 .ok_or(GwMsgError::Truncated)
         };
+        let u64_at = |i: usize| -> Result<u64, GwMsgError> {
+            bytes
+                .get(i..i + 8)
+                .map(|b| u64::from_be_bytes(b.try_into().expect("len 8")))
+                .ok_or(GwMsgError::Truncated)
+        };
         match bytes.first() {
             Some(&KIND_RECORD) => Ok(GwMsg::Record {
                 client: u32_at(1)?,
@@ -134,15 +161,19 @@ impl GwMsg {
             }),
             Some(&KIND_CLIENT_GONE) => Ok(GwMsg::ClientGone { client: u32_at(1)? }),
             Some(&KIND_PEER_REPLY) => {
-                let len = u32_at(13)? as usize;
+                let len = u32_at(37)? as usize;
                 let reply = bytes
-                    .get(17..17 + len)
+                    .get(41..41 + len)
                     .ok_or(GwMsgError::Truncated)?
                     .to_vec();
                 Ok(GwMsg::PeerReply {
                     client: u32_at(1)?,
                     request_id: u32_at(5)?,
                     server: GroupId(u32_at(9)?),
+                    member: u32_at(13)?,
+                    seq: u64_at(17)?,
+                    crc: u32_at(25)?,
+                    digest: u64_at(29)?,
                     reply,
                 })
             }
@@ -183,6 +214,10 @@ mod tests {
             client: 0x5000_0001,
             request_id: 42,
             server: GroupId(3),
+            member: 2,
+            seq: 0x0102_0304_0506_0708,
+            crc: 0xDEAD_BEEF,
+            digest: 0x1122_3344_5566_7788,
             reply: vec![0xde, 0xad, 0xbe, 0xef],
         };
         assert_eq!(GwMsg::decode(&m.encode()).unwrap(), m);
@@ -190,6 +225,10 @@ mod tests {
             client: 1,
             request_id: 1,
             server: GroupId(1),
+            member: 0,
+            seq: 0,
+            crc: 0,
+            digest: 0,
             reply: Vec::new(),
         };
         assert_eq!(GwMsg::decode(&empty.encode()).unwrap(), empty);
@@ -208,6 +247,10 @@ mod tests {
             client: 7,
             request_id: 9,
             server: GroupId(3),
+            member: 1,
+            seq: 4,
+            crc: 0x55,
+            digest: 0x66,
             reply: vec![1, 2, 3, 4, 5],
         }
         .encode();

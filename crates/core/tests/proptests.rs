@@ -23,6 +23,10 @@ fn gwmsg_round_trips() {
             client: g.u32(),
             request_id: g.u32(),
             server: GroupId(g.u32()),
+            member: g.u32(),
+            seq: g.u64(),
+            crc: g.u32(),
+            digest: g.u64(),
             reply: g.bytes(63),
         };
         assert_eq!(GwMsg::decode(&relayed.encode()).unwrap(), relayed);

@@ -201,6 +201,15 @@ impl Mechanisms {
         self.replicas.get(&group).map(|r| r.object.state())
     }
 
+    /// The completed `(operation, reply)` pairs of the local replica of
+    /// `group`, if hosted — what a donor streams alongside
+    /// [`Mechanisms::replica_state`] so the receiver's duplicate
+    /// detection suppresses (and re-answers) operations the snapshot
+    /// already covers instead of re-executing them.
+    pub fn completed_responses(&self, group: GroupId) -> Option<Vec<(OperationId, Vec<u8>)>> {
+        self.replicas.get(&group).map(|r| r.table.completed())
+    }
+
     /// Drains completed root invocations.
     pub fn take_root_replies(&mut self) -> Vec<RootReply> {
         std::mem::take(&mut self.root_replies)

@@ -16,6 +16,11 @@
 //!   [`RelayMsg`] frames carrying relayed invocations and opaque
 //!   gateway-to-gateway messages (reply bytes, client-failure
 //!   notifications) between members.
+//! * [`Sequencer`] — the group-wide total order: the lowest-id member
+//!   stamps every relayed invocation with a monotonic sequence number;
+//!   everyone applies strictly in sequence, buffering out-of-order
+//!   arrivals, re-requesting gaps, and retaining an applied window to
+//!   answer them.
 //!
 //! `ftd-net` wires both into `GatewayServer`; this crate knows nothing
 //! about GIOP or the engine — relay payloads are opaque bytes.
@@ -25,8 +30,10 @@
 
 mod link;
 mod node;
+mod seq;
 mod wire;
 
 pub use link::{FrameHandler, PeerMesh};
 pub use node::{GroupConfig, GroupMember, GroupNode};
+pub use seq::{SequencedOp, Sequencer, RETAINED_FRAMES};
 pub use wire::{GroupMsg, RelayMsg, WireError, MAX_RELAY_FRAME, PROTO_VERSION};

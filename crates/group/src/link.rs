@@ -9,7 +9,10 @@
 //! callback together with that node id.
 //!
 //! Delivery is best-effort per link: a write failure drops the
-//! connection and the next broadcast redials (with a short backoff).
+//! connection and a later send redials — after an exponential backoff
+//! that doubles per consecutive failure (counted in
+//! `group.reconnects`), so a dead peer costs one connect attempt per
+//! widening window instead of one per relayed frame.
 //! The gateway's correctness does not ride on the mesh being lossless —
 //! a missed relay only means a reissued request is re-executed through
 //! the §3.3 dedup filter instead of answered from the relayed cache.
@@ -29,14 +32,35 @@ use std::time::Duration;
 pub type FrameHandler = Arc<dyn Fn(u32, RelayMsg) + Send + Sync>;
 
 const CONNECT_TIMEOUT: Duration = Duration::from_millis(250);
-const REDIAL_BACKOFF_US: u64 = 500_000;
+/// Base redial backoff after a failed dial or a dropped link; doubles
+/// per consecutive failure up to [`REDIAL_BACKOFF_CAP_SHIFT`] doublings.
+const REDIAL_BACKOFF_US: u64 = 250_000;
+const REDIAL_BACKOFF_CAP_SHIFT: u32 = 5; // 250ms .. 8s
+
+/// Per-peer redial state: when we last tried, and how many consecutive
+/// failures we are into (drives the exponential backoff).
+#[derive(Clone, Copy, Default)]
+struct Redial {
+    last_attempt_us: u64,
+    failures: u32,
+}
+
+impl Redial {
+    fn delay_us(&self) -> u64 {
+        REDIAL_BACKOFF_US
+            << self
+                .failures
+                .saturating_sub(1)
+                .min(REDIAL_BACKOFF_CAP_SHIFT)
+    }
+}
 
 struct MeshInner {
     node: Arc<GroupNode>,
     clock: Arc<dyn Clock>,
     registry: Arc<Registry>,
     conns: Mutex<BTreeMap<u32, TcpStream>>,
-    last_attempt_us: Mutex<BTreeMap<u32, u64>>,
+    redials: Mutex<BTreeMap<u32, Redial>>,
     readers: Mutex<Vec<TcpStream>>,
     stop: AtomicBool,
     local_addr: SocketAddr,
@@ -74,7 +98,7 @@ impl PeerMesh {
             clock,
             registry,
             conns: Mutex::new(BTreeMap::new()),
-            last_attempt_us: Mutex::new(BTreeMap::new()),
+            redials: Mutex::new(BTreeMap::new()),
             readers: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
             local_addr,
@@ -95,11 +119,25 @@ impl PeerMesh {
     }
 
     /// Sends one frame to every live peer in the current membership
-    /// view, dialing missing connections (with backoff on recent
-    /// failures). Write errors drop the link; they are counted, not
-    /// returned — see the module docs for why best-effort is sound.
+    /// view, dialing missing connections (with exponential backoff on
+    /// consecutive failures). Write errors drop the link; they are
+    /// counted, not returned — see the module docs for why best-effort
+    /// is sound.
     pub fn broadcast(&self, msg: &RelayMsg) {
         self.inner.broadcast(msg);
+    }
+
+    /// Sends one frame to a single peer by node id, dialing if needed.
+    /// Returns whether the frame was handed to the kernel — `false`
+    /// means the peer is not in the view, is in redial backoff, or the
+    /// write failed (and the link was dropped).
+    pub fn send_to(&self, node: u32, msg: &RelayMsg) -> bool {
+        self.inner.send_to(node, msg)
+    }
+
+    /// The membership node this mesh rides on.
+    pub fn node(&self) -> &Arc<GroupNode> {
+        &self.inner.node
     }
 
     /// Stops the accept loop and closes every link.
@@ -175,44 +213,77 @@ impl MeshInner {
 
     fn broadcast(&self, msg: &RelayMsg) {
         let peers = self.node.peers();
-        let sent = self.registry.counter(names::GROUP_RELAY_FRAMES_SENT);
         let mut conns = self.conns.lock().expect("mesh conns");
         // Prune links to peers no longer in the view.
         conns.retain(|node, _| peers.iter().any(|p| p.node == *node));
         for peer in &peers {
-            if let std::collections::btree_map::Entry::Vacant(slot) = conns.entry(peer.node) {
-                match self.dial(peer.node, &peer.host, peer.relay_port) {
-                    Some(stream) => {
-                        slot.insert(stream);
-                    }
-                    None => continue,
+            self.send_locked(&mut conns, peer.node, &peer.host, peer.relay_port, msg);
+        }
+    }
+
+    fn send_to(&self, node: u32, msg: &RelayMsg) -> bool {
+        let Some(peer) = self.node.peers().into_iter().find(|p| p.node == node) else {
+            return false;
+        };
+        let mut conns = self.conns.lock().expect("mesh conns");
+        self.send_locked(&mut conns, peer.node, &peer.host, peer.relay_port, msg)
+    }
+
+    /// Writes `msg` down the (possibly freshly dialed) link to `node`;
+    /// on failure drops the link and stamps the redial backoff.
+    fn send_locked(
+        &self,
+        conns: &mut BTreeMap<u32, TcpStream>,
+        node: u32,
+        host: &str,
+        port: u16,
+        msg: &RelayMsg,
+    ) -> bool {
+        if let std::collections::btree_map::Entry::Vacant(slot) = conns.entry(node) {
+            match self.dial(node, host, port) {
+                Some(stream) => {
+                    slot.insert(stream);
                 }
-            }
-            let Some(stream) = conns.get_mut(&peer.node) else {
-                continue;
-            };
-            match msg.write_frame(stream) {
-                Ok(()) => sent.inc(),
-                Err(_) => {
-                    self.registry.inc(names::GROUP_RELAY_ERRORS);
-                    conns.remove(&peer.node);
-                    self.last_attempt_us
-                        .lock()
-                        .expect("mesh attempts")
-                        .insert(peer.node, self.clock.now_micros());
-                }
+                None => return false,
             }
         }
+        let Some(stream) = conns.get_mut(&node) else {
+            return false;
+        };
+        match msg.write_frame(stream) {
+            Ok(()) => {
+                self.registry.inc(names::GROUP_RELAY_FRAMES_SENT);
+                true
+            }
+            Err(_) => {
+                self.registry.inc(names::GROUP_RELAY_ERRORS);
+                conns.remove(&node);
+                self.note_failure(node);
+                false
+            }
+        }
+    }
+
+    /// Records one more consecutive failure against `node`, widening
+    /// its exponential redial backoff window.
+    fn note_failure(&self, node: u32) {
+        let mut redials = self.redials.lock().expect("mesh redials");
+        let entry = redials.entry(node).or_default();
+        entry.last_attempt_us = self.clock.now_micros();
+        entry.failures = entry.failures.saturating_add(1);
     }
 
     fn dial(&self, node: u32, host: &str, port: u16) -> Option<TcpStream> {
         let now = self.clock.now_micros();
         {
-            let attempts = self.last_attempt_us.lock().expect("mesh attempts");
-            if let Some(&last) = attempts.get(&node) {
-                if now.saturating_sub(last) < REDIAL_BACKOFF_US {
+            let redials = self.redials.lock().expect("mesh redials");
+            if let Some(redial) = redials.get(&node) {
+                if now.saturating_sub(redial.last_attempt_us) < redial.delay_us() {
                     return None;
                 }
+                // Past the backoff window: this is a reconnect attempt
+                // to a peer that failed us before.
+                self.registry.inc(names::GROUP_RECONNECTS);
             }
         }
         let addr = format!("{host}:{port}")
@@ -229,25 +300,16 @@ impl MeshInner {
                 };
                 if hello.write_frame(&mut stream).is_err() {
                     self.registry.inc(names::GROUP_RELAY_ERRORS);
-                    self.last_attempt_us
-                        .lock()
-                        .expect("mesh attempts")
-                        .insert(node, now);
+                    self.note_failure(node);
                     return None;
                 }
                 self.registry.inc(names::GROUP_RELAY_CONNECTS);
-                self.last_attempt_us
-                    .lock()
-                    .expect("mesh attempts")
-                    .remove(&node);
+                self.redials.lock().expect("mesh redials").remove(&node);
                 Some(stream)
             }
             None => {
                 self.registry.inc(names::GROUP_RELAY_ERRORS);
-                self.last_attempt_us
-                    .lock()
-                    .expect("mesh attempts")
-                    .insert(node, now);
+                self.note_failure(node);
                 None
             }
         }
@@ -343,5 +405,66 @@ mod tests {
         }
         assert_eq!(node_a.members().len(), 1);
         mesh_a.broadcast(&RelayMsg::Gateway { payload: vec![2] });
+    }
+
+    #[test]
+    fn redial_backoff_doubles_per_failure_and_caps() {
+        let delay = |failures: u32| {
+            Redial {
+                last_attempt_us: 0,
+                failures,
+            }
+            .delay_us()
+        };
+        assert_eq!(delay(1), 250_000);
+        assert_eq!(delay(2), 500_000);
+        assert_eq!(delay(3), 1_000_000);
+        assert_eq!(delay(6), 8_000_000);
+        assert_eq!(delay(1000), 8_000_000, "the window is capped");
+    }
+
+    #[test]
+    fn unicast_reaches_only_the_named_peer() {
+        let got_b: Arc<Mutex<Vec<(u32, RelayMsg)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_b = got_b.clone();
+        let (node_a, mesh_a) = mesh(1, vec![], Arc::new(|_, _| {}));
+        let (node_b, _mesh_b) = mesh(
+            2,
+            vec![node_a.udp_addr().to_string()],
+            Arc::new(move |from, msg| sink_b.lock().expect("sink").push((from, msg))),
+        );
+        assert!(node_a.wait_for_members(2, Duration::from_secs(5)));
+        assert!(node_b.wait_for_members(2, Duration::from_secs(5)));
+
+        assert!(
+            mesh_a.send_to(
+                2,
+                &RelayMsg::GapRequest {
+                    from_seq: 3,
+                    to_seq: 9,
+                }
+            ),
+            "peer 2 is in the view and reachable"
+        );
+        assert!(
+            !mesh_a.send_to(99, &RelayMsg::StateRequest),
+            "unknown peers are refused, not dialed"
+        );
+
+        let mut waited = Duration::ZERO;
+        while got_b.lock().expect("sink").is_empty() && waited < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+            waited += Duration::from_millis(5);
+        }
+        assert_eq!(
+            got_b.lock().expect("sink").clone(),
+            vec![(
+                1,
+                RelayMsg::GapRequest {
+                    from_seq: 3,
+                    to_seq: 9,
+                }
+            )]
+        );
     }
 }

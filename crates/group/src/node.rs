@@ -19,7 +19,7 @@ use ftd_obs::{names, Clock, Registry};
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -102,6 +102,15 @@ struct NodeInner {
     table: Mutex<Table>,
     stop: AtomicBool,
     leave: AtomicBool,
+    /// Set by [`GroupNode::fence`]: announce a Leave once, then go
+    /// silent — no heartbeats, no announces, incoming dropped.
+    fenced: AtomicBool,
+    fence_announced: AtomicBool,
+    /// Micros-deadline of a [`GroupNode::blackout`] window: while the
+    /// clock is below it, the node neither sends nor receives
+    /// membership traffic (the in-process stand-in for a UDP
+    /// partition).
+    blackout_until_us: AtomicU64,
     clock: Arc<dyn Clock>,
     registry: Arc<Registry>,
 }
@@ -165,6 +174,9 @@ impl GroupNode {
             }),
             stop: AtomicBool::new(false),
             leave: AtomicBool::new(true),
+            fenced: AtomicBool::new(false),
+            fence_announced: AtomicBool::new(false),
+            blackout_until_us: AtomicU64::new(0),
             clock,
             registry,
         });
@@ -227,6 +239,37 @@ impl GroupNode {
         }
     }
 
+    /// Self-fences this member: a Leave datagram goes out to every peer
+    /// and seed (so the member drops out of the view — and of the IOR
+    /// profile set — promptly instead of by suspicion), then the node
+    /// goes silent: no heartbeats, no announces, incoming dropped. A
+    /// fenced member can only re-enter the group as a new incarnation
+    /// (a restart).
+    pub fn fence(&self) {
+        if !self.inner.fenced.swap(true, Ordering::SeqCst) {
+            self.inner.registry.inc(names::GROUP_FENCED);
+        }
+    }
+
+    /// Whether [`GroupNode::fence`] was called.
+    pub fn is_fenced(&self) -> bool {
+        self.inner.fenced.load(Ordering::SeqCst)
+    }
+
+    /// Simulates a membership partition: for `dur`, this node drops
+    /// every received datagram and sends nothing. Peers suspect it off
+    /// the view; its own table expires everyone. When the window ends
+    /// the node re-announces to its seeds and the view heals.
+    pub fn blackout(&self, dur: Duration) {
+        let until = self.inner.clock.now_micros() + dur.as_micros() as u64;
+        self.inner.blackout_until_us.store(until, Ordering::SeqCst);
+    }
+
+    /// Whether the node is inside a [`GroupNode::blackout`] window.
+    pub fn in_blackout(&self) -> bool {
+        self.inner.clock.now_micros() < self.inner.blackout_until_us.load(Ordering::SeqCst)
+    }
+
     /// Stops the protocol thread. With `leave = true` a Leave datagram
     /// is sent to every member first (graceful departure); with `false`
     /// the node just vanishes and peers suspect it — the in-process
@@ -258,10 +301,34 @@ impl NodeInner {
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
+            let fenced = self.fenced.load(Ordering::SeqCst);
+            if fenced && !self.fence_announced.swap(true, Ordering::SeqCst) {
+                // Announce the fence once: a Leave to everyone, then
+                // silence. The table empties so the local view reflects
+                // the departure too.
+                let leave = GroupMsg::Leave {
+                    node: self.cfg.node,
+                    incarnation: self.cfg.incarnation,
+                }
+                .encode();
+                let mut table = self.table.lock().expect("group table");
+                for peer in table.peers.values() {
+                    let _ = socket.send_to(&leave, peer.udp);
+                }
+                for seed in &seeds {
+                    let _ = socket.send_to(&leave, seed);
+                }
+                table.peers.clear();
+                self.view_change(&mut table, names::GROUP_LEAVES);
+            }
+            let silent =
+                fenced || self.clock.now_micros() < self.blackout_until_us.load(Ordering::SeqCst);
             match socket.recv_from(&mut buf) {
                 Ok((n, src)) => {
-                    if let Ok(msg) = GroupMsg::decode(&buf[..n]) {
-                        self.on_msg(&socket, msg, src, &heartbeats_received);
+                    if !silent {
+                        if let Ok(msg) = GroupMsg::decode(&buf[..n]) {
+                            self.on_msg(&socket, msg, src, &heartbeats_received);
+                        }
                     }
                 }
                 Err(e)
@@ -272,7 +339,9 @@ impl NodeInner {
             let now = self.clock.now_micros();
             if now >= next_beat {
                 next_beat = now + hb_us;
-                self.beat(&socket, &seeds, &heartbeats_sent);
+                if !silent {
+                    self.beat(&socket, &seeds, &heartbeats_sent);
+                }
             }
             self.expire(now, expiry_us);
         }
@@ -503,6 +572,53 @@ mod tests {
             waited += Duration::from_millis(5);
         }
         assert_eq!(a.members().len(), 1, "suspicion should prune b");
+    }
+
+    #[test]
+    fn a_fenced_member_leaves_the_view_and_stays_out() {
+        let a = start(1, vec![]);
+        let b = start(2, vec![a.udp_addr().to_string()]);
+        assert!(a.wait_for_members(2, Duration::from_secs(5)));
+        assert!(b.wait_for_members(2, Duration::from_secs(5)));
+        b.fence();
+        assert!(b.is_fenced());
+        let mut waited = Duration::ZERO;
+        while a.members().len() > 1 && waited < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+            waited += Duration::from_millis(5);
+        }
+        assert_eq!(a.members().len(), 1, "the fence's Leave pruned b");
+        // A fenced node goes silent: several heartbeat periods later it
+        // still has not re-announced itself.
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(a.members().len(), 1, "b stayed out");
+        assert_eq!(b.members().len(), 1, "b's own view shrank to itself");
+    }
+
+    #[test]
+    fn a_blackout_partitions_the_views_and_heals_after() {
+        let a = start(1, vec![]);
+        let b = start(2, vec![a.udp_addr().to_string()]);
+        assert!(a.wait_for_members(2, Duration::from_secs(5)));
+        assert!(b.wait_for_members(2, Duration::from_secs(5)));
+        b.blackout(Duration::from_millis(300));
+        assert!(b.in_blackout());
+        let mut waited = Duration::ZERO;
+        while (a.members().len() > 1 || b.members().len() > 1) && waited < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+            waited += Duration::from_millis(5);
+        }
+        assert_eq!(a.members().len(), 1, "a suspected the silent b");
+        assert_eq!(b.members().len(), 1, "b heard nothing and expired a");
+        // The window ends: b re-announces to its seed and both heal.
+        let mut waited = Duration::ZERO;
+        while (a.members().len() < 2 || b.members().len() < 2) && waited < Duration::from_secs(5) {
+            std::thread::sleep(Duration::from_millis(5));
+            waited += Duration::from_millis(5);
+        }
+        assert_eq!(a.members().len(), 2, "the partition healed at a");
+        assert_eq!(b.members().len(), 2, "the partition healed at b");
+        assert!(!b.in_blackout());
     }
 
     #[test]

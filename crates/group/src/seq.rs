@@ -1,0 +1,288 @@
+//! [`Sequencer`] — the group-wide total order over relayed invocations.
+//!
+//! PR 7's relay applied invocations in arrival order and trusted the
+//! identically-seeded replicas to converge, which only holds for
+//! commutative workloads. The sequencer closes that hole the way LLFT's
+//! leader does: the lowest-id member of the current view stamps every
+//! relayed server-group invocation with a monotonic sequence number,
+//! and every member — leader included — applies strictly in sequence,
+//! buffering out-of-order arrivals and re-requesting gaps from peers.
+//!
+//! This type is the pure state machine: stamping, the apply cursor, the
+//! out-of-order buffer, and the retained window that answers gap
+//! requests. Leadership (who stamps) and transport (mesh frames) are
+//! the caller's concern — `ftd-net` wires both. On leader handover the
+//! new leader resumes from the highest sequence it has *seen*, not
+//! applied, so a buffered tail never gets re-stamped.
+
+use std::collections::BTreeMap;
+
+/// How many applied invocations the sequencer retains for answering
+/// gap re-requests. A member whose hole reaches further back than this
+/// needs a full state transfer instead.
+pub const RETAINED_FRAMES: usize = 4096;
+
+/// One sequenced invocation: a leader-stamped relay of an admitted
+/// server-group operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequencedOp {
+    /// The group-wide sequence number.
+    pub seq: u64,
+    /// Node id of the member that admitted the invocation.
+    pub origin: u32,
+    /// The destination object group id.
+    pub group: u32,
+    /// The encoded domain message.
+    pub payload: Vec<u8>,
+}
+
+/// The per-member sequencing state machine. See the module docs.
+#[derive(Debug)]
+pub struct Sequencer {
+    /// The next sequence number this member hands out *when it is the
+    /// leader*. Kept at `highest_seen + 1` across handovers.
+    next_stamp: u64,
+    /// The strict apply cursor: every sequence below it has been handed
+    /// to the caller for application, in order, exactly once.
+    next_apply: u64,
+    /// The highest sequence number seen in any stamped or received op.
+    highest_seen: u64,
+    /// Out-of-order arrivals waiting for the cursor to reach them.
+    buffer: BTreeMap<u64, SequencedOp>,
+    /// The most recent `RETAINED_FRAMES` applied ops, for gap replies.
+    retained: BTreeMap<u64, SequencedOp>,
+}
+
+impl Default for Sequencer {
+    fn default() -> Self {
+        Sequencer::new()
+    }
+}
+
+impl Sequencer {
+    /// A fresh sequencer: nothing stamped, nothing applied.
+    pub fn new() -> Sequencer {
+        Sequencer {
+            next_stamp: 1,
+            next_apply: 1,
+            highest_seen: 0,
+            buffer: BTreeMap::new(),
+            retained: BTreeMap::new(),
+        }
+    }
+
+    /// Allocates the next sequence number (leader only). The caller
+    /// broadcasts the stamped op and feeds it back through
+    /// [`Sequencer::on_sequenced`] — stamping does not apply.
+    pub fn stamp(&mut self, origin: u32, group: u32, payload: Vec<u8>) -> SequencedOp {
+        let seq = self.next_stamp.max(self.highest_seen + 1);
+        self.next_stamp = seq + 1;
+        self.highest_seen = self.highest_seen.max(seq);
+        SequencedOp {
+            seq,
+            origin,
+            group,
+            payload,
+        }
+    }
+
+    /// Accepts one sequenced op (from the leader's broadcast, a gap
+    /// reply, or the leader's own stamp) and returns every op that is
+    /// now applicable, in strict sequence order. Ops at or below the
+    /// apply cursor are duplicates and vanish.
+    pub fn on_sequenced(&mut self, op: SequencedOp) -> Vec<SequencedOp> {
+        self.highest_seen = self.highest_seen.max(op.seq);
+        self.next_stamp = self.next_stamp.max(self.highest_seen + 1);
+        if op.seq >= self.next_apply {
+            self.buffer.insert(op.seq, op);
+        }
+        self.drain()
+    }
+
+    /// The hole in front of the apply cursor, if any buffered op is
+    /// waiting beyond it: `(first_missing, last_missing)` inclusive.
+    pub fn gap(&self) -> Option<(u64, u64)> {
+        let first_buffered = *self.buffer.keys().next()?;
+        (first_buffered > self.next_apply).then_some((self.next_apply, first_buffered - 1))
+    }
+
+    /// Retained applied ops with sequence in `[from, to]`, in order —
+    /// the donor side of a gap re-request.
+    pub fn retained_range(&self, from: u64, to: u64) -> Vec<SequencedOp> {
+        self.retained
+            .range(from..=to)
+            .map(|(_, op)| op.clone())
+            .collect()
+    }
+
+    /// The oldest sequence still in the retained window.
+    pub fn oldest_retained(&self) -> Option<u64> {
+        self.retained.keys().next().copied()
+    }
+
+    /// Jumps the apply cursor past `seq` — the receiver side of a state
+    /// transfer that installed everything through `seq`. Buffered ops
+    /// the snapshot already covers are dropped; any beyond it that are
+    /// now contiguous come back ready to apply.
+    pub fn advance_to(&mut self, seq: u64) -> Vec<SequencedOp> {
+        self.next_apply = self.next_apply.max(seq + 1);
+        self.highest_seen = self.highest_seen.max(seq);
+        self.next_stamp = self.next_stamp.max(self.highest_seen + 1);
+        let stale: Vec<u64> = self
+            .buffer
+            .range(..self.next_apply)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in stale {
+            self.buffer.remove(&s);
+        }
+        self.drain()
+    }
+
+    /// Everything applied so far: `next_apply - 1`.
+    pub fn applied_through(&self) -> u64 {
+        self.next_apply - 1
+    }
+
+    /// The highest sequence number seen anywhere (stamped or received).
+    pub fn highest_seen(&self) -> u64 {
+        self.highest_seen
+    }
+
+    /// How many out-of-order ops are buffered ahead of the cursor.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn drain(&mut self) -> Vec<SequencedOp> {
+        let mut ready = Vec::new();
+        while let Some(op) = self.buffer.remove(&self.next_apply) {
+            self.retained.insert(op.seq, op.clone());
+            self.next_apply += 1;
+            ready.push(op);
+        }
+        while self.retained.len() > RETAINED_FRAMES {
+            let oldest = *self.retained.keys().next().expect("non-empty");
+            self.retained.remove(&oldest);
+        }
+        ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(seq: u64) -> SequencedOp {
+        SequencedOp {
+            seq,
+            origin: 1,
+            group: 10,
+            payload: vec![seq as u8],
+        }
+    }
+
+    fn seqs(ops: &[SequencedOp]) -> Vec<u64> {
+        ops.iter().map(|o| o.seq).collect()
+    }
+
+    #[test]
+    fn in_order_ops_apply_immediately() {
+        let mut s = Sequencer::new();
+        assert_eq!(seqs(&s.on_sequenced(op(1))), vec![1]);
+        assert_eq!(seqs(&s.on_sequenced(op(2))), vec![2]);
+        assert_eq!(s.applied_through(), 2);
+        assert_eq!(s.gap(), None);
+    }
+
+    #[test]
+    fn out_of_order_ops_buffer_until_the_hole_fills() {
+        let mut s = Sequencer::new();
+        assert!(s.on_sequenced(op(2)).is_empty(), "2 waits for 1");
+        assert!(s.on_sequenced(op(4)).is_empty(), "4 waits too");
+        assert_eq!(s.gap(), Some((1, 1)));
+        assert_eq!(s.buffered(), 2);
+        assert_eq!(seqs(&s.on_sequenced(op(1))), vec![1, 2], "1 unlocks 2");
+        assert_eq!(s.gap(), Some((3, 3)));
+        assert_eq!(seqs(&s.on_sequenced(op(3))), vec![3, 4]);
+        assert_eq!(s.applied_through(), 4);
+    }
+
+    #[test]
+    fn duplicates_and_already_applied_ops_vanish() {
+        let mut s = Sequencer::new();
+        s.on_sequenced(op(1));
+        s.on_sequenced(op(2));
+        assert!(s.on_sequenced(op(1)).is_empty(), "below the cursor");
+        assert!(s.on_sequenced(op(2)).is_empty());
+        assert_eq!(s.applied_through(), 2);
+    }
+
+    #[test]
+    fn stamping_is_monotonic_and_resumes_past_seen_sequences() {
+        let mut leader = Sequencer::new();
+        assert_eq!(leader.stamp(1, 10, vec![]).seq, 1);
+        assert_eq!(leader.stamp(1, 10, vec![]).seq, 2);
+
+        // A follower that has seen sequences up to 7 takes over: its
+        // first stamp must be 8, not its own next_stamp.
+        let mut follower = Sequencer::new();
+        follower.on_sequenced(op(7)); // buffered, not applied — still seen
+        assert_eq!(follower.highest_seen(), 7);
+        assert_eq!(follower.stamp(2, 10, vec![]).seq, 8);
+    }
+
+    #[test]
+    fn gap_replies_fill_from_the_retained_window() {
+        let mut donor = Sequencer::new();
+        for i in 1..=5 {
+            donor.on_sequenced(op(i));
+        }
+        let replay = donor.retained_range(2, 4);
+        assert_eq!(seqs(&replay), vec![2, 3, 4]);
+        assert_eq!(donor.oldest_retained(), Some(1));
+
+        let mut laggard = Sequencer::new();
+        laggard.on_sequenced(op(1));
+        assert!(laggard.on_sequenced(op(5)).is_empty());
+        assert_eq!(laggard.gap(), Some((2, 4)));
+        let mut applied = Vec::new();
+        for r in replay {
+            applied.extend(laggard.on_sequenced(r));
+        }
+        assert_eq!(seqs(&applied), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn advance_to_jumps_the_cursor_after_a_state_transfer() {
+        let mut s = Sequencer::new();
+        assert!(s.on_sequenced(op(9)).is_empty(), "buffered beyond snapshot");
+        assert!(s.on_sequenced(op(11)).is_empty());
+        // Snapshot covers through 8: op 9 becomes applicable, 11 waits.
+        let ready = s.advance_to(8);
+        assert_eq!(seqs(&ready), vec![9]);
+        assert_eq!(s.applied_through(), 9);
+        assert_eq!(s.gap(), Some((10, 10)));
+        // A snapshot covering everything drops the stale buffer.
+        let ready = s.advance_to(11);
+        assert!(ready.is_empty());
+        assert_eq!(s.applied_through(), 11);
+        assert_eq!(s.buffered(), 0);
+        // Stamping continues past the installed state.
+        assert_eq!(s.stamp(1, 10, vec![]).seq, 12);
+    }
+
+    #[test]
+    fn the_retained_window_is_bounded() {
+        let mut s = Sequencer::new();
+        for i in 1..=(RETAINED_FRAMES as u64 + 10) {
+            s.on_sequenced(op(i));
+        }
+        assert_eq!(s.oldest_retained(), Some(11));
+        assert_eq!(
+            s.retained_range(1, u64::MAX).len(),
+            RETAINED_FRAMES,
+            "old frames fell off the window"
+        );
+    }
+}

@@ -15,10 +15,27 @@
 //! [`DomainHost`]: crate::DomainHost
 
 use crate::host::{DomainHost, HostView};
+use ftd_eternal::OperationId;
 use ftd_obs::Registry;
 use ftd_sim::SimDuration;
 use ftd_totem::GroupId;
 use std::sync::Arc;
+
+/// One replicated object group's transferable state: the checkpoint
+/// bytes plus the completed `(operation, reply)` pairs that prime the
+/// receiver's duplicate detection. What a gateway-group donor streams
+/// per group in a §3.5 rejoin-by-state-transfer, produced by
+/// [`DomainBackend::export_groups`] and consumed by
+/// [`DomainBackend::install_groups`].
+#[derive(Debug, Clone, Default)]
+pub struct GroupSnapshot {
+    /// The object group id.
+    pub group: u32,
+    /// The replica's serialized application state.
+    pub state: Vec<u8>,
+    /// Completed operations and their reply bytes.
+    pub responses: Vec<(OperationId, Vec<u8>)>,
+}
 
 /// A fault tolerance domain as seen from the gateway's domain thread.
 /// See the module docs; [`DomainHost`] is the canonical implementation.
@@ -70,6 +87,22 @@ pub trait DomainBackend: 'static {
     fn state_bytes(&self) -> Vec<(u32, Vec<u8>)> {
         Vec::new()
     }
+
+    /// Exports every placed group's [`GroupSnapshot`] (state plus
+    /// completed responses), sorted by group id — the donor side of a
+    /// gateway-group state transfer. Backends without replicated state
+    /// export nothing.
+    fn export_groups(&self) -> Vec<GroupSnapshot> {
+        Vec::new()
+    }
+
+    /// Installs transferred [`GroupSnapshot`]s into the local replicas —
+    /// the receiver side of a gateway-group state transfer. Returns how
+    /// many replicas accepted state. Backends without replicated state
+    /// install nothing.
+    fn install_groups(&mut self, _groups: &[GroupSnapshot]) -> usize {
+        0
+    }
 }
 
 impl DomainBackend for DomainHost {
@@ -111,6 +144,29 @@ impl DomainBackend for DomainHost {
 
     fn state_bytes(&self) -> Vec<(u32, Vec<u8>)> {
         DomainHost::state_bytes(self)
+    }
+
+    fn export_groups(&self) -> Vec<GroupSnapshot> {
+        let mut groups = DomainHost::groups(self);
+        groups.sort();
+        groups
+            .into_iter()
+            .map(|g| GroupSnapshot {
+                group: g.0,
+                state: DomainHost::replica_state(self, g).unwrap_or_default(),
+                responses: DomainHost::replica_responses(self, g),
+            })
+            .collect()
+    }
+
+    fn install_groups(&mut self, groups: &[GroupSnapshot]) -> usize {
+        groups
+            .iter()
+            .map(|snap| {
+                let state = (!snap.state.is_empty()).then_some(snap.state.as_slice());
+                DomainHost::restore_group(self, GroupId(snap.group), state, &snap.responses)
+            })
+            .sum()
     }
 }
 
@@ -161,5 +217,13 @@ impl DomainBackend for Box<dyn DomainBackend> {
 
     fn state_bytes(&self) -> Vec<(u32, Vec<u8>)> {
         (**self).state_bytes()
+    }
+
+    fn export_groups(&self) -> Vec<GroupSnapshot> {
+        (**self).export_groups()
+    }
+
+    fn install_groups(&mut self, groups: &[GroupSnapshot]) -> usize {
+        (**self).install_groups(groups)
     }
 }

@@ -13,7 +13,8 @@
 //!              [--ior-file PATH]
 //!              [--group-node N] [--group-listen HOST:PORT]
 //!              [--group-peers A,B,..] [--group-relay HOST:PORT]
-//!              [--group-size N] [--linger-ms N]
+//!              [--group-size N] [--linger-ms N] [--sync-state]
+//!              [--print-proto-version]
 //! ```
 //!
 //! `--shards` sets the engine shard (thread) count per gateway (default:
@@ -50,6 +51,16 @@
 //! view before publishing the IOR; `--linger-ms` is how long a departed
 //! peer's client state lingers before GC. Group mode hosts its own
 //! domain replica per process, so it requires `--gateways 1`.
+//!
+//! `--sync-state` makes a (re)joining group member catch up by **state
+//! transfer** before it publishes its IOR: a live peer streams its
+//! replica checkpoints, completed responses, and reply digests, the
+//! member installs them and re-enters the sequenced stream — how a
+//! killed member rejoins without replaying a workload it never saw.
+//!
+//! `--print-proto-version` prints `ftd-gatewayd proto <N>` (the group
+//! relay wire protocol version) and exits — harnesses use it to detect
+//! a stale binary before spending minutes on a soak.
 //!
 //! `--ior-file PATH` additionally writes the published IOR(s), one per
 //! line, to PATH (atomically: temp file + rename) — how other processes
@@ -90,6 +101,7 @@ struct Opts {
     group_relay: Option<String>,
     group_size: usize,
     linger_ms: Option<u64>,
+    sync_state: bool,
 }
 
 fn parse_opts() -> Opts {
@@ -115,6 +127,7 @@ fn parse_opts() -> Opts {
         group_relay: None,
         group_size: 1,
         linger_ms: None,
+        sync_state: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -150,6 +163,11 @@ fn parse_opts() -> Opts {
             "--group-relay" => opts.group_relay = Some(value("--group-relay")),
             "--group-size" => opts.group_size = parse(&value("--group-size")),
             "--linger-ms" => opts.linger_ms = Some(parse(&value("--linger-ms"))),
+            "--sync-state" => opts.sync_state = true,
+            "--print-proto-version" => {
+                println!("ftd-gatewayd proto {}", ftd_net::PROTO_VERSION);
+                std::process::exit(0);
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ftd-gatewayd [--port N] [--domain N] [--processors N] \
@@ -157,7 +175,8 @@ fn parse_opts() -> Opts {
                      [--gateways N] [--inflight N] [--data-dir DIR] [--record-dir DIR] \
                      [--metrics-addr HOST:PORT] [--max-body-bytes N] [--ior-file PATH] \
                      [--group-node N] [--group-listen HOST:PORT] [--group-peers A,B,..] \
-                     [--group-relay HOST:PORT] [--group-size N] [--linger-ms N]"
+                     [--group-relay HOST:PORT] [--group-size N] [--linger-ms N] \
+                     [--sync-state] [--print-proto-version]"
                 );
                 std::process::exit(0);
             }
@@ -181,10 +200,12 @@ fn parse_opts() -> Opts {
             || !opts.group_peers.is_empty()
             || opts.group_relay.is_some()
             || opts.group_size > 1
-            || opts.linger_ms.is_some())
+            || opts.linger_ms.is_some()
+            || opts.sync_state)
     {
         die(
-            "--group-listen/--group-peers/--group-relay/--group-size/--linger-ms need --group-node",
+            "--group-listen/--group-peers/--group-relay/--group-size/--linger-ms/--sync-state \
+             need --group-node",
         );
     }
     opts
@@ -221,7 +242,11 @@ fn main() {
     let (domain, processors, replicas, seed) =
         (opts.domain, opts.processors, opts.replicas, opts.seed);
 
-    let mut config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), 0);
+    // Group members use their node id as the engine's member index:
+    // §3.2 client ids are `(index << 24) | counter`, so distinct indexes
+    // keep each member's admitted operation ids disjoint.
+    let member_index = opts.group_node.unwrap_or(0);
+    let mut config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), member_index);
     if let Some(max_body) = opts.max_body_bytes {
         config.max_body = max_body;
     }
@@ -379,6 +404,7 @@ fn main() {
         if let Some(ms) = opts.linger_ms {
             gopts = gopts.linger(Duration::from_millis(ms));
         }
+        gopts = gopts.group_size(opts.group_size);
         builder = builder.group(gopts);
     }
     let server = builder
@@ -422,6 +448,18 @@ fn main() {
             "ftd-gatewayd: gateway group view {} [{}]",
             server.group_view(),
             members.join(", ")
+        );
+    }
+    // A (re)joining member catches up by state transfer before its IOR
+    // names it: clients must never reach a replica that has not
+    // installed the group's history.
+    if opts.sync_state {
+        if !server.sync_group_state(Duration::from_secs(30)) {
+            die("state transfer did not complete within 30s");
+        }
+        eprintln!(
+            "ftd-gatewayd: state transfer installed (applied through group seq {})",
+            server.group_applied_through()
         );
     }
     let ior = server.group_ior("IDL:Counter:1.0", group).to_stringified();

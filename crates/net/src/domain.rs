@@ -13,7 +13,7 @@
 //! front one fault tolerance domain; the domain is the ordered,
 //! replicated substrate and the gateways are the scale-out edge.
 
-use crate::backend::DomainBackend;
+use crate::backend::{DomainBackend, GroupSnapshot};
 use crate::host::HostView;
 use ftd_core::Error;
 use ftd_obs::{names, Registry};
@@ -51,6 +51,10 @@ enum DomainCmd {
     Register(DeliverySink),
     /// Drain the domain (pump until deliveries stop arriving), then ack.
     Quiesce(Sender<()>),
+    /// Export every group's transferable snapshot (state + responses).
+    Export(Sender<Vec<GroupSnapshot>>),
+    /// Install transferred snapshots; acks how many replicas accepted.
+    Restore(Vec<GroupSnapshot>, Sender<usize>),
     Shutdown,
 }
 
@@ -112,6 +116,28 @@ impl DomainLink {
         if self.tx.send(DomainCmd::Quiesce(ack_tx)).is_ok() {
             let _ = ack_rx.recv_timeout(timeout);
         }
+    }
+
+    /// Exports every group's transferable snapshot from the domain
+    /// thread (bounded by `timeout`) — the donor side of a gateway-group
+    /// state transfer. `None` on timeout or a dead domain.
+    pub(crate) fn export_groups(&self, timeout: Duration) -> Option<Vec<GroupSnapshot>> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx.send(DomainCmd::Export(ack_tx)).ok()?;
+        ack_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Installs transferred snapshots on the domain thread (bounded by
+    /// `timeout`); returns how many replicas accepted state, or `None`
+    /// on timeout or a dead domain.
+    pub(crate) fn restore_groups(
+        &self,
+        groups: Vec<GroupSnapshot>,
+        timeout: Duration,
+    ) -> Option<usize> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        self.tx.send(DomainCmd::Restore(groups, ack_tx)).ok()?;
+        ack_rx.recv_timeout(timeout).ok()
     }
 }
 
@@ -282,6 +308,12 @@ fn domain_loop<B: DomainBackend>(
                     }
                     DomainCmd::Register(sink) => sinks.push(sink),
                     DomainCmd::Quiesce(ack) => quiesce_acks.push(ack),
+                    DomainCmd::Export(ack) => {
+                        let _ = ack.send(host.export_groups());
+                    }
+                    DomainCmd::Restore(groups, ack) => {
+                        let _ = ack.send(host.install_groups(&groups));
+                    }
                     DomainCmd::Shutdown => stop = true,
                 },
                 Err(RecvTimeoutError::Timeout) => break,

@@ -437,6 +437,26 @@ impl DomainBackend for DurableHost {
         self.inner.state_bytes()
     }
 
+    fn export_groups(&self) -> Vec<crate::backend::GroupSnapshot> {
+        self.inner.export_groups()
+    }
+
+    /// Installs a peer's transferred snapshots and checkpoints each
+    /// installed group's durable log at the new state, so a crash right
+    /// after the transfer recovers to the transferred state rather than
+    /// to the stale pre-transfer log.
+    fn install_groups(&mut self, groups: &[crate::backend::GroupSnapshot]) -> usize {
+        let installed = self.inner.install_groups(groups);
+        for snap in groups {
+            if let Some(log) = self.logs.get_mut(&GroupId(snap.group)) {
+                if let Some(state) = self.inner.replica_state(GroupId(snap.group)) {
+                    log.checkpoint(state);
+                }
+            }
+        }
+        installed
+    }
+
     /// Checkpoints any group whose log has grown past the threshold —
     /// but only while no invocation is outstanding, so the checkpointed
     /// state never contains effects whose records are not yet logged.

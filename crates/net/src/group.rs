@@ -49,6 +49,12 @@ pub struct GroupOptions {
     /// client that reconnects to *us* within the linger still finds its
     /// cached replies.
     pub linger: Duration,
+    /// The configured full group size, for the relay's quorum gate: a
+    /// member whose live view covers half the group or less *drops*
+    /// admitted invocations (counted as `group.no_quorum_drops`)
+    /// instead of diverging from the majority during a partition. 0
+    /// (the default) or 1 disables gating.
+    pub group_size: usize,
 }
 
 impl GroupOptions {
@@ -65,6 +71,7 @@ impl GroupOptions {
             heartbeat: Duration::from_millis(50),
             suspect_after: 6,
             linger: Duration::from_secs(2),
+            group_size: 0,
         }
     }
 
@@ -113,6 +120,12 @@ impl GroupOptions {
     /// Sets the client-state linger after a peer's client-gone notice.
     pub fn linger(mut self, linger: Duration) -> Self {
         self.linger = linger;
+        self
+    }
+
+    /// Sets the configured full group size, enabling the quorum gate.
+    pub fn group_size(mut self, size: usize) -> Self {
+        self.group_size = size;
         self
     }
 }

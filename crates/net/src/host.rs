@@ -317,6 +317,24 @@ impl DomainHost {
         })
     }
 
+    /// The completed `(operation, reply)` pairs of `group`, read from
+    /// the first live replica — the response half of a peer state
+    /// transfer ([`DomainBackend::export_groups`]); duplicate detection
+    /// at the receiver is primed with exactly these. Empty when no live
+    /// processor hosts a replica.
+    ///
+    /// [`DomainBackend::export_groups`]: crate::backend::DomainBackend::export_groups
+    pub fn replica_responses(&self, group: GroupId) -> Vec<(ftd_eternal::OperationId, Vec<u8>)> {
+        self.processors
+            .iter()
+            .find_map(|&p| {
+                self.world
+                    .actor::<HostDaemon>(p)
+                    .and_then(|d| d.mech().completed_responses(group))
+            })
+            .unwrap_or_default()
+    }
+
     /// Installs recovered durable state into every live replica of
     /// `group` (see [`Mechanisms::restore_replica`]): `state` overwrites
     /// the objects, `responses` prime duplicate detection so operations

@@ -57,15 +57,16 @@ mod durable;
 mod group;
 mod host;
 mod pool;
+mod relay;
 pub mod replay;
 mod server;
 mod store;
 
-pub use backend::DomainBackend;
+pub use backend::{DomainBackend, GroupSnapshot};
 pub use client::{NetClient, RetryPolicy};
 pub use domain::{DomainFault, DomainLink, DomainService};
 pub use durable::{DomainRecovery, DurableHost};
-pub use ftd_group::GroupMember;
+pub use ftd_group::{GroupMember, PROTO_VERSION};
 pub use group::GroupOptions;
 pub use host::{DomainHost, HostError, HostView};
 pub use pool::{gateway_for_client, GatewayPool, GatewayPoolBuilder};

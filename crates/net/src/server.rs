@@ -58,15 +58,16 @@ use crate::backend::DomainBackend;
 use crate::domain::{DomainFault, DomainLink, DomainService, TICK_REAL};
 use crate::group::GroupOptions;
 use crate::host::HostView;
+use crate::relay::GroupRelay;
 use crate::store::GatewayStore;
 use ftd_core::{
     classify_client_message, classify_delivery, Action, DeliveryRoute, EngineConfig, Error,
-    GatewayEngine, GwConn, GwMsg, MsgRoute, ShardError, ShardRouter, ENGINE_LATENCY_SERIES,
+    GatewayEngine, GwConn, MsgRoute, ShardError, ShardRouter, ENGINE_LATENCY_SERIES,
     FANOUT_ONCE_COUNTERS,
 };
-use ftd_eternal::{DomainMsg, GatewayEndpoint, IorPublisher, OperationId, OperationKind};
+use ftd_eternal::{GatewayEndpoint, IorPublisher, OperationId};
 use ftd_giop::{ByteOrder, GiopMessage, Ior, MessageReader};
-use ftd_group::{FrameHandler, GroupConfig, GroupMember, GroupNode, PeerMesh, RelayMsg};
+use ftd_group::{FrameHandler, GroupConfig, GroupMember, GroupNode, PeerMesh};
 use ftd_obs::{names, Clock, Counter, Histogram, RealClock, Registry};
 use ftd_replay::{EngineSetup, RecordedView, Recorder, RecordingClock, ReplayEvent, ShardTap};
 use ftd_sim::Stats;
@@ -170,7 +171,7 @@ pub struct ShutdownReport {
 }
 
 /// Transport events flowing from the socket threads to a shard thread.
-enum ShardEv {
+pub(crate) enum ShardEv {
     /// A connection was accepted (fanned to every shard); the writer is
     /// the shared mutexed write half, the counter its inbound budget.
     Accepted(u64, Arc<ConnWriter>, Arc<AtomicUsize>),
@@ -187,6 +188,25 @@ enum ShardEv {
     /// state after the configured linger, not immediately — the §3.5
     /// failover window.
     PeerGone(Vec<u8>),
+    /// Report the engine's per-group response fingerprints (the donor
+    /// side of a gateway-group state transfer uses this as a FIFO
+    /// barrier: everything queued before it has been applied).
+    ExportChains(Sender<Vec<(u32, u64, u64)>>),
+    /// Seed the engine from a gateway-group state transfer: reply
+    /// digests (so cross-checks at covered sequences skip instead of
+    /// misfiring), recovered §3.2 counters, and transferred cached
+    /// responses. Acked so the relay can order the domain install after
+    /// every engine is primed.
+    SeedTransfer {
+        /// `(group, responses_seen, rolling_digest)` triples.
+        chains: Vec<(u32, u64, u64)>,
+        /// Recovered `(server_group, counter)` values.
+        counters: Vec<(u32, u32)>,
+        /// Transferred `(operation, reply)` pairs.
+        responses: Vec<(OperationId, Vec<u8>)>,
+        /// Signalled once the engine absorbed the state.
+        ack: Sender<()>,
+    },
     /// Stop serving; the queue ahead of this sentinel is drained first.
     Shutdown,
 }
@@ -194,7 +214,7 @@ enum ShardEv {
 /// The write half of one client connection, shared by every shard that
 /// may answer on it. Writes are whole GIOP messages under a mutex, so
 /// concurrent shards never interleave partial frames.
-struct ConnWriter {
+pub(crate) struct ConnWriter {
     stream: Mutex<TcpStream>,
 }
 
@@ -218,6 +238,10 @@ struct Shared {
     /// Per-shard engine gauges, mirrored out of each shard after every
     /// batch; summed by [`GatewayServer::snapshot`].
     shard_snapshots: Mutex<Vec<EngineSnapshot>>,
+    /// Per-shard response-chain fingerprints, mirrored alongside the
+    /// gauges; `GET /digest` merges them into the cross-member
+    /// convergence report.
+    digests: Mutex<Vec<Vec<(u32, u64, u64)>>>,
     shutdown: AtomicBool,
 }
 
@@ -476,10 +500,13 @@ impl GatewayBuilder {
 
         // Group members relay every reply they deliver: peers host
         // independent domain replicas and cannot see this gateway's
-        // responses any other way. Decided before the EngineSetup event
-        // below so a recording replays with the same configuration.
+        // responses any other way — and every admitted invocation rides
+        // the group sequencer, so non-commutative workloads converge.
+        // Decided before the EngineSetup event below so a recording
+        // replays with the same configuration.
         if self.group.is_some() {
             config.relay_replies = true;
+            config.sequenced = true;
         }
 
         // The engine setup goes into the log first (after the store
@@ -518,6 +545,7 @@ impl GatewayBuilder {
         let shared = Arc::new(Shared {
             registry: registry.clone(),
             shard_snapshots: Mutex::new(vec![EngineSnapshot::default(); shards]),
+            digests: Mutex::new(vec![Vec::new(); shards]),
             shutdown: AtomicBool::new(false),
         });
 
@@ -584,10 +612,10 @@ impl GatewayBuilder {
         }
 
         // Gateway group: membership + relay come up before the shard
-        // threads spawn, so every shard is born holding the mesh handle
+        // threads spawn, so every shard is born holding the relay handle
         // and relayed frames (which land on the shard queues) can never
         // beat the queues' creation.
-        let (group_node, mesh, linger_us) = match self.group {
+        let (group_node, mesh, relay, linger_us) = match self.group {
             Some(opts) => {
                 let relay_listener = TcpListener::bind(&opts.relay_listen)?;
                 let mut gcfg = GroupConfig::new(opts.node);
@@ -607,12 +635,22 @@ impl GatewayBuilder {
                 gcfg.incarnation = clock.now_micros().max(1);
                 let node =
                     GroupNode::start(gcfg, clock.clone(), registry.clone()).map_err(Error::Io)?;
-                let on_frame = relay_frame_handler(
+                // The relay is built before the mesh because the mesh's
+                // frame handler is the relay; the mesh handle is patched
+                // in right after.
+                let relay = Arc::new(GroupRelay::new(
+                    node.clone(),
+                    domain.clone(),
                     shard_txs.clone(),
                     router.clone(),
-                    domain.clone(),
+                    registry.clone(),
                     config.group,
-                );
+                    opts.group_size,
+                ));
+                let on_frame: FrameHandler = {
+                    let relay = relay.clone();
+                    Arc::new(move |from, msg| relay.on_frame(from, msg))
+                };
                 let mesh = Arc::new(
                     PeerMesh::start(
                         node.clone(),
@@ -623,9 +661,15 @@ impl GatewayBuilder {
                     )
                     .map_err(Error::Io)?,
                 );
-                (Some(node), Some(mesh), opts.linger.as_micros() as u64)
+                relay.set_mesh(mesh.clone());
+                (
+                    Some(node),
+                    Some(mesh),
+                    Some(relay),
+                    opts.linger.as_micros() as u64,
+                )
             }
-            None => (None, None, 0),
+            None => (None, None, None, 0),
         };
 
         let mut shard_threads = Vec::with_capacity(shards);
@@ -644,7 +688,7 @@ impl GatewayBuilder {
                 store.clone(),
                 clock.clone(),
                 tap,
-                mesh.clone(),
+                relay.clone(),
                 config.group,
                 linger_us,
             );
@@ -706,10 +750,16 @@ impl GatewayBuilder {
                 let metrics_addr = metrics_listener.local_addr()?;
                 let metrics_shared = shared.clone();
                 let metrics_domain = domain.clone();
+                let metrics_node = group_node.clone();
                 let handle = thread::Builder::new()
                     .name("ftd-gateway-metrics".into())
                     .spawn(move || {
-                        metrics_loop(metrics_listener, metrics_shared, metrics_domain)
+                        metrics_loop(
+                            metrics_listener,
+                            metrics_shared,
+                            metrics_domain,
+                            metrics_node,
+                        )
                     })?;
                 (Some(metrics_addr), Some(handle))
             }
@@ -731,6 +781,7 @@ impl GatewayBuilder {
             recorder: self.recorder,
             group_node,
             mesh,
+            relay,
             shard_threads,
             accept_thread: Some(accept_thread),
             metrics_thread,
@@ -756,6 +807,7 @@ pub struct GatewayServer {
     recorder: Option<Arc<Recorder>>,
     group_node: Option<Arc<GroupNode>>,
     mesh: Option<Arc<PeerMesh>>,
+    relay: Option<Arc<GroupRelay>>,
     shard_threads: Vec<JoinHandle<ShardFinal>>,
     accept_thread: Option<JoinHandle<()>>,
     metrics_thread: Option<JoinHandle<()>>,
@@ -898,6 +950,37 @@ impl GatewayServer {
     /// leave, and suspicion).
     pub fn group_view(&self) -> u64 {
         self.group_node.as_ref().map(|n| n.view()).unwrap_or(0)
+    }
+
+    /// Catches this member up by **state transfer**: requests a peer's
+    /// snapshot (replica checkpoints, completed responses, reply
+    /// digests), installs it, and re-enters the sequenced stream — what
+    /// a restarted or previously fenced member runs before accepting
+    /// clients. Returns `true` once synced, `false` on timeout or when
+    /// this gateway is not a group member. Safe to call on a fresh
+    /// group too: the first live peer answers with whatever it has.
+    pub fn sync_group_state(&self, timeout: Duration) -> bool {
+        match &self.relay {
+            Some(relay) => relay.sync_state(timeout),
+            None => false,
+        }
+    }
+
+    /// `true` once this member fenced itself off after detecting that
+    /// its responses diverged from the group majority. A fenced member
+    /// sheds clients and leaves the membership view; rejoining takes a
+    /// restart plus [`GatewayServer::sync_group_state`].
+    pub fn group_fenced(&self) -> bool {
+        self.relay.as_ref().is_some_and(|r| r.is_fenced())
+    }
+
+    /// The group sequence number this member has applied through (0
+    /// without [`GatewayBuilder::group`]).
+    pub fn group_applied_through(&self) -> u64 {
+        self.relay
+            .as_ref()
+            .map(|r| r.applied_through())
+            .unwrap_or(0)
     }
 
     /// A snapshot of the per-connection / per-group statistics counters
@@ -1258,9 +1341,10 @@ struct Shard {
     domain: DomainLink,
     registry: Arc<Registry>,
     store: Option<Arc<GatewayStore>>,
-    /// The relay mesh when this gateway is a group member: engine
-    /// multicasts fan to the peer processes, not just the local domain.
-    mesh: Option<Arc<PeerMesh>>,
+    /// The group relay when this gateway is a group member: engine
+    /// multicasts go through the group sequencer, not straight to the
+    /// local domain.
+    relay: Option<Arc<GroupRelay>>,
     /// The engine's gateway group — multicasts addressed to it are peer
     /// coordination and travel the mesh *only* (each process's domain is
     /// private; a peer cannot hear the local domain's deliveries).
@@ -1290,7 +1374,7 @@ impl Shard {
         store: Option<Arc<GatewayStore>>,
         clock: Arc<dyn Clock>,
         tap: Option<ShardTap>,
-        mesh: Option<Arc<PeerMesh>>,
+        relay: Option<Arc<GroupRelay>>,
         gw_group: GroupId,
         linger_us: u64,
     ) -> Shard {
@@ -1313,7 +1397,7 @@ impl Shard {
             domain,
             registry,
             store,
-            mesh,
+            relay,
             gw_group,
             linger_us,
             gone_queue: VecDeque::new(),
@@ -1397,27 +1481,21 @@ impl Shard {
                         entry.writer.close();
                     }
                 }
-                Action::Multicast { group, payload } => match &self.mesh {
+                Action::Multicast { group, payload } => match &self.relay {
                     // Gateway-group coordination (Record / ClientGone /
                     // PeerReply) in an out-of-process group rides the
                     // mesh only: the local domain is private to this
                     // process, so multicasting it there reaches no peer,
                     // and the engine already applied the local effect.
-                    Some(mesh) if group == self.gw_group => {
-                        mesh.broadcast(&RelayMsg::Gateway { payload });
+                    Some(relay) if group == self.gw_group => {
+                        relay.relay_gateway(payload);
                     }
-                    // A server-group invocation: relay the §3.5 op copy
-                    // to every peer *before* forwarding to the local
-                    // domain (relay-before-execute, mirroring the
-                    // paper's record-before-forward), then let the local
-                    // replica execute it.
-                    Some(mesh) => {
-                        mesh.broadcast(&RelayMsg::Invocation {
-                            group: group.0,
-                            payload: payload.clone(),
-                        });
-                        self.domain.multicast(group, payload);
-                    }
+                    // A server-group invocation goes through the group
+                    // sequencer: the leader stamps it into the total
+                    // order and every member (this one included) applies
+                    // it at its sequence — non-commutative workloads
+                    // converge byte-identically.
+                    Some(relay) => relay.submit(group, payload),
                     None => self.domain.multicast(group, payload),
                 },
                 Action::BridgeConnect { .. } | Action::ToBridge { .. } => {
@@ -1475,6 +1553,22 @@ impl Shard {
                 Action::Latency { group, micros } => {
                     self.latency_hist(group.0).observe(micros);
                 }
+                Action::Divergence { group, seq, member } => {
+                    self.counter(names::GROUP_DIVERGENCE).inc();
+                    eprintln!(
+                        "ftd-gateway: response divergence: group {group} response #{seq} \
+                         disagrees with member {member}"
+                    );
+                }
+                Action::Fence => {
+                    // The engine found ≥2 peers disagreeing with its
+                    // responses: this member is the minority. Leave the
+                    // membership view (peers and the IOR stop naming
+                    // us); the engine already sheds clients itself.
+                    if let Some(relay) = &self.relay {
+                        relay.fence();
+                    }
+                }
             }
         }
     }
@@ -1521,6 +1615,9 @@ impl Shard {
             for s in all.iter() {
                 total.absorb(s);
             }
+        }
+        if self.relay.is_some() {
+            shared.digests.lock().expect("digests lock")[self.idx] = self.engine.response_digests();
         }
         self.registry
             .set_gauge("gateway.connected_clients", total.connected_clients as i64);
@@ -1598,6 +1695,41 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
                 ShardEv::Delivery(group, payload) => {
                     shard.process_delivery(group, &payload);
                 }
+                ShardEv::ExportChains(ack) => {
+                    // FIFO barrier: everything the relay queued before
+                    // this sentinel (notably the replies produced by the
+                    // donor's quiesced domain) has been applied, so the
+                    // fingerprints describe the exact snapshot cut.
+                    let _ = ack.send(shard.engine.response_digests());
+                }
+                ShardEv::SeedTransfer {
+                    chains,
+                    counters,
+                    responses,
+                    ack,
+                } => {
+                    for (group, seq, digest) in chains {
+                        shard.engine.seed_chain(group, seq, digest);
+                    }
+                    for (server, value) in counters {
+                        match shard.tap.as_mut() {
+                            Some(tap) => tap.seed_counter(&mut shard.engine, server, value),
+                            None => shard.engine.seed_counter(server, value),
+                        }
+                    }
+                    for (op, reply) in responses {
+                        // The transferred ops are already answered:
+                        // prime duplicate detection so a replica
+                        // re-answering one never re-fingerprints it,
+                        // and cache the reply for §3.5 reissues.
+                        shard.engine.note_domain_response(op);
+                        match shard.tap.as_mut() {
+                            Some(tap) => tap.restore_response(&mut shard.engine, op, reply),
+                            None => shard.engine.restore_cached_response(op, reply),
+                        }
+                    }
+                    let _ = ack.send(());
+                }
                 ShardEv::PeerGone(payload) => {
                     // A peer lost its client. Hold the GC for the linger
                     // window: the client may be failing over to *us*, and
@@ -1650,61 +1782,6 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
     }
 }
 
-/// Builds the [`PeerMesh`] frame handler: what this gateway does with
-/// each frame a group peer relays to it. Runs on mesh reader threads —
-/// everything is handed off to the shard queues or the domain thread.
-///
-/// * A relayed **invocation** is the §3.5 "record the request at every
-///   gateway of the group" copy: the handler synthesizes the same
-///   [`GwMsg::Record`] delivery an in-process peer would have seen
-///   (admission bookkeeping on the owning shard) and then multicasts
-///   the untouched payload into the *local* domain replica — every
-///   member executes the same inputs, so a survivor's replica holds the
-///   state a failed-over client expects.
-/// * A relayed **gateway message** is peer coordination:
-///   [`GwMsg::PeerReply`] routes to the shard owning its server group
-///   (priming the relayed-response cache), [`GwMsg::ClientGone`] fans
-///   to every shard as a lingered [`ShardEv::PeerGone`].
-///
-/// Send failures mean the shards are shutting down — frames are
-/// dropped, matching the mesh's best-effort contract.
-fn relay_frame_handler(
-    shard_txs: Vec<Sender<ShardEv>>,
-    router: Arc<ShardRouter>,
-    domain: DomainLink,
-    gw_group: GroupId,
-) -> FrameHandler {
-    Arc::new(move |_from, msg| match msg {
-        RelayMsg::Hello { .. } => {}
-        RelayMsg::Invocation { group, payload } => {
-            if let Ok(DomainMsg::Iiop { header, .. }) = DomainMsg::decode(&payload) {
-                if header.kind == OperationKind::Invocation {
-                    let record = GwMsg::Record {
-                        client: header.client,
-                        request_id: header.child_seq,
-                        server: header.target,
-                    }
-                    .encode();
-                    let _ = shard_txs[router.route(header.target)]
-                        .send(ShardEv::Delivery(gw_group, record));
-                }
-            }
-            domain.multicast(GroupId(group), payload);
-        }
-        RelayMsg::Gateway { payload } => match GwMsg::decode(&payload) {
-            Ok(GwMsg::ClientGone { .. }) => {
-                for tx in &shard_txs {
-                    let _ = tx.send(ShardEv::PeerGone(payload.clone()));
-                }
-            }
-            Ok(GwMsg::PeerReply { server, .. }) | Ok(GwMsg::Record { server, .. }) => {
-                let _ = shard_txs[router.route(server)].send(ShardEv::Delivery(gw_group, payload));
-            }
-            Err(_) => {}
-        },
-    })
-}
-
 /// Snapshots a [`HostView`] into the value type the replay log stores
 /// inline with each engine event.
 fn recorded_view(view: &HostView) -> RecordedView {
@@ -1718,11 +1795,20 @@ fn recorded_view(view: &HostView) -> RecordedView {
 
 /// One HTTP/1.0 exchange per connection: read the request line, answer
 /// `GET /metrics` with the Prometheus text exposition, `/metrics.json`
-/// with the JSON snapshot, or `/health` with the serving state (200 ok /
-/// 503 degraded — load-balancer and chaos-harness food), close.
+/// with the JSON snapshot, `/health` with the serving state (200 ok /
+/// 503 degraded — load-balancer and chaos-harness food), `/digest`
+/// with the member's convergence report (byte-identical across a
+/// converged gateway group), or `/blackout?ms=N` by dropping the
+/// member's UDP membership traffic for `N` ms (partition injection; the
+/// TCP side stays up, mirroring an asymmetric network fault), close.
 /// Deliberately minimal — this is an admin endpoint for `curl` and
 /// scrapers, not a web server.
-fn metrics_loop(listener: TcpListener, shared: Arc<Shared>, domain: DomainLink) {
+fn metrics_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    domain: DomainLink,
+    group_node: Option<Arc<GroupNode>>,
+) {
     for stream in listener.incoming() {
         if shared.shutdown.load(Ordering::SeqCst) {
             break;
@@ -1764,6 +1850,25 @@ fn metrics_loop(listener: TcpListener, shared: Arc<Shared>, domain: DomainLink) 
                     )
                 }
             }
+            "/digest" => ("200 OK", "text/plain", digest_report(&shared, &domain)),
+            p if p.starts_with("/blackout") => {
+                let ms: u64 = p
+                    .split_once("ms=")
+                    .and_then(|(_, v)| {
+                        v.split(|c: char| !c.is_ascii_digit())
+                            .next()
+                            .and_then(|d| d.parse().ok())
+                    })
+                    .unwrap_or(0);
+                match &group_node {
+                    Some(node) if ms > 0 => {
+                        node.blackout(Duration::from_millis(ms));
+                        ("200 OK", "text/plain", format!("blackout {ms}ms\n"))
+                    }
+                    Some(_) => ("400 Bad Request", "text/plain", "ms=N required\n".into()),
+                    None => ("404 Not Found", "text/plain", "not a group member\n".into()),
+                }
+            }
             _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
         };
         let _ = write!(
@@ -1774,4 +1879,39 @@ fn metrics_loop(listener: TcpListener, shared: Arc<Shared>, domain: DomainLink) 
         let _ = stream.flush();
         let _ = stream.shutdown(Shutdown::Both);
     }
+}
+
+/// Renders the member's convergence report: every server group's
+/// response-chain fingerprint (merged across shards; a group lives on
+/// exactly one shard) plus a hash of the domain replicas' application
+/// state. Converged group members produce byte-identical reports — the
+/// soak's cross-member equality assertion scrapes exactly this.
+fn digest_report(shared: &Shared, domain: &DomainLink) -> String {
+    let mut merged: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for shard in shared.digests.lock().expect("digests lock").iter() {
+        for &(group, seq, digest) in shard {
+            let entry = merged.entry(group).or_insert((seq, digest));
+            if seq > entry.0 {
+                *entry = (seq, digest);
+            }
+        }
+    }
+    let mut body = String::new();
+    for (group, (seq, digest)) in &merged {
+        body.push_str(&format!(
+            "group {group} responses={seq} digest={digest:016x}\n"
+        ));
+    }
+    let groups: Vec<(u32, Vec<u8>)> = domain
+        .export_groups(Duration::from_secs(2))
+        .unwrap_or_default()
+        .into_iter()
+        .map(|s| (s.group, s.state))
+        .collect();
+    body.push_str(&format!(
+        "domain groups={} state={:016x}\n",
+        groups.len(),
+        ftd_replay::hash_domain_state(&groups)
+    ));
+    body
 }

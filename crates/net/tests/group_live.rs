@@ -35,7 +35,19 @@ fn registry() -> ObjectRegistry {
 /// (same domain id, same seed — state-machine replication of the
 /// relayed inputs), its own membership node.
 fn start_member(domain: u32, node: u32, opts: GroupOptions) -> GatewayServer {
-    let config = EngineConfig::new(domain, GroupId(0x4000_0000 | domain), node);
+    start_member_with(domain, node, opts, false)
+}
+
+/// Like [`start_member`], optionally arming the divergence-injection
+/// hook: the member's engine corrupts every reply it executes — the
+/// corruption flows into the delivered bytes AND the fingerprint it
+/// piggybacks on `PeerReply`, exactly like a diverged replica.
+fn start_member_with(domain: u32, node: u32, opts: GroupOptions, corrupt: bool) -> GatewayServer {
+    let mut config = EngineConfig::builder(domain, GroupId(0x4000_0000 | domain), node);
+    if corrupt {
+        config = config.corrupt_after(0);
+    }
+    let config = config.build();
     GatewayServer::builder()
         .addr("127.0.0.1:0")
         .config(config)
@@ -161,6 +173,83 @@ fn killed_member_reissue_served_from_survivor_relayed_cache() {
         stats.counter("gateway.reissues_served_from_cache") >= 1,
         "the reissue was a cache hit at the survivor"
     );
+}
+
+/// Divergence detection and self-fencing: a member whose replica lies
+/// about its reply digests is caught by the fingerprint cross-check on
+/// `PeerReply`, counted as `group.divergence` at the honest members,
+/// and — once two distinct peers disagree with it — fences itself out
+/// of the view, leaving a consistent majority serving.
+#[test]
+fn injected_divergence_fences_the_minority_member() {
+    let gw1 = start_member(43, 1, GroupOptions::new(1));
+    let seed1 = gw1.group_addr().expect("group node").to_string();
+    let gw2 = start_member(43, 2, GroupOptions::new(2).seed(seed1.clone()));
+    let seed2 = gw2.group_addr().expect("group node").to_string();
+    // Announce to both existing members: each learns of the newcomer
+    // directly (discovery needs an announce in at least one direction).
+    let gw3 = start_member_with(43, 3, GroupOptions::new(3).seed(seed1).seed(seed2), true);
+    wait_until("all three members see the full view", || {
+        gw1.group_members().len() == 3
+            && gw2.group_members().len() == 3
+            && gw3.group_members().len() == 3
+    });
+
+    // A reply served by the corrupt member broadcasts its corrupted
+    // fingerprint; both honest members detect the mismatch. The hook
+    // corrupts the delivered bytes too — exactly what a diverged
+    // replica would hand its clients (here: last byte flipped, 1 → 0).
+    let mut c3 = NetClient::connect(&gw3.group_ior("IDL:Counter:1.0", GROUP), Some(0x31))
+        .expect("connect gw3");
+    let r = c3
+        .invoke_retrying("add", &1u64.to_be_bytes(), &policy())
+        .expect("add at the corrupt member");
+    assert_eq!(r.body, 0u64.to_be_bytes(), "the diverged reply lies");
+    wait_until("honest members count the divergence", || {
+        gw1.stats().counter("group.divergence") >= 1 && gw2.stats().counter("group.divergence") >= 1
+    });
+
+    // Replies served by each honest member carry correct fingerprints;
+    // once the corrupt member has seen two distinct peers disagree with
+    // its own chain, it fences itself and leaves the view.
+    let mut c1 = NetClient::connect(&gw1.group_ior("IDL:Counter:1.0", GROUP), Some(0x32))
+        .expect("connect gw1");
+    c1.invoke_retrying("add", &2u64.to_be_bytes(), &policy())
+        .expect("add at gw1");
+    let mut c2 = NetClient::connect(&gw2.group_ior("IDL:Counter:1.0", GROUP), Some(0x33))
+        .expect("connect gw2");
+    c2.invoke_retrying("add", &4u64.to_be_bytes(), &policy())
+        .expect("add at gw2");
+
+    // The cross-check is best-effort per reply (a peer's fingerprint
+    // that beats the local replica's execution misses the window), so
+    // keep the honest members talking until the evidence lands.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while !gw3.group_fenced() {
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for the corrupt member to fence itself"
+        );
+        c1.invoke_retrying("add", &0u64.to_be_bytes(), &policy())
+            .expect("keepalive add at gw1");
+        c2.invoke_retrying("add", &0u64.to_be_bytes(), &policy())
+            .expect("keepalive add at gw2");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    wait_until("survivors drop the fenced member", || {
+        gw1.group_members().len() == 2 && gw2.group_members().len() == 2
+    });
+
+    // The healthy majority keeps serving the totally ordered history.
+    let r = c1
+        .invoke_retrying("get", &[], &policy())
+        .expect("get after fencing");
+    assert_eq!(r.body, 7u64.to_be_bytes(), "1 + 2 + 4 survived the fence");
+
+    gw1.shutdown();
+    gw2.shutdown();
+    let stats = gw3.shutdown();
+    assert!(stats.counter("group.fenced") >= 1, "fencing was counted");
 }
 
 /// Graceful client close at one member propagates `ClientGone` through

@@ -104,6 +104,34 @@ pub const GROUP_RELAY_CONNECTS: &str = "group.relay_connects";
 /// malformed inbound frames.
 pub const GROUP_RELAY_ERRORS: &str = "group.relay_errors";
 
+/// Redial attempts to a peer whose link previously failed — each one is
+/// a reconnect try made after the exponential backoff window elapsed.
+pub const GROUP_RECONNECTS: &str = "group.reconnects";
+
+/// Reply-bytes CRC or rolling state-digest mismatches detected against
+/// a peer's piggybacked values — the replica-divergence alarm.
+pub const GROUP_DIVERGENCE: &str = "group.divergence";
+
+/// Members that self-fenced after detecting they diverged from the
+/// majority (stopped serving, left the view).
+pub const GROUP_FENCED: &str = "group.fenced";
+
+/// Sequence-gap re-requests sent to peers to fill holes in the apply
+/// order.
+pub const GROUP_GAP_REQUESTS: &str = "group.gap_requests";
+
+/// Full state transfers served to rejoining or lagging members.
+pub const GROUP_STATE_TRANSFERS: &str = "group.state_transfers";
+
+/// Invocations stamped with a group sequence number by this member
+/// while it was the leader.
+pub const GROUP_SEQ_STAMPED: &str = "group.seq_stamped";
+
+/// Submissions dropped because the member had no quorum (its view fell
+/// below the majority of the configured group size) — the client
+/// retries against a majority member.
+pub const GROUP_NO_QUORUM_DROPS: &str = "group.no_quorum_drops";
+
 /// Profile switches performed by an enhanced client walking a
 /// multi-profile IOR: a successful (re)connect landed on a different
 /// profile than the previous connection used.
@@ -150,6 +178,13 @@ mod tests {
             super::GROUP_RELAY_FRAMES_RECEIVED,
             super::GROUP_RELAY_CONNECTS,
             super::GROUP_RELAY_ERRORS,
+            super::GROUP_RECONNECTS,
+            super::GROUP_DIVERGENCE,
+            super::GROUP_FENCED,
+            super::GROUP_GAP_REQUESTS,
+            super::GROUP_STATE_TRANSFERS,
+            super::GROUP_SEQ_STAMPED,
+            super::GROUP_NO_QUORUM_DROPS,
             super::CLIENT_PROFILE_SWITCHES,
         ] {
             assert!(

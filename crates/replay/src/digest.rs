@@ -91,6 +91,15 @@ pub fn encode_action(out: &mut Vec<u8>, action: &Action) {
             out.extend(group.0.to_be_bytes());
             out.extend(micros.to_be_bytes());
         }
+        Action::Divergence { group, seq, member } => {
+            out.push(10);
+            out.extend(group.to_be_bytes());
+            out.extend(seq.to_be_bytes());
+            out.extend(member.to_be_bytes());
+        }
+        Action::Fence => {
+            out.push(11);
+        }
     }
 }
 

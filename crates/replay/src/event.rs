@@ -89,6 +89,10 @@ pub struct EngineSetup {
     /// relay delivered reply bytes to peers — the extra `Multicast`
     /// actions are part of the recorded fingerprint).
     pub relay_replies: bool,
+    /// `EngineConfig::sequenced` (the relay layer routed invocations
+    /// through the group-wide sequencer; the piggybacked PeerReply
+    /// fingerprints are part of the recorded action stream).
+    pub sequenced: bool,
 }
 
 impl EngineSetup {
@@ -105,6 +109,7 @@ impl EngineSetup {
             max_body: config.max_body as u64,
             persist_responses: config.persist_responses,
             relay_replies: config.relay_replies,
+            sequenced: config.sequenced,
         }
     }
 
@@ -117,6 +122,7 @@ impl EngineSetup {
         config.max_body = self.max_body as usize;
         config.persist_responses = self.persist_responses;
         config.relay_replies = self.relay_replies;
+        config.sequenced = self.sequenced;
         config
     }
 }
@@ -462,10 +468,14 @@ impl ReplayEvent {
                 put_u64(&mut out, setup.cache_capacity);
                 put_u64(&mut out, setup.max_body);
                 // Config flags packed into one byte: bit 0
-                // persist_responses, bit 1 relay_replies. Recordings
-                // written before relay_replies existed decode as 0/1
-                // and replay unchanged.
-                out.push(setup.persist_responses as u8 | (setup.relay_replies as u8) << 1);
+                // persist_responses, bit 1 relay_replies, bit 2
+                // sequenced. Recordings written before a bit existed
+                // decode it as 0 and replay unchanged.
+                out.push(
+                    setup.persist_responses as u8
+                        | (setup.relay_replies as u8) << 1
+                        | (setup.sequenced as u8) << 2,
+                );
             }
             ReplayEvent::Topology {
                 domain,
@@ -643,6 +653,7 @@ impl ReplayEvent {
                     max_body,
                     persist_responses: flags & 1 != 0,
                     relay_replies: flags & 2 != 0,
+                    sequenced: flags & 4 != 0,
                 })
             }
             TAG_TOPOLOGY => {
@@ -809,6 +820,7 @@ mod tests {
                 max_body: 1 << 20,
                 persist_responses: true,
                 relay_replies: true,
+                sequenced: true,
             }),
             ReplayEvent::Topology {
                 domain: 9,

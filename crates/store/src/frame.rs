@@ -1,0 +1,67 @@
+//! A CRC-sealed single-payload envelope: `magic | len | payload | crc`.
+//!
+//! The WAL frames records on disk; this module frames one blob for the
+//! wire. `ftd-net` wraps gateway-group state-transfer snapshots in it,
+//! so a torn or bit-flipped transfer is rejected at [`open`] instead of
+//! installing corrupt replica state at the rejoining member.
+
+use crate::crc32;
+
+/// Envelope magic: `b"FTDF"`.
+pub const FRAME_MAGIC: [u8; 4] = *b"FTDF";
+
+/// Bytes of envelope overhead around the payload (magic + length + CRC).
+pub const SEAL_OVERHEAD: usize = 12;
+
+/// Seals `payload` into a self-checking envelope.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + SEAL_OVERHEAD);
+    out.extend(FRAME_MAGIC);
+    out.extend((payload.len() as u32).to_be_bytes());
+    out.extend(payload);
+    out.extend(crc32(payload).to_be_bytes());
+    out
+}
+
+/// Opens a sealed envelope, returning the payload only if the magic,
+/// the declared length, and the CRC all check out.
+pub fn open(bytes: &[u8]) -> Option<&[u8]> {
+    if bytes.len() < SEAL_OVERHEAD || bytes[..4] != FRAME_MAGIC {
+        return None;
+    }
+    let len = u32::from_be_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    if bytes.len() != SEAL_OVERHEAD + len {
+        return None;
+    }
+    let payload = &bytes[8..8 + len];
+    let crc = u32::from_be_bytes(bytes[8 + len..].try_into().expect("4 bytes"));
+    (crc32(payload) == crc).then_some(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_round_trips() {
+        for payload in [&b""[..], b"x", &[7u8; 1 << 16]] {
+            assert_eq!(open(&seal(payload)), Some(payload));
+        }
+    }
+
+    #[test]
+    fn torn_and_corrupt_envelopes_are_rejected() {
+        let sealed = seal(b"state transfer");
+        for cut in 0..sealed.len() {
+            assert_eq!(open(&sealed[..cut]), None, "truncated at {cut}");
+        }
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x40;
+            assert_eq!(open(&bad), None, "bit flip at {i}");
+        }
+        let mut extended = sealed.clone();
+        extended.push(0);
+        assert_eq!(open(&extended), None, "trailing garbage");
+    }
+}

@@ -13,6 +13,8 @@
 //! * [`checkpoint`] — atomic snapshot files (write-temp + fsync + rename),
 //!   so a checkpoint is either entirely the old one or entirely the new
 //!   one, never a torn mix.
+//! * [`frame`] — a CRC-sealed single-payload envelope for blobs that
+//!   travel instead of living on disk (gateway-group state transfers).
 //!
 //! The crate is deliberately ignorant of what the bytes mean: `ftd-net`
 //! layers the gateway's response-cache records and the domain's operation
@@ -20,6 +22,7 @@
 //! are used — the workspace stays free of external dependencies.
 
 pub mod checkpoint;
+pub mod frame;
 pub mod wal;
 
 pub use wal::{FsyncPolicy, ReplayReport, Wal, WalOptions, FRAME_HEADER_LEN, MAX_RECORD_LEN};
