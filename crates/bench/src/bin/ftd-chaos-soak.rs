@@ -158,7 +158,11 @@ fn run_client(
     };
     let id = 0x5001 + client_index;
     let mut client = loop {
-        match NetClient::connect_addr(proxy_addr, object_key.clone(), Some(id)) {
+        match NetClient::builder()
+            .addr(proxy_addr, object_key.clone())
+            .client_id(id)
+            .connect()
+        {
             Ok(c) => break c,
             Err(_) => std::thread::sleep(Duration::from_millis(100)),
         }
@@ -297,7 +301,11 @@ fn run_restart_client(
     let id = 0x5001 + client_index;
     let mut current = *target.lock().expect("target lock");
     let mut client = loop {
-        match NetClient::connect_addr(current, object_key.clone(), Some(id)) {
+        match NetClient::builder()
+            .addr(current, object_key.clone())
+            .client_id(id)
+            .connect()
+        {
             Ok(c) => break c,
             Err(_) => std::thread::sleep(Duration::from_millis(50)),
         }
@@ -403,7 +411,10 @@ fn run_restart_soak(opts: &Opts) {
     // The probe: one add acknowledged by the FIRST incarnation. After
     // the kill, reissuing it must return the identical bytes from the
     // recovered cache — the "zero lost acked replies" witness.
-    let mut probe = NetClient::connect_addr(server.local_addr(), object_key.clone(), Some(0xA001))
+    let mut probe = NetClient::builder()
+        .addr(server.local_addr(), object_key.clone())
+        .client_id(0xA001)
+        .connect()
         .unwrap_or_else(|e| die(&format!("probe connect: {e}")));
     probe
         .set_read_timeout(Duration::from_secs(5))
@@ -488,12 +499,14 @@ fn run_restart_soak(opts: &Opts) {
     // The verdict read, from a fresh identity against the survivor.
     let verify_deadline = Instant::now() + Duration::from_secs(60);
     let reply = loop {
-        let attempt =
-            NetClient::connect_addr(server.local_addr(), object_key.clone(), Some(0xFFFF))
-                .and_then(|mut verifier| {
-                    verifier.set_read_timeout(Duration::from_secs(5))?;
-                    verifier.invoke("get", &[])
-                });
+        let attempt = NetClient::builder()
+            .addr(server.local_addr(), object_key.clone())
+            .client_id(0xFFFF)
+            .connect()
+            .and_then(|mut verifier| {
+                verifier.set_read_timeout(Duration::from_secs(5))?;
+                verifier.invoke("get", &[])
+            });
         match attempt {
             Ok(reply) => break reply,
             Err(e) if Instant::now() < verify_deadline => {
@@ -705,10 +718,14 @@ fn main() {
     // the ring has healed.
     let verify_deadline = Instant::now() + Duration::from_secs(60);
     let reply = loop {
-        let attempt = NetClient::connect(&ior, Some(0xFFFF)).and_then(|mut verifier| {
-            verifier.set_read_timeout(Duration::from_secs(5))?;
-            verifier.invoke("get", &[])
-        });
+        let attempt = NetClient::builder()
+            .ior(&ior)
+            .client_id(0xFFFF)
+            .connect()
+            .and_then(|mut verifier| {
+                verifier.set_read_timeout(Duration::from_secs(5))?;
+                verifier.invoke("get", &[])
+            });
         match attempt {
             Ok(reply) => break reply,
             Err(e) if Instant::now() < verify_deadline => {

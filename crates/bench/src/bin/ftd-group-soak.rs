@@ -477,7 +477,7 @@ fn run_client(ior: Ior, client_index: u32, requests: u32) -> ClientOutcome {
     let id = 0x5001 + client_index;
     let start_deadline = Instant::now() + Duration::from_secs(30);
     let mut client = loop {
-        match NetClient::connect(&ior, Some(id)) {
+        match NetClient::builder().ior(&ior).client_id(id).connect() {
             Ok(c) => break c,
             Err(e) if Instant::now() < start_deadline => {
                 eprintln!("ftd-group-soak: client {client_index} connect retry ({e})");
@@ -577,8 +577,11 @@ fn join_load(workers: Vec<JoinHandle<ClientOutcome>>) -> Vec<ClientOutcome> {
 fn read_final(ior: &Ior, member: usize, expected: u64) -> u64 {
     let deadline = Instant::now() + Duration::from_secs(60);
     loop {
-        let attempt =
-            NetClient::connect(ior, Some(0xFFF0 + member as u32)).and_then(|mut verifier| {
+        let attempt = NetClient::builder()
+            .ior(ior)
+            .client_id(0xFFF0 + member as u32)
+            .connect()
+            .and_then(|mut verifier| {
                 verifier.set_read_timeout(Duration::from_secs(5))?;
                 verifier.invoke("get", &[])
             });
@@ -670,7 +673,10 @@ fn run_kill(opts: &Opts, gatewayd: PathBuf) -> ! {
     // Its reply bytes must come back identically from a survivor's
     // relayed-response cache after the kill. The probe never says
     // goodbye, so no ClientGone can GC its state early.
-    let mut probe = NetClient::connect(&iors[victim], Some(0xA001))
+    let mut probe = NetClient::builder()
+        .ior(&iors[victim])
+        .client_id(0xA001)
+        .connect()
         .unwrap_or_else(|e| die(&format!("probe connect: {e}")));
     probe
         .set_read_timeout(Duration::from_secs(5))
@@ -1057,7 +1063,10 @@ fn run_partition(opts: &Opts, gatewayd: PathBuf) -> ! {
         metrics_addrs[target],
         &format!("/blackout?ms={}", opts.blackout_ms),
     );
-    let mut pinned = NetClient::connect(&iors[target], Some(0xB001))
+    let mut pinned = NetClient::builder()
+        .ior(&iors[target])
+        .client_id(0xB001)
+        .connect()
         .unwrap_or_else(|e| die(&format!("pinned client connect: {e}")));
     pinned
         .set_read_timeout(Duration::from_millis(1500))

@@ -1,35 +1,60 @@
-//! `ftd-scale` — throughput scaling sweep for the sharded gateway.
+//! `ftd-scale` — throughput scaling and latency sweeps for the sharded
+//! gateway.
 //!
-//! For every (shards, gateways) point in the sweep, brings up a fresh
-//! [`GatewayPool`] (a pool of 1 is a plain [`GatewayServer`]) over an
-//! in-process 4-processor domain hosting G 3-replica active `Counter`
-//! groups, pins group `j` to shard `j % shards` for dense placement,
-//! and drives K closed-loop enhanced clients (each invoking `add` on
-//! its round-robin group) for a fixed wall-clock window.
+//! **Closed-loop mode** (default): for every (shards, gateways, depth)
+//! point in the sweep, brings up a fresh [`GatewayPool`] (a pool of 1
+//! is a plain [`GatewayServer`]) over an in-process 4-processor domain
+//! hosting G 3-replica active `Counter` groups, pins group `j` to shard
+//! `j % shards` for dense placement, and drives K closed-loop enhanced
+//! clients for a fixed wall-clock window. At `--depth 1` each client
+//! issues one `add` at a time (plain `invoke`); at higher depths each
+//! client keeps that many requests outstanding through a
+//! [`Pipeline`] session, so a single connection overlaps its
+//! round trips — the client-side lever that pairs with the server-side
+//! levers below.
 //!
-//! The scaling lever on a latency-bound domain is the per-shard §3.2
-//! **admission window**: a gateway admits at most `--window` requests
-//! per shard into the domain at once, so total in-flight — and hence
-//! throughput at fixed round-trip time — grows with the shard count.
-//! The sweep demonstrates exactly that: the headline `speedup_4x1`
-//! compares 4 shards against 1 on a single gateway. Each point is run
-//! `--repeat` times and the best attempt kept, so one unlucky OS
-//! scheduling on a small CI box does not fail the regression gate.
+//! Two scaling levers on a latency-bound domain:
+//!
+//! * the per-shard §3.2 **admission window** (`--window`): a gateway
+//!   admits at most that many requests per shard into the domain at
+//!   once, so total in-flight — and hence throughput at fixed
+//!   round-trip time — grows with the shard count. The headline
+//!   `speedup_4x1` compares 4 shards against 1 on a single gateway.
+//! * per-client **pipelining** (`--depths`): with the connection no
+//!   longer idle for a full RTT between requests, the same client
+//!   count sustains depth× the outstanding work. The headline
+//!   `pipeline_speedup_8x1` compares depth 8 against depth 1 at equal
+//!   shard count.
+//!
+//! **Open-loop mode** (`--open-loop RATE`): instead of waiting for
+//! replies, clients submit on a fixed arrival schedule (RATE requests/s
+//! across all clients, evenly divided) through pipelined sessions, and
+//! every reply's latency is measured from its *scheduled* submission
+//! time — the coordinated-omission-resistant methodology: a stalled
+//! server cannot slow the arrival process down and thereby hide its own
+//! queueing delay. Reports p50/p99/p99.9 and the achieved rate;
+//! `--assert-p99 MICROS` is the CI latency regression gate.
+//!
+//! Each point is run `--repeat` times and the best attempt kept
+//! (highest throughput / lowest p99), so one unlucky OS scheduling on a
+//! small CI box does not fail a regression gate.
 //!
 //! ```text
 //! ftd-scale [--clients N] [--duration-ms N] [--window N] [--repeat N]
-//!           [--shards LIST] [--gateways LIST]
-//!           [--json PATH] [--assert-speedup F]
+//!           [--shards LIST] [--gateways LIST] [--depth N] [--depths LIST]
+//!           [--open-loop RATE] [--json PATH]
+//!           [--assert-speedup F] [--assert-pipeline-speedup F]
+//!           [--assert-p99 MICROS]
 //! ```
 //!
-//! `--json` writes `BENCH_scale.json`-style machine-readable results;
-//! `--assert-speedup F` exits non-zero unless `speedup_4x1 >= F` (the
-//! CI regression gate; requires shards 1 and 4 in the sweep).
+//! `--json` writes `BENCH_scale.json`-style (or, in open-loop mode,
+//! `BENCH_latency.json`-style) machine-readable results.
 
 use ftd_core::EngineConfig;
 use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
-use ftd_net::{GatewayPool, NetClient};
+use ftd_net::{GatewayPool, NetClient, PendingReply};
 use ftd_totem::GroupId;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -45,8 +70,12 @@ struct Opts {
     repeat: usize,
     shards: Vec<usize>,
     gateways: Vec<usize>,
+    depths: Vec<usize>,
+    open_loop: Option<f64>,
     json: Option<String>,
     assert_speedup: Option<f64>,
+    assert_pipeline_speedup: Option<f64>,
+    assert_p99: Option<u64>,
 }
 
 fn die(msg: &str) -> ! {
@@ -71,8 +100,12 @@ fn parse_opts() -> Opts {
         repeat: 3,
         shards: vec![1, 2, 4, 8],
         gateways: vec![1, 2],
+        depths: vec![1],
+        open_loop: None,
         json: None,
         assert_speedup: None,
+        assert_pipeline_speedup: None,
+        assert_p99: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,13 +120,22 @@ fn parse_opts() -> Opts {
             "--repeat" => opts.repeat = parse(&value("--repeat")),
             "--shards" => opts.shards = parse_list(&value("--shards")),
             "--gateways" => opts.gateways = parse_list(&value("--gateways")),
+            "--depth" => opts.depths = vec![parse(&value("--depth"))],
+            "--depths" => opts.depths = parse_list(&value("--depths")),
+            "--open-loop" => opts.open_loop = Some(parse(&value("--open-loop"))),
             "--json" => opts.json = Some(value("--json")),
             "--assert-speedup" => opts.assert_speedup = Some(parse(&value("--assert-speedup"))),
+            "--assert-pipeline-speedup" => {
+                opts.assert_pipeline_speedup = Some(parse(&value("--assert-pipeline-speedup")))
+            }
+            "--assert-p99" => opts.assert_p99 = Some(parse(&value("--assert-p99"))),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ftd-scale [--clients N] [--duration-ms N] [--window N] \
-                     [--repeat N] [--shards LIST] [--gateways LIST] [--json PATH] \
-                     [--assert-speedup F]"
+                     [--repeat N] [--shards LIST] [--gateways LIST] [--depth N] \
+                     [--depths LIST] [--open-loop RATE] [--json PATH] \
+                     [--assert-speedup F] [--assert-pipeline-speedup F] \
+                     [--assert-p99 MICROS]"
                 );
                 std::process::exit(0);
             }
@@ -106,20 +148,28 @@ fn parse_opts() -> Opts {
     if opts.shards.contains(&0) || opts.gateways.contains(&0) {
         die("shard and gateway counts must be >= 1");
     }
+    if opts.depths.is_empty() || opts.depths.contains(&0) {
+        die("pipeline depths must be >= 1");
+    }
+    if opts.open_loop.is_some_and(|r| r <= 0.0) {
+        die("--open-loop rate must be positive");
+    }
     opts
 }
 
 struct RunResult {
     shards: usize,
     gateways: usize,
+    depth: usize,
     requests: u64,
     elapsed_ms: u64,
     throughput_rps: f64,
     deferrals: u64,
 }
 
-/// One sweep point: fresh domain, fresh pool, K clients, fixed window.
-fn run_point(opts: &Opts, shards: usize, gateways: usize, seed: u64) -> RunResult {
+/// Builds the pool one sweep point runs against: fresh domain, G pinned
+/// counter groups, the configured admission window.
+fn build_pool(opts: &Opts, shards: usize, gateways: usize, seed: u64) -> GatewayPool {
     let config = EngineConfig::new(3, GroupId(0x4000_0003), 0);
     let mut builder = GatewayPool::builder()
         .gateways(gateways)
@@ -140,31 +190,85 @@ fn run_point(opts: &Opts, shards: usize, gateways: usize, seed: u64) -> RunResul
     for j in 0..GROUPS {
         builder = builder.pin_group(GroupId(BASE_GROUP + j), j as usize % shards);
     }
-    let pool = builder
+    builder
         .build()
-        .unwrap_or_else(|e| die(&format!("pool start ({shards} shards): {e}")));
+        .unwrap_or_else(|e| die(&format!("pool start ({shards} shards): {e}")))
+}
+
+fn connect_client(pool: &GatewayPool, i: u32, depth: usize) -> NetClient {
+    let client_id = 0x6000 + i as u64;
+    let group = GroupId(BASE_GROUP + i % GROUPS);
+    let ior = pool.ior_for_client(client_id, "IDL:Counter:1.0", group);
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(client_id as u32)
+        .max_inflight(depth)
+        .connect()
+        .expect("connect");
+    client
+        .set_read_timeout(Duration::from_secs(20))
+        .expect("read timeout");
+    client
+}
+
+fn shutdown_and_count_deferrals(pool: GatewayPool, shards: usize) -> u64 {
+    let stats = pool.shutdown();
+    (0..shards)
+        .map(|s| {
+            stats.counter(&ftd_obs::names::with_shard(
+                ftd_obs::names::GATEWAY_SHARD_DEFERRALS,
+                s,
+            ))
+        })
+        .sum()
+}
+
+/// One closed-loop sweep point: K clients each keeping `depth` requests
+/// outstanding for a fixed window.
+fn run_point(opts: &Opts, shards: usize, gateways: usize, depth: usize, seed: u64) -> RunResult {
+    let pool = build_pool(opts, shards, gateways, seed);
 
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let workers: Vec<_> = (0..opts.clients)
         .map(|i| {
-            let client_id = 0x6000 + i as u64;
-            let group = GroupId(BASE_GROUP + i % GROUPS);
-            let ior = pool.ior_for_client(client_id, "IDL:Counter:1.0", group);
+            let mut client = connect_client(&pool, i, depth);
             let stop = Arc::clone(&stop);
             std::thread::Builder::new()
                 .name(format!("scale-client-{i}"))
                 .spawn(move || {
-                    let mut client =
-                        NetClient::connect(&ior, Some(client_id as u32)).expect("connect");
-                    client
-                        .set_read_timeout(Duration::from_secs(20))
-                        .expect("read timeout");
                     let mut done = 0u64;
+                    if depth == 1 {
+                        while !stop.load(Ordering::Relaxed) {
+                            match client.invoke("add", &1u64.to_be_bytes()) {
+                                Ok(_) => done += 1,
+                                Err(e) => die(&format!("client {i} invoke: {e}")),
+                            }
+                        }
+                        return done;
+                    }
+                    // Pipelined closed loop: top the window up to
+                    // `depth`, then retire the oldest before the next
+                    // submit so the window never blocks inside submit.
+                    let mut pipeline = client.pipeline();
+                    let mut handles: VecDeque<PendingReply> = VecDeque::new();
                     while !stop.load(Ordering::Relaxed) {
-                        match client.invoke("add", &1u64.to_be_bytes()) {
+                        while handles.len() < depth {
+                            match pipeline.submit("add", &1u64.to_be_bytes()) {
+                                Ok(h) => handles.push_back(h),
+                                Err(e) => die(&format!("client {i} submit: {e}")),
+                            }
+                        }
+                        let oldest = handles.pop_front().expect("window non-empty");
+                        match pipeline.wait(&oldest) {
                             Ok(_) => done += 1,
-                            Err(e) => die(&format!("client {i} invoke: {e}")),
+                            Err(e) => die(&format!("client {i} wait: {e}")),
+                        }
+                    }
+                    for h in handles {
+                        match pipeline.wait(&h) {
+                            Ok(_) => done += 1,
+                            Err(e) => die(&format!("client {i} drain: {e}")),
                         }
                     }
                     done
@@ -181,22 +285,145 @@ fn run_point(opts: &Opts, shards: usize, gateways: usize, seed: u64) -> RunResul
         .sum();
     let elapsed = started.elapsed();
 
-    let stats = pool.shutdown();
-    let deferrals: u64 = (0..shards)
-        .map(|s| {
-            stats.counter(&ftd_obs::names::with_shard(
-                ftd_obs::names::GATEWAY_SHARD_DEFERRALS,
-                s,
-            ))
-        })
-        .sum();
+    let deferrals = shutdown_and_count_deferrals(pool, shards);
     let throughput_rps = requests as f64 / elapsed.as_secs_f64();
     RunResult {
         shards,
         gateways,
+        depth,
         requests,
         elapsed_ms: elapsed.as_millis() as u64,
         throughput_rps,
+        deferrals,
+    }
+}
+
+struct OpenLoopResult {
+    sent: u64,
+    completed: u64,
+    elapsed_ms: u64,
+    achieved_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    p999_us: u64,
+    max_us: u64,
+    deferrals: u64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// One open-loop run: clients submit on a fixed schedule and measure
+/// each reply against its *scheduled* submission time.
+fn run_open_loop(
+    opts: &Opts,
+    shards: usize,
+    gateways: usize,
+    depth: usize,
+    rate: f64,
+    seed: u64,
+) -> OpenLoopResult {
+    let pool = build_pool(opts, shards, gateways, seed);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let interval = Duration::from_secs_f64(opts.clients as f64 / rate);
+    let started = Instant::now();
+    let workers: Vec<_> = (0..opts.clients)
+        .map(|i| {
+            let mut client = connect_client(&pool, i, depth);
+            let stop = Arc::clone(&stop);
+            // Stagger starts so the aggregate arrival process is even,
+            // not K simultaneous bursts.
+            let first_due = started + interval.mul_f64(i as f64 / opts.clients as f64);
+            std::thread::Builder::new()
+                .name(format!("openloop-client-{i}"))
+                .spawn(move || {
+                    let mut pipeline = client.pipeline();
+                    let mut inflight: VecDeque<(PendingReply, Instant)> = VecDeque::new();
+                    let mut latencies_us: Vec<u64> = Vec::new();
+                    let mut sent = 0u64;
+                    let mut due = first_due;
+                    while !stop.load(Ordering::Relaxed) {
+                        let now = Instant::now();
+                        if now < due {
+                            // Spare time before the next arrival: reap
+                            // whatever has completed, then sleep the
+                            // remainder.
+                            while let Some((h, scheduled)) = inflight.front() {
+                                match pipeline.poll(h) {
+                                    Ok(Some(_)) => {
+                                        latencies_us.push(scheduled.elapsed().as_micros() as u64);
+                                        inflight.pop_front();
+                                    }
+                                    Ok(None) => break,
+                                    Err(e) => die(&format!("client {i} poll: {e}")),
+                                }
+                            }
+                            let now = Instant::now();
+                            if now < due {
+                                std::thread::sleep((due - now).min(Duration::from_millis(1)));
+                            }
+                            continue;
+                        }
+                        // An arrival is due. A full window blocks in
+                        // submit until the oldest reply lands — the
+                        // queueing delay stays visible because every
+                        // latency is measured from the *scheduled* time.
+                        if inflight.len() >= depth {
+                            let (h, scheduled) = inflight.pop_front().expect("window full");
+                            match pipeline.wait(&h) {
+                                Ok(_) => latencies_us.push(scheduled.elapsed().as_micros() as u64),
+                                Err(e) => die(&format!("client {i} wait: {e}")),
+                            }
+                        }
+                        match pipeline.submit("add", &1u64.to_be_bytes()) {
+                            Ok(h) => {
+                                inflight.push_back((h, due));
+                                sent += 1;
+                            }
+                            Err(e) => die(&format!("client {i} submit: {e}")),
+                        }
+                        due += interval;
+                    }
+                    for (h, scheduled) in inflight {
+                        match pipeline.wait(&h) {
+                            Ok(_) => latencies_us.push(scheduled.elapsed().as_micros() as u64),
+                            Err(e) => die(&format!("client {i} drain: {e}")),
+                        }
+                    }
+                    (sent, latencies_us)
+                })
+                .expect("spawn client")
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(opts.duration_ms));
+    stop.store(true, Ordering::Relaxed);
+    let mut sent = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for w in workers {
+        let (s, l) = w.join().expect("client thread");
+        sent += s;
+        latencies.extend(l);
+    }
+    let elapsed = started.elapsed();
+    let deferrals = shutdown_and_count_deferrals(pool, shards);
+
+    latencies.sort_unstable();
+    OpenLoopResult {
+        sent,
+        completed: latencies.len() as u64,
+        elapsed_ms: elapsed.as_millis() as u64,
+        achieved_rps: latencies.len() as f64 / elapsed.as_secs_f64(),
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
+        max_us: latencies.last().copied().unwrap_or(0),
         deferrals,
     }
 }
@@ -212,78 +439,234 @@ fn start_host(seed: u64) -> ftd_core::Result<ftd_net::DomainHost> {
 
 fn main() {
     let opts = parse_opts();
+    if let Some(rate) = opts.open_loop {
+        main_open_loop(&opts, rate);
+        return;
+    }
     eprintln!(
-        "ftd-scale: clients={} duration={}ms window={} repeat={} shards={:?} gateways={:?}",
-        opts.clients, opts.duration_ms, opts.window, opts.repeat, opts.shards, opts.gateways
+        "ftd-scale: clients={} duration={}ms window={} repeat={} shards={:?} gateways={:?} \
+         depths={:?}",
+        opts.clients,
+        opts.duration_ms,
+        opts.window,
+        opts.repeat,
+        opts.shards,
+        opts.gateways,
+        opts.depths
     );
 
     let mut runs = Vec::new();
     for &gateways in &opts.gateways {
         for &shards in &opts.shards {
-            // Best of `repeat` attempts: one attempt measures one
-            // scheduling of 60+ threads on however few cores CI grants,
-            // so a single sample is noise — the max is the point's
-            // actual capability and is what the regression gate needs
-            // to be stable.
-            let r = (0..opts.repeat)
-                .map(|a| run_point(&opts, shards, gateways, 0x5CA1E + shards as u64 + a as u64))
-                .max_by(|x, y| x.throughput_rps.total_cmp(&y.throughput_rps))
-                .expect("repeat >= 1");
-            eprintln!(
-                "ftd-scale: shards={} gateways={} -> {} requests in {}ms = {:.0} rps \
-                 (deferrals={}, best of {})",
-                r.shards,
-                r.gateways,
-                r.requests,
-                r.elapsed_ms,
-                r.throughput_rps,
-                r.deferrals,
-                opts.repeat
-            );
-            runs.push(r);
+            for &depth in &opts.depths {
+                // Best of `repeat` attempts: one attempt measures one
+                // scheduling of 60+ threads on however few cores CI
+                // grants, so a single sample is noise — the max is the
+                // point's actual capability and is what the regression
+                // gate needs to be stable.
+                let r = (0..opts.repeat)
+                    .map(|a| {
+                        run_point(
+                            &opts,
+                            shards,
+                            gateways,
+                            depth,
+                            0x5CA1E + shards as u64 + a as u64,
+                        )
+                    })
+                    .max_by(|x, y| x.throughput_rps.total_cmp(&y.throughput_rps))
+                    .expect("repeat >= 1");
+                eprintln!(
+                    "ftd-scale: shards={} gateways={} depth={} -> {} requests in {}ms = \
+                     {:.0} rps (deferrals={}, best of {})",
+                    r.shards,
+                    r.gateways,
+                    r.depth,
+                    r.requests,
+                    r.elapsed_ms,
+                    r.throughput_rps,
+                    r.deferrals,
+                    opts.repeat
+                );
+                runs.push(r);
+            }
         }
     }
 
-    let rps_at = |shards: usize, gateways: usize| {
+    let base_depth = opts.depths[0];
+    let rps_at = |shards: usize, gateways: usize, depth: usize| {
         runs.iter()
-            .find(|r| r.shards == shards && r.gateways == gateways)
+            .find(|r| r.shards == shards && r.gateways == gateways && r.depth == depth)
             .map(|r| r.throughput_rps)
     };
-    let speedup_4x1 = match (rps_at(1, 1), rps_at(4, 1)) {
+    let speedup_4x1 = match (rps_at(1, 1, base_depth), rps_at(4, 1, base_depth)) {
         (Some(one), Some(four)) if one > 0.0 => Some(four / one),
         _ => None,
     };
     if let Some(s) = speedup_4x1 {
         eprintln!("ftd-scale: speedup (4 shards vs 1, single gateway) = {s:.2}x");
     }
+    // Pipelining headline: depth 8 vs depth 1 at the first (gateways,
+    // shards) point that ran both — equal shard count by construction.
+    let pipeline_speedup_8x1 = runs.iter().find_map(|r| {
+        if r.depth != 1 {
+            return None;
+        }
+        let deep = rps_at(r.shards, r.gateways, 8)?;
+        (r.throughput_rps > 0.0).then(|| deep / r.throughput_rps)
+    });
+    if let Some(s) = pipeline_speedup_8x1 {
+        eprintln!("ftd-scale: pipeline speedup (depth 8 vs 1, equal shards) = {s:.2}x");
+    }
 
-    let passed = match (opts.assert_speedup, speedup_4x1) {
-        (Some(floor), Some(actual)) => actual >= floor,
+    let mut passed = true;
+    match (opts.assert_speedup, speedup_4x1) {
+        (Some(floor), Some(actual)) => passed &= actual >= floor,
         (Some(_), None) => {
             eprintln!("ftd-scale: --assert-speedup needs shards 1 and 4 in the sweep");
-            false
+            passed = false;
         }
-        (None, _) => true,
-    };
+        (None, _) => {}
+    }
+    match (opts.assert_pipeline_speedup, pipeline_speedup_8x1) {
+        (Some(floor), Some(actual)) => passed &= actual >= floor,
+        (Some(_), None) => {
+            eprintln!("ftd-scale: --assert-pipeline-speedup needs depths 1 and 8 in the sweep");
+            passed = false;
+        }
+        (None, _) => {}
+    }
 
     if let Some(path) = &opts.json {
         let mut rows = String::new();
         for (i, r) in runs.iter().enumerate() {
             let sep = if i + 1 < runs.len() { "," } else { "" };
             rows.push_str(&format!(
-                "    {{\"shards\": {}, \"gateways\": {}, \"requests\": {}, \
+                "    {{\"shards\": {}, \"gateways\": {}, \"depth\": {}, \"requests\": {}, \
                  \"elapsed_ms\": {}, \"throughput_rps\": {:.1}, \"deferrals\": {}}}{sep}\n",
-                r.shards, r.gateways, r.requests, r.elapsed_ms, r.throughput_rps, r.deferrals
+                r.shards,
+                r.gateways,
+                r.depth,
+                r.requests,
+                r.elapsed_ms,
+                r.throughput_rps,
+                r.deferrals
             ));
         }
+        let fmt_speedup = |s: Option<f64>| {
+            s.map(|s| format!("{s:.3}"))
+                .unwrap_or_else(|| "null".to_owned())
+        };
         let json = format!(
             "{{\n  \"clients\": {},\n  \"duration_ms\": {},\n  \"window_per_shard\": {},\n  \
-             \"runs\": [\n{rows}  ],\n  \"speedup_4x1\": {},\n  \"passed\": {passed}\n}}\n",
+             \"runs\": [\n{rows}  ],\n  \"speedup_4x1\": {},\n  \
+             \"pipeline_speedup_8x1\": {},\n  \"passed\": {passed}\n}}\n",
             opts.clients,
             opts.duration_ms,
             opts.window,
+            fmt_speedup(speedup_4x1),
+            fmt_speedup(pipeline_speedup_8x1),
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    }
+
+    if passed {
+        println!(
+            "PASS {} points{}{}",
+            runs.len(),
             speedup_4x1
-                .map(|s| format!("{s:.3}"))
+                .map(|s| format!(" speedup_4x1={s:.2}x"))
+                .unwrap_or_default(),
+            pipeline_speedup_8x1
+                .map(|s| format!(" pipeline_speedup_8x1={s:.2}x"))
+                .unwrap_or_default()
+        );
+    } else {
+        println!(
+            "FAIL speedup_4x1={} (floor {}) pipeline_speedup_8x1={} (floor {})",
+            speedup_4x1
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "n/a".to_owned()),
+            opts.assert_speedup
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "-".to_owned()),
+            pipeline_speedup_8x1
+                .map(|s| format!("{s:.2}x"))
+                .unwrap_or_else(|| "n/a".to_owned()),
+            opts.assert_pipeline_speedup
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "-".to_owned()),
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Open-loop entry: a single (shards, gateways, depth) configuration
+/// under a fixed arrival rate, best-p99 of `--repeat` attempts.
+fn main_open_loop(opts: &Opts, rate: f64) {
+    let shards = opts.shards[0];
+    let gateways = opts.gateways[0];
+    let depth = *opts.depths.iter().max().expect("non-empty depths");
+    eprintln!(
+        "ftd-scale: open-loop rate={rate} rps clients={} duration={}ms window={} depth={depth} \
+         shards={shards} gateways={gateways} repeat={}",
+        opts.clients, opts.duration_ms, opts.window, opts.repeat
+    );
+
+    let r = (0..opts.repeat)
+        .map(|a| {
+            let r = run_open_loop(
+                opts,
+                shards,
+                gateways,
+                depth,
+                rate,
+                0x0BE1 + shards as u64 + a as u64,
+            );
+            eprintln!(
+                "ftd-scale: attempt {a}: sent={} completed={} in {}ms = {:.0} rps, \
+                 latency p50={}us p99={}us p99.9={}us max={}us (deferrals={})",
+                r.sent,
+                r.completed,
+                r.elapsed_ms,
+                r.achieved_rps,
+                r.p50_us,
+                r.p99_us,
+                r.p999_us,
+                r.max_us,
+                r.deferrals
+            );
+            r
+        })
+        .min_by_key(|r| r.p99_us)
+        .expect("repeat >= 1");
+
+    let passed = match opts.assert_p99 {
+        Some(floor_us) => r.p99_us <= floor_us,
+        None => true,
+    };
+
+    if let Some(path) = &opts.json {
+        let json = format!(
+            "{{\n  \"mode\": \"open_loop\",\n  \"rate_rps\": {rate},\n  \"clients\": {},\n  \
+             \"duration_ms\": {},\n  \"window_per_shard\": {},\n  \"depth\": {depth},\n  \
+             \"shards\": {shards},\n  \"gateways\": {gateways},\n  \"sent\": {},\n  \
+             \"completed\": {},\n  \"achieved_rps\": {:.1},\n  \"latency_us\": \
+             {{\"p50\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}},\n  \
+             \"deferrals\": {},\n  \"p99_floor_us\": {},\n  \"passed\": {passed}\n}}\n",
+            opts.clients,
+            opts.duration_ms,
+            opts.window,
+            r.sent,
+            r.completed,
+            r.achieved_rps,
+            r.p50_us,
+            r.p99_us,
+            r.p999_us,
+            r.max_us,
+            r.deferrals,
+            opts.assert_p99
+                .map(|f| f.to_string())
                 .unwrap_or_else(|| "null".to_owned()),
         );
         std::fs::write(path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
@@ -291,19 +674,14 @@ fn main() {
 
     if passed {
         println!(
-            "PASS {} points{}",
-            runs.len(),
-            speedup_4x1
-                .map(|s| format!(" speedup_4x1={s:.2}x"))
-                .unwrap_or_default()
+            "PASS open-loop {:.0} rps p50={}us p99={}us p99.9={}us",
+            r.achieved_rps, r.p50_us, r.p99_us, r.p999_us
         );
     } else {
         println!(
-            "FAIL speedup_4x1={} below floor {}",
-            speedup_4x1
-                .map(|s| format!("{s:.2}x"))
-                .unwrap_or_else(|| "n/a".to_owned()),
-            opts.assert_speedup.unwrap_or(0.0)
+            "FAIL open-loop p99={}us above floor {}us",
+            r.p99_us,
+            opts.assert_p99.unwrap_or(0)
         );
         std::process::exit(1);
     }

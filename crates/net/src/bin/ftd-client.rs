@@ -120,7 +120,12 @@ fn main() {
     };
 
     let ior = Ior::from_stringified(&ior_text).unwrap_or_else(|e| die(&format!("bad IOR: {e:?}")));
-    let mut client = NetClient::connect(&ior, client_id)
+    let mut builder = NetClient::builder().ior(&ior);
+    if let Some(id) = client_id {
+        builder = builder.client_id(id);
+    }
+    let mut client = builder
+        .connect()
         .unwrap_or_else(|e| die(&format!("connect failed: {e}")));
 
     let clock = RealClock::new();

@@ -63,7 +63,9 @@ mod server;
 mod store;
 
 pub use backend::{DomainBackend, GroupSnapshot};
-pub use client::{NetClient, RetryPolicy};
+pub use client::{
+    NetClient, NetClientBuilder, PendingReply, Pipeline, RetryPolicy, DEFAULT_MAX_CLIENT_INFLIGHT,
+};
 pub use domain::{DomainFault, DomainLink, DomainService};
 pub use durable::{DomainRecovery, DurableHost};
 pub use ftd_group::{GroupMember, PROTO_VERSION};

@@ -1361,6 +1361,7 @@ struct Shard {
     bytes_out: Arc<Counter>,
     m_events: Arc<Counter>,
     m_deferrals: Arc<Counter>,
+    m_tick_admits: Arc<Counter>,
 }
 
 impl Shard {
@@ -1382,6 +1383,8 @@ impl Shard {
         let reply_latency = registry.histogram("net.reply_latency_us");
         let m_events = registry.counter(&names::with_shard(names::GATEWAY_SHARD_EVENTS, idx));
         let m_deferrals = registry.counter(&names::with_shard(names::GATEWAY_SHARD_DEFERRALS, idx));
+        let m_tick_admits =
+            registry.counter(&names::with_shard(names::GATEWAY_SHARD_TICK_ADMITS, idx));
         let now_us = clock.now_micros();
         Shard {
             idx,
@@ -1407,6 +1410,7 @@ impl Shard {
             bytes_out,
             m_events,
             m_deferrals,
+            m_tick_admits,
         }
     }
 
@@ -1659,6 +1663,13 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
             Err(RecvTimeoutError::Disconnected) => break,
         }
 
+        // Requests that found the window full while this tick's events
+        // drained. They get a second chance in the end-of-tick batch
+        // pass below — replies arriving later in the same drain free
+        // window slots — and only what is *still* unadmitted after that
+        // pass counts as a deferral.
+        let mut arrivals: VecDeque<(u64, GiopMessage, usize)> = VecDeque::new();
+
         for ev in events {
             shard.m_events.inc();
             match ev {
@@ -1672,19 +1683,22 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
                 }
                 ShardEv::Msg(id, msg, cost) => {
                     // Admission window: requests past the window (or
-                    // behind earlier deferred ones — FIFO fairness) wait;
-                    // everything else processes immediately.
-                    let defer = matches!(msg, GiopMessage::Request(_))
-                        && (shard.inflight >= shard.window || !shard.deferred.is_empty());
-                    if defer {
-                        shard.deferred.push_back((id, msg, cost));
-                        shard.m_deferrals.inc();
+                    // behind earlier waiting ones — FIFO fairness) queue
+                    // for the batch pass; everything else processes
+                    // immediately.
+                    let queue = matches!(msg, GiopMessage::Request(_))
+                        && (shard.inflight >= shard.window
+                            || !shard.deferred.is_empty()
+                            || !arrivals.is_empty());
+                    if queue {
+                        arrivals.push_back((id, msg, cost));
                     } else {
                         shard.process_msg(id, msg, cost);
                     }
                 }
                 ShardEv::Closed(id) => {
                     shard.deferred.retain(|&(conn, _, _)| conn != id);
+                    arrivals.retain(|&(conn, _, _)| conn != id);
                     let actions = match shard.tap.as_mut() {
                         Some(tap) => tap.on_closed(&mut shard.engine, GwConn(id)),
                         None => shard.engine.on_client_closed(GwConn(id)),
@@ -1741,13 +1755,31 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
             }
         }
 
-        // Admit deferred requests as replies free the window. On
-        // shutdown everything still deferred is processed (not dropped):
-        // the queue ahead of the Shutdown sentinel was already drained,
-        // so these are the last client bytes this shard will ever see.
-        while !shard.deferred.is_empty() && (stop || shard.inflight < shard.window) {
-            let (id, msg, cost) = shard.deferred.pop_front().expect("non-empty deferred");
+        // Batch admission: grant every window slot that opened during
+        // the tick — carried-over deferrals first (FIFO), then this
+        // tick's arrivals. On shutdown everything still waiting is
+        // processed (not dropped): the queue ahead of the Shutdown
+        // sentinel was already drained, so these are the last client
+        // bytes this shard will ever see.
+        while (stop || shard.inflight < shard.window)
+            && !(shard.deferred.is_empty() && arrivals.is_empty())
+        {
+            let from_arrivals = shard.deferred.is_empty();
+            let (id, msg, cost) = if from_arrivals {
+                arrivals.pop_front().expect("non-empty arrivals")
+            } else {
+                shard.deferred.pop_front().expect("non-empty deferred")
+            };
+            if from_arrivals {
+                shard.m_tick_admits.inc();
+            }
             shard.process_msg(id, msg, cost);
+        }
+        // What is still waiting missed the whole tick: only now does it
+        // become a deferral, carried to the next tick's pass.
+        while let Some(item) = arrivals.pop_front() {
+            shard.m_deferrals.inc();
+            shard.deferred.push_back(item);
         }
 
         shard.drain_expired_gone();

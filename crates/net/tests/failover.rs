@@ -52,7 +52,11 @@ fn start_server(domain: u32, seed: u64, options: ServerOptions) -> GatewayServer
 fn client_via(proxy: &ChaosProxy, server: &GatewayServer, id: u32) -> NetClient {
     let ior = server.ior("IDL:Counter:1.0", GROUP);
     let key = ior.primary_iiop().expect("iiop profile").object_key;
-    NetClient::connect_addr(proxy.local_addr(), key, Some(id)).expect("connect via proxy")
+    NetClient::builder()
+        .addr(proxy.local_addr(), key)
+        .client_id(id)
+        .connect()
+        .expect("connect via proxy")
 }
 
 fn policy() -> RetryPolicy {
@@ -151,6 +155,74 @@ fn request_path_kill_reissue_executes_exactly_once() {
     );
 }
 
+/// N>1 requests are outstanding on a pipelined session when the
+/// connection dies on the reply path. The session's whole-window
+/// failover reissues every unanswered request under its original id,
+/// and §3.3 duplicate detection suppresses every re-execution: each
+/// pipelined reply is exactly the cumulative sum its position demands,
+/// and the final read shows every add applied exactly once.
+#[test]
+fn pipelined_window_failover_dedups_every_outstanding_request() {
+    let server = start_server(24, 0x9199, ServerOptions::default());
+    let mut plan = FaultPlan::clean(3);
+    // Every connection delivers one reply chunk, then dies on the next:
+    // the kill lands mid-window while several requests are outstanding,
+    // and reconnections keep making progress (first chunk always lands).
+    plan.to_client = DirPlan::scripted(vec![Fault::Deliver, Fault::Reset]);
+    let proxy = ChaosProxy::start("127.0.0.1:0", server.local_addr(), plan).expect("proxy");
+
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+    let key = ior.primary_iiop().expect("iiop profile").object_key;
+    let mut client = NetClient::builder()
+        .addr(proxy.local_addr(), key)
+        .client_id(0x88)
+        .max_inflight(8)
+        .retry(policy())
+        .connect()
+        .expect("connect via proxy");
+
+    let mut pipeline = client.pipeline();
+    let handles: Vec<_> = (1..=8u64)
+        .map(|v| {
+            // Pace submissions so replies span several proxy chunks —
+            // the scripted Reset then reliably fires while later
+            // requests are still outstanding.
+            std::thread::sleep(Duration::from_millis(5));
+            pipeline.submit("add", &v.to_be_bytes()).expect("submit")
+        })
+        .collect();
+    let mut sum = 0u64;
+    for (i, h) in handles.iter().enumerate() {
+        sum += i as u64 + 1;
+        let reply = pipeline.wait(h).expect("pipelined reply survives the kill");
+        assert_eq!(
+            reply.body,
+            sum.to_be_bytes(),
+            "reply {i} is its position's cumulative sum — in order, no duplicates"
+        );
+    }
+    drop(pipeline);
+
+    let r = client
+        .invoke_retrying("get", &[], &policy())
+        .expect("final get");
+    assert_eq!(
+        r.body,
+        36u64.to_be_bytes(),
+        "1 + 2 + … + 8 applied exactly once each across the failovers"
+    );
+    assert!(client.reconnects() >= 1, "the client redialed");
+    assert!(client.reissues() >= 1, "outstanding requests were reissued");
+
+    let report = proxy.shutdown();
+    assert!(report.resets >= 1, "the kill actually happened: {report}");
+    let stats = server.shutdown();
+    assert!(
+        stats.counter("gateway.reissues_served_from_cache") >= 1,
+        "at least one reissued request was answered from the §3.5 cache"
+    );
+}
+
 /// One raw HTTP/1.0 GET; returns the status line.
 fn http_status(addr: std::net::SocketAddr, path: &str) -> String {
     use std::io::Write;
@@ -176,7 +248,11 @@ fn gateway_degrades_under_domain_crash_and_recovers() {
     );
     let admin = server.metrics_addr().expect("admin listener");
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut client = NetClient::connect(&ior, Some(0x42)).expect("connect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x42)
+        .connect()
+        .expect("connect");
     let r1 = client.invoke("add", &3u64.to_be_bytes()).expect("add 3");
     assert_eq!(r1.body, 3u64.to_be_bytes());
     assert!(server.healthy());
@@ -208,7 +284,11 @@ fn gateway_degrades_under_domain_crash_and_recovers() {
     assert_eq!(http_status(admin, "/health"), "HTTP/1.0 200 OK");
 
     // Back in business for new clients, state intact.
-    let mut late = NetClient::connect(&ior, Some(0x43)).expect("connect after recovery");
+    let mut late = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x43)
+        .connect()
+        .expect("connect after recovery");
     let r2 = late.invoke("get", &[]).expect("get");
     assert_eq!(r2.body, 3u64.to_be_bytes(), "state survived the outage");
 }

@@ -80,7 +80,11 @@ fn connect_skips_unreachable_profiles_in_preference_order() {
     let server = start_server(31, 0xBEEF);
     let ior = multi_profile_ior(&server, &[dead_addr(), server.local_addr()]);
 
-    let mut client = NetClient::connect(&ior, Some(0x61)).expect("connect via second profile");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x61)
+        .connect()
+        .expect("connect via second profile");
     assert_eq!(
         client.connected_addr(),
         Some(server.local_addr()),
@@ -101,7 +105,11 @@ fn connect_prefers_the_first_live_profile() {
         .expect("decoy proxy");
 
     let ior = multi_profile_ior(&server, &[server.local_addr(), decoy.local_addr()]);
-    let client = NetClient::connect(&ior, Some(0x62)).expect("connect");
+    let client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x62)
+        .connect()
+        .expect("connect");
     assert_eq!(client.connected_addr(), Some(server.local_addr()));
 
     decoy.shutdown();
@@ -113,7 +121,11 @@ fn connect_prefers_the_first_live_profile() {
 fn connect_fails_when_no_profile_is_reachable() {
     let server = start_server(33, 0x0DD5);
     let ior = multi_profile_ior(&server, &[dead_addr(), dead_addr()]);
-    assert!(NetClient::connect(&ior, Some(0x63)).is_err());
+    assert!(NetClient::builder()
+        .ior(&ior)
+        .client_id(0x63)
+        .connect()
+        .is_err());
 }
 
 /// Kill the profile the client is connected through: the redial walks
@@ -133,7 +145,11 @@ fn profile_switch_preserves_client_id_and_request_id_sequence() {
     let addr_b = via_b.local_addr();
 
     let ior = multi_profile_ior(&server, &[addr_a, addr_b]);
-    let mut client = NetClient::connect(&ior, Some(0x64)).expect("connect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x64)
+        .connect()
+        .expect("connect");
     assert_eq!(client.connected_addr(), Some(addr_a), "preferred profile");
 
     let r1 = client

@@ -105,7 +105,11 @@ fn killed_member_reissue_served_from_survivor_relayed_cache() {
     assert_eq!(profiles[0].port, gw1.local_addr().port(), "self first");
     assert_eq!(profiles[1].port, gw2.local_addr().port());
 
-    let mut client = NetClient::connect(&ior, Some(0x55)).expect("connect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x55)
+        .connect()
+        .expect("connect");
     assert_eq!(client.connected_addr(), Some(gw1.local_addr()));
 
     let r1 = client
@@ -199,7 +203,10 @@ fn injected_divergence_fences_the_minority_member() {
     // fingerprint; both honest members detect the mismatch. The hook
     // corrupts the delivered bytes too — exactly what a diverged
     // replica would hand its clients (here: last byte flipped, 1 → 0).
-    let mut c3 = NetClient::connect(&gw3.group_ior("IDL:Counter:1.0", GROUP), Some(0x31))
+    let mut c3 = NetClient::builder()
+        .ior(&gw3.group_ior("IDL:Counter:1.0", GROUP))
+        .client_id(0x31)
+        .connect()
         .expect("connect gw3");
     let r = c3
         .invoke_retrying("add", &1u64.to_be_bytes(), &policy())
@@ -212,11 +219,17 @@ fn injected_divergence_fences_the_minority_member() {
     // Replies served by each honest member carry correct fingerprints;
     // once the corrupt member has seen two distinct peers disagree with
     // its own chain, it fences itself and leaves the view.
-    let mut c1 = NetClient::connect(&gw1.group_ior("IDL:Counter:1.0", GROUP), Some(0x32))
+    let mut c1 = NetClient::builder()
+        .ior(&gw1.group_ior("IDL:Counter:1.0", GROUP))
+        .client_id(0x32)
+        .connect()
         .expect("connect gw1");
     c1.invoke_retrying("add", &2u64.to_be_bytes(), &policy())
         .expect("add at gw1");
-    let mut c2 = NetClient::connect(&gw2.group_ior("IDL:Counter:1.0", GROUP), Some(0x33))
+    let mut c2 = NetClient::builder()
+        .ior(&gw2.group_ior("IDL:Counter:1.0", GROUP))
+        .client_id(0x33)
+        .connect()
         .expect("connect gw2");
     c2.invoke_retrying("add", &4u64.to_be_bytes(), &policy())
         .expect("add at gw2");
@@ -275,7 +288,11 @@ fn client_gone_gc_at_peers_after_linger() {
     });
 
     let ior = gw1.group_ior("IDL:Counter:1.0", GROUP);
-    let mut client = NetClient::connect(&ior, Some(0x77)).expect("connect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x77)
+        .connect()
+        .expect("connect");
     let r = client
         .invoke_retrying("add", &9u64.to_be_bytes(), &policy())
         .expect("add 9");

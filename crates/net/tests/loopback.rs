@@ -49,7 +49,11 @@ fn start_server(domain: u32, seed: u64) -> GatewayServer {
 fn enhanced_client_invokes_three_replica_group_with_exactly_one_reply_each() {
     let server = start_server(1, 0xFEED);
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut client = NetClient::connect(&ior, Some(0x77)).expect("connect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x77)
+        .connect()
+        .expect("connect");
 
     // Three invocations; each replica of the 3-member active group
     // responds, the gateway forwards exactly one reply apiece.
@@ -91,7 +95,11 @@ fn enhanced_client_invokes_three_replica_group_with_exactly_one_reply_each() {
 fn reissued_request_is_served_from_the_response_cache_not_reexecuted() {
     let server = start_server(2, 0xBEEF);
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut client = NetClient::connect(&ior, Some(0x31)).expect("connect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x31)
+        .connect()
+        .expect("connect");
 
     let r1 = client.invoke("add", &9u64.to_be_bytes()).expect("add 9");
     assert_eq!(r1.body, 9u64.to_be_bytes());
@@ -119,7 +127,7 @@ fn plain_client_gets_counter_assigned_identity_and_cache_service() {
     let server = start_server(3, 0xD00D);
     let ior = server.ior("IDL:Counter:1.0", GROUP);
     // No client id: the gateway assigns one from its §3.2 counter.
-    let mut client = NetClient::connect(&ior, None).expect("connect");
+    let mut client = NetClient::builder().ior(&ior).connect().expect("connect");
 
     let r1 = client.invoke("add", &4u64.to_be_bytes()).expect("add 4");
     assert_eq!(r1.body, 4u64.to_be_bytes());
@@ -141,8 +149,16 @@ fn plain_client_gets_counter_assigned_identity_and_cache_service() {
 fn two_clients_interleave_without_crosstalk() {
     let server = start_server(4, 0xCAFE);
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut a = NetClient::connect(&ior, Some(1)).expect("connect a");
-    let mut b = NetClient::connect(&ior, Some(2)).expect("connect b");
+    let mut a = NetClient::builder()
+        .ior(&ior)
+        .client_id(1)
+        .connect()
+        .expect("connect a");
+    let mut b = NetClient::builder()
+        .ior(&ior)
+        .client_id(2)
+        .connect()
+        .expect("connect b");
 
     let ra = a.invoke("add", &10u64.to_be_bytes()).expect("a add");
     let rb = b.invoke("add", &1u64.to_be_bytes()).expect("b add");
@@ -198,7 +214,11 @@ fn metrics_endpoint_exposes_gateway_totem_and_latency_series() {
     let metrics_addr = server.metrics_addr().expect("metrics listener enabled");
 
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut client = NetClient::connect(&ior, Some(0x42)).expect("connect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x42)
+        .connect()
+        .expect("connect");
     let r1 = client.invoke("add", &3u64.to_be_bytes()).expect("add 3");
     assert_eq!(r1.body, 3u64.to_be_bytes());
     let r2 = client.invoke("get", &[]).expect("get");
@@ -303,7 +323,11 @@ fn reissue_on_a_multi_shard_gateway_hits_the_same_shard_cache() {
     assert_eq!(server.shard_count(), 4);
 
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut client = NetClient::connect(&ior, Some(0x66)).expect("connect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x66)
+        .connect()
+        .expect("connect");
     let r1 = client.invoke("add", &6u64.to_be_bytes()).expect("add 6");
     assert_eq!(r1.body, 6u64.to_be_bytes());
     wait_until("reply cached", || server.snapshot().cached_responses >= 1);

@@ -81,7 +81,11 @@ fn fire_and_drain(server: &GatewayServer, bytes: &[u8]) {
 fn truncated_frame_then_eof_leaves_other_clients_untouched() {
     let server = start_server(31, 0x7A57);
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut good = NetClient::connect(&ior, Some(0x11)).expect("connect");
+    let mut good = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x11)
+        .connect()
+        .expect("connect");
     let r1 = good.invoke("add", &6u64.to_be_bytes()).expect("add 6");
     assert_eq!(r1.body, 6u64.to_be_bytes());
 
@@ -113,7 +117,11 @@ fn oversized_declared_body_is_rejected_not_buffered() {
     fire_and_drain(&server, &hostile);
 
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut good = NetClient::connect(&ior, Some(0x22)).expect("connect");
+    let mut good = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x22)
+        .connect()
+        .expect("connect");
     let r = good.invoke("add", &1u64.to_be_bytes()).expect("add");
     assert_eq!(r.body, 1u64.to_be_bytes());
 
@@ -125,7 +133,11 @@ fn oversized_declared_body_is_rejected_not_buffered() {
 fn bit_flipped_frames_never_panic_or_corrupt_state() {
     let server = start_server(33, 0xF11B);
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut good = NetClient::connect(&ior, Some(0x33)).expect("connect");
+    let mut good = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x33)
+        .connect()
+        .expect("connect");
     let r1 = good.invoke("add", &8u64.to_be_bytes()).expect("add 8");
     assert_eq!(r1.body, 8u64.to_be_bytes());
 

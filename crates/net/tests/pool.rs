@@ -77,8 +77,16 @@ fn two_gateways_serve_one_domain_with_partitioned_clients() {
 
     // Both partitions invoke the SAME replicated counter: the domain is
     // genuinely shared, not duplicated per gateway.
-    let mut a = NetClient::connect(&ior_a, Some(a_id as u32)).expect("connect a");
-    let mut b = NetClient::connect(&ior_b, Some(b_id as u32)).expect("connect b");
+    let mut a = NetClient::builder()
+        .ior(&ior_a)
+        .client_id(a_id as u32)
+        .connect()
+        .expect("connect a");
+    let mut b = NetClient::builder()
+        .ior(&ior_b)
+        .client_id(b_id as u32)
+        .connect()
+        .expect("connect b");
     let ra = a.invoke("add", &5u64.to_be_bytes()).expect("a add");
     assert_eq!(ra.body, 5u64.to_be_bytes());
     let rb = b.invoke("add", &3u64.to_be_bytes()).expect("b add");
@@ -138,7 +146,11 @@ fn pool_with_data_dir_stores_per_member_subdirs() {
     let b_id = client_owned_by(&pool, 1);
     for id in [a_id, b_id] {
         let ior = pool.ior_for_client(id, "IDL:Counter:1.0", GROUP);
-        let mut client = NetClient::connect(&ior, Some(id as u32)).expect("connect");
+        let mut client = NetClient::builder()
+            .ior(&ior)
+            .client_id(id as u32)
+            .connect()
+            .expect("connect");
         let r = client.invoke("add", &1u64.to_be_bytes()).expect("add");
         assert!(!r.body.is_empty());
     }
@@ -162,7 +174,11 @@ fn pool_degrades_and_recovers_as_one() {
     let pool = start_pool(52, 0xF00D);
     let a_id = client_owned_by(&pool, 0);
     let ior = pool.ior_for_client(a_id, "IDL:Counter:1.0", GROUP);
-    let mut client = NetClient::connect(&ior, Some(a_id as u32)).expect("connect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(a_id as u32)
+        .connect()
+        .expect("connect");
     let r = client.invoke("add", &2u64.to_be_bytes()).expect("add");
     assert_eq!(r.body, 2u64.to_be_bytes());
     assert!(pool.gateway(0).healthy() && pool.gateway(1).healthy());
@@ -180,7 +196,11 @@ fn pool_degrades_and_recovers_as_one() {
     // State survived the outage, reachable through either partition.
     let b_id = client_owned_by(&pool, 1);
     let ior_b = pool.ior_for_client(b_id, "IDL:Counter:1.0", GROUP);
-    let mut late = NetClient::connect(&ior_b, Some(b_id as u32)).expect("connect late");
+    let mut late = NetClient::builder()
+        .ior(&ior_b)
+        .client_id(b_id as u32)
+        .connect()
+        .expect("connect late");
     let r2 = late.invoke("get", &[]).expect("get");
     assert_eq!(r2.body, 2u64.to_be_bytes());
 }

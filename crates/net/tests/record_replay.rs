@@ -98,7 +98,11 @@ fn live_traffic_replays_to_identical_state_digest() {
     let server = start_recording_server(&record, 0xFACE);
     let ior = server.ior("IDL:Counter:1.0", GROUP);
 
-    let mut client = NetClient::connect(&ior, Some(0x77)).expect("connect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x77)
+        .connect()
+        .expect("connect");
     let mut sum = 0u64;
     for add in [5u64, 2, 9] {
         sum += add;
@@ -123,6 +127,50 @@ fn live_traffic_replays_to_identical_state_digest() {
     let _ = std::fs::remove_dir_all(&record);
 }
 
+/// Pipelined traffic — a full window of concurrent adds, which the
+/// domain's ring coalesces into packed frames — records and replays to
+/// the identical state digest: packing only changes datagram sharing,
+/// never the total order the recording captures.
+#[test]
+fn pipelined_packed_traffic_replays_to_identical_state_digest() {
+    let record = tmp("pipelined");
+    let server = start_recording_server(&record, 0xBEA7);
+    let ior = server.ior("IDL:Counter:1.0", GROUP);
+
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x78)
+        .max_inflight(8)
+        .connect()
+        .expect("connect");
+    let mut pipeline = client.pipeline();
+    let handles: Vec<_> = (1..=16u64)
+        .map(|v| pipeline.submit("add", &v.to_be_bytes()).expect("submit"))
+        .collect();
+    let mut sum = 0u64;
+    for (i, h) in handles.iter().enumerate() {
+        sum += i as u64 + 1;
+        let reply = pipeline.wait(h).expect("pipelined reply");
+        assert_eq!(reply.body, sum.to_be_bytes(), "strictly ordered replies");
+    }
+    drop(pipeline);
+    let got = client.invoke("get", &[]).expect("get");
+    assert_eq!(got.body, sum.to_be_bytes());
+    drop(client);
+    server.shutdown();
+
+    let outcome = ftd_net::replay_recording(&record, registry).expect("replay");
+    assert!(outcome.complete(), "recording must close out with digests");
+    assert!(
+        outcome.matches(),
+        "pipelined/packed replay diverged: {:?}\nrecorded:\n{}\nreplayed:\n{}",
+        outcome.divergence,
+        outcome.recorded.render(),
+        outcome.replayed.render()
+    );
+    let _ = std::fs::remove_dir_all(&record);
+}
+
 #[test]
 fn recording_spans_kill_and_restart_with_each_incarnation_replayable() {
     let data = tmp("restart-data");
@@ -132,7 +180,11 @@ fn recording_spans_kill_and_restart_with_each_incarnation_replayable() {
     // kill — no quiesce, no checkpoint.
     let server = start_durable_recording_server(&data, &record.join("inc-0"), 7);
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut client = NetClient::connect(&ior, Some(0x51)).expect("connect inc-0");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x51)
+        .connect()
+        .expect("connect inc-0");
     let mut sum = 0u64;
     for add in [3u64, 4] {
         sum += add;
@@ -144,7 +196,11 @@ fn recording_spans_kill_and_restart_with_each_incarnation_replayable() {
     // inc-1's event log), different ring seed, more traffic.
     let server = start_durable_recording_server(&data, &record.join("inc-1"), 8);
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut client = NetClient::connect(&ior, Some(0x52)).expect("connect inc-1");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0x52)
+        .connect()
+        .expect("connect inc-1");
     sum += 6;
     client
         .invoke("add", &6u64.to_be_bytes())

@@ -63,7 +63,11 @@ fn clean_restart_serves_reissue_from_recovered_cache() {
     let (reply, request_id) = {
         let server = start_durable(&dir, 61, 0xC1EA, 2);
         let ior = server.ior("IDL:Counter:1.0", GROUP);
-        let mut client = NetClient::connect(&ior, Some(0xA1)).expect("connect");
+        let mut client = NetClient::builder()
+            .ior(&ior)
+            .client_id(0xA1)
+            .connect()
+            .expect("connect");
         let r = client.invoke("add", &5u64.to_be_bytes()).expect("add");
         assert_eq!(r.body, 5u64.to_be_bytes());
         let id = client.last_request_id();
@@ -76,7 +80,11 @@ fn clean_restart_serves_reissue_from_recovered_cache() {
     let ior = server.ior("IDL:Counter:1.0", GROUP);
     // Same client identity, same request id — the §3.5 reissue a client
     // performs when its gateway dies mid-reply.
-    let mut client = NetClient::connect(&ior, Some(0xA1)).expect("reconnect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0xA1)
+        .connect()
+        .expect("reconnect");
     let r = client
         .resend(request_id, "add", &5u64.to_be_bytes())
         .expect("reissue");
@@ -109,7 +117,11 @@ fn kill_restart_replays_the_write_ahead_log() {
     let (reply, request_id) = {
         let server = start_durable(&dir, 62, 0xB11D, 2);
         let ior = server.ior("IDL:Counter:1.0", GROUP);
-        let mut client = NetClient::connect(&ior, Some(0xB2)).expect("connect");
+        let mut client = NetClient::builder()
+            .ior(&ior)
+            .client_id(0xB2)
+            .connect()
+            .expect("connect");
         let r = client.invoke("add", &9u64.to_be_bytes()).expect("add");
         assert_eq!(r.body, 9u64.to_be_bytes());
         let id = client.last_request_id();
@@ -120,7 +132,11 @@ fn kill_restart_replays_the_write_ahead_log() {
 
     let server = start_durable(&dir, 62, 0xB00, 2);
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut client = NetClient::connect(&ior, Some(0xB2)).expect("reconnect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0xB2)
+        .connect()
+        .expect("reconnect");
     let r = client
         .resend(request_id, "add", &9u64.to_be_bytes())
         .expect("reissue");
@@ -144,8 +160,16 @@ fn durable_host_reports_recovery_and_rebuilds_state() {
     {
         let server = start_durable(&dir, 63, 0xD0_03, 1);
         let ior = server.ior("IDL:Counter:1.0", GROUP);
-        let mut a = NetClient::connect(&ior, Some(0xC1)).expect("connect a");
-        let mut b = NetClient::connect(&ior, Some(0xC2)).expect("connect b");
+        let mut a = NetClient::builder()
+            .ior(&ior)
+            .client_id(0xC1)
+            .connect()
+            .expect("connect a");
+        let mut b = NetClient::builder()
+            .ior(&ior)
+            .client_id(0xC2)
+            .connect()
+            .expect("connect b");
         assert_eq!(
             a.invoke("add", &3u64.to_be_bytes()).expect("a").body.len(),
             8

@@ -48,7 +48,7 @@ fn concurrent_plain_clients_get_distinct_identities_and_uncrossed_replies() {
                 .name(format!("accept-race-{i}"))
                 .spawn(move || {
                     // Plain client: no id — the owning shard mints one.
-                    let mut client = NetClient::connect(&ior, None).expect("connect");
+                    let mut client = NetClient::builder().ior(&ior).connect().expect("connect");
                     let reply = client.invoke("add", &1u64.to_be_bytes()).expect("add");
                     let value = u64::from_be_bytes(reply.body.as_slice().try_into().expect("u64"));
                     assert!(

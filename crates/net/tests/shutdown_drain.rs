@@ -53,8 +53,16 @@ fn shutdown_flushes_cached_replies_from_every_shard() {
     let server = start_server(41, 0xD7A1, 2);
     let ior = server.ior("IDL:Counter:1.0", GROUP);
 
-    let mut a = NetClient::connect(&ior, Some(0xA1)).expect("connect a");
-    let mut b = NetClient::connect(&ior, Some(0xB2)).expect("connect b");
+    let mut a = NetClient::builder()
+        .ior(&ior)
+        .client_id(0xA1)
+        .connect()
+        .expect("connect a");
+    let mut b = NetClient::builder()
+        .ior(&ior)
+        .client_id(0xB2)
+        .connect()
+        .expect("connect b");
     let ra = a.invoke("add", &4u64.to_be_bytes()).expect("a add");
     let rb = b.invoke("add", &5u64.to_be_bytes()).expect("b add");
     assert_eq!(ra.body, 4u64.to_be_bytes());
@@ -92,7 +100,11 @@ fn shutdown_flushes_cached_replies_from_every_shard() {
 fn shutdown_drains_queues_after_the_last_reply() {
     let server = start_server(42, 0x0DDB, 4);
     let ior = server.ior("IDL:Counter:1.0", GROUP);
-    let mut client = NetClient::connect(&ior, Some(0xC3)).expect("connect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0xC3)
+        .connect()
+        .expect("connect");
     let r = client.invoke("add", &7u64.to_be_bytes()).expect("add");
     assert_eq!(r.body, 7u64.to_be_bytes());
 

@@ -32,8 +32,16 @@ pub const CLIENT_REISSUES: &str = "client.reissues";
 /// [`with_shard`]) — queue traffic, not client requests.
 pub const GATEWAY_SHARD_EVENTS: &str = "gateway.shard.events";
 
-/// Requests a shard deferred because its admission window was full.
+/// Requests a shard deferred across a tick boundary: its admission
+/// window stayed full through the end-of-tick batch pass, so the
+/// request waited at least one full tick. With batch admission this is
+/// the exception, not the steady state.
 pub const GATEWAY_SHARD_DEFERRALS: &str = "gateway.shard.deferrals";
+
+/// Requests admitted by the end-of-tick batch pass (window slots that
+/// opened during the tick were granted before any deferral was
+/// counted).
+pub const GATEWAY_SHARD_TICK_ADMITS: &str = "gateway.shard.tick_admits";
 
 /// Requests a shard currently has admitted into the domain (gauge,
 /// labelled per shard via [`with_shard`]).
@@ -157,6 +165,7 @@ mod tests {
             super::CLIENT_REISSUES,
             super::GATEWAY_SHARD_EVENTS,
             super::GATEWAY_SHARD_DEFERRALS,
+            super::GATEWAY_SHARD_TICK_ADMITS,
             super::GATEWAY_SHARD_INFLIGHT,
             super::STORE_APPENDS,
             super::STORE_BYTES_APPENDED,

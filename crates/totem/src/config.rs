@@ -33,6 +33,14 @@ pub struct TotemConfig {
     pub token_retransmit: SimDuration,
     /// Maximum new messages broadcast per token visit (flow control).
     pub max_messages_per_token: usize,
+    /// Maximum messages coalesced into one packed ring frame (`Pack`
+    /// datagram) at a token visit. `1` disables packing: every message
+    /// travels as its own `Regular` datagram.
+    pub max_pack_count: usize,
+    /// Byte budget for the payloads of one packed ring frame. A message
+    /// whose payload would overflow the budget starts a new frame; a
+    /// single oversized message still travels (alone).
+    pub max_pack_bytes: usize,
     /// Cap on the retransmission-request list carried by the token.
     pub max_rtr: usize,
     /// How many messages below the stability point each node keeps for
@@ -51,6 +59,8 @@ impl Default for TotemConfig {
             commit_timeout: SimDuration::from_millis(4),
             token_retransmit: SimDuration::from_millis(1),
             max_messages_per_token: 16,
+            max_pack_count: 16,
+            max_pack_bytes: 8 * 1024,
             max_rtr: 64,
             retention_slack: 4096,
             delivery: DeliveryMode::Agreed,
@@ -68,6 +78,8 @@ mod tests {
         assert!(c.token_loss_timeout > c.token_retransmit);
         assert!(c.token_loss_timeout > c.gather_timeout);
         assert!(c.max_messages_per_token > 0);
+        assert!(c.max_pack_count > 0);
+        assert!(c.max_pack_bytes > 0);
         assert_eq!(c.delivery, DeliveryMode::Agreed);
     }
 }

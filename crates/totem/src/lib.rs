@@ -11,6 +11,9 @@
 //! * **membership**: token loss triggers a gather/commit reformation led by
 //!   the lowest-id survivor; recovered processors rejoin the ring and the
 //!   survivors rebroadcast messages the ring still needs;
+//! * ring-frame **packing**: a burst broadcast at one token visit shares
+//!   [`Pack`] datagrams (bounded by count and bytes), amortizing the
+//!   per-datagram cost while every message keeps its own sequence number;
 //! * a **process group** layer: nodes join [`GroupId`]s, group membership
 //!   changes travel through the ordered stream itself, so every node's
 //!   directory view changes at the same point in the total order.
@@ -33,4 +36,6 @@ mod wire;
 pub use config::{DeliveryMode, TotemConfig};
 pub use node::{TotemNode, TOTEM_TAG_SPAN};
 pub use types::{GroupId, GroupMessage, MembershipView, RingEpoch, TotemEvent};
-pub use wire::{Beacon, Commit, Join, Regular, Token, TotemMsg, WireError, TOTEM_MAGIC};
+pub use wire::{
+    Beacon, Commit, Join, Pack, PackEntry, Regular, Token, TotemMsg, WireError, TOTEM_MAGIC,
+};

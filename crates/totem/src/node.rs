@@ -16,7 +16,7 @@
 //! regress across reformations, which is what makes them usable as the
 //! globally unique operation-identifier timestamps of the paper's §3.3.
 
-use crate::wire::{Beacon, Commit, Join, Regular, Token, TotemMsg};
+use crate::wire::{Beacon, Commit, Join, Pack, PackEntry, Regular, Token, TotemMsg};
 use crate::{
     DeliveryMode, GroupId, GroupMessage, MembershipView, RingEpoch, TotemConfig, TotemEvent,
 };
@@ -228,6 +228,12 @@ impl TotemNode {
         };
         match msg {
             TotemMsg::Regular(m) => self.handle_regular(ctx, m),
+            TotemMsg::Pack(p) => {
+                ctx.stats().inc("totem.pack_frames_received");
+                for m in p.into_regulars() {
+                    self.handle_regular(ctx, m);
+                }
+            }
             TotemMsg::Token(t) => self.handle_token(ctx, t),
             TotemMsg::Join(j) => self.handle_join(ctx, j),
             TotemMsg::Commit(c) => self.handle_commit(ctx, c),
@@ -652,8 +658,15 @@ impl TotemNode {
             s += 1;
         }
 
-        // 3. Broadcast queued messages with fresh sequence numbers.
+        // 3. Broadcast queued messages with fresh sequence numbers. A
+        // burst is packed into shared ring frames (bounded by count and
+        // bytes) so a token visit pays one datagram per frame rather
+        // than per message; every message still gets its own sequence
+        // number and store slot, so delivery, aru accounting and rtr
+        // retransmission are oblivious to the packing.
         let mut sent = 0;
+        let mut frame: Vec<Regular> = Vec::new();
+        let mut frame_bytes = 0usize;
         while sent < self.config.max_messages_per_token {
             let Some((group, payload, control)) = self.send_queue.pop_front() else {
                 break;
@@ -670,9 +683,18 @@ impl TotemNode {
             self.high_seq = self.high_seq.max(m.seq);
             self.store.insert(m.seq, m.clone());
             ctx.stats().inc("totem.broadcasts");
-            ctx.lan_multicast(TotemMsg::Regular(m).encode());
+            if !frame.is_empty()
+                && (frame.len() >= self.config.max_pack_count
+                    || frame_bytes + m.payload.len() > self.config.max_pack_bytes)
+            {
+                frame_bytes = 0;
+                self.flush_frame(ctx, &mut frame);
+            }
+            frame_bytes += m.payload.len();
+            frame.push(m);
             sent += 1;
         }
+        self.flush_frame(ctx, &mut frame);
         if sent > 0 {
             self.advance_receipt();
         }
@@ -712,6 +734,37 @@ impl TotemNode {
         ctx.datagram_to(successor, TotemMsg::Token(token.clone()).encode());
         self.saved_token = Some(token);
         self.arm(ctx, KIND_TOKEN_RETRANSMIT, self.config.token_retransmit);
+    }
+
+    /// Broadcasts the frame accumulated at a token visit: a lone message
+    /// travels as a plain `Regular` (wire-identical to the unpacked
+    /// protocol), a burst as one `Pack` datagram.
+    fn flush_frame(&mut self, ctx: &mut Context<'_>, frame: &mut Vec<Regular>) {
+        match frame.len() {
+            0 => {}
+            1 => {
+                let m = frame.pop().expect("len 1");
+                ctx.lan_multicast(TotemMsg::Regular(m).encode());
+            }
+            n => {
+                ctx.stats().inc("totem.pack_frames");
+                ctx.stats().add("totem.pack_messages", n as u64);
+                let pack = Pack {
+                    epoch: self.installed_epoch,
+                    sender: self.me,
+                    entries: frame
+                        .drain(..)
+                        .map(|m| PackEntry {
+                            seq: m.seq,
+                            group: m.group,
+                            control: m.control,
+                            payload: m.payload,
+                        })
+                        .collect(),
+                };
+                ctx.lan_multicast(TotemMsg::Pack(pack).encode());
+            }
+        }
     }
 
     fn handle_beacon(&mut self, ctx: &mut Context<'_>, beacon: Beacon) {

@@ -132,6 +132,55 @@ pub struct Commit {
     pub directory: Vec<(GroupId, Vec<ProcessorId>)>,
 }
 
+/// One sequenced message inside a [`Pack`] frame: the per-message fields
+/// of a [`Regular`] minus the epoch and sender shared by the whole frame.
+/// The entry's `seq` is its own slot in the total order — packing changes
+/// how messages share a datagram, never how they are sequenced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackEntry {
+    /// Totally ordered sequence number, assigned from the token.
+    pub seq: u64,
+    /// Destination process group.
+    pub group: GroupId,
+    /// `true` for the directory control messages (group join/leave).
+    pub control: bool,
+    /// Application payload.
+    pub payload: Vec<u8>,
+}
+
+/// Several sequenced messages from one sender coalesced into a single
+/// LAN datagram — the ring-frame packing that amortizes per-datagram
+/// cost when a token visit broadcasts a burst. Receivers unpack the
+/// frame into individual [`Regular`]s, so the store, delivery, aru and
+/// retransmission machinery are oblivious to packing (retransmissions
+/// are always served as plain regulars, one per requested seq).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pack {
+    /// Ring incarnation under which this frame was broadcast.
+    pub epoch: RingEpoch,
+    /// Original sender of every entry in the frame.
+    pub sender: ProcessorId,
+    /// The packed messages, in ascending `seq` order as assigned at the
+    /// sender's token visit (the per-frame local key is the entry index).
+    pub entries: Vec<PackEntry>,
+}
+
+impl Pack {
+    /// Expands the frame into the individual [`Regular`]s it carries.
+    pub fn into_regulars(self) -> impl Iterator<Item = Regular> {
+        let epoch = self.epoch;
+        let sender = self.sender;
+        self.entries.into_iter().map(move |e| Regular {
+            epoch,
+            seq: e.seq,
+            sender,
+            group: e.group,
+            control: e.control,
+            payload: e.payload,
+        })
+    }
+}
+
 /// A periodic presence announcement multicast by the ring representative,
 /// so that sibling rings (formed during a partition) discover each other
 /// after the network heals and merge.
@@ -156,6 +205,8 @@ pub enum TotemMsg {
     Commit(Commit),
     /// Representative presence announcement.
     Beacon(Beacon),
+    /// Several sequenced broadcasts coalesced into one datagram.
+    Pack(Pack),
 }
 
 struct Writer {
@@ -273,6 +324,19 @@ impl TotemMsg {
                 w.u32(b.sender.0);
                 w.buf
             }
+            TotemMsg::Pack(p) => {
+                let mut w = Writer::new(6);
+                w.u64(p.epoch.0);
+                w.u32(p.sender.0);
+                w.u32(p.entries.len() as u32);
+                for e in &p.entries {
+                    w.u64(e.seq);
+                    w.u32(e.group.0);
+                    w.u8(e.control as u8);
+                    w.bytes(&e.payload);
+                }
+                w.buf
+            }
             TotemMsg::Commit(c) => {
                 let mut w = Writer::new(4);
                 w.u64(c.epoch.0);
@@ -372,6 +436,28 @@ impl TotemMsg {
                 epoch: RingEpoch(r.u64()?),
                 sender: ProcessorId(r.u32()?),
             }),
+            6 => {
+                let epoch = RingEpoch(r.u64()?);
+                let sender = ProcessorId(r.u32()?);
+                let n = r.u32()? as usize;
+                if n > bytes.len() {
+                    return Err(WireError::Truncated);
+                }
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(PackEntry {
+                        seq: r.u64()?,
+                        group: GroupId(r.u32()?),
+                        control: r.u8()? != 0,
+                        payload: r.bytes()?,
+                    });
+                }
+                TotemMsg::Pack(Pack {
+                    epoch,
+                    sender,
+                    entries,
+                })
+            }
             other => return Err(WireError::UnknownKind(other)),
         })
     }
@@ -444,6 +530,76 @@ mod tests {
             ],
         });
         assert_eq!(TotemMsg::decode(&c.encode()).unwrap(), c);
+    }
+
+    fn sample_pack() -> Pack {
+        Pack {
+            epoch: RingEpoch(11),
+            sender: ProcessorId(2),
+            entries: vec![
+                PackEntry {
+                    seq: 43,
+                    group: GroupId(9),
+                    control: false,
+                    payload: vec![1, 2, 3],
+                },
+                PackEntry {
+                    seq: 44,
+                    group: GroupId(10),
+                    control: true,
+                    payload: vec![],
+                },
+                PackEntry {
+                    seq: 45,
+                    group: GroupId(9),
+                    control: false,
+                    payload: vec![0xFF; 300],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn pack_round_trip() {
+        let m = TotemMsg::Pack(sample_pack());
+        assert_eq!(TotemMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_pack_round_trips() {
+        let m = TotemMsg::Pack(Pack {
+            epoch: RingEpoch(1),
+            sender: ProcessorId(0),
+            entries: Vec::new(),
+        });
+        assert_eq!(TotemMsg::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn pack_truncation_detected() {
+        let m = TotemMsg::Pack(sample_pack()).encode();
+        for cut in 5..m.len() {
+            assert_eq!(
+                TotemMsg::decode(&m[..cut]),
+                Err(WireError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_expands_to_regulars_in_order() {
+        let p = sample_pack();
+        let regulars: Vec<Regular> = p.clone().into_regulars().collect();
+        assert_eq!(regulars.len(), 3);
+        for (entry, r) in p.entries.iter().zip(&regulars) {
+            assert_eq!(r.epoch, p.epoch);
+            assert_eq!(r.sender, p.sender);
+            assert_eq!(r.seq, entry.seq);
+            assert_eq!(r.group, entry.group);
+            assert_eq!(r.control, entry.control);
+            assert_eq!(r.payload, entry.payload);
+        }
     }
 
     #[test]

@@ -314,6 +314,102 @@ fn flow_control_backlog_drains() {
     assert_eq!(a.delivered, b.delivered);
 }
 
+/// Injects a burst of `n` messages into `proc`'s send queue at once — the
+/// backlog pattern that makes token visits emit packed ring frames.
+fn inject_burst(world: &mut World, proc: ProcessorId, n: u32) {
+    let host = world.actor_mut::<Host>(proc).expect("alive");
+    for i in 0..n {
+        let payload = format!("{}:{i}", proc.0).into_bytes();
+        host.totem.multicast(APP_GROUP, payload);
+    }
+}
+
+#[test]
+fn packed_bursts_keep_identical_total_order_and_sender_fifo() {
+    // Concurrent bursts from every member, under loss, with packing on
+    // (the default): all members deliver the identical total order, each
+    // sender's messages stay in FIFO order, and the bursts actually
+    // shared datagrams.
+    let (mut world, procs) = build(3, 31, 0.02, TotemConfig::default(), 0);
+    world.run_for(SimDuration::from_millis(20));
+    for &p in &procs {
+        inject_burst(&mut world, p, 40);
+    }
+    world.run_for(SimDuration::from_secs(3));
+    let seqs = sequences(&world, &procs);
+    assert_eq!(seqs[0].len(), 120, "every burst message delivered");
+    for other in &seqs[1..] {
+        assert_eq!(&seqs[0], other, "delivery sequences diverge");
+    }
+    for &p in &procs {
+        let from_p: Vec<&Vec<u8>> = seqs[0]
+            .iter()
+            .filter(|(_, sender, _)| *sender == p)
+            .map(|(_, _, payload)| payload)
+            .collect();
+        let expected: Vec<Vec<u8>> = (0..40)
+            .map(|i| format!("{}:{i}", p.0).into_bytes())
+            .collect();
+        assert_eq!(
+            from_p,
+            expected.iter().collect::<Vec<_>>(),
+            "sender {p} FIFO order violated"
+        );
+    }
+    let frames = world.stats().counter("totem.pack_frames");
+    let packed = world.stats().counter("totem.pack_messages");
+    assert!(frames > 0, "bursts must pack");
+    assert!(
+        packed >= 2 * frames,
+        "packing must amortize: {packed} messages over {frames} frames"
+    );
+}
+
+#[test]
+fn pack_boundaries_do_not_change_what_is_delivered() {
+    // The same seeded workload under different packing bounds (including
+    // packing disabled) delivers the same multiset of messages, with
+    // every configuration internally consistent across members. Pack
+    // boundaries decide datagram sharing, never delivery content.
+    let run = |max_pack_count: usize, max_pack_bytes: usize| {
+        let config = TotemConfig {
+            max_pack_count,
+            max_pack_bytes,
+            ..TotemConfig::default()
+        };
+        let (mut world, procs) = build(3, 32, 0.0, config, 0);
+        world.run_for(SimDuration::from_millis(20));
+        for &p in &procs {
+            inject_burst(&mut world, p, 30);
+        }
+        world.run_for(SimDuration::from_secs(1));
+        let seqs = sequences(&world, &procs);
+        for other in &seqs[1..] {
+            assert_eq!(
+                &seqs[0], other,
+                "members diverge at pack bounds ({max_pack_count}, {max_pack_bytes})"
+            );
+        }
+        let mut multiset: Vec<(ProcessorId, Vec<u8>)> = seqs[0]
+            .iter()
+            .map(|(_, sender, payload)| (*sender, payload.clone()))
+            .collect();
+        multiset.sort();
+        (multiset, world.stats().counter("totem.pack_frames"))
+    };
+    let (baseline, baseline_frames) = run(1, 8 * 1024);
+    assert_eq!(baseline_frames, 0, "max_pack_count=1 disables packing");
+    assert_eq!(baseline.len(), 90);
+    for (count, bytes) in [(4, 8 * 1024), (16, 8 * 1024), (16, 64), (7, 100)] {
+        let (delivered, frames) = run(count, bytes);
+        assert_eq!(
+            delivered, baseline,
+            "pack bounds ({count}, {bytes}) changed delivery content"
+        );
+        assert!(frames > 0, "pack bounds ({count}, {bytes}) never packed");
+    }
+}
+
 #[test]
 fn lossy_formation_converges_without_thrash() {
     // The membership protocol must converge to one stable ring under loss

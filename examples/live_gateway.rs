@@ -41,7 +41,11 @@ fn main() {
     println!("published IOR: {}...", &ior.to_stringified()[..40]);
 
     // An enhanced client (§3.5): real TCP, client id in every request.
-    let mut client = NetClient::connect(&ior, Some(0xC11E)).expect("connect");
+    let mut client = NetClient::builder()
+        .ior(&ior)
+        .client_id(0xC11E)
+        .connect()
+        .expect("connect");
     for (op, arg, expect) in [("add", 5u64, 5u64), ("add", 7, 12), ("get", 0, 12)] {
         let args = if op == "add" {
             arg.to_be_bytes().to_vec()
