@@ -35,6 +35,17 @@
 //! queueing delay. Reports p50/p99/p99.9 and the achieved rate;
 //! `--assert-p99 MICROS` is the CI latency regression gate.
 //!
+//! **Connection-scaling mode** (`--connections LIST`): the C50K smoke.
+//! For each N, raises `RLIMIT_NOFILE`, brings up one gateway over the
+//! usual in-process domain, opens N concurrent client connections from
+//! a single thread (dialing across several loopback addresses so the
+//! ephemeral-port space never binds the count), and round-trips a
+//! `LocateRequest` on **every** connection through a client-side
+//! reactor — proving each one is accepted *and served*. The gateway's
+//! thread count is sampled from `/proc/self/status` before and after:
+//! with the event-driven connection core it must not grow with N
+//! (`--assert-max-thread-growth`, default 8).
+//!
 //! Each point is run `--repeat` times and the best attempt kept
 //! (highest throughput / lowest p99), so one unlucky OS scheduling on a
 //! small CI box does not fail a regression gate.
@@ -42,17 +53,19 @@
 //! ```text
 //! ftd-scale [--clients N] [--duration-ms N] [--window N] [--repeat N]
 //!           [--shards LIST] [--gateways LIST] [--depth N] [--depths LIST]
-//!           [--open-loop RATE] [--json PATH]
+//!           [--open-loop RATE] [--connections LIST] [--json PATH]
 //!           [--assert-speedup F] [--assert-pipeline-speedup F]
-//!           [--assert-p99 MICROS]
+//!           [--assert-p99 MICROS] [--assert-min-rps F]
+//!           [--assert-max-thread-growth N]
 //! ```
 //!
 //! `--json` writes `BENCH_scale.json`-style (or, in open-loop mode,
-//! `BENCH_latency.json`-style) machine-readable results.
+//! `BENCH_latency.json`-style; in connection mode, `BENCH_c50k.json`-
+//! style) machine-readable results.
 
 use ftd_core::EngineConfig;
 use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
-use ftd_net::{GatewayPool, NetClient, PendingReply};
+use ftd_net::{AdmissionPolicy, GatewayPool, NetClient, PendingReply};
 use ftd_totem::GroupId;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -72,10 +85,13 @@ struct Opts {
     gateways: Vec<usize>,
     depths: Vec<usize>,
     open_loop: Option<f64>,
+    connections: Option<Vec<usize>>,
     json: Option<String>,
     assert_speedup: Option<f64>,
     assert_pipeline_speedup: Option<f64>,
     assert_p99: Option<u64>,
+    assert_min_rps: Option<f64>,
+    assert_max_thread_growth: usize,
 }
 
 fn die(msg: &str) -> ! {
@@ -102,10 +118,13 @@ fn parse_opts() -> Opts {
         gateways: vec![1, 2],
         depths: vec![1],
         open_loop: None,
+        connections: None,
         json: None,
         assert_speedup: None,
         assert_pipeline_speedup: None,
         assert_p99: None,
+        assert_min_rps: None,
+        assert_max_thread_growth: 8,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -123,19 +142,25 @@ fn parse_opts() -> Opts {
             "--depth" => opts.depths = vec![parse(&value("--depth"))],
             "--depths" => opts.depths = parse_list(&value("--depths")),
             "--open-loop" => opts.open_loop = Some(parse(&value("--open-loop"))),
+            "--connections" => opts.connections = Some(parse_list(&value("--connections"))),
             "--json" => opts.json = Some(value("--json")),
             "--assert-speedup" => opts.assert_speedup = Some(parse(&value("--assert-speedup"))),
             "--assert-pipeline-speedup" => {
                 opts.assert_pipeline_speedup = Some(parse(&value("--assert-pipeline-speedup")))
             }
             "--assert-p99" => opts.assert_p99 = Some(parse(&value("--assert-p99"))),
+            "--assert-min-rps" => opts.assert_min_rps = Some(parse(&value("--assert-min-rps"))),
+            "--assert-max-thread-growth" => {
+                opts.assert_max_thread_growth = parse(&value("--assert-max-thread-growth"))
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ftd-scale [--clients N] [--duration-ms N] [--window N] \
                      [--repeat N] [--shards LIST] [--gateways LIST] [--depth N] \
-                     [--depths LIST] [--open-loop RATE] [--json PATH] \
+                     [--depths LIST] [--open-loop RATE] [--connections LIST] [--json PATH] \
                      [--assert-speedup F] [--assert-pipeline-speedup F] \
-                     [--assert-p99 MICROS]"
+                     [--assert-p99 MICROS] [--assert-min-rps F] \
+                     [--assert-max-thread-growth N]"
                 );
                 std::process::exit(0);
             }
@@ -153,6 +178,13 @@ fn parse_opts() -> Opts {
     }
     if opts.open_loop.is_some_and(|r| r <= 0.0) {
         die("--open-loop rate must be positive");
+    }
+    if opts
+        .connections
+        .as_ref()
+        .is_some_and(|c| c.is_empty() || c.contains(&0))
+    {
+        die("--connections counts must be >= 1");
     }
     opts
 }
@@ -175,7 +207,7 @@ fn build_pool(opts: &Opts, shards: usize, gateways: usize, seed: u64) -> Gateway
         .gateways(gateways)
         .config(config)
         .shards(shards)
-        .max_inflight(opts.window)
+        .admission(AdmissionPolicy::inflight_window(opts.window))
         .host(move || {
             let mut host = start_host(seed)?;
             for j in 0..GROUPS {
@@ -437,8 +469,272 @@ fn start_host(seed: u64) -> ftd_core::Result<ftd_net::DomainHost> {
     })
 }
 
+/// Threads in this process, from `/proc/self/status` (0 where that file
+/// does not exist — the growth assertion is skipped there).
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+struct ConnectionsResult {
+    connections: usize,
+    served: usize,
+    threads_before: usize,
+    threads_after: usize,
+    open_ms: u64,
+    smoke_ms: u64,
+}
+
+/// How many connections one smoke wave keeps in flight. Bounds the
+/// client-side reader state and the burst the gateway absorbs at once;
+/// every connection still round-trips before the point passes.
+const SMOKE_WAVE: usize = 4096;
+
+/// One C50K point: open `n` concurrent connections against a single
+/// gateway, then prove every one of them is *served* by round-tripping
+/// a `LocateRequest` (answered by the gateway itself — no domain round
+/// trip, so the smoke measures the connection core, not the domain).
+fn run_connections_point(opts: &Opts, n: usize) -> ConnectionsResult {
+    let pool = {
+        let config = EngineConfig::new(3, GroupId(0x4000_0003), 0);
+        let shards = opts.shards[0];
+        let seed = 0xC50C + n as u64;
+        let mut builder = GatewayPool::builder()
+            .gateways(1)
+            // All interfaces: the client dials several loopback
+            // addresses so each gets its own ephemeral-port space.
+            .addr("0.0.0.0:0")
+            .config(config)
+            .shards(shards)
+            .host(move || {
+                let mut host = start_host(seed)?;
+                for j in 0..GROUPS {
+                    host.create_group(
+                        GroupId(BASE_GROUP + j),
+                        "Counter",
+                        FtProperties::new(ReplicationStyle::Active).with_initial(3),
+                    );
+                }
+                Ok::<_, ftd_core::Error>(host)
+            });
+        for j in 0..GROUPS {
+            builder = builder.pin_group(GroupId(BASE_GROUP + j), j as usize % shards);
+        }
+        builder
+            .build()
+            .unwrap_or_else(|e| die(&format!("gateway start: {e}")))
+    };
+    let port = pool.gateway(0).local_addr().port();
+    let object_key = pool
+        .ior_for_client(0, "IDL:Counter:1.0", GroupId(BASE_GROUP))
+        .primary_iiop()
+        .expect("iiop profile")
+        .object_key;
+    let locate = ftd_giop::GiopMessage::LocateRequest {
+        request_id: 1,
+        object_key,
+    }
+    .encode(ftd_giop::ByteOrder::Big);
+
+    let threads_before = thread_count();
+    let opened_at = Instant::now();
+    let mut conns: Vec<std::net::TcpStream> = Vec::with_capacity(n);
+    for i in 0..n {
+        // Cycle destination loopback addresses: the ephemeral-port
+        // space is per (src ip, dst ip, dst port) tuple, so eight
+        // destinations clear 50k connections with room to spare.
+        let addr = std::net::SocketAddr::from(([127, 0, 0, 1 + (i % 8) as u8], port));
+        let mut last_err = None;
+        let stream = (0..40)
+            .find_map(|attempt| {
+                if attempt > 0 {
+                    // Accept-backlog overflow under a fast dialer; give
+                    // the accept thread a breath and retry.
+                    std::thread::sleep(Duration::from_millis(25 * attempt));
+                }
+                match std::net::TcpStream::connect(addr) {
+                    Ok(s) => Some(s),
+                    Err(e) => {
+                        last_err = Some(e);
+                        None
+                    }
+                }
+            })
+            .unwrap_or_else(|| die(&format!("connect #{i} to {addr} failed: {last_err:?}")));
+        conns.push(stream);
+    }
+    let open_ms = opened_at.elapsed().as_millis() as u64;
+    let threads_after = thread_count();
+
+    // Smoke every connection in bounded waves through a client-side
+    // reactor: write the LocateRequest, then collect LocateReplies by
+    // readiness — no thread per connection on this side either.
+    let smoke_at = Instant::now();
+    let mut served = 0usize;
+    for (wave_idx, wave) in conns.chunks(SMOKE_WAVE).enumerate() {
+        let mut poller =
+            ftd_net::Poller::new().unwrap_or_else(|e| die(&format!("client poller: {e}")));
+        let mut readers: Vec<ftd_giop::MessageReader> = Vec::with_capacity(wave.len());
+        for (t, stream) in wave.iter().enumerate() {
+            use std::io::Write;
+            (&*stream)
+                .write_all(&locate)
+                .unwrap_or_else(|e| die(&format!("smoke write: {e}")));
+            stream
+                .set_nonblocking(true)
+                .unwrap_or_else(|e| die(&format!("nonblocking: {e}")));
+            poller.register(t as u64, ftd_net::raw_fd(stream), ftd_net::Interest::READ);
+            readers.push(ftd_giop::MessageReader::new());
+        }
+        let mut pending = wave.len();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut events = Vec::new();
+        while pending > 0 {
+            if Instant::now() > deadline {
+                die(&format!(
+                    "smoke wave {wave_idx}: {pending} of {} connections unanswered after 30s",
+                    wave.len()
+                ));
+            }
+            poller
+                .poll(&mut events, Duration::from_millis(100))
+                .unwrap_or_else(|e| die(&format!("client poll: {e}")));
+            for ev in &events {
+                let t = ev.token as usize;
+                let mut buf = [0u8; 256];
+                loop {
+                    use std::io::Read;
+                    match (&wave[t]).read(&mut buf) {
+                        Ok(0) => die(&format!("smoke: connection {t} closed by gateway")),
+                        Ok(len) => readers[t].push(&buf[..len]),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(e) => die(&format!("smoke read: {e}")),
+                    }
+                }
+                while let Some(msg) = readers[t]
+                    .next()
+                    .unwrap_or_else(|e| die(&format!("smoke decode: {e:?}")))
+                {
+                    match msg {
+                        ftd_giop::GiopMessage::LocateReply { locate_status, .. } => {
+                            assert_eq!(locate_status, 1, "OBJECT_HERE");
+                            poller.deregister(ev.token);
+                            pending -= 1;
+                            served += 1;
+                        }
+                        other => die(&format!("smoke: unexpected reply {other:?}")),
+                    }
+                }
+            }
+        }
+    }
+    let smoke_ms = smoke_at.elapsed().as_millis() as u64;
+
+    drop(conns);
+    pool.shutdown();
+    ConnectionsResult {
+        connections: n,
+        served,
+        threads_before,
+        threads_after,
+        open_ms,
+        smoke_ms,
+    }
+}
+
+/// Connection-scaling entry (`--connections LIST`): the C50K smoke.
+fn main_connections(opts: &Opts, counts: &[usize]) {
+    let want = counts.iter().copied().max().expect("non-empty counts") * 2 + 1024;
+    let granted = ftd_net::raise_nofile_limit(want as u64)
+        .unwrap_or_else(|e| die(&format!("raise RLIMIT_NOFILE to {want}: {e}")));
+    // Client and gateway share this process, so every connection costs
+    // two descriptors. Where the hard limit cannot be raised (container
+    // without CAP_SYS_RESOURCE), clamp the sweep to the budget rather
+    // than fail: the point of the smoke is thread-count-vs-connections,
+    // and that property is scale-invariant.
+    let budget = (granted as usize).saturating_sub(1024) / 2;
+    eprintln!(
+        "ftd-scale: connection sweep {counts:?} (nofile={granted}, budget={budget} \
+         connections, shards={})",
+        opts.shards[0]
+    );
+
+    let mut results = Vec::new();
+    let mut passed = true;
+    for &requested in counts {
+        let n = requested.min(budget);
+        if n < requested {
+            eprintln!(
+                "ftd-scale: WARNING: {requested} connections clamped to {n} by \
+                 RLIMIT_NOFILE {granted} (hard limit not raisable here)"
+            );
+        }
+        let r = run_connections_point(opts, n);
+        let growth = r.threads_after.saturating_sub(r.threads_before);
+        // threads == 0 means /proc was unavailable; skip the assertion.
+        let ok = r.served == r.connections
+            && (r.threads_after == 0 || growth <= opts.assert_max_thread_growth);
+        eprintln!(
+            "ftd-scale: connections={} served={} open={}ms smoke={}ms threads {} -> {} \
+             (growth {growth}, max {}) {}",
+            r.connections,
+            r.served,
+            r.open_ms,
+            r.smoke_ms,
+            r.threads_before,
+            r.threads_after,
+            opts.assert_max_thread_growth,
+            if ok { "ok" } else { "FAIL" }
+        );
+        passed &= ok;
+        results.push(r);
+    }
+
+    if let Some(path) = &opts.json {
+        let mut rows = String::new();
+        for (i, r) in results.iter().enumerate() {
+            let sep = if i + 1 < results.len() { "," } else { "" };
+            rows.push_str(&format!(
+                "    {{\"connections\": {}, \"served\": {}, \"threads_before\": {}, \
+                 \"threads_after\": {}, \"open_ms\": {}, \"smoke_ms\": {}}}{sep}\n",
+                r.connections, r.served, r.threads_before, r.threads_after, r.open_ms, r.smoke_ms
+            ));
+        }
+        let json = format!(
+            "{{\n  \"mode\": \"connections\",\n  \"shards\": {},\n  \
+             \"max_thread_growth\": {},\n  \"points\": [\n{rows}  ],\n  \
+             \"passed\": {passed}\n}}\n",
+            opts.shards[0], opts.assert_max_thread_growth,
+        );
+        std::fs::write(path, json).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    }
+
+    if passed {
+        let peak = results.iter().map(|r| r.connections).max().unwrap_or(0);
+        println!(
+            "PASS {} points, {} concurrent connections served",
+            results.len(),
+            peak
+        );
+    } else {
+        println!("FAIL connection smoke (see log above)");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let opts = parse_opts();
+    if let Some(counts) = opts.connections.clone() {
+        main_connections(&opts, &counts);
+        return;
+    }
     if let Some(rate) = opts.open_loop {
         main_open_loop(&opts, rate);
         return;
@@ -536,6 +832,13 @@ fn main() {
         }
         (None, _) => {}
     }
+    // Absolute-throughput gate: the best point in the sweep must clear
+    // the floor (the anti-regression line for the event-driven core).
+    let peak_rps = runs.iter().map(|r| r.throughput_rps).fold(0.0f64, f64::max);
+    if let Some(floor) = opts.assert_min_rps {
+        eprintln!("ftd-scale: peak throughput {peak_rps:.0} rps (floor {floor:.0})");
+        passed &= peak_rps >= floor;
+    }
 
     if let Some(path) = &opts.json {
         let mut rows = String::new();
@@ -560,7 +863,8 @@ fn main() {
         let json = format!(
             "{{\n  \"clients\": {},\n  \"duration_ms\": {},\n  \"window_per_shard\": {},\n  \
              \"runs\": [\n{rows}  ],\n  \"speedup_4x1\": {},\n  \
-             \"pipeline_speedup_8x1\": {},\n  \"passed\": {passed}\n}}\n",
+             \"pipeline_speedup_8x1\": {},\n  \"peak_rps\": {peak_rps:.1},\n  \
+             \"passed\": {passed}\n}}\n",
             opts.clients,
             opts.duration_ms,
             opts.window,
@@ -583,7 +887,8 @@ fn main() {
         );
     } else {
         println!(
-            "FAIL speedup_4x1={} (floor {}) pipeline_speedup_8x1={} (floor {})",
+            "FAIL speedup_4x1={} (floor {}) pipeline_speedup_8x1={} (floor {}) \
+             peak_rps={peak_rps:.0} (floor {})",
             speedup_4x1
                 .map(|s| format!("{s:.2}x"))
                 .unwrap_or_else(|| "n/a".to_owned()),
@@ -594,6 +899,9 @@ fn main() {
                 .map(|s| format!("{s:.2}x"))
                 .unwrap_or_else(|| "n/a".to_owned()),
             opts.assert_pipeline_speedup
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "-".to_owned()),
+            opts.assert_min_rps
                 .map(|f| f.to_string())
                 .unwrap_or_else(|| "-".to_owned()),
         );

@@ -29,8 +29,8 @@ use crate::gwmsg::GwMsg;
 use ftd_eternal::DomainMsg;
 use ftd_eternal::{FtHeader, OperationId, OperationKind, ResponseFilter, Voter};
 use ftd_giop::{
-    ByteOrder, GiopMessage, MessageReader, ObjectKey, Reply, Request, ServiceContext,
-    DEFAULT_MAX_BODY_LEN, FT_CLIENT_ID_SERVICE_CONTEXT,
+    ByteOrder, Frame, GiopMessage, MessageReader, MsgType, ObjectKey, Reply, Request, RequestView,
+    ServiceContext, DEFAULT_MAX_BODY_LEN, FT_CLIENT_ID_SERVICE_CONTEXT,
 };
 use ftd_obs::Clock;
 use ftd_totem::GroupId;
@@ -388,6 +388,64 @@ struct ClientConn {
     client_key: Option<u32>,
     /// Whether the peer announced itself graceful (CloseConnection seen).
     graceful_close: bool,
+}
+
+/// A client Request entering the admission path: decoded to an owned
+/// [`Request`] (sim hosts, little-endian clients, replayed messages) or
+/// borrowed in place from a transport read buffer alongside its raw
+/// big-endian wire bytes. The borrowed arm is the zero-copy hot path —
+/// the wire bytes ARE the canonical multicast payload, copied exactly
+/// once when they escape into the domain.
+enum ReqInput<'a> {
+    Owned(Request),
+    Borrowed {
+        req: RequestView<'a>,
+        /// The complete big-endian wire message (header + body).
+        wire: &'a [u8],
+    },
+}
+
+impl ReqInput<'_> {
+    fn request_id(&self) -> u32 {
+        match self {
+            ReqInput::Owned(r) => r.request_id,
+            ReqInput::Borrowed { req, .. } => req.request_id,
+        }
+    }
+
+    fn object_key(&self) -> &[u8] {
+        match self {
+            ReqInput::Owned(r) => &r.object_key,
+            ReqInput::Borrowed { req, .. } => req.object_key,
+        }
+    }
+
+    /// The first four bytes of the §3.5 client-id service context.
+    fn client_id_context(&self) -> Option<&[u8]> {
+        match self {
+            ReqInput::Owned(r) => r
+                .service_context(FT_CLIENT_ID_SERVICE_CONTEXT)
+                .and_then(|sc| sc.context_data.get(0..4)),
+            ReqInput::Borrowed { req, .. } => req
+                .service_context(FT_CLIENT_ID_SERVICE_CONTEXT)
+                .and_then(|d| d.get(0..4)),
+        }
+    }
+
+    fn into_owned(self) -> Request {
+        match self {
+            ReqInput::Owned(r) => r,
+            ReqInput::Borrowed { req, .. } => req.to_owned_request(),
+        }
+    }
+
+    /// The canonical big-endian IIOP bytes forwarded into the domain.
+    fn into_canonical_bytes(self) -> Vec<u8> {
+        match self {
+            ReqInput::Owned(r) => GiopMessage::Request(r).encode(ByteOrder::Big),
+            ReqInput::Borrowed { wire, .. } => wire.to_vec(),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -873,16 +931,98 @@ impl GatewayEngine {
         view: &dyn DomainView,
         out: &mut Vec<Action>,
     ) {
+        self.on_client_request_input(conn, ReqInput::Owned(req), view, out);
+    }
+
+    /// One already-framed client message, borrowed in place from the
+    /// transport's read buffer — the zero-copy sibling of
+    /// [`GatewayEngine::on_client_message`]. Big-endian Requests take the
+    /// fast path: header fields are decoded as borrowed slices and the
+    /// raw wire bytes become the multicast payload with a single copy at
+    /// the point of escape (no decode-to-owned, no re-encode).
+    /// Little-endian Requests and control messages fall back to the
+    /// owned path, so both entries produce identical actions for any
+    /// valid stream.
+    pub fn on_client_frame(
+        &mut self,
+        conn: GwConn,
+        frame: Frame<'_>,
+        view: &dyn DomainView,
+    ) -> Vec<Action> {
+        let mut out = Vec::new();
+        if self.fenced {
+            self.conns.remove(&conn);
+            out.push(Action::CloseClient { conn });
+            return out;
+        }
+        if frame.msg_type() != MsgType::Request || frame.order() != ByteOrder::Big {
+            // Control messages have (nearly) empty bodies; little-endian
+            // requests need canonical re-encoding anyway. Owned decode.
+            return match frame.to_message() {
+                Ok(msg) => self.on_client_message(conn, msg, view),
+                Err(_) => {
+                    self.protocol_error(conn, &mut out);
+                    out
+                }
+            };
+        }
+        let max_body = self.config.max_body;
+        self.conns.entry(conn).or_insert_with(|| ClientConn {
+            reader: MessageReader::with_max_body(max_body),
+            client_key: None,
+            graceful_close: false,
+        });
+        match frame.request() {
+            Ok(Some(req)) => {
+                self.on_client_request_input(
+                    conn,
+                    ReqInput::Borrowed {
+                        req,
+                        wire: frame.wire(),
+                    },
+                    view,
+                    &mut out,
+                );
+            }
+            Ok(None) => unreachable!("msg_type checked above"),
+            Err(_) => self.protocol_error(conn, &mut out),
+        }
+        out
+    }
+
+    /// An unparseable message on `conn`: count it, send `MessageError`,
+    /// and drop the connection — what a real ORB does, and exactly what
+    /// [`GatewayEngine::on_bytes_from_client`] does when its internal
+    /// reader trips.
+    fn protocol_error(&mut self, conn: GwConn, out: &mut Vec<Action>) {
+        out.push(Action::Count {
+            counter: "gateway.protocol_errors",
+        });
+        out.push(Action::ToClient {
+            conn,
+            bytes: GiopMessage::MessageError.encode(ByteOrder::Big),
+        });
+        out.push(Action::CloseClient { conn });
+        self.conns.remove(&conn);
+    }
+
+    fn on_client_request_input(
+        &mut self,
+        conn: GwConn,
+        req: ReqInput<'_>,
+        view: &dyn DomainView,
+        out: &mut Vec<Action>,
+    ) {
         // §3.1: "by extracting the server's object key ... the gateway
         // identifies the target server".
-        let Ok(key) = ObjectKey::parse(&req.object_key) else {
+        let Ok(key) = ObjectKey::parse(req.object_key()) else {
             out.push(Action::Count {
                 counter: "gateway.bad_object_keys",
             });
             out.push(Action::ToClient {
                 conn,
                 bytes: GiopMessage::Reply(Reply::system_exception(
-                    req.request_id,
+                    req.request_id(),
                     "OBJECT_NOT_EXIST",
                 ))
                 .encode(ByteOrder::Big),
@@ -891,7 +1031,9 @@ impl GatewayEngine {
         };
 
         if key.domain != self.config.domain {
-            self.bridge_forward(conn, key, req, out);
+            // Bridging crosses domains and outlives this read buffer:
+            // take ownership (the one cold path that still copies).
+            self.bridge_forward(conn, key, req.into_owned(), out);
             return;
         }
         let server = GroupId(key.group);
@@ -899,8 +1041,7 @@ impl GatewayEngine {
         // Client identification: the enhanced client's service context if
         // present (§3.5), else the per-server-group counter (§3.2).
         let supplied = req
-            .service_context(FT_CLIENT_ID_SERVICE_CONTEXT)
-            .and_then(|sc| sc.context_data.get(0..4))
+            .client_id_context()
             .map(|b| u32::from_be_bytes(b.try_into().expect("len 4")));
         let client_key = match supplied {
             Some(id) => {
@@ -925,7 +1066,7 @@ impl GatewayEngine {
             target: server,
             client: client_key,
             parent_ts: 0,
-            child_seq: req.request_id,
+            child_seq: req.request_id(),
         };
 
         // A reissue we already hold the answer to (failover to this
@@ -947,7 +1088,7 @@ impl GatewayEngine {
                 group: self.config.group,
                 payload: GwMsg::Record {
                     client: client_key,
-                    request_id: req.request_id,
+                    request_id: req.request_id(),
                     server,
                 }
                 .encode(),
@@ -962,9 +1103,9 @@ impl GatewayEngine {
             target: server,
             kind: OperationKind::Invocation,
             parent_ts: 0,
-            child_seq: req.request_id,
+            child_seq: req.request_id(),
         };
-        let iiop = GiopMessage::Request(req).encode(ByteOrder::Big);
+        let iiop = req.into_canonical_bytes();
         self.stamp_admission(op);
         out.push(Action::Count {
             counter: "gateway.requests_forwarded",

@@ -387,6 +387,54 @@ impl<'a> CdrDecoder<'a> {
         String::from_utf8(content.to_vec()).map_err(|_| GiopError::BadString)
     }
 
+    /// Reads a CDR string as a borrowed `&str` (zero-copy sibling of
+    /// [`CdrDecoder::read_string`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GiopError::Truncated`] on exhaustion,
+    /// [`GiopError::LengthOverrun`] if the declared length exceeds the
+    /// buffer, and [`GiopError::BadString`] on a missing NUL or bad UTF-8.
+    pub fn read_str(&mut self) -> Result<&'a str, GiopError> {
+        let len = self.read_ulong()? as usize;
+        if len == 0 {
+            return Err(GiopError::BadString);
+        }
+        if len > self.remaining() {
+            return Err(GiopError::LengthOverrun {
+                what: "string",
+                declared: len,
+                available: self.remaining(),
+            });
+        }
+        let bytes = self.take(len, "string body")?;
+        let (nul, content) = bytes.split_last().expect("len >= 1");
+        if *nul != 0 {
+            return Err(GiopError::BadString);
+        }
+        std::str::from_utf8(content).map_err(|_| GiopError::BadString)
+    }
+
+    /// Reads a `sequence<octet>` as a borrowed slice (zero-copy sibling of
+    /// [`CdrDecoder::read_octets`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GiopError::Truncated`] on exhaustion or
+    /// [`GiopError::LengthOverrun`] if the declared length exceeds the
+    /// buffer.
+    pub fn read_octets_ref(&mut self) -> Result<&'a [u8], GiopError> {
+        let len = self.read_ulong()? as usize;
+        if len > self.remaining() {
+            return Err(GiopError::LengthOverrun {
+                what: "sequence<octet>",
+                declared: len,
+                available: self.remaining(),
+            });
+        }
+        self.take(len, "sequence<octet> body")
+    }
+
     /// Reads a `sequence<octet>`.
     ///
     /// # Errors

@@ -44,11 +44,13 @@
 
 mod cdr;
 mod error;
+mod frame;
 mod ior;
 mod msg;
 
 pub use cdr::{ByteOrder, CdrDecoder, CdrEncoder};
 pub use error::GiopError;
+pub use frame::{Frame, FrameBuf, FrameHeader, RequestView, FRAME_BUF_READ_CHUNK};
 pub use ior::{IiopProfile, Ior, ObjectKey, TaggedProfile, TAG_INTERNET_IOP};
 pub use msg::{
     GiopMessage, MessageReader, MsgType, Reply, ReplyStatus, Request, ServiceContext,

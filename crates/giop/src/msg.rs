@@ -51,7 +51,7 @@ impl MsgType {
         }
     }
 
-    fn from_octet(v: u8) -> Result<Self, GiopError> {
+    pub(crate) fn from_octet(v: u8) -> Result<Self, GiopError> {
         Ok(match v {
             0 => MsgType::Request,
             1 => MsgType::Reply,
@@ -379,43 +379,15 @@ impl GiopMessage {
     }
 }
 
-struct Header {
-    order: ByteOrder,
-    msg_type: MsgType,
-    body_len: usize,
-}
-
-fn split_header(bytes: &[u8]) -> Result<(Header, &[u8]), GiopError> {
-    if bytes.len() < GIOP_HEADER_LEN {
-        return Err(GiopError::Truncated {
+fn split_header(bytes: &[u8]) -> Result<(crate::FrameHeader, &[u8]), GiopError> {
+    match crate::FrameHeader::peek(bytes)? {
+        Some(header) => Ok((header, &bytes[GIOP_HEADER_LEN..])),
+        None => Err(GiopError::Truncated {
             what: "GIOP header",
             needed: GIOP_HEADER_LEN - bytes.len(),
             remaining: bytes.len(),
-        });
+        }),
     }
-    let magic: [u8; 4] = bytes[0..4].try_into().expect("len 4");
-    if &magic != b"GIOP" {
-        return Err(GiopError::BadMagic(magic));
-    }
-    let (major, minor) = (bytes[4], bytes[5]);
-    if major != 1 {
-        return Err(GiopError::UnsupportedVersion { major, minor });
-    }
-    let order = ByteOrder::from_flag(bytes[6]);
-    let msg_type = MsgType::from_octet(bytes[7])?;
-    let len_bytes: [u8; 4] = bytes[8..12].try_into().expect("len 4");
-    let body_len = match order {
-        ByteOrder::Big => u32::from_be_bytes(len_bytes),
-        ByteOrder::Little => u32::from_le_bytes(len_bytes),
-    } as usize;
-    Ok((
-        Header {
-            order,
-            msg_type,
-            body_len,
-        },
-        &bytes[GIOP_HEADER_LEN..],
-    ))
 }
 
 /// Reassembles complete GIOP messages from a TCP byte stream.

@@ -1,0 +1,178 @@
+//! Equivalence suite for the zero-copy frame path: whatever the owned
+//! [`MessageReader`] parse produces, the in-place [`FrameBuf`] /
+//! [`Frame`] path must produce byte-identically — across torn reads
+//! split at every byte boundary, oversized bodies, and corrupted
+//! headers.
+
+use ftd_giop::{
+    ByteOrder, Frame, FrameBuf, GiopError, GiopMessage, MessageReader, Reply, Request,
+    ServiceContext, FT_CLIENT_ID_SERVICE_CONTEXT, GIOP_HEADER_LEN,
+};
+
+fn sample_request(order_tag: u8) -> Request {
+    Request {
+        service_contexts: vec![
+            ServiceContext::new(FT_CLIENT_ID_SERVICE_CONTEXT, vec![0, 0, 0, order_tag]),
+            ServiceContext::new(0x0042, vec![1, 2, 3]),
+        ],
+        request_id: 0x0102_0304,
+        response_expected: true,
+        object_key: vec![0, 0, 0, 3, 0, 0, 0, 7],
+        operation: "buy_shares".into(),
+        requesting_principal: vec![0xEE],
+        body: (0..29u8).collect(),
+    }
+}
+
+fn sample_stream(order: ByteOrder) -> Vec<u8> {
+    let msgs = [
+        GiopMessage::Request(sample_request(1)),
+        GiopMessage::Reply(Reply::success(7, vec![9; 11])),
+        GiopMessage::CancelRequest { request_id: 3 },
+        GiopMessage::LocateRequest {
+            request_id: 4,
+            object_key: vec![5, 6],
+        },
+        GiopMessage::CloseConnection,
+        GiopMessage::Request(sample_request(2)),
+    ];
+    let mut wire = Vec::new();
+    for m in &msgs {
+        wire.extend(m.encode(order));
+    }
+    wire
+}
+
+/// Drains a stream through the owned reader, collecting messages until
+/// exhaustion or the first error.
+fn owned_parse(stream: &[u8]) -> (Vec<GiopMessage>, Option<GiopError>) {
+    let mut reader = MessageReader::new();
+    reader.push(stream);
+    let mut out = Vec::new();
+    loop {
+        match reader.next() {
+            Ok(Some(msg)) => out.push(msg),
+            Ok(None) => return (out, None),
+            Err(e) => return (out, Some(e)),
+        }
+    }
+}
+
+/// Drains a stream through the zero-copy frame path, decoding each
+/// frame to an owned message for comparison.
+fn frame_parse(stream: &[u8], chunk: usize) -> (Vec<GiopMessage>, Option<GiopError>) {
+    let mut fbuf = FrameBuf::new();
+    let mut out = Vec::new();
+    for piece in stream.chunks(chunk.max(1)) {
+        fbuf.push(piece);
+        loop {
+            match fbuf.next_span() {
+                Ok(Some(span)) => {
+                    let frame = match Frame::parse(&fbuf.bytes()[span]) {
+                        Ok(f) => f,
+                        Err(e) => return (out, Some(e)),
+                    };
+                    match frame.to_message() {
+                        Ok(m) => out.push(m),
+                        Err(e) => return (out, Some(e)),
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => return (out, Some(e)),
+            }
+        }
+    }
+    (out, None)
+}
+
+#[test]
+fn every_split_boundary_yields_identical_messages() {
+    for order in [ByteOrder::Big, ByteOrder::Little] {
+        let stream = sample_stream(order);
+        let (want, want_err) = owned_parse(&stream);
+        assert!(want_err.is_none());
+        // Split the stream at every byte boundary: feed [..i] then [i..].
+        for i in 0..=stream.len() {
+            let mut fbuf = FrameBuf::new();
+            let mut got = Vec::new();
+            for piece in [&stream[..i], &stream[i..]] {
+                fbuf.push(piece);
+                while let Some(span) = fbuf.next_span().unwrap() {
+                    let frame = Frame::parse(&fbuf.bytes()[span]).unwrap();
+                    got.push(frame.to_message().unwrap());
+                }
+            }
+            assert_eq!(got, want, "split at byte {i} ({order:?})");
+            assert_eq!(fbuf.buffered(), 0);
+        }
+        // And dribble in every fixed chunk size 1..=17.
+        for chunk in 1..=17 {
+            let (got, err) = frame_parse(&stream, chunk);
+            assert!(err.is_none(), "chunk {chunk}: {err:?}");
+            assert_eq!(got, want, "chunk size {chunk} ({order:?})");
+        }
+    }
+}
+
+#[test]
+fn request_views_match_owned_decode_at_every_split() {
+    for order in [ByteOrder::Big, ByteOrder::Little] {
+        let req = sample_request(3);
+        let wire = GiopMessage::Request(req.clone()).encode(order);
+        for i in 0..=wire.len() {
+            let mut fbuf = FrameBuf::new();
+            fbuf.push(&wire[..i]);
+            if i < wire.len() {
+                assert!(
+                    fbuf.next_span().unwrap().is_none(),
+                    "no frame before byte {i}"
+                );
+                fbuf.push(&wire[i..]);
+            }
+            let span = fbuf.next_span().unwrap().expect("complete frame");
+            let frame = Frame::parse(&fbuf.bytes()[span]).unwrap();
+            let view = frame.request().unwrap().expect("request frame");
+            assert_eq!(view.to_owned_request(), req, "split at {i} ({order:?})");
+            assert_eq!(
+                view.service_context(FT_CLIENT_ID_SERVICE_CONTEXT),
+                Some(&[0, 0, 0, 3][..])
+            );
+            assert_eq!(frame.wire(), &wire[..], "raw wire bytes are borrowed");
+        }
+    }
+}
+
+#[test]
+fn oversized_body_fails_identically_in_both_paths() {
+    let mut wire = GiopMessage::CloseConnection.encode(ByteOrder::Big);
+    wire[8..12].copy_from_slice(&(64 * 1024 * 1024u32).to_be_bytes());
+    let mut reader = MessageReader::new();
+    reader.push(&wire);
+    let owned_err = reader.next().unwrap_err();
+    let mut fbuf = FrameBuf::new();
+    fbuf.push(&wire);
+    let frame_err = fbuf.next_span().unwrap_err();
+    assert_eq!(owned_err, frame_err);
+}
+
+#[test]
+fn bit_flipped_headers_agree_with_the_owned_path() {
+    let stream = sample_stream(ByteOrder::Big);
+    // Flip every bit of the first message's 12-byte header in turn; the
+    // frame path must agree with the owned path on success and failure
+    // alike (same messages, same error variant).
+    for byte in 0..GIOP_HEADER_LEN {
+        for bit in 0..8 {
+            let mut corrupt = stream.clone();
+            corrupt[byte] ^= 1 << bit;
+            let (want, want_err) = owned_parse(&corrupt);
+            let (got, got_err) = frame_parse(&corrupt, 5);
+            assert_eq!(got, want, "flip byte {byte} bit {bit}");
+            assert_eq!(
+                got_err.map(|e| format!("{e:?}")),
+                want_err.map(|e| format!("{e:?}")),
+                "flip byte {byte} bit {bit}"
+            );
+        }
+    }
+}

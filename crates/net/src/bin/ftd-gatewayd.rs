@@ -69,7 +69,8 @@
 use ftd_core::EngineConfig;
 use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
 use ftd_net::{
-    DomainBackend, DomainHost, DurableHost, GatewayPool, GatewayServer, GroupOptions, ServerOptions,
+    AdmissionPolicy, DomainBackend, DomainHost, DurableHost, GatewayPool, GatewayServer,
+    GroupOptions, ServerOptions,
 };
 use ftd_obs::Registry;
 use ftd_replay::{style_tag, GroupSpec, Recorder, ReplayEvent};
@@ -313,7 +314,7 @@ fn main() {
             builder = builder.shards(shards);
         }
         if let Some(window) = opts.inflight {
-            builder = builder.max_inflight(window);
+            builder = builder.admission(AdmissionPolicy::inflight_window(window));
         }
         if let Some(dir) = &opts.data_dir {
             builder = builder.data_dir(dir.clone());
@@ -390,7 +391,7 @@ fn main() {
         builder = builder.shards(shards);
     }
     if let Some(window) = opts.inflight {
-        builder = builder.max_inflight(window);
+        builder = builder.admission(AdmissionPolicy::inflight_window(window));
     }
     if let Some(node) = opts.group_node {
         let mut gopts = GroupOptions::new(node);

@@ -341,36 +341,6 @@ impl NetClient {
         NetClientBuilder::default()
     }
 
-    /// Connects through `ior` with default options.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use NetClient::builder().ior(..).client_id(..).connect() (CHANGELOG 0.4.0)"
-    )]
-    pub fn connect(ior: &Ior, client_id: Option<u32>) -> ftd_core::Result<NetClient> {
-        let mut builder = NetClient::builder().ior(ior);
-        if let Some(id) = client_id {
-            builder = builder.client_id(id);
-        }
-        builder.connect()
-    }
-
-    /// Connects to an explicit address with an explicit object key.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use NetClient::builder().addr(..).client_id(..).connect() (CHANGELOG 0.4.0)"
-    )]
-    pub fn connect_addr(
-        addr: impl ToSocketAddrs,
-        object_key: Vec<u8>,
-        client_id: Option<u32>,
-    ) -> ftd_core::Result<NetClient> {
-        let mut builder = NetClient::builder().addr(addr, object_key);
-        if let Some(id) = client_id {
-            builder = builder.client_id(id);
-        }
-        builder.connect()
-    }
-
     /// Mirrors this client's reconnect/reissue counters into `registry`
     /// (under [`ftd_obs::names::CLIENT_RECONNECTS`] and
     /// [`ftd_obs::names::CLIENT_REISSUES`]).

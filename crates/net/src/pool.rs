@@ -22,8 +22,7 @@
 use crate::backend::DomainBackend;
 use crate::domain::{DomainFault, DomainLink, DomainService};
 use crate::server::{
-    stats_from_registry, EngineSnapshot, GatewayServer, HostFactory, ServerOptions,
-    DEFAULT_MAX_INFLIGHT,
+    stats_from_registry, AdmissionPolicy, EngineSnapshot, GatewayServer, HostFactory, ServerOptions,
 };
 use ftd_core::{EngineConfig, Error};
 use ftd_giop::Ior;
@@ -58,7 +57,7 @@ pub struct GatewayPoolBuilder {
     options: ServerOptions,
     registry: Option<Arc<Registry>>,
     shards: Option<usize>,
-    max_inflight: usize,
+    admission: AdmissionPolicy,
     pins: Vec<(GroupId, usize)>,
     host: Option<HostFactory>,
     domain: Option<DomainLink>,
@@ -119,11 +118,22 @@ impl GatewayPoolBuilder {
         self
     }
 
+    /// Per-shard admission policy for every gateway (default
+    /// [`AdmissionPolicy::default`]).
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
     /// Per-shard admission window for every gateway (default
     /// [`DEFAULT_MAX_INFLIGHT`]).
-    pub fn max_inflight(mut self, window: usize) -> Self {
-        self.max_inflight = window.max(1);
-        self
+    #[deprecated(
+        since = "0.5.0",
+        note = "use .admission(AdmissionPolicy::inflight_window(window)) — this delegating \
+                wrapper is kept for one release"
+    )]
+    pub fn max_inflight(self, window: usize) -> Self {
+        self.admission(AdmissionPolicy::inflight_window(window))
     }
 
     /// Pins `group` to `shard` on **every** gateway (dense benchmark
@@ -212,7 +222,7 @@ impl GatewayPoolBuilder {
                 .config(gw_config)
                 .options(self.options.clone())
                 .registry(registry.clone())
-                .max_inflight(self.max_inflight)
+                .admission(self.admission.clone())
                 .domain(link.clone());
             if let Some(shards) = self.shards {
                 builder = builder.shards(shards);
@@ -265,7 +275,7 @@ impl GatewayPool {
             options: ServerOptions::default(),
             registry: None,
             shards: None,
-            max_inflight: DEFAULT_MAX_INFLIGHT,
+            admission: AdmissionPolicy::default(),
             pins: Vec::new(),
             host: None,
             domain: None,

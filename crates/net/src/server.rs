@@ -3,23 +3,31 @@
 //! [`GatewayEngine`] against it — sharded by server group across N
 //! engine threads.
 //!
-//! Threading (§3.1's "gateway process", mapped onto threads):
+//! Threading (§3.1's "gateway process", mapped onto threads — the
+//! count is fixed at startup and does **not** grow with connections):
 //!
-//! * an **accept thread** blocks on the listener and spawns one **reader
-//!   thread** per accepted connection; readers own the connection's GIOP
-//!   frame parser and dispatch whole messages to shard queues through the
-//!   lock-free [`ShardRouter`] (group-addressed messages go to the owning
-//!   shard; connection-scoped messages fan to every shard),
+//! * an **accept thread** blocks on the listener, flips each accepted
+//!   socket nonblocking, and hands it to one shard (round-robin) for
+//!   ownership,
 //! * **N shard threads** (`GatewayServer::builder().shards(n)`, default
 //!   `std::thread::available_parallelism`) each own a [`GatewayEngine`]
 //!   with that shard's slice of the §3.2 client-id counters, §3.3
-//!   duplicate-suppression filter, and §3.5 response cache. Each shard
-//!   drains its own mpsc queue, applies the engine's [`Action`]s (writes
-//!   go through per-connection mutexed writers), and enforces a
-//!   per-shard **admission window**: at most `max_inflight` requests
-//!   in the domain at once, the rest deferred FIFO — so the shard count
-//!   multiplies the gateway's admitted concurrency while one overloaded
-//!   group cannot starve the rest,
+//!   duplicate-suppression filter, and §3.5 response cache — plus a
+//!   readiness **reactor** (`poll(2)` via [`crate::Poller`]) over the
+//!   connections it owns. Readable sockets are drained into reusable
+//!   per-connection [`FrameBuf`]s and parsed **in place**: a request
+//!   whose group routes to the owning shard runs through
+//!   [`GatewayEngine::on_client_frame`] on borrowed wire bytes (zero
+//!   copy — the raw big-endian frame *is* the canonical multicast
+//!   payload); anything bound for another shard is decoded once and
+//!   forwarded over the lock-free [`ShardRouter`]'s queue. Replies go
+//!   through shared nonblocking writers with partial-write queues:
+//!   a slow client backs its own connection up (and is disconnected
+//!   past a bounded queue), never a shard thread. Admission is
+//!   **credit-based** ([`AdmissionPolicy`]): per-tick request and byte
+//!   credits plus an in-flight window, replenished every tick with
+//!   batch admission of whatever waited — deferral is the exception,
+//!   not the steady state,
 //! * one **domain thread** ([`crate::DomainService`]) owns the in-process
 //!   [`DomainHost`], advances its virtual clock a slice per real tick,
 //!   and routes ordered deliveries back to the shard queues (replica
@@ -39,10 +47,11 @@
 //! `GET /health` answers `503 degraded`, and new connections are shed at
 //! accept time (existing clients keep being served — with a partial ring
 //! the surviving replicas still answer). When the ring heals the gateway
-//! recovers by itself. Each reader enforces a bounded per-connection
-//! inbound budget, so one client flooding bytes faster than its shard
-//! drains them is disconnected instead of growing the queue without
-//! limit.
+//! recovers by itself. Each connection carries a bounded cross-shard
+//! inbound budget and a bounded outbound queue, so one client flooding
+//! bytes faster than its shard drains them — or reading replies slower
+//! than it provokes them — is disconnected instead of growing a queue
+//! without limit.
 //!
 //! Every thread reports into one shared [`ftd_obs::Registry`]: the
 //! engines' `gateway.*` counters and per-group latency histogram, the
@@ -58,6 +67,7 @@ use crate::backend::DomainBackend;
 use crate::domain::{DomainFault, DomainLink, DomainService, TICK_REAL};
 use crate::group::GroupOptions;
 use crate::host::HostView;
+use crate::reactor::{raw_fd, Interest, Poller, Waker, MAX_POLL_TIMEOUT};
 use crate::relay::GroupRelay;
 use crate::store::GatewayStore;
 use ftd_core::{
@@ -66,7 +76,9 @@ use ftd_core::{
     FANOUT_ONCE_COUNTERS,
 };
 use ftd_eternal::{GatewayEndpoint, IorPublisher, OperationId};
-use ftd_giop::{ByteOrder, GiopMessage, Ior, MessageReader};
+use ftd_giop::{
+    ByteOrder, Frame, FrameBuf, GiopMessage, Ior, MsgType, ObjectKey, FRAME_BUF_READ_CHUNK,
+};
 use ftd_group::{FrameHandler, GroupConfig, GroupMember, GroupNode, PeerMesh};
 use ftd_obs::{names, Clock, Counter, Histogram, RealClock, Registry};
 use ftd_replay::{EngineSetup, RecordedView, Recorder, RecordingClock, ReplayEvent, ShardTap};
@@ -74,22 +86,30 @@ use ftd_sim::Stats;
 use ftd_store::FsyncPolicy;
 use ftd_totem::GroupId;
 use std::collections::{BTreeMap, VecDeque};
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-/// Most bytes a single connection may have in flight between its reader
-/// thread and the shard threads. A client that outruns its shard by
-/// more than this is disconnected (`net.queue_overflows`) instead of
-/// growing the event queue without bound.
+/// Most bytes a single connection may have queued toward shards other
+/// than its owner (messages decoded and forwarded but not yet
+/// processed). A client that outruns the gateway by more than this is
+/// disconnected (`net.queue_overflows`) instead of growing the event
+/// queue without bound.
 pub const CONN_INBOUND_BUDGET: usize = 1 << 20;
 
-/// Default per-shard admission window (see [`GatewayBuilder::max_inflight`]).
+/// Most unsent reply bytes a connection's writer may queue while the
+/// client's socket refuses them. A client that stops reading while
+/// replies keep arriving is disconnected once the queue passes this,
+/// protecting the gateway's memory from slow consumers.
+const CONN_OUTBOUND_BUDGET: usize = 4 << 20;
+
+/// Default in-flight admission window per shard (see
+/// [`AdmissionPolicy::max_inflight`]).
 pub const DEFAULT_MAX_INFLIGHT: usize = 256;
 
 /// If a shard's admission window stays full this long (microseconds of
@@ -97,6 +117,92 @@ pub const DEFAULT_MAX_INFLIGHT: usize = 256;
 /// chaos, oneway traffic), the window resets rather than wedging the
 /// shard.
 const STALL_RESET_US: u64 = 500_000;
+
+/// Per-shard admission control, accepted by
+/// [`GatewayBuilder::admission`]: an in-flight window plus per-tick
+/// request and byte **credits**. Every tick each shard's credits
+/// replenish; a request is admitted while the window has room *and*
+/// both credit pools are positive, and queues FIFO otherwise until the
+/// end-of-tick batch pass (deferral past a full tick is the exception,
+/// counted by `gateway.shard.deferrals`).
+///
+/// The struct is `#[non_exhaustive]`; build one from
+/// [`AdmissionPolicy::default`] (or [`AdmissionPolicy::inflight_window`]
+/// for the pre-0.5 semantics) and the chainable setters:
+///
+/// ```
+/// use ftd_net::AdmissionPolicy;
+/// let policy = AdmissionPolicy::default()
+///     .max_inflight(64)
+///     .requests_per_tick(512);
+/// assert_eq!(policy.max_inflight, 64);
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct AdmissionPolicy {
+    /// Most requests one shard may have inside the domain at once
+    /// (admitted but unanswered). Default [`DEFAULT_MAX_INFLIGHT`].
+    pub max_inflight: usize,
+    /// Request credits replenished per tick (count-denominated rate
+    /// limit). `u64::MAX` disables the dimension.
+    pub requests_per_tick: u64,
+    /// Byte credits replenished per tick (size-denominated rate limit,
+    /// charged at each admitted request's wire length). `u64::MAX`
+    /// disables the dimension.
+    pub bytes_per_tick: u64,
+    /// Credit replenishment period. Defaults to the shard tick (1ms);
+    /// clamped to at least 1µs.
+    pub tick: Duration,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+            requests_per_tick: 1024,
+            bytes_per_tick: 16 << 20,
+            tick: TICK_REAL,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// The pre-0.5 admission semantics: a pure in-flight window of
+    /// `window` with both credit dimensions disabled. What the
+    /// deprecated `max_inflight(..)` builder setters delegate to.
+    pub fn inflight_window(window: usize) -> Self {
+        AdmissionPolicy {
+            max_inflight: window.max(1),
+            requests_per_tick: u64::MAX,
+            bytes_per_tick: u64::MAX,
+            tick: TICK_REAL,
+        }
+    }
+
+    /// Sets the in-flight window (clamped to at least 1).
+    pub fn max_inflight(mut self, window: usize) -> Self {
+        self.max_inflight = window.max(1);
+        self
+    }
+
+    /// Sets the per-tick request credits (clamped to at least 1).
+    pub fn requests_per_tick(mut self, requests: u64) -> Self {
+        self.requests_per_tick = requests.max(1);
+        self
+    }
+
+    /// Sets the per-tick byte credits (clamped to at least 1).
+    pub fn bytes_per_tick(mut self, bytes: u64) -> Self {
+        self.bytes_per_tick = bytes.max(1);
+        self
+    }
+
+    /// Sets the credit replenishment period.
+    pub fn tick(mut self, tick: Duration) -> Self {
+        self.tick = tick;
+        self
+    }
+}
 
 /// Engine-side gauges mirrored out of a shard thread after every batch.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -170,14 +276,24 @@ pub struct ShutdownReport {
     pub cached_replies: Vec<(OperationId, Vec<u8>)>,
 }
 
-/// Transport events flowing from the socket threads to a shard thread.
+/// Transport events flowing from the accept/peer threads (and between
+/// shard threads) to a shard thread.
 pub(crate) enum ShardEv {
     /// A connection was accepted (fanned to every shard); the writer is
-    /// the shared mutexed write half, the counter its inbound budget.
+    /// the shared nonblocking write half, the counter its cross-shard
+    /// inbound budget.
     Accepted(u64, Arc<ConnWriter>, Arc<AtomicUsize>),
-    /// A parsed GIOP message for this shard. The cost is how many wire
-    /// bytes the message consumed (released from the connection's budget
-    /// once processed; 0 for fan-out copies beyond the first).
+    /// The read half of an accepted connection, sent only to its owning
+    /// shard (strictly after the `Accepted` fan-out): the shard
+    /// registers it with its reactor and owns its frame buffer from
+    /// here on. The stream is shared with the connection's
+    /// [`ConnWriter`] — reads and writes go through `&TcpStream`, so
+    /// one descriptor serves both halves.
+    Adopt(u64, Arc<TcpStream>),
+    /// A parsed GIOP message forwarded from the owning shard. The cost
+    /// is how many wire bytes the message consumed (charged to and
+    /// released from the connection's budget; 0 for fan-out copies and
+    /// messages the owner processed locally).
     Msg(u64, GiopMessage, usize),
     /// A connection reached EOF or errored (fanned to every shard).
     Closed(u64),
@@ -211,24 +327,153 @@ pub(crate) enum ShardEv {
     Shutdown,
 }
 
+/// A shard's cross-thread doorbell: other threads push connection ids
+/// whose writers just queued unsent bytes, then ring the reactor's
+/// waker; the owning shard drains the list and registers write
+/// interest for those connections.
+pub(crate) struct Doorbell {
+    waker: Waker,
+    dirty: Mutex<Vec<u64>>,
+}
+
+impl Doorbell {
+    fn new(waker: Waker) -> Doorbell {
+        Doorbell {
+            waker,
+            dirty: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn ring(&self, id: u64) {
+        if let Ok(mut dirty) = self.dirty.lock() {
+            dirty.push(id);
+        }
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<u64> {
+        self.dirty
+            .lock()
+            .map(|mut dirty| std::mem::take(&mut *dirty))
+            .unwrap_or_default()
+    }
+}
+
+/// What one [`ConnWriter::write`] / [`ConnWriter::flush`] left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteState {
+    /// Everything written to the socket; no queued bytes remain.
+    Drained,
+    /// The socket refused some bytes; they are queued and the owning
+    /// shard holds (or was just rung for) write interest.
+    Pending,
+    /// The connection is dead (write error or outbound budget blown).
+    Failed,
+}
+
+struct WriterInner {
+    /// Shared with the owning shard's [`OwnedConn`]; writes go through
+    /// `&TcpStream` so no duplicate descriptor is needed.
+    stream: Arc<TcpStream>,
+    /// Bytes the nonblocking socket refused, in write order. Drained by
+    /// the owning shard on write readiness.
+    pending: VecDeque<u8>,
+}
+
 /// The write half of one client connection, shared by every shard that
-/// may answer on it. Writes are whole GIOP messages under a mutex, so
-/// concurrent shards never interleave partial frames.
+/// may answer on it. The socket is nonblocking: writes go straight to
+/// the kernel while it accepts them, and queue (bounded by
+/// [`CONN_OUTBOUND_BUDGET`]) when it pushes back — a stalled client
+/// never blocks a shard thread. One mutex covers stream + queue so
+/// concurrent shards never interleave partial frames and queued bytes
+/// always drain before fresh ones.
 pub(crate) struct ConnWriter {
-    stream: Mutex<TcpStream>,
+    id: u64,
+    inner: Mutex<WriterInner>,
+    /// The owning shard's doorbell — rung when a write leaves bytes
+    /// pending so that shard picks up write interest.
+    doorbell: Arc<Doorbell>,
+    partial_writes: Arc<Counter>,
 }
 
 impl ConnWriter {
     fn write(&self, bytes: &[u8]) -> bool {
-        match self.stream.lock() {
-            Ok(mut stream) => stream.write_all(bytes).is_ok(),
-            Err(_) => false,
+        self.write_state(bytes) != WriteState::Failed
+    }
+
+    fn write_state(&self, bytes: &[u8]) -> WriteState {
+        let Ok(mut guard) = self.inner.lock() else {
+            return WriteState::Failed;
+        };
+        let inner = &mut *guard;
+        if !inner.pending.is_empty() {
+            // Earlier bytes are still queued; anything new must queue
+            // behind them to keep the frame order.
+            return self.enqueue(inner, bytes, false);
+        }
+        let mut off = 0;
+        while off < bytes.len() {
+            match (&*inner.stream).write(&bytes[off..]) {
+                Ok(0) => return WriteState::Failed,
+                Ok(n) => off += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    self.partial_writes.inc();
+                    return self.enqueue(inner, &bytes[off..], true);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return WriteState::Failed,
+            }
+        }
+        WriteState::Drained
+    }
+
+    fn enqueue(&self, inner: &mut WriterInner, bytes: &[u8], ring: bool) -> WriteState {
+        if inner.pending.len() + bytes.len() > CONN_OUTBOUND_BUDGET {
+            let _ = inner.stream.shutdown(Shutdown::Both);
+            return WriteState::Failed;
+        }
+        inner.pending.extend(bytes.iter().copied());
+        // Only the transition into "has pending bytes" needs the owner's
+        // attention; later appends land behind an already-armed POLLOUT.
+        if ring {
+            self.doorbell.ring(self.id);
+        }
+        WriteState::Pending
+    }
+
+    /// Pushes queued bytes at the socket until it refuses again or the
+    /// queue drains. Called by the owning shard on write readiness.
+    fn flush(&self) -> WriteState {
+        let Ok(mut guard) = self.inner.lock() else {
+            return WriteState::Failed;
+        };
+        let inner = &mut *guard;
+        loop {
+            let (front, _) = inner.pending.as_slices();
+            if front.is_empty() {
+                return WriteState::Drained;
+            }
+            let wrote = match (&*inner.stream).write(front) {
+                Ok(0) => return WriteState::Failed,
+                Ok(n) => n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return WriteState::Pending,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return WriteState::Failed,
+            };
+            inner.pending.drain(..wrote);
         }
     }
 
+    fn has_pending(&self) -> bool {
+        self.inner
+            .lock()
+            .map(|inner| !inner.pending.is_empty())
+            .unwrap_or(false)
+    }
+
     fn close(&self) {
-        if let Ok(stream) = self.stream.lock() {
-            let _ = stream.shutdown(Shutdown::Both);
+        if let Ok(inner) = self.inner.lock() {
+            let _ = inner.stream.shutdown(Shutdown::Both);
         }
     }
 }
@@ -273,7 +518,7 @@ pub struct GatewayBuilder {
     registry: Option<Arc<Registry>>,
     clock: Option<Arc<dyn Clock>>,
     shards: Option<usize>,
-    max_inflight: usize,
+    admission: AdmissionPolicy,
     pins: Vec<(GroupId, usize)>,
     host: Option<HostFactory>,
     domain: Option<DomainLink>,
@@ -336,13 +581,24 @@ impl GatewayBuilder {
         self
     }
 
-    /// Per-shard admission window: at most this many requests in the
-    /// domain at once per shard, the rest deferred FIFO (default
-    /// [`DEFAULT_MAX_INFLIGHT`]). Total gateway admission capacity is
-    /// `shards × max_inflight` — the knob behind multi-shard scaling.
-    pub fn max_inflight(mut self, window: usize) -> Self {
-        self.max_inflight = window.max(1);
+    /// Per-shard admission control: the in-flight window plus the
+    /// per-tick request/byte credits (default
+    /// [`AdmissionPolicy::default`]). Total gateway admission capacity
+    /// is `shards × policy` — the knob behind multi-shard scaling.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
         self
+    }
+
+    /// Per-shard admission window: at most this many requests in the
+    /// domain at once per shard, the rest deferred FIFO.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use .admission(AdmissionPolicy::inflight_window(window)) — \
+                this delegating wrapper is kept for one release"
+    )]
+    pub fn max_inflight(self, window: usize) -> Self {
+        self.admission(AdmissionPolicy::inflight_window(window))
     }
 
     /// Pins `group`'s state to a specific shard in the lock-free routing
@@ -672,17 +928,34 @@ impl GatewayBuilder {
             None => (None, None, None, 0),
         };
 
+        // One reactor per shard, created before the threads spawn so the
+        // accept thread is born holding every shard's doorbell (waker +
+        // dirty-writer list).
+        let mut pollers = Vec::with_capacity(shards);
+        let mut doorbells = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let poller = Poller::new().map_err(Error::Io)?;
+            doorbells.push(Arc::new(Doorbell::new(poller.waker())));
+            pollers.push(poller);
+        }
+
         let mut shard_threads = Vec::with_capacity(shards);
-        for (idx, ((engine, tap), rx)) in engines
+        for (idx, (((engine, tap), rx), poller)) in engines
             .into_iter()
             .zip(taps.drain(..))
             .zip(shard_rxs.drain(..))
+            .zip(pollers.drain(..))
             .enumerate()
         {
             let shard = Shard::new(
                 idx,
                 engine,
-                self.max_inflight,
+                &self.admission,
+                poller,
+                doorbells[idx].clone(),
+                shard_txs.clone(),
+                router.clone(),
+                config.max_body,
                 domain.clone(),
                 registry.clone(),
                 store.clone(),
@@ -727,20 +1000,19 @@ impl GatewayBuilder {
         }
 
         let accept_txs = shard_txs.clone();
-        let accept_router = router.clone();
         let accept_shared = shared.clone();
         let accept_domain = domain.clone();
-        let max_body = config.max_body;
+        let partial_writes = registry.counter(names::NET_REACTOR_PARTIAL_WRITES);
         let accept_thread = thread::Builder::new()
             .name("ftd-gateway-accept".into())
             .spawn(move || {
                 accept_loop(
                     listener,
                     accept_txs,
-                    accept_router,
                     accept_shared,
                     accept_domain,
-                    max_body,
+                    doorbells,
+                    partial_writes,
                 )
             })?;
 
@@ -833,7 +1105,7 @@ impl GatewayServer {
             registry: None,
             clock: None,
             shards: None,
-            max_inflight: DEFAULT_MAX_INFLIGHT,
+            admission: AdmissionPolicy::default(),
             pins: Vec::new(),
             host: None,
             domain: None,
@@ -1163,10 +1435,10 @@ pub(crate) fn stats_from_registry(registry: &Registry) -> Stats {
 fn accept_loop(
     listener: TcpListener,
     shard_txs: Vec<Sender<ShardEv>>,
-    router: Arc<ShardRouter>,
     shared: Arc<Shared>,
     domain: DomainLink,
-    max_body: usize,
+    doorbells: Vec<Arc<Doorbell>>,
+    partial_writes: Arc<Counter>,
 ) {
     let mut next_id = 1u64;
     for stream in listener.incoming() {
@@ -1184,18 +1456,35 @@ fn accept_loop(
             continue;
         }
         let _ = stream.set_nodelay(true);
-        let Ok(read_half) = stream.try_clone() else {
+        if stream.set_nonblocking(true).is_err() {
+            let _ = stream.shutdown(Shutdown::Both);
             continue;
-        };
+        }
+        // Reader and writer share the one accepted descriptor: the
+        // owning shard reads through `&TcpStream`, any shard writes
+        // through the same under the writer mutex. Two fds per
+        // connection (peer + this) is the whole kernel-side cost.
+        let stream = Arc::new(stream);
         let id = next_id;
         next_id += 1;
+        // Round-robin connection ownership: the owning shard's reactor
+        // reads this socket; routing still sends each message to the
+        // shard owning its group.
+        let owner = (id as usize - 1) % shard_txs.len();
         shared.registry.inc("net.connections");
         let writer = Arc::new(ConnWriter {
-            stream: Mutex::new(stream),
+            id,
+            inner: Mutex::new(WriterInner {
+                stream: stream.clone(),
+                pending: VecDeque::new(),
+            }),
+            doorbell: doorbells[owner].clone(),
+            partial_writes: partial_writes.clone(),
         });
         let budget = Arc::new(AtomicUsize::new(0));
-        // Every shard learns of the connection before its reader starts,
-        // so a routed message never beats its Accepted event.
+        // Every shard learns of the connection before its owner can read
+        // a byte from it, so a routed message never beats its Accepted
+        // event (the per-shard queues are FIFO and Adopt is sent last).
         let mut dead = false;
         for tx in &shard_txs {
             dead |= tx
@@ -1205,104 +1494,12 @@ fn accept_loop(
         if dead {
             break;
         }
-        let reader_txs = shard_txs.clone();
-        let reader_router = router.clone();
-        let reader_registry = shared.registry.clone();
-        let _ = thread::Builder::new()
-            .name(format!("ftd-gateway-conn-{id}"))
-            .spawn(move || {
-                reader_loop(
-                    id,
-                    read_half,
-                    writer,
-                    budget,
-                    reader_txs,
-                    reader_router,
-                    reader_registry,
-                    max_body,
-                )
-            });
-    }
-}
-
-/// Owns one connection's GIOP frame parser: reads raw bytes, charges
-/// them against the connection's budget, and dispatches whole messages
-/// to the owning shard's queue (group-addressed) or every shard
-/// (connection-scoped). Framing failures are answered with MessageError
-/// here — the parse happens on this thread now, not on the engine.
-#[allow(clippy::too_many_arguments)]
-fn reader_loop(
-    id: u64,
-    mut stream: TcpStream,
-    writer: Arc<ConnWriter>,
-    budget: Arc<AtomicUsize>,
-    shard_txs: Vec<Sender<ShardEv>>,
-    router: Arc<ShardRouter>,
-    registry: Arc<Registry>,
-    max_body: usize,
-) {
-    let mut reader = MessageReader::with_max_body(max_body);
-    let mut buf = [0u8; 16 * 1024];
-    'read: loop {
-        match stream.read(&mut buf) {
-            Ok(0) | Err(_) => break,
-            Ok(n) => {
-                registry.add("net.bytes_in", n as u64);
-                // Bounded per-connection queue: bytes the shards have not
-                // processed yet. A client outrunning its shard past the
-                // budget is disconnected, protecting every other client
-                // on this gateway from its backlog.
-                if budget.fetch_add(n, Ordering::SeqCst) + n > CONN_INBOUND_BUDGET {
-                    registry.inc(names::NET_QUEUE_OVERFLOWS);
-                    let _ = stream.shutdown(Shutdown::Both);
-                    break;
-                }
-                reader.push(&buf[..n]);
-                loop {
-                    let before = reader.buffered();
-                    match reader.next() {
-                        Ok(Some(msg)) => {
-                            let cost = before - reader.buffered();
-                            let sent = match classify_client_message(&msg) {
-                                MsgRoute::Group(group) => shard_txs[router.route(group)]
-                                    .send(ShardEv::Msg(id, msg, cost))
-                                    .is_ok(),
-                                MsgRoute::Any => {
-                                    shard_txs[0].send(ShardEv::Msg(id, msg, cost)).is_ok()
-                                }
-                                MsgRoute::All => {
-                                    // Fan-out copies carry cost 0: the
-                                    // budget is released exactly once.
-                                    let mut any = false;
-                                    for (i, tx) in shard_txs.iter().enumerate() {
-                                        let copy_cost = if i == 0 { cost } else { 0 };
-                                        any |= tx
-                                            .send(ShardEv::Msg(id, msg.clone(), copy_cost))
-                                            .is_ok();
-                                    }
-                                    any
-                                }
-                            };
-                            if !sent {
-                                break 'read;
-                            }
-                        }
-                        Ok(None) => break,
-                        Err(_) => {
-                            // Framing failure: answer MessageError and
-                            // drop the connection (§3.3).
-                            registry.inc("gateway.protocol_errors");
-                            let _ = writer.write(&GiopMessage::MessageError.encode(ByteOrder::Big));
-                            writer.close();
-                            break 'read;
-                        }
-                    }
-                }
-            }
+        if shard_txs[owner].send(ShardEv::Adopt(id, stream)).is_err() {
+            break;
         }
-    }
-    for tx in &shard_txs {
-        let _ = tx.send(ShardEv::Closed(id));
+        // The owner may be asleep in poll(2); connection setup should
+        // not wait out the tick.
+        doorbells[owner].waker.wake();
     }
 }
 
@@ -1320,15 +1517,48 @@ struct ConnEntry {
     budget: Arc<AtomicUsize>,
 }
 
+/// The read half of a connection this shard owns: the nonblocking
+/// stream registered with the shard's reactor plus its reusable
+/// in-place frame buffer. Allocation is lazy ([`FrameBuf`] holds no
+/// storage until the first byte arrives), so an idle connection costs
+/// this struct and one registered descriptor — the C50K budget.
+struct OwnedConn {
+    /// Shared with the connection's [`ConnWriter`]; the owner reads
+    /// through `&TcpStream`.
+    stream: Arc<TcpStream>,
+    fbuf: FrameBuf,
+}
+
+/// A message queued for admission: connection, decoded message, the
+/// cross-shard budget to release when processed (0 for locally read
+/// messages), and the wire length the byte credits are charged.
+type Queued = (u64, GiopMessage, usize, usize);
+
 /// One engine shard's working state, owned by its thread.
 struct Shard {
     idx: usize,
     engine: GatewayEngine,
     conns: BTreeMap<u64, ConnEntry>,
-    /// Requests deferred while the admission window is full, FIFO.
-    deferred: VecDeque<(u64, GiopMessage, usize)>,
+    /// Connections whose read half this shard's reactor owns.
+    owned: BTreeMap<u64, OwnedConn>,
+    poller: Poller,
+    doorbell: Arc<Doorbell>,
+    shard_txs: Vec<Sender<ShardEv>>,
+    router: Arc<ShardRouter>,
+    max_body: usize,
+    /// Requests deferred past a full tick, FIFO.
+    deferred: VecDeque<Queued>,
     window: usize,
     inflight: usize,
+    /// Per-tick admission credits ([`AdmissionPolicy`]): requests and
+    /// bytes remaining this tick, the replenishment amounts, and the
+    /// base-clock stamp of the last replenishment.
+    credit_reqs: u64,
+    credit_bytes: u64,
+    reqs_per_tick: u64,
+    bytes_per_tick: u64,
+    credit_tick_us: u64,
+    last_replenish_us: u64,
     /// Base-clock stamp of the last admission-window progress. Host-side
     /// timing deliberately bypasses any recording clock: replay re-drives
     /// the engine, not the shard loop.
@@ -1358,10 +1588,12 @@ struct Shard {
     counters: BTreeMap<&'static str, Arc<Counter>>,
     latency: BTreeMap<u32, Arc<Histogram>>,
     reply_latency: Arc<Histogram>,
+    bytes_in: Arc<Counter>,
     bytes_out: Arc<Counter>,
     m_events: Arc<Counter>,
     m_deferrals: Arc<Counter>,
     m_tick_admits: Arc<Counter>,
+    m_wakeups: Arc<Counter>,
 }
 
 impl Shard {
@@ -1369,7 +1601,12 @@ impl Shard {
     fn new(
         idx: usize,
         engine: GatewayEngine,
-        window: usize,
+        admission: &AdmissionPolicy,
+        poller: Poller,
+        doorbell: Arc<Doorbell>,
+        shard_txs: Vec<Sender<ShardEv>>,
+        router: Arc<ShardRouter>,
+        max_body: usize,
         domain: DomainLink,
         registry: Arc<Registry>,
         store: Option<Arc<GatewayStore>>,
@@ -1379,20 +1616,34 @@ impl Shard {
         gw_group: GroupId,
         linger_us: u64,
     ) -> Shard {
+        let bytes_in = registry.counter("net.bytes_in");
         let bytes_out = registry.counter("net.bytes_out");
         let reply_latency = registry.histogram("net.reply_latency_us");
         let m_events = registry.counter(&names::with_shard(names::GATEWAY_SHARD_EVENTS, idx));
         let m_deferrals = registry.counter(&names::with_shard(names::GATEWAY_SHARD_DEFERRALS, idx));
         let m_tick_admits =
             registry.counter(&names::with_shard(names::GATEWAY_SHARD_TICK_ADMITS, idx));
+        let m_wakeups = registry.counter(names::NET_REACTOR_WAKEUPS);
         let now_us = clock.now_micros();
         Shard {
             idx,
             engine,
             conns: BTreeMap::new(),
+            owned: BTreeMap::new(),
+            poller,
+            doorbell,
+            shard_txs,
+            router,
+            max_body,
             deferred: VecDeque::new(),
-            window: window.max(1),
+            window: admission.max_inflight.max(1),
             inflight: 0,
+            credit_reqs: admission.requests_per_tick.max(1),
+            credit_bytes: admission.bytes_per_tick.max(1),
+            reqs_per_tick: admission.requests_per_tick.max(1),
+            bytes_per_tick: admission.bytes_per_tick.max(1),
+            credit_tick_us: (admission.tick.as_micros() as u64).max(1),
+            last_replenish_us: now_us,
             last_progress_us: now_us,
             pending_latency: VecDeque::new(),
             clock,
@@ -1407,10 +1658,288 @@ impl Shard {
             counters: BTreeMap::new(),
             latency: BTreeMap::new(),
             reply_latency,
+            bytes_in,
             bytes_out,
             m_events,
             m_deferrals,
             m_tick_admits,
+            m_wakeups,
+        }
+    }
+
+    /// Whether the admission gate is open: window room plus positive
+    /// request and byte credits.
+    fn admit_ready(&self) -> bool {
+        self.inflight < self.window && self.credit_reqs > 0 && self.credit_bytes > 0
+    }
+
+    /// Charges one admitted request of `wire_len` bytes against the
+    /// tick's credits.
+    fn consume_credits(&mut self, wire_len: usize) {
+        self.credit_reqs = self.credit_reqs.saturating_sub(1);
+        self.credit_bytes = self.credit_bytes.saturating_sub(wire_len as u64);
+    }
+
+    /// Refills both credit pools once per [`AdmissionPolicy::tick`].
+    /// Credits do not carry over — each tick grants a fresh window, so
+    /// a long idle period cannot bank an admission burst.
+    fn replenish_credits(&mut self, now_us: u64) {
+        if now_us.saturating_sub(self.last_replenish_us) >= self.credit_tick_us {
+            self.credit_reqs = self.reqs_per_tick;
+            self.credit_bytes = self.bytes_per_tick;
+            self.last_replenish_us = now_us;
+        }
+    }
+
+    /// Takes ownership of an accepted connection's read half: registers
+    /// it with the reactor and gives it a (lazily allocated) frame
+    /// buffer.
+    fn adopt(&mut self, id: u64, stream: Arc<TcpStream>) {
+        self.poller.register(id, raw_fd(&stream), Interest::READ);
+        self.owned.insert(
+            id,
+            OwnedConn {
+                stream,
+                fbuf: FrameBuf::with_max_body(self.max_body),
+            },
+        );
+    }
+
+    /// Drops an owned connection (already deregistered or about to be)
+    /// and fans `Closed` to every shard — through the queues, so it
+    /// cannot overtake messages already forwarded.
+    fn release(&mut self, id: u64) {
+        self.poller.deregister(id);
+        self.owned.remove(&id);
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardEv::Closed(id));
+        }
+    }
+
+    /// Reads everything the socket has, parsing frames in place and
+    /// dispatching each one. Returns to the caller once the socket
+    /// would block; EOF, errors, and protocol violations release the
+    /// connection.
+    fn on_readable(&mut self, id: u64, arrivals: &mut VecDeque<Queued>) {
+        let Some(mut oc) = self.owned.remove(&id) else {
+            return;
+        };
+        let mut alive = true;
+        'fill: loop {
+            let want;
+            let n = {
+                let spare = oc.fbuf.spare(FRAME_BUF_READ_CHUNK);
+                want = spare.len();
+                match (&*oc.stream).read(spare) {
+                    Ok(0) => {
+                        alive = false;
+                        break;
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        alive = false;
+                        break;
+                    }
+                }
+            };
+            oc.fbuf.advance(n);
+            self.bytes_in.add(n as u64);
+            loop {
+                match oc.fbuf.next_span() {
+                    Ok(Some(span)) => {
+                        if !self.on_wire_frame(id, &oc.fbuf.bytes()[span], arrivals) {
+                            alive = false;
+                            break 'fill;
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => {
+                        // Framing failure: answer MessageError and drop
+                        // the connection (§3.3).
+                        alive = self.protocol_close(id);
+                        break 'fill;
+                    }
+                }
+            }
+            if n < want {
+                break;
+            }
+        }
+        if alive {
+            // Idle connections hold no buffer memory — the next burst
+            // re-allocates. Keeps C50K resident memory proportional to
+            // *active* connections, not open ones.
+            oc.fbuf.release_if_empty();
+            self.owned.insert(id, oc);
+        } else {
+            self.release(id);
+        }
+    }
+
+    /// Dispatches one complete wire frame read off an owned connection.
+    /// Requests bound for this shard with an open admission gate run
+    /// zero-copy through [`GatewayEngine::on_client_frame`]; everything
+    /// else decodes once and queues or forwards. Returns `false` when
+    /// the connection must close (protocol violation or budget blown).
+    fn on_wire_frame(&mut self, id: u64, wire: &[u8], arrivals: &mut VecDeque<Queued>) -> bool {
+        let Ok(frame) = Frame::parse(wire) else {
+            return self.protocol_close(id);
+        };
+        if frame.msg_type() == MsgType::Request {
+            // Borrowed classification: the object key is read in place.
+            let route = match frame.request() {
+                Ok(Some(view)) => match ObjectKey::parse(view.object_key) {
+                    Ok(key) => MsgRoute::Group(GroupId(key.group)),
+                    Err(_) => MsgRoute::Any,
+                },
+                _ => return self.protocol_close(id),
+            };
+            let dest = match route {
+                MsgRoute::Group(group) => self.router.route(group),
+                _ => 0,
+            };
+            if dest != self.idx {
+                return match frame.to_message() {
+                    Ok(msg) => self.forward(id, dest, msg, wire.len()),
+                    Err(_) => self.protocol_close(id),
+                };
+            }
+            if self.deferred.is_empty() && arrivals.is_empty() && self.admit_ready() {
+                // The hot path: admit straight off the socket, engine
+                // fed the borrowed frame, raw wire bytes reused as the
+                // canonical multicast payload.
+                self.consume_credits(wire.len());
+                self.process_frame(id, frame);
+                return true;
+            }
+            // Gate closed (or FIFO fairness behind earlier waiters):
+            // the borrowed bytes cannot outlive this read, so the
+            // queued copy owns its decode.
+            return match frame.to_message() {
+                Ok(msg) => {
+                    arrivals.push_back((id, msg, 0, wire.len()));
+                    true
+                }
+                Err(_) => self.protocol_close(id),
+            };
+        }
+        // Control traffic (rare): decode owned and route exactly as the
+        // message classifier dictates.
+        let Ok(msg) = frame.to_message() else {
+            return self.protocol_close(id);
+        };
+        match classify_client_message(&msg) {
+            MsgRoute::Group(group) => {
+                let dest = self.router.route(group);
+                if dest == self.idx {
+                    self.process_msg(id, msg, 0);
+                    true
+                } else {
+                    self.forward(id, dest, msg, wire.len())
+                }
+            }
+            MsgRoute::Any => {
+                if self.idx == 0 {
+                    self.process_msg(id, msg, 0);
+                    true
+                } else {
+                    self.forward(id, 0, msg, wire.len())
+                }
+            }
+            MsgRoute::All => {
+                for (i, tx) in self.shard_txs.iter().enumerate() {
+                    if i != self.idx {
+                        let _ = tx.send(ShardEv::Msg(id, msg.clone(), 0));
+                    }
+                }
+                self.process_msg(id, msg, 0);
+                true
+            }
+        }
+    }
+
+    /// Forwards a decoded message to another shard, charging the
+    /// connection's cross-shard budget. A client outrunning the gateway
+    /// past the budget is disconnected, protecting every other client
+    /// from its backlog.
+    fn forward(&mut self, id: u64, dest: usize, msg: GiopMessage, cost: usize) -> bool {
+        if let Some(entry) = self.conns.get(&id) {
+            if entry.budget.fetch_add(cost, Ordering::SeqCst) + cost > CONN_INBOUND_BUDGET {
+                self.counter(names::NET_QUEUE_OVERFLOWS).inc();
+                if let Some(entry) = self.conns.get(&id) {
+                    entry.writer.close();
+                }
+                return false;
+            }
+        }
+        let _ = self.shard_txs[dest].send(ShardEv::Msg(id, msg, cost));
+        true
+    }
+
+    /// Answers a framing/protocol failure with MessageError and closes
+    /// the connection. Always returns `false` (the caller releases it).
+    fn protocol_close(&mut self, id: u64) -> bool {
+        self.counter("gateway.protocol_errors").inc();
+        if let Some(entry) = self.conns.get(&id) {
+            entry
+                .writer
+                .write(&GiopMessage::MessageError.encode(ByteOrder::Big));
+            entry.writer.close();
+        }
+        false
+    }
+
+    /// Runs one borrowed frame through the engine (recorded when a tap
+    /// is attached) — the zero-copy twin of [`Shard::process_msg`].
+    fn process_frame(&mut self, id: u64, frame: Frame<'_>) {
+        if !self.conns.contains_key(&id) {
+            return;
+        }
+        let view = self.domain.view();
+        let actions = match self.tap.as_mut() {
+            Some(tap) => {
+                let rv = recorded_view(&view);
+                tap.on_frame(&mut self.engine, GwConn(id), frame, &rv)
+            }
+            None => self.engine.on_client_frame(GwConn(id), frame, &*view),
+        };
+        let forwarded = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Multicast { .. }))
+            .count();
+        if forwarded > 0 {
+            let now_us = self.clock.now_micros();
+            for _ in 0..forwarded {
+                self.pending_latency.push_back((id, now_us));
+            }
+        }
+        self.apply(actions);
+    }
+
+    /// Write readiness on an owned connection: drain its writer's
+    /// queue, dropping write interest once empty.
+    fn on_writable(&mut self, id: u64) {
+        let Some(entry) = self.conns.get(&id) else {
+            return;
+        };
+        match entry.writer.flush() {
+            WriteState::Drained => self.poller.set_interest(id, Interest::READ),
+            WriteState::Pending => {}
+            WriteState::Failed => entry.writer.close(),
+        }
+    }
+
+    /// Picks up connections whose writers queued bytes from another
+    /// thread since the last tick and arms write interest for them.
+    fn drain_doorbell(&mut self) {
+        for id in self.doorbell.drain() {
+            if self.owned.contains_key(&id)
+                && self.conns.get(&id).is_some_and(|e| e.writer.has_pending())
+            {
+                self.poller.set_interest(id, Interest::READ_WRITE);
+            }
         }
     }
 
@@ -1631,6 +2160,10 @@ impl Shard {
             &names::with_shard(names::GATEWAY_SHARD_INFLIGHT, self.idx),
             self.inflight as i64,
         );
+        self.registry.set_gauge(
+            &names::with_shard(names::NET_REACTOR_FDS, self.idx),
+            self.poller.registered() as i64,
+        );
         if self.idx == 0 {
             self.registry
                 .set_gauge("net.open_connections", self.conns.len() as i64);
@@ -1650,25 +2183,29 @@ impl Shard {
 
 fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> ShardFinal {
     let mut stop = false;
+    let mut ready = Vec::new();
     while !stop {
+        // Block on socket readiness (capped at one tick so credits
+        // replenish and timers run even when the wire is quiet). The
+        // cross-shard queue interrupts the wait through the doorbell's
+        // waker; a poll failure degrades to plain tick pacing.
+        if shard.poller.poll(&mut ready, MAX_POLL_TIMEOUT).is_err() {
+            thread::sleep(TICK_REAL);
+        }
+        if !ready.is_empty() {
+            shard.m_wakeups.inc();
+        }
         let mut events = Vec::new();
-        match rx.recv_timeout(TICK_REAL) {
-            Ok(ev) => {
-                events.push(ev);
-                while let Ok(ev) = rx.try_recv() {
-                    events.push(ev);
-                }
-            }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
+        while let Ok(ev) = rx.try_recv() {
+            events.push(ev);
         }
 
-        // Requests that found the window full while this tick's events
-        // drained. They get a second chance in the end-of-tick batch
-        // pass below — replies arriving later in the same drain free
-        // window slots — and only what is *still* unadmitted after that
-        // pass counts as a deferral.
-        let mut arrivals: VecDeque<(u64, GiopMessage, usize)> = VecDeque::new();
+        // Requests that found the admission gate closed while this
+        // tick's events drained. They get a second chance in the
+        // end-of-tick batch pass below — replies arriving later in the
+        // same drain free window slots — and only what is *still*
+        // unadmitted after that pass counts as a deferral.
+        let mut arrivals: VecDeque<Queued> = VecDeque::new();
 
         for ev in events {
             shard.m_events.inc();
@@ -1681,24 +2218,31 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
                     };
                     shard.apply(actions);
                 }
+                ShardEv::Adopt(id, stream) => shard.adopt(id, stream),
                 ShardEv::Msg(id, msg, cost) => {
-                    // Admission window: requests past the window (or
-                    // behind earlier waiting ones — FIFO fairness) queue
-                    // for the batch pass; everything else processes
-                    // immediately.
-                    let queue = matches!(msg, GiopMessage::Request(_))
-                        && (shard.inflight >= shard.window
+                    // Admission gate: requests past the window/credits
+                    // (or behind earlier waiting ones — FIFO fairness)
+                    // queue for the batch pass; everything else
+                    // processes immediately. The forwarding cost *is*
+                    // the wire length, so it doubles as the byte-credit
+                    // charge.
+                    let is_request = matches!(msg, GiopMessage::Request(_));
+                    let queue = is_request
+                        && (!shard.admit_ready()
                             || !shard.deferred.is_empty()
                             || !arrivals.is_empty());
                     if queue {
-                        arrivals.push_back((id, msg, cost));
+                        arrivals.push_back((id, msg, cost, cost));
                     } else {
+                        if is_request {
+                            shard.consume_credits(cost);
+                        }
                         shard.process_msg(id, msg, cost);
                     }
                 }
                 ShardEv::Closed(id) => {
-                    shard.deferred.retain(|&(conn, _, _)| conn != id);
-                    arrivals.retain(|&(conn, _, _)| conn != id);
+                    shard.deferred.retain(|&(conn, _, _, _)| conn != id);
+                    arrivals.retain(|&(conn, _, _, _)| conn != id);
                     let actions = match shard.tap.as_mut() {
                         Some(tap) => tap.on_closed(&mut shard.engine, GwConn(id)),
                         None => shard.engine.on_client_closed(GwConn(id)),
@@ -1755,23 +2299,43 @@ fn shard_loop(mut shard: Shard, rx: Receiver<ShardEv>, shared: Arc<Shared>) -> S
             }
         }
 
-        // Batch admission: grant every window slot that opened during
-        // the tick — carried-over deferrals first (FIFO), then this
-        // tick's arrivals. On shutdown everything still waiting is
-        // processed (not dropped): the queue ahead of the Shutdown
-        // sentinel was already drained, so these are the last client
-        // bytes this shard will ever see.
-        while (stop || shard.inflight < shard.window)
-            && !(shard.deferred.is_empty() && arrivals.is_empty())
-        {
+        // Socket readiness, on the connections this shard owns:
+        // writable drains partial-write queues, readable runs the
+        // zero-copy read loop (which feeds `arrivals` when the gate is
+        // closed). Skipped once shutdown is seen — the remaining work
+        // is the queued backlog, not new wire bytes.
+        if !stop {
+            for ev in ready.drain(..) {
+                if ev.writable {
+                    shard.on_writable(ev.token);
+                }
+                if ev.readable || ev.hangup {
+                    shard.on_readable(ev.token, &mut arrivals);
+                }
+            }
+            shard.drain_doorbell();
+        }
+
+        shard.replenish_credits(shard.clock.now_micros());
+
+        // Batch admission: grant every window slot and credit that
+        // opened during the tick — carried-over deferrals first (FIFO),
+        // then this tick's arrivals. On shutdown everything still
+        // waiting is processed (not dropped): the queue ahead of the
+        // Shutdown sentinel was already drained, so these are the last
+        // client bytes this shard will ever see.
+        while (stop || shard.admit_ready()) && !(shard.deferred.is_empty() && arrivals.is_empty()) {
             let from_arrivals = shard.deferred.is_empty();
-            let (id, msg, cost) = if from_arrivals {
+            let (id, msg, cost, wire_len) = if from_arrivals {
                 arrivals.pop_front().expect("non-empty arrivals")
             } else {
                 shard.deferred.pop_front().expect("non-empty deferred")
             };
             if from_arrivals {
                 shard.m_tick_admits.inc();
+            }
+            if !stop && matches!(msg, GiopMessage::Request(_)) {
+                shard.consume_credits(wire_len);
             }
             shard.process_msg(id, msg, cost);
         }

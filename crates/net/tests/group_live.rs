@@ -12,10 +12,18 @@ use ftd_core::EngineConfig;
 use ftd_eternal::{Counter, FtProperties, ObjectRegistry, ReplicationStyle};
 use ftd_net::{DomainHost, GatewayServer, GroupOptions, NetClient, RetryPolicy, ServerOptions};
 use ftd_totem::GroupId;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 const GROUP: GroupId = GroupId(10);
 const SEED: u64 = 0x6120;
+
+/// Each test here runs a full mesh of gateways (every one with its own
+/// domain, shard, membership, and relay threads). Running them
+/// concurrently on a small machine multiplies thread count far past the
+/// core count and turns every fixed deadline into a coin flip — so the
+/// tests take this lock and run one at a time.
+static SERIAL: Mutex<()> = Mutex::new(());
 
 fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
     let deadline = Instant::now() + Duration::from_secs(20);
@@ -80,6 +88,7 @@ fn policy() -> RetryPolicy {
 /// reissues, the survivor answers from the relayed-response cache.
 #[test]
 fn killed_member_reissue_served_from_survivor_relayed_cache() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let gw1 = start_member(
         41,
         1,
@@ -186,6 +195,7 @@ fn killed_member_reissue_served_from_survivor_relayed_cache() {
 /// of the view, leaving a consistent majority serving.
 #[test]
 fn injected_divergence_fences_the_minority_member() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let gw1 = start_member(43, 1, GroupOptions::new(1));
     let seed1 = gw1.group_addr().expect("group node").to_string();
     let gw2 = start_member(43, 2, GroupOptions::new(2).seed(seed1.clone()));
@@ -212,9 +222,23 @@ fn injected_divergence_fences_the_minority_member() {
         .invoke_retrying("add", &1u64.to_be_bytes(), &policy())
         .expect("add at the corrupt member");
     assert_eq!(r.body, 0u64.to_be_bytes(), "the diverged reply lies");
-    wait_until("honest members count the divergence", || {
-        gw1.stats().counter("group.divergence") >= 1 && gw2.stats().counter("group.divergence") >= 1
-    });
+    // The cross-check is best-effort per reply: an honest member whose
+    // replica had not executed the operation yet when the corrupted
+    // fingerprint arrived misses that window for good. Each further
+    // reply served by the corrupt member broadcasts a fresh corrupted
+    // fingerprint, so keep it talking until both honest members have
+    // caught one — a single fixed-deadline wait on one reply is a race.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while gw1.stats().counter("group.divergence") < 1 || gw2.stats().counter("group.divergence") < 1
+    {
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for honest members to count the divergence"
+        );
+        c3.invoke_retrying("add", &0u64.to_be_bytes(), &policy())
+            .expect("keepalive add at the corrupt member");
+        std::thread::sleep(Duration::from_millis(20));
+    }
 
     // Replies served by each honest member carry correct fingerprints;
     // once the corrupt member has seen two distinct peers disagree with
@@ -270,6 +294,7 @@ fn injected_divergence_fences_the_minority_member() {
 /// configured linger, keeping the §3.5 failover window open.
 #[test]
 fn client_gone_gc_at_peers_after_linger() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     let gw1 = start_member(
         42,
         1,

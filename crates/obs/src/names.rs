@@ -20,6 +20,21 @@ pub const NET_CONNECTIONS_SHED: &str = "net.connections_shed";
 /// per-connection inbound queue.
 pub const NET_QUEUE_OVERFLOWS: &str = "net.queue_overflows";
 
+/// Sockets currently registered with a shard's reactor (gauge, labelled
+/// per shard via [`with_shard`]) — the live connection count each
+/// `poll(2)` call watches.
+pub const NET_REACTOR_FDS: &str = "net.reactor.registered_fds";
+
+/// Reactor poll returns that reported at least one ready descriptor —
+/// the event-loop activity counter (idle ticks poll too, but time out
+/// empty).
+pub const NET_REACTOR_WAKEUPS: &str = "net.reactor.wakeups";
+
+/// Reply writes that could not complete in one nonblocking syscall and
+/// queued their remainder for write-readiness — the backpressure
+/// signature of slow-reading clients.
+pub const NET_REACTOR_PARTIAL_WRITES: &str = "net.reactor.partial_writes";
+
 /// Client-side reconnect attempts performed by the §3.5
 /// reconnect-and-reissue path.
 pub const CLIENT_RECONNECTS: &str = "client.reconnects";
@@ -161,6 +176,9 @@ mod tests {
             super::GATEWAY_HEALTH,
             super::NET_CONNECTIONS_SHED,
             super::NET_QUEUE_OVERFLOWS,
+            super::NET_REACTOR_FDS,
+            super::NET_REACTOR_WAKEUPS,
+            super::NET_REACTOR_PARTIAL_WRITES,
             super::CLIENT_RECONNECTS,
             super::CLIENT_REISSUES,
             super::GATEWAY_SHARD_EVENTS,

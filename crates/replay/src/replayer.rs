@@ -13,7 +13,7 @@ use crate::digest::{
 };
 use crate::event::{EngineSetup, ReplayEvent};
 use ftd_core::{GatewayEngine, GwConn};
-use ftd_giop::GiopMessage;
+use ftd_giop::Frame;
 use ftd_obs::Clock;
 use ftd_totem::GroupId;
 use std::collections::{BTreeMap, VecDeque};
@@ -271,11 +271,11 @@ impl Replayer {
                     bytes,
                     actions_crc,
                 } => {
-                    let msg = GiopMessage::decode(bytes)
+                    let frame = Frame::parse(bytes)
                         .map_err(|e| bad(format!("event {index}: undecodable ClientMsg: {e:?}")))?;
                     let conn = GwConn(*conn);
                     let s = self.shard(*shard)?;
-                    let actions = s.engine.on_client_message(conn, msg, view);
+                    let actions = s.engine.on_client_frame(conn, frame, view);
                     Self::fold_shard(s, &actions);
                     self.check_crc(index, "ClientMsg", *actions_crc, &actions);
                 }
